@@ -1,0 +1,124 @@
+(* Ablations for the design choices DESIGN.md calls out:
+
+   A1  incremental solving across objective bounds (paper §III-B) vs
+       re-encoding from scratch at every bound;
+   A2  the T_UB = 1.5 x T_LB horizon rule (paper §III-A-1) vs the trivial
+       gate-count horizon;
+   A3  cardinality arms head-to-head (sequential counter vs totalizer vs
+       adder network) on identical SWAP-bounded decision instances. *)
+
+open Bench_common
+module S = Olsq2_sat.Solver
+
+(* A1: the paper's loop keeps one solver and moves bounds via assumptions;
+   the ablated variant builds a fresh encoder per bound check. *)
+let non_incremental_depth config instance =
+  let t_lb = Core.Instance.depth_lower_bound instance in
+  let t_max = Core.Instance.depth_upper_bound instance in
+  let check d =
+    let enc = Core.Encoder.build ~config instance ~t_max in
+    let sel = Core.Encoder.depth_selector enc d in
+    Core.Encoder.solve ~assumptions:[ sel ] ~timeout:(solve_timeout ()) enc
+  in
+  (* same geometric bound schedule as the incremental loop; only the
+     re-encoding differs *)
+  let grow d = max (d + 1) (int_of_float (ceil (1.3 *. float_of_int d))) in
+  let rec ascend d =
+    match check d with
+    | S.Sat -> Some d
+    | S.Unsat -> if d >= t_max then None else ascend (min t_max (grow d))
+    | S.Unknown -> None
+  in
+  let rec descend d =
+    if d - 1 < t_lb then d
+    else
+      match check (d - 1) with
+      | S.Sat -> descend (d - 1)
+      | S.Unsat | S.Unknown -> d
+  in
+  Option.map descend (ascend t_lb)
+
+let ablation_incremental () =
+  hr "Ablation A1: incremental solving vs re-encoding per bound";
+  let cases =
+    [ ("QAOA(8/12) on 4x4", qaoa_grid ~qubits:8 ~grid_side:4 ~seed:108);
+      ("QAOA(6/9) on 3x3", qaoa_grid ~qubits:6 ~grid_side:3 ~seed:106) ]
+  in
+  Printf.printf "%-22s %12s %14s %8s\n" "instance" "incremental" "from-scratch" "ratio";
+  List.iter
+    (fun (name, inst) ->
+      let t0 = now () in
+      let inc = Core.Optimizer.minimize_depth inst in
+      let t_inc = now () -. t0 in
+      let d_inc =
+        match inc.Core.Optimizer.result with Some r -> r.Core.Result_.depth | None -> -1
+      in
+      let t0 = now () in
+      let d_scratch = non_incremental_depth Core.Config.default inst in
+      let t_scr = now () -. t0 in
+      (match d_scratch with
+      | Some d when d <> d_inc -> Printf.printf "!! optima disagree (%d vs %d)\n" d_inc d
+      | Some _ | None -> ());
+      Printf.printf "%-22s %11.2fs %13.2fs %8.2f\n" name t_inc t_scr (t_scr /. Float.max t_inc 1e-6))
+    cases
+
+(* A2: horizon rule. *)
+let ablation_horizon () =
+  hr "Ablation A2: T_UB = 1.5 x T_LB horizon vs gate-count horizon";
+  let cases =
+    [
+      ("QAOA(8/12) on 4x4", qaoa_grid ~qubits:8 ~grid_side:4 ~seed:108);
+      ( "toffoli on qx2",
+        Core.Instance.make ~swap_duration:3 (B.Standard.toffoli_example ()) Devices.qx2 );
+    ]
+  in
+  Printf.printf "%-22s %6s %6s %12s %12s %10s %10s\n" "instance" "1.5LB" "|G|" "vars(1.5LB)"
+    "vars(|G|)" "t(1.5LB)" "t(|G|)";
+  List.iter
+    (fun (name, inst) ->
+      let h_rule = Core.Instance.depth_upper_bound inst in
+      let h_gates = max h_rule (Core.Instance.num_gates inst) in
+      let measure t_max =
+        let t0 = now () in
+        let enc = Core.Encoder.build ~config:Core.Config.default inst ~t_max in
+        let sel = Core.Encoder.depth_selector enc (Core.Instance.depth_lower_bound inst) in
+        let _ = Core.Encoder.solve ~assumptions:[ sel ] ~timeout:(solve_timeout ()) enc in
+        let vars, _ = Core.Encoder.size_report enc in
+        (vars, now () -. t0)
+      in
+      let v1, t1 = measure h_rule in
+      let v2, t2 = measure h_gates in
+      Printf.printf "%-22s %6d %6d %12d %12d %9.2fs %9.2fs\n" name h_rule h_gates v1 v2 t1 t2)
+    cases
+
+(* A3: cardinality arms on the same SWAP-bounded decision instance. *)
+let ablation_cardinality () =
+  hr "Ablation A3: cardinality encodings (sequential counter / totalizer / adder)";
+  let arms =
+    [
+      ("seq-counter", Core.Config.Seq_counter);
+      ("totalizer", Core.Config.Totalizer);
+      ("adder (PB)", Core.Config.Adder);
+    ]
+  in
+  let cases = [ (3, 6, 4); (3, 8, 6); (4, 8, 6) ] in
+  Printf.printf "%-14s" "grid qb S_B";
+  List.iter (fun (n, _) -> Printf.printf "%14s" n) arms;
+  print_newline (); flush stdout;
+  List.iter
+    (fun (side, n, s_b) ->
+      let inst = qaoa_grid ~qubits:n ~grid_side:side ~seed:(100 + n) in
+      Printf.printf "%-14s" (Printf.sprintf "%dx%d %d <=%d" side side n s_b);
+      List.iter
+        (fun (_, card) ->
+          let config = { Core.Config.olsq2_bv with Core.Config.cardinality = card } in
+          let t, _, _ = time_decision ~swap_bound:s_b config inst ~t_max:8 in
+          Printf.printf "%14s" (String.trim (fmt_timing t)))
+        arms;
+      print_newline (); flush stdout)
+    cases
+
+let run () =
+  ablation_incremental ();
+  ablation_horizon ();
+  ablation_cardinality ()

@@ -1,0 +1,49 @@
+(* Benchmark harness entry point.
+
+   Regenerates every table and figure of the paper's evaluation section
+   at reduced scale (see DESIGN.md §4 and EXPERIMENTS.md for the
+   paper-vs-measured record):
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe fig1       # Figure 1 only
+     dune exec bench/main.exe table1     # ... etc: table2 table3 table4
+     dune exec bench/main.exe ablation   # design-choice ablations
+     dune exec bench/main.exe micro      # Bechamel micro-benchmarks
+
+   Environment: OLSQ2_BENCH_TIMEOUT, OLSQ2_BENCH_BUDGET, OLSQ2_BENCH_FULL. *)
+
+let sections =
+  [
+    ("fig1", Fig1.run);
+    ("table1", Table1.run);
+    ("table2", Table2.run);
+    ("table3", Table3.run);
+    ("table4", Table4.run);
+    ("ablation", Ablation.run);
+    ("micro", Micro.run);
+  ]
+
+let () =
+  (* stream rows promptly when stdout is a file or pipe *)
+  at_exit (fun () -> flush stdout);
+  let requested = List.tl (Array.to_list Sys.argv) in
+  let to_run =
+    match requested with
+    | [] | [ "all" ] -> sections
+    | names ->
+      List.map
+        (fun name ->
+          match List.assoc_opt name sections with
+          | Some f -> (name, f)
+          | None ->
+            Printf.eprintf "unknown section %S; known: %s\n" name
+              (String.concat ", " (List.map fst sections));
+            exit 2)
+        names
+  in
+  Printf.printf
+    "OLSQ2 reproduction benchmark harness (timeout=%.0fs, budget=%.0fs, full=%b)\n"
+    (Bench_common.solve_timeout ()) (Bench_common.opt_budget ()) (Bench_common.full_scale ());
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun (_, f) -> f ()) to_run;
+  Printf.printf "\ntotal harness time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,92 @@
+(* Bechamel micro-benchmarks of the hot kernels behind each table:
+
+   - table1 kernel: build + solve one small OLSQ2(bv) decision instance;
+   - table2 kernel: sequential-counter construction;
+   - table3 kernel: SABRE routing pass;
+   - table4 kernel: TB-OLSQ2 block solve;
+   - solver kernel: CDCL on a fixed random 3-CNF (Fig. 1's inner loop).
+
+   These run in statistically meaningful repetition counts (unlike the
+   table harnesses, whose single solves take seconds to minutes). *)
+
+open Bechamel
+open Toolkit
+module Core = Olsq2_core
+module S = Olsq2_sat.Solver
+module L = Olsq2_sat.Lit
+module Ctx = Olsq2_encode.Ctx
+module Cardinality = Olsq2_encode.Cardinality
+module Devices = Olsq2_device.Devices
+module B = Olsq2_benchgen
+module Rng = Olsq2_util.Rng
+module Sabre = Olsq2_heuristic.Sabre
+
+let fixed_cnf =
+  let rng = Rng.create 7 in
+  List.init 160 (fun _ ->
+      List.init 3 (fun _ -> L.of_var ~sign:(Rng.bool rng) (Rng.int rng 40)))
+
+let solver_kernel () =
+  let s = S.create () in
+  for _ = 1 to 40 do
+    ignore (S.new_var s)
+  done;
+  List.iter (S.add_clause s) fixed_cnf;
+  ignore (S.solve s)
+
+let tiny_instance = lazy (Bench_common.qaoa_grid ~qubits:4 ~grid_side:2 ~seed:104)
+
+let encode_solve_kernel () =
+  let inst = Lazy.force tiny_instance in
+  let enc = Core.Encoder.build ~config:Core.Config.olsq2_bv inst ~t_max:5 in
+  ignore (Core.Encoder.solve enc)
+
+let counter_kernel () =
+  let ctx = Ctx.create () in
+  let xs = Array.init 128 (fun _ -> Ctx.fresh_var ctx) in
+  ignore (Cardinality.sequential_counter ~width:16 ctx xs)
+
+let sabre_instance =
+  lazy (Core.Instance.make ~swap_duration:1 (B.Qaoa.random ~seed:9 8) (Devices.grid 3 3))
+
+let sabre_kernel () =
+  let inst = Lazy.force sabre_instance in
+  ignore (Sabre.synthesize ~params:{ Sabre.default_params with Sabre.trials = 1 } ~seed:3 inst)
+
+let tb_kernel () =
+  let inst = Lazy.force tiny_instance in
+  let enc = Core.Tb_encoder.build ~config:Core.Config.olsq2_bv inst ~num_blocks:2 in
+  ignore (Core.Tb_encoder.solve enc)
+
+let tests =
+  Test.make_grouped ~name:"olsq2" ~fmt:"%s %s"
+    [
+      Test.make ~name:"sat/cdcl-3cnf (fig1 inner loop)" (Staged.stage solver_kernel);
+      Test.make ~name:"encode+solve tiny (table1 kernel)" (Staged.stage encode_solve_kernel);
+      Test.make ~name:"seq-counter 128 (table2 kernel)" (Staged.stage counter_kernel);
+      Test.make ~name:"sabre route (table3 kernel)" (Staged.stage sabre_kernel);
+      Test.make ~name:"tb block solve (table4 kernel)" (Staged.stage tb_kernel);
+    ]
+
+let run () =
+  Bench_common.hr "Bechamel micro-benchmarks (per-table kernels)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~stabilize:false () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Printf.printf "%-42s %16s\n" "kernel" "time per run";
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] ->
+        let pretty =
+          if est > 1e9 then Printf.sprintf "%10.3f s" (est /. 1e9)
+          else if est > 1e6 then Printf.sprintf "%10.3f ms" (est /. 1e6)
+          else Printf.sprintf "%10.3f us" (est /. 1e3)
+        in
+        Printf.printf "%-42s %16s\n" name pretty
+      | Some _ | None -> Printf.printf "%-42s %16s\n" name "n/a")
+    results

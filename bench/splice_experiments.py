@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Splice a bench_output.txt run into EXPERIMENTS.md.
+
+Replaces each `<!-- BENCH:SECTION -->` marker with the corresponding
+section of the harness output, fenced as a code block.  Usage:
+
+    python3 bench/splice_experiments.py bench_output.txt EXPERIMENTS.md
+"""
+import re
+import sys
+
+SECTIONS = {
+    "FIG1": ("Figure 1: solving time", "Table I:"),
+    "TABLE1": ("Table I: integer", "Table II:"),
+    "TABLE2": ("Table II: AtMost", "Table III:"),
+    "TABLE3": ("Table III: depth", "Table IV:"),
+    "TABLE4": ("Table IV: SWAP", "Ablation A1"),
+    "ABLATION": ("Ablation A1", "Bechamel"),
+    "MICRO": ("Bechamel micro-benchmarks", "total harness time"),
+}
+
+
+def cut(text, start, end):
+    i = text.find(start)
+    if i < 0:
+        return None
+    j = text.find(end, i)
+    body = text[i:j if j >= 0 else len(text)]
+    return body.rstrip()
+
+
+def main(bench_path, md_path):
+    bench = open(bench_path).read()
+    md = open(md_path).read()
+    for key, (start, end) in SECTIONS.items():
+        marker = f"<!-- BENCH:{key} -->"
+        body = cut(bench, start, end)
+        if body is None:
+            print(f"warning: section {key} not found in {bench_path}")
+            continue
+        replacement = "```\n" + body + "\n```"
+        if marker in md:
+            md = md.replace(marker, replacement)
+        else:
+            # refresh an existing splice: replace the fenced block that
+            # follows the section heading produced by a previous run
+            pattern = re.compile(r"```\n" + re.escape(start.split(":")[0]) + r".*?```", re.S)
+            md, n = pattern.subn(replacement, md, count=1)
+            if n == 0:
+                print(f"warning: no marker or previous block for {key}")
+    open(md_path, "w").write(md)
+    print(f"updated {md_path}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt",
+         sys.argv[2] if len(sys.argv) > 2 else "EXPERIMENTS.md")

@@ -1,0 +1,124 @@
+(* Table III reproduction: depth optimization, SABRE vs OLSQ2.
+
+   The paper compiles QFT / Toffoli-ladder / QAOA / QUEKO circuits onto
+   Sycamore, Aspen-4 and Eagle; SABRE's depth divided by OLSQ2's optimal
+   depth gives the ratio column (paper average: 6.66x, up to 17.5x on
+   QUEKO, where OLSQ2 provably hits the known-optimal depth).
+
+   Reduced rows here keep every device and circuit family at sizes the
+   from-scratch solver handles in minutes; QUEKO rows additionally verify
+   OLSQ2's result equals the generator's known optimum. *)
+
+open Bench_common
+module Sabre = Olsq2_heuristic.Sabre
+
+type row = { device : Coupling.t; circuit : Circuit.t; swap_duration : int; known_depth : int option }
+
+let rows () =
+  let sycamore = Devices.sycamore54 and aspen = Devices.aspen4 and eagle = Devices.eagle127 in
+  let qx2 = Devices.qx2 in
+  let base =
+    [
+      (* arithmetic circuits (paper: QFT/tof/barenco ladders) *)
+      { device = aspen; circuit = B.Standard.qft 4; swap_duration = 3; known_depth = None };
+      { device = aspen; circuit = B.Standard.tof 3; swap_duration = 3; known_depth = None };
+      { device = qx2; circuit = B.Standard.barenco_tof 3; swap_duration = 3; known_depth = None };
+      (* QAOA on Sycamore *)
+      { device = sycamore; circuit = B.Qaoa.random ~seed:108 8; swap_duration = 1; known_depth = None };
+      { device = sycamore; circuit = B.Qaoa.random ~seed:112 12; swap_duration = 1; known_depth = None };
+      (* QUEKO: known-optimal depth *)
+      {
+        device = sycamore;
+        circuit = B.Queko.generate_counts ~seed:54 sycamore ~depth:3 ~total_gates:60 ();
+        swap_duration = 3;
+        known_depth = Some 3;
+      };
+      {
+        device = aspen;
+        circuit = B.Queko.generate_counts ~seed:16 aspen ~depth:3 ~total_gates:12 ();
+        swap_duration = 3;
+        known_depth = Some 3;
+      };
+      {
+        device = aspen;
+        circuit = B.Queko.generate_counts ~seed:17 aspen ~depth:4 ~total_gates:16 ();
+        swap_duration = 3;
+        known_depth = Some 4;
+      };
+      {
+        device = aspen;
+        circuit = B.Queko.generate_counts ~seed:18 aspen ~depth:5 ~total_gates:20 ();
+        swap_duration = 3;
+        known_depth = Some 5;
+      };
+      (* 127-qubit Eagle: a solvable chain workload plus one honest
+         hard-QAOA row (the paper's Eagle rows took hours on Z3 too) *)
+      { device = eagle; circuit = B.Standard.ising ~qubits:8 ~steps:2; swap_duration = 3; known_depth = None };
+      { device = eagle; circuit = B.Qaoa.random ~seed:127 8; swap_duration = 1; known_depth = None };
+    ]
+  in
+  if full_scale () then
+    base
+    @ [
+        {
+          device = sycamore;
+          circuit = B.Queko.generate_counts ~seed:55 sycamore ~depth:5 ~total_gates:100 ();
+          swap_duration = 3;
+          known_depth = Some 5;
+        };
+        {
+          device = eagle;
+          circuit = B.Queko.generate_counts ~seed:127 eagle ~depth:3 ~total_gates:40 ();
+          swap_duration = 3;
+          known_depth = Some 3;
+        };
+        { device = sycamore; circuit = B.Standard.qft 4; swap_duration = 3; known_depth = None };
+      ]
+  else base
+
+let run () =
+  hr "Table III: depth optimization, SABRE vs OLSQ2";
+  Printf.printf "%-10s %-22s %8s %8s %8s %10s\n" "device" "benchmark" "SABRE" "OLSQ2" "ratio"
+    "optimal?";
+  let ratios = ref [] in
+  List.iter
+    (fun row ->
+      let inst = Core.Instance.make ~swap_duration:row.swap_duration row.circuit row.device in
+      let sabre = Sabre.synthesize ~seed:7 inst in
+      assert (Core.Validate.is_valid inst sabre);
+      let outcome =
+        (* our substrate's fastest OLSQ2 configuration (see Table I):
+           bit-vectors with the inverse-function channel *)
+        Core.Optimizer.minimize_depth ~config:Core.Config.olsq2_euf_bv
+          ~budget_seconds:(opt_budget ()) inst
+      in
+      let olsq2_s, note =
+        match outcome.Core.Optimizer.result with
+        | Some r ->
+          assert (Core.Validate.is_valid inst r);
+          let hit =
+            match row.known_depth with
+            | Some d when outcome.Core.Optimizer.optimal ->
+              if r.Core.Result_.depth = d then "hit-known-opt" else "MISSED-KNOWN-OPT"
+            | Some _ -> "budget"
+            | None -> if outcome.Core.Optimizer.optimal then "optimal" else "feasible"
+          in
+          (Some r.Core.Result_.depth, hit)
+        | None -> (None, "TO")
+      in
+      (match olsq2_s with
+      | Some d ->
+        let ratio = float_of_int sabre.Core.Result_.depth /. float_of_int d in
+        ratios := ratio :: !ratios;
+        Printf.printf "%-10s %-22s %8d %8d %8.2f %10s\n" row.device.Coupling.name
+          (Circuit.label row.circuit) sabre.Core.Result_.depth d ratio note
+      | None ->
+        Printf.printf "%-10s %-22s %8d %8s %8s %10s\n" row.device.Coupling.name
+          (Circuit.label row.circuit) sabre.Core.Result_.depth "TO" "-" note))
+    (rows ());
+  (match !ratios with
+  | [] -> ()
+  | rs -> Printf.printf "%-10s %-22s %8s %8s %8.2f\n" "" "Avg." "" "" (mean rs));
+  Printf.printf
+    "\nPaper (Table III): 6.66x average depth reduction over SABRE; on QUEKO rows OLSQ2\n\
+     always equals the known-optimal depth while SABRE misses by 4-17x.\n%!"

@@ -1,0 +1,109 @@
+(* Table IV reproduction: SWAP optimization, SABRE vs SATMap-style vs
+   TB-OLSQ2.
+
+   The paper reports inserted SWAP counts; TB-OLSQ2 wins every row
+   (paper averages: 109.65x fewer than SABRE, 12.42x fewer than SATMap),
+   QUEKO rows come out at zero SWAPs, and SATMap starts timing out on
+   the larger QAOA instances.  Same protocol here at reduced sizes. *)
+
+open Bench_common
+module Sabre = Olsq2_heuristic.Sabre
+module Satmap = Olsq2_satmap.Satmap
+
+type row = { device : Coupling.t; circuit : Circuit.t; swap_duration : int }
+
+let rows () =
+  let sycamore = Devices.sycamore54 and aspen = Devices.aspen4 in
+  let base =
+    [
+      (* arithmetic circuits *)
+      { device = aspen; circuit = B.Standard.qft 4; swap_duration = 3 };
+      { device = aspen; circuit = B.Standard.tof 3; swap_duration = 3 };
+      { device = Devices.qx2; circuit = B.Standard.barenco_tof 3; swap_duration = 3 };
+      (* Ising chain and QAOA on Sycamore *)
+      { device = sycamore; circuit = B.Standard.ising ~qubits:6 ~steps:4; swap_duration = 3 };
+      { device = sycamore; circuit = B.Qaoa.random ~seed:108 8; swap_duration = 1 };
+      (* QUEKO rows: TB-OLSQ2 should reach 0 SWAPs; the SATMap-style
+         baseline times out here exactly as SATMap does in the paper *)
+      {
+        device = sycamore;
+        circuit = B.Queko.generate_counts ~seed:54 sycamore ~depth:3 ~total_gates:60 ();
+        swap_duration = 3;
+      };
+      {
+        device = aspen;
+        circuit = B.Queko.generate_counts ~seed:16 aspen ~depth:3 ~total_gates:12 ();
+        swap_duration = 3;
+      };
+      {
+        device = aspen;
+        circuit = B.Queko.generate_counts ~seed:17 aspen ~depth:4 ~total_gates:16 ();
+        swap_duration = 3;
+      };
+      {
+        device = aspen;
+        circuit = B.Queko.generate_counts ~seed:18 aspen ~depth:5 ~total_gates:20 ();
+        swap_duration = 3;
+      };
+      {
+        device = Devices.eagle127;
+        circuit = B.Queko.generate_counts ~seed:127 Devices.eagle127 ~depth:3 ~total_gates:40 ();
+        swap_duration = 3;
+      };
+    ]
+  in
+  if full_scale () then
+    base
+    @ [
+        { device = sycamore; circuit = B.Qaoa.random ~seed:110 10; swap_duration = 1 };
+        { device = sycamore; circuit = B.Qaoa.random ~seed:116 16; swap_duration = 1 };
+        {
+          device = sycamore;
+          circuit = B.Queko.generate_counts ~seed:55 sycamore ~depth:5 ~total_gates:100 ();
+          swap_duration = 3;
+        };
+      ]
+  else base
+
+(* Paper convention: zero-SWAP rows count as 1 in the ratio average. *)
+let ratio_vs a b = float_of_int (max a 1) /. float_of_int (max b 1)
+
+let run () =
+  hr "Table IV: SWAP optimization, SABRE vs SATMap-style vs TB-OLSQ2";
+  Printf.printf "%-10s %-22s %8s %8s %10s\n" "device" "benchmark" "SABRE" "SATMap" "TB-OLSQ2";
+  let sabre_ratios = ref [] and satmap_ratios = ref [] in
+  List.iter
+    (fun row ->
+      let inst = Core.Instance.make ~swap_duration:row.swap_duration row.circuit row.device in
+      let sabre = Sabre.synthesize ~seed:7 inst in
+      assert (Core.Validate.is_valid inst sabre);
+      let satmap = Satmap.synthesize ~budget_seconds:(opt_budget ()) inst in
+      let tb = Core.Optimizer.tb_minimize_swaps ~budget_seconds:(opt_budget ()) inst in
+      let satmap_str =
+        match satmap.Satmap.result with
+        | Some r ->
+          assert (Core.Validate.is_valid inst r);
+          string_of_int r.Core.Result_.swap_count
+        | None -> "TO"
+      in
+      (match tb.Core.Optimizer.tb_result with
+      | Some r ->
+        assert (Core.Validate.is_valid inst r.Core.Tb_encoder.expanded);
+        let t = r.Core.Tb_encoder.swap_count in
+        sabre_ratios := ratio_vs sabre.Core.Result_.swap_count t :: !sabre_ratios;
+        (match satmap.Satmap.result with
+        | Some sm -> satmap_ratios := ratio_vs sm.Core.Result_.swap_count t :: !satmap_ratios
+        | None -> ());
+        Printf.printf "%-10s %-22s %8d %8s %10d\n" row.device.Coupling.name
+          (Circuit.label row.circuit) sabre.Core.Result_.swap_count satmap_str t
+      | None ->
+        Printf.printf "%-10s %-22s %8d %8s %10s\n" row.device.Coupling.name
+          (Circuit.label row.circuit) sabre.Core.Result_.swap_count satmap_str "TO"))
+    (rows ());
+  Printf.printf "%-10s %-22s %8s %8s\n" "" "Avg. ratio vs TB-OLSQ2"
+    (match !sabre_ratios with [] -> "-" | rs -> Printf.sprintf "%.2f" (mean rs))
+    (match !satmap_ratios with [] -> "-" | rs -> Printf.sprintf "%.2f" (mean rs));
+  Printf.printf
+    "\nPaper (Table IV): SABRE 109.65x and SATMap 12.42x the TB-OLSQ2 SWAP count on\n\
+     average; all QUEKO rows reach 0 SWAPs under TB-OLSQ2; SATMap hits OOM/TO on the\n\
+     larger QAOA instances.\n%!"

@@ -1,0 +1,209 @@
+(* olsq2: command-line layout synthesis.
+
+   Subcommands:
+     synth     synthesize a circuit onto a device (OLSQ2 / TB-OLSQ2 /
+               SABRE / SATMap-style), validate, report, optionally emit
+               the mapped OpenQASM
+     generate  write a benchmark circuit as OpenQASM
+     devices   list built-in coupling graphs *)
+
+module Core = Olsq2_core
+module Devices = Olsq2_device.Devices
+module Coupling = Olsq2_device.Coupling
+module Circuit = Olsq2_circuit.Circuit
+module Qasm = Olsq2_circuit.Qasm
+module Suite = Olsq2_benchgen.Suite
+module Sabre = Olsq2_heuristic.Sabre
+module Astar = Olsq2_heuristic.Astar_router
+module Satmap = Olsq2_satmap.Satmap
+open Cmdliner
+
+(* ---- shared arguments ---- *)
+
+let circuit_arg =
+  let doc =
+    "Circuit spec: qaoa:N[:SEED], qft:N, tof:K, barenco_tof:K, ising:N[:STEPS], toffoli, \
+     queko:DEPTH:GATES[:SEED], or file:PATH (OpenQASM 2)."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+
+let device_arg =
+  let doc = "Target device: qx2, aspen-4, sycamore, eagle, or grid-RxC." in
+  Arg.(value & opt string "qx2" & info [ "d"; "device" ] ~docv:"DEVICE" ~doc)
+
+let budget_arg =
+  let doc = "Time budget in seconds for the optimization loop." in
+  Arg.(value & opt (some float) None & info [ "b"; "budget" ] ~docv:"SECONDS" ~doc)
+
+let swap_duration_arg =
+  let doc = "SWAP gate duration in time steps (default: 1 for QAOA, 3 otherwise)." in
+  Arg.(value & opt (some int) None & info [ "swap-duration" ] ~docv:"STEPS" ~doc)
+
+let objective_arg =
+  let doc = "Objective: depth or swap." in
+  Arg.(value & opt (enum [ ("depth", `Depth); ("swap", `Swap) ]) `Depth & info [ "o"; "objective" ] ~doc)
+
+let method_arg =
+  let doc =
+    "Synthesis method: olsq2 (exact), tb (transition-based), sabre, astar, satmap, or \
+     portfolio (parallel arms racing on separate cores)."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("olsq2", `Olsq2); ("tb", `Tb); ("sabre", `Sabre); ("astar", `Astar);
+             ("satmap", `Satmap); ("portfolio", `Portfolio);
+           ])
+        `Olsq2
+    & info [ "m"; "method" ] ~doc)
+
+let warm_start_arg =
+  let doc = "Seed the SWAP descent with SABRE's count first (exact swap objective only)." in
+  Arg.(value & flag & info [ "warm-start" ] ~doc)
+
+let config_arg =
+  let configs =
+    [
+      ("olsq-int", Core.Config.olsq_int);
+      ("olsq-bv", Core.Config.olsq_bv);
+      ("olsq2-int", Core.Config.olsq2_int);
+      ("olsq2-euf-int", Core.Config.olsq2_euf_int);
+      ("olsq2-euf-bv", Core.Config.olsq2_euf_bv);
+      ("olsq2-bv", Core.Config.olsq2_bv);
+    ]
+  in
+  let doc = "Encoding configuration (Table I naming)." in
+  Arg.(value & opt (enum configs) Core.Config.default & info [ "c"; "config" ] ~doc)
+
+let output_arg =
+  let doc = "Write the mapped physical circuit as OpenQASM to this file." in
+  Arg.(value & opt (some string) None & info [ "output" ] ~docv:"FILE" ~doc)
+
+(* ---- synth ---- *)
+
+let run_synth circuit_spec device_name budget swap_duration objective method_ config warm output =
+  let device = Devices.by_name device_name in
+  let circuit = Suite.parse_spec ~device circuit_spec in
+  let swap_duration =
+    match swap_duration with Some sd -> sd | None -> Suite.swap_duration_for circuit
+  in
+  let instance = Core.Instance.make ~swap_duration circuit device in
+  Printf.printf "circuit: %s   device: %s   swap duration: %d\n" (Circuit.label circuit)
+    device.Coupling.name swap_duration;
+  Printf.printf "T_LB (longest dependency chain) = %d\n%!" (Core.Instance.depth_lower_bound instance);
+  let finish result =
+    match result with
+    | None ->
+      Printf.printf "no solution found within the budget\n";
+      1
+    | Some r ->
+      print_string (Core.Export.report instance r);
+      (match Core.Validate.check instance r with
+      | [] -> Printf.printf "validation: OK\n"
+      | vs ->
+        Printf.printf "validation: %d violations\n" (List.length vs);
+        List.iter (fun v -> Printf.printf "  %s\n" (Core.Validate.violation_to_string v)) vs);
+      (match output with
+      | None -> ()
+      | Some path ->
+        Qasm.write_file path (Core.Export.physical_circuit instance r);
+        Printf.printf "mapped circuit written to %s\n" path);
+      0
+  in
+  match method_ with
+  | `Olsq2 -> (
+    match objective with
+    | `Depth ->
+      let o = Core.Optimizer.minimize_depth ~config ?budget_seconds:budget instance in
+      finish o.Core.Optimizer.result
+    | `Swap ->
+      let warm_start =
+        if warm then Some (Sabre.synthesize instance).Core.Result_.swap_count else None
+      in
+      let o = Core.Optimizer.minimize_swaps ~config ?budget_seconds:budget ?warm_start instance in
+      finish o.Core.Optimizer.result)
+  | `Tb -> (
+    let o =
+      match objective with
+      | `Depth -> Core.Optimizer.tb_minimize_blocks ~config ?budget_seconds:budget instance
+      | `Swap -> Core.Optimizer.tb_minimize_swaps ~config ?budget_seconds:budget instance
+    in
+    match o.Core.Optimizer.tb_result with
+    | Some tbr ->
+      Printf.printf "blocks used: %d\n" tbr.Core.Tb_encoder.blocks;
+      finish (Some tbr.Core.Tb_encoder.expanded)
+    | None -> finish None)
+  | `Sabre -> finish (Some (Sabre.synthesize instance))
+  | `Astar -> finish (Astar.synthesize instance)
+  | `Satmap ->
+    let o = Satmap.synthesize ?budget_seconds:budget instance in
+    finish o.Satmap.result
+  | `Portfolio ->
+    let objective =
+      match objective with `Depth -> Core.Portfolio.Depth | `Swap -> Core.Portfolio.Swaps
+    in
+    let report = Core.Portfolio.run ?budget_seconds:budget objective instance in
+    List.iter
+      (fun (arm : Core.Portfolio.arm_outcome) ->
+        Printf.printf "arm %-18s %6.1fs %s\n" arm.Core.Portfolio.arm.Core.Portfolio.arm_name
+          arm.Core.Portfolio.seconds
+          (match arm.Core.Portfolio.result with
+          | Some r ->
+            Printf.sprintf "depth=%d swaps=%d%s" r.Core.Result_.depth r.Core.Result_.swap_count
+              (if arm.Core.Portfolio.optimal then " (optimal)" else "")
+          | None -> "no result"))
+      report.Core.Portfolio.arms;
+    (match report.Core.Portfolio.winner with
+    | Some w ->
+      Printf.printf "winner: %s\n" w.Core.Portfolio.arm.Core.Portfolio.arm_name;
+      finish w.Core.Portfolio.result
+    | None -> finish None)
+
+let synth_cmd =
+  let doc = "Synthesize a circuit layout for a quantum device." in
+  Cmd.v
+    (Cmd.info "synth" ~doc)
+    Term.(
+      const run_synth $ circuit_arg $ device_arg $ budget_arg $ swap_duration_arg $ objective_arg
+      $ method_arg $ config_arg $ warm_start_arg $ output_arg)
+
+(* ---- generate ---- *)
+
+let run_generate circuit_spec device_name output =
+  let device = Devices.by_name device_name in
+  let circuit = Suite.parse_spec ~device circuit_spec in
+  let text = Qasm.print circuit in
+  (match output with
+  | None -> print_string text
+  | Some path ->
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc;
+    Printf.printf "%s written to %s\n" (Circuit.label circuit) path);
+  0
+
+let generate_cmd =
+  let doc = "Generate a benchmark circuit as OpenQASM 2." in
+  Cmd.v (Cmd.info "generate" ~doc) Term.(const run_generate $ circuit_arg $ device_arg $ output_arg)
+
+(* ---- devices ---- *)
+
+let run_devices () =
+  List.iter
+    (fun name ->
+      let d = Devices.by_name name in
+      Printf.printf "%-10s %3d qubits  %3d edges  diameter %d\n" name d.Coupling.num_qubits
+        (Coupling.num_edges d) (Coupling.diameter d))
+    Devices.all_names;
+  0
+
+let devices_cmd =
+  let doc = "List built-in coupling graphs." in
+  Cmd.v (Cmd.info "devices" ~doc) Term.(const run_devices $ const ())
+
+let () =
+  let doc = "scalable optimal layout synthesis for NISQ quantum processors (OLSQ2)" in
+  let info = Cmd.info "olsq2" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ synth_cmd; generate_cmd; devices_cmd ]))

@@ -1,0 +1,38 @@
+(* Parallel portfolio synthesis (the paper's §V future direction).
+
+   Several encoding/model arms race on separate cores: the full
+   bit-vector model, a totalizer-cardinality variant, and the
+   transition-based model.  The best valid result wins; per-arm timings
+   show the portfolio effect (latency = fastest arm, quality = best arm).
+
+   Run with:  dune exec examples/portfolio_synthesis.exe *)
+
+module Core = Olsq2_core
+module Devices = Olsq2_device.Devices
+module Qaoa = Olsq2_benchgen.Qaoa
+
+let () =
+  let circuit = Qaoa.random ~seed:42 8 in
+  let device = Devices.grid 3 3 in
+  let instance = Core.Instance.make ~swap_duration:1 circuit device in
+  Format.printf "Instance: %s@.@." (Core.Instance.label instance);
+  let report = Core.Portfolio.run ~budget_seconds:120.0 Core.Portfolio.Swaps instance in
+  Format.printf "%-22s %8s %8s %8s %9s@." "arm" "time(s)" "depth" "swaps" "optimal";
+  List.iter
+    (fun (arm : Core.Portfolio.arm_outcome) ->
+      match arm.Core.Portfolio.result with
+      | Some r ->
+        Format.printf "%-22s %8.2f %8d %8d %9b@." arm.Core.Portfolio.arm.Core.Portfolio.arm_name
+          arm.Core.Portfolio.seconds r.Core.Result_.depth r.Core.Result_.swap_count
+          arm.Core.Portfolio.optimal
+      | None ->
+        Format.printf "%-22s %8.2f %8s %8s %9s@." arm.Core.Portfolio.arm.Core.Portfolio.arm_name
+          arm.Core.Portfolio.seconds "-" "-" "-")
+    report.Core.Portfolio.arms;
+  match report.Core.Portfolio.winner with
+  | Some w ->
+    let r = Option.get w.Core.Portfolio.result in
+    Core.Validate.check_exn instance r;
+    Format.printf "@.Winner: %s with %d SWAPs (validated)@."
+      w.Core.Portfolio.arm.Core.Portfolio.arm_name r.Core.Result_.swap_count
+  | None -> Format.printf "@.No arm produced a result within the budget.@."

@@ -1,0 +1,48 @@
+(* Quickstart: synthesize the paper's running example (a Toffoli gate with
+   one ancilla, Fig. 2) onto IBM QX2 (Fig. 3), optimally for depth and for
+   SWAP count, then validate and print the mapped circuit.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Core = Olsq2_core
+module Devices = Olsq2_device.Devices
+module Standard = Olsq2_benchgen.Standard
+module Qasm = Olsq2_circuit.Qasm
+
+let () =
+  (* 1. the inputs: a quantum program and a coupling graph *)
+  let circuit = Standard.toffoli_example () in
+  let device = Devices.qx2 in
+  let instance = Core.Instance.make ~swap_duration:3 circuit device in
+  Format.printf "Input: %a on %a@." Olsq2_circuit.Circuit.pp circuit Olsq2_device.Coupling.pp
+    device;
+  Format.printf "Depth lower bound (longest dependency chain): %d@."
+    (Core.Instance.depth_lower_bound instance);
+
+  (* 2. depth-optimal synthesis *)
+  let depth_outcome = Core.Optimizer.minimize_depth instance in
+  (match depth_outcome.Core.Optimizer.result with
+  | Some r ->
+    Format.printf "@.Depth-optimal: %a@." Core.Result_.pp r;
+    Core.Validate.check_exn instance r
+  | None -> failwith "depth synthesis failed");
+
+  (* 3. SWAP-optimal synthesis (2-D depth/SWAP refinement) *)
+  let swap_outcome = Core.Optimizer.minimize_swaps instance in
+  (match swap_outcome.Core.Optimizer.result with
+  | Some r ->
+    Format.printf "@.SWAP-optimal: %a@." Core.Result_.pp r;
+    Core.Validate.check_exn instance r;
+    Format.printf "@.Synthesis report:@.%s" (Core.Export.report instance r);
+    Format.printf "@.Mapped physical circuit (OpenQASM 2):@.%s"
+      (Qasm.print (Core.Export.physical_circuit instance r))
+  | None -> failwith "swap synthesis failed");
+
+  (* 4. the transition-based variant (TB-OLSQ2) *)
+  let tb = Core.Optimizer.tb_minimize_swaps instance in
+  match tb.Core.Optimizer.tb_result with
+  | Some r ->
+    Format.printf "@.TB-OLSQ2: %d blocks, %d SWAPs (near-optimal, much faster on big inputs)@."
+      r.Core.Tb_encoder.blocks r.Core.Tb_encoder.swap_count;
+    Core.Validate.check_exn instance r.Core.Tb_encoder.expanded
+  | None -> failwith "TB synthesis failed"

@@ -1,0 +1,60 @@
+(* Random regular graphs for QAOA benchmarks.
+
+   The paper uses networkx's random 3-regular graphs; we implement the
+   same pairing (configuration) model with rejection of self-loops and
+   multi-edges, over the deterministic SplitMix64 RNG. *)
+
+module Rng = Olsq2_util.Rng
+
+(* One pairing-model attempt: shuffle d copies of every vertex and pair
+   consecutive stubs.  [None] on self-loop or duplicate edge. *)
+let attempt rng n d =
+  let stubs = Array.init (n * d) (fun i -> i / d) in
+  Rng.shuffle rng stubs;
+  let seen = Hashtbl.create (n * d) in
+  let rec pair i acc =
+    if i >= Array.length stubs then Some (List.rev acc)
+    else begin
+      let u = stubs.(i) and v = stubs.(i + 1) in
+      let key = (min u v, max u v) in
+      if u = v || Hashtbl.mem seen key then None
+      else begin
+        Hashtbl.add seen key ();
+        pair (i + 2) (key :: acc)
+      end
+    end
+  in
+  pair 0 []
+
+(* Random d-regular graph on n vertices as an edge list.  Requires n*d
+   even and d < n. *)
+let random_regular rng ~n ~d =
+  if n * d mod 2 <> 0 then invalid_arg "Graphgen.random_regular: n*d must be even";
+  if d >= n then invalid_arg "Graphgen.random_regular: need d < n";
+  let rec retry k =
+    if k > 10_000 then failwith "Graphgen.random_regular: too many rejections"
+    else
+      match attempt rng n d with
+      | Some edges -> edges
+      | None -> retry (k + 1)
+  in
+  retry 0
+
+(* Erdos-Renyi G(n, m): m distinct edges chosen uniformly. *)
+let random_gnm rng ~n ~m =
+  let max_edges = n * (n - 1) / 2 in
+  if m > max_edges then invalid_arg "Graphgen.random_gnm: too many edges";
+  let seen = Hashtbl.create (2 * m) in
+  let rec draw acc k =
+    if k = m then List.rev acc
+    else begin
+      let u = Rng.int rng n and v = Rng.int rng n in
+      let key = (min u v, max u v) in
+      if u = v || Hashtbl.mem seen key then draw acc k
+      else begin
+        Hashtbl.add seen key ();
+        draw (key :: acc) (k + 1)
+      end
+    end
+  in
+  draw [] 0

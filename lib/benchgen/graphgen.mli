@@ -1,0 +1,10 @@
+(** Random graph generation for benchmark circuits. *)
+
+module Rng = Olsq2_util.Rng
+
+(** Random d-regular graph (pairing model with rejection); requires
+    [n * d] even and [d < n]. *)
+val random_regular : Rng.t -> n:int -> d:int -> (int * int) list
+
+(** G(n, m): m distinct uniform edges. *)
+val random_gnm : Rng.t -> n:int -> m:int -> (int * int) list

@@ -1,0 +1,33 @@
+(* QAOA phase-splitting benchmark circuits (paper §IV).
+
+   One layer of the QAOA phase-separation operator for a MaxCut instance
+   on a random 3-regular graph: a ZZ interaction per graph edge.  A graph
+   on n vertices has 3n/2 edges, matching the paper's QAOA(n / 1.5n)
+   sizes, e.g. QAOA(16/24). *)
+
+module Circuit = Olsq2_circuit.Circuit
+module Rng = Olsq2_util.Rng
+
+(* Circuit from an explicit edge list (one two-qubit "zz" gate per edge). *)
+let of_edges ~num_qubits edges =
+  let b = Circuit.builder num_qubits in
+  List.iter (fun (u, v) -> Circuit.add2p b "rzz" 0.5 u v) edges;
+  Circuit.build b ~name:"QAOA"
+
+(* Random 3-regular QAOA circuit on [n] qubits (n even). *)
+let random ?(degree = 3) ~seed n =
+  let rng = Rng.create seed in
+  let edges = Graphgen.random_regular rng ~n ~d:degree in
+  of_edges ~num_qubits:n edges
+
+(* Full QAOA layer including the mixing operator (an RX per qubit), for
+   example programs that want a complete ansatz round. *)
+let random_with_mixer ?(degree = 3) ~seed n =
+  let rng = Rng.create seed in
+  let edges = Graphgen.random_regular rng ~n ~d:degree in
+  let b = Circuit.builder n in
+  List.iter (fun (u, v) -> Circuit.add2p b "rzz" 0.5 u v) edges;
+  for q = 0 to n - 1 do
+    Circuit.add1p b "rx" 0.7 q
+  done;
+  Circuit.build b ~name:"QAOA+mixer"

@@ -1,0 +1,14 @@
+(** QAOA phase-splitting benchmark circuits over random 3-regular graphs
+    (paper §IV): one ZZ interaction per graph edge. *)
+
+module Circuit = Olsq2_circuit.Circuit
+
+(** One two-qubit gate per edge. *)
+val of_edges : num_qubits:int -> (int * int) list -> Circuit.t
+
+(** Random [degree]-regular (default 3) QAOA circuit on [n] qubits;
+    [n * degree] must be even. *)
+val random : ?degree:int -> seed:int -> int -> Circuit.t
+
+(** Full QAOA round including the RX mixer layer. *)
+val random_with_mixer : ?degree:int -> seed:int -> int -> Circuit.t

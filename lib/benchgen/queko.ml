@@ -1,0 +1,87 @@
+(* QUEKO-style benchmarks with known-optimal depth (Tan & Cong [8]).
+
+   Construction: schedule gates directly on the device for [depth] cycles
+   -- each cycle holds a set of two-qubit gates on disjoint coupling edges
+   plus single-qubit gates on free qubits -- while threading a dependency
+   "backbone": consecutive cycles share a qubit, so the longest dependency
+   chain is exactly [depth].  Finally the qubit names are scrambled by a
+   random permutation.
+
+   Properties (what Tables III/IV rely on):
+   - the inverse permutation is an initial mapping that executes the
+     circuit with zero SWAPs in exactly [depth] cycles;
+   - no schedule can beat [depth] (the dependency chain), so the optimal
+     depth is *known* and a depth-optimal synthesizer must hit it. *)
+
+module Circuit = Olsq2_circuit.Circuit
+module Coupling = Olsq2_device.Coupling
+module Rng = Olsq2_util.Rng
+
+type spec = {
+  depth : int;
+  gates_per_cycle : int; (* target number of gates per cycle *)
+  two_qubit_fraction : float; (* fraction of the cycle's gates that are 2q *)
+}
+
+(* The paper's QUEKO rows, e.g. QUEKO(54/192) with depth 5 on Sycamore:
+   192 gates / 5 cycles.  [of_counts] derives a spec from the label. *)
+let of_counts ~depth ~total_gates ?(two_qubit_fraction = 0.5) () =
+  {
+    depth;
+    gates_per_cycle = max 1 ((total_gates + depth - 1) / depth);
+    two_qubit_fraction;
+  }
+
+let generate ~seed (device : Coupling.t) spec =
+  let rng = Rng.create seed in
+  let np = device.Coupling.num_qubits in
+  let b = Circuit.builder np in
+  (* backbone qubit threading the dependency chain *)
+  let backbone = ref (Rng.int rng np) in
+  for _cycle = 0 to spec.depth - 1 do
+    let busy = Array.make np false in
+    let cycle_gates = ref 0 in
+    let add_two p p' =
+      busy.(p) <- true;
+      busy.(p') <- true;
+      incr cycle_gates;
+      Circuit.add2 b "cx" p p'
+    in
+    let add_one p =
+      busy.(p) <- true;
+      incr cycle_gates;
+      Circuit.add1 b "u3" p
+    in
+    (* 1. backbone gate: prefer a two-qubit gate so the chain can move *)
+    let neighbors = Array.of_list (Coupling.neighbors device !backbone) in
+    if Array.length neighbors > 0 then begin
+      let n = Rng.pick rng neighbors in
+      add_two !backbone n;
+      backbone := if Rng.bool rng then n else !backbone
+    end
+    else add_one !backbone;
+    (* 2. fill the cycle up to the density targets *)
+    let want_two =
+      int_of_float (Float.round (spec.two_qubit_fraction *. float_of_int spec.gates_per_cycle))
+    in
+    let edges = Array.copy device.Coupling.edges in
+    Rng.shuffle rng edges;
+    Array.iter
+      (fun (p, p') ->
+        if !cycle_gates < want_two && (not busy.(p)) && not busy.(p') then add_two p p')
+      edges;
+    let qubits = Array.init np (fun i -> i) in
+    Rng.shuffle rng qubits;
+    Array.iter
+      (fun p -> if !cycle_gates < spec.gates_per_cycle && not busy.(p) then add_one p)
+      qubits
+  done;
+  let scrambled = Array.init np (fun i -> i) in
+  Rng.shuffle rng scrambled;
+  let circuit = Circuit.build b ~name:"QUEKO" in
+  Circuit.rename_qubits circuit ~num_qubits:np (fun q -> scrambled.(q))
+
+(* Generate by paper-style label parameters: target total gates at a known
+   optimal depth. *)
+let generate_counts ~seed device ~depth ~total_gates ?two_qubit_fraction () =
+  generate ~seed device (of_counts ~depth ~total_gates ?two_qubit_fraction ())

@@ -1,0 +1,20 @@
+(** QUEKO-style benchmarks with known-optimal depth (Tan & Cong):
+    circuits constructed directly on a device so that a zero-SWAP,
+    depth-[depth] schedule exists, and no schedule can do better. *)
+
+module Circuit = Olsq2_circuit.Circuit
+module Coupling = Olsq2_device.Coupling
+
+type spec = { depth : int; gates_per_cycle : int; two_qubit_fraction : float }
+
+val of_counts : depth:int -> total_gates:int -> ?two_qubit_fraction:float -> unit -> spec
+val generate : seed:int -> Coupling.t -> spec -> Circuit.t
+
+val generate_counts :
+  seed:int ->
+  Coupling.t ->
+  depth:int ->
+  total_gates:int ->
+  ?two_qubit_fraction:float ->
+  unit ->
+  Circuit.t

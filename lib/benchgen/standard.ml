@@ -1,0 +1,143 @@
+(* Standard arithmetic/algorithm benchmark circuits (paper Table III/IV):
+   QFT, multi-controlled Toffoli ladders (plain and Barenco-style
+   decompositions), and trotterized 1D Ising evolution.
+
+   Decompositions are the textbook ones; absolute gate counts differ
+   slightly from the Qiskit-transpiled versions the paper used, but qubit
+   counts and structure (and hence routing difficulty) match. *)
+
+module Circuit = Olsq2_circuit.Circuit
+
+(* ---- QFT ---- *)
+
+(* Controlled-phase lowered to {CX, RZ}: CP(a,b;th) ~ RZ(th/2) b;
+   CX a b; RZ(-th/2) b; CX a b; RZ(th/2) a. *)
+let add_cp b theta a b' =
+  Circuit.add1p b "rz" (theta /. 2.0) b';
+  Circuit.add2 b "cx" a b';
+  Circuit.add1p b "rz" (-.theta /. 2.0) b';
+  Circuit.add2 b "cx" a b';
+  Circuit.add1p b "rz" (theta /. 2.0) a
+
+let qft n =
+  let b = Circuit.builder n in
+  for i = 0 to n - 1 do
+    Circuit.add1 b "h" i;
+    for j = i + 1 to n - 1 do
+      let theta = Float.pi /. float_of_int (1 lsl (j - i)) in
+      add_cp b theta j i
+    done
+  done;
+  Circuit.build b ~name:"QFT"
+
+(* ---- Toffoli ladders ---- *)
+
+(* Full 15-gate Toffoli (paper Fig. 2's decomposition, 6 CX). *)
+let add_ccx b c1 c2 t =
+  Circuit.add1 b "h" t;
+  Circuit.add2 b "cx" c2 t;
+  Circuit.add1 b "tdg" t;
+  Circuit.add2 b "cx" c1 t;
+  Circuit.add1 b "t" t;
+  Circuit.add2 b "cx" c2 t;
+  Circuit.add1 b "tdg" t;
+  Circuit.add2 b "cx" c1 t;
+  Circuit.add1 b "t" c2;
+  Circuit.add1 b "t" t;
+  Circuit.add2 b "cx" c1 c2;
+  Circuit.add1 b "h" t;
+  Circuit.add1 b "t" c1;
+  Circuit.add1 b "tdg" c2;
+  Circuit.add2 b "cx" c1 c2
+
+(* Margolus (relative-phase) Toffoli: 3 CX + 4 RY.  Usable for the
+   uncomputed intermediate steps of a V-chain. *)
+let add_rccx b c1 c2 t =
+  Circuit.add1p b "ry" (Float.pi /. 4.0) t;
+  Circuit.add2 b "cx" c2 t;
+  Circuit.add1p b "ry" (Float.pi /. 4.0) t;
+  Circuit.add2 b "cx" c1 t;
+  Circuit.add1p b "ry" (-.Float.pi /. 4.0) t;
+  Circuit.add2 b "cx" c2 t;
+  Circuit.add1p b "ry" (-.Float.pi /. 4.0) t
+
+(* k-controlled Toffoli via the V-chain with k-2 ancillas: qubit layout is
+   [controls 0..k-1][target k][ancillas k+1..2k-2].  Intermediate Toffolis
+   use the cheap relative-phase form; the middle one is exact.  This is
+   the "tof_k" family: tof_4 has 7 qubits, tof_5 has 9. *)
+let tof k =
+  if k < 3 then invalid_arg "Standard.tof: need at least 3 controls";
+  let n = (2 * k) - 1 in
+  let target = k in
+  let anc i = k + 1 + i in
+  let b = Circuit.builder n in
+  let chain_up () =
+    add_rccx b 0 1 (anc 0);
+    for i = 0 to k - 4 do
+      add_rccx b (2 + i) (anc i) (anc (i + 1))
+    done
+  in
+  chain_up ();
+  add_ccx b (k - 1) (anc (k - 3)) target;
+  (* uncompute *)
+  for i = k - 4 downto 0 do
+    add_rccx b (2 + i) (anc i) (anc (i + 1))
+  done;
+  add_rccx b 0 1 (anc 0);
+  Circuit.build b ~name:(Printf.sprintf "tof_%d" k)
+
+(* Barenco-style ladder: every Toffoli in the chain is the exact 15-gate
+   decomposition (heavier; the "barenco_tof_k" family). *)
+let barenco_tof k =
+  if k < 3 then invalid_arg "Standard.barenco_tof: need at least 3 controls";
+  let n = (2 * k) - 1 in
+  let target = k in
+  let anc i = k + 1 + i in
+  let b = Circuit.builder n in
+  add_ccx b 0 1 (anc 0);
+  for i = 0 to k - 4 do
+    add_ccx b (2 + i) (anc i) (anc (i + 1))
+  done;
+  add_ccx b (k - 1) (anc (k - 3)) target;
+  for i = k - 4 downto 0 do
+    add_ccx b (2 + i) (anc i) (anc (i + 1))
+  done;
+  add_ccx b 0 1 (anc 0);
+  Circuit.build b ~name:(Printf.sprintf "barenco_tof_%d" k)
+
+(* ---- Ising ---- *)
+
+(* Trotterized 1D transverse-field Ising evolution: per step, ZZ on every
+   chain edge then RX on every qubit.  ising_10 with ~25 steps matches the
+   paper's 480-gate instance. *)
+let ising ~qubits ~steps =
+  let b = Circuit.builder qubits in
+  for _ = 1 to steps do
+    for q = 0 to qubits - 2 do
+      Circuit.add2p b "rzz" 0.3 q (q + 1)
+    done;
+    for q = 0 to qubits - 1 do
+      Circuit.add1p b "rx" 0.9 q
+    done
+  done;
+  Circuit.build b ~name:(Printf.sprintf "ising_%d" qubits)
+
+(* Toffoli with one ancilla (paper Fig. 2): the running example. *)
+let toffoli_example () =
+  let b = Circuit.builder 4 in
+  Circuit.add1 b "h" 3;
+  Circuit.add2 b "cx" 2 3;
+  Circuit.add1 b "tdg" 3;
+  Circuit.add2 b "cx" 0 3;
+  Circuit.add1 b "t" 3;
+  Circuit.add2 b "cx" 2 3;
+  Circuit.add1 b "tdg" 3;
+  Circuit.add2 b "cx" 0 3;
+  Circuit.add1 b "t" 2;
+  Circuit.add1 b "t" 3;
+  Circuit.add2 b "cx" 0 2;
+  Circuit.add1 b "h" 3;
+  Circuit.add1 b "t" 0;
+  Circuit.add1 b "tdg" 2;
+  Circuit.add2 b "cx" 0 2;
+  Circuit.build b ~name:"toffoli"

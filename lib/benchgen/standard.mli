@@ -1,0 +1,21 @@
+(** Standard benchmark circuits of the paper's Tables III/IV: QFT,
+    multi-controlled Toffoli ladders and trotterized Ising evolution. *)
+
+module Circuit = Olsq2_circuit.Circuit
+
+(** n-qubit QFT with controlled-phases lowered to CX + RZ. *)
+val qft : int -> Circuit.t
+
+(** k-controlled Toffoli via a V-chain with k-2 ancillas (2k-1 qubits);
+    intermediate Toffolis use the cheap relative-phase form. *)
+val tof : int -> Circuit.t
+
+(** As {!tof} but with exact 15-gate Toffolis throughout (the heavier
+    Barenco-style ladder). *)
+val barenco_tof : int -> Circuit.t
+
+(** Trotterized 1D transverse-field Ising evolution. *)
+val ising : qubits:int -> steps:int -> Circuit.t
+
+(** The 15-gate Toffoli-with-ancilla running example (paper Fig. 2). *)
+val toffoli_example : unit -> Circuit.t

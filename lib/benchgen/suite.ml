@@ -1,0 +1,49 @@
+(* Named benchmark construction shared by the CLI, the examples and the
+   benchmark harness.
+
+   Spec grammar (colon-separated):
+     qaoa:<n>[:<seed>]          random 3-regular QAOA, n qubits
+     qft:<n>                    n-qubit QFT
+     tof:<k>                    k-controlled Toffoli ladder (2k-1 qubits)
+     barenco_tof:<k>            Barenco-style ladder
+     ising:<n>[:<steps>]        trotterized Ising chain
+     toffoli                    the 15-gate running example
+     queko:<depth>:<gates>[:<seed>]   QUEKO on the target device
+     file:<path>                OpenQASM 2 file
+   QUEKO needs the device, hence the [device] argument. *)
+
+module Circuit = Olsq2_circuit.Circuit
+module Coupling = Olsq2_device.Coupling
+module Qasm = Olsq2_circuit.Qasm
+
+let parse_spec ?device spec =
+  let parts = String.split_on_char ':' spec in
+  let int_at i default =
+    match List.nth_opt parts i with
+    | None -> default
+    | Some s -> (
+      match int_of_string_opt s with
+      | Some v -> v
+      | None -> invalid_arg (Printf.sprintf "Suite.parse_spec: bad integer %S in %S" s spec))
+  in
+  match parts with
+  | "qaoa" :: _ -> Qaoa.random ~seed:(int_at 2 1) (int_at 1 8)
+  | "qft" :: _ -> Standard.qft (int_at 1 4)
+  | "tof" :: _ -> Standard.tof (int_at 1 3)
+  | "barenco_tof" :: _ -> Standard.barenco_tof (int_at 1 3)
+  | "ising" :: _ -> Standard.ising ~qubits:(int_at 1 10) ~steps:(int_at 2 25)
+  | [ "toffoli" ] -> Standard.toffoli_example ()
+  | "queko" :: _ -> (
+    match device with
+    | None -> invalid_arg "Suite.parse_spec: queko specs need a device"
+    | Some d ->
+      Queko.generate_counts ~seed:(int_at 3 1) d ~depth:(int_at 1 5) ~total_gates:(int_at 2 15) ())
+  | [ "file"; path ] -> Qasm.parse_file path
+  | _ -> invalid_arg (Printf.sprintf "Suite.parse_spec: cannot parse %S" spec)
+
+(* Default SWAP duration convention from the paper: 1 for QAOA circuits,
+   3 otherwise. *)
+let swap_duration_for (c : Circuit.t) =
+  if String.length c.Circuit.name >= 4 && String.uppercase_ascii (String.sub c.Circuit.name 0 4) = "QAOA"
+  then 1
+  else 3

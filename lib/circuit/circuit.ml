@@ -1,0 +1,64 @@
+(* A quantum program: an ordered gate sequence over program qubits
+   (paper §II-A).  Gate order in the array is program order; the
+   dependency structure is derived by [Dag]. *)
+
+type t = { name : string; num_qubits : int; gates : Gate.t array }
+
+let make ~name ~num_qubits gates =
+  let gates = Array.of_list gates in
+  Array.iteri
+    (fun i (g : Gate.t) ->
+      if g.id <> i then invalid_arg "Circuit.make: gate ids must match positions";
+      List.iter
+        (fun q ->
+          if q >= num_qubits then
+            invalid_arg
+              (Printf.sprintf "Circuit.make: gate %d uses qubit %d >= %d" i q num_qubits))
+        (Gate.qubits g))
+    gates;
+  { name; num_qubits; gates }
+
+(* Builder that assigns ids sequentially. *)
+type builder = { mutable rev_gates : Gate.t list; mutable count : int; b_num_qubits : int }
+
+let builder num_qubits = { rev_gates = []; count = 0; b_num_qubits = num_qubits }
+
+let add_gate b ~name ?param operands =
+  let g = Gate.make ~id:b.count ~name ?param operands in
+  b.rev_gates <- g :: b.rev_gates;
+  b.count <- b.count + 1
+
+let add1 b name q = add_gate b ~name (Gate.One q)
+let add2 b name q q' = add_gate b ~name (Gate.Two (q, q'))
+let add1p b name param q = add_gate b ~name ~param (Gate.One q)
+let add2p b name param q q' = add_gate b ~name ~param (Gate.Two (q, q'))
+
+let build b ~name = make ~name ~num_qubits:b.b_num_qubits (List.rev b.rev_gates)
+
+let num_gates t = Array.length t.gates
+let gate t i = t.gates.(i)
+
+let two_qubit_gates t = Array.to_list t.gates |> List.filter Gate.is_two_qubit
+
+let single_qubit_gates t =
+  Array.to_list t.gates |> List.filter (fun g -> not (Gate.is_two_qubit g))
+
+let count_two_qubit t = List.length (two_qubit_gates t)
+
+(* Set of program qubits actually touched by at least one gate. *)
+let used_qubits t =
+  let used = Array.make t.num_qubits false in
+  Array.iter (fun g -> List.iter (fun q -> used.(q) <- true) (Gate.qubits g)) t.gates;
+  used
+
+(* Apply a program-qubit renaming. *)
+let rename_qubits t ~num_qubits f =
+  make ~name:t.name ~num_qubits
+    (Array.to_list (Array.map (Gate.rename_qubits f) t.gates))
+
+let pp fmt t =
+  Format.fprintf fmt "%s: %d qubits, %d gates (%d two-qubit)" t.name t.num_qubits (num_gates t)
+    (count_two_qubit t)
+
+(* Short label in the paper's convention, e.g. "QAOA(16/24)". *)
+let label t = Printf.sprintf "%s(%d/%d)" t.name t.num_qubits (num_gates t)

@@ -1,0 +1,32 @@
+(** Quantum programs: ordered gate sequences over program qubits. *)
+
+type t = private { name : string; num_qubits : int; gates : Gate.t array }
+
+(** Validates qubit ranges and sequential gate ids. *)
+val make : name:string -> num_qubits:int -> Gate.t list -> t
+
+(** Imperative builder assigning gate ids sequentially. *)
+type builder
+
+val builder : int -> builder
+val add_gate : builder -> name:string -> ?param:float -> Gate.operands -> unit
+val add1 : builder -> string -> int -> unit
+val add2 : builder -> string -> int -> int -> unit
+val add1p : builder -> string -> float -> int -> unit
+val add2p : builder -> string -> float -> int -> int -> unit
+val build : builder -> name:string -> t
+
+val num_gates : t -> int
+val gate : t -> int -> Gate.t
+val two_qubit_gates : t -> Gate.t list
+val single_qubit_gates : t -> Gate.t list
+val count_two_qubit : t -> int
+
+(** [used_qubits c] marks which program qubits appear in some gate. *)
+val used_qubits : t -> bool array
+
+val rename_qubits : t -> num_qubits:int -> (int -> int) -> t
+val pp : Format.formatter -> t -> unit
+
+(** Paper-style label, e.g. ["QAOA(16/24)"]. *)
+val label : t -> string

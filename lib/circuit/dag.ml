@@ -1,0 +1,69 @@
+(* Gate dependency structure (paper §II-A, constraint 2, and Fig. 5).
+
+   Two gates that act on a common program qubit must execute in program
+   order.  The dependency list D holds the *immediate* pairs (g, g'):
+   consecutive gates on each qubit wire; transitivity gives the rest.
+   The longest dependency chain is the depth lower bound T_LB used to
+   initialize the optimizer (paper §III-A-1). *)
+
+type t = {
+  circuit : Circuit.t;
+  deps : (int * int) list; (* immediate dependencies (earlier id, later id) *)
+  preds : int list array; (* per-gate immediate predecessors *)
+  succs : int list array; (* per-gate immediate successors *)
+  chain_length : int array; (* longest chain ending at each gate (in gates) *)
+}
+
+let build (circuit : Circuit.t) =
+  let n = Circuit.num_gates circuit in
+  let last_on_qubit = Array.make circuit.num_qubits (-1) in
+  let deps = ref [] in
+  let preds = Array.make n [] in
+  let succs = Array.make n [] in
+  for i = 0 to n - 1 do
+    let g = Circuit.gate circuit i in
+    List.iter
+      (fun q ->
+        let prev = last_on_qubit.(q) in
+        if prev >= 0 then begin
+          deps := (prev, i) :: !deps;
+          preds.(i) <- prev :: preds.(i);
+          succs.(prev) <- i :: succs.(prev)
+        end;
+        last_on_qubit.(q) <- i)
+      (Gate.qubits g)
+  done;
+  (* longest chain ending at each gate, computed in program order (a valid
+     topological order since dependencies always point forward) *)
+  let chain_length = Array.make n 1 in
+  for i = 0 to n - 1 do
+    List.iter
+      (fun p -> chain_length.(i) <- max chain_length.(i) (chain_length.(p) + 1))
+      preds.(i)
+  done;
+  { circuit; deps = List.rev !deps; preds; succs; chain_length }
+
+let dependencies t = t.deps
+let predecessors t i = t.preds.(i)
+let successors t i = t.succs.(i)
+
+(* T_LB: length (in gates) of the longest dependency chain. *)
+let longest_chain t = Array.fold_left max 0 t.chain_length
+
+(* ASAP layering: gates with identical chain length can run in parallel
+   (assuming full connectivity).  Used by SABRE's front-layer logic and by
+   the SATMap-style slicer. *)
+let asap_layers t =
+  let depth = longest_chain t in
+  let layers = Array.make depth [] in
+  let n = Circuit.num_gates t.circuit in
+  for i = n - 1 downto 0 do
+    layers.(t.chain_length.(i) - 1) <- i :: layers.(t.chain_length.(i) - 1)
+  done;
+  Array.to_list layers
+
+(* Gates with no predecessors. *)
+let sources t =
+  let n = Circuit.num_gates t.circuit in
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (if t.preds.(i) = [] then i :: acc else acc) in
+  loop (n - 1) []

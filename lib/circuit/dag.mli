@@ -1,0 +1,22 @@
+(** Gate dependency graph, depth lower bound, and layering. *)
+
+type t
+
+val build : Circuit.t -> t
+
+(** Immediate dependency pairs [(g, g')] with [g] before [g'] on a shared
+    qubit (the paper's list D). *)
+val dependencies : t -> (int * int) list
+
+val predecessors : t -> int -> int list
+val successors : t -> int -> int list
+
+(** T_LB: number of gates on the longest dependency chain. *)
+val longest_chain : t -> int
+
+(** ASAP layers: [layers.(k)] holds gates whose longest incoming chain has
+    length [k+1]; gates within a layer are dependency-free of each other. *)
+val asap_layers : t -> int list list
+
+(** Gates with no predecessors. *)
+val sources : t -> int list

@@ -1,0 +1,52 @@
+(* Quantum gates as scheduled by the layout synthesizer.
+
+   Only arity matters for layout synthesis (paper §II-A: gates are
+   single-qubit G1 or two-qubit G2); the name and parameter are carried
+   for printing and QASM round-trips. *)
+
+type operands = One of int | Two of int * int
+
+type t = {
+  id : int; (* position in the circuit's gate sequence *)
+  name : string;
+  operands : operands;
+  param : float option; (* rotation angle for parameterized gates *)
+}
+
+let make ~id ~name ?param operands =
+  (match operands with
+  | One q -> if q < 0 then invalid_arg "Gate.make: negative qubit"
+  | Two (q, q') ->
+    if q < 0 || q' < 0 then invalid_arg "Gate.make: negative qubit";
+    if q = q' then invalid_arg "Gate.make: two-qubit gate with equal operands");
+  { id; name; operands; param }
+
+let is_two_qubit g = match g.operands with One _ -> false | Two _ -> true
+
+let qubits g = match g.operands with One q -> [ q ] | Two (q, q') -> [ q; q' ]
+
+let uses g q = match g.operands with One a -> a = q | Two (a, b) -> a = q || b = q
+
+(* Operands of a two-qubit gate; raises for single-qubit gates. *)
+let pair g =
+  match g.operands with
+  | Two (q, q') -> (q, q')
+  | One _ -> invalid_arg "Gate.pair: single-qubit gate"
+
+let single g =
+  match g.operands with
+  | One q -> q
+  | Two _ -> invalid_arg "Gate.single: two-qubit gate"
+
+let rename_qubits f g =
+  let operands =
+    match g.operands with One q -> One (f q) | Two (q, q') -> Two (f q, f q')
+  in
+  { g with operands }
+
+let pp fmt g =
+  match (g.operands, g.param) with
+  | One q, None -> Format.fprintf fmt "%s q[%d]" g.name q
+  | One q, Some p -> Format.fprintf fmt "%s(%g) q[%d]" g.name p q
+  | Two (q, q'), None -> Format.fprintf fmt "%s q[%d],q[%d]" g.name q q'
+  | Two (q, q'), Some p -> Format.fprintf fmt "%s(%g) q[%d],q[%d]" g.name p q q'

@@ -1,0 +1,27 @@
+(** Gates as seen by layout synthesis: arity (single- or two-qubit) plus a
+    symbolic name and optional parameter for printing. *)
+
+type operands = One of int | Two of int * int
+
+type t = private {
+  id : int;  (** position in the circuit's gate sequence *)
+  name : string;
+  operands : operands;
+  param : float option;
+}
+
+(** Raises [Invalid_argument] on negative qubits or [Two (q, q)]. *)
+val make : id:int -> name:string -> ?param:float -> operands -> t
+
+val is_two_qubit : t -> bool
+val qubits : t -> int list
+val uses : t -> int -> bool
+
+(** Operands of a two-qubit gate; raises otherwise. *)
+val pair : t -> int * int
+
+(** Operand of a single-qubit gate; raises otherwise. *)
+val single : t -> int
+
+val rename_qubits : (int -> int) -> t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,157 @@
+(* OpenQASM 2.0 subset: enough to print our circuits and read them back.
+
+   Grammar accepted (one statement per ';'):
+     OPENQASM 2.0;  include "qelib1.inc";  qreg <id>[<n>];  creg ...;
+     <gate> q[<i>];  <gate> q[<i>],q[<j>];  <gate>(<float>) q[<i>]...;
+   Comments (// ...) are stripped.  All gates are kept abstract: arity is
+   what layout synthesis needs. *)
+
+let print (c : Circuit.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+  Buffer.add_string buf (Printf.sprintf "qreg q[%d];\n" c.num_qubits);
+  Array.iter
+    (fun (g : Gate.t) ->
+      let args =
+        match g.operands with
+        | Gate.One q -> Printf.sprintf "q[%d]" q
+        | Gate.Two (q, q') -> Printf.sprintf "q[%d],q[%d]" q q'
+      in
+      let head =
+        match g.param with
+        | None -> g.name
+        | Some p -> Printf.sprintf "%s(%.10g)" g.name p
+      in
+      Buffer.add_string buf (Printf.sprintf "%s %s;\n" head args))
+    c.gates;
+  Buffer.contents buf
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* Strip // comments and split into ';'-terminated statements. *)
+let statements text =
+  let no_comments =
+    String.split_on_char '\n' text
+    |> List.map (fun line ->
+           match String.index_opt line '/' with
+           | Some i when i + 1 < String.length line && line.[i + 1] = '/' -> String.sub line 0 i
+           | Some _ | None -> line)
+    |> String.concat " "
+  in
+  String.split_on_char ';' no_comments
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+
+(* "name" or "name(param)" *)
+let parse_head head =
+  match String.index_opt head '(' with
+  | None -> (String.trim head, None)
+  | Some i ->
+    let name = String.trim (String.sub head 0 i) in
+    (match String.index_opt head ')' with
+    | None -> fail "unterminated parameter list in %S" head
+    | Some j ->
+      let param_str = String.sub head (i + 1) (j - i - 1) in
+      let param =
+        (* tolerate simple pi expressions emitted by other tools *)
+        match float_of_string_opt (String.trim param_str) with
+        | Some f -> f
+        | None ->
+          let t = String.trim param_str in
+          if t = "pi" then Float.pi
+          else if t = "-pi" then -.Float.pi
+          else if t = "pi/2" then Float.pi /. 2.0
+          else if t = "-pi/2" then -.(Float.pi /. 2.0)
+          else if t = "pi/4" then Float.pi /. 4.0
+          else if t = "-pi/4" then -.(Float.pi /. 4.0)
+          else fail "cannot parse parameter %S" param_str
+      in
+      (name, Some param))
+
+(* "q[3]" -> 3 *)
+let parse_operand reg s =
+  let s = String.trim s in
+  match (String.index_opt s '[', String.index_opt s ']') with
+  | Some i, Some j when j > i ->
+    let r = String.sub s 0 i in
+    if r <> reg then fail "unknown register %S (expected %S)" r reg;
+    (match int_of_string_opt (String.sub s (i + 1) (j - i - 1)) with
+    | Some q -> q
+    | None -> fail "bad qubit index in %S" s)
+  | _ -> fail "cannot parse operand %S" s
+
+let parse ?(name = "qasm") text =
+  let reg = ref None in
+  let reg_size = ref 0 in
+  let gates = ref [] in
+  let handle stmt =
+    let stmt = String.trim stmt in
+    if String.length stmt = 0 then ()
+    else if String.length stmt >= 8 && String.sub stmt 0 8 = "OPENQASM" then ()
+    else if String.length stmt >= 7 && String.sub stmt 0 7 = "include" then ()
+    else if String.length stmt >= 4 && String.sub stmt 0 4 = "creg" then ()
+    else if String.length stmt >= 7 && String.sub stmt 0 7 = "barrier" then ()
+    else if String.length stmt >= 7 && String.sub stmt 0 7 = "measure" then ()
+    else if String.length stmt >= 4 && String.sub stmt 0 4 = "qreg" then begin
+      let rest = String.trim (String.sub stmt 4 (String.length stmt - 4)) in
+      match (String.index_opt rest '[', String.index_opt rest ']') with
+      | Some i, Some j when j > i ->
+        if !reg <> None then fail "multiple qreg declarations";
+        reg := Some (String.trim (String.sub rest 0 i));
+        reg_size := int_of_string (String.sub rest (i + 1) (j - i - 1))
+      | _ -> fail "bad qreg statement %S" stmt
+    end
+    else begin
+      (* gate application: head args *)
+      let reg_name = match !reg with Some r -> r | None -> fail "gate before qreg" in
+      match String.index_opt stmt ' ' with
+      | None -> fail "cannot parse statement %S" stmt
+      | Some i ->
+        (* the split must not land inside the parameter list *)
+        let i =
+          match String.index_opt stmt '(' with
+          | Some p when p < i -> (
+            match String.index_from_opt stmt p ')' with
+            | Some cl -> (
+              match String.index_from_opt stmt cl ' ' with
+              | Some k -> k
+              | None -> fail "missing operands in %S" stmt)
+            | None -> fail "unterminated parameters in %S" stmt)
+          | Some _ | None -> i
+        in
+        let name_part = String.sub stmt 0 i in
+        let args_part = String.sub stmt i (String.length stmt - i) in
+        let gname, param = parse_head name_part in
+        let operands =
+          String.split_on_char ',' args_part
+          |> List.map (parse_operand reg_name)
+        in
+        let operands =
+          match operands with
+          | [ q ] -> Gate.One q
+          | [ q; q' ] -> Gate.Two (q, q')
+          | _ -> fail "unsupported arity in %S" stmt
+        in
+        gates := (gname, param, operands) :: !gates
+    end
+  in
+  List.iter handle (statements text);
+  let gates = List.rev !gates in
+  let gates =
+    List.mapi (fun id (gname, param, operands) -> Gate.make ~id ~name:gname ?param operands) gates
+  in
+  Circuit.make ~name ~num_qubits:!reg_size gates
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse ~name:(Filename.remove_extension (Filename.basename path)) s
+
+let write_file path c =
+  let oc = open_out path in
+  output_string oc (print c);
+  close_out oc

@@ -1,0 +1,12 @@
+(** OpenQASM 2.0 subset printer and parser. *)
+
+exception Parse_error of string
+
+val print : Circuit.t -> string
+
+(** Parse an OpenQASM 2.0 subset (single [qreg], 1- and 2-qubit gate
+    applications, comments, [barrier]/[measure]/[creg] ignored). *)
+val parse : ?name:string -> string -> Circuit.t
+
+val parse_file : string -> Circuit.t
+val write_file : string -> Circuit.t -> unit

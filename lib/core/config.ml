@@ -1,0 +1,72 @@
+(* Encoding and formulation configuration.
+
+   The six configurations of the paper's Table I and the cardinality arms
+   of Table II are points in this space:
+
+     OLSQ(int)       = { formulation = Olsq;  var_encoding = Onehot; Pairwise }
+     OLSQ(bv)        = { formulation = Olsq;  var_encoding = Binary; Pairwise }
+     OLSQ2(int)      = { formulation = Olsq2; var_encoding = Onehot; Pairwise }
+     OLSQ2(EUF+int)  = { formulation = Olsq2; var_encoding = Onehot; Inverse }
+     OLSQ2(EUF+bv)   = { formulation = Olsq2; var_encoding = Binary; Inverse }
+     OLSQ2(bv)       = { formulation = Olsq2; var_encoding = Binary; Pairwise }
+
+   (the paper's EUF injectivity trick maps to the inverse-function channel;
+   the integer arm maps to the one-hot lowering -- DESIGN.md §2). *)
+
+type formulation =
+  | Olsq (* original formulation with redundant space variables *)
+  | Olsq2 (* succinct formulation, Improvement 1 *)
+
+type var_encoding =
+  | Lazy_int (* lazy integer theory: stands in for Z3's arithmetic path *)
+  | Onehot (* direct one-hot encoding; extra ablation arm *)
+  | Binary (* bit-vector encoding *)
+
+type injectivity =
+  | Pairwise (* pairwise disequalities per time step *)
+  | Inverse (* inverse mapping function channel (the EUF trick) *)
+
+type cardinality =
+  | Seq_counter (* Sinz sequential counter in CNF (the paper's choice) *)
+  | Totalizer (* unary merge tree; extra ablation arm *)
+  | Adder (* binary adder network: the "AtMost"/pseudo-Boolean arm *)
+
+type t = {
+  formulation : formulation;
+  var_encoding : var_encoding;
+  injectivity : injectivity;
+  cardinality : cardinality;
+}
+
+let default =
+  { formulation = Olsq2; var_encoding = Binary; injectivity = Pairwise; cardinality = Seq_counter }
+
+let olsq_int =
+  { formulation = Olsq; var_encoding = Lazy_int; injectivity = Pairwise; cardinality = Seq_counter }
+
+let olsq_bv = { olsq_int with var_encoding = Binary }
+let olsq2_int = { olsq_int with formulation = Olsq2 }
+let olsq2_euf_int = { olsq2_int with injectivity = Inverse }
+let olsq2_euf_bv = { olsq2_euf_int with var_encoding = Binary }
+let olsq2_bv = default
+
+let name c =
+  let base = match c.formulation with Olsq -> "OLSQ" | Olsq2 -> "OLSQ2" in
+  let enc =
+    match (c.injectivity, c.var_encoding) with
+    | Pairwise, Lazy_int -> "int"
+    | Pairwise, Onehot -> "direct"
+    | Pairwise, Binary -> "bv"
+    | Inverse, Lazy_int -> "EUF+int"
+    | Inverse, Onehot -> "EUF+direct"
+    | Inverse, Binary -> "EUF+bv"
+  in
+  Printf.sprintf "%s(%s)" base enc
+
+let cardinality_name = function
+  | Seq_counter -> "CNF"
+  | Totalizer -> "totalizer"
+  | Adder -> "AtMost"
+
+let table1_configs =
+  [ olsq_int; olsq_bv; olsq2_int; olsq2_euf_int; olsq2_euf_bv; olsq2_bv ]

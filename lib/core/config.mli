@@ -1,0 +1,50 @@
+(** Formulation and encoding configuration (paper Improvements 1 and 3).
+
+    The six configurations of Table I and the cardinality arms of Table II
+    are points in this space; see DESIGN.md §2 for how the paper's
+    integer/EUF encodings map onto the one-hot/inverse-channel stand-ins. *)
+
+type formulation =
+  | Olsq  (** original formulation with redundant space variables *)
+  | Olsq2  (** succinct formulation (Improvement 1) *)
+
+type var_encoding =
+  | Lazy_int
+      (** lazy integer theory (CEGAR over free atoms): the stand-in for
+          the paper's integer-variable arm / Z3's arithmetic path *)
+  | Onehot  (** direct one-hot encoding (extra ablation arm) *)
+  | Binary  (** bit-vector encoding (bit-blasting arm) *)
+
+type injectivity =
+  | Pairwise  (** pairwise mapping disequalities per time step *)
+  | Inverse  (** inverse mapping function channel (the EUF trick) *)
+
+type cardinality =
+  | Seq_counter  (** Sinz sequential counter in CNF (the paper's choice) *)
+  | Totalizer  (** unary merge tree (extra ablation arm) *)
+  | Adder  (** binary adder network (the "AtMost"/pseudo-Boolean arm) *)
+
+type t = {
+  formulation : formulation;
+  var_encoding : var_encoding;
+  injectivity : injectivity;
+  cardinality : cardinality;
+}
+
+(** OLSQ2(bv) with CNF cardinality: the paper's best configuration. *)
+val default : t
+
+val olsq_int : t
+val olsq_bv : t
+val olsq2_int : t
+val olsq2_euf_int : t
+val olsq2_euf_bv : t
+val olsq2_bv : t
+
+(** Paper-style display name, e.g. ["OLSQ2(EUF+bv)"]. *)
+val name : t -> string
+
+val cardinality_name : cardinality -> string
+
+(** The six Table I configurations, in the paper's column order. *)
+val table1_configs : t list

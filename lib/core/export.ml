@@ -1,0 +1,59 @@
+(* Lowering a synthesis result to an executable physical circuit.
+
+   The output circuit acts on *physical* qubits: each original gate is
+   re-targeted through the mapping at its scheduled time, and SWAP gates
+   are inserted at their window positions.  Emitting this through
+   [Olsq2_circuit.Qasm] gives a hardware-conformant OpenQASM program. *)
+
+module Circuit = Olsq2_circuit.Circuit
+module Gate = Olsq2_circuit.Gate
+
+(* Gates and swaps merged in time order.  Within a time step, original
+   program order is kept (irrelevant for disjoint qubits). *)
+let physical_circuit (instance : Instance.t) (r : Result_.t) =
+  let circuit = instance.Instance.circuit in
+  let sd = instance.Instance.swap_duration in
+  let events =
+    let gates =
+      Array.to_list circuit.Circuit.gates
+      |> List.map (fun (g : Gate.t) -> (r.Result_.schedule.(g.Gate.id), `Gate g))
+    in
+    let swaps =
+      List.map
+        (fun (sw : Result_.swap) -> (sw.Result_.sw_finish - sd + 1, `Swap sw))
+        r.Result_.swaps
+    in
+    List.stable_sort (fun (t1, _) (t2, _) -> compare t1 t2) (gates @ swaps)
+  in
+  let b = Circuit.builder instance.Instance.device.Olsq2_device.Coupling.num_qubits in
+  List.iter
+    (fun (_start, ev) ->
+      match ev with
+      | `Gate (g : Gate.t) ->
+        let phys q = r.Result_.mapping.(r.Result_.schedule.(g.Gate.id)).(q) in
+        (match g.Gate.operands with
+        | Gate.One q -> Circuit.add_gate b ~name:g.Gate.name ?param:g.Gate.param (Gate.One (phys q))
+        | Gate.Two (q, q') ->
+          Circuit.add_gate b ~name:g.Gate.name ?param:g.Gate.param (Gate.Two (phys q, phys q')))
+      | `Swap sw ->
+        let p, p' = sw.Result_.sw_edge in
+        Circuit.add2 b "swap" p p')
+    events;
+  Circuit.build b ~name:(circuit.Circuit.name ^ "_mapped")
+
+(* Human-readable synthesis report. *)
+let report (instance : Instance.t) (r : Result_.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "instance: %s\nstatus: %s\ndepth: %d\nswaps: %d\nsolve time: %.2fs (%d solver calls)\n"
+       (Instance.label instance) (Result_.status_string r.Result_.status) r.Result_.depth
+       r.Result_.swap_count r.Result_.solve_seconds r.Result_.iterations);
+  Buffer.add_string buf "initial mapping:";
+  Array.iteri (fun q p -> Buffer.add_string buf (Printf.sprintf " q%d->p%d" q p)) (Result_.initial_mapping r);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (sw : Result_.swap) ->
+      let p, p' = sw.Result_.sw_edge in
+      Buffer.add_string buf (Printf.sprintf "swap (p%d,p%d) finishing at t=%d\n" p p' sw.Result_.sw_finish))
+    r.Result_.swaps;
+  Buffer.contents buf

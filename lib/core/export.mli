@@ -1,0 +1,9 @@
+(** Lowering synthesis results to executable physical circuits. *)
+
+module Circuit = Olsq2_circuit.Circuit
+
+(** Physical-qubit circuit with SWAPs inserted, in schedule order. *)
+val physical_circuit : Instance.t -> Result_.t -> Circuit.t
+
+(** Human-readable synthesis report. *)
+val report : Instance.t -> Result_.t -> string

@@ -1,0 +1,41 @@
+(* A layout-synthesis problem: circuit + coupling graph + SWAP duration.
+
+   SWAP duration follows the paper's evaluation setup: 1 for QAOA circuits
+   (native SWAP assumption) and 3 elsewhere (3-CNOT decomposition). *)
+
+module Circuit = Olsq2_circuit.Circuit
+module Coupling = Olsq2_device.Coupling
+module Dag = Olsq2_circuit.Dag
+
+type t = {
+  circuit : Circuit.t;
+  device : Coupling.t;
+  swap_duration : int;
+  dag : Dag.t; (* dependency structure, built once *)
+}
+
+let make ?(swap_duration = 3) circuit device =
+  if swap_duration < 1 then invalid_arg "Instance.make: swap_duration must be >= 1";
+  if circuit.Circuit.num_qubits > device.Coupling.num_qubits then
+    invalid_arg
+      (Printf.sprintf "Instance.make: %d program qubits exceed %d physical qubits"
+         circuit.Circuit.num_qubits device.Coupling.num_qubits);
+  if not (Coupling.is_connected device) then
+    invalid_arg "Instance.make: coupling graph must be connected";
+  { circuit; device; swap_duration; dag = Dag.build circuit }
+
+(* Depth lower bound T_LB: the longest gate dependency chain. *)
+let depth_lower_bound t = Dag.longest_chain t.dag
+
+(* Paper's empirical depth upper bound: 1.5 x T_LB (with a little slack for
+   tiny circuits so a SWAP can fit at all). *)
+let depth_upper_bound t =
+  let t_lb = depth_lower_bound t in
+  max (int_of_float (ceil (1.5 *. float_of_int t_lb))) (t_lb + t.swap_duration + 1)
+
+let num_qubits t = t.circuit.Circuit.num_qubits
+let num_physical t = t.device.Coupling.num_qubits
+let num_gates t = Circuit.num_gates t.circuit
+
+let label t =
+  Printf.sprintf "%s on %s" (Circuit.label t.circuit) t.device.Coupling.name

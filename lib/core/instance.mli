@@ -1,0 +1,28 @@
+(** A layout-synthesis problem instance. *)
+
+module Circuit = Olsq2_circuit.Circuit
+module Coupling = Olsq2_device.Coupling
+module Dag = Olsq2_circuit.Dag
+
+type t = private {
+  circuit : Circuit.t;
+  device : Coupling.t;
+  swap_duration : int;
+  dag : Dag.t;
+}
+
+(** [make ?swap_duration circuit device] validates that the circuit fits
+    the (connected) device.  [swap_duration] defaults to 3 (3-CNOT SWAP);
+    the paper uses 1 for QAOA circuits. *)
+val make : ?swap_duration:int -> Circuit.t -> Coupling.t -> t
+
+(** T_LB: longest gate dependency chain. *)
+val depth_lower_bound : t -> int
+
+(** The paper's empirical horizon, 1.5 x T_LB (with slack for a SWAP). *)
+val depth_upper_bound : t -> int
+
+val num_qubits : t -> int
+val num_physical : t -> int
+val num_gates : t -> int
+val label : t -> string

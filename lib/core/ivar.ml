@@ -1,0 +1,135 @@
+(* Bounded-integer variables abstracting over the encodings of the
+   paper's Improvement 3.  Layout encoders are written once against this
+   interface, so switching encodings changes variable definitions only --
+   mirroring the paper's observation that "changing the underlying encoding
+   only affects variable definitions and not their usage in constraints".
+
+   Encodings:
+   - [Binary]: bit-vector variables, eagerly bit-blasted.  Equality-to-
+     constant literals are memoized: "x = c" is defined once per (var, c)
+     and shared across every constraint that mentions it, which keeps the
+     big adjacency disjunctions narrow -- this sharing is what makes the
+     bit-vector arm the paper's winner.
+   - [Onehot]: the classical direct encoding (one Boolean per value with
+     at-least-one / pairwise at-most-one axioms); an extra ablation arm.
+   - [Lazy_int]: the stand-in for the paper's *integer* variables: atoms
+     "x = c" / "x <= c" start as free Boolean literals whose integer
+     semantics is enforced lazily by a theory module (Theory_int), the way
+     a lazy SMT solver treats arithmetic.  See DESIGN.md §2. *)
+
+module Formula = Olsq2_encode.Formula
+module Ctx = Olsq2_encode.Ctx
+module Bitvec = Olsq2_encode.Bitvec
+module Onehot = Olsq2_encode.Onehot
+module Lit = Olsq2_sat.Lit
+
+type t =
+  | One_hot of Onehot.t
+  | Binary of {
+      ctx : Ctx.t;
+      bv : Bitvec.t;
+      bound : int;
+      eq_lits : (int, Lit.t) Hashtbl.t; (* memoized "x = c" literals *)
+    }
+  | Lazy of Theory_int.ivar
+
+let fresh ctx (enc : Config.var_encoding) domain =
+  if domain <= 0 then invalid_arg "Ivar.fresh: empty domain";
+  match enc with
+  | Config.Onehot -> One_hot (Onehot.fresh ctx domain)
+  | Config.Binary ->
+    let width = Bitvec.bits_for_range domain in
+    let bv = Bitvec.fresh ctx width in
+    if domain < 1 lsl width then Bitvec.assert_lt_const ctx bv domain;
+    Binary { ctx; bv; bound = domain; eq_lits = Hashtbl.create (2 * domain) }
+  | Config.Lazy_int -> Lazy (Theory_int.new_var (Theory_int.of_ctx ctx) ~domain)
+
+let domain = function
+  | One_hot oh -> Onehot.domain oh
+  | Binary { bound; _ } -> bound
+  | Lazy iv -> Theory_int.domain iv
+
+(* Shared "x = c" literal for binary variables: defined once with full
+   equivalence, then reused everywhere. *)
+let binary_eq_lit ctx bv eq_lits c =
+  match Hashtbl.find_opt eq_lits c with
+  | Some l -> l
+  | None ->
+    let l = Ctx.fresh ctx in
+    let bits = Bitvec.bits bv in
+    let signed i =
+      if (c lsr i) land 1 = 1 then bits.(i) else Lit.negate bits.(i)
+    in
+    (* l => each bit matches *)
+    Array.iteri (fun i _ -> Ctx.add_clause ctx [ Lit.negate l; signed i ]) bits;
+    (* all bits match => l *)
+    Ctx.add_clause ctx (l :: Array.to_list (Array.mapi (fun i _ -> Lit.negate (signed i)) bits));
+    Hashtbl.add eq_lits c l;
+    l
+
+let eq_const v k =
+  match v with
+  | One_hot oh -> Onehot.eq_const oh k
+  | Binary { ctx; bv; bound; eq_lits } ->
+    if k < 0 || k >= bound then Formula.False
+    else Formula.Atom (binary_eq_lit ctx bv eq_lits k)
+  | Lazy iv -> Theory_int.eq_const iv k
+
+let neq_const v k = Formula.not_ (eq_const v k)
+
+let eq a b =
+  match (a, b) with
+  | One_hot x, One_hot y -> Onehot.eq x y
+  | Binary x, Binary y -> Bitvec.eq x.bv y.bv
+  | Lazy x, Lazy y -> Theory_int.eq_var x y
+  | (One_hot _ | Binary _ | Lazy _), _ -> invalid_arg "Ivar.eq: mixed encodings"
+
+let neq a b =
+  match (a, b) with
+  | One_hot x, One_hot y ->
+    (* per-value 2-clauses, stronger than the negated Iff form *)
+    Formula.and_
+      (List.init (Onehot.domain x)
+         (fun v ->
+           Formula.or_ [ Formula.not_ (Onehot.eq_const x v); Formula.not_ (Onehot.eq_const y v) ]))
+  | Binary _, Binary _ -> Formula.not_ (eq a b)
+  | Lazy x, Lazy y ->
+    Formula.and_
+      (List.init (min (Theory_int.domain x) (Theory_int.domain y))
+         (fun v ->
+           Formula.or_
+             [ Formula.not_ (Theory_int.eq_const x v); Formula.not_ (Theory_int.eq_const y v) ]))
+  | (One_hot _ | Binary _ | Lazy _), _ -> invalid_arg "Ivar.neq: mixed encodings"
+
+let le_const v k =
+  match v with
+  | One_hot oh -> Onehot.le_const oh k
+  | Binary { bv; bound; _ } -> if k >= bound - 1 then Formula.True else Bitvec.le_const bv k
+  | Lazy iv -> Theory_int.le_const iv k
+
+let lt_const v k = le_const v (k - 1)
+let ge_const v k = Formula.not_ (lt_const v k)
+
+let lt a b =
+  match (a, b) with
+  | One_hot x, One_hot y -> Onehot.lt x y
+  | Binary x, Binary y -> Bitvec.lt x.bv y.bv
+  | Lazy x, Lazy y -> Theory_int.lt_var x y
+  | (One_hot _ | Binary _ | Lazy _), _ -> invalid_arg "Ivar.lt: mixed encodings"
+
+let le a b =
+  match (a, b) with
+  | One_hot _, One_hot _ | Lazy _, Lazy _ -> Formula.not_ (lt b a)
+  | Binary x, Binary y -> Bitvec.le x.bv y.bv
+  | (One_hot _ | Binary _ | Lazy _), _ -> invalid_arg "Ivar.le: mixed encodings"
+
+let value solver = function
+  | One_hot oh -> Onehot.value solver oh
+  | Binary { bv; _ } -> Bitvec.value solver bv
+  | Lazy iv -> Theory_int.value solver iv
+
+(* Underlying Boolean literals (for solver branching hints). *)
+let literals = function
+  | One_hot oh -> Array.to_list (Onehot.lits oh)
+  | Binary { bv; _ } -> Array.to_list (Bitvec.bits bv)
+  | Lazy iv -> Theory_int.atom_lits iv

@@ -1,0 +1,32 @@
+(** Bounded-integer variables abstracting over the one-hot ("integer")
+    and binary ("bit-vector") encodings of paper Improvement 3. *)
+
+module Formula = Olsq2_encode.Formula
+module Ctx = Olsq2_encode.Ctx
+
+type t
+
+(** Fresh variable over domain [0 .. domain-1]; the one-hot form carries
+    its at-least-one / at-most-one axioms, the binary form its domain
+    restriction. *)
+val fresh : Ctx.t -> Config.var_encoding -> int -> t
+
+val domain : t -> int
+val eq_const : t -> int -> Formula.t
+val neq_const : t -> int -> Formula.t
+
+(** Equality of two same-encoding variables; raises on mixed encodings. *)
+val eq : t -> t -> Formula.t
+
+val neq : t -> t -> Formula.t
+val le_const : t -> int -> Formula.t
+val lt_const : t -> int -> Formula.t
+val ge_const : t -> int -> Formula.t
+val lt : t -> t -> Formula.t
+val le : t -> t -> Formula.t
+
+(** Decode from the last model. *)
+val value : Olsq2_sat.Solver.t -> t -> int
+
+(** Underlying Boolean literals (for solver branching hints). *)
+val literals : t -> Olsq2_sat.Lit.t list

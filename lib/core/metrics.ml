@@ -1,0 +1,69 @@
+(* Success-rate metrics for synthesized layouts.
+
+   The paper's motivation (§I): NISQ program success rates suffer from
+   every inserted SWAP (three extra CNOTs' worth of gate error) and from
+   every extra time step of circuit depth (decoherence).  This module
+   turns a synthesis result into those figures of merit so users can
+   compare synthesizers on the quantity they actually care about. *)
+
+module Circuit = Olsq2_circuit.Circuit
+module Gate = Olsq2_circuit.Gate
+
+type t = {
+  depth : int;
+  single_qubit_gates : int;
+  two_qubit_gates : int; (* original circuit's 2q gates *)
+  swap_gates : int;
+  equivalent_cnots : int; (* 2q gates + 3 per SWAP *)
+  log_success : float; (* natural log of the estimated success probability *)
+}
+
+type error_model = {
+  single_qubit_fidelity : float;
+  two_qubit_fidelity : float;
+  coherence_steps : float;
+      (* time steps after which idle decay reaches 1/e (T1/T2 proxy,
+         expressed in scheduler steps) *)
+}
+
+(* Representative superconducting-era figures (~99.9% 1q, ~99% 2q). *)
+let default_error_model =
+  { single_qubit_fidelity = 0.999; two_qubit_fidelity = 0.99; coherence_steps = 3000.0 }
+
+let of_result ?(model = default_error_model) (instance : Instance.t) (r : Result_.t) =
+  let circuit = instance.Instance.circuit in
+  let n1 = List.length (Circuit.single_qubit_gates circuit) in
+  let n2 = Circuit.count_two_qubit circuit in
+  let nswap = r.Result_.swap_count in
+  let equivalent_cnots = n2 + (3 * nswap) in
+  let gate_term =
+    (float_of_int n1 *. log model.single_qubit_fidelity)
+    +. (float_of_int equivalent_cnots *. log model.two_qubit_fidelity)
+  in
+  (* decoherence: every active program qubit idles for [depth] steps *)
+  let active =
+    Array.fold_left (fun acc used -> if used then acc + 1 else acc) 0 (Circuit.used_qubits circuit)
+  in
+  let decoherence_term =
+    -.(float_of_int (active * r.Result_.depth) /. model.coherence_steps)
+  in
+  {
+    depth = r.Result_.depth;
+    single_qubit_gates = n1;
+    two_qubit_gates = n2;
+    swap_gates = nswap;
+    equivalent_cnots;
+    log_success = gate_term +. decoherence_term;
+  }
+
+let success_probability m = exp m.log_success
+
+(* Ratio of success probabilities: how many times likelier [a] is to
+   succeed than [b]. *)
+let success_ratio a b = exp (a.log_success -. b.log_success)
+
+let pp fmt m =
+  Format.fprintf fmt
+    "depth=%d gates(1q)=%d gates(2q)=%d swaps=%d cnot-equivalent=%d est. success=%.2f%%" m.depth
+    m.single_qubit_gates m.two_qubit_gates m.swap_gates m.equivalent_cnots
+    (100.0 *. success_probability m)

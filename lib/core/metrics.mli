@@ -1,0 +1,26 @@
+(** Success-rate figures of merit for synthesized layouts (the paper's
+    §I motivation: SWAP count and depth drive NISQ success rates). *)
+
+type t = {
+  depth : int;
+  single_qubit_gates : int;
+  two_qubit_gates : int;
+  swap_gates : int;
+  equivalent_cnots : int;  (** 2q gates + 3 per SWAP *)
+  log_success : float;
+}
+
+type error_model = {
+  single_qubit_fidelity : float;
+  two_qubit_fidelity : float;
+  coherence_steps : float;  (** idle-decay constant in scheduler steps *)
+}
+
+val default_error_model : error_model
+val of_result : ?model:error_model -> Instance.t -> Result_.t -> t
+val success_probability : t -> float
+
+(** How many times likelier [a] is to succeed than [b]. *)
+val success_ratio : t -> t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,392 @@
+(* Optimization strategies (paper §III-B).
+
+   Instead of a built-in optimizing solver, OLSQ2 iteratively re-solves
+   under objective-bound assumptions:
+
+   - Depth: start at the lower bound T_LB; on UNSAT grow the bound
+     geometrically (x1.3 below 100, x1.1 above); after the first SAT,
+     descend by 1 until UNSAT.  If the horizon T_UB is exhausted, rebuild
+     the encoding with a larger horizon.
+   - SWAP count: start from a depth-optimal solution, then iteratively
+     *descend* the SWAP bound (monotone solution structure: each SAT
+     model's count seeds the next, tighter bound).  Then relax the depth
+     bound and repeat, sweeping the (depth, SWAP) Pareto frontier, until
+     no improvement or the time budget runs out.
+
+   All bounds are solver assumptions over selector literals, so learnt
+   clauses survive between iterations (incremental solving). *)
+
+module Solver = Olsq2_sat.Solver
+module Stopwatch = Olsq2_util.Stopwatch
+
+type outcome = {
+  result : Result_.t option;
+  optimal : bool;
+  iterations : int;
+  total_seconds : float;
+  pareto : (int * int) list; (* (depth bound, best swaps proven at it) *)
+}
+
+let empty_outcome ~iterations ~seconds =
+  { result = None; optimal = false; iterations; total_seconds = seconds; pareto = [] }
+
+(* Next depth bound after UNSAT (paper §III-B-1). *)
+let grow_bound t_b =
+  let r = if t_b < 100 then 1.3 else 1.1 in
+  max (t_b + 1) (int_of_float (ceil (r *. float_of_int t_b)))
+
+let remaining_or_none budget =
+  let r = Stopwatch.remaining budget in
+  if r = infinity then None else Some r
+
+(* ---- depth optimization ---- *)
+
+(* Returns the outcome and, on success, the encoder together with the
+   achieved depth bound, so SWAP optimization can continue on the same
+   incremental solver state. *)
+let minimize_depth_with_encoder ?(config = Config.default) ?budget_seconds instance =
+  let budget = Stopwatch.budget budget_seconds in
+  let clock = Stopwatch.start () in
+  let iterations = ref 0 in
+  let t_lb = Instance.depth_lower_bound instance in
+  let fail () = (empty_outcome ~iterations:!iterations ~seconds:(Stopwatch.elapsed clock), None) in
+  let rec with_horizon t_max =
+    let enc = Encoder.build ~config instance ~t_max in
+    let check d =
+      incr iterations;
+      let sel = Encoder.depth_selector enc d in
+      Encoder.solve ~assumptions:[ sel ] ?timeout:(remaining_or_none budget) enc
+    in
+    (* ascent: grow the bound until SAT *)
+    let rec ascend d =
+      if Stopwatch.exhausted budget then `Budget
+      else
+        match check d with
+        | Solver.Sat -> `Sat d
+        | Solver.Unknown -> `Budget
+        | Solver.Unsat -> if d >= t_max then `Horizon else ascend (min t_max (grow_bound d))
+    in
+    (* descent: tighten by 1 until UNSAT; [d] is known SAT *)
+    let rec descend d =
+      if d - 1 < t_lb then (d, true)
+      else if Stopwatch.exhausted budget then (d, false)
+      else
+        match check (d - 1) with
+        | Solver.Sat -> descend (d - 1)
+        | Solver.Unsat -> (d, true)
+        | Solver.Unknown -> (d, false)
+    in
+    match ascend t_lb with
+    | `Budget -> fail ()
+    | `Horizon -> with_horizon (grow_bound t_max)
+    | `Sat d_first -> (
+      let d, optimal = descend d_first in
+      (* re-solve at the chosen bound so the solver holds its model *)
+      match check d with
+      | Solver.Sat ->
+        let status = if optimal then Result_.Optimal else Result_.Feasible in
+        let result =
+          Encoder.extract ~status ~solve_seconds:(Stopwatch.elapsed clock) ~iterations:!iterations
+            enc
+        in
+        ( {
+            result = Some result;
+            optimal;
+            iterations = !iterations;
+            total_seconds = Stopwatch.elapsed clock;
+            pareto = [ (d, result.Result_.swap_count) ];
+          },
+          Some (enc, d) )
+      | Solver.Unsat | Solver.Unknown ->
+        (* unreachable in practice: the same bound was SAT moments ago *)
+        fail ())
+  in
+  with_horizon (Instance.depth_upper_bound instance)
+
+let minimize_depth ?config ?budget_seconds instance =
+  fst (minimize_depth_with_encoder ?config ?budget_seconds instance)
+
+(* ---- SWAP optimization (iterative refinement, §III-B-2) ---- *)
+
+(* Descend the SWAP bound under the depth selector for [depth].  [start]
+   is the count of the model currently in the solver.  On return the
+   solver's model is the best one found.  Returns (best count, proven
+   optimal at this depth). *)
+let descend_swaps enc ~depth ~start ~budget iterations =
+  Encoder.build_counter enc ~max_bound:(max start 1);
+  let rec go best =
+    if best = 0 then (best, true)
+    else if Stopwatch.exhausted budget then (best, false)
+    else begin
+      incr iterations;
+      let sel = Encoder.depth_selector enc depth in
+      let assumptions =
+        match Encoder.swap_bound_assumption enc (best - 1) with
+        | Some a -> [ sel; a ]
+        | None -> [ sel ]
+      in
+      match Encoder.solve ~assumptions ?timeout:(remaining_or_none budget) enc with
+      | Solver.Sat -> go (Encoder.model_swap_count enc)
+      | Solver.Unsat -> (best, true)
+      | Solver.Unknown -> (best, false)
+    end
+  in
+  go start
+
+(* Seeding of a depth level's descent:
+   [Fresh]       no bound (the very first depth, no warm start);
+   [Warm w]      try to start below a heuristic upper bound [w] (paper:
+                 "S_UB can alternatively be determined by other heuristic
+                 layout synthesizers"); fall back to Fresh on UNSAT;
+   [Tightened b] relaxed depth must beat the previous best [b], else stop
+                 (paper termination condition 2). *)
+type seed = Fresh | Warm of int | Tightened of int
+
+let minimize_swaps ?(config = Config.default) ?budget_seconds ?(max_depth_relax = 4) ?warm_start
+    instance =
+  let clock = Stopwatch.start () in
+  let depth_outcome, enc_opt = minimize_depth_with_encoder ~config ?budget_seconds instance in
+  match (depth_outcome.result, enc_opt) with
+  | None, _ | _, None -> depth_outcome
+  | Some _, Some (enc0, d0) ->
+    let budget = Stopwatch.budget (Option.map (fun b -> b -. Stopwatch.elapsed clock) budget_seconds) in
+    let iterations = ref depth_outcome.iterations in
+    let pareto = ref [] in
+    let best = ref None in
+    let best_optimal = ref false in
+    let capture enc optimal =
+      let status = if optimal then Result_.Optimal else Result_.Feasible in
+      Encoder.extract ~status ~solve_seconds:(Stopwatch.elapsed clock) ~iterations:!iterations enc
+    in
+    (* Sweep depth bounds d0, d0+1, ...; at each, descend the SWAP count. *)
+    let rec sweep enc d seed relax_left =
+      incr iterations;
+      let sel = Encoder.depth_selector enc d in
+      let bound_assumption b =
+        Encoder.build_counter enc ~max_bound:(max b 1);
+        match Encoder.swap_bound_assumption enc (max 0 (b - 1)) with
+        | Some a -> [ sel; a ]
+        | None -> [ sel ]
+      in
+      let assumptions =
+        match seed with
+        | Fresh -> [ sel ]
+        | Warm w | Tightened w -> bound_assumption w
+      in
+      let prev = match seed with Fresh | Warm _ -> None | Tightened b -> Some b in
+      match Encoder.solve ~assumptions ?timeout:(remaining_or_none budget) enc with
+      | Solver.Unsat when (match seed with Warm _ -> true | Fresh | Tightened _ -> false) ->
+        (* heuristic bound too tight for the optimal depth: restart the
+           level without it *)
+        sweep enc d Fresh relax_left
+      | Solver.Unsat | Solver.Unknown ->
+        (* no improvement at the relaxed depth (paper termination cond. 2),
+           or out of budget *)
+        ()
+      | Solver.Sat ->
+        let start = Encoder.model_swap_count enc in
+        let count, optimal = descend_swaps enc ~depth:d ~start ~budget iterations in
+        pareto := (d, count) :: !pareto;
+        let improves = match prev with None -> true | Some b -> count < b in
+        if improves then begin
+          best := Some (capture enc optimal);
+          best_optimal := optimal
+        end;
+        if count > 0 && relax_left > 0 && not (Stopwatch.exhausted budget) then begin
+          let d' = d + 1 in
+          let enc' =
+            if d' + 1 <= enc.Encoder.t_max then enc
+            else Encoder.build ~config instance ~t_max:(d' + 2)
+          in
+          sweep enc' d' (Tightened count) (relax_left - 1)
+        end
+    in
+    let initial_seed = match warm_start with Some w when w >= 0 -> Warm w | Some _ | None -> Fresh in
+    sweep enc0 d0 initial_seed max_depth_relax;
+    let result =
+      match !best with
+      | Some r -> Some r
+      | None -> depth_outcome.result (* fall back to the depth-optimal model *)
+    in
+    {
+      result;
+      optimal = !best_optimal;
+      iterations = !iterations;
+      total_seconds = Stopwatch.elapsed clock;
+      pareto = List.rev !pareto;
+    }
+
+(* ---- fidelity-aware SWAP optimization ---- *)
+
+(* Minimize the *weighted* SWAP cost at the optimal depth: [weights e] is
+   the integer cost of a SWAP on edge [e] (e.g. scaled -log fidelity), so
+   the synthesizer prefers routing through high-fidelity couplers.  Same
+   iterative descent as [minimize_swaps], over the weighted counter. *)
+let minimize_weighted_swaps ?(config = Config.default) ?budget_seconds ~weights instance =
+  let clock = Stopwatch.start () in
+  let depth_outcome, enc_opt = minimize_depth_with_encoder ~config ?budget_seconds instance in
+  match (depth_outcome.result, enc_opt) with
+  | None, _ | _, None -> depth_outcome
+  | Some _, Some (enc, d) ->
+    let budget =
+      Stopwatch.budget (Option.map (fun b -> b -. Stopwatch.elapsed clock) budget_seconds)
+    in
+    let iterations = ref depth_outcome.iterations in
+    let sel = Encoder.depth_selector enc d in
+    let start = Encoder.model_weighted_cost enc ~weights in
+    Encoder.build_weighted_counter enc ~weights ~max_bound:(max start 1);
+    let rec descend best =
+      if best = 0 then (best, true)
+      else if Stopwatch.exhausted budget then (best, false)
+      else begin
+        incr iterations;
+        let assumptions =
+          match Encoder.swap_bound_assumption enc (best - 1) with
+          | Some a -> [ sel; a ]
+          | None -> [ sel ]
+        in
+        match Encoder.solve ~assumptions ?timeout:(remaining_or_none budget) enc with
+        | Solver.Sat -> descend (Encoder.model_weighted_cost enc ~weights)
+        | Solver.Unsat -> (best, true)
+        | Solver.Unknown -> (best, false)
+      end
+    in
+    let cost, optimal = descend start in
+    (* the winning model is still in the solver *)
+    let status = if optimal then Result_.Optimal else Result_.Feasible in
+    let result =
+      Encoder.extract ~status ~solve_seconds:(Stopwatch.elapsed clock) ~iterations:!iterations enc
+    in
+    {
+      result = Some result;
+      optimal;
+      iterations = !iterations;
+      total_seconds = Stopwatch.elapsed clock;
+      pareto = [ (d, cost) ];
+    }
+
+(* ---- transition-based optimization (TB-OLSQ2, §III-D) ---- *)
+
+type tb_outcome = {
+  tb_result : Tb_encoder.result option;
+  tb_optimal : bool;
+  tb_iterations : int;
+  tb_seconds : float;
+}
+
+(* Block-count minimization: the bound starts at 1 and increases by 1 on
+   UNSAT (paper §III-D). *)
+let tb_minimize_blocks ?(config = Config.default) ?budget_seconds ?(max_blocks = 16) instance =
+  let budget = Stopwatch.budget budget_seconds in
+  let clock = Stopwatch.start () in
+  let iterations = ref 0 in
+  let done_ result optimal =
+    { tb_result = result; tb_optimal = optimal; tb_iterations = !iterations; tb_seconds = Stopwatch.elapsed clock }
+  in
+  let rec try_blocks b =
+    if b > max_blocks || Stopwatch.exhausted budget then done_ None false
+    else begin
+      let enc = Tb_encoder.build ~config instance ~num_blocks:b in
+      incr iterations;
+      match Tb_encoder.solve ?timeout:(remaining_or_none budget) enc with
+      | Solver.Sat ->
+        let r =
+          Tb_encoder.extract ~status:Result_.Optimal ~solve_seconds:(Stopwatch.elapsed clock)
+            ~iterations:!iterations enc
+        in
+        done_ (Some r) true
+      | Solver.Unsat -> try_blocks (b + 1)
+      | Solver.Unknown -> done_ None false
+    end
+  in
+  try_blocks 1
+
+(* Descend the SWAP bound on a TB encoder holding a model. *)
+let tb_descend enc ~budget iterations =
+  let start = Tb_encoder.model_swap_count enc in
+  Tb_encoder.build_counter enc ~max_bound:(max start 1);
+  let rec go best =
+    if best = 0 then (best, true)
+    else if Stopwatch.exhausted budget then (best, false)
+    else begin
+      incr iterations;
+      match Tb_encoder.swap_bound_assumption enc (best - 1) with
+      | None -> (best, true)
+      | Some a -> (
+        match Tb_encoder.solve ~assumptions:[ a ] ?timeout:(remaining_or_none budget) enc with
+        | Solver.Sat -> go (Tb_encoder.model_swap_count enc)
+        | Solver.Unsat -> (best, true)
+        | Solver.Unknown -> (best, false))
+    end
+  in
+  go start
+
+(* SWAP minimization on the transition-based model: minimal block count
+   first, then SWAP descent; relax the block count while it reduces the
+   SWAP count further. *)
+let tb_minimize_swaps ?(config = Config.default) ?budget_seconds ?(max_blocks = 16)
+    ?(max_block_relax = 2) instance =
+  let budget = Stopwatch.budget budget_seconds in
+  let clock = Stopwatch.start () in
+  let iterations = ref 0 in
+  let best = ref None in
+  let best_optimal = ref false in
+  let record enc optimal =
+    let status = if optimal then Result_.Optimal else Result_.Feasible in
+    let r =
+      Tb_encoder.extract ~status ~solve_seconds:(Stopwatch.elapsed clock) ~iterations:!iterations
+        enc
+    in
+    let keep =
+      match !best with
+      | None -> true
+      | Some b -> r.Tb_encoder.swap_count < b.Tb_encoder.swap_count
+    in
+    if keep then begin
+      best := Some r;
+      best_optimal := optimal
+    end;
+    r.Tb_encoder.swap_count
+  in
+  (* find the minimal SAT block count *)
+  let rec first_sat b =
+    if b > max_blocks || Stopwatch.exhausted budget then None
+    else begin
+      let enc = Tb_encoder.build ~config instance ~num_blocks:b in
+      incr iterations;
+      match Tb_encoder.solve ?timeout:(remaining_or_none budget) enc with
+      | Solver.Sat -> Some (enc, b)
+      | Solver.Unsat -> first_sat (b + 1)
+      | Solver.Unknown -> None
+    end
+  in
+  (match first_sat 1 with
+  | None -> ()
+  | Some (enc, b0) ->
+    let count, optimal = tb_descend enc ~budget iterations in
+    let count = record enc optimal |> min count in
+    (* relax the block count while it still reduces SWAPs *)
+    let rec relax b prev relax_left =
+      if prev = 0 || relax_left = 0 || b + 1 > max_blocks || Stopwatch.exhausted budget then ()
+      else begin
+        let enc' = Tb_encoder.build ~config instance ~num_blocks:(b + 1) in
+        Tb_encoder.build_counter enc' ~max_bound:(max prev 1);
+        incr iterations;
+        match Tb_encoder.swap_bound_assumption enc' (prev - 1) with
+        | None -> ()
+        | Some a -> (
+          match Tb_encoder.solve ~assumptions:[ a ] ?timeout:(remaining_or_none budget) enc' with
+          | Solver.Unsat | Solver.Unknown -> () (* no improvement: stop *)
+          | Solver.Sat ->
+            let c, opt = tb_descend enc' ~budget iterations in
+            let c = record enc' opt |> min c in
+            relax (b + 1) c (relax_left - 1))
+      end
+    in
+    relax b0 count max_block_relax);
+  {
+    tb_result = !best;
+    tb_optimal = !best_optimal;
+    tb_iterations = !iterations;
+    tb_seconds = Stopwatch.elapsed clock;
+  }

@@ -1,0 +1,60 @@
+(** Iterative-refinement optimization loops (paper §III-B):
+    assumption-driven bound search over incremental solver state. *)
+
+type outcome = {
+  result : Result_.t option;
+  optimal : bool;
+  iterations : int;  (** total solver calls *)
+  total_seconds : float;
+  pareto : (int * int) list;  (** (depth bound, best SWAPs proven at it) *)
+}
+
+(** Depth minimization: geometric ascent from T_LB, then unit descent
+    (paper §III-B-1).  [budget_seconds] bounds wall-clock time. *)
+val minimize_depth : ?config:Config.t -> ?budget_seconds:float -> Instance.t -> outcome
+
+(** As {!minimize_depth}, additionally returning the encoder positioned at
+    the found depth for follow-up optimization. *)
+val minimize_depth_with_encoder :
+  ?config:Config.t -> ?budget_seconds:float -> Instance.t -> outcome * (Encoder.t * int) option
+
+(** SWAP minimization with 2-D (depth, SWAP) refinement (paper §III-B-2):
+    depth-optimal start, iterative SWAP descent, then depth relaxation
+    while it keeps improving (up to [max_depth_relax] steps).
+    [warm_start] supplies a heuristic SWAP upper bound (e.g. SABRE's
+    count) to seed the first descent, as the paper suggests for S_UB. *)
+val minimize_swaps :
+  ?config:Config.t ->
+  ?budget_seconds:float ->
+  ?max_depth_relax:int ->
+  ?warm_start:int ->
+  Instance.t ->
+  outcome
+
+(** Fidelity-aware SWAP minimization at optimal depth: [weights e] is the
+    integer cost of a SWAP on edge [e] (e.g. scaled -log fidelity).  The
+    pareto entry records (depth, optimal weighted cost). *)
+val minimize_weighted_swaps :
+  ?config:Config.t -> ?budget_seconds:float -> weights:(int -> int) -> Instance.t -> outcome
+
+type tb_outcome = {
+  tb_result : Tb_encoder.result option;
+  tb_optimal : bool;
+  tb_iterations : int;
+  tb_seconds : float;
+}
+
+(** TB-OLSQ2 block-count minimization: bound starts at 1, +1 on UNSAT
+    (paper §III-D). *)
+val tb_minimize_blocks :
+  ?config:Config.t -> ?budget_seconds:float -> ?max_blocks:int -> Instance.t -> tb_outcome
+
+(** TB-OLSQ2 SWAP minimization: minimal block count, SWAP descent, then
+    block-count relaxation while it reduces SWAPs. *)
+val tb_minimize_swaps :
+  ?config:Config.t ->
+  ?budget_seconds:float ->
+  ?max_blocks:int ->
+  ?max_block_relax:int ->
+  Instance.t ->
+  tb_outcome

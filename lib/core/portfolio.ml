@@ -1,0 +1,114 @@
+(* Parallel portfolio synthesis (paper §V, future direction implemented):
+   "support parallel layout synthesis by solving multiple instances
+   simultaneously ... a portfolio of instances by generating
+   configurations for a wide range of objective bounds [and] different
+   encoding methods".
+
+   Each arm (a formulation/encoding/model choice) runs the full
+   optimization loop in its own OCaml 5 domain on an independent encoder
+   and solver; the best valid result wins.  Per-arm outcomes are reported
+   so the harness can show portfolio latency (min over arms) next to
+   single-arm latency. *)
+
+type objective = Depth | Swaps
+
+type arm = {
+  arm_name : string;
+  arm_config : Config.t;
+  arm_model : [ `Full | `Transition ];
+}
+
+let default_arms = function
+  | Depth ->
+    [
+      { arm_name = "olsq2-bv"; arm_config = Config.olsq2_bv; arm_model = `Full };
+      { arm_name = "olsq2-euf-bv"; arm_config = Config.olsq2_euf_bv; arm_model = `Full };
+      {
+        arm_name = "olsq2-direct";
+        arm_config = { Config.olsq2_bv with Config.var_encoding = Config.Onehot };
+        arm_model = `Full;
+      };
+    ]
+  | Swaps ->
+    [
+      { arm_name = "olsq2-bv"; arm_config = Config.olsq2_bv; arm_model = `Full };
+      {
+        arm_name = "olsq2-bv-totalizer";
+        arm_config = { Config.olsq2_bv with Config.cardinality = Config.Totalizer };
+        arm_model = `Full;
+      };
+      { arm_name = "tb-olsq2"; arm_config = Config.olsq2_bv; arm_model = `Transition };
+    ]
+
+type arm_outcome = {
+  arm : arm;
+  seconds : float;
+  result : Result_.t option;
+  blocks : int option; (* transition arms only *)
+  optimal : bool;
+}
+
+type report = { winner : arm_outcome option; arms : arm_outcome list }
+
+let run_arm objective budget_seconds instance arm =
+  let clock = Olsq2_util.Stopwatch.start () in
+  let result, blocks, optimal =
+    match (arm.arm_model, objective) with
+    | `Full, Depth ->
+      let o = Optimizer.minimize_depth ~config:arm.arm_config ?budget_seconds instance in
+      (o.Optimizer.result, None, o.Optimizer.optimal)
+    | `Full, Swaps ->
+      let o = Optimizer.minimize_swaps ~config:arm.arm_config ?budget_seconds instance in
+      (o.Optimizer.result, None, o.Optimizer.optimal)
+    | `Transition, Depth ->
+      let o = Optimizer.tb_minimize_blocks ~config:arm.arm_config ?budget_seconds instance in
+      (match o.Optimizer.tb_result with
+      | Some r -> (Some r.Tb_encoder.expanded, Some r.Tb_encoder.blocks, o.Optimizer.tb_optimal)
+      | None -> (None, None, false))
+    | `Transition, Swaps ->
+      let o = Optimizer.tb_minimize_swaps ~config:arm.arm_config ?budget_seconds instance in
+      (match o.Optimizer.tb_result with
+      | Some r -> (Some r.Tb_encoder.expanded, Some r.Tb_encoder.blocks, o.Optimizer.tb_optimal)
+      | None -> (None, None, false))
+  in
+  (* never hand back an invalid model from a racing arm *)
+  let result =
+    match result with
+    | Some r when Validate.is_valid instance r -> Some r
+    | Some _ | None -> None
+  in
+  { arm; seconds = Olsq2_util.Stopwatch.elapsed clock; result; blocks; optimal }
+
+(* Smaller objective value wins; ties break on proven optimality, then
+   wall-clock. *)
+let better objective a b =
+  match (a.result, b.result) with
+  | None, None -> a
+  | Some _, None -> a
+  | None, Some _ -> b
+  | Some ra, Some rb ->
+    let key r = match objective with Depth -> r.Result_.depth | Swaps -> r.Result_.swap_count in
+    let ka = key ra and kb = key rb in
+    if ka < kb then a
+    else if kb < ka then b
+    else if a.optimal && not b.optimal then a
+    else if b.optimal && not a.optimal then b
+    else if a.seconds <= b.seconds then a
+    else b
+
+let run ?budget_seconds ?arms objective instance =
+  let arms = match arms with Some a -> a | None -> default_arms objective in
+  (* transition arms make no sense for exact depth; caller-supplied arms
+     are trusted *)
+  let domains =
+    List.map (fun arm -> Domain.spawn (fun () -> run_arm objective budget_seconds instance arm)) arms
+  in
+  let outcomes = List.map Domain.join domains in
+  let winner =
+    match outcomes with
+    | [] -> None
+    | first :: rest -> (
+      let best = List.fold_left (better objective) first rest in
+      match best.result with Some _ -> Some best | None -> None)
+  in
+  { winner; arms = outcomes }

@@ -1,0 +1,30 @@
+(** Parallel portfolio synthesis (the paper's §V parallelization
+    direction, implemented with OCaml 5 domains): several
+    formulation/encoding/model arms race on independent solvers and the
+    best valid result wins. *)
+
+type objective = Depth | Swaps
+
+type arm = {
+  arm_name : string;
+  arm_config : Config.t;
+  arm_model : [ `Full | `Transition ];
+}
+
+(** Built-in arm sets per objective (bit-vector, inverse-channel /
+    totalizer, transition-based). *)
+val default_arms : objective -> arm list
+
+type arm_outcome = {
+  arm : arm;
+  seconds : float;
+  result : Result_.t option;  (** validated before being reported *)
+  blocks : int option;
+  optimal : bool;
+}
+
+type report = { winner : arm_outcome option; arms : arm_outcome list }
+
+(** Run every arm in its own domain and pick the best outcome (smaller
+    objective; ties break on proven optimality, then wall-clock). *)
+val run : ?budget_seconds:float -> ?arms:arm list -> objective -> Instance.t -> report

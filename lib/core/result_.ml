@@ -1,0 +1,42 @@
+(* Layout synthesis results (paper §II-A outputs): the qubit mapping
+   pi_q^t per time step, the gate schedule t_g, and the inserted SWAPs. *)
+
+type swap = { sw_edge : int * int; sw_finish : int (* last occupied time step *) }
+
+type status =
+  | Optimal (* proven optimal for the requested objective *)
+  | Feasible (* valid but optimality not proven (budget exhausted) *)
+  | Timeout (* no solution found within the budget *)
+
+type t = {
+  status : status;
+  depth : int; (* number of time steps used (max finish time + 1) *)
+  swap_count : int;
+  mapping : int array array; (* mapping.(t).(q) = physical qubit *)
+  schedule : int array; (* gate id -> execution time step *)
+  swaps : swap list;
+  solve_seconds : float;
+  iterations : int; (* optimizer iterations (solver calls) *)
+}
+
+let initial_mapping t = if Array.length t.mapping = 0 then [||] else t.mapping.(0)
+
+let status_string = function
+  | Optimal -> "optimal"
+  | Feasible -> "feasible"
+  | Timeout -> "timeout"
+
+let pp fmt t =
+  Format.fprintf fmt "status=%s depth=%d swaps=%d time=%.2fs iters=%d" (status_string t.status)
+    t.depth t.swap_count t.solve_seconds t.iterations
+
+let pp_detailed fmt t =
+  pp fmt t;
+  Format.fprintf fmt "@.initial mapping:";
+  Array.iteri (fun q p -> Format.fprintf fmt " q%d->p%d" q p) (initial_mapping t);
+  Format.fprintf fmt "@.schedule:";
+  Array.iteri (fun g time -> Format.fprintf fmt " g%d@@t%d" g time) t.schedule;
+  List.iter
+    (fun { sw_edge = p, p'; sw_finish } ->
+      Format.fprintf fmt "@.swap (p%d,p%d) finishing at t%d" p p' sw_finish)
+    t.swaps

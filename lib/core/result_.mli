@@ -1,0 +1,27 @@
+(** Layout synthesis results: mapping, schedule and inserted SWAPs. *)
+
+type swap = {
+  sw_edge : int * int;  (** physical qubits, normalized [fst < snd] *)
+  sw_finish : int;  (** last occupied time step *)
+}
+
+type status =
+  | Optimal  (** proven optimal for the requested objective *)
+  | Feasible  (** valid, optimality not proven (budget exhausted) *)
+  | Timeout  (** no solution within the budget *)
+
+type t = {
+  status : status;
+  depth : int;  (** time steps used: max finish time + 1 *)
+  swap_count : int;
+  mapping : int array array;  (** [mapping.(t).(q)] = physical qubit *)
+  schedule : int array;  (** gate id to execution time step *)
+  swaps : swap list;
+  solve_seconds : float;
+  iterations : int;  (** solver calls made by the optimizer *)
+}
+
+val initial_mapping : t -> int array
+val status_string : status -> string
+val pp : Format.formatter -> t -> unit
+val pp_detailed : Format.formatter -> t -> unit

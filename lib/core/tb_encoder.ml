@@ -1,0 +1,328 @@
+(* Transition-based coarse-grained model (paper §III-D, TB-OLSQ2).
+
+   Time is abstracted into *blocks* separated by SWAP transitions: the
+   mapping is constant inside a block, dependent gates may share a block
+   (ordering inside a block is implicit), and all SWAPs happen between
+   blocks.  Eq. 2/3 disappear; the model is dramatically smaller, at the
+   price of depth-optimality (SWAP counts remain near-optimal).
+
+   [expand] lowers a block-level model back to a concrete schedule (ASAP
+   within each block, parallel SWAP layers between blocks) so the result
+   can be checked by the standard validator and compared on equal terms
+   with the full model. *)
+
+module F = Olsq2_encode.Formula
+module Ctx = Olsq2_encode.Ctx
+module Cardinality = Olsq2_encode.Cardinality
+module Pb = Olsq2_encode.Pb
+module Lit = Olsq2_sat.Lit
+module Solver = Olsq2_sat.Solver
+module Circuit = Olsq2_circuit.Circuit
+module Gate = Olsq2_circuit.Gate
+module Dag = Olsq2_circuit.Dag
+module Coupling = Olsq2_device.Coupling
+
+type counter = Card of Cardinality.outputs | Adder_net of Pb.t
+
+type t = {
+  instance : Instance.t;
+  config : Config.t;
+  ctx : Ctx.t;
+  num_blocks : int;
+  pi : Ivar.t array array; (* pi.(q).(b) *)
+  time : Ivar.t array; (* block index per gate *)
+  sigma : Lit.t array array; (* sigma.(e).(b), b in 0 .. num_blocks-2 *)
+  block_selectors : (int, Lit.t) Hashtbl.t;
+  mutable counters : (int * counter) list; (* (max expressible bound, counter) *)
+}
+
+let solver t = Ctx.solver t.ctx
+
+let sigma_lits t =
+  let out = ref [] in
+  Array.iteri (fun e row -> Array.iteri (fun b l -> out := (e, b, l) :: !out) row) t.sigma;
+  List.rev !out
+
+let assert_injectivity enc =
+  let nq = Instance.num_qubits enc.instance in
+  let np = Instance.num_physical enc.instance in
+  match enc.config.Config.injectivity with
+  | Config.Pairwise ->
+    for b = 0 to enc.num_blocks - 1 do
+      for q = 0 to nq - 1 do
+        for q' = q + 1 to nq - 1 do
+          Ctx.assert_formula enc.ctx (Ivar.neq enc.pi.(q).(b) enc.pi.(q').(b))
+        done
+      done
+    done
+  | Config.Inverse ->
+    let pi_inv =
+      Array.init np (fun _ ->
+          Array.init enc.num_blocks (fun _ ->
+              Ivar.fresh enc.ctx enc.config.Config.var_encoding nq))
+    in
+    for b = 0 to enc.num_blocks - 1 do
+      for q = 0 to nq - 1 do
+        for p = 0 to np - 1 do
+          Ctx.assert_formula enc.ctx
+            (F.imply (Ivar.eq_const enc.pi.(q).(b) p) (Ivar.eq_const pi_inv.(p).(b) q))
+        done
+      done
+    done
+
+(* Dependent gates may share a block: non-strict ordering. *)
+let assert_dependencies enc =
+  List.iter
+    (fun (g, g') -> Ctx.assert_formula enc.ctx (Ivar.le enc.time.(g) enc.time.(g')))
+    (Dag.dependencies enc.instance.Instance.dag)
+
+let assert_adjacency enc =
+  let device = enc.instance.Instance.device in
+  let circuit = enc.instance.Instance.circuit in
+  Array.iter
+    (fun (g : Gate.t) ->
+      if Gate.is_two_qubit g then begin
+        let q, q' = Gate.pair g in
+        for b = 0 to enc.num_blocks - 1 do
+          let disjuncts = ref [] in
+          Array.iter
+            (fun (p, p') ->
+              disjuncts :=
+                F.and_ [ Ivar.eq_const enc.pi.(q).(b) p; Ivar.eq_const enc.pi.(q').(b) p' ]
+                :: F.and_ [ Ivar.eq_const enc.pi.(q).(b) p'; Ivar.eq_const enc.pi.(q').(b) p ]
+                :: !disjuncts)
+            device.Coupling.edges;
+          Ctx.assert_formula enc.ctx
+            (F.imply (Ivar.eq_const enc.time.(g.Gate.id) b) (F.or_ !disjuncts))
+        done
+      end)
+    circuit.Circuit.gates
+
+(* Between consecutive blocks the mapping is permuted by the transition's
+   SWAP layer; SWAPs in one layer must not share a qubit. *)
+let assert_transitions enc =
+  let device = enc.instance.Instance.device in
+  let nq = Instance.num_qubits enc.instance in
+  let np = Instance.num_physical enc.instance in
+  for b = 0 to enc.num_blocks - 2 do
+    for q = 0 to nq - 1 do
+      for p = 0 to np - 1 do
+        let here = Ivar.eq_const enc.pi.(q).(b) p in
+        let incident = Coupling.incident_edges device p in
+        let no_swap = F.and_ (List.map (fun e -> F.Not (F.Atom enc.sigma.(e).(b))) incident) in
+        Ctx.assert_formula enc.ctx
+          (F.imply (F.and_ [ here; no_swap ]) (Ivar.eq_const enc.pi.(q).(b + 1) p));
+        List.iter
+          (fun e ->
+            let pa, pb = Coupling.edge device e in
+            let other = if pa = p then pb else pa in
+            Ctx.assert_formula enc.ctx
+              (F.imply
+                 (F.and_ [ F.Atom enc.sigma.(e).(b); here ])
+                 (Ivar.eq_const enc.pi.(q).(b + 1) other)))
+          incident
+      done
+    done;
+    (* matching constraint within one transition layer *)
+    let ne = Coupling.num_edges device in
+    for e = 0 to ne - 1 do
+      for e' = e + 1 to ne - 1 do
+        let a, b' = Coupling.edge device e and c, d = Coupling.edge device e' in
+        if a = c || a = d || b' = c || b' = d then
+          Ctx.add_clause enc.ctx [ Lit.negate enc.sigma.(e).(b); Lit.negate enc.sigma.(e').(b) ]
+      done
+    done
+  done
+
+let build ?(config = Config.default) instance ~num_blocks =
+  if num_blocks < 1 then invalid_arg "Tb_encoder.build: need at least one block";
+  let ctx = Ctx.create () in
+  let nq = Instance.num_qubits instance in
+  let ne = Coupling.num_edges instance.Instance.device in
+  let ng = Instance.num_gates instance in
+  let enc_kind = config.Config.var_encoding in
+  let pi =
+    Array.init nq (fun _ ->
+        Array.init num_blocks (fun _ -> Ivar.fresh ctx enc_kind (Instance.num_physical instance)))
+  in
+  let time = Array.init ng (fun _ -> Ivar.fresh ctx enc_kind num_blocks) in
+  let sigma =
+    Array.init ne (fun _ -> Array.init (max 0 (num_blocks - 1)) (fun _ -> Ctx.fresh_var ctx))
+  in
+  let enc =
+    { instance; config; ctx; num_blocks; pi; time; sigma; block_selectors = Hashtbl.create 8; counters = [] }
+  in
+  assert_injectivity enc;
+  assert_dependencies enc;
+  assert_adjacency enc;
+  assert_transitions enc;
+  enc
+
+(* Pin the first block's mapping (used by chunked baselines such as the
+   SATMap-style slicer, where each chunk inherits the previous chunk's
+   final mapping). *)
+let fix_initial_mapping enc m =
+  if Array.length m <> Instance.num_qubits enc.instance then
+    invalid_arg "Tb_encoder.fix_initial_mapping: wrong arity";
+  Array.iteri (fun q p -> Ctx.assert_formula enc.ctx (Ivar.eq_const enc.pi.(q).(0) p)) m
+
+(* Selector enforcing "at most [b] blocks": gates in blocks < b, and no
+   SWAP layer at or after transition b-1. *)
+let block_selector enc b =
+  match Hashtbl.find_opt enc.block_selectors b with
+  | Some l -> l
+  | None ->
+    let l = Ctx.fresh enc.ctx in
+    Array.iter (fun tv -> Ctx.assert_implied enc.ctx ~guard:l (Ivar.le_const tv (b - 1))) enc.time;
+    List.iter
+      (fun (_, bt, sl) -> if bt >= b - 1 then Ctx.add_clause enc.ctx [ Lit.negate l; Lit.negate sl ])
+      (sigma_lits enc);
+    Hashtbl.add enc.block_selectors b l;
+    l
+
+let counter_capacity inputs = function
+  | Card out -> Array.length out.Cardinality.count_ge - 1
+  | Adder_net _ -> inputs
+
+(* Build (or widen) the SWAP counter so bounds up to [max_bound] are
+   expressible. *)
+let build_counter enc ~max_bound =
+  let lits = Array.of_list (List.map (fun (_, _, l) -> l) (sigma_lits enc)) in
+  let n = Array.length lits in
+  let wanted = min max_bound n in
+  if not (List.exists (fun (cap, _) -> cap >= wanted) enc.counters) then begin
+    let counter =
+      match enc.config.Config.cardinality with
+      | Config.Seq_counter ->
+        Card (Cardinality.sequential_counter ~width:(min n (wanted + 1)) enc.ctx lits)
+      | Config.Totalizer -> Card (Cardinality.totalizer enc.ctx lits)
+      | Config.Adder -> Adder_net (Pb.adder_network enc.ctx lits)
+    in
+    enc.counters <- (counter_capacity n counter, counter) :: enc.counters
+  end
+
+let swap_bound_assumption enc k =
+  if enc.counters = [] then invalid_arg "Tb_encoder.swap_bound_assumption: counter not built";
+  let try_counter (cap, counter) =
+    if cap < k then None
+    else
+      match counter with
+      | Card out -> Cardinality.at_most_assumption out k
+      | Adder_net net -> Some (Pb.at_most_assumption enc.ctx net k)
+  in
+  let ordered = List.sort (fun (a, _) (b, _) -> compare a b) enc.counters in
+  List.find_map try_counter ordered
+
+(* Lazy-integer configurations route through the theory CEGAR loop. *)
+let solve ?(assumptions = []) ?timeout enc =
+  match enc.config.Config.var_encoding with
+  | Config.Lazy_int -> Theory_int.solve ~assumptions ?timeout (Theory_int.of_ctx enc.ctx)
+  | Config.Onehot | Config.Binary -> Solver.solve ~assumptions ?timeout (solver enc)
+
+let model_swap_count enc =
+  List.length (List.filter (fun (_, _, l) -> Solver.model_value (solver enc) l) (sigma_lits enc))
+
+(* ---- expansion back to a concrete schedule ---- *)
+
+type block_model = {
+  used_blocks : int;
+  gate_block : int array;
+  block_mapping : int array array; (* block_mapping.(b).(q) = p *)
+  layer_swaps : (int * int) list array; (* swaps of transition b (edges) *)
+}
+
+let read_block_model enc =
+  let s = solver enc in
+  let ng = Instance.num_gates enc.instance in
+  let nq = Instance.num_qubits enc.instance in
+  let gate_block = Array.init ng (fun g -> Ivar.value s enc.time.(g)) in
+  let used_blocks = 1 + Array.fold_left max 0 gate_block in
+  let block_mapping =
+    Array.init used_blocks (fun b -> Array.init nq (fun q -> Ivar.value s enc.pi.(q).(b)))
+  in
+  let layer_swaps =
+    Array.init
+      (max 0 (used_blocks - 1))
+      (fun b ->
+        List.filter_map
+          (fun (e, bt, l) ->
+            if bt = b && Solver.model_value s l then
+              Some (Coupling.edge enc.instance.Instance.device e)
+            else None)
+          (sigma_lits enc))
+  in
+  { used_blocks; gate_block; block_mapping; layer_swaps }
+
+(* ASAP-schedule each block's gates, then append the transition's SWAP
+   layer; produces a full Result_.t the standard validator accepts. *)
+let expand instance (bm : block_model) ~status ~solve_seconds ~iterations =
+  let circuit = instance.Instance.circuit in
+  let nq = Instance.num_qubits instance in
+  let sd = instance.Instance.swap_duration in
+  let ng = Circuit.num_gates circuit in
+  let schedule = Array.make ng 0 in
+  let swaps = ref [] in
+  let mapping_rows = ref [] in
+  (* append one time step with the block's mapping *)
+  let push_step m = mapping_rows := m :: !mapping_rows in
+  let now = ref 0 in
+  for b = 0 to bm.used_blocks - 1 do
+    let block_map = bm.block_mapping.(b) in
+    (* ASAP inside the block: ready time per program qubit *)
+    let ready = Array.make nq !now in
+    let block_end = ref !now in
+    Array.iter
+      (fun (g : Gate.t) ->
+        if bm.gate_block.(g.Gate.id) = b then begin
+          let qs = Gate.qubits g in
+          let start = List.fold_left (fun acc q -> max acc ready.(q)) !now qs in
+          schedule.(g.Gate.id) <- start;
+          List.iter (fun q -> ready.(q) <- start + 1) qs;
+          block_end := max !block_end (start + 1)
+        end)
+      circuit.Circuit.gates;
+    (* a block occupies at least one step so the mapping row exists *)
+    let block_end = max !block_end (!now + 1) in
+    for _ = !now to block_end - 1 do
+      push_step (Array.copy block_map)
+    done;
+    now := block_end;
+    (* transition SWAP layer *)
+    if b < bm.used_blocks - 1 then begin
+      let layer = bm.layer_swaps.(b) in
+      if layer <> [] then begin
+        let finish = !now + sd - 1 in
+        List.iter (fun e -> swaps := { Result_.sw_edge = e; sw_finish = finish } :: !swaps) layer;
+        for _ = !now to finish do
+          push_step (Array.copy block_map)
+        done;
+        now := finish + 1
+      end
+    end
+  done;
+  let mapping = Array.of_list (List.rev !mapping_rows) in
+  {
+    Result_.status;
+    depth = !now;
+    swap_count = List.length !swaps;
+    mapping;
+    schedule;
+    swaps = List.rev !swaps;
+    solve_seconds;
+    iterations;
+  }
+
+type result = {
+  blocks : int;
+  swap_count : int;
+  expanded : Result_.t;
+}
+
+let extract ?(status = Result_.Feasible) ?(solve_seconds = 0.0) ?(iterations = 1) enc =
+  let bm = read_block_model enc in
+  let expanded = expand enc.instance bm ~status ~solve_seconds ~iterations in
+  { blocks = bm.used_blocks; swap_count = expanded.Result_.swap_count; expanded }
+
+let size_report enc =
+  let s = solver enc in
+  (Solver.nvars s, Solver.n_clauses s)

@@ -1,0 +1,50 @@
+(** Transition-based coarse-grained model (paper §III-D, TB-OLSQ2):
+    mapping-constant blocks separated by SWAP transition layers. *)
+
+module Ctx = Olsq2_encode.Ctx
+module Lit = Olsq2_sat.Lit
+module Solver = Olsq2_sat.Solver
+module Cardinality = Olsq2_encode.Cardinality
+module Pb = Olsq2_encode.Pb
+
+type counter = Card of Cardinality.outputs | Adder_net of Pb.t
+
+type t = private {
+  instance : Instance.t;
+  config : Config.t;
+  ctx : Ctx.t;
+  num_blocks : int;
+  pi : Ivar.t array array;  (** [pi.(q).(b)] *)
+  time : Ivar.t array;  (** block index per gate *)
+  sigma : Lit.t array array;  (** [sigma.(e).(b)], transition after block b *)
+  block_selectors : (int, Lit.t) Hashtbl.t;
+  mutable counters : (int * counter) list;
+      (** SWAP counters with their expressible-bound capacity *)
+}
+
+val build : ?config:Config.t -> Instance.t -> num_blocks:int -> t
+val solver : t -> Solver.t
+
+(** Pin block 0's mapping (used by chunked baselines). *)
+val fix_initial_mapping : t -> int array -> unit
+
+(** Selector literal enforcing "at most [b] blocks" when assumed. *)
+val block_selector : t -> int -> Lit.t
+
+val build_counter : t -> max_bound:int -> unit
+val swap_bound_assumption : t -> int -> Lit.t option
+val solve : ?assumptions:Lit.t list -> ?timeout:float -> t -> Solver.result
+val model_swap_count : t -> int
+
+type result = {
+  blocks : int;  (** blocks actually used by the model *)
+  swap_count : int;
+  expanded : Result_.t;  (** concrete schedule accepted by {!Validate} *)
+}
+
+(** Read the block model and expand it to a concrete schedule (ASAP within
+    blocks, parallel SWAP layers between blocks). *)
+val extract :
+  ?status:Result_.status -> ?solve_seconds:float -> ?iterations:int -> t -> result
+
+val size_report : t -> int * int

@@ -1,0 +1,167 @@
+(* Independent checker for synthesis results.
+
+   Re-verifies the five validity conditions of paper §II-A directly on the
+   extracted result, without trusting the encoder: every encoder, the
+   transition-based expansion, SABRE, and the SATMap-style baseline are all
+   run through this after synthesis (and throughout the test-suite). *)
+
+module Circuit = Olsq2_circuit.Circuit
+module Gate = Olsq2_circuit.Gate
+module Coupling = Olsq2_device.Coupling
+
+type violation =
+  | Bad_mapping_range of { time : int; qubit : int; value : int }
+  | Not_injective of { time : int; qubit : int; qubit' : int; physical : int }
+  | Dependency_violated of { first : int; second : int }
+  | Gate_out_of_range of { gate : int; time : int }
+  | Not_adjacent of { gate : int; time : int; p : int; p' : int }
+  | Swap_bad_window of { edge : int * int; finish : int }
+  | Swap_overlaps_gate of { edge : int * int; finish : int; gate : int }
+  | Swap_overlaps_swap of { edge : int * int; finish : int; edge' : int * int; finish' : int }
+  | Bad_transition of { time : int; qubit : int; expected : int; got : int }
+  | Swap_not_an_edge of { edge : int * int }
+
+let violation_to_string = function
+  | Bad_mapping_range { time; qubit; value } ->
+    Printf.sprintf "mapping out of range: t=%d q%d -> %d" time qubit value
+  | Not_injective { time; qubit; qubit'; physical } ->
+    Printf.sprintf "injectivity: t=%d q%d and q%d both on p%d" time qubit qubit' physical
+  | Dependency_violated { first; second } ->
+    Printf.sprintf "dependency: g%d not strictly before g%d" first second
+  | Gate_out_of_range { gate; time } -> Printf.sprintf "gate g%d at invalid time %d" gate time
+  | Not_adjacent { gate; time; p; p' } ->
+    Printf.sprintf "two-qubit gate g%d at t=%d on non-adjacent p%d,p%d" gate time p p'
+  | Swap_bad_window { edge = a, b; finish } ->
+    Printf.sprintf "swap (p%d,p%d) finishing at %d has an invalid window" a b finish
+  | Swap_overlaps_gate { edge = a, b; finish; gate } ->
+    Printf.sprintf "swap (p%d,p%d)@%d overlaps gate g%d" a b finish gate
+  | Swap_overlaps_swap { edge = a, b; finish; edge' = c, d; finish' } ->
+    Printf.sprintf "swaps (p%d,p%d)@%d and (p%d,p%d)@%d overlap" a b finish c d finish'
+  | Bad_transition { time; qubit; expected; got } ->
+    Printf.sprintf "transition at t=%d: q%d should be on p%d but is on p%d" time qubit expected got
+  | Swap_not_an_edge { edge = a, b } -> Printf.sprintf "swap on non-edge (p%d,p%d)" a b
+
+let check (instance : Instance.t) (r : Result_.t) =
+  let violations = ref [] in
+  let report v = violations := v :: !violations in
+  let circuit = instance.Instance.circuit in
+  let device = instance.Instance.device in
+  let dag = instance.Instance.dag in
+  let sd = instance.Instance.swap_duration in
+  let nq = circuit.Circuit.num_qubits in
+  let np = device.Coupling.num_qubits in
+  let depth = r.Result_.depth in
+  let mapping_at tm q = r.Result_.mapping.(tm).(q) in
+  (* 0. mapping well-formedness + (1) injectivity *)
+  for tm = 0 to depth - 1 do
+    let holder = Array.make np (-1) in
+    for q = 0 to nq - 1 do
+      let p = mapping_at tm q in
+      if p < 0 || p >= np then report (Bad_mapping_range { time = tm; qubit = q; value = p })
+      else if holder.(p) >= 0 then
+        report (Not_injective { time = tm; qubit = holder.(p); qubit' = q; physical = p })
+      else holder.(p) <- q
+    done
+  done;
+  (* (2) dependencies *)
+  List.iter
+    (fun (g, g') ->
+      if not (r.Result_.schedule.(g) < r.Result_.schedule.(g')) then
+        report (Dependency_violated { first = g; second = g' }))
+    (Olsq2_circuit.Dag.dependencies dag);
+  (* gate times in range; (3) two-qubit adjacency *)
+  Array.iter
+    (fun (g : Gate.t) ->
+      let tm = r.Result_.schedule.(g.Gate.id) in
+      if tm < 0 || tm >= depth then report (Gate_out_of_range { gate = g.Gate.id; time = tm })
+      else
+        match g.Gate.operands with
+        | Gate.One _ -> ()
+        | Gate.Two (q, q') ->
+          let p = mapping_at tm q and p' = mapping_at tm q' in
+          if not (Coupling.are_adjacent device p p') then
+            report (Not_adjacent { gate = g.Gate.id; time = tm; p; p' }))
+    circuit.Circuit.gates;
+  (* (4)+(5) swaps: windows, edge validity, overlap with gates and swaps *)
+  let swap_window (sw : Result_.swap) = (sw.Result_.sw_finish - sd + 1, sw.Result_.sw_finish) in
+  List.iter
+    (fun (sw : Result_.swap) ->
+      let a, b = sw.Result_.sw_edge in
+      if not (Coupling.are_adjacent device a b) then report (Swap_not_an_edge { edge = sw.Result_.sw_edge });
+      let start, finish = swap_window sw in
+      if start < 0 || finish >= depth then
+        report (Swap_bad_window { edge = sw.Result_.sw_edge; finish = sw.Result_.sw_finish });
+      (* gate overlap: any gate whose operand sits on a swap endpoint during
+         the window *)
+      Array.iter
+        (fun (g : Gate.t) ->
+          let tm = g.Gate.id |> fun id -> r.Result_.schedule.(id) in
+          if tm >= start && tm <= finish && tm >= 0 && tm < depth then begin
+            let touches =
+              List.exists
+                (fun q ->
+                  let p = mapping_at tm q in
+                  p = a || p = b)
+                (Gate.qubits g)
+            in
+            if touches then
+              report
+                (Swap_overlaps_gate { edge = sw.Result_.sw_edge; finish = sw.Result_.sw_finish; gate = g.Gate.id })
+          end)
+        circuit.Circuit.gates)
+    r.Result_.swaps;
+  (* swap/swap overlap on shared qubits *)
+  let rec pairs = function
+    | [] -> ()
+    | sw :: rest ->
+      List.iter
+        (fun sw' ->
+          let a, b = sw.Result_.sw_edge and c, d = sw'.Result_.sw_edge in
+          let share = a = c || a = d || b = c || b = d in
+          let s1, f1 = swap_window sw and s2, f2 = swap_window sw' in
+          let time_overlap = s1 <= f2 && s2 <= f1 in
+          if share && time_overlap then
+            report
+              (Swap_overlaps_swap
+                 {
+                   edge = sw.Result_.sw_edge;
+                   finish = sw.Result_.sw_finish;
+                   edge' = sw'.Result_.sw_edge;
+                   finish' = sw'.Result_.sw_finish;
+                 }))
+        rest;
+      pairs rest
+  in
+  pairs r.Result_.swaps;
+  (* mapping evolution: pi^{t+1} = pi^t permuted by swaps finishing at t *)
+  for tm = 0 to depth - 2 do
+    let swap_at p =
+      List.fold_left
+        (fun acc (sw : Result_.swap) ->
+          if sw.Result_.sw_finish = tm then begin
+            let a, b = sw.Result_.sw_edge in
+            if p = a then b else if p = b then a else acc
+          end
+          else acc)
+        p r.Result_.swaps
+    in
+    for q = 0 to nq - 1 do
+      let here = mapping_at tm q in
+      if here >= 0 && here < np then begin
+        let expected = swap_at here in
+        let got = mapping_at (tm + 1) q in
+        if got <> expected then report (Bad_transition { time = tm; qubit = q; expected; got })
+      end
+    done
+  done;
+  List.rev !violations
+
+let is_valid instance r = check instance r = []
+
+let check_exn instance r =
+  match check instance r with
+  | [] -> ()
+  | vs ->
+    failwith
+      (Printf.sprintf "invalid synthesis result: %s"
+         (String.concat "; " (List.map violation_to_string vs)))

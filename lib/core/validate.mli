@@ -1,0 +1,24 @@
+(** Independent checker for the validity conditions of paper §II-A.
+    Used on every synthesis path (exact, transition-based, heuristic). *)
+
+type violation =
+  | Bad_mapping_range of { time : int; qubit : int; value : int }
+  | Not_injective of { time : int; qubit : int; qubit' : int; physical : int }
+  | Dependency_violated of { first : int; second : int }
+  | Gate_out_of_range of { gate : int; time : int }
+  | Not_adjacent of { gate : int; time : int; p : int; p' : int }
+  | Swap_bad_window of { edge : int * int; finish : int }
+  | Swap_overlaps_gate of { edge : int * int; finish : int; gate : int }
+  | Swap_overlaps_swap of { edge : int * int; finish : int; edge' : int * int; finish' : int }
+  | Bad_transition of { time : int; qubit : int; expected : int; got : int }
+  | Swap_not_an_edge of { edge : int * int }
+
+val violation_to_string : violation -> string
+
+(** All violations found (empty = valid). *)
+val check : Instance.t -> Result_.t -> violation list
+
+val is_valid : Instance.t -> Result_.t -> bool
+
+(** Raises [Failure] with a readable message on the first violation. *)
+val check_exn : Instance.t -> Result_.t -> unit

@@ -1,0 +1,113 @@
+(* Builders for the coupling graphs used in the paper's evaluation:
+   grids (encoding experiments), IBM QX2 (the running example of Fig. 3),
+   Rigetti Aspen-4 (16 qubits), Google Sycamore (54 qubits) and IBM Eagle
+   (127 qubits, heavy-hex).
+
+   Aspen-4 and Sycamore are structural models (octagon pair / diagonal
+   lattice) with the right qubit counts and degree profile; Eagle follows
+   the published ibm_washington heavy-hex row/spacer layout exactly.  See
+   DESIGN.md §2 for the substitution notes. *)
+
+let line n =
+  Coupling.make ~name:(Printf.sprintf "line-%d" n) ~num_qubits:n
+    (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let ring n =
+  if n < 3 then invalid_arg "Devices.ring: need at least 3 qubits";
+  Coupling.make ~name:(Printf.sprintf "ring-%d" n) ~num_qubits:n
+    ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+(* rows x cols grid, row-major numbering. *)
+let grid rows cols =
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
+    done
+  done;
+  Coupling.make ~name:(Printf.sprintf "grid-%dx%d" rows cols) ~num_qubits:(rows * cols) !edges
+
+(* IBM QX2 (paper Fig. 3): 5 qubits, 6 edges. *)
+let qx2 =
+  Coupling.make ~name:"qx2" ~num_qubits:5 [ (0, 1); (0, 2); (1, 2); (2, 3); (2, 4); (3, 4) ]
+
+(* Rigetti Aspen-4, 16 qubits: two octagonal rings bridged by two edges
+   (structural model of the production lattice). *)
+let aspen4 =
+  let octagon base = List.init 8 (fun i -> (base + i, base + ((i + 1) mod 8))) in
+  Coupling.make ~name:"aspen-4" ~num_qubits:16
+    (octagon 0 @ octagon 8 @ [ (1, 14); (2, 13) ])
+
+(* Google Sycamore, 54 qubits: diagonal square lattice, 6 rows x 9 cols.
+   Each qubit couples to the two qubits diagonally below it, giving the
+   degree-<=4 brick pattern of the production chip. *)
+let sycamore54 =
+  let rows = 6 and cols = 9 in
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 2 do
+    for c = 0 to cols - 1 do
+      (* down-link *)
+      edges := (id r c, id (r + 1) c) :: !edges;
+      (* diagonal link, direction alternating with row parity *)
+      let c' = if r mod 2 = 0 then c + 1 else c - 1 in
+      if c' >= 0 && c' < cols then edges := (id r c, id (r + 1) c') :: !edges
+    done
+  done;
+  Coupling.make ~name:"sycamore" ~num_qubits:(rows * cols) !edges
+
+(* IBM Eagle (ibm_washington), 127 qubits: heavy-hex lattice made of seven
+   horizontal rows joined by four vertical spacer qubits per gap.  Row
+   lengths and spacer columns follow the published device. *)
+let eagle127 =
+  let edges = ref [] in
+  let chain lo hi =
+    for p = lo to hi - 1 do
+      edges := (p, p + 1) :: !edges
+    done
+  in
+  (* horizontal rows *)
+  chain 0 13;
+  (* row 0: qubits 0-13 *)
+  chain 18 32;
+  chain 37 51;
+  chain 56 70;
+  chain 75 89;
+  chain 94 108;
+  chain 113 126;
+  (* row 6: qubits 113-126 *)
+  (* vertical spacers: (top qubit, spacer, bottom qubit) *)
+  let spacers =
+    [
+      (0, 14, 18); (4, 15, 22); (8, 16, 26); (12, 17, 30);
+      (20, 33, 39); (24, 34, 43); (28, 35, 47); (32, 36, 51);
+      (37, 52, 56); (41, 53, 60); (45, 54, 64); (49, 55, 68);
+      (58, 71, 77); (62, 72, 81); (66, 73, 85); (70, 74, 89);
+      (75, 90, 94); (79, 91, 98); (83, 92, 102); (87, 93, 106);
+      (96, 109, 114); (100, 110, 118); (104, 111, 122); (108, 112, 126);
+    ]
+  in
+  List.iter
+    (fun (top, mid, bottom) ->
+      edges := (top, mid) :: (mid, bottom) :: !edges)
+    spacers;
+  Coupling.make ~name:"eagle" ~num_qubits:127 !edges
+
+(* Look up a device by its evaluation-section name. *)
+let by_name = function
+  | "qx2" -> qx2
+  | "aspen-4" | "aspen4" -> aspen4
+  | "sycamore" -> sycamore54
+  | "eagle" -> eagle127
+  | s ->
+    (* "grid-RxC" *)
+    (match String.split_on_char '-' s with
+    | [ "grid"; dims ] -> (
+      match String.split_on_char 'x' dims with
+      | [ r; c ] -> grid (int_of_string r) (int_of_string c)
+      | _ -> invalid_arg ("Devices.by_name: unknown device " ^ s))
+    | _ -> invalid_arg ("Devices.by_name: unknown device " ^ s))
+
+let all_names = [ "qx2"; "aspen-4"; "sycamore"; "eagle" ]

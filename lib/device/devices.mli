@@ -1,0 +1,23 @@
+(** Coupling-graph builders for the devices in the paper's evaluation. *)
+
+val line : int -> Coupling.t
+val ring : int -> Coupling.t
+val grid : int -> int -> Coupling.t
+
+(** IBM QX2 (paper Fig. 3): 5 qubits, 6 edges. *)
+val qx2 : Coupling.t
+
+(** Rigetti Aspen-4 structural model: two bridged octagons, 16 qubits. *)
+val aspen4 : Coupling.t
+
+(** Google Sycamore structural model: 6x9 diagonal lattice, 54 qubits. *)
+val sycamore54 : Coupling.t
+
+(** IBM Eagle / ibm_washington heavy-hex lattice, 127 qubits. *)
+val eagle127 : Coupling.t
+
+(** Lookup by name: ["qx2"], ["aspen-4"], ["sycamore"], ["eagle"], or
+    ["grid-RxC"].  Raises [Invalid_argument] otherwise. *)
+val by_name : string -> Coupling.t
+
+val all_names : string list

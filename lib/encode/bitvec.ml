@@ -1,0 +1,99 @@
+(* Unsigned bit-vector terms (LSB first) and their comparison circuits.
+
+   This is the "bit-vector encoding" of the paper's Improvement 3: bounded
+   integers (mapping values, gate times) become vectors of
+   ceil(log2 range) Boolean variables and all arithmetic lowers to
+   propositional logic -- the bit-blasting that routes the whole problem to
+   the SAT engine. *)
+
+module Lit = Olsq2_sat.Lit
+
+type t = { bits : Lit.t array }
+
+let width t = Array.length t.bits
+let bits t = t.bits
+let of_bits bits = { bits }
+
+let bits_for_range n =
+  if n <= 1 then 1
+  else begin
+    let rec loop w cap = if cap >= n then w else loop (w + 1) (2 * cap) in
+    loop 1 2
+  end
+
+let fresh ctx w =
+  if w <= 0 then invalid_arg "Bitvec.fresh: width must be positive";
+  { bits = Array.init w (fun _ -> Ctx.fresh_var ctx) }
+
+(* Fresh bit-vector constrained to values < n (domain restriction needed
+   when n is not a power of two). *)
+let fresh_bounded ctx n =
+  let w = bits_for_range n in
+  let bv = fresh ctx w in
+  bv
+
+let constant ctx ~width:w value =
+  if value < 0 || (w < 63 && value lsr w <> 0) then invalid_arg "Bitvec.constant: out of range";
+  let tl = Ctx.lit_true ctx and fl = Ctx.lit_false ctx in
+  { bits = Array.init w (fun i -> if (value lsr i) land 1 = 1 then tl else fl) }
+
+(* Literal asserting bit i of [t] equals bit i of integer [v]. *)
+let bit_eq_const t i v =
+  if (v lsr i) land 1 = 1 then Formula.Atom t.bits.(i) else Formula.Not (Atom t.bits.(i))
+
+let eq_const t v =
+  if v < 0 || (width t < 63 && v lsr width t <> 0) then Formula.False
+  else Formula.and_ (List.init (width t) (fun i -> bit_eq_const t i v))
+
+let neq_const t v = Formula.not_ (eq_const t v)
+
+let eq a b =
+  if width a <> width b then invalid_arg "Bitvec.eq: width mismatch";
+  Formula.and_
+    (List.init (width a) (fun i -> Formula.iff (Atom a.bits.(i)) (Atom b.bits.(i))))
+
+(* Unsigned [t <= v] as a formula, by MSB-first recursion. *)
+let le_const t v =
+  if v < 0 then Formula.False
+  else if width t < 63 && v >= (1 lsl width t) - 1 then Formula.True
+  else begin
+    let rec from i =
+      if i < 0 then Formula.True
+      else if (v lsr i) land 1 = 1 then
+        (* bit of v is 1: t_i = 0 makes the rest free; t_i = 1 recurses *)
+        Formula.or_ [ Formula.Not (Atom t.bits.(i)); from (i - 1) ]
+      else Formula.and_ [ Formula.Not (Atom t.bits.(i)); from (i - 1) ]
+    in
+    from (width t - 1)
+  end
+
+let lt_const t v = le_const t (v - 1)
+let ge_const t v = Formula.not_ (lt_const t v)
+let gt_const t v = Formula.not_ (le_const t v)
+
+(* Unsigned [a < b], MSB-first comparator. *)
+let lt a b =
+  if width a <> width b then invalid_arg "Bitvec.lt: width mismatch";
+  let rec from i =
+    if i < 0 then Formula.False
+    else
+      Formula.or_
+        [
+          Formula.and_ [ Formula.Not (Atom a.bits.(i)); Atom b.bits.(i) ];
+          Formula.and_ [ Formula.iff (Atom a.bits.(i)) (Atom b.bits.(i)); from (i - 1) ];
+        ]
+  in
+  from (width a - 1)
+
+let le a b = Formula.not_ (lt b a)
+
+(* Decode the value of [t] in a model. *)
+let value solver t =
+  let v = ref 0 in
+  for i = width t - 1 downto 0 do
+    v := (2 * !v) + if Olsq2_sat.Solver.model_value solver t.bits.(i) then 1 else 0
+  done;
+  !v
+
+(* Domain constraint: assert t < n. *)
+let assert_lt_const ctx t n = Ctx.assert_formula ctx (lt_const t n)

@@ -1,0 +1,39 @@
+(** Unsigned bit-vector terms (LSB first): the paper's bit-vector variable
+    encoding, bit-blasted into the SAT core. *)
+
+module Lit = Olsq2_sat.Lit
+
+type t
+
+val width : t -> int
+val bits : t -> Lit.t array
+val of_bits : Lit.t array -> t
+
+(** Minimum width able to represent values [0 .. n-1]. *)
+val bits_for_range : int -> int
+
+val fresh : Ctx.t -> int -> t
+
+(** Fresh vector wide enough for values [0 .. n-1]; note the caller must
+    still restrict the domain (see {!assert_lt_const}) when [n] is not a
+    power of two. *)
+val fresh_bounded : Ctx.t -> int -> t
+
+val constant : Ctx.t -> width:int -> int -> t
+val eq_const : t -> int -> Formula.t
+val neq_const : t -> int -> Formula.t
+val eq : t -> t -> Formula.t
+val le_const : t -> int -> Formula.t
+val lt_const : t -> int -> Formula.t
+val ge_const : t -> int -> Formula.t
+val gt_const : t -> int -> Formula.t
+
+(** Unsigned strict comparison circuit. *)
+val lt : t -> t -> Formula.t
+
+val le : t -> t -> Formula.t
+
+(** Decode the vector's value from the last model. *)
+val value : Olsq2_sat.Solver.t -> t -> int
+
+val assert_lt_const : Ctx.t -> t -> int -> unit

@@ -1,0 +1,117 @@
+(* Cardinality constraints over Boolean literals.
+
+   The SWAP-count objective (paper Eq. 5) is a cardinality constraint
+   "at most S_B of the sigma variables are true".  The paper's key encoding
+   finding (Improvement 3 / Table II) is that a *sequential counter in CNF*
+   (Sinz 2005) beats routing the constraint through a pseudo-Boolean
+   solver.  All encodings here expose *output literals*: [count_ge.(j)] is
+   implied whenever at least [j] inputs are true, so the optimizer's
+   iterative descent can tighten the bound by assuming [not count_ge.(k+1)]
+   without re-encoding -- this is what makes incremental SWAP refinement
+   cheap. *)
+
+module Lit = Olsq2_sat.Lit
+
+type outputs = {
+  inputs : Lit.t array;
+  count_ge : Lit.t array; (* count_ge.(j-1) <= "at least j inputs true", 1-based j *)
+}
+
+(* Assumption literal meaning "at most k inputs are true". *)
+let at_most_assumption out k =
+  if k < 0 then invalid_arg "Cardinality.at_most_assumption: negative bound"
+  else if k >= Array.length out.count_ge then None
+  else Some (Lit.negate out.count_ge.(k))
+
+(* Sinz sequential counter, truncated at [width] registers.  s.(i).(j) is
+   implied when at least j+1 of inputs 0..i are true.  Only the
+   "inputs force counters" direction is emitted: it is sound and complete
+   for upper-bound (at-most) use, which is all the SWAP objective needs. *)
+let sequential_counter ?width ctx (xs : Lit.t array) =
+  let n = Array.length xs in
+  let w = match width with None -> n | Some w -> min w n in
+  if n = 0 || w = 0 then { inputs = xs; count_ge = [||] }
+  else begin
+    let s = Array.init n (fun _ -> Array.init w (fun _ -> Ctx.fresh ctx)) in
+    for i = 0 to n - 1 do
+      (* one input true implies counter level 1 *)
+      Ctx.add_clause ctx [ Lit.negate xs.(i); s.(i).(0) ];
+      if i > 0 then begin
+        for j = 0 to w - 1 do
+          (* counts propagate along the chain *)
+          Ctx.add_clause ctx [ Lit.negate s.(i - 1).(j); s.(i).(j) ];
+          (* a true input increments the count *)
+          if j + 1 < w then
+            Ctx.add_clause ctx [ Lit.negate s.(i - 1).(j); Lit.negate xs.(i); s.(i).(j + 1) ]
+        done
+      end
+    done;
+    { inputs = xs; count_ge = s.(n - 1) }
+  end
+
+(* Totalizer (Bailleux-Boutaouy): a balanced merge tree whose root holds a
+   unary count.  O(n log n) auxiliary variables. *)
+let totalizer ctx (xs : Lit.t array) =
+  let merge a b =
+    let p = Array.length a and q = Array.length b in
+    let r = Array.init (p + q) (fun _ -> Ctx.fresh ctx) in
+    (* a_i & b_j => r_{i+j}; index 0 in unary arrays means "at least 1" *)
+    for i = 0 to p do
+      for j = 0 to q do
+        if i + j > 0 then begin
+          let consequent = r.(i + j - 1) in
+          let antecedents = ref [] in
+          if i > 0 then antecedents := Lit.negate a.(i - 1) :: !antecedents;
+          if j > 0 then antecedents := Lit.negate b.(j - 1) :: !antecedents;
+          Ctx.add_clause ctx (consequent :: !antecedents)
+        end
+      done
+    done;
+    r
+  in
+  let rec build lo hi =
+    if hi - lo = 1 then [| xs.(lo) |]
+    else begin
+      let mid = (lo + hi) / 2 in
+      merge (build lo mid) (build mid hi)
+    end
+  in
+  let count_ge = if Array.length xs = 0 then [||] else build 0 (Array.length xs) in
+  { inputs = xs; count_ge }
+
+(* Binomial ("pairwise" generalized) at-most-k: one clause per
+   (k+1)-subset.  Exponential; only for small inputs and for the
+   encoding-comparison experiments. *)
+let binomial_at_most ctx (xs : Lit.t array) k =
+  let n = Array.length xs in
+  if k < 0 then Ctx.add_clause ctx []
+  else if k < n then begin
+    (* enumerate (k+1)-subsets *)
+    let subset = Array.make (k + 1) 0 in
+    let rec enum pos start =
+      if pos > k then
+        Ctx.add_clause ctx (Array.to_list (Array.map (fun i -> Lit.negate xs.(i)) subset))
+      else
+        for i = start to n - (k + 1 - pos) do
+          subset.(pos) <- i;
+          enum (pos + 1) (i + 1)
+        done
+    in
+    enum 0 0
+  end
+
+(* Direct at-most-k via a width-(k+1) sequential counter asserted
+   statically (the non-incremental textbook form). *)
+let assert_at_most ctx xs k =
+  if k < Array.length xs then begin
+    let out = sequential_counter ~width:(k + 1) ctx xs in
+    match at_most_assumption out k with
+    | None -> ()
+    | Some l -> Ctx.add_clause ctx [ l ]
+  end
+
+(* At-least-k by duality: at most (n-k) of the negations. *)
+let assert_at_least ctx xs k =
+  let n = Array.length xs in
+  if k > n then Ctx.add_clause ctx []
+  else if k > 0 then assert_at_most ctx (Array.map Lit.negate xs) (n - k)

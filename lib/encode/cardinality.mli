@@ -1,0 +1,32 @@
+(** CNF cardinality encodings with reusable output literals.
+
+    The SWAP objective (paper Eq. 5) is bounded through these outputs:
+    assuming [not count_ge.(k)] enforces "at most k" without re-encoding,
+    enabling the paper's incremental iterative-descent refinement. *)
+
+module Lit = Olsq2_sat.Lit
+
+type outputs = {
+  inputs : Lit.t array;
+  count_ge : Lit.t array;
+      (** [count_ge.(j-1)] is implied when at least [j] inputs are true. *)
+}
+
+(** Assumption literal enforcing "at most k inputs true"; [None] when the
+    bound exceeds the encoded width (vacuously true). *)
+val at_most_assumption : outputs -> int -> Lit.t option
+
+(** Sinz sequential counter, optionally truncated to [width] counter
+    levels.  Emits only the sound-for-upper-bounds direction. *)
+val sequential_counter : ?width:int -> Ctx.t -> Lit.t array -> outputs
+
+(** Bailleux-Boutaouy totalizer (balanced unary merge tree). *)
+val totalizer : Ctx.t -> Lit.t array -> outputs
+
+(** Binomial at-most-k (one clause per (k+1)-subset); small inputs only. *)
+val binomial_at_most : Ctx.t -> Lit.t array -> int -> unit
+
+(** Statically asserted at-most / at-least via a truncated counter. *)
+val assert_at_most : Ctx.t -> Lit.t array -> int -> unit
+
+val assert_at_least : Ctx.t -> Lit.t array -> int -> unit

@@ -1,0 +1,85 @@
+(* Boolean formula AST.
+
+   Layout-synthesis constraints (paper Eq. 1-3) are built as formulas and
+   lowered to CNF by [Ctx] using a polarity-aware (Plaisted-Greenbaum)
+   Tseitin transform. *)
+
+module Lit = Olsq2_sat.Lit
+
+type t =
+  | True
+  | False
+  | Atom of Lit.t
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Imply of t * t
+  | Iff of t * t
+
+let atom l = Atom l
+let not_ f = match f with True -> False | False -> True | Not g -> g | _ -> Not f
+
+let and_ fs =
+  let rec gather acc = function
+    | [] -> Some (List.rev acc)
+    | True :: rest -> gather acc rest
+    | False :: _ -> None
+    | And gs :: rest -> gather acc (gs @ rest)
+    | f :: rest -> gather (f :: acc) rest
+  in
+  match gather [] fs with
+  | None -> False
+  | Some [] -> True
+  | Some [ f ] -> f
+  | Some fs -> And fs
+
+let or_ fs =
+  let rec gather acc = function
+    | [] -> Some (List.rev acc)
+    | False :: rest -> gather acc rest
+    | True :: _ -> None
+    | Or gs :: rest -> gather acc (gs @ rest)
+    | f :: rest -> gather (f :: acc) rest
+  in
+  match gather [] fs with
+  | None -> True
+  | Some [] -> False
+  | Some [ f ] -> f
+  | Some fs -> Or fs
+
+let imply a b =
+  match (a, b) with
+  | True, b -> b
+  | False, _ -> True
+  | _, True -> True
+  | a, False -> not_ a
+  | a, b -> Imply (a, b)
+
+let iff a b =
+  match (a, b) with
+  | True, b -> b
+  | b, True -> b
+  | False, b -> not_ b
+  | b, False -> not_ b
+  | a, b -> Iff (a, b)
+
+let xor a b = not_ (iff a b)
+
+(* Number of AST nodes; used in encoding-size reports. *)
+let rec size = function
+  | True | False | Atom _ -> 1
+  | Not f -> 1 + size f
+  | And fs | Or fs -> List.fold_left (fun acc f -> acc + size f) 1 fs
+  | Imply (a, b) | Iff (a, b) -> 1 + size a + size b
+
+let rec pp fmt = function
+  | True -> Format.pp_print_string fmt "true"
+  | False -> Format.pp_print_string fmt "false"
+  | Atom l -> Lit.pp fmt l
+  | Not f -> Format.fprintf fmt "!(%a)" pp f
+  | And fs ->
+    Format.fprintf fmt "(%a)" (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f " & ") pp) fs
+  | Or fs ->
+    Format.fprintf fmt "(%a)" (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f " | ") pp) fs
+  | Imply (a, b) -> Format.fprintf fmt "(%a => %a)" pp a pp b
+  | Iff (a, b) -> Format.fprintf fmt "(%a <=> %a)" pp a pp b

@@ -1,0 +1,34 @@
+(** Boolean formula AST lowered to CNF by {!Ctx}.
+
+    Smart constructors perform constant folding and flattening so the
+    layout encoders can build constraints naively. *)
+
+module Lit = Olsq2_sat.Lit
+
+type t =
+  | True
+  | False
+  | Atom of Lit.t
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Imply of t * t
+  | Iff of t * t
+
+val atom : Lit.t -> t
+val not_ : t -> t
+
+(** N-ary conjunction with folding: [and_ []] is [True]. *)
+val and_ : t list -> t
+
+(** N-ary disjunction with folding: [or_ []] is [False]. *)
+val or_ : t list -> t
+
+val imply : t -> t -> t
+val iff : t -> t -> t
+val xor : t -> t -> t
+
+(** AST node count (for encoding-size reports). *)
+val size : t -> int
+
+val pp : Format.formatter -> t -> unit

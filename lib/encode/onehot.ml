@@ -1,0 +1,62 @@
+(* One-hot ("direct") encoding of bounded integers.
+
+   Plays the role of the paper's *integer-variable* configurations
+   (OLSQ(int), OLSQ2(int), ...): we cannot reproduce Z3's simplex-based
+   arithmetic theory, so the integer arm of the encoding ablation is the
+   classical direct CNF lowering of a finite domain -- one Boolean per
+   value, with at-least-one and pairwise at-most-one axioms.  Like the
+   arithmetic solver it stands in for, it is wide and propagates weakly
+   compared to the binary bit-vector encoding (see DESIGN.md §2). *)
+
+module Lit = Olsq2_sat.Lit
+
+type t = { lits : Lit.t array }
+
+let domain t = Array.length t.lits
+let lits t = t.lits
+
+let fresh ctx n =
+  if n <= 0 then invalid_arg "Onehot.fresh: empty domain";
+  let lits = Array.init n (fun _ -> Ctx.fresh_var ctx) in
+  (* at least one value *)
+  Ctx.add_clause ctx (Array.to_list lits);
+  (* pairwise at most one *)
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      Ctx.add_clause ctx [ Lit.negate lits.(i); Lit.negate lits.(j) ]
+    done
+  done;
+  { lits }
+
+let eq_const t v =
+  if v < 0 || v >= domain t then Formula.False else Formula.Atom t.lits.(v)
+
+let neq_const t v = Formula.not_ (eq_const t v)
+
+let eq a b =
+  if domain a <> domain b then invalid_arg "Onehot.eq: domain mismatch";
+  Formula.and_ (List.init (domain a) (fun v -> Formula.iff (Atom a.lits.(v)) (Atom b.lits.(v))))
+
+let le_const t v =
+  if v >= domain t - 1 then Formula.True
+  else if v < 0 then Formula.False
+  else Formula.and_ (List.init (domain t - 1 - v) (fun i -> Formula.Not (Atom t.lits.(v + 1 + i))))
+
+let lt_const t v = le_const t (v - 1)
+let ge_const t v = Formula.not_ (lt_const t v)
+
+(* [a < b]: for each value v of a, b must be > v. *)
+let lt a b =
+  Formula.and_
+    (List.init (domain a) (fun v -> Formula.imply (Formula.Atom a.lits.(v)) (ge_const b (v + 1))))
+
+let value solver t =
+  let n = domain t in
+  let rec find v =
+    if v >= n then
+      (* Under at-least-one this cannot happen in a real model. *)
+      invalid_arg "Onehot.value: no value set"
+    else if Olsq2_sat.Solver.model_value solver t.lits.(v) then v
+    else find (v + 1)
+  in
+  find 0

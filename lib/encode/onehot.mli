@@ -1,0 +1,27 @@
+(** One-hot (direct) encoding of bounded integers: the reproduction's
+    stand-in for the paper's integer-variable configurations. *)
+
+module Lit = Olsq2_sat.Lit
+
+type t
+
+val domain : t -> int
+
+(** Underlying value literals (index = value). *)
+val lits : t -> Lit.t array
+
+(** Fresh one-hot integer over domain [0 .. n-1], with at-least-one and
+    pairwise at-most-one axioms asserted. *)
+val fresh : Ctx.t -> int -> t
+
+val eq_const : t -> int -> Formula.t
+val neq_const : t -> int -> Formula.t
+val eq : t -> t -> Formula.t
+val le_const : t -> int -> Formula.t
+val lt_const : t -> int -> Formula.t
+val ge_const : t -> int -> Formula.t
+
+(** Strict integer comparison between two one-hot values. *)
+val lt : t -> t -> Formula.t
+
+val value : Olsq2_sat.Solver.t -> t -> int

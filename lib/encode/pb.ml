@@ -1,0 +1,76 @@
+(* Pseudo-Boolean counting via a binary adder network.
+
+   This is the reproduction's "AtMost" arm of the Table II ablation: the
+   paper observed that letting Z3 route Eq. 5 through its pseudo-Boolean
+   theory solver "nullified the performance gained from the bit-vector
+   representation".  We model that path with the classical Warners-style
+   adder network: input bits are summed by full/half adders into a binary
+   register and the bound becomes an arithmetic comparison.  Like the PB
+   solver it stands in for, this encoding propagates much more weakly than
+   the sequential counter (a single bound update touches the whole
+   comparator), which is exactly the effect the experiment measures. *)
+
+module Lit = Olsq2_sat.Lit
+
+type t = { sum : Bitvec.t }
+
+(* Reified XOR / MAJ gates used by the adders. *)
+let xor2 ctx a b = Ctx.reify ctx (Formula.xor (Atom a) (Atom b))
+let xor3 ctx a b c = Ctx.reify ctx (Formula.xor (Formula.xor (Atom a) (Atom b)) (Atom c))
+
+let maj2 ctx a b = Ctx.reify ctx (Formula.and_ [ Atom a; Atom b ])
+
+let maj3 ctx a b c =
+  Ctx.reify ctx
+    (Formula.or_
+       [
+         Formula.and_ [ Atom a; Atom b ];
+         Formula.and_ [ Atom a; Atom c ];
+         Formula.and_ [ Atom b; Atom c ];
+       ])
+
+(* Sum [xs] into a binary register.  Buckets of wires per bit position are
+   reduced with full adders (3 wires -> sum + carry) and half adders. *)
+let adder_network ctx (xs : Lit.t array) =
+  let n = Array.length xs in
+  if n = 0 then { sum = Bitvec.constant ctx ~width:1 0 }
+  else begin
+    let max_pos = Bitvec.bits_for_range (n + 1) in
+    let buckets = Array.make (max_pos + 2) [] in
+    buckets.(0) <- Array.to_list xs;
+    let result_bits = ref [] in
+    for pos = 0 to max_pos + 1 do
+      let rec reduce wires =
+        match wires with
+        | a :: b :: c :: rest ->
+          let s = xor3 ctx a b c and carry = maj3 ctx a b c in
+          if pos + 1 < Array.length buckets then
+            buckets.(pos + 1) <- carry :: buckets.(pos + 1);
+          reduce (s :: rest)
+        | [ a; b ] ->
+          let s = xor2 ctx a b and carry = maj2 ctx a b in
+          if pos + 1 < Array.length buckets then
+            buckets.(pos + 1) <- carry :: buckets.(pos + 1);
+          [ s ]
+        | wires -> wires
+      in
+      let rec fixpoint wires =
+        let wires' = reduce wires in
+        if List.length wires' <= 1 then wires' else fixpoint wires'
+      in
+      match fixpoint buckets.(pos) with
+      | [] -> result_bits := Ctx.lit_false ctx :: !result_bits
+      | [ w ] -> result_bits := w :: !result_bits
+      | _ -> assert false
+    done;
+    (* result_bits holds the MSB at its head; reverse into LSB-first order *)
+    let bits = Array.of_list (List.rev !result_bits) in
+    { sum = Bitvec.of_bits bits }
+  end
+
+(* Assumption literal for [popcount xs <= k]: reify the comparison on the
+   binary sum register. *)
+let at_most_assumption ctx t k = Ctx.reify ctx (Bitvec.le_const t.sum k)
+
+let assert_at_most ctx t k = Ctx.assert_formula ctx (Bitvec.le_const t.sum k)
+let sum_value solver t = Bitvec.value solver t.sum

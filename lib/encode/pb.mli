@@ -1,0 +1,19 @@
+(** Pseudo-Boolean counting via a binary adder network: the "AtMost"
+    ablation arm of the paper's Table II (heavier cardinality path that
+    bypasses the sequential counter). *)
+
+module Lit = Olsq2_sat.Lit
+
+type t
+
+(** Sum the input bits into a binary register with full/half adders. *)
+val adder_network : Ctx.t -> Lit.t array -> t
+
+(** Literal equivalent to [popcount inputs <= k]; usable as an
+    assumption. *)
+val at_most_assumption : Ctx.t -> t -> int -> Lit.t
+
+val assert_at_most : Ctx.t -> t -> int -> unit
+
+(** Decode the popcount from the last model. *)
+val sum_value : Olsq2_sat.Solver.t -> t -> int

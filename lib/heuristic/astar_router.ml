@@ -1,0 +1,192 @@
+(* A*-based heuristic router in the style of Zulehner et al. [10]
+   ("Compiling SU(4) quantum circuits to IBM QX architectures").
+
+   The circuit is partitioned into ASAP layers of parallel gates; for
+   each layer an A* search over SWAP insertions finds a cheap mapping
+   under which every two-qubit gate of the layer is executable.  The
+   paper cites this family as a depth-based-partitioning heuristic whose
+   greedy layer boundaries can cost global optimality -- which is exactly
+   how it behaves next to OLSQ2 here.
+
+   Search state: the current program->physical mapping.  Successors apply
+   one SWAP on any edge incident to a qubit used by the layer.  Cost g =
+   SWAPs applied so far; heuristic h = sum over the layer's gates of
+   (distance - 1), admissible because one SWAP reduces one gate's
+   distance by at most one. *)
+
+module Circuit = Olsq2_circuit.Circuit
+module Gate = Olsq2_circuit.Gate
+module Dag = Olsq2_circuit.Dag
+module Coupling = Olsq2_device.Coupling
+module Rng = Olsq2_util.Rng
+module Instance = Olsq2_core.Instance
+module Result_ = Olsq2_core.Result_
+
+type params = {
+  max_expansions : int; (* A* node budget per layer *)
+  restarts : int; (* random initial mappings tried *)
+}
+
+let default_params = { max_expansions = 20_000; restarts = 3 }
+
+(* priority queue of (f, g, mapping, swaps-so-far in reverse) *)
+module Pq = struct
+  type 'a t = { mutable heap : (int * 'a) array; mutable size : int }
+
+  let create dummy = { heap = Array.make 64 (max_int, dummy); size = 0 }
+
+  let push q prio x =
+    if q.size = Array.length q.heap then begin
+      let h = Array.make (2 * q.size) q.heap.(0) in
+      Array.blit q.heap 0 h 0 q.size;
+      q.heap <- h
+    end;
+    q.heap.(q.size) <- (prio, x);
+    q.size <- q.size + 1;
+    let rec up i =
+      let p = (i - 1) / 2 in
+      if i > 0 && fst q.heap.(i) < fst q.heap.(p) then begin
+        let t = q.heap.(i) in
+        q.heap.(i) <- q.heap.(p);
+        q.heap.(p) <- t;
+        up p
+      end
+    in
+    up (q.size - 1)
+
+  let pop q =
+    if q.size = 0 then None
+    else begin
+      let top = q.heap.(0) in
+      q.size <- q.size - 1;
+      q.heap.(0) <- q.heap.(q.size);
+      let rec down i =
+        let l = (2 * i) + 1 and r = (2 * i) + 2 in
+        let best = ref i in
+        if l < q.size && fst q.heap.(l) < fst q.heap.(!best) then best := l;
+        if r < q.size && fst q.heap.(r) < fst q.heap.(!best) then best := r;
+        if !best <> i then begin
+          let t = q.heap.(i) in
+          q.heap.(i) <- q.heap.(!best);
+          q.heap.(!best) <- t;
+          down !best
+        end
+      in
+      down 0;
+      Some top
+    end
+end
+
+(* Layer heuristic: total outstanding distance (admissible). *)
+let layer_h dist mapping gates =
+  List.fold_left
+    (fun acc (q, q') -> acc + (dist.(mapping.(q)).(mapping.(q')) - 1))
+    0 gates
+
+(* A* for one layer: returns SWAPs (physical pairs, in order) and the new
+   mapping, or None if the node budget runs out. *)
+let solve_layer (device : Coupling.t) params mapping gates =
+  let dist = Coupling.distance_matrix device in
+  if layer_h dist mapping gates = 0 then Some ([], mapping)
+  else begin
+    let pq = Pq.create (0, mapping, []) in
+    let seen = Hashtbl.create 4096 in
+    let key m = Array.to_list m in
+    Pq.push pq (layer_h dist mapping gates) (0, mapping, []);
+    let expansions = ref 0 in
+    let result = ref None in
+    let relevant_qubits =
+      List.concat_map (fun (q, q') -> [ q; q' ]) gates |> List.sort_uniq compare
+    in
+    while !result = None && !expansions < params.max_expansions do
+      match Pq.pop pq with
+      | None -> expansions := params.max_expansions
+      | Some (_, (g, m, swaps)) ->
+        incr expansions;
+        if not (Hashtbl.mem seen (key m)) then begin
+          Hashtbl.add seen (key m) ();
+          if layer_h dist m gates = 0 then result := Some (List.rev swaps, m)
+          else
+            (* successors: SWAP any edge incident to a relevant qubit's
+               current position *)
+            List.iter
+              (fun q ->
+                let p = m.(q) in
+                List.iter
+                  (fun p' ->
+                    let m' = Array.copy m in
+                    (* swap occupants of p and p' *)
+                    Array.iteri
+                      (fun qq pp -> if pp = p then m'.(qq) <- p' else if pp = p' then m'.(qq) <- p)
+                      m;
+                    if not (Hashtbl.mem seen (key m')) then begin
+                      let g' = g + 1 in
+                      Pq.push pq (g' + layer_h dist m' gates) (g', m', ((p, p') :: swaps))
+                    end)
+                  (Coupling.neighbors device p))
+              relevant_qubits
+        end
+    done;
+    !result
+  end
+
+(* Route the whole circuit layer by layer. *)
+let route_once (instance : Instance.t) params mapping =
+  let circuit = instance.Instance.circuit in
+  let device = instance.Instance.device in
+  let layers = Dag.asap_layers instance.Instance.dag in
+  let ops = ref [] in
+  let m = ref mapping in
+  let ok = ref true in
+  List.iter
+    (fun layer ->
+      if !ok then begin
+        let two_qubit =
+          List.filter_map
+            (fun gid ->
+              let g = Circuit.gate circuit gid in
+              if Gate.is_two_qubit g then Some (Gate.pair g) else None)
+            layer
+        in
+        match solve_layer device params !m two_qubit with
+        | None -> ok := false
+        | Some (swaps, m') ->
+          List.iter (fun (p, p') -> ops := Sabre.Apply_swap (p, p') :: !ops) swaps;
+          m := m';
+          List.iter (fun gid -> ops := Sabre.Apply_gate gid :: !ops) layer
+      end)
+    layers;
+  if !ok then Some (List.rev !ops) else None
+
+let synthesize ?(params = default_params) ?(seed = 1) (instance : Instance.t) =
+  let nq = Instance.num_qubits instance in
+  let np = Instance.num_physical instance in
+  let rng = Rng.create seed in
+  let best = ref None in
+  for _ = 1 to params.restarts do
+    let perm = Array.init np (fun i -> i) in
+    Rng.shuffle rng perm;
+    let mapping = Array.sub perm 0 nq in
+    let initial =
+      {
+        Sabre.prog_to_phys = Array.copy mapping;
+        phys_to_prog =
+          (let inv = Array.make np (-1) in
+           Array.iteri (fun q p -> inv.(p) <- q) mapping;
+           inv);
+      }
+    in
+    match route_once instance params (Array.copy mapping) with
+    | None -> ()
+    | Some ops ->
+      let r = Sabre.schedule_ops instance initial ops in
+      let better =
+        match !best with
+        | None -> true
+        | Some b ->
+          r.Result_.swap_count < b.Result_.swap_count
+          || (r.Result_.swap_count = b.Result_.swap_count && r.Result_.depth < b.Result_.depth)
+      in
+      if better then best := Some r
+  done;
+  !best

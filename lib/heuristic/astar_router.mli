@@ -1,0 +1,16 @@
+(** A*-based layer-by-layer heuristic router (Zulehner et al. style, the
+    paper's reference [10]): depth-based partitioning with per-layer
+    optimal SWAP search, globally greedy. *)
+
+module Instance = Olsq2_core.Instance
+module Result_ = Olsq2_core.Result_
+
+type params = {
+  max_expansions : int;  (** A* node budget per layer *)
+  restarts : int;  (** random initial mappings tried *)
+}
+
+val default_params : params
+
+(** [None] when the node budget is exhausted on some layer. *)
+val synthesize : ?params:params -> ?seed:int -> Instance.t -> Result_.t option

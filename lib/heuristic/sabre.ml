@@ -1,0 +1,307 @@
+(* SABRE heuristic layout synthesis (Li, Ding & Xie, ASPLOS 2019 [11]).
+
+   The leading heuristic baseline of the paper's Tables III and IV.
+   Implements the published algorithm:
+   - front layer of dependency-free gates; executable gates retire
+     immediately, otherwise a SWAP is chosen among candidates touching
+     front-layer qubits;
+   - cost = mean front-layer distance + W x mean extended-set (lookahead)
+     distance, scaled by a per-qubit decay factor that discourages
+     thrashing;
+   - bidirectional passes (forward / backward / forward) refine the
+     initial mapping, and several random-restart trials keep the best.
+
+   The routed sequence is lowered to a standard [Result_.t] (ASAP schedule
+   over physical-qubit ready times) so SABRE results run through the same
+   validator and metrics as the exact synthesizers. *)
+
+module Circuit = Olsq2_circuit.Circuit
+module Gate = Olsq2_circuit.Gate
+module Dag = Olsq2_circuit.Dag
+module Coupling = Olsq2_device.Coupling
+module Rng = Olsq2_util.Rng
+module Instance = Olsq2_core.Instance
+module Result_ = Olsq2_core.Result_
+
+type params = {
+  trials : int;
+  lookahead : int; (* extended-set size *)
+  weight : float; (* extended-set weight W *)
+  decay_delta : float;
+  decay_reset : int; (* reset decay every this many SWAPs *)
+}
+
+let default_params =
+  { trials = 5; lookahead = 20; weight = 0.5; decay_delta = 0.001; decay_reset = 5 }
+
+type routed_op = Apply_gate of int | Apply_swap of int * int (* physical qubits *)
+
+(* ---- one routing pass ---- *)
+
+(* Mapping state: program -> physical and its inverse (-1 = free). *)
+type mapping = { prog_to_phys : int array; phys_to_prog : int array }
+
+let copy_mapping m =
+  { prog_to_phys = Array.copy m.prog_to_phys; phys_to_prog = Array.copy m.phys_to_prog }
+
+let random_mapping rng nq np =
+  let perm = Array.init np (fun i -> i) in
+  Rng.shuffle rng perm;
+  let prog_to_phys = Array.sub perm 0 nq in
+  let phys_to_prog = Array.make np (-1) in
+  Array.iteri (fun q p -> phys_to_prog.(p) <- q) prog_to_phys;
+  { prog_to_phys; phys_to_prog }
+
+let apply_swap m p p' =
+  let q = m.phys_to_prog.(p) and q' = m.phys_to_prog.(p') in
+  m.phys_to_prog.(p) <- q';
+  m.phys_to_prog.(p') <- q;
+  if q >= 0 then m.prog_to_phys.(q) <- p';
+  if q' >= 0 then m.prog_to_phys.(q') <- p
+
+(* Route [order]: a topological gate order given by per-gate predecessor
+   counts from [dag] (forward or reverse direction).  Returns the routed
+   op sequence and the final mapping. *)
+let route_pass (instance : Instance.t) params ~reverse mapping =
+  let circuit = instance.Instance.circuit in
+  let device = instance.Instance.device in
+  let dag = instance.Instance.dag in
+  let dist = Coupling.distance_matrix device in
+  let ng = Circuit.num_gates circuit in
+  let preds g = if reverse then Dag.successors dag g else Dag.predecessors dag g in
+  let succs g = if reverse then Dag.predecessors dag g else Dag.successors dag g in
+  let indegree = Array.init ng (fun g -> List.length (preds g)) in
+  let front = ref (List.filter (fun g -> indegree.(g) = 0) (List.init ng (fun i -> i))) in
+  let ops = ref [] in
+  let m = mapping in
+  let decay = Array.make device.Coupling.num_qubits 1.0 in
+  let swaps_since_reset = ref 0 in
+  let stuck = ref 0 in
+  let gate_dist g =
+    let q, q' = Gate.pair (Circuit.gate circuit g) in
+    dist.(m.prog_to_phys.(q)).(m.prog_to_phys.(q'))
+  in
+  let executable g =
+    let gate = Circuit.gate circuit g in
+    (not (Gate.is_two_qubit gate)) || gate_dist g = 1
+  in
+  let retire g =
+    ops := Apply_gate g :: !ops;
+    List.iter
+      (fun s ->
+        indegree.(s) <- indegree.(s) - 1;
+        if indegree.(s) = 0 then front := s :: !front)
+      (succs g)
+  in
+  (* extended set: upcoming two-qubit gates reachable from the front *)
+  let extended_set () =
+    let out = ref [] in
+    let count = ref 0 in
+    let queue = Queue.create () in
+    List.iter (fun g -> Queue.add g queue) !front;
+    let visited = Hashtbl.create 64 in
+    while (not (Queue.is_empty queue)) && !count < params.lookahead do
+      let g = Queue.pop queue in
+      List.iter
+        (fun s ->
+          if not (Hashtbl.mem visited s) then begin
+            Hashtbl.add visited s ();
+            if Gate.is_two_qubit (Circuit.gate circuit s) then begin
+              out := s :: !out;
+              incr count
+            end;
+            Queue.add s queue
+          end)
+        (succs g)
+    done;
+    !out
+  in
+  let mean_distance gates mp =
+    match gates with
+    | [] -> 0.0
+    | _ ->
+      let total =
+        List.fold_left
+          (fun acc g ->
+            let q, q' = Gate.pair (Circuit.gate circuit g) in
+            acc + dist.(mp.prog_to_phys.(q)).(mp.prog_to_phys.(q')))
+          0 gates
+      in
+      float_of_int total /. float_of_int (List.length gates)
+  in
+  while !front <> [] do
+    let exec, blocked = List.partition executable !front in
+    if exec <> [] then begin
+      front := blocked;
+      List.iter retire exec;
+      stuck := 0
+    end
+    else begin
+      (* choose a SWAP *)
+      let front2 = List.filter (fun g -> Gate.is_two_qubit (Circuit.gate circuit g)) !front in
+      let ext = extended_set () in
+      let candidates = Hashtbl.create 16 in
+      List.iter
+        (fun g ->
+          let q, q' = Gate.pair (Circuit.gate circuit g) in
+          List.iter
+            (fun p ->
+              List.iter
+                (fun p2 ->
+                  let key = (min p p2, max p p2) in
+                  Hashtbl.replace candidates key ())
+                (Coupling.neighbors device p))
+            [ m.prog_to_phys.(q); m.prog_to_phys.(q') ])
+        front2;
+      let best = ref None in
+      Hashtbl.iter
+        (fun (p, p') () ->
+          let m' = copy_mapping m in
+          apply_swap m' p p';
+          let h =
+            mean_distance front2 m' +. (params.weight *. mean_distance ext m')
+          in
+          let score = h *. Float.max decay.(p) decay.(p') in
+          match !best with
+          | Some (s, _, _) when s <= score -> ()
+          | Some _ | None -> best := Some (score, p, p'))
+        candidates;
+      (match !best with
+      | None ->
+        (* no two-qubit gate blocked: cannot happen while front is
+           non-empty and nothing executes *)
+        assert false
+      | Some (_, p, p') ->
+        apply_swap m p p';
+        ops := Apply_swap (p, p') :: !ops;
+        decay.(p) <- decay.(p) +. params.decay_delta;
+        decay.(p') <- decay.(p') +. params.decay_delta;
+        incr swaps_since_reset;
+        incr stuck;
+        if !swaps_since_reset >= params.decay_reset then begin
+          Array.fill decay 0 (Array.length decay) 1.0;
+          swaps_since_reset := 0
+        end;
+        (* anti-livelock: after too many fruitless SWAPs, walk the first
+           blocked gate's operands together along a shortest path *)
+        if !stuck > 4 * (Coupling.diameter device + 1) then begin
+          (match front2 with
+          | [] -> ()
+          | g :: _ ->
+            let q, q' = Gate.pair (Circuit.gate circuit g) in
+            let rec walk () =
+              let a = m.prog_to_phys.(q) and b = m.prog_to_phys.(q') in
+              if dist.(a).(b) > 1 then begin
+                let next =
+                  List.fold_left
+                    (fun acc n -> match acc with
+                      | Some _ -> acc
+                      | None -> if dist.(n).(b) < dist.(a).(b) then Some n else None)
+                    None (Coupling.neighbors device a)
+                in
+                match next with
+                | Some n ->
+                  apply_swap m a n;
+                  ops := Apply_swap (a, n) :: !ops;
+                  walk ()
+                | None -> ()
+              end
+            in
+            walk ());
+          stuck := 0
+        end)
+    end
+  done;
+  (List.rev !ops, m)
+
+(* ---- lowering a routed sequence to a Result_.t ---- *)
+
+let schedule_ops (instance : Instance.t) initial_mapping ops =
+  let circuit = instance.Instance.circuit in
+  let device = instance.Instance.device in
+  let sd = instance.Instance.swap_duration in
+  let np = device.Coupling.num_qubits in
+  let ng = Circuit.num_gates circuit in
+  let phys_ready = Array.make np 0 in
+  let cur = Array.copy initial_mapping.prog_to_phys in
+  let schedule = Array.make ng 0 in
+  let swaps = ref [] in
+  let depth = ref 1 in
+  List.iter
+    (fun op ->
+      match op with
+      | Apply_gate g ->
+        let gate = Circuit.gate circuit g in
+        let ps = List.map (fun q -> cur.(q)) (Gate.qubits gate) in
+        let start = List.fold_left (fun acc p -> max acc phys_ready.(p)) 0 ps in
+        schedule.(g) <- start;
+        List.iter (fun p -> phys_ready.(p) <- start + 1) ps;
+        depth := max !depth (start + 1)
+      | Apply_swap (p, p') ->
+        let start = max phys_ready.(p) phys_ready.(p') in
+        let finish = start + sd - 1 in
+        swaps := { Result_.sw_edge = (min p p', max p p'); sw_finish = finish } :: !swaps;
+        phys_ready.(p) <- finish + 1;
+        phys_ready.(p') <- finish + 1;
+        depth := max !depth (finish + 1);
+        (* track the program-qubit positions *)
+        let q = ref (-1) and q' = ref (-1) in
+        Array.iteri (fun i pp -> if pp = p then q := i else if pp = p' then q' := i) cur;
+        if !q >= 0 then cur.(!q) <- p';
+        if !q' >= 0 then cur.(!q') <- p)
+    ops;
+  (* mapping timeline: apply swaps finishing at t-1 between rows t-1, t *)
+  let swaps = List.rev !swaps in
+  let mapping = Array.make !depth [||] in
+  mapping.(0) <- Array.copy initial_mapping.prog_to_phys;
+  for t = 1 to !depth - 1 do
+    let row = Array.copy mapping.(t - 1) in
+    List.iter
+      (fun sw ->
+        if sw.Result_.sw_finish = t - 1 then begin
+          let a, b = sw.Result_.sw_edge in
+          Array.iteri (fun q p -> if p = a then row.(q) <- b else if p = b then row.(q) <- a) mapping.(t - 1)
+        end)
+      swaps;
+    mapping.(t) <- row
+  done;
+  {
+    Result_.status = Result_.Feasible;
+    depth = !depth;
+    swap_count = List.length swaps;
+    mapping;
+    schedule;
+    swaps;
+    solve_seconds = 0.0;
+    iterations = 1;
+  }
+
+(* ---- top level: bidirectional passes + random restarts ---- *)
+
+let synthesize ?(params = default_params) ?(seed = 1) (instance : Instance.t) =
+  let nq = Instance.num_qubits instance in
+  let np = Instance.num_physical instance in
+  let rng = Rng.create seed in
+  let clock = Olsq2_util.Stopwatch.start () in
+  let best = ref None in
+  for _trial = 1 to params.trials do
+    let m0 = random_mapping rng nq np in
+    (* forward - backward - forward: each pass's final mapping becomes the
+       next pass's initial mapping *)
+    let _, m1 = route_pass instance params ~reverse:false (copy_mapping m0) in
+    let _, m2 = route_pass instance params ~reverse:true m1 in
+    let initial = copy_mapping m2 in
+    let ops, _ = route_pass instance params ~reverse:false m2 in
+    let result = schedule_ops instance initial ops in
+    let better =
+      match !best with
+      | None -> true
+      | Some b ->
+        result.Result_.swap_count < b.Result_.swap_count
+        || (result.Result_.swap_count = b.Result_.swap_count && result.Result_.depth < b.Result_.depth)
+    in
+    if better then best := Some result
+  done;
+  match !best with
+  | Some r -> { r with Result_.solve_seconds = Olsq2_util.Stopwatch.elapsed clock }
+  | None -> assert false

@@ -1,0 +1,30 @@
+(** SABRE heuristic layout synthesis (Li, Ding & Xie, ASPLOS 2019):
+    the leading heuristic baseline of the paper's Tables III and IV. *)
+
+module Instance = Olsq2_core.Instance
+module Result_ = Olsq2_core.Result_
+
+type params = {
+  trials : int;  (** random-restart trials *)
+  lookahead : int;  (** extended-set size *)
+  weight : float;  (** extended-set weight W *)
+  decay_delta : float;
+  decay_reset : int;  (** reset decay every this many SWAPs *)
+}
+
+val default_params : params
+
+(** Routed operation stream: original gates interleaved with physical
+    SWAPs.  Shared with the other heuristic routers in this library. *)
+type routed_op = Apply_gate of int | Apply_swap of int * int
+
+(** Program-to-physical mapping state with its inverse ([-1] = free). *)
+type mapping = { prog_to_phys : int array; phys_to_prog : int array }
+
+(** ASAP-schedule a routed op stream over physical-qubit ready times,
+    producing a validator-accepted result. *)
+val schedule_ops : Instance.t -> mapping -> routed_op list -> Result_.t
+
+(** Route the instance and lower the result to a concrete, validator-
+    accepted schedule.  Deterministic for a given [seed]. *)
+val synthesize : ?params:params -> ?seed:int -> Instance.t -> Result_.t

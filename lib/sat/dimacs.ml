@@ -1,0 +1,78 @@
+(* DIMACS CNF reading and writing.
+
+   Used by the test-suite to cross-check the solver on reference instances
+   and by the CLI to dump generated layout-synthesis encodings for external
+   inspection. *)
+
+type cnf = { num_vars : int; clauses : Lit.t list list }
+
+let parse_string s =
+  let num_vars = ref 0 in
+  let clauses = ref [] in
+  let current = ref [] in
+  let lines = String.split_on_char '\n' s in
+  let handle_token tok =
+    match int_of_string_opt tok with
+    | None -> failwith (Printf.sprintf "Dimacs.parse_string: bad token %S" tok)
+    | Some 0 ->
+      clauses := List.rev !current :: !clauses;
+      current := []
+    | Some d ->
+      num_vars := max !num_vars (abs d);
+      current := Lit.of_dimacs d :: !current
+  in
+  let handle_line line =
+    let line = String.trim line in
+    if String.length line = 0 then ()
+    else
+      match line.[0] with
+      | 'c' | '%' -> ()
+      | 'p' -> begin
+        (* "p cnf <vars> <clauses>" *)
+        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        | [ "p"; "cnf"; v; _ ] -> num_vars := max !num_vars (int_of_string v)
+        | _ -> failwith "Dimacs.parse_string: malformed problem line"
+      end
+      | '0' .. '9' | '-' ->
+        String.split_on_char ' ' line
+        |> List.filter (fun s -> s <> "")
+        |> List.iter handle_token
+      | _ -> failwith "Dimacs.parse_string: unexpected line"
+  in
+  List.iter handle_line lines;
+  if !current <> [] then clauses := List.rev !current :: !clauses;
+  { num_vars = !num_vars; clauses = List.rev !clauses }
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse_string s
+
+let to_buffer buf { num_vars; clauses } =
+  Buffer.add_string buf (Printf.sprintf "p cnf %d %d\n" num_vars (List.length clauses));
+  let emit_clause c =
+    List.iter (fun l -> Buffer.add_string buf (Printf.sprintf "%d " (Lit.to_dimacs l))) c;
+    Buffer.add_string buf "0\n"
+  in
+  List.iter emit_clause clauses
+
+let to_string cnf =
+  let buf = Buffer.create 4096 in
+  to_buffer buf cnf;
+  Buffer.contents buf
+
+let write_file path cnf =
+  let oc = open_out path in
+  output_string oc (to_string cnf);
+  close_out oc
+
+(* Load a CNF into a fresh solver. *)
+let load_into_solver cnf =
+  let s = Solver.create () in
+  for _ = 1 to cnf.num_vars do
+    ignore (Solver.new_var s)
+  done;
+  List.iter (Solver.add_clause s) cnf.clauses;
+  s

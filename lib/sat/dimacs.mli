@@ -1,0 +1,13 @@
+(** DIMACS CNF parsing and printing. *)
+
+type cnf = { num_vars : int; clauses : Lit.t list list }
+
+(** Parse DIMACS text.  Raises [Failure] on malformed input. *)
+val parse_string : string -> cnf
+
+val parse_file : string -> cnf
+val to_string : cnf -> string
+val write_file : string -> cnf -> unit
+
+(** Build a fresh solver containing the CNF. *)
+val load_into_solver : cnf -> Solver.t

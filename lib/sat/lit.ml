@@ -1,0 +1,33 @@
+(* Literal encoding, MiniSat style.
+
+   A variable is a non-negative int.  A literal packs a variable and a sign
+   into one int: [lit = 2 * var + (if negated then 1 else 0)].  This keeps
+   literals unboxed and lets watch lists index directly by literal. *)
+
+type var = int
+type t = int
+
+let of_var ?(sign = true) v =
+  if v < 0 then invalid_arg "Lit.of_var: negative variable";
+  (2 * v) + if sign then 0 else 1
+
+let var (l : t) : var = l lsr 1
+
+(* True for the positive literal of a variable. *)
+let sign (l : t) = l land 1 = 0
+let negate (l : t) = l lxor 1
+let to_int (l : t) : int = l
+
+(* DIMACS convention: positive literal of var v prints as v+1, negative as
+   -(v+1). *)
+let to_dimacs l =
+  let v = var l + 1 in
+  if sign l then v else -v
+
+let of_dimacs d =
+  if d = 0 then invalid_arg "Lit.of_dimacs: zero";
+  if d > 0 then of_var (d - 1) else of_var ~sign:false (-d - 1)
+
+let pp fmt l = Format.fprintf fmt "%d" (to_dimacs l)
+
+let undef : t = -1

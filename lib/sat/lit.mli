@@ -1,0 +1,26 @@
+(** Packed literals: [2 * var] for the positive literal, [2 * var + 1] for
+    the negative one (MiniSat convention). *)
+
+type var = int
+type t = private int
+
+(** [of_var ~sign v] is the literal of variable [v]; [sign = true] (default)
+    gives the positive literal. *)
+val of_var : ?sign:bool -> var -> t
+
+val var : t -> var
+
+(** [sign l] is [true] iff [l] is a positive literal. *)
+val sign : t -> bool
+
+val negate : t -> t
+val to_int : t -> int
+
+(** DIMACS integer form: 1-based, negative for negated literals. *)
+val to_dimacs : t -> int
+
+val of_dimacs : int -> t
+val pp : Format.formatter -> t -> unit
+
+(** Sentinel used in solver internals; never a valid literal. *)
+val undef : t

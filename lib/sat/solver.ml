@@ -1,0 +1,659 @@
+(* CDCL SAT solver (MiniSat/Glucose lineage).
+
+   This is the solving substrate that stands in for Z3's SAT core in the
+   OLSQ2 reproduction: the paper's best configuration bit-blasts the whole
+   layout-synthesis formulation into CNF precisely so that only the SAT
+   engine runs.  Features:
+   - two-watched-literal unit propagation with blocker literals,
+   - first-UIP conflict analysis with basic clause minimization,
+   - VSIDS decision heuristic (exponential bumping) with phase saving,
+   - Luby restarts,
+   - LBD-aware learnt-clause database reduction,
+   - incremental interface: clauses may be added between [solve] calls and
+     each call may carry assumptions, so the optimizer's iterative bound
+     refinement reuses learnt clauses exactly as the paper's incremental
+     Z3 usage does. *)
+
+module Vec = Olsq2_util.Vec
+
+type clause = {
+  mutable lits : Lit.t array;
+  mutable activity : float;
+  learnt : bool;
+  mutable lbd : int;
+  mutable deleted : bool;
+}
+
+let dummy_clause = { lits = [||]; activity = 0.0; learnt = false; lbd = 0; deleted = true }
+
+type watcher = { blocker : Lit.t; wclause : clause }
+
+let dummy_watcher = { blocker = Lit.undef; wclause = dummy_clause }
+
+type result = Sat | Unsat | Unknown
+
+type stats = {
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable restarts : int;
+  mutable learnt_clauses : int;
+  mutable removed_clauses : int;
+  mutable solves : int;
+}
+
+type t = {
+  (* clause database *)
+  clauses : clause Vec.t;
+  learnts : clause Vec.t;
+  (* per-literal watch lists: watches.(Lit.to_int l) holds clauses that must
+     be inspected when [l] becomes true (i.e. clauses watching [negate l]) *)
+  mutable watches : watcher Vec.t array;
+  (* per-variable state *)
+  mutable assigns : int array; (* 0 = undef, 1 = true, -1 = false *)
+  mutable level : int array;
+  mutable reason : clause array; (* dummy_clause = no reason *)
+  mutable activity : float array;
+  mutable polarity : bool array; (* saved phase *)
+  mutable seen : bool array;
+  (* trail *)
+  trail : Lit.t Vec.t;
+  trail_lim : int Vec.t;
+  mutable qhead : int;
+  (* heuristics *)
+  order : Var_heap.t;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  (* status *)
+  mutable nvars : int;
+  mutable ok : bool; (* false once UNSAT at level 0 *)
+  mutable model : bool array;
+  mutable conflict_core : Lit.t list; (* failed assumptions of last Unsat *)
+  stats : stats;
+}
+
+let create () =
+  {
+    clauses = Vec.create dummy_clause;
+    learnts = Vec.create dummy_clause;
+    watches = [||];
+    assigns = [||];
+    level = [||];
+    reason = [||];
+    activity = [||];
+    polarity = [||];
+    seen = [||];
+    trail = Vec.create Lit.undef;
+    trail_lim = Vec.create 0;
+    qhead = 0;
+    order = Var_heap.create ();
+    var_inc = 1.0;
+    cla_inc = 1.0;
+    nvars = 0;
+    ok = true;
+    model = [||];
+    conflict_core = [];
+    stats =
+      {
+        conflicts = 0;
+        decisions = 0;
+        propagations = 0;
+        restarts = 0;
+        learnt_clauses = 0;
+        removed_clauses = 0;
+        solves = 0;
+      };
+  }
+
+let nvars t = t.nvars
+let stats t = t.stats
+
+(* ---- variable management ---- *)
+
+let grow_array arr n fill =
+  let len = Array.length arr in
+  if n <= len then arr
+  else begin
+    let arr' = Array.make (max n (2 * len)) fill in
+    Array.blit arr 0 arr' 0 len;
+    arr'
+  end
+
+let new_var t =
+  let v = t.nvars in
+  t.nvars <- v + 1;
+  t.assigns <- grow_array t.assigns t.nvars 0;
+  t.level <- grow_array t.level t.nvars (-1);
+  t.reason <- grow_array t.reason t.nvars dummy_clause;
+  t.activity <- grow_array t.activity t.nvars 0.0;
+  t.polarity <- grow_array t.polarity t.nvars false;
+  t.seen <- grow_array t.seen t.nvars false;
+  let nlits = 2 * t.nvars in
+  if Array.length t.watches < nlits then begin
+    let w' = Array.make (max nlits (2 * Array.length t.watches)) (Vec.create dummy_watcher) in
+    Array.blit t.watches 0 w' 0 (Array.length t.watches);
+    for i = Array.length t.watches to Array.length w' - 1 do
+      w'.(i) <- Vec.create ~capacity:4 dummy_watcher
+    done;
+    t.watches <- w'
+  end;
+  Var_heap.set_activity_array t.order t.activity;
+  Var_heap.insert t.order v;
+  v
+
+let new_lit t = Lit.of_var (new_var t)
+
+(* ---- assignment primitives ---- *)
+
+let lit_value t l =
+  let a = t.assigns.(Lit.var l) in
+  if Lit.sign l then a else -a
+
+let decision_level t = Vec.length t.trail_lim
+
+let var_bump t v =
+  t.activity.(v) <- t.activity.(v) +. t.var_inc;
+  if t.activity.(v) > 1e100 then begin
+    for i = 0 to t.nvars - 1 do
+      t.activity.(i) <- t.activity.(i) *. 1e-100
+    done;
+    t.var_inc <- t.var_inc *. 1e-100;
+    Var_heap.rescaled t.order
+  end;
+  Var_heap.decrease t.order v
+
+let var_decay_activity t = t.var_inc <- t.var_inc /. 0.95
+
+let clause_bump t (c : clause) =
+  c.activity <- c.activity +. t.cla_inc;
+  if c.activity > 1e20 then begin
+    Vec.iter (fun (c : clause) -> c.activity <- c.activity *. 1e-20) t.learnts;
+    t.cla_inc <- t.cla_inc *. 1e-20
+  end
+
+let clause_decay_activity t = t.cla_inc <- t.cla_inc /. 0.999
+
+(* Assign literal [l] true, with [reason] clause (dummy = decision). *)
+let enqueue t l reason =
+  let v = Lit.var l in
+  t.assigns.(v) <- (if Lit.sign l then 1 else -1);
+  t.level.(v) <- decision_level t;
+  t.reason.(v) <- reason;
+  Vec.push t.trail l
+
+let watch_clause t c =
+  (* clause watching lits.(0) and lits.(1): register under their negations *)
+  Vec.push t.watches.(Lit.to_int (Lit.negate c.lits.(0))) { blocker = c.lits.(1); wclause = c };
+  Vec.push t.watches.(Lit.to_int (Lit.negate c.lits.(1))) { blocker = c.lits.(0); wclause = c }
+
+let unwatch_lit t c l =
+  let ws = t.watches.(Lit.to_int (Lit.negate l)) in
+  let rec find i =
+    if i >= Vec.length ws then ()
+    else if (Vec.get ws i).wclause == c then Vec.remove_swap ws i
+    else find (i + 1)
+  in
+  find 0
+
+let unwatch_clause t c =
+  unwatch_lit t c c.lits.(0);
+  unwatch_lit t c c.lits.(1)
+
+(* ---- backtracking ---- *)
+
+let cancel_until t lvl =
+  if decision_level t > lvl then begin
+    let bound = Vec.get t.trail_lim lvl in
+    for i = Vec.length t.trail - 1 downto bound do
+      let l = Vec.get t.trail i in
+      let v = Lit.var l in
+      t.assigns.(v) <- 0;
+      t.polarity.(v) <- Lit.sign l;
+      t.reason.(v) <- dummy_clause;
+      Var_heap.insert t.order v
+    done;
+    Vec.shrink t.trail bound;
+    Vec.shrink t.trail_lim lvl;
+    t.qhead <- Vec.length t.trail
+  end
+
+(* ---- propagation ---- *)
+
+exception Conflict of clause
+
+(* Propagate all enqueued facts.  Returns the conflicting clause, or
+   [dummy_clause] if no conflict. *)
+let propagate t =
+  let confl = ref dummy_clause in
+  (try
+     while t.qhead < Vec.length t.trail do
+       let p = Vec.get t.trail t.qhead in
+       t.qhead <- t.qhead + 1;
+       t.stats.propagations <- t.stats.propagations + 1;
+       let ws = t.watches.(Lit.to_int p) in
+       let i = ref 0 in
+       while !i < Vec.length ws do
+         let w = Vec.unsafe_get ws !i in
+         (* fast path: blocker already true *)
+         if lit_value t w.blocker = 1 then incr i
+         else begin
+           let c = w.wclause in
+           if c.deleted then Vec.remove_swap ws !i
+           else begin
+             let false_lit = Lit.negate p in
+             (* normalize: put the false watch in slot 1 *)
+             if c.lits.(0) = false_lit then begin
+               c.lits.(0) <- c.lits.(1);
+               c.lits.(1) <- false_lit
+             end;
+             let first = c.lits.(0) in
+             if lit_value t first = 1 then begin
+               (* clause satisfied; refresh blocker *)
+               Vec.unsafe_set ws !i { blocker = first; wclause = c };
+               incr i
+             end
+             else begin
+               (* look for a new literal to watch *)
+               let n = Array.length c.lits in
+               let rec find k =
+                 if k >= n then -1
+                 else if lit_value t c.lits.(k) <> -1 then k
+                 else find (k + 1)
+               in
+               let k = find 2 in
+               if k >= 0 then begin
+                 (* move watch to c.lits.(k) *)
+                 c.lits.(1) <- c.lits.(k);
+                 c.lits.(k) <- false_lit;
+                 Vec.push
+                   t.watches.(Lit.to_int (Lit.negate c.lits.(1)))
+                   { blocker = first; wclause = c };
+                 Vec.remove_swap ws !i
+               end
+               else if lit_value t first = -1 then begin
+                 (* conflict *)
+                 t.qhead <- Vec.length t.trail;
+                 raise (Conflict c)
+               end
+               else begin
+                 (* unit: propagate first *)
+                 enqueue t first c;
+                 incr i
+               end
+             end
+           end
+         end
+       done
+     done
+   with Conflict c -> confl := c);
+  !confl
+
+(* ---- conflict analysis ---- *)
+
+(* Basic (non-recursive) learnt-clause minimization: a literal is redundant
+   if it was propagated and every other literal of its reason is already in
+   the clause (seen) or assigned at level 0. *)
+let lit_redundant t l =
+  let v = Lit.var l in
+  let r = t.reason.(v) in
+  if r == dummy_clause then false
+  else begin
+    let ok = ref true in
+    for k = 0 to Array.length r.lits - 1 do
+      let q = r.lits.(k) in
+      let w = Lit.var q in
+      if w <> v && not t.seen.(w) && t.level.(w) > 0 then ok := false
+    done;
+    !ok
+  end
+
+(* First-UIP learning.  Returns (learnt lits with UIP first, backtrack
+   level, lbd). *)
+let analyze t confl =
+  let learnt = Vec.create Lit.undef in
+  Vec.push learnt Lit.undef;
+  (* slot for the asserting literal *)
+  let path_count = ref 0 in
+  let p = ref Lit.undef in
+  let index = ref (Vec.length t.trail - 1) in
+  let confl = ref confl in
+  let to_clear = Vec.create 0 in
+  let continue_loop = ref true in
+  while !continue_loop do
+    let c = !confl in
+    if c.learnt then clause_bump t c;
+    let start = if !p = Lit.undef then 0 else 1 in
+    for k = start to Array.length c.lits - 1 do
+      let q = c.lits.(k) in
+      let v = Lit.var q in
+      if (not t.seen.(v)) && t.level.(v) > 0 then begin
+        t.seen.(v) <- true;
+        Vec.push to_clear v;
+        var_bump t v;
+        if t.level.(v) >= decision_level t then incr path_count else Vec.push learnt q
+      end
+    done;
+    (* pick next literal to resolve on *)
+    while not t.seen.(Lit.var (Vec.get t.trail !index)) do
+      decr index
+    done;
+    p := Vec.get t.trail !index;
+    decr index;
+    let v = Lit.var !p in
+    confl := t.reason.(v);
+    t.seen.(v) <- false;
+    decr path_count;
+    if !path_count <= 0 then continue_loop := false
+  done;
+  Vec.set learnt 0 (Lit.negate !p);
+  (* minimization: drop redundant non-UIP literals *)
+  let kept = Vec.create Lit.undef in
+  Vec.push kept (Vec.get learnt 0);
+  for i = 1 to Vec.length learnt - 1 do
+    let l = Vec.get learnt i in
+    if not (lit_redundant t l) then Vec.push kept l
+  done;
+  let learnt = kept in
+  (* backtrack level: max level among learnt[1..]; move it to slot 1 *)
+  let btlevel =
+    if Vec.length learnt = 1 then 0
+    else begin
+      let max_i = ref 1 in
+      for i = 2 to Vec.length learnt - 1 do
+        if t.level.(Lit.var (Vec.get learnt i)) > t.level.(Lit.var (Vec.get learnt !max_i)) then
+          max_i := i
+      done;
+      let tmp = Vec.get learnt 1 in
+      Vec.set learnt 1 (Vec.get learnt !max_i);
+      Vec.set learnt !max_i tmp;
+      t.level.(Lit.var (Vec.get learnt 1))
+    end
+  in
+  (* literal-block distance *)
+  let lbd =
+    let levels = Hashtbl.create 16 in
+    Vec.iter (fun l -> Hashtbl.replace levels t.level.(Lit.var l) ()) learnt;
+    Hashtbl.length levels
+  in
+  (* clear seen *)
+  Vec.iter (fun v -> t.seen.(v) <- false) to_clear;
+  (Vec.to_array learnt, btlevel, lbd)
+
+(* Compute the subset of assumptions responsible for a conflict (final
+   conflict analysis, MiniSat's analyzeFinal). *)
+let analyze_final t p =
+  let core = ref [ p ] in
+  if decision_level t > 0 then begin
+    t.seen.(Lit.var p) <- true;
+    for i = Vec.length t.trail - 1 downto Vec.get t.trail_lim 0 do
+      let l = Vec.get t.trail i in
+      let v = Lit.var l in
+      if t.seen.(v) then begin
+        let r = t.reason.(v) in
+        if r == dummy_clause then core := l :: !core
+        else
+          Array.iter
+            (fun q ->
+              let w = Lit.var q in
+              if w <> v && t.level.(w) > 0 then t.seen.(w) <- true)
+            r.lits;
+        t.seen.(v) <- false
+      end
+    done;
+    t.seen.(Lit.var p) <- false
+  end;
+  !core
+
+(* ---- clause addition ---- *)
+
+exception Trivial_clause
+
+(* Simplify at level 0: drop false literals, dedupe, detect tautologies. *)
+let simplify_new_clause t lits =
+  let tbl = Hashtbl.create (2 * List.length lits) in
+  let out = ref [] in
+  let examine l =
+    match lit_value t l with
+    | 1 when t.level.(Lit.var l) = 0 -> raise Trivial_clause (* satisfied at root *)
+    | -1 when t.level.(Lit.var l) = 0 -> () (* false at root: drop *)
+    | _ ->
+      if Hashtbl.mem tbl (Lit.to_int (Lit.negate l)) then raise Trivial_clause (* tautology *)
+      else if not (Hashtbl.mem tbl (Lit.to_int l)) then begin
+        Hashtbl.add tbl (Lit.to_int l) ();
+        out := l :: !out
+      end
+  in
+  List.iter examine lits;
+  List.rev !out
+
+let attach_clause t c =
+  assert (Array.length c.lits >= 2);
+  watch_clause t c
+
+let add_clause t lits =
+  if t.ok then begin
+    cancel_until t 0;
+    match simplify_new_clause t lits with
+    | exception Trivial_clause -> ()
+    | [] -> t.ok <- false
+    | [ l ] -> begin
+      (* unit clause: assert at level 0 *)
+      match lit_value t l with
+      | 1 -> ()
+      | -1 -> t.ok <- false
+      | _ ->
+        enqueue t l dummy_clause;
+        if propagate t != dummy_clause then t.ok <- false
+    end
+    | lits ->
+      let c =
+        { lits = Array.of_list lits; activity = 0.0; learnt = false; lbd = 0; deleted = false }
+      in
+      Vec.push t.clauses c;
+      attach_clause t c
+  end
+
+let add_clause_a t lits = add_clause t (Array.to_list lits)
+
+(* ---- learnt clause database reduction ---- *)
+
+let clause_locked t c =
+  Array.length c.lits > 0
+  &&
+  let v = Lit.var c.lits.(0) in
+  t.reason.(v) == c && lit_value t c.lits.(0) = 1
+
+let remove_clause t c =
+  unwatch_clause t c;
+  c.deleted <- true;
+  t.stats.removed_clauses <- t.stats.removed_clauses + 1
+
+let reduce_db t =
+  (* Sort learnts: keep low-LBD / high-activity clauses; drop half. *)
+  Vec.sort
+    (fun a b -> if a.lbd <> b.lbd then compare a.lbd b.lbd else compare b.activity a.activity)
+    t.learnts;
+  let n = Vec.length t.learnts in
+  let keep = Vec.create dummy_clause in
+  Vec.iteri
+    (fun i c ->
+      let protect = c.lbd <= 3 || Array.length c.lits = 2 || clause_locked t c in
+      if i < n / 2 || protect then Vec.push keep c else remove_clause t c)
+    t.learnts;
+  Vec.clear t.learnts;
+  Vec.iter (fun c -> Vec.push t.learnts c) keep
+
+(* ---- search ---- *)
+
+let luby y x =
+  (* Finite subsequences of the Luby sequence: 1,1,2,1,1,2,4,... *)
+  let rec find_size size seq =
+    if size >= x + 1 then (size, seq) else find_size ((2 * size) + 1) (seq + 1)
+  in
+  let rec walk size seq x =
+    if size - 1 = x then y ** float_of_int seq
+    else begin
+      let size = (size - 1) / 2 in
+      let seq = seq - 1 in
+      walk size seq (x mod size)
+    end
+  in
+  let size, seq = find_size 1 0 in
+  walk size seq x
+
+let pick_branch_var t =
+  let rec loop () =
+    if Var_heap.is_empty t.order then -1
+    else begin
+      let v = Var_heap.pop t.order in
+      if t.assigns.(v) = 0 then v else loop ()
+    end
+  in
+  loop ()
+
+let record_learnt t learnt lbd =
+  if Array.length learnt = 1 then begin
+    enqueue t learnt.(0) dummy_clause
+  end
+  else begin
+    let c = { lits = learnt; activity = 0.0; learnt = true; lbd; deleted = false } in
+    Vec.push t.learnts c;
+    attach_clause t c;
+    clause_bump t c;
+    t.stats.learnt_clauses <- t.stats.learnt_clauses + 1;
+    enqueue t learnt.(0) c
+  end
+
+(* One restart-bounded search episode.  [assumptions] is an array; decision
+   levels 1..k correspond to assumption literals. *)
+let search t assumptions conflict_budget deadline =
+  let conflicts_here = ref 0 in
+  let rec loop () =
+    let confl = propagate t in
+    if confl != dummy_clause then begin
+      (* conflict *)
+      t.stats.conflicts <- t.stats.conflicts + 1;
+      incr conflicts_here;
+      if decision_level t = 0 then begin
+        t.ok <- false;
+        `Unsat
+      end
+      else begin
+        let learnt, btlevel, lbd = analyze t confl in
+        cancel_until t btlevel;
+        record_learnt t learnt lbd;
+        var_decay_activity t;
+        clause_decay_activity t;
+        loop ()
+      end
+    end
+    else if !conflicts_here >= conflict_budget then begin
+      (* restart *)
+      cancel_until t 0;
+      t.stats.restarts <- t.stats.restarts + 1;
+      `Restart
+    end
+    else if
+      (match deadline with None -> false | Some d -> Olsq2_util.Stopwatch.now () > d)
+      && decision_level t >= 0
+    then begin
+      cancel_until t 0;
+      `Timeout
+    end
+    else begin
+      (* learnt DB housekeeping *)
+      if Vec.length t.learnts > 4000 + (Vec.length t.clauses / 2) + (t.stats.conflicts / 3) then
+        reduce_db t;
+      (* extend with assumptions first *)
+      let dl = decision_level t in
+      if dl < Array.length assumptions then begin
+        let a = assumptions.(dl) in
+        match lit_value t a with
+        | 1 ->
+          (* already satisfied: open an empty decision level for it *)
+          Vec.push t.trail_lim (Vec.length t.trail);
+          loop ()
+        | -1 ->
+          (* assumption conflicts with current state *)
+          t.conflict_core <- analyze_final t (Lit.negate a);
+          `Unsat_assumptions
+        | _ ->
+          Vec.push t.trail_lim (Vec.length t.trail);
+          enqueue t a dummy_clause;
+          loop ()
+      end
+      else begin
+        let v = pick_branch_var t in
+        if v < 0 then `Sat
+        else begin
+          t.stats.decisions <- t.stats.decisions + 1;
+          let l = Lit.of_var ~sign:t.polarity.(v) v in
+          Vec.push t.trail_lim (Vec.length t.trail);
+          enqueue t l dummy_clause;
+          loop ()
+        end
+      end
+    end
+  in
+  loop ()
+
+let solve ?(assumptions = []) ?max_conflicts ?timeout t =
+  t.stats.solves <- t.stats.solves + 1;
+  t.conflict_core <- [];
+  if not t.ok then Unsat
+  else begin
+    cancel_until t 0;
+    let assumptions = Array.of_list assumptions in
+    let deadline = Option.map (fun s -> Olsq2_util.Stopwatch.now () +. s) timeout in
+    let total_conflicts = ref 0 in
+    let rec restart_loop k =
+      let budget = int_of_float (luby 2.0 k *. 100.0) in
+      match search t assumptions budget deadline with
+      | `Sat ->
+        if Array.length t.model < t.nvars then t.model <- Array.make t.nvars false;
+        for v = 0 to t.nvars - 1 do
+          t.model.(v) <- t.assigns.(v) = 1
+        done;
+        cancel_until t 0;
+        Sat
+      | `Unsat -> Unsat
+      | `Unsat_assumptions ->
+        cancel_until t 0;
+        Unsat
+      | `Timeout -> Unknown
+      | `Restart ->
+        total_conflicts := !total_conflicts + budget;
+        (match max_conflicts with
+        | Some m when !total_conflicts >= m -> Unknown
+        | Some _ | None -> restart_loop (k + 1))
+    in
+    restart_loop 0
+  end
+
+(* Model access: only meaningful after [solve] returned [Sat]. *)
+let model_value t l =
+  let v = Lit.var l in
+  if v >= Array.length t.model then false
+  else if Lit.sign l then t.model.(v)
+  else not t.model.(v)
+
+(* Branching hints (paper §V future work: domain-guided variable
+   ordering): seed a variable's VSIDS activity and saved phase before
+   search starts. *)
+let boost_activity t v amount =
+  if v >= 0 && v < t.nvars then begin
+    t.activity.(v) <- t.activity.(v) +. amount;
+    Var_heap.decrease t.order v
+  end
+
+let suggest_phase t v phase = if v >= 0 && v < t.nvars then t.polarity.(v) <- phase
+
+let conflict_core t = t.conflict_core
+let is_ok t = t.ok
+let n_clauses t = Vec.length t.clauses
+let n_learnts t = Vec.length t.learnts
+
+let pp_stats fmt t =
+  let s = t.stats in
+  Format.fprintf fmt "conflicts=%d decisions=%d propagations=%d restarts=%d learnt=%d removed=%d"
+    s.conflicts s.decisions s.propagations s.restarts s.learnt_clauses s.removed_clauses

@@ -1,0 +1,65 @@
+(** CDCL SAT solver with incremental solving under assumptions.
+
+    This is the reproduction's stand-in for the Z3 SAT core that the
+    paper's best-performing configuration (bit-vector variables + CNF
+    cardinality constraints) reduces to.  The solver supports adding
+    clauses between [solve] calls and solving under assumption literals,
+    which is what makes the paper's iterative bound-refinement
+    optimization reuse learnt clauses across iterations. *)
+
+type t
+
+type result = Sat | Unsat | Unknown
+
+type stats = {
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable restarts : int;
+  mutable learnt_clauses : int;
+  mutable removed_clauses : int;
+  mutable solves : int;
+}
+
+val create : unit -> t
+
+(** Allocate a fresh variable. *)
+val new_var : t -> Lit.var
+
+(** Allocate a fresh variable and return its positive literal. *)
+val new_lit : t -> Lit.t
+
+val nvars : t -> int
+
+(** Add a clause (disjunction of literals).  May be called between
+    [solve] calls; the solver backtracks to the root level first. *)
+val add_clause : t -> Lit.t list -> unit
+
+val add_clause_a : t -> Lit.t array -> unit
+
+(** [solve ?assumptions ?max_conflicts ?timeout t] runs CDCL search.
+    [assumptions] are decision literals fixed for this call only.
+    [max_conflicts] / [timeout] (seconds) make the call resource-bounded;
+    exceeding either yields [Unknown]. *)
+val solve : ?assumptions:Lit.t list -> ?max_conflicts:int -> ?timeout:float -> t -> result
+
+(** Value of a literal in the model of the last [Sat] answer. *)
+val model_value : t -> Lit.t -> bool
+
+(** Branching hints (domain-guided variable ordering): seed a variable's
+    VSIDS activity / saved phase before search. *)
+val boost_activity : t -> Lit.var -> float -> unit
+
+val suggest_phase : t -> Lit.var -> bool -> unit
+
+(** After an assumption-caused [Unsat], the subset of assumptions involved
+    in the conflict (an unsat core over assumptions). *)
+val conflict_core : t -> Lit.t list
+
+(** [false] once the clause set is unsatisfiable at the root level. *)
+val is_ok : t -> bool
+
+val n_clauses : t -> int
+val n_learnts : t -> int
+val stats : t -> stats
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,87 @@
+(* Indexed binary max-heap over variables, ordered by VSIDS activity.
+
+   The solver picks decision variables from the top; [positions] maps each
+   variable to its slot (or -1) so activity bumps can sift in O(log n). *)
+
+type t = {
+  mutable heap : int array; (* heap.(i) = variable at slot i *)
+  mutable size : int;
+  mutable positions : int array; (* var -> slot, -1 if absent *)
+  mutable activity : float array; (* var -> activity, shared with solver *)
+}
+
+let create () = { heap = Array.make 16 0; size = 0; positions = [||]; activity = [||] }
+
+(* The solver owns the activity array; the heap reads through it. *)
+let set_activity_array t act =
+  t.activity <- act;
+  let n = Array.length act in
+  if Array.length t.positions < n then begin
+    let pos' = Array.make n (-1) in
+    Array.blit t.positions 0 pos' 0 (Array.length t.positions);
+    t.positions <- pos'
+  end
+
+let lt t v w = t.activity.(v) > t.activity.(w) (* max-heap on activity *)
+
+let swap t i j =
+  let v = t.heap.(i) and w = t.heap.(j) in
+  t.heap.(i) <- w;
+  t.heap.(j) <- v;
+  t.positions.(w) <- i;
+  t.positions.(v) <- j
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt t t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < t.size && lt t t.heap.(l) t.heap.(!best) then best := l;
+  if r < t.size && lt t t.heap.(r) t.heap.(!best) then best := r;
+  if !best <> i then begin
+    swap t i !best;
+    sift_down t !best
+  end
+
+let mem t v = v < Array.length t.positions && t.positions.(v) >= 0
+
+let insert t v =
+  if not (mem t v) then begin
+    if t.size = Array.length t.heap then begin
+      let heap' = Array.make (2 * t.size) 0 in
+      Array.blit t.heap 0 heap' 0 t.size;
+      t.heap <- heap'
+    end;
+    t.heap.(t.size) <- v;
+    t.positions.(v) <- t.size;
+    t.size <- t.size + 1;
+    sift_up t (t.size - 1)
+  end
+
+let is_empty t = t.size = 0
+
+let pop t =
+  if t.size = 0 then invalid_arg "Var_heap.pop: empty";
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  t.positions.(top) <- -1;
+  if t.size > 0 then begin
+    t.heap.(0) <- t.heap.(t.size);
+    t.positions.(t.heap.(0)) <- 0;
+    sift_down t 0
+  end;
+  top
+
+(* Re-establish heap order for [v] after its activity increased. *)
+let decrease t v = if mem t v then sift_up t t.positions.(v)
+
+(* Rebuild after a global activity rescale (order is preserved by uniform
+   scaling, so nothing to do; kept for interface clarity). *)
+let rescaled _t = ()

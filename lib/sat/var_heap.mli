@@ -1,0 +1,22 @@
+(** Indexed binary max-heap of variables ordered by VSIDS activity. *)
+
+type t
+
+val create : unit -> t
+
+(** Install (or refresh after growth) the shared activity array the heap
+    orders by. *)
+val set_activity_array : t -> float array -> unit
+
+val mem : t -> int -> bool
+val insert : t -> int -> unit
+val is_empty : t -> bool
+
+(** Remove and return the most active variable. *)
+val pop : t -> int
+
+(** Restore heap order for a variable whose activity increased. *)
+val decrease : t -> int -> unit
+
+(** Notify the heap of a uniform activity rescale (no-op: order preserved). *)
+val rescaled : t -> unit

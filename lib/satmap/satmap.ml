@@ -1,0 +1,171 @@
+(* SATMap-style baseline (Molavi et al., MICRO 2022 [20]).
+
+   SATMap encodes qubit mapping and routing to MaxSAT and regains
+   scalability through *constraint relaxation*: the circuit is sliced and
+   the slices are solved individually, each inheriting the final mapping
+   of its predecessor.  As Tan & Cong showed (and the paper reiterates),
+   the slice boundaries impose unnecessary constraints, so the combined
+   result can be sub-optimal -- which is exactly the behaviour Table IV
+   measures against TB-OLSQ2.
+
+   Our version slices the gate sequence every [chunk_size] two-qubit gates
+   and solves each slice as a transition-based model with minimal SWAP
+   count (same SAT machinery as TB-OLSQ2, with the first block's mapping
+   pinned for every slice but the first).  The per-slice optimization
+   plays the role of SATMap's MaxSAT objective. *)
+
+module Circuit = Olsq2_circuit.Circuit
+module Gate = Olsq2_circuit.Gate
+module Solver = Olsq2_sat.Solver
+module Stopwatch = Olsq2_util.Stopwatch
+module Instance = Olsq2_core.Instance
+module Config = Olsq2_core.Config
+module Result_ = Olsq2_core.Result_
+module Tb_encoder = Olsq2_core.Tb_encoder
+module Validate = Olsq2_core.Validate
+
+type params = {
+  chunk_size : int; (* two-qubit gates per slice *)
+  max_blocks_per_chunk : int;
+}
+
+let default_params = { chunk_size = 6; max_blocks_per_chunk = 8 }
+
+type outcome = {
+  result : Result_.t option;
+  swap_count : int;
+  iterations : int;
+  seconds : float;
+}
+
+(* Split gates into chunks of at most [chunk_size] two-qubit gates (plus
+   their surrounding single-qubit gates), preserving program order. *)
+let slice circuit chunk_size =
+  let chunks = ref [] in
+  let current = ref [] in
+  let twos = ref 0 in
+  Array.iter
+    (fun (g : Gate.t) ->
+      if Gate.is_two_qubit g && !twos = chunk_size then begin
+        chunks := List.rev !current :: !chunks;
+        current := [];
+        twos := 0
+      end;
+      current := g :: !current;
+      if Gate.is_two_qubit g then incr twos)
+    circuit.Circuit.gates;
+  if !current <> [] then chunks := List.rev !current :: !chunks;
+  List.rev !chunks
+
+(* Re-number a chunk's gates into a standalone circuit; returns the
+   original ids alongside. *)
+let chunk_circuit ~num_qubits ~name gates =
+  let orig_ids = List.map (fun (g : Gate.t) -> g.Gate.id) gates in
+  let renumbered =
+    List.mapi
+      (fun i (g : Gate.t) -> Gate.make ~id:i ~name:g.Gate.name ?param:g.Gate.param g.Gate.operands)
+      gates
+  in
+  (Circuit.make ~name ~num_qubits renumbered, orig_ids)
+
+let synthesize ?(params = default_params) ?(config = Config.default) ?budget_seconds
+    (instance : Instance.t) =
+  let budget = Stopwatch.budget budget_seconds in
+  let clock = Stopwatch.start () in
+  let iterations = ref 0 in
+  let circuit = instance.Instance.circuit in
+  let device = instance.Instance.device in
+  let sd = instance.Instance.swap_duration in
+  let nq = Instance.num_qubits instance in
+  let chunks = slice circuit params.chunk_size in
+  let remaining () =
+    let r = Stopwatch.remaining budget in
+    if r = infinity then None else Some r
+  in
+  (* Solve one chunk: minimal blocks first, then SWAP descent. *)
+  let solve_chunk sub incoming =
+    let sub_inst = Instance.make ~swap_duration:sd sub device in
+    let rec blocks b =
+      if b > params.max_blocks_per_chunk || Stopwatch.exhausted budget then None
+      else begin
+        let enc = Tb_encoder.build ~config sub_inst ~num_blocks:b in
+        (match incoming with Some m -> Tb_encoder.fix_initial_mapping enc m | None -> ());
+        incr iterations;
+        match Tb_encoder.solve ?timeout:(remaining ()) enc with
+        | Solver.Sat -> Some enc
+        | Solver.Unsat -> blocks (b + 1)
+        | Solver.Unknown -> None
+      end
+    in
+    match blocks 1 with
+    | None -> None
+    | Some enc ->
+      (* SWAP descent within the chunk *)
+      let rec descend best =
+        if best = 0 || Stopwatch.exhausted budget then best
+        else begin
+          Tb_encoder.build_counter enc ~max_bound:(max best 1);
+          incr iterations;
+          match Tb_encoder.swap_bound_assumption enc (best - 1) with
+          | None -> best
+          | Some a -> (
+            match Tb_encoder.solve ~assumptions:[ a ] ?timeout:(remaining ()) enc with
+            | Solver.Sat -> descend (Tb_encoder.model_swap_count enc)
+            | Solver.Unsat | Solver.Unknown -> best)
+        end
+      in
+      let _ = descend (Tb_encoder.model_swap_count enc) in
+      Some (Tb_encoder.extract ~status:Result_.Feasible enc, sub_inst)
+  in
+  (* Sequentially stitch chunk results into one global result. *)
+  let ng = Circuit.num_gates circuit in
+  let schedule = Array.make ng 0 in
+  let swaps = ref [] in
+  let mapping_rows = ref [] in
+  let offset = ref 0 in
+  let incoming = ref None in
+  let failed = ref false in
+  List.iteri
+    (fun i gates ->
+      if not !failed then begin
+        let sub, orig_ids = chunk_circuit ~num_qubits:nq ~name:(Printf.sprintf "chunk%d" i) gates in
+        match solve_chunk sub !incoming with
+        | None -> failed := true
+        | Some (tbr, _) ->
+          let r = tbr.Tb_encoder.expanded in
+          (* shift the chunk's schedule/swaps/mapping into global time *)
+          List.iteri
+            (fun j orig -> schedule.(orig) <- r.Result_.schedule.(j) + !offset)
+            orig_ids;
+          List.iter
+            (fun sw ->
+              swaps :=
+                { sw with Result_.sw_finish = sw.Result_.sw_finish + !offset } :: !swaps)
+            r.Result_.swaps;
+          Array.iter (fun row -> mapping_rows := Array.copy row :: !mapping_rows) r.Result_.mapping;
+          offset := !offset + r.Result_.depth;
+          incoming := Some (Array.copy r.Result_.mapping.(r.Result_.depth - 1))
+      end)
+    chunks;
+  if !failed then
+    { result = None; swap_count = max_int; iterations = !iterations; seconds = Stopwatch.elapsed clock }
+  else begin
+    let result =
+      {
+        Result_.status = Result_.Feasible;
+        depth = !offset;
+        swap_count = List.length !swaps;
+        mapping = Array.of_list (List.rev !mapping_rows);
+        schedule;
+        swaps = List.rev !swaps;
+        solve_seconds = Stopwatch.elapsed clock;
+        iterations = !iterations;
+      }
+    in
+    {
+      result = Some result;
+      swap_count = result.Result_.swap_count;
+      iterations = !iterations;
+      seconds = Stopwatch.elapsed clock;
+    }
+  end

@@ -1,0 +1,25 @@
+(** SATMap-style baseline (Molavi et al., MICRO 2022): slice the circuit,
+    solve each slice to SWAP-optimality with the incoming mapping pinned,
+    and stitch the results.  Reproduces SATMap's relaxation-induced
+    sub-optimality for the Table IV comparison. *)
+
+module Instance = Olsq2_core.Instance
+module Config = Olsq2_core.Config
+module Result_ = Olsq2_core.Result_
+
+type params = {
+  chunk_size : int;  (** two-qubit gates per slice *)
+  max_blocks_per_chunk : int;
+}
+
+val default_params : params
+
+type outcome = {
+  result : Result_.t option;
+  swap_count : int;  (** [max_int] when synthesis failed *)
+  iterations : int;
+  seconds : float;
+}
+
+val synthesize :
+  ?params:params -> ?config:Config.t -> ?budget_seconds:float -> Instance.t -> outcome

@@ -1,0 +1,35 @@
+(** Deterministic SplitMix64 pseudo-random number generator.
+
+    All randomized components of the library (benchmark generators, SABRE
+    trials) take an explicit [Rng.t] so results are reproducible from a
+    seed, independent of the OCaml runtime's global RNG state. *)
+
+type t
+
+(** [create seed] builds a generator from an integer seed. *)
+val create : int -> t
+
+(** Independent copy; advancing one does not affect the other. *)
+val copy : t -> t
+
+(** Next raw 64-bit output. *)
+val next_int64 : t -> int64
+
+(** Uniform integer in [\[0, bound)]. Raises [Invalid_argument] if
+    [bound <= 0]. *)
+val int : t -> int -> int
+
+(** Uniform float in [\[0, 1)]. *)
+val float : t -> float
+
+(** Uniform boolean. *)
+val bool : t -> bool
+
+(** In-place Fisher-Yates shuffle. *)
+val shuffle : t -> 'a array -> unit
+
+(** Uniform element of a non-empty array. *)
+val pick : t -> 'a array -> 'a
+
+(** Derive an independent child generator (splittable-RNG style). *)
+val split : t -> t

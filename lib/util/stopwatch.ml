@@ -1,0 +1,27 @@
+(* Wall-clock timing and time budgets.
+
+   The optimization loops of OLSQ2 run "until optimal or the time budget is
+   exhausted" (paper III-B); a [budget] value is threaded through them. *)
+
+let now () = Unix.gettimeofday ()
+
+type t = { start : float }
+
+let start () = { start = now () }
+
+let elapsed t = now () -. t.start
+
+type budget = { deadline : float option }
+
+let budget seconds =
+  match seconds with
+  | None -> { deadline = None }
+  | Some s -> { deadline = Some (now () +. s) }
+
+let unlimited = { deadline = None }
+
+let exhausted b =
+  match b.deadline with None -> false | Some d -> now () > d
+
+let remaining b =
+  match b.deadline with None -> infinity | Some d -> Float.max 0.0 (d -. now ())

@@ -1,0 +1,24 @@
+(** Wall-clock stopwatches and optimization time budgets. *)
+
+(** Current wall-clock time in seconds. *)
+val now : unit -> float
+
+type t
+
+(** Start a stopwatch. *)
+val start : unit -> t
+
+(** Seconds since [start]. *)
+val elapsed : t -> float
+
+(** A deadline-based time budget; [None] seconds means unlimited. *)
+type budget
+
+val budget : float option -> budget
+val unlimited : budget
+
+(** True once the wall clock has passed the deadline. *)
+val exhausted : budget -> bool
+
+(** Seconds left, [infinity] when unlimited. *)
+val remaining : budget -> float

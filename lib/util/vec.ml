@@ -1,0 +1,111 @@
+(* Growable array ("vector") with amortized O(1) push.
+
+   The SAT solver keeps watch lists, the trail, and the clause database in
+   vectors; this module is deliberately minimal and allocation-conscious. *)
+
+type 'a t = {
+  mutable data : 'a array;
+  mutable size : int;
+  dummy : 'a; (* filler for unused slots, keeps the GC happy *)
+}
+
+let create ?(capacity = 16) dummy =
+  let capacity = max capacity 1 in
+  { data = Array.make capacity dummy; size = 0; dummy }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let get t i =
+  if i < 0 || i >= t.size then invalid_arg "Vec.get";
+  t.data.(i)
+
+let set t i x =
+  if i < 0 || i >= t.size then invalid_arg "Vec.set";
+  t.data.(i) <- x
+
+(* Unsafe accessors for hot loops; caller guarantees bounds. *)
+let unsafe_get t i = Array.unsafe_get t.data i
+let unsafe_set t i x = Array.unsafe_set t.data i x
+
+let grow t needed =
+  let cap = Array.length t.data in
+  if needed > cap then begin
+    let cap' = max needed (cap * 2) in
+    let data' = Array.make cap' t.dummy in
+    Array.blit t.data 0 data' 0 t.size;
+    t.data <- data'
+  end
+
+let push t x =
+  grow t (t.size + 1);
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1
+
+let pop t =
+  if t.size = 0 then invalid_arg "Vec.pop";
+  t.size <- t.size - 1;
+  let x = t.data.(t.size) in
+  t.data.(t.size) <- t.dummy;
+  x
+
+let last t =
+  if t.size = 0 then invalid_arg "Vec.last";
+  t.data.(t.size - 1)
+
+(* Truncate to [n] elements, clearing dropped slots. *)
+let shrink t n =
+  if n < 0 || n > t.size then invalid_arg "Vec.shrink";
+  for i = n to t.size - 1 do
+    t.data.(i) <- t.dummy
+  done;
+  t.size <- n
+
+let clear t = shrink t 0
+
+(* Remove element at [i] by moving the last element into its place.
+   O(1); does not preserve order. *)
+let remove_swap t i =
+  if i < 0 || i >= t.size then invalid_arg "Vec.remove_swap";
+  t.size <- t.size - 1;
+  t.data.(i) <- t.data.(t.size);
+  t.data.(t.size) <- t.dummy
+
+let iter f t =
+  for i = 0 to t.size - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.size - 1 do
+    f i t.data.(i)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to t.size - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let exists p t =
+  let rec loop i = i < t.size && (p t.data.(i) || loop (i + 1)) in
+  loop 0
+
+let to_list t =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (t.data.(i) :: acc) in
+  loop (t.size - 1) []
+
+let of_list dummy xs =
+  let t = create ~capacity:(max 1 (List.length xs)) dummy in
+  List.iter (push t) xs;
+  t
+
+let to_array t = Array.sub t.data 0 t.size
+
+(* In-place sort of the live prefix. *)
+let sort cmp t =
+  let a = to_array t in
+  Array.sort cmp a;
+  Array.blit a 0 t.data 0 t.size

@@ -1,0 +1,41 @@
+(** Growable arrays with amortized O(1) push, used throughout the SAT
+    solver's hot paths (trail, watch lists, clause database). *)
+
+type 'a t
+
+(** [create ?capacity dummy] makes an empty vector. [dummy] fills unused
+    slots so the underlying array never holds stale pointers. *)
+val create : ?capacity:int -> 'a -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+
+(** Bounds-unchecked accessors for hot loops. *)
+val unsafe_get : 'a t -> int -> 'a
+
+val unsafe_set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> unit
+
+(** Remove and return the last element. *)
+val pop : 'a t -> 'a
+
+val last : 'a t -> 'a
+
+(** [shrink t n] truncates to the first [n] elements. *)
+val shrink : 'a t -> int -> unit
+
+val clear : 'a t -> unit
+
+(** O(1) unordered removal: moves the last element into slot [i]. *)
+val remove_swap : 'a t -> int -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val exists : ('a -> bool) -> 'a t -> bool
+val to_list : 'a t -> 'a list
+val of_list : 'a -> 'a list -> 'a t
+val to_array : 'a t -> 'a array
+val sort : ('a -> 'a -> int) -> 'a t -> unit

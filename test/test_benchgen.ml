@@ -1,0 +1,180 @@
+(* Tests for the benchmark generators: graph properties, QAOA sizes,
+   QUEKO known-optimality invariants, standard circuit families. *)
+
+module Rng = Olsq2_util.Rng
+module Graphgen = Olsq2_benchgen.Graphgen
+module Qaoa = Olsq2_benchgen.Qaoa
+module Queko = Olsq2_benchgen.Queko
+module Standard = Olsq2_benchgen.Standard
+module Suite_ = Olsq2_benchgen.Suite
+module Circuit = Olsq2_circuit.Circuit
+module Gate = Olsq2_circuit.Gate
+module Dag = Olsq2_circuit.Dag
+module Devices = Olsq2_device.Devices
+
+let degrees n edges =
+  let d = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      d.(u) <- d.(u) + 1;
+      d.(v) <- d.(v) + 1)
+    edges;
+  d
+
+let test_random_regular () =
+  let rng = Rng.create 5 in
+  List.iter
+    (fun (n, d) ->
+      let edges = Graphgen.random_regular rng ~n ~d in
+      Alcotest.(check int) "edge count" (n * d / 2) (List.length edges);
+      Array.iter (fun deg -> Alcotest.(check int) "regular degree" d deg) (degrees n edges);
+      (* simple graph: no duplicates *)
+      let sorted = List.sort compare edges in
+      let rec no_dup = function
+        | a :: (b :: _ as rest) -> a <> b && no_dup rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "no duplicate edges" true (no_dup sorted))
+    [ (8, 3); (16, 3); (10, 4) ]
+
+let test_random_regular_rejects () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "odd n*d" (Invalid_argument "Graphgen.random_regular: n*d must be even")
+    (fun () -> ignore (Graphgen.random_regular rng ~n:5 ~d:3))
+
+let test_random_gnm () =
+  let rng = Rng.create 9 in
+  let edges = Graphgen.random_gnm rng ~n:10 ~m:20 in
+  Alcotest.(check int) "m edges" 20 (List.length edges);
+  List.iter (fun (u, v) -> if u = v then Alcotest.fail "self loop") edges
+
+let test_qaoa_sizes () =
+  (* QAOA(n) over a 3-regular graph has exactly 1.5 n gates *)
+  List.iter
+    (fun n ->
+      let c = Qaoa.random ~seed:3 n in
+      Alcotest.(check int) "qubits" n c.Circuit.num_qubits;
+      Alcotest.(check int) "gates" (3 * n / 2) (Circuit.num_gates c);
+      Alcotest.(check int) "all two-qubit" (Circuit.num_gates c) (Circuit.count_two_qubit c))
+    [ 8; 16; 20 ]
+
+let test_qaoa_determinism () =
+  let a = Qaoa.random ~seed:12 8 and b = Qaoa.random ~seed:12 8 in
+  Alcotest.(check bool) "same seed, same circuit" true
+    (List.for_all2
+       (fun (g : Gate.t) (h : Gate.t) -> Gate.qubits g = Gate.qubits h)
+       (Array.to_list a.Circuit.gates) (Array.to_list b.Circuit.gates))
+
+let test_qaoa_mixer () =
+  let c = Qaoa.random_with_mixer ~seed:3 8 in
+  Alcotest.(check int) "gates with mixer" ((3 * 8 / 2) + 8) (Circuit.num_gates c)
+
+let test_queko_chain_invariant () =
+  (* the generated circuit's longest dependency chain equals the target
+     depth: this is the known-optimal property Tables III/IV rely on *)
+  List.iter
+    (fun (dev, depth, gates, seed) ->
+      let c = Queko.generate_counts ~seed dev ~depth ~total_gates:gates () in
+      let dag = Dag.build c in
+      Alcotest.(check int)
+        (Printf.sprintf "chain = depth (%s d=%d)" dev.Olsq2_device.Coupling.name depth)
+        depth (Dag.longest_chain dag))
+    [
+      (Devices.qx2, 3, 9, 1);
+      (Devices.qx2, 5, 15, 2);
+      (Devices.aspen4, 4, 24, 3);
+      (Devices.sycamore54, 5, 100, 4);
+    ]
+
+let test_queko_zero_swap_schedulable () =
+  (* by construction a zero-SWAP mapping exists: verify by checking every
+     two-qubit gate acts on device-adjacent qubits after undoing the name
+     scramble -- equivalently, some mapping makes all 2q gates adjacent.
+     We reconstruct it by brute force for qx2 (5! permutations). *)
+  let dev = Devices.qx2 in
+  let c = Queko.generate_counts ~seed:7 dev ~depth:4 ~total_gates:10 () in
+  let perms =
+    let rec perms = function
+      | [] -> [ [] ]
+      | xs ->
+        List.concat_map (fun x -> List.map (fun p -> x :: p) (perms (List.filter (( <> ) x) xs))) xs
+    in
+    perms [ 0; 1; 2; 3; 4 ]
+  in
+  let ok_mapping perm =
+    let m = Array.of_list perm in
+    List.for_all
+      (fun (g : Gate.t) ->
+        let q, q' = Gate.pair g in
+        Olsq2_device.Coupling.are_adjacent dev m.(q) m.(q'))
+      (Circuit.two_qubit_gates c)
+  in
+  Alcotest.(check bool) "zero-swap mapping exists" true (List.exists ok_mapping perms)
+
+let test_standard_families () =
+  let qft = Standard.qft 5 in
+  Alcotest.(check int) "qft qubits" 5 qft.Circuit.num_qubits;
+  (* n H gates + 5 gates per controlled phase *)
+  Alcotest.(check int) "qft gates" (5 + (10 * 5)) (Circuit.num_gates qft);
+  let t4 = Standard.tof 4 in
+  Alcotest.(check int) "tof_4 qubits" 7 t4.Circuit.num_qubits;
+  let bt4 = Standard.barenco_tof 4 in
+  Alcotest.(check int) "barenco_tof_4 qubits" 7 bt4.Circuit.num_qubits;
+  Alcotest.(check bool) "barenco heavier" true
+    (Circuit.num_gates bt4 > Circuit.num_gates t4);
+  let t5 = Standard.tof 5 in
+  Alcotest.(check int) "tof_5 qubits" 9 t5.Circuit.num_qubits;
+  let ising = Standard.ising ~qubits:10 ~steps:25 in
+  Alcotest.(check int) "ising qubits" 10 ising.Circuit.num_qubits;
+  Alcotest.(check int) "ising gates" (25 * (9 + 10)) (Circuit.num_gates ising);
+  let tof = Standard.toffoli_example () in
+  Alcotest.(check int) "toffoli gates" 15 (Circuit.num_gates tof);
+  Alcotest.(check int) "toffoli qubits" 4 tof.Circuit.num_qubits
+
+let test_suite_specs () =
+  let dev = Devices.qx2 in
+  let q = Suite_.parse_spec "qaoa:8:3" in
+  Alcotest.(check int) "qaoa spec" 8 q.Circuit.num_qubits;
+  let f = Suite_.parse_spec "qft:4" in
+  Alcotest.(check int) "qft spec" 4 f.Circuit.num_qubits;
+  let k = Suite_.parse_spec ~device:dev "queko:3:9:1" in
+  Alcotest.(check int) "queko spec qubits" 5 k.Circuit.num_qubits;
+  Alcotest.(check int) "swap duration qaoa" 1 (Suite_.swap_duration_for q);
+  Alcotest.(check int) "swap duration qft" 3 (Suite_.swap_duration_for f);
+  (try
+     ignore (Suite_.parse_spec "queko:3:9");
+     Alcotest.fail "queko without device should fail"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Suite_.parse_spec "bogus:1");
+    Alcotest.fail "bogus spec should fail"
+  with Invalid_argument _ -> ()
+
+let test_qasm_of_generated () =
+  (* every generator's output survives a QASM round trip *)
+  let circuits =
+    [ Qaoa.random ~seed:1 8; Standard.qft 4; Standard.tof 3; Standard.ising ~qubits:4 ~steps:2 ]
+  in
+  List.iter
+    (fun c ->
+      let c' = Olsq2_circuit.Qasm.parse (Olsq2_circuit.Qasm.print c) in
+      Alcotest.(check int) "gates preserved" (Circuit.num_gates c) (Circuit.num_gates c'))
+    circuits
+
+let suite =
+  [
+    ( "benchgen",
+      [
+        Alcotest.test_case "random regular" `Quick test_random_regular;
+        Alcotest.test_case "random regular rejects" `Quick test_random_regular_rejects;
+        Alcotest.test_case "random gnm" `Quick test_random_gnm;
+        Alcotest.test_case "qaoa sizes" `Quick test_qaoa_sizes;
+        Alcotest.test_case "qaoa determinism" `Quick test_qaoa_determinism;
+        Alcotest.test_case "qaoa mixer" `Quick test_qaoa_mixer;
+        Alcotest.test_case "queko chain invariant" `Quick test_queko_chain_invariant;
+        Alcotest.test_case "queko zero-swap mapping" `Quick test_queko_zero_swap_schedulable;
+        Alcotest.test_case "standard families" `Quick test_standard_families;
+        Alcotest.test_case "suite specs" `Quick test_suite_specs;
+        Alcotest.test_case "generators qasm roundtrip" `Quick test_qasm_of_generated;
+      ] );
+  ]

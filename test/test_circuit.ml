@@ -1,0 +1,169 @@
+(* Tests for the circuit substrate: gates, circuits, dependency DAG and
+   QASM round trips. *)
+
+module Gate = Olsq2_circuit.Gate
+module Circuit = Olsq2_circuit.Circuit
+module Dag = Olsq2_circuit.Dag
+module Qasm = Olsq2_circuit.Qasm
+module B = Olsq2_benchgen
+
+let test_gate_make () =
+  let g = Gate.make ~id:0 ~name:"cx" (Gate.Two (1, 2)) in
+  Alcotest.(check bool) "two qubit" true (Gate.is_two_qubit g);
+  Alcotest.(check (list int)) "qubits" [ 1; 2 ] (Gate.qubits g);
+  Alcotest.(check bool) "uses 1" true (Gate.uses g 1);
+  Alcotest.(check bool) "uses 3" false (Gate.uses g 3);
+  let q, q' = Gate.pair g in
+  Alcotest.(check (pair int int)) "pair" (1, 2) (q, q');
+  let h = Gate.make ~id:1 ~name:"h" (Gate.One 0) in
+  Alcotest.(check int) "single" 0 (Gate.single h);
+  Alcotest.check_raises "equal operands rejected"
+    (Invalid_argument "Gate.make: two-qubit gate with equal operands") (fun () ->
+      ignore (Gate.make ~id:0 ~name:"cx" (Gate.Two (1, 1))));
+  Alcotest.check_raises "negative qubit rejected"
+    (Invalid_argument "Gate.make: negative qubit") (fun () ->
+      ignore (Gate.make ~id:0 ~name:"h" (Gate.One (-1))))
+
+let test_gate_rename () =
+  let g = Gate.make ~id:0 ~name:"cx" (Gate.Two (0, 1)) in
+  let g' = Gate.rename_qubits (fun q -> q + 5) g in
+  Alcotest.(check (list int)) "renamed" [ 5; 6 ] (Gate.qubits g')
+
+let test_circuit_builder () =
+  let b = Circuit.builder 3 in
+  Circuit.add1 b "h" 0;
+  Circuit.add2 b "cx" 0 1;
+  Circuit.add2 b "cx" 1 2;
+  let c = Circuit.build b ~name:"bell3" in
+  Alcotest.(check int) "gates" 3 (Circuit.num_gates c);
+  Alcotest.(check int) "two-qubit count" 2 (Circuit.count_two_qubit c);
+  Alcotest.(check string) "label" "bell3(3/3)" (Circuit.label c);
+  let used = Circuit.used_qubits c in
+  Alcotest.(check (array bool)) "used" [| true; true; true |] used
+
+let test_circuit_validation () =
+  let g = Gate.make ~id:0 ~name:"h" (Gate.One 5) in
+  Alcotest.check_raises "qubit out of range"
+    (Invalid_argument "Circuit.make: gate 0 uses qubit 5 >= 2") (fun () ->
+      ignore (Circuit.make ~name:"bad" ~num_qubits:2 [ g ]));
+  let g1 = Gate.make ~id:1 ~name:"h" (Gate.One 0) in
+  Alcotest.check_raises "id mismatch"
+    (Invalid_argument "Circuit.make: gate ids must match positions") (fun () ->
+      ignore (Circuit.make ~name:"bad" ~num_qubits:2 [ g1 ]))
+
+let test_dag_dependencies () =
+  (* gate 0: cx 0 1; gate 1: h 1; gate 2: cx 0 2; deps: 0->1 (q1), 0->2 (q0) *)
+  let b = Circuit.builder 3 in
+  Circuit.add2 b "cx" 0 1;
+  Circuit.add1 b "h" 1;
+  Circuit.add2 b "cx" 0 2;
+  let c = Circuit.build b ~name:"t" in
+  let dag = Dag.build c in
+  Alcotest.(check (list (pair int int))) "deps" [ (0, 1); (0, 2) ] (Dag.dependencies dag);
+  Alcotest.(check (list int)) "preds of 1" [ 0 ] (Dag.predecessors dag 1);
+  Alcotest.(check (list int)) "succs of 0" [ 2; 1 ] (List.sort (fun a b -> compare b a) (Dag.successors dag 0));
+  Alcotest.(check int) "longest chain" 2 (Dag.longest_chain dag);
+  Alcotest.(check (list int)) "sources" [ 0 ] (Dag.sources dag)
+
+let test_dag_chain () =
+  (* serial chain on one qubit: T_LB = number of gates *)
+  let b = Circuit.builder 1 in
+  for _ = 1 to 7 do
+    Circuit.add1 b "t" 0
+  done;
+  let c = Circuit.build b ~name:"chain" in
+  let dag = Dag.build c in
+  Alcotest.(check int) "chain length" 7 (Dag.longest_chain dag)
+
+let test_dag_layers () =
+  let b = Circuit.builder 4 in
+  Circuit.add2 b "cx" 0 1;
+  Circuit.add2 b "cx" 2 3;
+  (* parallel *)
+  Circuit.add2 b "cx" 1 2;
+  (* depends on both *)
+  let c = Circuit.build b ~name:"layers" in
+  let dag = Dag.build c in
+  (match Dag.asap_layers dag with
+  | [ l0; l1 ] ->
+    Alcotest.(check (list int)) "layer 0" [ 0; 1 ] (List.sort compare l0);
+    Alcotest.(check (list int)) "layer 1" [ 2 ] l1
+  | layers -> Alcotest.fail (Printf.sprintf "expected 2 layers, got %d" (List.length layers)));
+  Alcotest.(check int) "paper Fig.5 style chain" 2 (Dag.longest_chain dag)
+
+let test_toffoli_chain_matches_paper () =
+  (* paper Fig. 5: the Toffoli circuit's longest chain has 11 gates on the
+     critical path through q2/q3 wires (12 including both endpoints in the
+     paper's figure counts gates; our builder yields 11 for this
+     decomposition order) *)
+  let c = B.Standard.toffoli_example () in
+  let dag = Dag.build (c :> Circuit.t) in
+  Alcotest.(check int) "toffoli chain" 11 (Dag.longest_chain dag)
+
+let test_qasm_roundtrip () =
+  let b = Circuit.builder 3 in
+  Circuit.add1 b "h" 0;
+  Circuit.add2 b "cx" 0 1;
+  Circuit.add1p b "rz" 0.25 2;
+  Circuit.add2p b "rzz" 0.5 1 2;
+  let c = Circuit.build b ~name:"rt" in
+  let text = Qasm.print c in
+  let c' = Qasm.parse text in
+  Alcotest.(check int) "qubits" c.Circuit.num_qubits c'.Circuit.num_qubits;
+  Alcotest.(check int) "gates" (Circuit.num_gates c) (Circuit.num_gates c');
+  for i = 0 to Circuit.num_gates c - 1 do
+    let g = Circuit.gate c i and g' = Circuit.gate c' i in
+    Alcotest.(check string) "name" g.Gate.name g'.Gate.name;
+    Alcotest.(check (list int)) "operands" (Gate.qubits g) (Gate.qubits g');
+    match (g.Gate.param, g'.Gate.param) with
+    | None, None -> ()
+    | Some p, Some p' -> Alcotest.(check (float 1e-9)) "param" p p'
+    | _ -> Alcotest.fail "param mismatch"
+  done
+
+let test_qasm_parse_features () =
+  let text =
+    "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n// a comment\nqreg q[2];\ncreg c[2];\nh q[0]; // inline\n\
+     cx q[0],q[1];\nrz(pi/2) q[1];\nbarrier q;\nmeasure q[0];\n"
+  in
+  let c = Qasm.parse text in
+  Alcotest.(check int) "qubits" 2 c.Circuit.num_qubits;
+  (* h, cx, rz survive; barrier/measure/creg are ignored *)
+  Alcotest.(check int) "gates" 3 (Circuit.num_gates c)
+
+let test_qasm_errors () =
+  (try
+     ignore (Qasm.parse "qreg q[2]; cx q[0],q[1],q[0];");
+     Alcotest.fail "expected parse error"
+   with Qasm.Parse_error _ -> ());
+  try
+    ignore (Qasm.parse "cx q[0],q[1];");
+    Alcotest.fail "expected gate-before-qreg error"
+  with Qasm.Parse_error _ -> ()
+
+let test_rename_circuit () =
+  let b = Circuit.builder 3 in
+  Circuit.add2 b "cx" 0 2;
+  let c = Circuit.build b ~name:"r" in
+  let c' = Circuit.rename_qubits c ~num_qubits:5 (fun q -> q + 2) in
+  let g = Circuit.gate c' 0 in
+  Alcotest.(check (list int)) "renamed operands" [ 2; 4 ] (Gate.qubits g)
+
+let suite =
+  [
+    ( "circuit",
+      [
+        Alcotest.test_case "gate make" `Quick test_gate_make;
+        Alcotest.test_case "gate rename" `Quick test_gate_rename;
+        Alcotest.test_case "circuit builder" `Quick test_circuit_builder;
+        Alcotest.test_case "circuit validation" `Quick test_circuit_validation;
+        Alcotest.test_case "dag dependencies" `Quick test_dag_dependencies;
+        Alcotest.test_case "dag serial chain" `Quick test_dag_chain;
+        Alcotest.test_case "dag layers" `Quick test_dag_layers;
+        Alcotest.test_case "toffoli chain length" `Quick test_toffoli_chain_matches_paper;
+        Alcotest.test_case "qasm roundtrip" `Quick test_qasm_roundtrip;
+        Alcotest.test_case "qasm features" `Quick test_qasm_parse_features;
+        Alcotest.test_case "qasm errors" `Quick test_qasm_errors;
+        Alcotest.test_case "circuit rename" `Quick test_rename_circuit;
+      ] );
+  ]

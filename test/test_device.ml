@@ -1,0 +1,120 @@
+(* Tests for coupling graphs and device builders. *)
+
+module Coupling = Olsq2_device.Coupling
+module Devices = Olsq2_device.Devices
+
+let test_make_normalization () =
+  let c = Coupling.make ~name:"t" ~num_qubits:3 [ (1, 0); (0, 1); (2, 1) ] in
+  (* duplicate (0,1)/(1,0) collapses *)
+  Alcotest.(check int) "edges deduped" 2 (Coupling.num_edges c);
+  Alcotest.(check bool) "adjacent" true (Coupling.are_adjacent c 0 1);
+  Alcotest.(check bool) "adjacent reversed" true (Coupling.are_adjacent c 1 0);
+  Alcotest.(check bool) "not adjacent" false (Coupling.are_adjacent c 0 2)
+
+let test_make_rejects () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Coupling.make: self-loop") (fun () ->
+      ignore (Coupling.make ~name:"t" ~num_qubits:2 [ (0, 0) ]));
+  Alcotest.check_raises "out of range" (Invalid_argument "Coupling.make: qubit out of range")
+    (fun () -> ignore (Coupling.make ~name:"t" ~num_qubits:2 [ (0, 5) ]))
+
+let test_edge_ids () =
+  let c = Devices.qx2 in
+  for e = 0 to Coupling.num_edges c - 1 do
+    let p, p' = Coupling.edge c e in
+    Alcotest.(check int) "edge_id roundtrip" e (Coupling.edge_id c p p');
+    Alcotest.(check int) "edge_id unordered" e (Coupling.edge_id c p' p)
+  done;
+  Alcotest.check_raises "missing edge" Not_found (fun () -> ignore (Coupling.edge_id c 0 3))
+
+let test_incident_edges () =
+  let c = Devices.qx2 in
+  (* qubit 2 of QX2 touches 4 of the 6 edges *)
+  Alcotest.(check int) "degree of hub" 4 (List.length (Coupling.incident_edges c 2));
+  List.iter
+    (fun e ->
+      let p, p' = Coupling.edge c e in
+      if p <> 2 && p' <> 2 then Alcotest.fail "incident edge does not touch qubit")
+    (Coupling.incident_edges c 2)
+
+let test_distances_line () =
+  let c = Devices.line 5 in
+  Alcotest.(check int) "dist end to end" 4 (Coupling.distance c 0 4);
+  Alcotest.(check int) "dist adjacent" 1 (Coupling.distance c 2 3);
+  Alcotest.(check int) "dist self" 0 (Coupling.distance c 1 1);
+  Alcotest.(check int) "diameter" 4 (Coupling.diameter c)
+
+let test_distance_symmetry_grid () =
+  let c = Devices.grid 3 4 in
+  let d = Coupling.distance_matrix c in
+  for p = 0 to 11 do
+    for q = 0 to 11 do
+      Alcotest.(check int) "symmetric" d.(p).(q) d.(q).(p)
+    done
+  done;
+  (* manhattan distance on a grid *)
+  Alcotest.(check int) "corner to corner" 5 (Coupling.distance c 0 11)
+
+let test_ring () =
+  let c = Devices.ring 6 in
+  Alcotest.(check int) "edges" 6 (Coupling.num_edges c);
+  Alcotest.(check int) "opposite" 3 (Coupling.distance c 0 3);
+  Alcotest.check_raises "tiny ring rejected"
+    (Invalid_argument "Devices.ring: need at least 3 qubits") (fun () -> ignore (Devices.ring 2))
+
+let check_device name expected_qubits expected_edges max_degree =
+  let c = Devices.by_name name in
+  Alcotest.(check int) (name ^ " qubits") expected_qubits c.Coupling.num_qubits;
+  Alcotest.(check int) (name ^ " edges") expected_edges (Coupling.num_edges c);
+  Alcotest.(check bool) (name ^ " connected") true (Coupling.is_connected c);
+  for p = 0 to c.Coupling.num_qubits - 1 do
+    if List.length (Coupling.neighbors c p) > max_degree then
+      Alcotest.fail (Printf.sprintf "%s qubit %d exceeds degree %d" name p max_degree)
+  done
+
+let test_qx2 () = check_device "qx2" 5 6 4
+
+let test_aspen4 () = check_device "aspen-4" 16 18 3
+
+let test_sycamore () = check_device "sycamore" 54 85 4
+
+let test_eagle () =
+  (* ibm_washington: 127 qubits, 144 edges, heavy-hex degree <= 3 *)
+  check_device "eagle" 127 144 3
+
+let test_eagle_heavy_hex_structure () =
+  let c = Devices.eagle127 in
+  (* every spacer qubit (degree 2) connects two distinct rows *)
+  let spacers = [ 14; 15; 16; 17; 33; 34; 35; 36; 52; 53; 54; 55 ] in
+  List.iter
+    (fun p -> Alcotest.(check int) "spacer degree" 2 (List.length (Coupling.neighbors c p)))
+    spacers
+
+let test_by_name_grid () =
+  let c = Devices.by_name "grid-4x5" in
+  Alcotest.(check int) "grid qubits" 20 c.Coupling.num_qubits;
+  Alcotest.check_raises "unknown device" (Invalid_argument "Devices.by_name: unknown device nope")
+    (fun () -> ignore (Devices.by_name "nope"))
+
+let test_all_names_resolve () =
+  List.iter (fun n -> ignore (Devices.by_name n)) Devices.all_names
+
+let suite =
+  [
+    ( "device",
+      [
+        Alcotest.test_case "normalization" `Quick test_make_normalization;
+        Alcotest.test_case "rejects bad edges" `Quick test_make_rejects;
+        Alcotest.test_case "edge ids" `Quick test_edge_ids;
+        Alcotest.test_case "incident edges" `Quick test_incident_edges;
+        Alcotest.test_case "line distances" `Quick test_distances_line;
+        Alcotest.test_case "grid distance symmetry" `Quick test_distance_symmetry_grid;
+        Alcotest.test_case "ring" `Quick test_ring;
+        Alcotest.test_case "qx2" `Quick test_qx2;
+        Alcotest.test_case "aspen-4" `Quick test_aspen4;
+        Alcotest.test_case "sycamore" `Quick test_sycamore;
+        Alcotest.test_case "eagle 127" `Quick test_eagle;
+        Alcotest.test_case "eagle heavy-hex spacers" `Quick test_eagle_heavy_hex_structure;
+        Alcotest.test_case "by_name grid" `Quick test_by_name_grid;
+        Alcotest.test_case "all names resolve" `Quick test_all_names_resolve;
+      ] );
+  ]

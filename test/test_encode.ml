@@ -1,0 +1,344 @@
+(* Tests for the encoding layer: formula folding, Tseitin correctness
+   against brute-force formula evaluation, bit-vector and one-hot
+   semantics, cardinality encodings, and the PB adder network. *)
+
+module F = Olsq2_encode.Formula
+module Ctx = Olsq2_encode.Ctx
+module Bitvec = Olsq2_encode.Bitvec
+module Onehot = Olsq2_encode.Onehot
+module Cardinality = Olsq2_encode.Cardinality
+module Pb = Olsq2_encode.Pb
+module S = Olsq2_sat.Solver
+module L = Olsq2_sat.Lit
+module Rng = Olsq2_util.Rng
+
+(* ---- formula smart constructors ---- *)
+
+let test_formula_folding () =
+  let a = F.Atom (L.of_var 0) in
+  Alcotest.(check bool) "and []" true (F.and_ [] = F.True);
+  Alcotest.(check bool) "or []" true (F.or_ [] = F.False);
+  Alcotest.(check bool) "and [False]" true (F.and_ [ a; F.False ] = F.False);
+  Alcotest.(check bool) "or [True]" true (F.or_ [ a; F.True ] = F.True);
+  Alcotest.(check bool) "and singleton" true (F.and_ [ a ] = a);
+  Alcotest.(check bool) "or singleton" true (F.or_ [ a ] = a);
+  Alcotest.(check bool) "not not" true (F.not_ (F.not_ a) = a);
+  Alcotest.(check bool) "imply false antecedent" true (F.imply F.False a = F.True);
+  Alcotest.(check bool) "iff with true" true (F.iff F.True a = a);
+  (* nested flattening *)
+  (match F.and_ [ F.And [ a; a ]; a ] with
+  | F.And l -> Alcotest.(check int) "and flattened" 3 (List.length l)
+  | _ -> Alcotest.fail "expected And");
+  Alcotest.(check bool) "size positive" true (F.size (F.Imply (a, F.Or [ a; F.Not a ])) > 0)
+
+(* brute-force evaluation of a formula under an assignment (var -> bool) *)
+let rec eval env = function
+  | F.True -> true
+  | F.False -> false
+  | F.Atom l -> if L.sign l then env (L.var l) else not (env (L.var l))
+  | F.Not f -> not (eval env f)
+  | F.And fs -> List.for_all (eval env) fs
+  | F.Or fs -> List.exists (eval env) fs
+  | F.Imply (a, b) -> (not (eval env a)) || eval env b
+  | F.Iff (a, b) -> eval env a = eval env b
+
+(* random formula over nv variables *)
+let rec random_formula rng nv depth =
+  if depth = 0 || Rng.int rng 4 = 0 then
+    match Rng.int rng 6 with
+    | 0 -> F.True
+    | 1 -> F.False
+    | _ -> F.Atom (L.of_var ~sign:(Rng.bool rng) (Rng.int rng nv))
+  else
+    match Rng.int rng 5 with
+    | 0 -> F.not_ (random_formula rng nv (depth - 1))
+    | 1 ->
+      F.and_ (List.init (1 + Rng.int rng 3) (fun _ -> random_formula rng nv (depth - 1)))
+    | 2 -> F.or_ (List.init (1 + Rng.int rng 3) (fun _ -> random_formula rng nv (depth - 1)))
+    | 3 -> F.imply (random_formula rng nv (depth - 1)) (random_formula rng nv (depth - 1))
+    | _ -> F.iff (random_formula rng nv (depth - 1)) (random_formula rng nv (depth - 1))
+
+(* Tseitin correctness: asserting f in a fresh context is satisfiable iff
+   f has a satisfying assignment, and the model restricted to problem
+   variables satisfies f. *)
+let test_tseitin_random () =
+  let rng = Rng.create 99 in
+  for _ = 1 to 200 do
+    let nv = 4 in
+    let ctx = Ctx.create () in
+    (* allocate the problem variables first so their indices are 0..nv-1 *)
+    for _ = 1 to nv do
+      ignore (Ctx.fresh_var ctx)
+    done;
+    let f = random_formula rng nv 3 in
+    Ctx.assert_formula ctx f;
+    let s = Ctx.solver ctx in
+    let got = S.solve s in
+    let expect = ref false in
+    for m = 0 to (1 lsl nv) - 1 do
+      if eval (fun v -> m land (1 lsl v) <> 0) f then expect := true
+    done;
+    match got with
+    | S.Sat ->
+      if not !expect then Alcotest.fail "Tseitin SAT but formula unsatisfiable";
+      let env v = S.model_value s (L.of_var v) in
+      if not (eval env f) then Alcotest.fail "model does not satisfy original formula"
+    | S.Unsat -> if !expect then Alcotest.fail "Tseitin UNSAT but formula satisfiable"
+    | S.Unknown -> Alcotest.fail "unexpected Unknown"
+  done
+
+let test_reify_equivalence () =
+  let rng = Rng.create 55 in
+  for _ = 1 to 100 do
+    let nv = 4 in
+    let ctx = Ctx.create () in
+    for _ = 1 to nv do
+      ignore (Ctx.fresh_var ctx)
+    done;
+    let f = random_formula rng nv 3 in
+    let l = Ctx.reify ctx f in
+    let s = Ctx.solver ctx in
+    (* l <=> f must hold in every model: check l & ~f and ~l & f unsat *)
+    Ctx.assert_formula ctx (F.Not (F.iff (F.Atom l) f));
+    if S.solve s = S.Sat then Alcotest.fail "reified literal differs from formula"
+  done
+
+let test_assert_implied () =
+  let ctx = Ctx.create () in
+  let guard = Ctx.fresh_var ctx in
+  let a = Ctx.fresh_var ctx and b = Ctx.fresh_var ctx in
+  Ctx.assert_implied ctx ~guard (F.and_ [ F.Atom a; F.Atom b ]);
+  let s = Ctx.solver ctx in
+  Alcotest.(check bool) "sat with guard" true (S.solve ~assumptions:[ guard ] s = S.Sat);
+  Alcotest.(check bool) "guard forces a" true (S.model_value s a);
+  Alcotest.(check bool) "guard forces b" true (S.model_value s b);
+  Alcotest.(check bool) "sat with ~a without guard" true
+    (S.solve ~assumptions:[ L.negate a ] s = S.Sat);
+  Alcotest.(check bool) "guard+~a unsat" true
+    (S.solve ~assumptions:[ guard; L.negate a ] s = S.Unsat)
+
+(* ---- bit-vectors ---- *)
+
+let test_bitvec_bits_for_range () =
+  Alcotest.(check int) "range 1" 1 (Bitvec.bits_for_range 1);
+  Alcotest.(check int) "range 2" 1 (Bitvec.bits_for_range 2);
+  Alcotest.(check int) "range 3" 2 (Bitvec.bits_for_range 3);
+  Alcotest.(check int) "range 4" 2 (Bitvec.bits_for_range 4);
+  Alcotest.(check int) "range 5" 3 (Bitvec.bits_for_range 5);
+  Alcotest.(check int) "range 127" 7 (Bitvec.bits_for_range 127);
+  Alcotest.(check int) "range 128" 7 (Bitvec.bits_for_range 128);
+  Alcotest.(check int) "range 129" 8 (Bitvec.bits_for_range 129)
+
+(* Enumerate all models of a constraint on a fresh bitvec and compare to
+   the expected set of integer values. *)
+let bitvec_models width constraint_of =
+  let ctx = Ctx.create () in
+  let bv = Bitvec.fresh ctx width in
+  Ctx.assert_formula ctx (constraint_of bv);
+  let s = Ctx.solver ctx in
+  let found = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    match S.solve s with
+    | S.Sat ->
+      let v = Bitvec.value s bv in
+      found := v :: !found;
+      (* block this value *)
+      Ctx.assert_formula ctx (F.not_ (Bitvec.eq_const bv v))
+    | S.Unsat -> continue_ := false
+    | S.Unknown -> Alcotest.fail "unexpected Unknown"
+  done;
+  List.sort_uniq compare !found
+
+let test_bitvec_eq_const () =
+  Alcotest.(check (list int)) "eq 5" [ 5 ] (bitvec_models 3 (fun bv -> Bitvec.eq_const bv 5));
+  Alcotest.(check (list int)) "eq 0" [ 0 ] (bitvec_models 3 (fun bv -> Bitvec.eq_const bv 0))
+
+let test_bitvec_le_const () =
+  Alcotest.(check (list int)) "le 2" [ 0; 1; 2 ] (bitvec_models 3 (fun bv -> Bitvec.le_const bv 2));
+  Alcotest.(check (list int)) "lt 1" [ 0 ] (bitvec_models 3 (fun bv -> Bitvec.lt_const bv 1));
+  Alcotest.(check (list int)) "ge 6" [ 6; 7 ] (bitvec_models 3 (fun bv -> Bitvec.ge_const bv 6));
+  Alcotest.(check (list int))
+    "le max is all" (List.init 8 Fun.id)
+    (bitvec_models 3 (fun bv -> Bitvec.le_const bv 7))
+
+let test_bitvec_lt_pairs () =
+  (* a < b over width 2: enumerate all model pairs *)
+  let ctx = Ctx.create () in
+  let a = Bitvec.fresh ctx 2 and b = Bitvec.fresh ctx 2 in
+  Ctx.assert_formula ctx (Bitvec.lt a b);
+  let s = Ctx.solver ctx in
+  let found = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    match S.solve s with
+    | S.Sat ->
+      let va = Bitvec.value s a and vb = Bitvec.value s b in
+      found := (va, vb) :: !found;
+      Ctx.assert_formula ctx (F.not_ (F.and_ [ Bitvec.eq_const a va; Bitvec.eq_const b vb ]));
+      if List.length !found > 20 then continue_ := false
+    | S.Unsat -> continue_ := false
+    | S.Unknown -> Alcotest.fail "Unknown"
+  done;
+  let expected = List.concat_map (fun a -> List.filter_map (fun b -> if a < b then Some (a, b) else None) [ 0; 1; 2; 3 ]) [ 0; 1; 2; 3 ] in
+  Alcotest.(check int) "pair count" (List.length expected) (List.length !found);
+  List.iter (fun (va, vb) -> if va >= vb then Alcotest.fail "lt violated") !found
+
+let test_bitvec_constant () =
+  let ctx = Ctx.create () in
+  let c = Bitvec.constant ctx ~width:4 11 in
+  let s = Ctx.solver ctx in
+  Alcotest.(check bool) "sat" true (S.solve s = S.Sat);
+  Alcotest.(check int) "constant decodes" 11 (Bitvec.value s c)
+
+(* ---- one-hot ---- *)
+
+let test_onehot_exactly_one () =
+  let ctx = Ctx.create () in
+  let oh = Onehot.fresh ctx 5 in
+  let s = Ctx.solver ctx in
+  let found = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    match S.solve s with
+    | S.Sat ->
+      let v = Onehot.value s oh in
+      found := v :: !found;
+      Ctx.assert_formula ctx (F.not_ (Onehot.eq_const oh v))
+    | S.Unsat -> continue_ := false
+    | S.Unknown -> Alcotest.fail "Unknown"
+  done;
+  Alcotest.(check (list int)) "exactly the domain" [ 0; 1; 2; 3; 4 ] (List.sort compare !found)
+
+let test_onehot_comparisons () =
+  let ctx = Ctx.create () in
+  let x = Onehot.fresh ctx 6 and y = Onehot.fresh ctx 6 in
+  Ctx.assert_formula ctx (Onehot.lt x y);
+  Ctx.assert_formula ctx (Onehot.le_const y 3);
+  Ctx.assert_formula ctx (Onehot.ge_const x 2);
+  let s = Ctx.solver ctx in
+  Alcotest.(check bool) "sat" true (S.solve s = S.Sat);
+  let vx = Onehot.value s x and vy = Onehot.value s y in
+  Alcotest.(check bool) "x < y" true (vx < vy);
+  Alcotest.(check bool) "y <= 3" true (vy <= 3);
+  Alcotest.(check bool) "x >= 2" true (vx >= 2)
+
+(* ---- cardinality encodings (property: models <-> popcount bound) ---- *)
+
+let popcount_models_ok ~encoding n k =
+  (* with "at most k" enforced, every model has popcount <= k, and for
+     each j <= k some model with popcount j exists *)
+  let ctx = Ctx.create () in
+  let xs = Array.init n (fun _ -> Ctx.fresh_var ctx) in
+  let assumption =
+    match encoding with
+    | `Seq ->
+      let out = Cardinality.sequential_counter ctx xs in
+      Cardinality.at_most_assumption out k
+    | `Tot ->
+      let out = Cardinality.totalizer ctx xs in
+      Cardinality.at_most_assumption out k
+    | `Adder ->
+      let net = Pb.adder_network ctx xs in
+      Some (Pb.at_most_assumption ctx net k)
+    | `Binomial ->
+      Cardinality.binomial_at_most ctx xs k;
+      None
+  in
+  let s = Ctx.solver ctx in
+  let assumptions = match assumption with Some a -> [ a ] | None -> [] in
+  (* upper bound respected in every model of each forced pattern *)
+  let count_true model_xs = Array.fold_left (fun acc l -> if l then acc + 1 else acc) 0 model_xs in
+  (* force exactly j inputs true for j = 0..n and check satisfiability *)
+  let ok = ref true in
+  for j = 0 to n do
+    let extra = List.init n (fun i -> if i < j then xs.(i) else L.negate xs.(i)) in
+    let r = S.solve ~assumptions:(assumptions @ extra) s in
+    let expect = j <= k in
+    (match r with
+    | S.Sat ->
+      if not expect then ok := false;
+      let m = Array.map (S.model_value s) xs in
+      if count_true m > k then ok := false
+    | S.Unsat -> if expect then ok := false
+    | S.Unknown -> ok := false)
+  done;
+  !ok
+
+let test_cardinality_encodings () =
+  List.iter
+    (fun (name, enc) ->
+      List.iter
+        (fun (n, k) ->
+          if not (popcount_models_ok ~encoding:enc n k) then
+            Alcotest.fail (Printf.sprintf "%s at-most-%d over %d inputs wrong" name k n))
+        [ (5, 0); (5, 2); (5, 5); (7, 3); (6, 1) ])
+    [ ("seq", `Seq); ("totalizer", `Tot); ("adder", `Adder); ("binomial", `Binomial) ]
+
+let test_sequential_counter_outputs_monotone () =
+  (* count_ge.(j) implied by count_ge.(j+1)? not structurally guaranteed,
+     but forcing j+1 inputs true must imply output j as well *)
+  let ctx = Ctx.create () in
+  let xs = Array.init 6 (fun _ -> Ctx.fresh_var ctx) in
+  let out = Cardinality.sequential_counter ctx xs in
+  let s = Ctx.solver ctx in
+  (* force 3 inputs true *)
+  let assumptions = [ xs.(0); xs.(2); xs.(4) ] in
+  Alcotest.(check bool) "sat" true (S.solve ~assumptions s = S.Sat);
+  (* at-most-2 must now fail *)
+  (match Cardinality.at_most_assumption out 2 with
+  | Some a -> Alcotest.(check bool) "amo2 unsat" true (S.solve ~assumptions:(a :: assumptions) s = S.Unsat)
+  | None -> Alcotest.fail "expected assumption");
+  match Cardinality.at_most_assumption out 3 with
+  | Some a -> Alcotest.(check bool) "amo3 sat" true (S.solve ~assumptions:(a :: assumptions) s = S.Sat)
+  | None -> Alcotest.fail "expected assumption"
+
+let test_assert_at_most_at_least () =
+  let ctx = Ctx.create () in
+  let xs = Array.init 5 (fun _ -> Ctx.fresh_var ctx) in
+  Cardinality.assert_at_most ctx xs 3;
+  Cardinality.assert_at_least ctx xs 2;
+  let s = Ctx.solver ctx in
+  let count m = Array.fold_left (fun a l -> if S.model_value m l then a + 1 else a) 0 xs in
+  Alcotest.(check bool) "sat" true (S.solve s = S.Sat);
+  let c = count s in
+  Alcotest.(check bool) "2 <= count <= 3" true (c >= 2 && c <= 3);
+  (* forcing 4 true violates at-most-3 *)
+  Alcotest.(check bool) "4 true unsat" true
+    (S.solve ~assumptions:[ xs.(0); xs.(1); xs.(2); xs.(3) ] s = S.Unsat);
+  (* forcing 4 false violates at-least-2 *)
+  Alcotest.(check bool) "4 false unsat" true
+    (S.solve ~assumptions:[ L.negate xs.(0); L.negate xs.(1); L.negate xs.(2); L.negate xs.(3) ] s
+    = S.Unsat)
+
+let test_adder_sum_value () =
+  let ctx = Ctx.create () in
+  let xs = Array.init 9 (fun _ -> Ctx.fresh_var ctx) in
+  let net = Pb.adder_network ctx xs in
+  let s = Ctx.solver ctx in
+  let assumptions = [ xs.(0); xs.(3); xs.(4); xs.(8); L.negate xs.(1) ] in
+  Alcotest.(check bool) "sat" true (S.solve ~assumptions s = S.Sat);
+  let expected = Array.fold_left (fun a l -> if S.model_value s l then a + 1 else a) 0 xs in
+  Alcotest.(check int) "adder sum matches popcount" expected (Pb.sum_value s net)
+
+let suite =
+  [
+    ( "encode",
+      [
+        Alcotest.test_case "formula folding" `Quick test_formula_folding;
+        Alcotest.test_case "tseitin vs brute force" `Slow test_tseitin_random;
+        Alcotest.test_case "reify equivalence" `Slow test_reify_equivalence;
+        Alcotest.test_case "assert_implied guard" `Quick test_assert_implied;
+        Alcotest.test_case "bits_for_range" `Quick test_bitvec_bits_for_range;
+        Alcotest.test_case "bitvec eq_const" `Quick test_bitvec_eq_const;
+        Alcotest.test_case "bitvec le/lt/ge const" `Quick test_bitvec_le_const;
+        Alcotest.test_case "bitvec lt pairs" `Quick test_bitvec_lt_pairs;
+        Alcotest.test_case "bitvec constant" `Quick test_bitvec_constant;
+        Alcotest.test_case "onehot exactly-one" `Quick test_onehot_exactly_one;
+        Alcotest.test_case "onehot comparisons" `Quick test_onehot_comparisons;
+        Alcotest.test_case "cardinality encodings" `Slow test_cardinality_encodings;
+        Alcotest.test_case "seq counter outputs" `Quick test_sequential_counter_outputs_monotone;
+        Alcotest.test_case "assert at-most/at-least" `Quick test_assert_at_most_at_least;
+        Alcotest.test_case "adder network sum" `Quick test_adder_sum_value;
+      ] );
+  ]

@@ -1,0 +1,279 @@
+(* QCheck property-based tests over core data structures and invariants,
+   registered as alcotest cases. *)
+
+module Q = QCheck
+module S = Olsq2_sat.Solver
+module L = Olsq2_sat.Lit
+module Ctx = Olsq2_encode.Ctx
+module F = Olsq2_encode.Formula
+module Bitvec = Olsq2_encode.Bitvec
+module Cardinality = Olsq2_encode.Cardinality
+module Core = Olsq2_core
+module Circuit = Olsq2_circuit.Circuit
+module Gate = Olsq2_circuit.Gate
+module Dag = Olsq2_circuit.Dag
+module Qasm = Olsq2_circuit.Qasm
+module Devices = Olsq2_device.Devices
+module Coupling = Olsq2_device.Coupling
+module B = Olsq2_benchgen
+module Sabre = Olsq2_heuristic.Sabre
+
+(* ---- generators ---- *)
+
+(* random 3-CNF as (num_vars, clause list of dimacs ints) *)
+let cnf_gen =
+  Q.Gen.(
+    let* nv = 2 -- 8 in
+    let* ncl = 1 -- 35 in
+    let clause =
+      list_size (2 -- 3)
+        (let* v = 1 -- nv in
+         let* s = bool in
+         return (if s then v else -v))
+    in
+    let* clauses = list_size (return ncl) clause in
+    return (nv, clauses))
+
+let cnf_arbitrary =
+  Q.make
+    ~print:(fun (nv, cls) ->
+      Printf.sprintf "nv=%d %s" nv
+        (String.concat " ; " (List.map (fun c -> String.concat "," (List.map string_of_int c)) cls)))
+    cnf_gen
+
+let brute_force_sat nv clauses =
+  let sat m =
+    List.for_all
+      (fun cl ->
+        List.exists (fun d -> if d > 0 then m land (1 lsl (d - 1)) <> 0 else m land (1 lsl (-d - 1)) = 0) cl)
+      clauses
+  in
+  let rec scan m = m < 1 lsl nv && (sat m || scan (m + 1)) in
+  scan 0
+
+(* property: solver agrees with brute force, and SAT models check out *)
+let prop_solver_correct =
+  Q.Test.make ~count:300 ~name:"CDCL agrees with brute force" cnf_arbitrary (fun (nv, clauses) ->
+      let s = S.create () in
+      for _ = 1 to nv do
+        ignore (S.new_var s)
+      done;
+      List.iter (fun cl -> S.add_clause s (List.map L.of_dimacs cl)) clauses;
+      match S.solve s with
+      | S.Sat ->
+        brute_force_sat nv clauses
+        && List.for_all (fun cl -> List.exists (fun d -> S.model_value s (L.of_dimacs d)) cl) clauses
+      | S.Unsat -> not (brute_force_sat nv clauses)
+      | S.Unknown -> false)
+
+(* property: bitvec comparison circuits match integer semantics *)
+let prop_bitvec_semantics =
+  let gen =
+    Q.Gen.(
+      let* w = 1 -- 5 in
+      let* v = 0 -- ((1 lsl w) - 1) in
+      let* k = -1 -- (1 lsl w) in
+      return (w, v, k))
+  in
+  Q.Test.make ~count:200 ~name:"bitvec le/eq match integers"
+    (Q.make ~print:(fun (w, v, k) -> Printf.sprintf "w=%d v=%d k=%d" w v k) gen)
+    (fun (w, v, k) ->
+      let ctx = Ctx.create () in
+      let bv = Bitvec.fresh ctx w in
+      Ctx.assert_formula ctx (Bitvec.eq_const bv v);
+      let s = Ctx.solver ctx in
+      let sat_with f =
+        let l = Ctx.reify ctx f in
+        S.solve ~assumptions:[ l ] s = S.Sat
+      in
+      S.solve s = S.Sat
+      && Bitvec.value s bv = v
+      && sat_with (Bitvec.le_const bv k) = (v <= k)
+      && sat_with (Bitvec.ge_const bv k) = (v >= k)
+      && sat_with (Bitvec.eq_const bv k) = (v = k))
+
+(* property: sequential counter bounds match popcount, for random forced
+   input patterns *)
+let prop_cardinality_popcount =
+  let gen =
+    Q.Gen.(
+      let* n = 1 -- 8 in
+      let* k = 0 -- n in
+      let* pattern = list_size (return n) bool in
+      return (n, k, pattern))
+  in
+  Q.Test.make ~count:200 ~name:"sequential counter = popcount bound"
+    (Q.make
+       ~print:(fun (n, k, p) ->
+         Printf.sprintf "n=%d k=%d pattern=%s" n k
+           (String.concat "" (List.map (fun b -> if b then "1" else "0") p)))
+       gen)
+    (fun (n, k, pattern) ->
+      let ctx = Ctx.create () in
+      let xs = Array.init n (fun _ -> Ctx.fresh_var ctx) in
+      let out = Cardinality.sequential_counter ctx xs in
+      let s = Ctx.solver ctx in
+      let forced = List.mapi (fun i b -> if b then xs.(i) else L.negate xs.(i)) pattern in
+      let popcount = List.length (List.filter Fun.id pattern) in
+      let assumptions =
+        match Cardinality.at_most_assumption out k with
+        | Some a -> a :: forced
+        | None -> forced
+      in
+      (S.solve ~assumptions s = S.Sat) = (popcount <= k))
+
+(* ---- random circuit / device generators ---- *)
+
+let device_gen =
+  Q.Gen.oneofl [ Devices.qx2; Devices.line 4; Devices.ring 5; Devices.grid 2 3; Devices.grid 3 3 ]
+
+let circuit_gen =
+  Q.Gen.(
+    let* nq = 2 -- 5 in
+    let* ng = 1 -- 12 in
+    let gate =
+      let* two = bool in
+      let* a = 0 -- (nq - 1) in
+      if two && nq >= 2 then
+        let* b = 0 -- (nq - 2) in
+        let b = if b >= a then b + 1 else b in
+        return (`Two (a, b))
+      else return (`One a)
+    in
+    let* gates = list_size (return ng) gate in
+    return (nq, gates))
+
+let build_circuit (nq, gates) =
+  let b = Circuit.builder nq in
+  List.iter
+    (fun g ->
+      match g with
+      | `One q -> Circuit.add1 b "u3" q
+      | `Two (q, q') -> Circuit.add2 b "cx" q q')
+    gates;
+  Circuit.build b ~name:"rand"
+
+let instance_arbitrary =
+  let gen =
+    Q.Gen.(
+      let* spec = circuit_gen in
+      let* dev = device_gen in
+      let nq, _ = spec in
+      if nq <= dev.Coupling.num_qubits then return (Some (spec, dev)) else return None)
+  in
+  Q.make
+    ~print:(fun inst ->
+      match inst with
+      | None -> "skip"
+      | Some ((nq, gates), dev) ->
+        Printf.sprintf "nq=%d ng=%d dev=%s" nq (List.length gates) dev.Coupling.name)
+    gen
+
+(* property: SABRE output is always validator-clean *)
+let prop_sabre_valid =
+  Q.Test.make ~count:60 ~name:"SABRE results always valid" instance_arbitrary (fun inst ->
+      match inst with
+      | None -> true
+      | Some (spec, dev) ->
+        let circuit = build_circuit spec in
+        let inst = Core.Instance.make ~swap_duration:3 circuit dev in
+        let r = Sabre.synthesize ~seed:1 inst in
+        Core.Validate.is_valid inst r)
+
+(* property: TB-OLSQ2 output is always validator-clean and uses at most as
+   many swaps as SABRE *)
+let prop_tb_valid_and_no_worse =
+  Q.Test.make ~count:25 ~name:"TB-OLSQ2 valid and <= SABRE swaps" instance_arbitrary (fun inst ->
+      match inst with
+      | None -> true
+      | Some (spec, dev) ->
+        let circuit = build_circuit spec in
+        let inst = Core.Instance.make ~swap_duration:3 circuit dev in
+        let sabre = Sabre.synthesize ~seed:1 inst in
+        let tb = Core.Optimizer.tb_minimize_swaps ~budget_seconds:60.0 inst in
+        (match tb.Core.Optimizer.tb_result with
+        | Some r ->
+          Core.Validate.is_valid inst r.Core.Tb_encoder.expanded
+          && r.Core.Tb_encoder.swap_count <= sabre.Core.Result_.swap_count
+        | None -> true (* budget exhausted: no claim *)))
+
+(* property: QASM round trips preserve gate structure *)
+let prop_qasm_roundtrip =
+  Q.Test.make ~count:100 ~name:"QASM roundtrip"
+    (Q.make ~print:(fun (nq, gates) -> Printf.sprintf "nq=%d ng=%d" nq (List.length gates)) circuit_gen)
+    (fun spec ->
+      let c = build_circuit spec in
+      let c' = Qasm.parse (Qasm.print c) in
+      Circuit.num_gates c = Circuit.num_gates c'
+      && c.Circuit.num_qubits = c'.Circuit.num_qubits
+      && List.for_all2
+           (fun (g : Gate.t) (h : Gate.t) -> Gate.qubits g = Gate.qubits h && g.Gate.name = h.Gate.name)
+           (Array.to_list c.Circuit.gates) (Array.to_list c'.Circuit.gates))
+
+(* property: DAG invariants -- dependencies point forward, chain length is
+   within [ceil(ng/nq)... ng], layers partition the gates *)
+let prop_dag_invariants =
+  Q.Test.make ~count:150 ~name:"DAG invariants"
+    (Q.make ~print:(fun (nq, gates) -> Printf.sprintf "nq=%d ng=%d" nq (List.length gates)) circuit_gen)
+    (fun spec ->
+      let c = build_circuit spec in
+      let dag = Dag.build c in
+      let ng = Circuit.num_gates c in
+      let deps_forward = List.for_all (fun (a, b) -> a < b) (Dag.dependencies dag) in
+      let chain = Dag.longest_chain dag in
+      let layers = Dag.asap_layers dag in
+      let layer_count = List.fold_left (fun acc l -> acc + List.length l) 0 layers in
+      deps_forward && chain >= 1 && chain <= ng && layer_count = ng
+      && List.length layers = chain)
+
+(* property: QUEKO circuits always have chain length = requested depth *)
+let prop_queko_chain =
+  let gen =
+    Q.Gen.(
+      let* depth = 2 -- 6 in
+      let* gates_per = 2 -- 6 in
+      let* seed = 0 -- 10000 in
+      return (depth, gates_per, seed))
+  in
+  Q.Test.make ~count:60 ~name:"QUEKO chain = depth"
+    (Q.make ~print:(fun (d, g, s) -> Printf.sprintf "d=%d g=%d seed=%d" d g s) gen)
+    (fun (depth, gates_per, seed) ->
+      let c =
+        B.Queko.generate ~seed Devices.aspen4
+          { B.Queko.depth; gates_per_cycle = gates_per; two_qubit_fraction = 0.5 }
+      in
+      Dag.longest_chain (Dag.build c) = depth)
+
+(* property: exact depth optimum is always >= T_LB and <= SABRE's depth *)
+let prop_depth_bounds =
+  Q.Test.make ~count:20 ~name:"T_LB <= optimal depth <= SABRE depth" instance_arbitrary
+    (fun inst ->
+      match inst with
+      | None -> true
+      | Some (spec, dev) ->
+        let circuit = build_circuit spec in
+        let inst = Core.Instance.make ~swap_duration:3 circuit dev in
+        (match (Core.Optimizer.minimize_depth ~budget_seconds:60.0 inst).Core.Optimizer.result with
+        | Some r ->
+          let sabre = Sabre.synthesize ~seed:1 inst in
+          Core.Validate.is_valid inst r
+          && r.Core.Result_.depth >= Core.Instance.depth_lower_bound inst
+          && r.Core.Result_.depth <= sabre.Core.Result_.depth
+        | None -> true))
+
+let suite =
+  [
+    ( "properties",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_solver_correct;
+          prop_bitvec_semantics;
+          prop_cardinality_popcount;
+          prop_qasm_roundtrip;
+          prop_dag_invariants;
+          prop_queko_chain;
+          prop_sabre_valid;
+          prop_tb_valid_and_no_worse;
+          prop_depth_bounds;
+        ] );
+  ]
