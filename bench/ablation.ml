@@ -27,14 +27,14 @@ let non_incremental_depth config instance =
     match check d with
     | S.Sat -> Some d
     | S.Unsat -> if d >= t_max then None else ascend (min t_max (grow d))
-    | S.Unknown -> None
+    | S.Unknown _ -> None
   in
   let rec descend d =
     if d - 1 < t_lb then d
     else
       match check (d - 1) with
       | S.Sat -> descend (d - 1)
-      | S.Unsat | S.Unknown -> d
+      | S.Unsat | S.Unknown _ -> d
   in
   Option.map descend (ascend t_lb)
 
@@ -48,10 +48,10 @@ let ablation_incremental () =
   List.iter
     (fun (name, inst) ->
       let t0 = now () in
-      let inc = Core.Optimizer.minimize_depth inst in
+      let inc = Core.Synthesis.run ~objective:Core.Synthesis.Depth inst in
       let t_inc = now () -. t0 in
       let d_inc =
-        match inc.Core.Optimizer.result with Some r -> r.Core.Result_.depth | None -> -1
+        match inc.Core.Synthesis.result with Some r -> r.Core.Result_.depth | None -> -1
       in
       let t0 = now () in
       let d_scratch = non_incremental_depth Core.Config.default inst in

@@ -62,7 +62,7 @@ let time_decision ?swap_bound config instance ~t_max =
     match r with
     | S.Sat -> Solved dt
     | S.Unsat -> Unsat_result dt
-    | S.Unknown -> Timed_out dt
+    | S.Unknown _ -> Timed_out dt
   in
   (timing, vars, clauses)
 
@@ -83,7 +83,7 @@ let time_tb_decision ?swap_bound config instance ~num_blocks =
   match r with
   | S.Sat -> Solved dt
   | S.Unsat -> Unsat_result dt
-  | S.Unknown -> Timed_out dt
+  | S.Unknown _ -> Timed_out dt
 
 (* QAOA instance on an n x n grid (Fig. 1 / Tables I-II workloads). *)
 let qaoa_grid ~qubits ~grid_side ~seed =

@@ -20,6 +20,7 @@ module Devices = Olsq2_device.Devices
 module B = Olsq2_benchgen
 module Rng = Olsq2_util.Rng
 module Sabre = Olsq2_heuristic.Sabre
+module Obs = Olsq2_obs.Obs
 
 let fixed_cnf =
   let rng = Rng.create 7 in
@@ -58,6 +59,23 @@ let tb_kernel () =
   let enc = Core.Tb_encoder.build ~config:Core.Config.olsq2_bv inst ~num_blocks:2 in
   ignore (Core.Tb_encoder.solve enc)
 
+(* Per-event cost of the tracer itself: disabled must be one predictable
+   branch, enabled one bounds-checked array store. *)
+let obs_disabled_kernel () =
+  let obs = Obs.disabled in
+  for _ = 1 to 1000 do
+    Obs.count obs "noop" 1
+  done
+
+let obs_live_tracer = lazy (Obs.create ())
+
+let obs_enabled_kernel () =
+  let obs = Lazy.force obs_live_tracer in
+  Obs.reset obs;
+  for _ = 1 to 1000 do
+    Obs.count obs "noop" 1
+  done
+
 let tests =
   Test.make_grouped ~name:"olsq2" ~fmt:"%s %s"
     [
@@ -66,6 +84,8 @@ let tests =
       Test.make ~name:"seq-counter 128 (table2 kernel)" (Staged.stage counter_kernel);
       Test.make ~name:"sabre route (table3 kernel)" (Staged.stage sabre_kernel);
       Test.make ~name:"tb block solve (table4 kernel)" (Staged.stage tb_kernel);
+      Test.make ~name:"obs off x1000 events (guard branch)" (Staged.stage obs_disabled_kernel);
+      Test.make ~name:"obs on x1000 events (record cost)" (Staged.stage obs_enabled_kernel);
     ]
 
 let run () =
@@ -89,4 +109,42 @@ let run () =
         in
         Printf.printf "%-42s %16s\n" name pretty
       | Some _ | None -> Printf.printf "%-42s %16s\n" name "n/a")
-    results
+    results;
+  (* Whole-pipeline view of the same question: instrumented encode+solve
+     with the tracer disabled vs enabled. *)
+  let iters = 20 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  ignore (time encode_solve_kernel);
+  let off = time encode_solve_kernel in
+  let tracer = Obs.create () in
+  Obs.set_global tracer;
+  let on =
+    time (fun () ->
+        Obs.reset tracer;
+        encode_solve_kernel ())
+  in
+  Obs.reset tracer;
+  encode_solve_kernel ();
+  let events_per_run = (Obs.summary tracer).Obs.events_recorded in
+  Obs.set_global Obs.disabled;
+  (* per-event price of the disabled guard branch, from a tight loop *)
+  let t0 = Unix.gettimeofday () in
+  let reps = 1_000_000 in
+  for _ = 1 to reps do
+    Obs.count Obs.disabled "noop" 1
+  done;
+  let branch_ns = (Unix.gettimeofday () -. t0) /. float_of_int reps *. 1e9 in
+  let disabled_pct =
+    100.0 *. (branch_ns *. 1e-9 *. float_of_int events_per_run) /. (off /. float_of_int iters)
+  in
+  Printf.printf "\nencode+solve x%d  tracer off %.3fs  on %.3fs  (%+.1f%% overhead when enabled)\n"
+    iters off on (100.0 *. (on -. off) /. off);
+  Printf.printf
+    "disabled tracer: %.1f ns/event x %d events/run = %.3f%% of the encode+solve kernel\n"
+    branch_ns events_per_run disabled_pct

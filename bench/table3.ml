@@ -89,19 +89,19 @@ let run () =
       let outcome =
         (* our substrate's fastest OLSQ2 configuration (see Table I):
            bit-vectors with the inverse-function channel *)
-        Core.Optimizer.minimize_depth ~config:Core.Config.olsq2_euf_bv
-          ~budget_seconds:(opt_budget ()) inst
+        Core.Synthesis.run ~config:Core.Config.olsq2_euf_bv ~budget:(opt_budget ())
+          ~objective:Core.Synthesis.Depth inst
       in
       let olsq2_s, note =
-        match outcome.Core.Optimizer.result with
+        match outcome.Core.Synthesis.result with
         | Some r ->
           assert (Core.Validate.is_valid inst r);
           let hit =
             match row.known_depth with
-            | Some d when outcome.Core.Optimizer.optimal ->
+            | Some d when outcome.Core.Synthesis.optimal ->
               if r.Core.Result_.depth = d then "hit-known-opt" else "MISSED-KNOWN-OPT"
             | Some _ -> "budget"
-            | None -> if outcome.Core.Optimizer.optimal then "optimal" else "feasible"
+            | None -> if outcome.Core.Synthesis.optimal then "optimal" else "feasible"
           in
           (Some r.Core.Result_.depth, hit)
         | None -> (None, "TO")

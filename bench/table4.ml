@@ -78,7 +78,7 @@ let run () =
       let sabre = Sabre.synthesize ~seed:7 inst in
       assert (Core.Validate.is_valid inst sabre);
       let satmap = Satmap.synthesize ~budget_seconds:(opt_budget ()) inst in
-      let tb = Core.Optimizer.tb_minimize_swaps ~budget_seconds:(opt_budget ()) inst in
+      let tb = Core.Synthesis.run ~budget:(opt_budget ()) ~objective:Core.Synthesis.Tb_swaps inst in
       let satmap_str =
         match satmap.Satmap.result with
         | Some r ->
@@ -86,10 +86,10 @@ let run () =
           string_of_int r.Core.Result_.swap_count
         | None -> "TO"
       in
-      (match tb.Core.Optimizer.tb_result with
+      (match tb.Core.Synthesis.result with
       | Some r ->
-        assert (Core.Validate.is_valid inst r.Core.Tb_encoder.expanded);
-        let t = r.Core.Tb_encoder.swap_count in
+        assert (Core.Validate.is_valid inst r);
+        let t = r.Core.Result_.swap_count in
         sabre_ratios := ratio_vs sabre.Core.Result_.swap_count t :: !sabre_ratios;
         (match satmap.Satmap.result with
         | Some sm -> satmap_ratios := ratio_vs sm.Core.Result_.swap_count t :: !satmap_ratios

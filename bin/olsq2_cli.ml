@@ -16,6 +16,7 @@ module Suite = Olsq2_benchgen.Suite
 module Sabre = Olsq2_heuristic.Sabre
 module Astar = Olsq2_heuristic.Astar_router
 module Satmap = Olsq2_satmap.Satmap
+module Obs = Olsq2_obs.Obs
 open Cmdliner
 
 (* ---- shared arguments ---- *)
@@ -81,9 +82,28 @@ let output_arg =
   let doc = "Write the mapped physical circuit as OpenQASM to this file." in
   Arg.(value & opt (some string) None & info [ "output" ] ~docv:"FILE" ~doc)
 
+let trace_arg =
+  let doc =
+    "Record a trace of the run and write it to $(docv): JSON lines by default, or a Chrome \
+     trace_event file (Perfetto / chrome://tracing loadable) when $(docv) ends in .json."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc = "Print a per-span timing and counter summary after the run." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
 (* ---- synth ---- *)
 
-let run_synth circuit_spec device_name budget swap_duration objective method_ config warm output =
+let run_synth circuit_spec device_name budget swap_duration objective method_ config warm output
+    trace metrics =
+  let obs =
+    if trace <> None || metrics then (
+      let t = Obs.create () in
+      Obs.set_global t;
+      t)
+    else Obs.disabled
+  in
   let device = Devices.by_name device_name in
   let circuit = Suite.parse_spec ~device circuit_spec in
   let swap_duration =
@@ -112,54 +132,61 @@ let run_synth circuit_spec device_name budget swap_duration objective method_ co
         Printf.printf "mapped circuit written to %s\n" path);
       0
   in
-  match method_ with
-  | `Olsq2 -> (
-    match objective with
-    | `Depth ->
-      let o = Core.Optimizer.minimize_depth ~config ?budget_seconds:budget instance in
-      finish o.Core.Optimizer.result
-    | `Swap ->
-      let warm_start =
-        if warm then Some (Sabre.synthesize instance).Core.Result_.swap_count else None
+  let code =
+    match method_ with
+    | `Olsq2 | `Tb ->
+      let synth_objective =
+        match (method_, objective) with
+        | `Olsq2, `Depth -> Core.Synthesis.Depth
+        | `Olsq2, `Swap ->
+          let warm_start =
+            if warm then Some (Sabre.synthesize instance).Core.Result_.swap_count else None
+          in
+          Core.Synthesis.Swaps { warm_start }
+        | _, `Depth -> Core.Synthesis.Tb_blocks
+        | _, `Swap -> Core.Synthesis.Tb_swaps
       in
-      let o = Core.Optimizer.minimize_swaps ~config ?budget_seconds:budget ?warm_start instance in
-      finish o.Core.Optimizer.result)
-  | `Tb -> (
-    let o =
-      match objective with
-      | `Depth -> Core.Optimizer.tb_minimize_blocks ~config ?budget_seconds:budget instance
-      | `Swap -> Core.Optimizer.tb_minimize_swaps ~config ?budget_seconds:budget instance
-    in
-    match o.Core.Optimizer.tb_result with
-    | Some tbr ->
-      Printf.printf "blocks used: %d\n" tbr.Core.Tb_encoder.blocks;
-      finish (Some tbr.Core.Tb_encoder.expanded)
-    | None -> finish None)
-  | `Sabre -> finish (Some (Sabre.synthesize instance))
-  | `Astar -> finish (Astar.synthesize instance)
-  | `Satmap ->
-    let o = Satmap.synthesize ?budget_seconds:budget instance in
-    finish o.Satmap.result
-  | `Portfolio ->
-    let objective =
-      match objective with `Depth -> Core.Portfolio.Depth | `Swap -> Core.Portfolio.Swaps
-    in
-    let report = Core.Portfolio.run ?budget_seconds:budget objective instance in
-    List.iter
-      (fun (arm : Core.Portfolio.arm_outcome) ->
-        Printf.printf "arm %-18s %6.1fs %s\n" arm.Core.Portfolio.arm.Core.Portfolio.arm_name
-          arm.Core.Portfolio.seconds
-          (match arm.Core.Portfolio.result with
-          | Some r ->
-            Printf.sprintf "depth=%d swaps=%d%s" r.Core.Result_.depth r.Core.Result_.swap_count
-              (if arm.Core.Portfolio.optimal then " (optimal)" else "")
-          | None -> "no result"))
-      report.Core.Portfolio.arms;
-    (match report.Core.Portfolio.winner with
-    | Some w ->
-      Printf.printf "winner: %s\n" w.Core.Portfolio.arm.Core.Portfolio.arm_name;
-      finish w.Core.Portfolio.result
-    | None -> finish None)
+      let r = Core.Synthesis.run ~config ?budget ~objective:synth_objective instance in
+      (match (method_, r.Core.Synthesis.pareto) with
+      | `Tb, (blocks, _) :: _ -> Printf.printf "blocks used: %d\n" blocks
+      | _ -> ());
+      finish r.Core.Synthesis.result
+    | `Sabre -> finish (Some (Sabre.synthesize instance))
+    | `Astar -> finish (Astar.synthesize instance)
+    | `Satmap ->
+      let o = Satmap.synthesize ?budget_seconds:budget instance in
+      finish o.Satmap.result
+    | `Portfolio ->
+      let objective =
+        match objective with `Depth -> Core.Portfolio.Depth | `Swap -> Core.Portfolio.Swaps
+      in
+      let report = Core.Portfolio.run ?budget_seconds:budget objective instance in
+      List.iter
+        (fun (arm : Core.Portfolio.arm_outcome) ->
+          Printf.printf "arm %-18s %6.1fs %s\n" arm.Core.Portfolio.arm.Core.Portfolio.arm_name
+            arm.Core.Portfolio.seconds
+            (match arm.Core.Portfolio.result with
+            | Some r ->
+              Printf.sprintf "depth=%d swaps=%d%s" r.Core.Result_.depth r.Core.Result_.swap_count
+                (if arm.Core.Portfolio.optimal then " (optimal)" else "")
+            | None -> "no result"))
+        report.Core.Portfolio.arms;
+      (match report.Core.Portfolio.winner with
+      | Some w ->
+        Printf.printf "winner: %s\n" w.Core.Portfolio.arm.Core.Portfolio.arm_name;
+        finish w.Core.Portfolio.result
+      | None -> finish None)
+  in
+  (match trace with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    if Filename.check_suffix path ".json" then Obs.write_chrome obs oc
+    else Obs.write_jsonl obs oc;
+    close_out oc;
+    Printf.printf "trace written to %s\n" path);
+  if metrics then Format.printf "%a@?" Obs.pp_summary (Obs.summary obs);
+  code
 
 let synth_cmd =
   let doc = "Synthesize a circuit layout for a quantum device." in
@@ -167,7 +194,7 @@ let synth_cmd =
     (Cmd.info "synth" ~doc)
     Term.(
       const run_synth $ circuit_arg $ device_arg $ budget_arg $ swap_duration_arg $ objective_arg
-      $ method_arg $ config_arg $ warm_start_arg $ output_arg)
+      $ method_arg $ config_arg $ warm_start_arg $ output_arg $ trace_arg $ metrics_arg)
 
 (* ---- generate ---- *)
 

@@ -26,9 +26,9 @@ let () =
         let t_max = Core.Instance.depth_upper_bound instance in
         let enc = Core.Encoder.build ~config instance ~t_max in
         let vars, clauses = Core.Encoder.size_report enc in
-        let outcome = Core.Optimizer.minimize_depth ~config instance in
+        let outcome = Core.Synthesis.run ~config ~objective:Core.Synthesis.Depth instance in
         let depth =
-          match outcome.Core.Optimizer.result with
+          match outcome.Core.Synthesis.result with
           | Some r ->
             Core.Validate.check_exn instance r;
             r.Core.Result_.depth

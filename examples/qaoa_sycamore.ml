@@ -22,15 +22,15 @@ let () =
       let instance = Core.Instance.make ~swap_duration:1 circuit device in
       let sabre = Sabre.synthesize ~seed:7 instance in
       Core.Validate.check_exn instance sabre;
-      let tb = Core.Optimizer.tb_minimize_swaps ~budget_seconds:120.0 instance in
-      match tb.Core.Optimizer.tb_result with
+      let tb = Core.Synthesis.run ~budget:120.0 ~objective:Core.Synthesis.Tb_swaps instance in
+      match tb.Core.Synthesis.result with
       | Some r ->
-        Core.Validate.check_exn instance r.Core.Tb_encoder.expanded;
-        let s = sabre.Core.Result_.swap_count and o = r.Core.Tb_encoder.swap_count in
+        Core.Validate.check_exn instance r;
+        let s = sabre.Core.Result_.swap_count and o = r.Core.Result_.swap_count in
         let ratio = float_of_int (max s 1) /. float_of_int (max o 1) in
         (* the figure users care about: estimated success-rate gain *)
         let m_sabre = Core.Metrics.of_result instance sabre in
-        let m_tb = Core.Metrics.of_result instance r.Core.Tb_encoder.expanded in
+        let m_tb = Core.Metrics.of_result instance r in
         Format.printf "%-14s %8d %8d %9.1fx   success %.1f%% -> %.1f%%@."
           (Olsq2_circuit.Circuit.label circuit)
           s o ratio

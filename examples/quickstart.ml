@@ -2,14 +2,22 @@
    one ancilla, Fig. 2) onto IBM QX2 (Fig. 3), optimally for depth and for
    SWAP count, then validate and print the mapped circuit.
 
+   All objectives go through the one entry point, [Synthesis.run]; an
+   enabled tracer makes every run come back with a per-span timing
+   summary.
+
    Run with:  dune exec examples/quickstart.exe *)
 
 module Core = Olsq2_core
+module Obs = Olsq2_obs.Obs
 module Devices = Olsq2_device.Devices
 module Standard = Olsq2_benchgen.Standard
 module Qasm = Olsq2_circuit.Qasm
 
 let () =
+  (* 0. optional: turn on tracing so reports carry a trace summary *)
+  Obs.set_global (Obs.create ());
+
   (* 1. the inputs: a quantum program and a coupling graph *)
   let circuit = Standard.toffoli_example () in
   let device = Devices.qx2 in
@@ -20,16 +28,18 @@ let () =
     (Core.Instance.depth_lower_bound instance);
 
   (* 2. depth-optimal synthesis *)
-  let depth_outcome = Core.Optimizer.minimize_depth instance in
-  (match depth_outcome.Core.Optimizer.result with
+  let depth_report = Core.Synthesis.run ~objective:Core.Synthesis.Depth instance in
+  (match depth_report.Core.Synthesis.result with
   | Some r ->
     Format.printf "@.Depth-optimal: %a@." Core.Result_.pp r;
     Core.Validate.check_exn instance r
   | None -> failwith "depth synthesis failed");
 
   (* 3. SWAP-optimal synthesis (2-D depth/SWAP refinement) *)
-  let swap_outcome = Core.Optimizer.minimize_swaps instance in
-  (match swap_outcome.Core.Optimizer.result with
+  let swap_report =
+    Core.Synthesis.run ~objective:(Core.Synthesis.Swaps { warm_start = None }) instance
+  in
+  (match swap_report.Core.Synthesis.result with
   | Some r ->
     Format.printf "@.SWAP-optimal: %a@." Core.Result_.pp r;
     Core.Validate.check_exn instance r;
@@ -39,10 +49,13 @@ let () =
   | None -> failwith "swap synthesis failed");
 
   (* 4. the transition-based variant (TB-OLSQ2) *)
-  let tb = Core.Optimizer.tb_minimize_swaps instance in
-  match tb.Core.Optimizer.tb_result with
-  | Some r ->
+  let tb = Core.Synthesis.run ~objective:Core.Synthesis.Tb_swaps instance in
+  (match (tb.Core.Synthesis.result, tb.Core.Synthesis.pareto) with
+  | Some r, (blocks, swaps) :: _ ->
     Format.printf "@.TB-OLSQ2: %d blocks, %d SWAPs (near-optimal, much faster on big inputs)@."
-      r.Core.Tb_encoder.blocks r.Core.Tb_encoder.swap_count;
-    Core.Validate.check_exn instance r.Core.Tb_encoder.expanded
-  | None -> failwith "TB synthesis failed"
+      blocks swaps;
+    Core.Validate.check_exn instance r
+  | _ -> failwith "TB synthesis failed");
+
+  (* 5. where did the time go?  every report carries its trace summary *)
+  Format.printf "@.%a" Obs.pp_summary tb.Core.Synthesis.trace

@@ -34,6 +34,7 @@ module Circuit = Olsq2_circuit.Circuit
 module Gate = Olsq2_circuit.Gate
 module Dag = Olsq2_circuit.Dag
 module Coupling = Olsq2_device.Coupling
+module Obs = Olsq2_obs.Obs
 
 type counter = Card of Cardinality.outputs | Adder_net of Pb.t
 
@@ -302,7 +303,7 @@ let assert_olsq_space enc =
 
 (* ---- construction ---- *)
 
-let build ?(config = Config.default) instance ~t_max =
+let build_raw ?(config = Config.default) instance ~t_max =
   if t_max < 1 then invalid_arg "Encoder.build: need at least one time step";
   let ctx = Ctx.create () in
   let nq = Instance.num_qubits instance in
@@ -351,6 +352,25 @@ let build ?(config = Config.default) instance ~t_max =
     assert_olsq_space enc);
   enc
 
+(* One span per encoding build, carrying the clause/variable counts the
+   paper's Fig. 1 narrative is about. *)
+let build ?config instance ~t_max =
+  let obs = Obs.global () in
+  if not (Obs.enabled obs) then build_raw ?config instance ~t_max
+  else begin
+    let sp = Obs.begin_span obs "encode.build" ~attrs:[ ("t_max", Obs.Int t_max) ] in
+    let enc = build_raw ?config instance ~t_max in
+    let s = solver enc in
+    Obs.end_span obs sp
+      ~attrs:
+        [
+          ("config", Obs.Str (Config.name enc.config));
+          ("vars", Obs.Int (Solver.nvars s));
+          ("clauses", Obs.Int (Solver.n_clauses s));
+        ];
+    enc
+  end
+
 (* ---- objective bounds via selector literals (paper §III-B) ---- *)
 
 (* Selector literal enforcing depth <= d time steps: all gates end before
@@ -377,6 +397,11 @@ let build_counter_over enc lits ~max_bound =
   let wanted = min max_bound n in
   let capacity_ok (cap, _) = cap >= wanted in
   if not (List.exists capacity_ok enc.counters) then begin
+    let obs = Obs.global () in
+    let v0, c0 =
+      if Obs.enabled obs then (Solver.nvars (solver enc), Solver.n_clauses (solver enc))
+      else (0, 0)
+    in
     let counter =
       match enc.config.Config.cardinality with
       | Config.Seq_counter ->
@@ -384,7 +409,16 @@ let build_counter_over enc lits ~max_bound =
       | Config.Totalizer -> Card (Cardinality.totalizer enc.ctx lits)
       | Config.Adder -> Adder_net (Pb.adder_network enc.ctx lits)
     in
-    enc.counters <- (counter_capacity n counter, counter) :: enc.counters
+    enc.counters <- (counter_capacity n counter, counter) :: enc.counters;
+    if Obs.enabled obs then
+      Obs.instant obs "encode.counter"
+        ~attrs:
+          [
+            ("max_bound", Obs.Int wanted);
+            ("inputs", Obs.Int n);
+            ("vars_added", Obs.Int (Solver.nvars (solver enc) - v0));
+            ("clauses_added", Obs.Int (Solver.n_clauses (solver enc) - c0));
+          ]
   end
 
 (* Build (or widen) the SWAP-count counter (Eq. 5) so bounds up to

@@ -18,6 +18,25 @@
 
 module Solver = Olsq2_sat.Solver
 module Stopwatch = Olsq2_util.Stopwatch
+module Obs = Olsq2_obs.Obs
+
+(* One span per bound iteration: the per-iteration telemetry the paper's
+   optimization-loop story (§III-B) needs.  [solve] nests a "sat.solve"
+   span (with conflict/propagation deltas) inside each of these. *)
+let iter_span name ~bound solve =
+  let obs = Obs.global () in
+  if not (Obs.enabled obs) then solve ()
+  else begin
+    let sp = Obs.begin_span obs name ~attrs:[ ("bound", Obs.Int bound) ] in
+    let r = solve () in
+    Obs.end_span obs sp ~attrs:[ ("verdict", Obs.Str (Solver.result_to_string r)) ];
+    r
+  end
+
+let pareto_point ~depth ~swaps =
+  let obs = Obs.global () in
+  if Obs.enabled obs then
+    Obs.instant obs "opt.pareto" ~attrs:[ ("depth", Obs.Int depth); ("swaps", Obs.Int swaps) ]
 
 type outcome = {
   result : Result_.t option;
@@ -55,7 +74,8 @@ let minimize_depth_with_encoder ?(config = Config.default) ?budget_seconds insta
     let check d =
       incr iterations;
       let sel = Encoder.depth_selector enc d in
-      Encoder.solve ~assumptions:[ sel ] ?timeout:(remaining_or_none budget) enc
+      iter_span "opt.depth_iter" ~bound:d (fun () ->
+          Encoder.solve ~assumptions:[ sel ] ?timeout:(remaining_or_none budget) enc)
     in
     (* ascent: grow the bound until SAT *)
     let rec ascend d =
@@ -63,7 +83,7 @@ let minimize_depth_with_encoder ?(config = Config.default) ?budget_seconds insta
       else
         match check d with
         | Solver.Sat -> `Sat d
-        | Solver.Unknown -> `Budget
+        | Solver.Unknown _ -> `Budget
         | Solver.Unsat -> if d >= t_max then `Horizon else ascend (min t_max (grow_bound d))
     in
     (* descent: tighten by 1 until UNSAT; [d] is known SAT *)
@@ -74,7 +94,7 @@ let minimize_depth_with_encoder ?(config = Config.default) ?budget_seconds insta
         match check (d - 1) with
         | Solver.Sat -> descend (d - 1)
         | Solver.Unsat -> (d, true)
-        | Solver.Unknown -> (d, false)
+        | Solver.Unknown _ -> (d, false)
     in
     match ascend t_lb with
     | `Budget -> fail ()
@@ -89,6 +109,7 @@ let minimize_depth_with_encoder ?(config = Config.default) ?budget_seconds insta
           Encoder.extract ~status ~solve_seconds:(Stopwatch.elapsed clock) ~iterations:!iterations
             enc
         in
+        pareto_point ~depth:d ~swaps:result.Result_.swap_count;
         ( {
             result = Some result;
             optimal;
@@ -97,7 +118,7 @@ let minimize_depth_with_encoder ?(config = Config.default) ?budget_seconds insta
             pareto = [ (d, result.Result_.swap_count) ];
           },
           Some (enc, d) )
-      | Solver.Unsat | Solver.Unknown ->
+      | Solver.Unsat | Solver.Unknown _ ->
         (* unreachable in practice: the same bound was SAT moments ago *)
         fail ())
   in
@@ -125,10 +146,13 @@ let descend_swaps enc ~depth ~start ~budget iterations =
         | Some a -> [ sel; a ]
         | None -> [ sel ]
       in
-      match Encoder.solve ~assumptions ?timeout:(remaining_or_none budget) enc with
+      match
+        iter_span "opt.swap_iter" ~bound:(best - 1) (fun () ->
+            Encoder.solve ~assumptions ?timeout:(remaining_or_none budget) enc)
+      with
       | Solver.Sat -> go (Encoder.model_swap_count enc)
       | Solver.Unsat -> (best, true)
-      | Solver.Unknown -> (best, false)
+      | Solver.Unknown _ -> (best, false)
     end
   in
   go start
@@ -174,18 +198,22 @@ let minimize_swaps ?(config = Config.default) ?budget_seconds ?(max_depth_relax 
         | Warm w | Tightened w -> bound_assumption w
       in
       let prev = match seed with Fresh | Warm _ -> None | Tightened b -> Some b in
-      match Encoder.solve ~assumptions ?timeout:(remaining_or_none budget) enc with
+      match
+        iter_span "opt.sweep_level" ~bound:d (fun () ->
+            Encoder.solve ~assumptions ?timeout:(remaining_or_none budget) enc)
+      with
       | Solver.Unsat when (match seed with Warm _ -> true | Fresh | Tightened _ -> false) ->
         (* heuristic bound too tight for the optimal depth: restart the
            level without it *)
         sweep enc d Fresh relax_left
-      | Solver.Unsat | Solver.Unknown ->
+      | Solver.Unsat | Solver.Unknown _ ->
         (* no improvement at the relaxed depth (paper termination cond. 2),
            or out of budget *)
         ()
       | Solver.Sat ->
         let start = Encoder.model_swap_count enc in
         let count, optimal = descend_swaps enc ~depth:d ~start ~budget iterations in
+        pareto_point ~depth:d ~swaps:count;
         pareto := (d, count) :: !pareto;
         let improves = match prev with None -> true | Some b -> count < b in
         if improves then begin
@@ -245,13 +273,17 @@ let minimize_weighted_swaps ?(config = Config.default) ?budget_seconds ~weights 
           | Some a -> [ sel; a ]
           | None -> [ sel ]
         in
-        match Encoder.solve ~assumptions ?timeout:(remaining_or_none budget) enc with
+        match
+          iter_span "opt.weighted_iter" ~bound:(best - 1) (fun () ->
+              Encoder.solve ~assumptions ?timeout:(remaining_or_none budget) enc)
+        with
         | Solver.Sat -> descend (Encoder.model_weighted_cost enc ~weights)
         | Solver.Unsat -> (best, true)
-        | Solver.Unknown -> (best, false)
+        | Solver.Unknown _ -> (best, false)
       end
     in
     let cost, optimal = descend start in
+    pareto_point ~depth:d ~swaps:cost;
     (* the winning model is still in the solver *)
     let status = if optimal then Result_.Optimal else Result_.Feasible in
     let result =
@@ -288,15 +320,19 @@ let tb_minimize_blocks ?(config = Config.default) ?budget_seconds ?(max_blocks =
     else begin
       let enc = Tb_encoder.build ~config instance ~num_blocks:b in
       incr iterations;
-      match Tb_encoder.solve ?timeout:(remaining_or_none budget) enc with
+      match
+        iter_span "opt.tb_iter" ~bound:b (fun () ->
+            Tb_encoder.solve ?timeout:(remaining_or_none budget) enc)
+      with
       | Solver.Sat ->
         let r =
           Tb_encoder.extract ~status:Result_.Optimal ~solve_seconds:(Stopwatch.elapsed clock)
             ~iterations:!iterations enc
         in
+        pareto_point ~depth:r.Tb_encoder.blocks ~swaps:r.Tb_encoder.swap_count;
         done_ (Some r) true
       | Solver.Unsat -> try_blocks (b + 1)
-      | Solver.Unknown -> done_ None false
+      | Solver.Unknown _ -> done_ None false
     end
   in
   try_blocks 1
@@ -313,10 +349,13 @@ let tb_descend enc ~budget iterations =
       match Tb_encoder.swap_bound_assumption enc (best - 1) with
       | None -> (best, true)
       | Some a -> (
-        match Tb_encoder.solve ~assumptions:[ a ] ?timeout:(remaining_or_none budget) enc with
+        match
+          iter_span "opt.swap_iter" ~bound:(best - 1) (fun () ->
+              Tb_encoder.solve ~assumptions:[ a ] ?timeout:(remaining_or_none budget) enc)
+        with
         | Solver.Sat -> go (Tb_encoder.model_swap_count enc)
         | Solver.Unsat -> (best, true)
-        | Solver.Unknown -> (best, false))
+        | Solver.Unknown _ -> (best, false))
     end
   in
   go start
@@ -337,6 +376,7 @@ let tb_minimize_swaps ?(config = Config.default) ?budget_seconds ?(max_blocks = 
       Tb_encoder.extract ~status ~solve_seconds:(Stopwatch.elapsed clock) ~iterations:!iterations
         enc
     in
+    pareto_point ~depth:r.Tb_encoder.blocks ~swaps:r.Tb_encoder.swap_count;
     let keep =
       match !best with
       | None -> true
@@ -354,10 +394,13 @@ let tb_minimize_swaps ?(config = Config.default) ?budget_seconds ?(max_blocks = 
     else begin
       let enc = Tb_encoder.build ~config instance ~num_blocks:b in
       incr iterations;
-      match Tb_encoder.solve ?timeout:(remaining_or_none budget) enc with
+      match
+        iter_span "opt.tb_iter" ~bound:b (fun () ->
+            Tb_encoder.solve ?timeout:(remaining_or_none budget) enc)
+      with
       | Solver.Sat -> Some (enc, b)
       | Solver.Unsat -> first_sat (b + 1)
-      | Solver.Unknown -> None
+      | Solver.Unknown _ -> None
     end
   in
   (match first_sat 1 with
@@ -375,8 +418,11 @@ let tb_minimize_swaps ?(config = Config.default) ?budget_seconds ?(max_blocks = 
         match Tb_encoder.swap_bound_assumption enc' (prev - 1) with
         | None -> ()
         | Some a -> (
-          match Tb_encoder.solve ~assumptions:[ a ] ?timeout:(remaining_or_none budget) enc' with
-          | Solver.Unsat | Solver.Unknown -> () (* no improvement: stop *)
+          match
+            iter_span "opt.tb_relax" ~bound:(b + 1) (fun () ->
+                Tb_encoder.solve ~assumptions:[ a ] ?timeout:(remaining_or_none budget) enc')
+          with
+          | Solver.Unsat | Solver.Unknown _ -> () (* no improvement: stop *)
           | Solver.Sat ->
             let c, opt = tb_descend enc' ~budget iterations in
             let c = record enc' opt |> min c in

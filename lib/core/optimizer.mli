@@ -1,5 +1,19 @@
 (** Iterative-refinement optimization loops (paper §III-B):
-    assumption-driven bound search over incremental solver state. *)
+    assumption-driven bound search over incremental solver state.
+
+    The five [minimize_*] / [tb_minimize_*] entry points below are the
+    optimization engine behind the {!Synthesis} facade.  New code should
+    call {!Synthesis.run}, which covers every objective behind one
+    signature and returns the unified {!Synthesis.report} (including the
+    recorded trace summary); these entry points remain for callers that
+    need engine-level knobs ([max_depth_relax], [max_blocks], ...) and are
+    considered deprecated as a public API.
+
+    When the global {!Olsq2_obs.Obs} tracer is enabled, every bound
+    iteration records a span ([opt.depth_iter], [opt.swap_iter],
+    [opt.sweep_level], [opt.weighted_iter], [opt.tb_iter], [opt.tb_relax])
+    with its bound and verdict, and every Pareto point an [opt.pareto]
+    instant. *)
 
 type outcome = {
   result : Result_.t option;
@@ -10,7 +24,8 @@ type outcome = {
 }
 
 (** Depth minimization: geometric ascent from T_LB, then unit descent
-    (paper §III-B-1).  [budget_seconds] bounds wall-clock time. *)
+    (paper §III-B-1).  [budget_seconds] bounds wall-clock time.
+    Deprecated entry point: prefer [Synthesis.run ~objective:Depth]. *)
 val minimize_depth : ?config:Config.t -> ?budget_seconds:float -> Instance.t -> outcome
 
 (** As {!minimize_depth}, additionally returning the encoder positioned at
@@ -22,7 +37,8 @@ val minimize_depth_with_encoder :
     depth-optimal start, iterative SWAP descent, then depth relaxation
     while it keeps improving (up to [max_depth_relax] steps).
     [warm_start] supplies a heuristic SWAP upper bound (e.g. SABRE's
-    count) to seed the first descent, as the paper suggests for S_UB. *)
+    count) to seed the first descent, as the paper suggests for S_UB.
+    Deprecated entry point: prefer [Synthesis.run ~objective:(Swaps _)]. *)
 val minimize_swaps :
   ?config:Config.t ->
   ?budget_seconds:float ->
@@ -33,7 +49,9 @@ val minimize_swaps :
 
 (** Fidelity-aware SWAP minimization at optimal depth: [weights e] is the
     integer cost of a SWAP on edge [e] (e.g. scaled -log fidelity).  The
-    pareto entry records (depth, optimal weighted cost). *)
+    pareto entry records (depth, optimal weighted cost).
+    Deprecated entry point: prefer
+    [Synthesis.run ~objective:(Weighted_swaps _)]. *)
 val minimize_weighted_swaps :
   ?config:Config.t -> ?budget_seconds:float -> weights:(int -> int) -> Instance.t -> outcome
 
@@ -45,12 +63,14 @@ type tb_outcome = {
 }
 
 (** TB-OLSQ2 block-count minimization: bound starts at 1, +1 on UNSAT
-    (paper §III-D). *)
+    (paper §III-D).
+    Deprecated entry point: prefer [Synthesis.run ~objective:Tb_blocks]. *)
 val tb_minimize_blocks :
   ?config:Config.t -> ?budget_seconds:float -> ?max_blocks:int -> Instance.t -> tb_outcome
 
 (** TB-OLSQ2 SWAP minimization: minimal block count, SWAP descent, then
-    block-count relaxation while it reduces SWAPs. *)
+    block-count relaxation while it reduces SWAPs.
+    Deprecated entry point: prefer [Synthesis.run ~objective:Tb_swaps]. *)
 val tb_minimize_swaps :
   ?config:Config.t ->
   ?budget_seconds:float ->

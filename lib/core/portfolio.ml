@@ -50,7 +50,18 @@ type arm_outcome = {
 
 type report = { winner : arm_outcome option; arms : arm_outcome list }
 
+module Obs = Olsq2_obs.Obs
+
 let run_arm objective budget_seconds instance arm =
+  let obs = Obs.global () in
+  let sp =
+    Obs.begin_span obs "portfolio.arm"
+      ~attrs:
+        [
+          ("arm", Obs.Str arm.arm_name);
+          ("model", Obs.Str (match arm.arm_model with `Full -> "full" | `Transition -> "transition"));
+        ]
+  in
   let clock = Olsq2_util.Stopwatch.start () in
   let result, blocks, optimal =
     match (arm.arm_model, objective) with
@@ -77,6 +88,18 @@ let run_arm objective budget_seconds instance arm =
     | Some r when Validate.is_valid instance r -> Some r
     | Some _ | None -> None
   in
+  Obs.end_span obs sp
+    ~attrs:
+      [
+        ("solved", Obs.Bool (result <> None));
+        ("optimal", Obs.Bool optimal);
+        ( "objective_value",
+          Obs.Int
+            (match result with
+            | None -> -1
+            | Some r -> (
+              match objective with Depth -> r.Result_.depth | Swaps -> r.Result_.swap_count)) );
+      ];
   { arm; seconds = Olsq2_util.Stopwatch.elapsed clock; result; blocks; optimal }
 
 (* Smaller objective value wins; ties break on proven optimality, then
@@ -111,4 +134,10 @@ let run ?budget_seconds ?arms objective instance =
       let best = List.fold_left (better objective) first rest in
       match best.result with Some _ -> Some best | None -> None)
   in
+  (* winner attribution: which arm the portfolio would have been *)
+  (match winner with
+  | Some w ->
+    Obs.instant (Obs.global ()) "portfolio.winner"
+      ~attrs:[ ("arm", Obs.Str w.arm.arm_name); ("seconds", Obs.Float w.seconds) ]
+  | None -> ());
   { winner; arms = outcomes }

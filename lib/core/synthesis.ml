@@ -1,0 +1,79 @@
+(* Unified facade over the Optimizer engine.  Dispatches each objective
+   to the corresponding engine loop, converts the engine-specific outcome
+   into the shared report, and snapshots the global tracer so the report
+   carries the trace summary of exactly this run. *)
+
+module Obs = Olsq2_obs.Obs
+
+type objective =
+  | Depth
+  | Swaps of { warm_start : int option }
+  | Weighted_swaps of (int -> int)
+  | Tb_blocks
+  | Tb_swaps
+
+type report = {
+  result : Result_.t option;
+  optimal : bool;
+  iterations : int;
+  seconds : float;
+  pareto : (int * int) list;
+  trace : Obs.summary;
+}
+
+let objective_name = function
+  | Depth -> "depth"
+  | Swaps _ -> "swaps"
+  | Weighted_swaps _ -> "weighted_swaps"
+  | Tb_blocks -> "tb_blocks"
+  | Tb_swaps -> "tb_swaps"
+
+let of_outcome (o : Optimizer.outcome) ~trace =
+  {
+    result = o.Optimizer.result;
+    optimal = o.Optimizer.optimal;
+    iterations = o.Optimizer.iterations;
+    seconds = o.Optimizer.total_seconds;
+    pareto = o.Optimizer.pareto;
+    trace;
+  }
+
+(* TB outcomes carry the block model; expose it through the unified
+   record as the expanded schedule plus a (blocks, swap_count) pareto
+   entry so no information is lost. *)
+let of_tb_outcome (o : Optimizer.tb_outcome) ~trace =
+  let result, pareto =
+    match o.Optimizer.tb_result with
+    | Some r -> (Some r.Tb_encoder.expanded, [ (r.Tb_encoder.blocks, r.Tb_encoder.swap_count) ])
+    | None -> (None, [])
+  in
+  {
+    result;
+    optimal = o.Optimizer.tb_optimal;
+    iterations = o.Optimizer.tb_iterations;
+    seconds = o.Optimizer.tb_seconds;
+    pareto;
+    trace;
+  }
+
+let run ?(config = Config.default) ?budget ~objective instance =
+  let obs = Obs.global () in
+  let since = if Obs.enabled obs then Some (Obs.elapsed obs) else None in
+  let dispatch () =
+    match objective with
+    | Depth ->
+      `Full (Optimizer.minimize_depth ~config ?budget_seconds:budget instance)
+    | Swaps { warm_start } ->
+      `Full (Optimizer.minimize_swaps ~config ?budget_seconds:budget ?warm_start instance)
+    | Weighted_swaps weights ->
+      `Full (Optimizer.minimize_weighted_swaps ~config ?budget_seconds:budget ~weights instance)
+    | Tb_blocks -> `Tb (Optimizer.tb_minimize_blocks ~config ?budget_seconds:budget instance)
+    | Tb_swaps -> `Tb (Optimizer.tb_minimize_swaps ~config ?budget_seconds:budget instance)
+  in
+  let engine_outcome =
+    Obs.with_span obs ("synthesis." ^ objective_name objective) dispatch
+  in
+  let trace = if Obs.enabled obs then Obs.summary ?since obs else Obs.empty_summary in
+  match engine_outcome with
+  | `Full o -> of_outcome o ~trace
+  | `Tb o -> of_tb_outcome o ~trace

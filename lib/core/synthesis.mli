@@ -1,0 +1,50 @@
+(** Unified synthesis facade: one entry point over every optimization
+    objective in the OLSQ2 stack (paper §III-B, §III-D).
+
+    [run] subsumes the five {!Optimizer} entry points
+    ([minimize_depth], [minimize_swaps], [minimize_weighted_swaps],
+    [tb_minimize_blocks], [tb_minimize_swaps]) behind a single signature
+    and a single {!report} record, and snapshots the global
+    {!Olsq2_obs.Obs} tracer so callers get the trace summary of exactly
+    this run without touching the tracer themselves. *)
+
+(** What to minimize.
+
+    - [Depth]: exact circuit depth (full OLSQ2 model).
+    - [Swaps]: SWAP count via 2-D (depth, SWAP) refinement;
+      [warm_start] seeds the first descent with a heuristic upper bound
+      (e.g. SABRE's count), the paper's S_UB suggestion.
+    - [Weighted_swaps w]: fidelity-aware SWAP cost where [w e] is the
+      integer cost of a SWAP on edge [e] (e.g. scaled -log fidelity).
+    - [Tb_blocks]: TB-OLSQ2 block-count minimization (coarse depth proxy).
+    - [Tb_swaps]: TB-OLSQ2 SWAP minimization with block relaxation. *)
+type objective =
+  | Depth
+  | Swaps of { warm_start : int option }
+  | Weighted_swaps of (int -> int)
+  | Tb_blocks
+  | Tb_swaps
+
+(** Outcome of a synthesis run, unified across full and transition-based
+    models.  For TB objectives, [result] holds the expanded concrete
+    schedule and [pareto] records [(blocks, swap_count)] of the accepted
+    block model; for full-model objectives [pareto] records
+    [(depth bound, best SWAPs proven at it)] exactly as
+    {!Optimizer.outcome} does. *)
+type report = {
+  result : Result_.t option;  (** best valid schedule found, if any *)
+  optimal : bool;  (** objective value proved optimal within budget *)
+  iterations : int;  (** total solver calls *)
+  seconds : float;  (** wall-clock spent in the engine *)
+  pareto : (int * int) list;
+  trace : Olsq2_obs.Obs.summary;
+      (** summary of trace events recorded during this run; empty when the
+          global tracer is disabled *)
+}
+
+(** [run ?config ?budget ~objective instance] synthesizes a layout for
+    [instance] minimizing [objective].  [budget] bounds wall-clock seconds
+    (engine returns its best-so-far on exhaustion); [config] selects the
+    encoding (default {!Config.default}).  The whole run is wrapped in a
+    [synthesis.<objective>] span on the global tracer. *)
+val run : ?config:Config.t -> ?budget:float -> objective:objective -> Instance.t -> report

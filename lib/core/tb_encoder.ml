@@ -21,6 +21,7 @@ module Circuit = Olsq2_circuit.Circuit
 module Gate = Olsq2_circuit.Gate
 module Dag = Olsq2_circuit.Dag
 module Coupling = Olsq2_device.Coupling
+module Obs = Olsq2_obs.Obs
 
 type counter = Card of Cardinality.outputs | Adder_net of Pb.t
 
@@ -134,7 +135,7 @@ let assert_transitions enc =
     done
   done
 
-let build ?(config = Config.default) instance ~num_blocks =
+let build_raw ?(config = Config.default) instance ~num_blocks =
   if num_blocks < 1 then invalid_arg "Tb_encoder.build: need at least one block";
   let ctx = Ctx.create () in
   let nq = Instance.num_qubits instance in
@@ -157,6 +158,25 @@ let build ?(config = Config.default) instance ~num_blocks =
   assert_adjacency enc;
   assert_transitions enc;
   enc
+
+(* One span per block-model build with its clause/variable counts (the
+   §III-D size advantage shows up directly in traces). *)
+let build ?config instance ~num_blocks =
+  let obs = Obs.global () in
+  if not (Obs.enabled obs) then build_raw ?config instance ~num_blocks
+  else begin
+    let sp = Obs.begin_span obs "tb.build" ~attrs:[ ("blocks", Obs.Int num_blocks) ] in
+    let enc = build_raw ?config instance ~num_blocks in
+    let s = solver enc in
+    Obs.end_span obs sp
+      ~attrs:
+        [
+          ("config", Obs.Str (Config.name enc.config));
+          ("vars", Obs.Int (Solver.nvars s));
+          ("clauses", Obs.Int (Solver.n_clauses s));
+        ];
+    enc
+  end
 
 (* Pin the first block's mapping (used by chunked baselines such as the
    SATMap-style slicer, where each chunk inherits the previous chunk's
@@ -191,6 +211,11 @@ let build_counter enc ~max_bound =
   let n = Array.length lits in
   let wanted = min max_bound n in
   if not (List.exists (fun (cap, _) -> cap >= wanted) enc.counters) then begin
+    let obs = Obs.global () in
+    let v0, c0 =
+      if Obs.enabled obs then (Solver.nvars (solver enc), Solver.n_clauses (solver enc))
+      else (0, 0)
+    in
     let counter =
       match enc.config.Config.cardinality with
       | Config.Seq_counter ->
@@ -198,7 +223,16 @@ let build_counter enc ~max_bound =
       | Config.Totalizer -> Card (Cardinality.totalizer enc.ctx lits)
       | Config.Adder -> Adder_net (Pb.adder_network enc.ctx lits)
     in
-    enc.counters <- (counter_capacity n counter, counter) :: enc.counters
+    enc.counters <- (counter_capacity n counter, counter) :: enc.counters;
+    if Obs.enabled obs then
+      Obs.instant obs "tb.counter"
+        ~attrs:
+          [
+            ("max_bound", Obs.Int wanted);
+            ("inputs", Obs.Int n);
+            ("vars_added", Obs.Int (Solver.nvars (solver enc) - v0));
+            ("clauses_added", Obs.Int (Solver.n_clauses (solver enc) - c0));
+          ]
   end
 
 let swap_bound_assumption enc k =

@@ -197,10 +197,10 @@ let solve ?(assumptions = []) ?timeout t =
   in
   let expired () = match deadline with None -> false | Some d -> Stopwatch.now () > d in
   let rec loop () =
-    if expired () then Solver.Unknown
+    if expired () then Solver.Unknown Solver.Timeout
     else
       match Solver.solve ~assumptions ?timeout:(remaining ()) solver with
-      | (Solver.Unsat | Solver.Unknown) as r -> r
+      | (Solver.Unsat | Solver.Unknown _) as r -> r
       | Solver.Sat -> (
         t.theory_rounds <- t.theory_rounds + 1;
         match check t solver with

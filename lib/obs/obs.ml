@@ -1,0 +1,566 @@
+(* Structured observability: spans + counters + gauges over per-domain
+   event buffers.
+
+   Hot-path contract: every recording entry point starts with a single
+   [t.on] branch, so permanently-instrumented code (the SAT solver, the
+   encoders, the optimizer loops) costs one predictable branch per event
+   when tracing is off.  Live recording appends to a buffer owned by the
+   current domain (found via [Domain.DLS]), so portfolio arms running in
+   parallel never contend on a lock for ordinary events; the tracer-wide
+   mutex is taken only when a domain records its very first event and
+   when buffers are merged for export. *)
+
+module Stopwatch = Olsq2_util.Stopwatch
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type kind = Span | Instant | Count | Gauge
+
+type event = {
+  kind : kind;
+  name : string;
+  ts : float;
+  dur : float;
+  tid : int;
+  depth : int;
+  attrs : (string * value) list;
+}
+
+let dummy_event =
+  { kind = Instant; name = ""; ts = 0.0; dur = 0.0; tid = 0; depth = 0; attrs = [] }
+
+type buffer = {
+  btid : int;
+  mutable evs : event array;
+  mutable len : int;
+  mutable dropped : int;
+  mutable stack : string list; (* open span names, innermost first *)
+  mutable registered : bool;
+}
+
+type t = {
+  on : bool;
+  epoch : float;
+  capacity : int;
+  lock : Mutex.t;
+  mutable buffers : buffer list;
+  key : buffer Domain.DLS.key;
+}
+
+let make_tracer ~on ~capacity =
+  let key =
+    Domain.DLS.new_key (fun () ->
+        {
+          btid = (Domain.self () :> int);
+          evs = [||];
+          len = 0;
+          dropped = 0;
+          stack = [];
+          registered = false;
+        })
+  in
+  { on; epoch = Stopwatch.now (); capacity; lock = Mutex.create (); buffers = []; key }
+
+let disabled = make_tracer ~on:false ~capacity:0
+
+let create ?(capacity = 200_000) () = make_tracer ~on:true ~capacity
+
+let enabled t = t.on
+
+let elapsed t = Stopwatch.now () -. t.epoch
+
+(* ---- ambient tracer ---- *)
+
+let global_tracer = Atomic.make disabled
+let set_global t = Atomic.set global_tracer t
+let global () = Atomic.get global_tracer
+
+(* ---- recording ---- *)
+
+let buffer_of t =
+  let b = Domain.DLS.get t.key in
+  if not b.registered then begin
+    b.registered <- true;
+    Mutex.lock t.lock;
+    t.buffers <- b :: t.buffers;
+    Mutex.unlock t.lock
+  end;
+  b
+
+let record t b ev =
+  if b.len >= t.capacity then b.dropped <- b.dropped + 1
+  else begin
+    if b.len = Array.length b.evs then begin
+      let cap = min t.capacity (max 256 (2 * Array.length b.evs)) in
+      let evs = Array.make cap dummy_event in
+      Array.blit b.evs 0 evs 0 b.len;
+      b.evs <- evs
+    end;
+    b.evs.(b.len) <- ev;
+    b.len <- b.len + 1
+  end
+
+type span = { sp_name : string; sp_start : float; sp_depth : int; sp_attrs : (string * value) list; sp_live : bool }
+
+let null_span = { sp_name = ""; sp_start = 0.0; sp_depth = 0; sp_attrs = []; sp_live = false }
+
+let begin_span t ?(attrs = []) name =
+  if not t.on then null_span
+  else begin
+    let b = buffer_of t in
+    let depth = List.length b.stack in
+    b.stack <- name :: b.stack;
+    { sp_name = name; sp_start = elapsed t; sp_depth = depth; sp_attrs = attrs; sp_live = true }
+  end
+
+let end_span t ?(attrs = []) sp =
+  if t.on && sp.sp_live then begin
+    let b = buffer_of t in
+    (match b.stack with hd :: tl when String.equal hd sp.sp_name -> b.stack <- tl | _ -> ());
+    let now = elapsed t in
+    record t b
+      {
+        kind = Span;
+        name = sp.sp_name;
+        ts = sp.sp_start;
+        dur = Float.max 0.0 (now -. sp.sp_start);
+        tid = b.btid;
+        depth = sp.sp_depth;
+        attrs = sp.sp_attrs @ attrs;
+      }
+  end
+
+let with_span t ?attrs name f =
+  if not t.on then f ()
+  else begin
+    let sp = begin_span t ?attrs name in
+    Fun.protect ~finally:(fun () -> end_span t sp) f
+  end
+
+let instant t ?(attrs = []) name =
+  if t.on then begin
+    let b = buffer_of t in
+    record t b
+      {
+        kind = Instant;
+        name;
+        ts = elapsed t;
+        dur = 0.0;
+        tid = b.btid;
+        depth = List.length b.stack;
+        attrs;
+      }
+  end
+
+let count t name delta =
+  if t.on then begin
+    let b = buffer_of t in
+    record t b
+      {
+        kind = Count;
+        name;
+        ts = elapsed t;
+        dur = 0.0;
+        tid = b.btid;
+        depth = List.length b.stack;
+        attrs = [ ("value", Int delta) ];
+      }
+  end
+
+let gauge t name v =
+  if t.on then begin
+    let b = buffer_of t in
+    record t b
+      {
+        kind = Gauge;
+        name;
+        ts = elapsed t;
+        dur = 0.0;
+        tid = b.btid;
+        depth = List.length b.stack;
+        attrs = [ ("value", Float v) ];
+      }
+  end
+
+(* ---- reading back ---- *)
+
+let events t =
+  Mutex.lock t.lock;
+  let buffers = t.buffers in
+  Mutex.unlock t.lock;
+  let all =
+    List.concat_map (fun b -> Array.to_list (Array.sub b.evs 0 b.len)) buffers
+  in
+  List.stable_sort (fun a b -> compare (a.ts, a.tid) (b.ts, b.tid)) all
+
+let reset t =
+  Mutex.lock t.lock;
+  List.iter
+    (fun b ->
+      b.len <- 0;
+      b.dropped <- 0;
+      b.stack <- [])
+    t.buffers;
+  Mutex.unlock t.lock
+
+type span_stat = { calls : int; total_seconds : float; max_seconds : float }
+
+type summary = {
+  span_stats : (string * span_stat) list;
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  events_recorded : int;
+  events_dropped : int;
+}
+
+let empty_summary =
+  { span_stats = []; counters = []; gauges = []; events_recorded = 0; events_dropped = 0 }
+
+let summary ?(since = 0.0) t =
+  if not t.on then empty_summary
+  else begin
+    let evs = List.filter (fun ev -> ev.ts >= since) (events t) in
+    let spans : (string, span_stat) Hashtbl.t = Hashtbl.create 16 in
+    let counters : (string, int) Hashtbl.t = Hashtbl.create 16 in
+    let gauges : (string, float) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun ev ->
+        match ev.kind with
+        | Span ->
+          let prev =
+            match Hashtbl.find_opt spans ev.name with
+            | Some s -> s
+            | None -> { calls = 0; total_seconds = 0.0; max_seconds = 0.0 }
+          in
+          Hashtbl.replace spans ev.name
+            {
+              calls = prev.calls + 1;
+              total_seconds = prev.total_seconds +. ev.dur;
+              max_seconds = Float.max prev.max_seconds ev.dur;
+            }
+        | Count ->
+          let delta = match ev.attrs with ("value", Int d) :: _ -> d | _ -> 0 in
+          Hashtbl.replace counters ev.name
+            (delta + Option.value ~default:0 (Hashtbl.find_opt counters ev.name))
+        | Gauge ->
+          let v = match ev.attrs with ("value", Float v) :: _ -> v | _ -> 0.0 in
+          Hashtbl.replace gauges ev.name v (* events are ts-ordered: last wins *)
+        | Instant -> ())
+      evs;
+    let dropped =
+      Mutex.lock t.lock;
+      let d = List.fold_left (fun acc b -> acc + b.dropped) 0 t.buffers in
+      Mutex.unlock t.lock;
+      d
+    in
+    let sorted_assoc tbl = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []) in
+    {
+      span_stats =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) spans []
+        |> List.sort (fun (_, a) (_, b) -> compare b.total_seconds a.total_seconds);
+      counters = sorted_assoc counters;
+      gauges = sorted_assoc gauges;
+      events_recorded = List.length evs;
+      events_dropped = dropped;
+    }
+  end
+
+let pp_summary fmt s =
+  Format.fprintf fmt "@[<v>-- trace summary (%d events%s) --@," s.events_recorded
+    (if s.events_dropped > 0 then Printf.sprintf ", %d dropped" s.events_dropped else "");
+  if s.span_stats <> [] then begin
+    Format.fprintf fmt "%-28s %8s %12s %12s@," "span" "calls" "total(s)" "max(s)";
+    List.iter
+      (fun (name, st) ->
+        Format.fprintf fmt "%-28s %8d %12.4f %12.4f@," name st.calls st.total_seconds
+          st.max_seconds)
+      s.span_stats
+  end;
+  if s.counters <> [] then begin
+    Format.fprintf fmt "counters:@,";
+    List.iter (fun (name, v) -> Format.fprintf fmt "  %-26s %12d@," name v) s.counters
+  end;
+  if s.gauges <> [] then begin
+    Format.fprintf fmt "gauges:@,";
+    List.iter (fun (name, v) -> Format.fprintf fmt "  %-26s %12.4f@," name v) s.gauges
+  end;
+  Format.fprintf fmt "@]"
+
+(* ---- JSON ---- *)
+
+module Json = struct
+  type json =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of json list
+    | Obj of (string * json) list
+
+  let escape buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  let add_num buf f =
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Buffer.add_string buf (Printf.sprintf "%.0f" f)
+    else if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.9g" f)
+    else Buffer.add_string buf "null"
+
+  let rec add buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Num f -> add_num buf f
+    | Str s -> escape buf s
+    | Arr xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          add buf x)
+        xs;
+      Buffer.add_char buf ']'
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape buf k;
+          Buffer.add_char buf ':';
+          add buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+  let to_string j =
+    let buf = Buffer.create 128 in
+    add buf j;
+    Buffer.contents buf
+
+  let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+  (* Recursive-descent parser over the subset the sinks emit (which is
+     all of JSON minus \u surrogate pairs, decoded best-effort). *)
+  exception Bad of string
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word v =
+      if !pos + String.length word <= n && String.sub s !pos (String.length word) = word then begin
+        pos := !pos + String.length word;
+        v
+      end
+      else fail "invalid literal"
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' -> (
+          advance ();
+          match peek () with
+          | None -> fail "unterminated escape"
+          | Some c ->
+            advance ();
+            (match c with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' ->
+              if !pos + 4 > n then fail "bad \\u escape";
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 4;
+              let code =
+                match int_of_string_opt ("0x" ^ hex) with
+                | Some c -> c
+                | None -> fail "bad \\u escape"
+              in
+              if code < 0x80 then Buffer.add_char buf (Char.chr code)
+              else Buffer.add_char buf '?'
+            | _ -> fail "bad escape");
+            go ())
+        | Some c ->
+          advance ();
+          Buffer.add_char buf c;
+          go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let num_char c =
+        (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+      in
+      while (match peek () with Some c when num_char c -> true | _ -> false) do
+        advance ()
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some 'n' -> literal "null" Null
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some '"' -> Str (parse_string ())
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              items (v :: acc)
+            | Some ']' ->
+              advance ();
+              List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          Arr (items [])
+        end
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let rec fields acc =
+            let kv = field () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              fields (kv :: acc)
+            | Some '}' ->
+              advance ();
+              List.rev (kv :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Obj (fields [])
+        end
+      | Some _ -> Num (parse_number ())
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing input";
+      v
+    with
+    | v -> Ok v
+    | exception Bad msg -> Error msg
+end
+
+(* ---- sinks ---- *)
+
+let value_to_json = function
+  | Int i -> Json.Num (float_of_int i)
+  | Float f -> Json.Num f
+  | Str s -> Json.Str s
+  | Bool b -> Json.Bool b
+
+let kind_to_string = function
+  | Span -> "span"
+  | Instant -> "instant"
+  | Count -> "counter"
+  | Gauge -> "gauge"
+
+let event_to_json ev =
+  let attrs = List.map (fun (k, v) -> (k, value_to_json v)) ev.attrs in
+  Json.Obj
+    ([
+       ("type", Json.Str (kind_to_string ev.kind));
+       ("name", Json.Str ev.name);
+       ("ts", Json.Num ev.ts);
+     ]
+    @ (if ev.kind = Span then [ ("dur", Json.Num ev.dur) ] else [])
+    @ [ ("tid", Json.Num (float_of_int ev.tid)); ("depth", Json.Num (float_of_int ev.depth)) ]
+    @ if attrs = [] then [] else [ ("attrs", Json.Obj attrs) ])
+
+let to_jsonl_string t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun ev ->
+      Json.add buf (event_to_json ev);
+      Buffer.add_char buf '\n')
+    (events t);
+  Buffer.contents buf
+
+let write_jsonl t oc = output_string oc (to_jsonl_string t)
+
+let event_to_chrome ev =
+  let args = List.map (fun (k, v) -> (k, value_to_json v)) ev.attrs in
+  let us x = Json.Num (x *. 1e6) in
+  let common =
+    [
+      ("name", Json.Str ev.name);
+      ("cat", Json.Str "olsq2");
+      ("ts", us ev.ts);
+      ("pid", Json.Num 1.0);
+      ("tid", Json.Num (float_of_int ev.tid));
+    ]
+  in
+  let args_field = if args = [] then [] else [ ("args", Json.Obj args) ] in
+  match ev.kind with
+  | Span -> Json.Obj (common @ [ ("ph", Json.Str "X"); ("dur", us ev.dur) ] @ args_field)
+  | Instant -> Json.Obj (common @ [ ("ph", Json.Str "i"); ("s", Json.Str "t") ] @ args_field)
+  | Count | Gauge -> Json.Obj (common @ [ ("ph", Json.Str "C") ] @ args_field)
+
+let to_chrome_string t =
+  Json.to_string (Json.Obj [ ("traceEvents", Json.Arr (List.map event_to_chrome (events t))) ])
+
+let write_chrome t oc = output_string oc (to_chrome_string t)

@@ -1,0 +1,143 @@
+(** Structured observability for the solving stack: hierarchical spans,
+    monotonic counters and gauges, recorded into per-domain event buffers
+    and exported as human-readable summaries, JSON-lines traces, or Chrome
+    [trace_event] files (loadable in about://tracing / Perfetto).
+
+    Design constraints (see DESIGN.md §3):
+    - zero dependencies beyond [olsq2.util] (timing);
+    - a *disabled* tracer costs one branch per event, so instrumentation
+      can stay on permanently in the hot solving paths (verified by the
+      [bench/micro] obs kernels);
+    - recording is domain-safe: each domain appends to its own buffer
+      (portfolio arms trace concurrently without locks on the hot path). *)
+
+(** Attribute values attached to events. *)
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type kind =
+  | Span  (** a completed span: [ts] is the start, [dur] the duration *)
+  | Instant  (** a point event *)
+  | Count  (** a counter increment; the delta is attribute ["value"] *)
+  | Gauge  (** a gauge sample; the value is attribute ["value"] *)
+
+type event = {
+  kind : kind;
+  name : string;
+  ts : float;  (** seconds since the tracer's epoch *)
+  dur : float;  (** spans only; [0.] otherwise *)
+  tid : int;  (** recording domain's id *)
+  depth : int;  (** span-nesting depth at record time *)
+  attrs : (string * value) list;
+}
+
+(** A tracer: either live (records events) or disabled (every operation is
+    a single branch). *)
+type t
+
+(** The shared always-off tracer. *)
+val disabled : t
+
+(** Create a live tracer.  [capacity] bounds the number of events kept
+    per domain (default 200_000); further events are counted as dropped. *)
+val create : ?capacity:int -> unit -> t
+
+val enabled : t -> bool
+
+(** Seconds since the tracer was created (its event-timestamp epoch). *)
+val elapsed : t -> float
+
+(** {2 Ambient tracer}
+
+    Instrumented modules read the process-wide tracer so tracing needs no
+    API threading.  Defaults to {!disabled}; set it once at startup. *)
+
+val set_global : t -> unit
+val global : unit -> t
+
+(** {2 Spans} *)
+
+type span
+
+(** The inert span returned by a disabled tracer. *)
+val null_span : span
+
+(** Open a span.  Attributes given here are merged with the ones supplied
+    at {!end_span}. *)
+val begin_span : t -> ?attrs:(string * value) list -> string -> span
+
+val end_span : t -> ?attrs:(string * value) list -> span -> unit
+
+(** [with_span t name f] runs [f] inside a span (closed even on raise). *)
+val with_span : t -> ?attrs:(string * value) list -> string -> (unit -> 'a) -> 'a
+
+val instant : t -> ?attrs:(string * value) list -> string -> unit
+
+(** {2 Counters and gauges} *)
+
+(** [count t name delta] bumps the monotonic counter [name]. *)
+val count : t -> string -> int -> unit
+
+(** [gauge t name v] records the current value of gauge [name]. *)
+val gauge : t -> string -> float -> unit
+
+(** {2 Reading back} *)
+
+(** All recorded events, merged across domains, ordered by timestamp. *)
+val events : t -> event list
+
+(** Drop all recorded events (buffers stay registered). *)
+val reset : t -> unit
+
+type span_stat = { calls : int; total_seconds : float; max_seconds : float }
+
+type summary = {
+  span_stats : (string * span_stat) list;  (** sorted by total time, desc *)
+  counters : (string * int) list;  (** summed deltas, sorted by name *)
+  gauges : (string * float) list;  (** last sampled value, sorted by name *)
+  events_recorded : int;
+  events_dropped : int;
+}
+
+val empty_summary : summary
+
+(** Aggregate the recorded events; [since] (a {!elapsed}-style timestamp)
+    restricts to events starting at or after it. *)
+val summary : ?since:float -> t -> summary
+
+val pp_summary : Format.formatter -> summary -> unit
+
+(** {2 Sinks} *)
+
+(** One JSON object per line, e.g.
+    [{"type":"span","name":"sat.solve","ts":0.000012,"dur":0.003400,
+      "tid":0,"depth":2,"attrs":{"result":"sat","conflicts":41}}]. *)
+val to_jsonl_string : t -> string
+
+val write_jsonl : t -> out_channel -> unit
+
+(** Chrome [trace_event] JSON (one [{"traceEvents":[...]}] object):
+    spans become ["ph":"X"] complete events, counters/gauges ["ph":"C"].
+    Load the file in about://tracing or https://ui.perfetto.dev. *)
+val to_chrome_string : t -> string
+
+val write_chrome : t -> out_channel -> unit
+
+(** Minimal JSON representation used by the sinks, with a parser so tests
+    and smoke checks can validate emitted traces without external
+    dependencies. *)
+module Json : sig
+  type json =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of json list
+    | Obj of (string * json) list
+
+  val parse : string -> (json, string) result
+
+  (** Object field lookup ([None] on non-objects / missing keys). *)
+  val member : string -> json -> json option
+
+  val to_string : json -> string
+end

@@ -30,7 +30,19 @@ type watcher = { blocker : Lit.t; wclause : clause }
 
 let dummy_watcher = { blocker = Lit.undef; wclause = dummy_clause }
 
-type result = Sat | Unsat | Unknown
+type reason = Conflict_budget | Timeout | Interrupted
+
+type result = Sat | Unsat | Unknown of reason
+
+let reason_to_string = function
+  | Conflict_budget -> "conflict_budget"
+  | Timeout -> "timeout"
+  | Interrupted -> "interrupted"
+
+let result_to_string = function
+  | Sat -> "sat"
+  | Unsat -> "unsat"
+  | Unknown r -> "unknown:" ^ reason_to_string r
 
 type stats = {
   mutable conflicts : int;
@@ -69,6 +81,7 @@ type t = {
   mutable ok : bool; (* false once UNSAT at level 0 *)
   mutable model : bool array;
   mutable conflict_core : Lit.t list; (* failed assumptions of last Unsat *)
+  interrupt_flag : bool Atomic.t; (* cross-domain async stop request *)
   stats : stats;
 }
 
@@ -93,6 +106,7 @@ let create () =
     ok = true;
     model = [||];
     conflict_core = [];
+    interrupt_flag = Atomic.make false;
     stats =
       {
         conflicts = 0;
@@ -553,6 +567,10 @@ let search t assumptions conflict_budget deadline =
       t.stats.restarts <- t.stats.restarts + 1;
       `Restart
     end
+    else if Atomic.get t.interrupt_flag then begin
+      cancel_until t 0;
+      `Interrupted
+    end
     else if
       (match deadline with None -> false | Some d -> Olsq2_util.Stopwatch.now () > d)
       && decision_level t >= 0
@@ -597,7 +615,7 @@ let search t assumptions conflict_budget deadline =
   in
   loop ()
 
-let solve ?(assumptions = []) ?max_conflicts ?timeout t =
+let solve_raw ?(assumptions = []) ?max_conflicts ?timeout t =
   t.stats.solves <- t.stats.solves + 1;
   t.conflict_core <- [];
   if not t.ok then Unsat
@@ -620,15 +638,58 @@ let solve ?(assumptions = []) ?max_conflicts ?timeout t =
       | `Unsat_assumptions ->
         cancel_until t 0;
         Unsat
-      | `Timeout -> Unknown
+      | `Timeout -> Unknown Timeout
+      | `Interrupted -> Unknown Interrupted
       | `Restart ->
         total_conflicts := !total_conflicts + budget;
         (match max_conflicts with
-        | Some m when !total_conflicts >= m -> Unknown
+        | Some m when !total_conflicts >= m -> Unknown Conflict_budget
         | Some _ | None -> restart_loop (k + 1))
     in
     restart_loop 0
   end
+
+module Obs = Olsq2_obs.Obs
+
+(* Every solve call is one span carrying the search-effort deltas, so a
+   trace shows exactly where conflicts/propagations went per bound
+   iteration.  Disabled tracing costs the single [Obs.enabled] branch. *)
+let solve ?assumptions ?max_conflicts ?timeout t =
+  let obs = Obs.global () in
+  if not (Obs.enabled obs) then solve_raw ?assumptions ?max_conflicts ?timeout t
+  else begin
+    let s = t.stats in
+    let c0 = s.conflicts and p0 = s.propagations and d0 = s.decisions and r0 = s.restarts in
+    let sp =
+      Obs.begin_span obs "sat.solve"
+        ~attrs:
+          [
+            ("assumptions", Obs.Int (match assumptions with Some a -> List.length a | None -> 0));
+            ("vars", Obs.Int t.nvars);
+            ("clauses", Obs.Int (Vec.length t.clauses));
+          ]
+    in
+    let result = solve_raw ?assumptions ?max_conflicts ?timeout t in
+    let conflicts = s.conflicts - c0 and propagations = s.propagations - p0 in
+    let reason_attr = match result with Unknown r -> [ ("reason", Obs.Str (reason_to_string r)) ] | Sat | Unsat -> [] in
+    Obs.end_span obs sp
+      ~attrs:
+        ([
+           ("result", Obs.Str (result_to_string result));
+           ("conflicts", Obs.Int conflicts);
+           ("propagations", Obs.Int propagations);
+           ("decisions", Obs.Int (s.decisions - d0));
+           ("restarts", Obs.Int (s.restarts - r0));
+         ]
+        @ reason_attr);
+    Obs.count obs "sat.conflicts" conflicts;
+    Obs.count obs "sat.propagations" propagations;
+    Obs.count obs "sat.solves" 1;
+    result
+  end
+
+let interrupt t = Atomic.set t.interrupt_flag true
+let clear_interrupt t = Atomic.set t.interrupt_flag false
 
 (* Model access: only meaningful after [solve] returned [Sat]. *)
 let model_value t l =

@@ -9,7 +9,19 @@
 
 type t
 
-type result = Sat | Unsat | Unknown
+(** Why a resource-bounded [solve] call stopped without an answer:
+    [Conflict_budget] — the [max_conflicts] budget was spent;
+    [Timeout] — the wall-clock [timeout] passed;
+    [Interrupted] — {!interrupt} was called (e.g. by a portfolio arm
+    cancelling its losers). *)
+type reason = Conflict_budget | Timeout | Interrupted
+
+type result = Sat | Unsat | Unknown of reason
+
+val reason_to_string : reason -> string
+
+(** ["sat"], ["unsat"] or ["unknown:<reason>"] (trace-attribute form). *)
+val result_to_string : result -> string
 
 type stats = {
   mutable conflicts : int;
@@ -40,8 +52,19 @@ val add_clause_a : t -> Lit.t array -> unit
 (** [solve ?assumptions ?max_conflicts ?timeout t] runs CDCL search.
     [assumptions] are decision literals fixed for this call only.
     [max_conflicts] / [timeout] (seconds) make the call resource-bounded;
-    exceeding either yields [Unknown]. *)
+    exceeding either yields [Unknown] with the corresponding {!reason},
+    so optimization loops can tell budget exhaustion from a genuine
+    don't-know.  When the global {!Olsq2_obs.Obs} tracer is enabled, each
+    call records one ["sat.solve"] span carrying the conflict /
+    propagation / decision / restart deltas of the call. *)
 val solve : ?assumptions:Lit.t list -> ?max_conflicts:int -> ?timeout:float -> t -> result
+
+(** Ask the solver to stop; the current (or next) [solve] returns
+    [Unknown Interrupted].  Safe to call from another domain.  The flag is
+    sticky until {!clear_interrupt}. *)
+val interrupt : t -> unit
+
+val clear_interrupt : t -> unit
 
 (** Value of a literal in the model of the last [Sat] answer. *)
 val model_value : t -> Lit.t -> bool
@@ -53,7 +76,9 @@ val boost_activity : t -> Lit.var -> float -> unit
 val suggest_phase : t -> Lit.var -> bool -> unit
 
 (** After an assumption-caused [Unsat], the subset of assumptions involved
-    in the conflict (an unsat core over assumptions). *)
+    in the conflict (an unsat core over assumptions).  Cleared at the start
+    of every [solve]; empty after [Sat] and after any [Unknown _] answer
+    (a budget-exhausted call proves nothing about the assumptions). *)
 val conflict_core : t -> Lit.t list
 
 (** [false] once the clause set is unsatisfiable at the root level. *)

@@ -94,7 +94,7 @@ let synthesize ?(params = default_params) ?(config = Config.default) ?budget_sec
         match Tb_encoder.solve ?timeout:(remaining ()) enc with
         | Solver.Sat -> Some enc
         | Solver.Unsat -> blocks (b + 1)
-        | Solver.Unknown -> None
+        | Solver.Unknown _ -> None
       end
     in
     match blocks 1 with
@@ -111,7 +111,7 @@ let synthesize ?(params = default_params) ?(config = Config.default) ?budget_sec
           | Some a -> (
             match Tb_encoder.solve ~assumptions:[ a ] ?timeout:(remaining ()) enc with
             | Solver.Sat -> descend (Tb_encoder.model_swap_count enc)
-            | Solver.Unsat | Solver.Unknown -> best)
+            | Solver.Unsat | Solver.Unknown _ -> best)
         end
       in
       let _ = descend (Tb_encoder.model_swap_count enc) in

@@ -1,0 +1,48 @@
+(* CLI smoke test, run under `dune runtest`: synthesize a tiny QAOA
+   instance through the installed entry point with --trace, then check
+   that every emitted trace line is valid JSON of the documented shape.
+   Usage: cli_smoke.exe PATH_TO_OLSQ2_CLI *)
+
+module Json = Olsq2_obs.Obs.Json
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline ("cli_smoke: " ^ m); exit 1) fmt
+
+let () =
+  let cli = if Array.length Sys.argv > 1 then Sys.argv.(1) else die "missing CLI path" in
+  let trace = Filename.temp_file "olsq2_smoke" ".jsonl" in
+  let cmd =
+    Printf.sprintf "%s synth qaoa:4 -d grid-2x2 -m tb --trace %s --metrics > /dev/null"
+      (Filename.quote cli) (Filename.quote trace)
+  in
+  (match Unix.system cmd with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED c -> die "CLI exited with %d" c
+  | Unix.WSIGNALED s | Unix.WSTOPPED s -> die "CLI killed by signal %d" s);
+  let ic = open_in trace in
+  let lines = ref 0 and spans = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then begin
+         incr lines;
+         match Json.parse line with
+         | Error e -> die "line %d is not valid JSON (%s): %s" !lines e line
+         | Ok j -> (
+           (match (Json.member "type" j, Json.member "name" j, Json.member "ts" j) with
+           | Some (Json.Str _), Some (Json.Str _), Some (Json.Num _) -> ()
+           | _ -> die "line %d misses type/name/ts fields: %s" !lines line);
+           match Json.member "type" j with
+           | Some (Json.Str "span") -> (
+             incr spans;
+             match Json.member "dur" j with
+             | Some (Json.Num d) when d >= 0.0 -> ()
+             | _ -> die "span on line %d has no duration: %s" !lines line)
+           | _ -> ())
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove trace;
+  if !lines = 0 then die "trace file is empty";
+  if !spans = 0 then die "trace contains no spans";
+  Printf.printf "cli smoke ok: %d trace lines, %d spans\n" !lines !spans

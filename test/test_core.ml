@@ -43,7 +43,7 @@ let test_ivar_domain_enumeration () =
           found := x :: !found;
           Ctx.assert_formula ctx (F.not_ (Ivar.eq_const v x))
         | S.Unsat -> continue_ := false
-        | S.Unknown -> Alcotest.fail "Unknown"
+        | S.Unknown _ -> Alcotest.fail "Unknown"
       done;
       Alcotest.(check (list int)) (name ^ " full domain") [ 0; 1; 2; 3; 4 ]
         (List.sort compare !found))
@@ -64,12 +64,12 @@ let test_ivar_comparisons () =
         Alcotest.(check bool) (name ^ " x<y") true (vx < vy);
         Alcotest.(check bool) (name ^ " y<=4") true (vy <= 4);
         Alcotest.(check bool) (name ^ " x>=2") true (vx >= 2)
-      | S.Unsat | S.Unknown -> Alcotest.fail (name ^ ": expected SAT"));
+      | S.Unsat | S.Unknown _ -> Alcotest.fail (name ^ ": expected SAT"));
       (* x >= 2 and x < y <= 4 leaves no room when also y <= 2 *)
       Ctx.assert_formula ctx (Ivar.le_const y 2);
       match solve_ctx enc ctx with
       | S.Unsat -> ()
-      | S.Sat | S.Unknown -> Alcotest.fail (name ^ ": expected UNSAT"))
+      | S.Sat | S.Unknown _ -> Alcotest.fail (name ^ ": expected UNSAT"))
     encodings
 
 let test_ivar_eq_neq () =
@@ -81,14 +81,14 @@ let test_ivar_eq_neq () =
       Ctx.assert_formula ctx (Ivar.eq_const x 3);
       (match solve_ctx enc ctx with
       | S.Sat -> Alcotest.(check int) (name ^ " eq propagates") 3 (Ivar.value (Ctx.solver ctx) y)
-      | S.Unsat | S.Unknown -> Alcotest.fail (name ^ ": expected SAT"));
+      | S.Unsat | S.Unknown _ -> Alcotest.fail (name ^ ": expected SAT"));
       let ctx2 = Ctx.create () in
       let a = Ivar.fresh ctx2 enc 2 and b = Ivar.fresh ctx2 enc 2 in
       Ctx.assert_formula ctx2 (Ivar.neq a b);
       Ctx.assert_formula ctx2 (Ivar.eq_const a 0);
       match solve_ctx enc ctx2 with
       | S.Sat -> Alcotest.(check int) (name ^ " neq forces other") 1 (Ivar.value (Ctx.solver ctx2) b)
-      | S.Unsat | S.Unknown -> Alcotest.fail (name ^ ": expected SAT"))
+      | S.Unsat | S.Unknown _ -> Alcotest.fail (name ^ ": expected SAT"))
     encodings
 
 let test_ivar_domain_one () =
@@ -100,7 +100,7 @@ let test_ivar_domain_one () =
       Ctx.assert_formula ctx (Ivar.eq_const v 0);
       match solve_ctx enc ctx with
       | S.Sat -> Alcotest.(check int) (name ^ " pinned") 0 (Ivar.value (Ctx.solver ctx) v)
-      | S.Unsat | S.Unknown -> Alcotest.fail (name ^ ": expected SAT"))
+      | S.Unsat | S.Unknown _ -> Alcotest.fail (name ^ ": expected SAT"))
     encodings
 
 let test_ivar_out_of_range_constants () =

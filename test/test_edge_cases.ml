@@ -256,7 +256,7 @@ let test_totalizer_descent () =
         match S.solve ~assumptions:(a :: forced) s with
         | S.Sat -> descend (k - 1) k
         | S.Unsat -> last_sat
-        | S.Unknown -> Alcotest.fail "Unknown")
+        | S.Unknown _ -> Alcotest.fail "Unknown")
   in
   Alcotest.(check int) "descent stops at 4" 4 (descend 10 11)
 

@@ -84,7 +84,7 @@ let test_tseitin_random () =
       let env v = S.model_value s (L.of_var v) in
       if not (eval env f) then Alcotest.fail "model does not satisfy original formula"
     | S.Unsat -> if !expect then Alcotest.fail "Tseitin UNSAT but formula satisfiable"
-    | S.Unknown -> Alcotest.fail "unexpected Unknown"
+    | S.Unknown _ -> Alcotest.fail "unexpected Unknown"
   done
 
 let test_reify_equivalence () =
@@ -146,7 +146,7 @@ let bitvec_models width constraint_of =
       (* block this value *)
       Ctx.assert_formula ctx (F.not_ (Bitvec.eq_const bv v))
     | S.Unsat -> continue_ := false
-    | S.Unknown -> Alcotest.fail "unexpected Unknown"
+    | S.Unknown _ -> Alcotest.fail "unexpected Unknown"
   done;
   List.sort_uniq compare !found
 
@@ -178,7 +178,7 @@ let test_bitvec_lt_pairs () =
       Ctx.assert_formula ctx (F.not_ (F.and_ [ Bitvec.eq_const a va; Bitvec.eq_const b vb ]));
       if List.length !found > 20 then continue_ := false
     | S.Unsat -> continue_ := false
-    | S.Unknown -> Alcotest.fail "Unknown"
+    | S.Unknown _ -> Alcotest.fail "Unknown"
   done;
   let expected = List.concat_map (fun a -> List.filter_map (fun b -> if a < b then Some (a, b) else None) [ 0; 1; 2; 3 ]) [ 0; 1; 2; 3 ] in
   Alcotest.(check int) "pair count" (List.length expected) (List.length !found);
@@ -206,7 +206,7 @@ let test_onehot_exactly_one () =
       found := v :: !found;
       Ctx.assert_formula ctx (F.not_ (Onehot.eq_const oh v))
     | S.Unsat -> continue_ := false
-    | S.Unknown -> Alcotest.fail "Unknown"
+    | S.Unknown _ -> Alcotest.fail "Unknown"
   done;
   Alcotest.(check (list int)) "exactly the domain" [ 0; 1; 2; 3; 4 ] (List.sort compare !found)
 
@@ -261,7 +261,7 @@ let popcount_models_ok ~encoding n k =
       let m = Array.map (S.model_value s) xs in
       if count_true m > k then ok := false
     | S.Unsat -> if expect then ok := false
-    | S.Unknown -> ok := false)
+    | S.Unknown _ -> ok := false)
   done;
   !ok
 

@@ -169,7 +169,7 @@ let test_branching_hints_preserve_answers () =
   Alcotest.(check bool) "same SAT answer" true (r1 = r2);
   (match r2 with
   | S.Sat -> Validate.check_exn inst (Encoder.extract hinted)
-  | S.Unsat | S.Unknown -> Alcotest.fail "expected SAT");
+  | S.Unsat | S.Unknown _ -> Alcotest.fail "expected SAT");
   (* and an UNSAT bound stays UNSAT *)
   let r3 = Encoder.solve ~assumptions:[ Encoder.depth_selector hinted (d - 1) ] hinted in
   Alcotest.(check bool) "unsat preserved" true (r3 = S.Unsat)

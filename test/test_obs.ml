@@ -1,0 +1,291 @@
+(* Tests for the observability layer (lib/obs) and the Synthesis facade
+   built on top of it: span nesting, counter aggregation, JSON-lines and
+   Chrome trace export, disabled-tracer no-op behavior, domain safety,
+   and facade/engine equivalence. *)
+
+module Obs = Olsq2_obs.Obs
+module Json = Olsq2_obs.Obs.Json
+module Core = Olsq2_core
+module Instance = Core.Instance
+module Optimizer = Core.Optimizer
+module Synthesis = Core.Synthesis
+module Result_ = Core.Result_
+module Devices = Olsq2_device.Devices
+module B = Olsq2_benchgen
+
+(* Run [f] with a fresh live tracer installed globally; always restore the
+   disabled tracer so other suites stay untraced. *)
+let with_global_tracer f =
+  let t = Obs.create () in
+  Obs.set_global t;
+  Fun.protect ~finally:(fun () -> Obs.set_global Obs.disabled) (fun () -> f t)
+
+(* ---- spans ---- *)
+
+let test_span_nesting () =
+  let t = Obs.create () in
+  Obs.with_span t "outer" (fun () ->
+      Obs.with_span t "inner" (fun () -> ignore (Sys.opaque_identity 42)));
+  let evs = Obs.events t in
+  Alcotest.(check int) "two spans" 2 (List.length evs);
+  match
+    ( List.find_opt (fun e -> e.Obs.name = "outer") evs,
+      List.find_opt (fun e -> e.Obs.name = "inner") evs )
+  with
+  | Some outer, Some inner ->
+    Alcotest.(check int) "outer depth" 0 outer.Obs.depth;
+    Alcotest.(check int) "inner depth" 1 inner.Obs.depth;
+    Alcotest.(check bool) "inner starts after outer" true (inner.Obs.ts >= outer.Obs.ts);
+    Alcotest.(check bool) "inner contained in outer" true
+      (inner.Obs.ts +. inner.Obs.dur <= outer.Obs.ts +. outer.Obs.dur +. 1e-9)
+  | _ -> Alcotest.fail "expected exactly outer+inner spans"
+
+let test_span_closed_on_raise () =
+  let t = Obs.create () in
+  (try Obs.with_span t "boom" (fun () -> failwith "x") with Failure _ -> ());
+  match Obs.events t with
+  | [ e ] ->
+    Alcotest.(check string) "span recorded despite raise" "boom" e.Obs.name;
+    Alcotest.(check int) "stack unwound" 0
+      (let sp = Obs.begin_span t "probe" in
+       Obs.end_span t sp;
+       match Obs.events t with
+       | _ :: [ probe ] -> probe.Obs.depth
+       | _ -> -1)
+  | es -> Alcotest.failf "expected one span, got %d events" (List.length es)
+
+let test_counter_deltas () =
+  let t = Obs.create () in
+  Obs.count t "conflicts" 5;
+  Obs.count t "conflicts" 7;
+  Obs.count t "restarts" 1;
+  Obs.gauge t "clauses" 10.0;
+  Obs.gauge t "clauses" 25.0;
+  let s = Obs.summary t in
+  Alcotest.(check (list (pair string int)))
+    "counters summed and sorted" [ ("conflicts", 12); ("restarts", 1) ] s.Obs.counters;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "gauge keeps last sample" [ ("clauses", 25.0) ] s.Obs.gauges;
+  Alcotest.(check int) "events recorded" 5 s.Obs.events_recorded;
+  Alcotest.(check int) "no drops" 0 s.Obs.events_dropped
+
+let test_summary_since () =
+  let t = Obs.create () in
+  Obs.count t "early" 1;
+  (* the clock has finite resolution: advance past the early event's stamp *)
+  let rec advance t0 =
+    let e = Obs.elapsed t in
+    if e > t0 then e else advance t0
+  in
+  let cut = advance (Obs.elapsed t) in
+  Obs.count t "late" 1;
+  let s = Obs.summary ~since:cut t in
+  Alcotest.(check (list (pair string int))) "only late events" [ ("late", 1) ] s.Obs.counters
+
+let test_capacity_drops () =
+  let t = Obs.create ~capacity:4 () in
+  for _ = 1 to 10 do
+    Obs.count t "tick" 1
+  done;
+  let s = Obs.summary t in
+  Alcotest.(check int) "kept at capacity" 4 s.Obs.events_recorded;
+  Alcotest.(check int) "rest counted as dropped" 6 s.Obs.events_dropped
+
+(* ---- disabled tracer ---- *)
+
+let test_disabled_noop () =
+  let t = Obs.disabled in
+  Alcotest.(check bool) "disabled" false (Obs.enabled t);
+  let sp = Obs.begin_span t "x" ~attrs:[ ("a", Obs.Int 1) ] in
+  Obs.end_span t sp;
+  Obs.instant t "y";
+  Obs.count t "c" 3;
+  Obs.gauge t "g" 1.0;
+  Alcotest.(check int) "no events" 0 (List.length (Obs.events t));
+  let s = Obs.summary t in
+  Alcotest.(check int) "empty summary" 0 s.Obs.events_recorded;
+  Alcotest.(check bool) "with_span still runs the body" true
+    (Obs.with_span t "z" (fun () -> true))
+
+(* ---- domain safety ---- *)
+
+let test_domains_record_independently () =
+  let t = Obs.create () in
+  let work tag () =
+    for i = 1 to 50 do
+      Obs.with_span t tag (fun () -> Obs.count t (tag ^ ".n") i)
+    done
+  in
+  let d1 = Domain.spawn (work "a") and d2 = Domain.spawn (work "b") in
+  Domain.join d1;
+  Domain.join d2;
+  let s = Obs.summary t in
+  let calls name = (List.assoc name s.Obs.span_stats).Obs.calls in
+  Alcotest.(check int) "arm a spans" 50 (calls "a");
+  Alcotest.(check int) "arm b spans" 50 (calls "b");
+  let tids =
+    List.sort_uniq compare (List.map (fun e -> e.Obs.tid) (Obs.events t))
+  in
+  Alcotest.(check bool) "two recording domains" true (List.length tids = 2)
+
+(* ---- export formats ---- *)
+
+let test_jsonl_golden () =
+  let t = Obs.create () in
+  let sp = Obs.begin_span t "solve" ~attrs:[ ("vars", Obs.Int 7) ] in
+  Obs.end_span t sp ~attrs:[ ("result", Obs.Str "sat"); ("ok", Obs.Bool true) ];
+  Obs.count t "conflicts" 3;
+  let lines = String.split_on_char '\n' (String.trim (Obs.to_jsonl_string t)) in
+  Alcotest.(check int) "one line per event" 2 (List.length lines);
+  let parsed =
+    List.map
+      (fun line ->
+        match Json.parse line with
+        | Ok j -> j
+        | Error e -> Alcotest.failf "unparsable trace line %S: %s" line e)
+      lines
+  in
+  let str_field name j =
+    match Json.member name j with Some (Json.Str s) -> s | _ -> Alcotest.failf "missing %s" name
+  in
+  let span = List.hd parsed and counter = List.nth parsed 1 in
+  Alcotest.(check string) "span type" "span" (str_field "type" span);
+  Alcotest.(check string) "span name" "solve" (str_field "name" span);
+  (match Json.member "attrs" span with
+  | Some attrs ->
+    Alcotest.(check bool) "begin attr kept" true (Json.member "vars" attrs = Some (Json.Num 7.0));
+    Alcotest.(check bool) "end attr kept" true (Json.member "result" attrs = Some (Json.Str "sat"));
+    Alcotest.(check bool) "bool attr kept" true (Json.member "ok" attrs = Some (Json.Bool true))
+  | None -> Alcotest.fail "span has no attrs");
+  Alcotest.(check string) "counter type" "counter" (str_field "type" counter);
+  (match Json.member "dur" span with
+  | Some (Json.Num d) -> Alcotest.(check bool) "duration non-negative" true (d >= 0.0)
+  | _ -> Alcotest.fail "span has no dur")
+
+let test_json_roundtrip () =
+  (* deterministic golden check of the writer itself *)
+  let j =
+    Json.Obj
+      [
+        ("name", Json.Str "a\"b\\c\n");
+        ("xs", Json.Arr [ Json.Num 1.0; Json.Num 2.5; Json.Bool false; Json.Null ]);
+      ]
+  in
+  let s = Json.to_string j in
+  Alcotest.(check string) "escapes"
+    {|{"name":"a\"b\\c\n","xs":[1,2.5,false,null]}|} s;
+  match Json.parse s with
+  | Ok j' -> Alcotest.(check bool) "roundtrip" true (j = j')
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+
+let test_chrome_export () =
+  let t = Obs.create () in
+  Obs.with_span t "solve" (fun () -> Obs.count t "conflicts" 2);
+  match Json.parse (Obs.to_chrome_string t) with
+  | Error e -> Alcotest.failf "chrome trace unparsable: %s" e
+  | Ok j -> (
+    match Json.member "traceEvents" j with
+    | Some (Json.Arr evs) ->
+      Alcotest.(check int) "two trace events" 2 (List.length evs);
+      let phases =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun e -> match Json.member "ph" e with Some (Json.Str p) -> Some p | _ -> None)
+             evs)
+      in
+      Alcotest.(check (list string)) "complete + counter phases" [ "C"; "X" ] phases
+    | _ -> Alcotest.fail "no traceEvents array")
+
+(* ---- solver integration ---- *)
+
+let test_solver_records_spans () =
+  with_global_tracer (fun t ->
+      let inst =
+        Instance.make ~swap_duration:1 (B.Qaoa.random ~seed:104 4) (Devices.grid 2 2)
+      in
+      let o = Optimizer.minimize_depth inst in
+      Alcotest.(check bool) "solved" true (o.Optimizer.result <> None);
+      let s = Obs.summary t in
+      let has name = List.mem_assoc name s.Obs.span_stats in
+      Alcotest.(check bool) "sat.solve spans" true (has "sat.solve");
+      Alcotest.(check bool) "encode.build spans" true (has "encode.build");
+      Alcotest.(check bool) "opt.depth_iter spans" true (has "opt.depth_iter");
+      Alcotest.(check bool) "conflict counter" true (List.mem_assoc "sat.conflicts" s.Obs.counters))
+
+(* ---- Synthesis facade ---- *)
+
+let facade_instances () =
+  [
+    ("qaoa4-grid2x2", Instance.make ~swap_duration:1 (B.Qaoa.random ~seed:104 4) (Devices.grid 2 2));
+    ("qaoa4-qx2", Instance.make ~swap_duration:3 (B.Qaoa.random ~seed:3 4) Devices.qx2);
+  ]
+
+let test_facade_depth_equivalence () =
+  List.iter
+    (fun (name, inst) ->
+      let engine = Optimizer.minimize_depth inst in
+      let facade = Synthesis.run ~objective:Synthesis.Depth inst in
+      let depth o = match o with Some r -> r.Result_.depth | None -> -1 in
+      Alcotest.(check int)
+        (name ^ ": same depth")
+        (depth engine.Optimizer.result)
+        (depth facade.Synthesis.result);
+      Alcotest.(check bool)
+        (name ^ ": same optimality") engine.Optimizer.optimal facade.Synthesis.optimal;
+      Alcotest.(check (list (pair int int)))
+        (name ^ ": same pareto") engine.Optimizer.pareto facade.Synthesis.pareto)
+    (facade_instances ())
+
+let test_facade_tb_equivalence () =
+  let _, inst = List.hd (facade_instances ()) in
+  let engine = Optimizer.tb_minimize_swaps inst in
+  let facade = Synthesis.run ~objective:Synthesis.Tb_swaps inst in
+  match (engine.Optimizer.tb_result, facade.Synthesis.result, facade.Synthesis.pareto) with
+  | Some er, Some fr, [ (blocks, swaps) ] ->
+    Alcotest.(check int) "same swap count" er.Core.Tb_encoder.swap_count fr.Result_.swap_count;
+    Alcotest.(check int) "pareto blocks" er.Core.Tb_encoder.blocks blocks;
+    Alcotest.(check int) "pareto swaps" er.Core.Tb_encoder.swap_count swaps;
+    Alcotest.(check bool) "same optimality" engine.Optimizer.tb_optimal facade.Synthesis.optimal
+  | _ -> Alcotest.fail "both engine and facade should solve the tiny instance"
+
+let test_facade_trace_summary () =
+  let _, inst = List.hd (facade_instances ()) in
+  (* disabled global tracer: report carries the empty summary *)
+  let quiet = Synthesis.run ~objective:Synthesis.Depth inst in
+  Alcotest.(check int) "no trace when disabled" 0 quiet.Synthesis.trace.Obs.events_recorded;
+  with_global_tracer (fun _ ->
+      let traced = Synthesis.run ~objective:Synthesis.Depth inst in
+      Alcotest.(check bool) "trace captured" true
+        (traced.Synthesis.trace.Obs.events_recorded > 0);
+      Alcotest.(check bool) "facade span present" true
+        (List.mem_assoc "synthesis.depth" traced.Synthesis.trace.Obs.span_stats);
+      (* a second run's summary must not include the first run's events *)
+      let again = Synthesis.run ~objective:Synthesis.Depth inst in
+      let calls =
+        (List.assoc "synthesis.depth" again.Synthesis.trace.Obs.span_stats).Obs.calls
+      in
+      Alcotest.(check int) "summary scoped to the run" 1 calls)
+
+let suite =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "span nesting" `Quick test_span_nesting;
+        Alcotest.test_case "span closed on raise" `Quick test_span_closed_on_raise;
+        Alcotest.test_case "counter deltas" `Quick test_counter_deltas;
+        Alcotest.test_case "summary since" `Quick test_summary_since;
+        Alcotest.test_case "capacity drops" `Quick test_capacity_drops;
+        Alcotest.test_case "disabled no-op" `Quick test_disabled_noop;
+        Alcotest.test_case "domain-safe recording" `Quick test_domains_record_independently;
+        Alcotest.test_case "jsonl golden" `Quick test_jsonl_golden;
+        Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+        Alcotest.test_case "chrome export" `Quick test_chrome_export;
+        Alcotest.test_case "solver records spans" `Quick test_solver_records_spans;
+      ] );
+    ( "synthesis",
+      [
+        Alcotest.test_case "facade = engine (depth)" `Quick test_facade_depth_equivalence;
+        Alcotest.test_case "facade = engine (tb swaps)" `Quick test_facade_tb_equivalence;
+        Alcotest.test_case "report trace summary" `Quick test_facade_trace_summary;
+      ] );
+  ]

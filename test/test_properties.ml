@@ -64,7 +64,7 @@ let prop_solver_correct =
         brute_force_sat nv clauses
         && List.for_all (fun cl -> List.exists (fun d -> S.model_value s (L.of_dimacs d)) cl) clauses
       | S.Unsat -> not (brute_force_sat nv clauses)
-      | S.Unknown -> false)
+      | S.Unknown _ -> false)
 
 (* property: bitvec comparison circuits match integer semantics *)
 let prop_bitvec_semantics =

@@ -175,7 +175,7 @@ let test_random_vs_bruteforce () =
       if not (List.for_all (fun cl -> List.exists (S.model_value s) cl) clauses) then
         Alcotest.fail "reported model does not satisfy the formula"
     | S.Unsat -> if expect then Alcotest.fail "solver says UNSAT, brute force found a model"
-    | S.Unknown -> Alcotest.fail "unexpected Unknown without resource limits"
+    | S.Unknown _ -> Alcotest.fail "unexpected Unknown without resource limits"
   done
 
 let test_random_assumptions_vs_bruteforce () =
@@ -196,7 +196,7 @@ let test_random_assumptions_vs_bruteforce () =
     match got with
     | S.Sat -> if not expect then Alcotest.fail "SAT under assumptions but brute force disagrees"
     | S.Unsat -> if expect then Alcotest.fail "UNSAT under assumptions but brute force found model"
-    | S.Unknown -> Alcotest.fail "unexpected Unknown"
+    | S.Unknown _ -> Alcotest.fail "unexpected Unknown"
   done
 
 let test_max_conflicts_unknown () =
@@ -215,7 +215,7 @@ let test_max_conflicts_unknown () =
     done
   done;
   match S.solve ~max_conflicts:10 s with
-  | S.Unknown | S.Unsat -> () (* Unknown expected; Unsat acceptable if solved fast *)
+  | S.Unknown _ | S.Unsat -> () (* Unknown expected; Unsat acceptable if solved fast *)
   | S.Sat -> Alcotest.fail "php9 cannot be SAT"
 
 (* ---- DIMACS ---- *)
