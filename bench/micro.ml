@@ -21,6 +21,8 @@ module B = Olsq2_benchgen
 module Rng = Olsq2_util.Rng
 module Sabre = Olsq2_heuristic.Sabre
 module Obs = Olsq2_obs.Obs
+module Drat = Olsq2_proof.Drat
+module Checker = Olsq2_proof.Checker
 
 let fixed_cnf =
   let rng = Rng.create 7 in
@@ -34,6 +36,47 @@ let solver_kernel () =
   done;
   List.iter (S.add_clause s) fixed_cnf;
   ignore (S.solve s)
+
+(* Same solve with a DRAT sink attached: the marginal price of proof
+   emission (array copies into the sink) on the Fig. 1 inner loop. *)
+let solver_proof_kernel () =
+  let sink = Drat.create () in
+  let s = S.create () in
+  Drat.attach sink s;
+  for _ = 1 to 40 do
+    ignore (S.new_var s)
+  done;
+  List.iter (S.add_clause s) fixed_cnf;
+  ignore (S.solve s)
+
+(* A fixed UNSAT instance (pigeonhole) with its solver-emitted proof, for
+   benchmarking the trusted checker itself. *)
+let php_proof =
+  lazy
+    (let sink = Drat.create () in
+     let s = S.create () in
+     Drat.attach sink s;
+     let holes = 5 in
+     let pigeons = holes + 1 in
+     let v = Array.init pigeons (fun _ -> Array.init holes (fun _ -> S.new_lit s)) in
+     for p = 0 to pigeons - 1 do
+       S.add_clause s (Array.to_list v.(p))
+     done;
+     for h = 0 to holes - 1 do
+       for p = 0 to pigeons - 1 do
+         for q = p + 1 to pigeons - 1 do
+           S.add_clause s [ L.negate v.(p).(h); L.negate v.(q).(h) ]
+         done
+       done
+     done;
+     assert (S.solve s = S.Unsat);
+     (Drat.formula sink, Drat.steps sink))
+
+let checker_kernel mode () =
+  let formula, proof = Lazy.force php_proof in
+  match (Checker.check_unsat ~mode ~formula ~proof ()).Checker.verdict with
+  | Checker.Valid -> ()
+  | Checker.Invalid _ -> failwith "php proof must check"
 
 let tiny_instance = lazy (Bench_common.qaoa_grid ~qubits:4 ~grid_side:2 ~seed:104)
 
@@ -80,6 +123,9 @@ let tests =
   Test.make_grouped ~name:"olsq2" ~fmt:"%s %s"
     [
       Test.make ~name:"sat/cdcl-3cnf (fig1 inner loop)" (Staged.stage solver_kernel);
+      Test.make ~name:"sat/cdcl-3cnf + drat emission" (Staged.stage solver_proof_kernel);
+      Test.make ~name:"proof/check php5 forward" (Staged.stage (checker_kernel Checker.Forward));
+      Test.make ~name:"proof/check php5 backward" (Staged.stage (checker_kernel Checker.Backward));
       Test.make ~name:"encode+solve tiny (table1 kernel)" (Staged.stage encode_solve_kernel);
       Test.make ~name:"seq-counter 128 (table2 kernel)" (Staged.stage counter_kernel);
       Test.make ~name:"sabre route (table3 kernel)" (Staged.stage sabre_kernel);
@@ -147,4 +193,23 @@ let run () =
     iters off on (100.0 *. (on -. off) /. off);
   Printf.printf
     "disabled tracer: %.1f ns/event x %d events/run = %.3f%% of the encode+solve kernel\n"
-    branch_ns events_per_run disabled_pct
+    branch_ns events_per_run disabled_pct;
+  (* Proof logging, same two questions: the hooks' price when no logger is
+     attached (one match per learnt/deleted clause — the acceptance budget
+     is < 2% on this kernel), and the full emission price when one is. *)
+  let iters = 200 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  ignore (time solver_kernel);
+  let plain = time solver_kernel in
+  let logged = time solver_proof_kernel in
+  Printf.printf
+    "cdcl x%d  no logger %.3fs  drat sink %.3fs  (%+.1f%% emission overhead; hooks without a \
+     logger are a single branch, bounded by the tracer figure above)\n"
+    iters plain logged
+    (100.0 *. (logged -. plain) /. plain)

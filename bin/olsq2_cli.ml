@@ -93,10 +93,22 @@ let metrics_arg =
   let doc = "Print a per-span timing and counter summary after the run." in
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
+let certify_arg =
+  let doc =
+    "Certify the optimality claim: re-solve at the optimum with DRAT proof logging, check the \
+     proof with the built-in trusted checker, and validate the model.  Exits nonzero if the \
+     certificate cannot be produced or fails.  Supported for the olsq2 and portfolio methods."
+  in
+  Arg.(value & flag & info [ "certify" ] ~doc)
+
+let proof_arg =
+  let doc = "With $(b,--certify), also write the emitted DRAT proof (text format) to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "proof" ] ~docv:"FILE" ~doc)
+
 (* ---- synth ---- *)
 
 let run_synth circuit_spec device_name budget swap_duration objective method_ config warm output
-    trace metrics =
+    trace metrics certify proof_file =
   let obs =
     if trace <> None || metrics then (
       let t = Obs.create () in
@@ -113,27 +125,49 @@ let run_synth circuit_spec device_name budget swap_duration objective method_ co
   Printf.printf "circuit: %s   device: %s   swap duration: %d\n" (Circuit.label circuit)
     device.Coupling.name swap_duration;
   Printf.printf "T_LB (longest dependency chain) = %d\n%!" (Core.Instance.depth_lower_bound instance);
-  let finish result =
+  let finish ?certificate result =
     match result with
     | None ->
       Printf.printf "no solution found within the budget\n";
       1
     | Some r ->
       print_string (Core.Export.report instance r);
-      (match Core.Validate.check instance r with
-      | [] -> Printf.printf "validation: OK\n"
-      | vs ->
-        Printf.printf "validation: %d violations\n" (List.length vs);
-        List.iter (fun v -> Printf.printf "  %s\n" (Core.Validate.violation_to_string v)) vs);
+      let validation_ok =
+        match Core.Validate.check instance r with
+        | [] ->
+          Printf.printf "validation: OK\n";
+          true
+        | vs ->
+          Printf.printf "validation: %d violations\n" (List.length vs);
+          List.iter (fun v -> Printf.printf "  %s\n" (Core.Validate.violation_to_string v)) vs;
+          false
+      in
       (match output with
       | None -> ()
       | Some path ->
         Qasm.write_file path (Core.Export.physical_circuit instance r);
         Printf.printf "mapped circuit written to %s\n" path);
-      0
+      let certificate_ok =
+        if not certify then true
+        else
+          match certificate with
+          | Some c ->
+            print_endline (Core.Certificate.to_string c);
+            Core.Certificate.valid c
+          | None ->
+            Printf.printf
+              "certification requested but no certificate was produced (optimality not proved, \
+               or the objective is not certifiable)\n";
+            false
+      in
+      if validation_ok && certificate_ok then 0 else 1
   in
   let code =
     match method_ with
+    | (`Tb | `Sabre | `Astar | `Satmap) when certify ->
+      Printf.printf
+        "--certify requires an exact method with a refutable bound; use -m olsq2 or -m portfolio\n";
+      1
     | `Olsq2 | `Tb ->
       let synth_objective =
         match (method_, objective) with
@@ -146,11 +180,14 @@ let run_synth circuit_spec device_name budget swap_duration objective method_ co
         | _, `Depth -> Core.Synthesis.Tb_blocks
         | _, `Swap -> Core.Synthesis.Tb_swaps
       in
-      let r = Core.Synthesis.run ~config ?budget ~objective:synth_objective instance in
+      let r =
+        Core.Synthesis.run ~config ?budget ~certify ?proof_file ~objective:synth_objective
+          instance
+      in
       (match (method_, r.Core.Synthesis.pareto) with
       | `Tb, (blocks, _) :: _ -> Printf.printf "blocks used: %d\n" blocks
       | _ -> ());
-      finish r.Core.Synthesis.result
+      finish ?certificate:r.Core.Synthesis.certificate r.Core.Synthesis.result
     | `Sabre -> finish (Some (Sabre.synthesize instance))
     | `Astar -> finish (Astar.synthesize instance)
     | `Satmap ->
@@ -160,7 +197,7 @@ let run_synth circuit_spec device_name budget swap_duration objective method_ co
       let objective =
         match objective with `Depth -> Core.Portfolio.Depth | `Swap -> Core.Portfolio.Swaps
       in
-      let report = Core.Portfolio.run ?budget_seconds:budget objective instance in
+      let report = Core.Portfolio.run ?budget_seconds:budget ~certify ?proof_file objective instance in
       List.iter
         (fun (arm : Core.Portfolio.arm_outcome) ->
           Printf.printf "arm %-18s %6.1fs %s\n" arm.Core.Portfolio.arm.Core.Portfolio.arm_name
@@ -174,7 +211,7 @@ let run_synth circuit_spec device_name budget swap_duration objective method_ co
       (match report.Core.Portfolio.winner with
       | Some w ->
         Printf.printf "winner: %s\n" w.Core.Portfolio.arm.Core.Portfolio.arm_name;
-        finish w.Core.Portfolio.result
+        finish ?certificate:report.Core.Portfolio.certificate w.Core.Portfolio.result
       | None -> finish None)
   in
   (match trace with
@@ -194,7 +231,8 @@ let synth_cmd =
     (Cmd.info "synth" ~doc)
     Term.(
       const run_synth $ circuit_arg $ device_arg $ budget_arg $ swap_duration_arg $ objective_arg
-      $ method_arg $ config_arg $ warm_start_arg $ output_arg $ trace_arg $ metrics_arg)
+      $ method_arg $ config_arg $ warm_start_arg $ output_arg $ trace_arg $ metrics_arg
+      $ certify_arg $ proof_arg)
 
 (* ---- generate ---- *)
 

@@ -1,0 +1,319 @@
+(* Optimality certificates: a validated model at the optimum plus a
+   checked DRAT refutation of the bound below it.  See the .mli for the
+   trust story. *)
+
+module Lit = Olsq2_sat.Lit
+module Solver = Olsq2_sat.Solver
+module Drat = Olsq2_proof.Drat
+module Checker = Olsq2_proof.Checker
+module Obs = Olsq2_obs.Obs
+module Stopwatch = Olsq2_util.Stopwatch
+
+type objective = Depth | Swaps_at_depth of int
+
+type proof_check = {
+  mode : Checker.mode;
+  verdict : Checker.verdict;
+  original_clauses : int;
+  proof_additions : int;
+  proof_deletions : int;
+  lemmas_checked : int;
+  check_propagations : int;
+}
+
+type lower_bound = {
+  bound : int;
+  core_size : int;
+  check : proof_check option;
+  accepted : bool;
+  detail : string;
+}
+
+type t = {
+  objective : objective;
+  optimum : int;
+  config : Config.t;
+  model : Result_.t option;
+  model_valid : bool;
+  violations : Validate.violation list;
+  lower_bound : lower_bound option;
+  provenance : (string * int) list;
+  seconds : float;
+}
+
+let valid t =
+  t.model_valid && match t.lower_bound with None -> true | Some lb -> lb.accepted
+
+let objective_to_string = function
+  | Depth -> "depth"
+  | Swaps_at_depth d -> Printf.sprintf "swaps@depth<=%d" d
+
+(* The checker cannot replay theory lemmas, so certification always runs a
+   pure-CNF encoding; the certified claim is about the instance. *)
+let pure_sat_config (config : Config.t) =
+  match config.Config.var_encoding with
+  | Config.Lazy_int -> { config with Config.var_encoding = Config.Binary }
+  | Config.Onehot | Config.Binary -> config
+
+(* Run the trusted checker on the sink's contents; the goal clause is the
+   negated assumption core (empty core = the database itself is unsat,
+   where the goal degenerates to the empty clause). *)
+let run_check ~mode ~sink ~goal =
+  let obs = Obs.global () in
+  let formula = Drat.formula sink in
+  let proof = Drat.steps sink in
+  let do_check () = Checker.check_entails ~mode ~formula ~proof goal in
+  let report =
+    if not (Obs.enabled obs) then do_check ()
+    else begin
+      let sp =
+        Obs.begin_span obs "proof.check"
+          ~attrs:
+            [
+              ("mode", Obs.Str (Checker.mode_to_string mode));
+              ("original_clauses", Obs.Int (Array.length formula));
+              ("steps", Obs.Int (Array.length proof));
+            ]
+      in
+      let report = do_check () in
+      Obs.end_span obs sp
+        ~attrs:
+          [
+            ("verdict", Obs.Str (Checker.verdict_to_string report.Checker.verdict));
+            ("lemmas_checked", Obs.Int report.Checker.lemmas_checked);
+            ("propagations", Obs.Int report.Checker.propagations);
+          ];
+      Obs.count obs "proof.lemmas_checked" report.Checker.lemmas_checked;
+      report
+    end
+  in
+  {
+    mode;
+    verdict = report.Checker.verdict;
+    original_clauses = Array.length formula;
+    proof_additions = Drat.additions sink;
+    proof_deletions = Drat.deletions sink;
+    lemmas_checked = report.Checker.lemmas_checked;
+    check_propagations = report.Checker.propagations;
+  }
+
+let write_proof_file path sink =
+  let oc = open_out path in
+  Drat.write_channel Drat.Text oc sink;
+  close_out oc
+
+(* Refute the bound selected by [assumptions]; on UNSAT, turn the failed
+   assumptions into a goal lemma and run the checker over the emitted
+   proof.  The logger is detached afterwards either way, so the later
+   model search is not logged. *)
+let refute_and_check ~mode ~sink ~bound ?budget enc assumptions =
+  let solver = Encoder.solver enc in
+  let obs = Obs.global () in
+  let finish lb =
+    Drat.detach solver;
+    Some lb
+  in
+  match Encoder.solve ~assumptions ?timeout:budget enc with
+  | Solver.Unsat ->
+    let core = Solver.unsat_core solver in
+    Drat.detach solver;
+    if Obs.enabled obs then begin
+      Obs.count obs "proof.additions" (Drat.additions sink);
+      Obs.count obs "proof.deletions" (Drat.deletions sink);
+      Obs.instant obs "proof.emitted"
+        ~attrs:
+          [
+            ("additions", Obs.Int (Drat.additions sink));
+            ("deletions", Obs.Int (Drat.deletions sink));
+            ("core_size", Obs.Int (List.length core));
+          ]
+    end;
+    let goal = Array.of_list (List.map Lit.negate core) in
+    let check = run_check ~mode ~sink ~goal in
+    let accepted = check.verdict = Checker.Valid in
+    Some
+      {
+        bound;
+        core_size = List.length core;
+        check = Some check;
+        accepted;
+        detail =
+          (if accepted then
+             Printf.sprintf "bound %d refuted; %s check accepted the proof" bound
+               (Checker.mode_to_string mode)
+           else
+             Printf.sprintf "bound %d refuted but the checker rejected the proof: %s" bound
+               (Checker.verdict_to_string check.verdict));
+      }
+  | Solver.Sat ->
+    finish
+      {
+        bound;
+        core_size = 0;
+        check = None;
+        accepted = false;
+        detail = Printf.sprintf "bound %d is satisfiable: the claimed optimum is not optimal" bound;
+      }
+  | Solver.Unknown r ->
+    finish
+      {
+        bound;
+        core_size = 0;
+        check = None;
+        accepted = false;
+        detail = Printf.sprintf "refutation of bound %d incomplete: %s" bound (Solver.reason_to_string r);
+      }
+
+(* Common driver: build a logged encoder, refute the bound below the
+   optimum, then find and validate a model at the optimum. *)
+let certify_common ~objective ~optimum ~config ~budget ~proof_file ~make_refutation
+    ~model_assumptions ~model_ok instance ~t_max =
+  let clock = Stopwatch.start () in
+  let obs = Obs.global () in
+  let run () =
+    let sink = Drat.create () in
+    let enc = Encoder.build ~config ~proof:(Drat.logger sink) instance ~t_max in
+    let lower_bound = make_refutation ~sink enc in
+    (match proof_file with None -> () | Some path -> write_proof_file path sink);
+    (* the refutation path detaches the logger; make sure it is off even
+       when no refutation was needed *)
+    Drat.detach (Encoder.solver enc);
+    let model, model_valid, violations =
+      match Encoder.solve ~assumptions:(model_assumptions enc) ?timeout:budget enc with
+      | Solver.Sat ->
+        let res = Encoder.extract ~status:Result_.Optimal enc in
+        let violations = Validate.check instance res in
+        (Some res, violations = [] && model_ok res, violations)
+      | Solver.Unsat | Solver.Unknown _ -> (None, false, [])
+    in
+    {
+      objective;
+      optimum;
+      config;
+      model;
+      model_valid;
+      violations;
+      lower_bound;
+      provenance = Encoder.provenance enc;
+      seconds = Stopwatch.elapsed clock;
+    }
+  in
+  if not (Obs.enabled obs) then run ()
+  else begin
+    let sp =
+      Obs.begin_span obs "certificate.build"
+        ~attrs:
+          [
+            ("objective", Obs.Str (objective_to_string objective));
+            ("optimum", Obs.Int optimum);
+            ("config", Obs.Str (Config.name config));
+          ]
+    in
+    let cert = run () in
+    Obs.end_span obs sp
+      ~attrs:
+        [
+          ("valid", Obs.Bool (valid cert));
+          ("model_valid", Obs.Bool cert.model_valid);
+          ( "lower_bound",
+            Obs.Str
+              (match cert.lower_bound with
+              | None -> "trivial"
+              | Some lb -> if lb.accepted then "checked" else "failed") );
+        ];
+    cert
+  end
+
+let certify_depth ?(config = Config.default) ?budget ?(mode = Checker.Backward) ?proof_file
+    instance ~depth =
+  if depth < 1 then invalid_arg "Certificate.certify_depth: depth must be positive";
+  let config = pure_sat_config config in
+  let make_refutation ~sink enc =
+    if depth <= 1 then begin
+      (* no schedule takes fewer than one step: nothing to refute *)
+      Drat.detach (Encoder.solver enc);
+      None
+    end
+    else begin
+      let sel = Encoder.depth_selector enc (depth - 1) in
+      refute_and_check ~mode ~sink ~bound:(depth - 1) ?budget enc [ sel ]
+    end
+  in
+  let model_assumptions enc = [ Encoder.depth_selector enc depth ] in
+  let model_ok (res : Result_.t) = res.Result_.depth <= depth in
+  certify_common ~objective:Depth ~optimum:depth ~config ~budget ~proof_file ~make_refutation
+    ~model_assumptions ~model_ok instance ~t_max:(depth + 1)
+
+let certify_swaps ?(config = Config.default) ?budget ?(mode = Checker.Backward) ?proof_file
+    instance ~depth ~swaps =
+  if depth < 1 then invalid_arg "Certificate.certify_swaps: depth must be positive";
+  if swaps < 0 then invalid_arg "Certificate.certify_swaps: negative swap count";
+  let config = pure_sat_config config in
+  let make_refutation ~sink enc =
+    Encoder.build_counter enc ~max_bound:(max swaps 1);
+    if swaps = 0 then begin
+      (* a SWAP count of zero is trivially minimal *)
+      Drat.detach (Encoder.solver enc);
+      None
+    end
+    else begin
+      let sel = Encoder.depth_selector enc depth in
+      match Encoder.swap_bound_assumption enc (swaps - 1) with
+      | Some b -> refute_and_check ~mode ~sink ~bound:(swaps - 1) ?budget enc [ sel; b ]
+      | None ->
+        Drat.detach (Encoder.solver enc);
+        Some
+          {
+            bound = swaps - 1;
+            core_size = 0;
+            check = None;
+            accepted = false;
+            detail = "swap bound below the optimum is not expressible by the counter";
+          }
+    end
+  in
+  let model_assumptions enc =
+    let sel = Encoder.depth_selector enc depth in
+    match Encoder.swap_bound_assumption enc swaps with Some b -> [ sel; b ] | None -> [ sel ]
+  in
+  let model_ok (res : Result_.t) =
+    res.Result_.depth <= depth && res.Result_.swap_count <= swaps
+  in
+  certify_common ~objective:(Swaps_at_depth depth) ~optimum:swaps ~config ~budget ~proof_file
+    ~make_refutation ~model_assumptions ~model_ok instance ~t_max:(depth + 1)
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "certificate: %s = %d (%s) -- %s\n" (objective_to_string t.objective) t.optimum
+    (Config.name t.config)
+    (if valid t then "VALID" else "NOT CERTIFIED");
+  (match t.model with
+  | Some res ->
+    add "  model: depth=%d swaps=%d, validation %s\n" res.Result_.depth res.Result_.swap_count
+      (if t.model_valid then "passed"
+       else
+         Printf.sprintf "FAILED (%d violations)%s" (List.length t.violations)
+           (match t.violations with
+           | v :: _ -> ": " ^ Validate.violation_to_string v
+           | [] -> ""))
+  | None -> add "  model: NOT FOUND at the claimed optimum\n");
+  (match t.lower_bound with
+  | None -> add "  lower bound: trivial (no better bound exists)\n"
+  | Some lb ->
+    add "  lower bound: %s\n" lb.detail;
+    (match lb.check with
+    | Some c ->
+      add "    proof: %d premise clauses, %d additions, %d deletions; %s check: %s (%d lemmas, %d propagations)\n"
+        c.original_clauses c.proof_additions c.proof_deletions (Checker.mode_to_string c.mode)
+        (Checker.verdict_to_string c.verdict) c.lemmas_checked c.check_propagations;
+      add "    unsat core: %d bound assumption(s)\n" lb.core_size
+    | None -> ()));
+  (match t.provenance with
+  | [] -> ()
+  | prov ->
+    add "  premises by constraint group:";
+    List.iter (fun (label, n) -> add " %s=%d" label n) prov;
+    add "\n");
+  add "  certification time: %.3fs" t.seconds;
+  Buffer.contents buf

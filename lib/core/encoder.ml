@@ -303,9 +303,12 @@ let assert_olsq_space enc =
 
 (* ---- construction ---- *)
 
-let build_raw ?(config = Config.default) instance ~t_max =
+let build_raw ?(config = Config.default) ?proof instance ~t_max =
   if t_max < 1 then invalid_arg "Encoder.build: need at least one time step";
   let ctx = Ctx.create () in
+  (* install the proof logger before any clause exists, or the logged
+     premise set would be incomplete *)
+  (match proof with None -> () | Some p -> Solver.set_proof_logger (Ctx.solver ctx) (Some p));
   let nq = Instance.num_qubits instance in
   let ne = Coupling.num_edges instance.Instance.device in
   let ng = Instance.num_gates instance in
@@ -336,30 +339,35 @@ let build_raw ?(config = Config.default) instance ~t_max =
       counter_kind = None;
     }
   in
-  assert_injectivity enc;
-  assert_dependencies enc;
-  assert_transitions enc;
-  assert_swap_swap_overlap enc;
+  let group label f =
+    Ctx.set_provenance ctx label;
+    f enc
+  in
+  group "injectivity" assert_injectivity;
+  group "dependencies" assert_dependencies;
+  group "transitions" assert_transitions;
+  group "swap_swap_overlap" assert_swap_swap_overlap;
   (match config.Config.formulation with
   | Config.Olsq2 ->
-    assert_adjacency_olsq2 enc;
-    assert_swap_gate_overlap_olsq2 enc
+    group "adjacency" assert_adjacency_olsq2;
+    group "swap_gate_overlap" assert_swap_gate_overlap_olsq2
   | Config.Olsq ->
     (* In the original model, two-qubit adjacency is enforced indirectly:
        every gate owns a space variable (which always takes some value)
        and the consistency constraints tie it to the mapping at the
        gate's scheduled time. *)
-    assert_olsq_space enc);
+    group "olsq_space" assert_olsq_space);
+  Ctx.set_provenance ctx "other";
   enc
 
 (* One span per encoding build, carrying the clause/variable counts the
    paper's Fig. 1 narrative is about. *)
-let build ?config instance ~t_max =
+let build ?config ?proof instance ~t_max =
   let obs = Obs.global () in
-  if not (Obs.enabled obs) then build_raw ?config instance ~t_max
+  if not (Obs.enabled obs) then build_raw ?config ?proof instance ~t_max
   else begin
     let sp = Obs.begin_span obs "encode.build" ~attrs:[ ("t_max", Obs.Int t_max) ] in
-    let enc = build_raw ?config instance ~t_max in
+    let enc = build_raw ?config ?proof instance ~t_max in
     let s = solver enc in
     Obs.end_span obs sp
       ~attrs:
@@ -379,6 +387,7 @@ let depth_selector enc d =
   match Hashtbl.find_opt enc.depth_selectors d with
   | Some l -> l
   | None ->
+    Ctx.set_provenance enc.ctx "objective.depth";
     let l = Ctx.fresh enc.ctx in
     Array.iter (fun tv -> Ctx.assert_implied enc.ctx ~guard:l (Ivar.le_const tv (d - 1))) enc.time;
     List.iter
@@ -397,6 +406,7 @@ let build_counter_over enc lits ~max_bound =
   let wanted = min max_bound n in
   let capacity_ok (cap, _) = cap >= wanted in
   if not (List.exists capacity_ok enc.counters) then begin
+    Ctx.set_provenance enc.ctx "objective.counter";
     let obs = Obs.global () in
     let v0, c0 =
       if Obs.enabled obs then (Solver.nvars (solver enc), Solver.n_clauses (solver enc))
@@ -522,6 +532,9 @@ let extract ?(status = Result_.Feasible) ?(solve_seconds = 0.0) ?(iterations = 1
 let size_report enc =
   let s = solver enc in
   (Solver.nvars s, Solver.n_clauses s)
+
+(* Per-constraint-group clause counts (certificate provenance). *)
+let provenance enc = Ctx.provenance enc.ctx
 
 (* Domain-guided branching (paper §V future direction implemented):
    instead of the generic VSIDS initialization, seed activities so the

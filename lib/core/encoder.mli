@@ -27,8 +27,10 @@ type t = private {
   mutable counter_kind : counter_kind option;
 }
 
-(** Build the encoding over [t_max] time steps. *)
-val build : ?config:Config.t -> Instance.t -> t_max:int -> t
+(** Build the encoding over [t_max] time steps.  [proof] installs a DRAT
+    proof logger on the underlying solver before the first clause is
+    asserted, so the logged premise set covers the whole encoding. *)
+val build : ?config:Config.t -> ?proof:Solver.proof_logger -> Instance.t -> t_max:int -> t
 
 val solver : t -> Solver.t
 
@@ -66,6 +68,10 @@ val extract :
 
 (** (variables, clauses) of the built encoding. *)
 val size_report : t -> int * int
+
+(** Clause counts per constraint group (largest first): where the premise
+    clauses of an emitted proof came from. *)
+val provenance : t -> (string * int) list
 
 (** Domain-guided branching hints (paper §V direction): seed VSIDS
     activities in dependency order and prefer SWAP-free phases. *)

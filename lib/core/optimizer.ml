@@ -16,20 +16,36 @@
    All bounds are solver assumptions over selector literals, so learnt
    clauses survive between iterations (incremental solving). *)
 
+module Lit = Olsq2_sat.Lit
 module Solver = Olsq2_sat.Solver
 module Stopwatch = Olsq2_util.Stopwatch
 module Obs = Olsq2_obs.Obs
 
 (* One span per bound iteration: the per-iteration telemetry the paper's
    optimization-loop story (§III-B) needs.  [solve] nests a "sat.solve"
-   span (with conflict/propagation deltas) inside each of these. *)
-let iter_span name ~bound solve =
+   span (with conflict/propagation deltas) inside each of these.  [core]
+   names the solver whose final conflict explains an UNSAT verdict; the
+   failed bound assumptions are recorded on the span so a trace shows
+   *which* bounds blocked each refinement step, not just that one did. *)
+let iter_span name ~bound ?core solve =
   let obs = Obs.global () in
   if not (Obs.enabled obs) then solve ()
   else begin
     let sp = Obs.begin_span obs name ~attrs:[ ("bound", Obs.Int bound) ] in
     let r = solve () in
-    Obs.end_span obs sp ~attrs:[ ("verdict", Obs.Str (Solver.result_to_string r)) ];
+    let attrs = [ ("verdict", Obs.Str (Solver.result_to_string r)) ] in
+    let attrs =
+      match (r, core) with
+      | Solver.Unsat, Some solver ->
+        let core = Solver.unsat_core solver in
+        ("core_size", Obs.Int (List.length core))
+        :: ( "unsat_core",
+             Obs.Str
+               (String.concat " " (List.map (fun l -> string_of_int (Lit.to_dimacs l)) core)) )
+        :: attrs
+      | _ -> attrs
+    in
+    Obs.end_span obs sp ~attrs;
     r
   end
 
@@ -74,7 +90,7 @@ let minimize_depth_with_encoder ?(config = Config.default) ?budget_seconds insta
     let check d =
       incr iterations;
       let sel = Encoder.depth_selector enc d in
-      iter_span "opt.depth_iter" ~bound:d (fun () ->
+      iter_span "opt.depth_iter" ~bound:d ~core:(Encoder.solver enc) (fun () ->
           Encoder.solve ~assumptions:[ sel ] ?timeout:(remaining_or_none budget) enc)
     in
     (* ascent: grow the bound until SAT *)
@@ -147,7 +163,7 @@ let descend_swaps enc ~depth ~start ~budget iterations =
         | None -> [ sel ]
       in
       match
-        iter_span "opt.swap_iter" ~bound:(best - 1) (fun () ->
+        iter_span "opt.swap_iter" ~bound:(best - 1) ~core:(Encoder.solver enc) (fun () ->
             Encoder.solve ~assumptions ?timeout:(remaining_or_none budget) enc)
       with
       | Solver.Sat -> go (Encoder.model_swap_count enc)
@@ -199,7 +215,7 @@ let minimize_swaps ?(config = Config.default) ?budget_seconds ?(max_depth_relax 
       in
       let prev = match seed with Fresh | Warm _ -> None | Tightened b -> Some b in
       match
-        iter_span "opt.sweep_level" ~bound:d (fun () ->
+        iter_span "opt.sweep_level" ~bound:d ~core:(Encoder.solver enc) (fun () ->
             Encoder.solve ~assumptions ?timeout:(remaining_or_none budget) enc)
       with
       | Solver.Unsat when (match seed with Warm _ -> true | Fresh | Tightened _ -> false) ->
@@ -274,7 +290,7 @@ let minimize_weighted_swaps ?(config = Config.default) ?budget_seconds ~weights 
           | None -> [ sel ]
         in
         match
-          iter_span "opt.weighted_iter" ~bound:(best - 1) (fun () ->
+          iter_span "opt.weighted_iter" ~bound:(best - 1) ~core:(Encoder.solver enc) (fun () ->
               Encoder.solve ~assumptions ?timeout:(remaining_or_none budget) enc)
         with
         | Solver.Sat -> descend (Encoder.model_weighted_cost enc ~weights)
@@ -350,7 +366,7 @@ let tb_descend enc ~budget iterations =
       | None -> (best, true)
       | Some a -> (
         match
-          iter_span "opt.swap_iter" ~bound:(best - 1) (fun () ->
+          iter_span "opt.swap_iter" ~bound:(best - 1) ~core:(Tb_encoder.solver enc) (fun () ->
               Tb_encoder.solve ~assumptions:[ a ] ?timeout:(remaining_or_none budget) enc)
         with
         | Solver.Sat -> go (Tb_encoder.model_swap_count enc)
@@ -419,7 +435,7 @@ let tb_minimize_swaps ?(config = Config.default) ?budget_seconds ?(max_blocks = 
         | None -> ()
         | Some a -> (
           match
-            iter_span "opt.tb_relax" ~bound:(b + 1) (fun () ->
+            iter_span "opt.tb_relax" ~bound:(b + 1) ~core:(Tb_encoder.solver enc') (fun () ->
                 Tb_encoder.solve ~assumptions:[ a ] ?timeout:(remaining_or_none budget) enc')
           with
           | Solver.Unsat | Solver.Unknown _ -> () (* no improvement: stop *)

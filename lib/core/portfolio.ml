@@ -48,7 +48,11 @@ type arm_outcome = {
   optimal : bool;
 }
 
-type report = { winner : arm_outcome option; arms : arm_outcome list }
+type report = {
+  winner : arm_outcome option;
+  arms : arm_outcome list;
+  certificate : Certificate.t option;
+}
 
 module Obs = Olsq2_obs.Obs
 
@@ -119,7 +123,29 @@ let better objective a b =
     else if a.seconds <= b.seconds then a
     else b
 
-let run ?budget_seconds ?arms objective instance =
+(* Certify the winning arm's claim on a fresh proof-logged solve: arms
+   race with arbitrary encodings, so the certificate is rebuilt from
+   scratch rather than salvaged from any arm's solver state.  Only full
+   (time-resolved) winners that proved optimality are certifiable; a
+   transition-based winner's expanded schedule carries no exact-optimality
+   claim. *)
+let certify_winner ~budget_seconds ~proof_file objective (w : arm_outcome) instance =
+  match w.result with
+  | None -> None
+  | Some r ->
+    if (not w.optimal) || w.arm.arm_model <> `Full then None
+    else (
+      match objective with
+      | Depth ->
+        Some
+          (Certificate.certify_depth ~config:w.arm.arm_config ?budget:budget_seconds ?proof_file
+             instance ~depth:r.Result_.depth)
+      | Swaps ->
+        Some
+          (Certificate.certify_swaps ~config:w.arm.arm_config ?budget:budget_seconds ?proof_file
+             instance ~depth:r.Result_.depth ~swaps:r.Result_.swap_count))
+
+let run ?budget_seconds ?arms ?(certify = false) ?proof_file objective instance =
   let arms = match arms with Some a -> a | None -> default_arms objective in
   (* transition arms make no sense for exact depth; caller-supplied arms
      are trusted *)
@@ -140,4 +166,9 @@ let run ?budget_seconds ?arms objective instance =
     Obs.instant (Obs.global ()) "portfolio.winner"
       ~attrs:[ ("arm", Obs.Str w.arm.arm_name); ("seconds", Obs.Float w.seconds) ]
   | None -> ());
-  { winner; arms = outcomes }
+  let certificate =
+    match winner with
+    | Some w when certify -> certify_winner ~budget_seconds ~proof_file objective w instance
+    | Some _ | None -> None
+  in
+  { winner; arms = outcomes; certificate }

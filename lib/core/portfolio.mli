@@ -23,8 +23,26 @@ type arm_outcome = {
   optimal : bool;
 }
 
-type report = { winner : arm_outcome option; arms : arm_outcome list }
+type report = {
+  winner : arm_outcome option;
+  arms : arm_outcome list;
+  certificate : Certificate.t option;
+      (** present only when [certify] was requested and the winner is a
+          full-model arm that proved optimality *)
+}
 
 (** Run every arm in its own domain and pick the best outcome (smaller
-    objective; ties break on proven optimality, then wall-clock). *)
-val run : ?budget_seconds:float -> ?arms:arm list -> objective -> Instance.t -> report
+    objective; ties break on proven optimality, then wall-clock).
+
+    [certify] rebuilds the winner's optimality claim on a fresh
+    proof-logged solve (see {!Certificate}); arms race with arbitrary
+    encodings, so no arm's own solver state is trusted for the proof.
+    [proof_file] writes the emitted DRAT proof there. *)
+val run :
+  ?budget_seconds:float ->
+  ?arms:arm list ->
+  ?certify:bool ->
+  ?proof_file:string ->
+  objective ->
+  Instance.t ->
+  report

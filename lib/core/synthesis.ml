@@ -19,6 +19,7 @@ type report = {
   seconds : float;
   pareto : (int * int) list;
   trace : Obs.summary;
+  certificate : Certificate.t option;
 }
 
 let objective_name = function
@@ -36,6 +37,7 @@ let of_outcome (o : Optimizer.outcome) ~trace =
     seconds = o.Optimizer.total_seconds;
     pareto = o.Optimizer.pareto;
     trace;
+    certificate = None;
   }
 
 (* TB outcomes carry the block model; expose it through the unified
@@ -54,9 +56,31 @@ let of_tb_outcome (o : Optimizer.tb_outcome) ~trace =
     seconds = o.Optimizer.tb_seconds;
     pareto;
     trace;
+    certificate = None;
   }
 
-let run ?(config = Config.default) ?budget ~objective instance =
+(* Certificates exist for the objectives with an exact SAT-level bound
+   semantics: depth, and swaps-at-fixed-depth.  Weighted and TB objectives
+   have no direct CNF bound to refute (weighted counts repeat literals; TB
+   optimality is per-block), so they return no certificate. *)
+let certificate_for ~config ~budget ~objective ~proof_file (report : report) instance =
+  match report.result with
+  | None -> None
+  | Some res ->
+    if not report.optimal then None
+    else (
+      match objective with
+      | Depth ->
+        Some
+          (Certificate.certify_depth ~config ?budget ?proof_file instance
+             ~depth:res.Result_.depth)
+      | Swaps _ ->
+        Some
+          (Certificate.certify_swaps ~config ?budget ?proof_file instance
+             ~depth:res.Result_.depth ~swaps:res.Result_.swap_count)
+      | Weighted_swaps _ | Tb_blocks | Tb_swaps -> None)
+
+let run ?(config = Config.default) ?budget ?(certify = false) ?proof_file ~objective instance =
   let obs = Obs.global () in
   let since = if Obs.enabled obs then Some (Obs.elapsed obs) else None in
   let dispatch () =
@@ -73,7 +97,14 @@ let run ?(config = Config.default) ?budget ~objective instance =
   let engine_outcome =
     Obs.with_span obs ("synthesis." ^ objective_name objective) dispatch
   in
+  let report =
+    match engine_outcome with
+    | `Full o -> of_outcome o ~trace:Obs.empty_summary
+    | `Tb o -> of_tb_outcome o ~trace:Obs.empty_summary
+  in
+  let certificate =
+    if certify then certificate_for ~config ~budget ~objective ~proof_file report instance
+    else None
+  in
   let trace = if Obs.enabled obs then Obs.summary ?since obs else Obs.empty_summary in
-  match engine_outcome with
-  | `Full o -> of_outcome o ~trace
-  | `Tb o -> of_tb_outcome o ~trace
+  { report with trace; certificate }

@@ -40,11 +40,28 @@ type report = {
   trace : Olsq2_obs.Obs.summary;
       (** summary of trace events recorded during this run; empty when the
           global tracer is disabled *)
+  certificate : Certificate.t option;
+      (** optimality certificate, present only when [certify] was requested,
+          the run proved optimality, and the objective supports
+          certification ([Depth] and [Swaps]; weighted and TB objectives
+          have no direct CNF bound to refute) *)
 }
 
 (** [run ?config ?budget ~objective instance] synthesizes a layout for
     [instance] minimizing [objective].  [budget] bounds wall-clock seconds
     (engine returns its best-so-far on exhaustion); [config] selects the
     encoding (default {!Config.default}).  The whole run is wrapped in a
-    [synthesis.<objective>] span on the global tracer. *)
-val run : ?config:Config.t -> ?budget:float -> objective:objective -> Instance.t -> report
+    [synthesis.<objective>] span on the global tracer.
+
+    [certify] re-solves at the claimed optimum on a fresh proof-logged
+    encoder and builds a {!Certificate.t}: a validated model plus a
+    DRAT-checked refutation of the bound below (see {!Certificate}).
+    [proof_file] writes the emitted DRAT proof (text format) there. *)
+val run :
+  ?config:Config.t ->
+  ?budget:float ->
+  ?certify:bool ->
+  ?proof_file:string ->
+  objective:objective ->
+  Instance.t ->
+  report

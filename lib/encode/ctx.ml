@@ -13,10 +13,40 @@ type t = {
   mutable true_lit : Lit.t option; (* lazily created constant-true literal *)
   mutable aux_vars : int;
   mutable clauses_added : int;
+  (* clause provenance: which constraint group each clause came from *)
+  provenance_tbl : (string, int ref) Hashtbl.t;
+  mutable current_group : int ref; (* count cell of the active label *)
 }
 
-let create () = { solver = Solver.create (); true_lit = None; aux_vars = 0; clauses_added = 0 }
+let create () =
+  let provenance_tbl = Hashtbl.create 16 in
+  let cell = ref 0 in
+  Hashtbl.add provenance_tbl "other" cell;
+  {
+    solver = Solver.create ();
+    true_lit = None;
+    aux_vars = 0;
+    clauses_added = 0;
+    provenance_tbl;
+    current_group = cell;
+  }
+
 let solver t = t.solver
+
+(* Route subsequent clause counts to [label]'s bucket.  Costs one hashtable
+   lookup per group switch, not per clause. *)
+let set_provenance t label =
+  match Hashtbl.find_opt t.provenance_tbl label with
+  | Some cell -> t.current_group <- cell
+  | None ->
+    let cell = ref 0 in
+    Hashtbl.add t.provenance_tbl label cell;
+    t.current_group <- cell
+
+let provenance t =
+  Hashtbl.fold (fun label cell acc -> if !cell > 0 then (label, !cell) :: acc else acc)
+    t.provenance_tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
 
 let fresh t =
   t.aux_vars <- t.aux_vars + 1;
@@ -27,6 +57,7 @@ let fresh_var t = Solver.new_lit t.solver
 
 let add_clause t lits =
   t.clauses_added <- t.clauses_added + 1;
+  incr t.current_group;
   Solver.add_clause t.solver lits
 
 let lit_true t =

@@ -41,6 +41,16 @@ val assert_formula_false : t -> Formula.t -> unit
     optimization. *)
 val assert_implied : t -> guard:Lit.t -> Formula.t -> unit
 
+(** [set_provenance t label] attributes subsequently added clauses to the
+    constraint group [label] (e.g. ["injectivity"], ["transitions"]).
+    Groups are cumulative across switches; unattributed clauses fall into
+    ["other"]. *)
+val set_provenance : t -> string -> unit
+
+(** Per-group clause counts, largest first, empty groups omitted.  Lets a
+    certificate report where the premise clauses of a proof came from. *)
+val provenance : t -> (string * int) list
+
 (** Number of auxiliary (Tseitin) variables created. *)
 val aux_vars : t -> int
 

@@ -29,15 +29,33 @@ let parse_string s =
       | 'c' | '%' -> ()
       | 'p' -> begin
         (* "p cnf <vars> <clauses>" *)
+        let count what tok =
+          match int_of_string_opt tok with
+          | Some n when n >= 0 -> n
+          | Some n ->
+            failwith
+              (Printf.sprintf "Dimacs.parse_string: negative %s count %d in header %S" what n line)
+          | None ->
+            failwith
+              (Printf.sprintf "Dimacs.parse_string: %s count %S in header %S is not a number" what
+                 tok line)
+        in
         match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
-        | [ "p"; "cnf"; v; _ ] -> num_vars := max !num_vars (int_of_string v)
-        | _ -> failwith "Dimacs.parse_string: malformed problem line"
+        | [ "p"; "cnf"; v; c ] ->
+          ignore (count "clause" c);
+          num_vars := max !num_vars (count "variable" v)
+        | "p" :: fmt :: _ when fmt <> "cnf" ->
+          failwith (Printf.sprintf "Dimacs.parse_string: unsupported format %S (expected \"cnf\")" fmt)
+        | _ ->
+          failwith
+            (Printf.sprintf
+               "Dimacs.parse_string: malformed header %S (expected \"p cnf <vars> <clauses>\")" line)
       end
       | '0' .. '9' | '-' ->
         String.split_on_char ' ' line
         |> List.filter (fun s -> s <> "")
         |> List.iter handle_token
-      | _ -> failwith "Dimacs.parse_string: unexpected line"
+      | _ -> failwith (Printf.sprintf "Dimacs.parse_string: unexpected line %S" line)
   in
   List.iter handle_line lines;
   if !current <> [] then clauses := List.rev !current :: !clauses;

@@ -44,6 +44,21 @@ let result_to_string = function
   | Unsat -> "unsat"
   | Unknown r -> "unknown:" ^ reason_to_string r
 
+(* Proof logging callbacks (DRAT).  The solver stays ignorant of the sink
+   format: [lib/proof] supplies an implementation that serializes to
+   text/binary DRAT.  [on_original] fires for every clause handed to
+   [add_clause] (pre-simplification, so the logged formula matches what the
+   caller asserted); [on_learnt] for every clause the checker must verify by
+   reverse unit propagation (learnt clauses, the empty clause on level-0
+   UNSAT, and the final assumption-core lemma); [on_delete] for clauses
+   dropped by [reduce_db].  When no logger is installed every hook site is
+   a single [match] on [None]. *)
+type proof_logger = {
+  on_original : Lit.t array -> unit;
+  on_learnt : Lit.t array -> unit;
+  on_delete : Lit.t array -> unit;
+}
+
 type stats = {
   mutable conflicts : int;
   mutable decisions : int;
@@ -81,6 +96,7 @@ type t = {
   mutable ok : bool; (* false once UNSAT at level 0 *)
   mutable model : bool array;
   mutable conflict_core : Lit.t list; (* failed assumptions of last Unsat *)
+  mutable proof : proof_logger option;
   interrupt_flag : bool Atomic.t; (* cross-domain async stop request *)
   stats : stats;
 }
@@ -106,6 +122,7 @@ let create () =
     ok = true;
     model = [||];
     conflict_core = [];
+    proof = None;
     interrupt_flag = Atomic.make false;
     stats =
       {
@@ -121,6 +138,14 @@ let create () =
 
 let nvars t = t.nvars
 let stats t = t.stats
+let set_proof_logger t p = t.proof <- p
+let proof_logging t = match t.proof with Some _ -> true | None -> false
+
+let log_learnt t lits =
+  match t.proof with None -> () | Some p -> p.on_learnt lits
+
+let log_delete t lits =
+  match t.proof with None -> () | Some p -> p.on_delete lits
 
 (* ---- variable management ---- *)
 
@@ -394,11 +419,15 @@ let analyze t confl =
   (Vec.to_array learnt, btlevel, lbd)
 
 (* Compute the subset of assumptions responsible for a conflict (final
-   conflict analysis, MiniSat's analyzeFinal). *)
-let analyze_final t p =
-  let core = ref [ p ] in
+   conflict analysis, MiniSat's analyzeFinal).  [a] is the assumption
+   literal found false at its decision point; the result contains [a] plus
+   every other assumption that contributed to falsifying it, all in their
+   *asserted* polarity, so negating the core yields a clause implied by the
+   clause database (a checkable DRAT lemma). *)
+let analyze_final t a =
+  let core = ref [ a ] in
   if decision_level t > 0 then begin
-    t.seen.(Lit.var p) <- true;
+    t.seen.(Lit.var a) <- true;
     for i = Vec.length t.trail - 1 downto Vec.get t.trail_lim 0 do
       let l = Vec.get t.trail i in
       let v = Lit.var l in
@@ -414,7 +443,7 @@ let analyze_final t p =
         t.seen.(v) <- false
       end
     done;
-    t.seen.(Lit.var p) <- false
+    t.seen.(Lit.var a) <- false
   end;
   !core
 
@@ -445,19 +474,32 @@ let attach_clause t c =
   watch_clause t c
 
 let add_clause t lits =
+  (* Log the clause as asserted (pre-simplification): the checker replays
+     root-level simplification itself via unit propagation, so the proof's
+     premise set must match the caller's formula, not our reduced one. *)
+  (match t.proof with
+  | None -> ()
+  | Some p -> p.on_original (Array.of_list lits));
   if t.ok then begin
     cancel_until t 0;
     match simplify_new_clause t lits with
     | exception Trivial_clause -> ()
-    | [] -> t.ok <- false
+    | [] ->
+      t.ok <- false;
+      log_learnt t [||]
     | [ l ] -> begin
       (* unit clause: assert at level 0 *)
       match lit_value t l with
       | 1 -> ()
-      | -1 -> t.ok <- false
+      | -1 ->
+        t.ok <- false;
+        log_learnt t [||]
       | _ ->
         enqueue t l dummy_clause;
-        if propagate t != dummy_clause then t.ok <- false
+        if propagate t != dummy_clause then begin
+          t.ok <- false;
+          log_learnt t [||]
+        end
     end
     | lits ->
       let c =
@@ -478,6 +520,7 @@ let clause_locked t c =
   t.reason.(v) == c && lit_value t c.lits.(0) = 1
 
 let remove_clause t c =
+  log_delete t c.lits;
   unwatch_clause t c;
   c.deleted <- true;
   t.stats.removed_clauses <- t.stats.removed_clauses + 1
@@ -526,6 +569,7 @@ let pick_branch_var t =
   loop ()
 
 let record_learnt t learnt lbd =
+  log_learnt t learnt;
   if Array.length learnt = 1 then begin
     enqueue t learnt.(0) dummy_clause
   end
@@ -550,6 +594,7 @@ let search t assumptions conflict_budget deadline =
       incr conflicts_here;
       if decision_level t = 0 then begin
         t.ok <- false;
+        log_learnt t [||];
         `Unsat
       end
       else begin
@@ -592,8 +637,11 @@ let search t assumptions conflict_budget deadline =
           Vec.push t.trail_lim (Vec.length t.trail);
           loop ()
         | -1 ->
-          (* assumption conflicts with current state *)
-          t.conflict_core <- analyze_final t (Lit.negate a);
+          (* assumption conflicts with current state: record the failed
+             assumptions and log their negation as the final proof lemma *)
+          let core = analyze_final t a in
+          t.conflict_core <- core;
+          log_learnt t (Array.of_list (List.rev_map Lit.negate core));
           `Unsat_assumptions
         | _ ->
           Vec.push t.trail_lim (Vec.length t.trail);
@@ -710,6 +758,7 @@ let boost_activity t v amount =
 let suggest_phase t v phase = if v >= 0 && v < t.nvars then t.polarity.(v) <- phase
 
 let conflict_core t = t.conflict_core
+let unsat_core t = t.conflict_core
 let is_ok t = t.ok
 let n_clauses t = Vec.length t.clauses
 let n_learnts t = Vec.length t.learnts

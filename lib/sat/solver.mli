@@ -23,6 +23,21 @@ val reason_to_string : reason -> string
 (** ["sat"], ["unsat"] or ["unknown:<reason>"] (trace-attribute form). *)
 val result_to_string : result -> string
 
+(** DRAT proof-logging callbacks (see {!Olsq2_proof.Drat} for the sink that
+    serializes them).  [on_original] fires once per clause handed to
+    {!add_clause}, with the literals exactly as asserted (before the
+    solver's root-level simplification); [on_learnt] fires for every clause
+    a DRAT checker must verify — learnt clauses, the empty clause when the
+    database becomes root-level unsatisfiable, and the negated assumption
+    core when [solve] fails under assumptions; [on_delete] fires for every
+    learnt clause discarded by database reduction.  With no logger
+    installed each hook site costs one branch on [None]. *)
+type proof_logger = {
+  on_original : Lit.t array -> unit;
+  on_learnt : Lit.t array -> unit;
+  on_delete : Lit.t array -> unit;
+}
+
 type stats = {
   mutable conflicts : int;
   mutable decisions : int;
@@ -80,6 +95,26 @@ val suggest_phase : t -> Lit.var -> bool -> unit
     of every [solve]; empty after [Sat] and after any [Unknown _] answer
     (a budget-exhausted call proves nothing about the assumptions). *)
 val conflict_core : t -> Lit.t list
+
+(** [unsat_core t] is the failed-assumption set of the last
+    assumption-caused [Unsat]: a subset [a1; ...; ak] of the assumptions
+    passed to [solve], each in its asserted polarity, whose conjunction the
+    clause database refutes.  Equivalently, the clause
+    [¬a1 ∨ ... ∨ ¬ak] is implied by the clauses added so far — when proof
+    logging is on, exactly that clause is emitted as the final lemma, so a
+    bound-refinement UNSAT becomes an independently checkable fact.
+    Returns [[]] when the last [Unsat] did not involve assumptions (the
+    database itself is unsatisfiable), and after [Sat] / [Unknown _].
+    Alias of {!conflict_core}; this name documents the intended use. *)
+val unsat_core : t -> Lit.t list
+
+(** Install (or with [None], remove) a proof logger.  Install it on a fresh
+    solver, before the first {!add_clause}, or the logged premise set will
+    be incomplete and proof checking will fail. *)
+val set_proof_logger : t -> proof_logger option -> unit
+
+(** [true] while a proof logger is installed. *)
+val proof_logging : t -> bool
 
 (** [false] once the clause set is unsatisfiable at the root level. *)
 val is_ok : t -> bool

@@ -1,6 +1,8 @@
 (* CLI smoke test, run under `dune runtest`: synthesize a tiny QAOA
    instance through the installed entry point with --trace, then check
-   that every emitted trace line is valid JSON of the documented shape.
+   that every emitted trace line is valid JSON of the documented shape;
+   then a --certify run, checking the certificate verdict, the exit code,
+   and the emitted DRAT proof file.
    Usage: cli_smoke.exe PATH_TO_OLSQ2_CLI *)
 
 module Json = Olsq2_obs.Obs.Json
@@ -45,4 +47,43 @@ let () =
   Sys.remove trace;
   if !lines = 0 then die "trace file is empty";
   if !spans = 0 then die "trace contains no spans";
-  Printf.printf "cli smoke ok: %d trace lines, %d spans\n" !lines !spans
+  (* certified run: must exit 0, print a VALID certificate, and write a
+     non-empty DRAT proof *)
+  let proof = Filename.temp_file "olsq2_smoke" ".drat" in
+  let out = Filename.temp_file "olsq2_smoke" ".out" in
+  let cmd =
+    Printf.sprintf "%s synth qaoa:4 -d grid-2x2 --certify --proof %s > %s" (Filename.quote cli)
+      (Filename.quote proof) (Filename.quote out)
+  in
+  (match Unix.system cmd with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED c -> die "certified CLI run exited with %d" c
+  | Unix.WSIGNALED s | Unix.WSTOPPED s -> die "certified CLI run killed by signal %d" s);
+  let read_all path =
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let stdout_text = read_all out in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+    at 0
+  in
+  if not (contains stdout_text "VALID") then die "certified run printed no VALID certificate";
+  let proof_len = String.length (read_all proof) in
+  if proof_len = 0 then die "certified run wrote an empty proof file";
+  Sys.remove proof;
+  Sys.remove out;
+  (* certification with a heuristic method must be refused with exit 1 *)
+  let cmd =
+    Printf.sprintf "%s synth qaoa:4 -d grid-2x2 -m sabre --certify > /dev/null" (Filename.quote cli)
+  in
+  (match Unix.system cmd with
+  | Unix.WEXITED 1 -> ()
+  | Unix.WEXITED c -> die "--certify with sabre exited with %d, want 1" c
+  | Unix.WSIGNALED s | Unix.WSTOPPED s -> die "CLI killed by signal %d" s);
+  Printf.printf "cli smoke ok: %d trace lines, %d spans, certified proof %d bytes\n" !lines !spans
+    proof_len

@@ -261,6 +261,76 @@ let prop_depth_bounds =
           && r.Core.Result_.depth <= sabre.Core.Result_.depth
         | None -> true))
 
+(* ---- proof fuzzing ----
+
+   Random 3-CNFs solved with DRAT logging attached: every SAT answer must
+   come with a model satisfying the formula, and every UNSAT answer with a
+   proof the trusted checker accepts in both modes.  Clauses use three
+   distinct variables, so the formula has no unit clauses; truncating the
+   proof to its final (empty-clause) step must then always be rejected —
+   the empty clause cannot be RUP when nothing propagates. *)
+let test_proof_fuzz () =
+  let module Rng = Olsq2_util.Rng in
+  let module Drat = Olsq2_proof.Drat in
+  let module Checker = Olsq2_proof.Checker in
+  let rng = Rng.create 31337 in
+  let distinct_clause nv =
+    let a = Rng.int rng nv in
+    let b = ref (Rng.int rng nv) in
+    while !b = a do
+      b := Rng.int rng nv
+    done;
+    let c = ref (Rng.int rng nv) in
+    while !c = a || !c = !b do
+      c := Rng.int rng nv
+    done;
+    List.map (fun v -> L.of_var ~sign:(Rng.bool rng) v) [ a; !b; !c ]
+  in
+  let unsat_seen = ref 0 and sat_seen = ref 0 in
+  for _ = 1 to 120 do
+    let nv = 4 + Rng.int rng 5 in
+    let ncl = 15 + Rng.int rng 40 in
+    let clauses = List.init ncl (fun _ -> distinct_clause nv) in
+    let sink = Drat.create () in
+    let s = S.create () in
+    Drat.attach sink s;
+    for _ = 1 to nv do
+      ignore (S.new_var s)
+    done;
+    List.iter (S.add_clause s) clauses;
+    match S.solve s with
+    | S.Sat ->
+      incr sat_seen;
+      if not (List.for_all (fun cl -> List.exists (S.model_value s) cl) clauses) then
+        Alcotest.fail "SAT model does not satisfy the formula"
+    | S.Unsat ->
+      incr unsat_seen;
+      let formula = Drat.formula sink and proof = Drat.steps sink in
+      List.iter
+        (fun mode ->
+          match (Checker.check_unsat ~mode ~formula ~proof ()).Checker.verdict with
+          | Checker.Valid -> ()
+          | Checker.Invalid { step; reason } ->
+            Alcotest.failf "%s check rejected a solver proof at step %d: %s"
+              (Checker.mode_to_string mode) step reason)
+        [ Checker.Forward; Checker.Backward ];
+      (* the proof must round-trip through both wire formats *)
+      let n = Array.length proof in
+      List.iter
+        (fun fmt ->
+          if List.length (Drat.parse fmt (Drat.to_string fmt sink)) <> n then
+            Alcotest.fail "proof serialization round-trip lost steps")
+        [ Drat.Text; Drat.Binary ];
+      (* corrupting the proof down to its conclusion must be caught *)
+      let truncated = [| proof.(n - 1) |] in
+      (match (Checker.check_unsat ~formula ~proof:truncated ()).Checker.verdict with
+      | Checker.Invalid _ -> ()
+      | Checker.Valid -> Alcotest.fail "checker accepted a truncated proof")
+    | S.Unknown _ -> Alcotest.fail "unexpected Unknown on a small CNF"
+  done;
+  (* the generator must exercise both verdicts for the test to mean much *)
+  Alcotest.(check bool) "saw both SAT and UNSAT" true (!sat_seen > 0 && !unsat_seen > 0)
+
 let suite =
   [
     ( "properties",
@@ -275,5 +345,6 @@ let suite =
           prop_sabre_valid;
           prop_tb_valid_and_no_worse;
           prop_depth_bounds;
-        ] );
+        ]
+      @ [ Alcotest.test_case "proof fuzz: random 3-CNF certified" `Quick test_proof_fuzz ] );
   ]

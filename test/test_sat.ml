@@ -239,6 +239,40 @@ let test_dimacs_multiline_clause () =
   let cnf = Dimacs.parse_string "p cnf 2 1\n1\n2 0\n" in
   Alcotest.(check int) "one clause across lines" 1 (List.length cnf.Dimacs.clauses)
 
+let test_dimacs_print_parse_identity () =
+  let rng = Rng.create 99 in
+  for _ = 1 to 40 do
+    let nv = 1 + Rng.int rng 12 in
+    let clauses =
+      List.init (Rng.int rng 20) (fun _ ->
+          List.init (1 + Rng.int rng 4) (fun _ -> L.of_var ~sign:(Rng.bool rng) (Rng.int rng nv)))
+    in
+    let cnf = { Dimacs.num_vars = nv; clauses } in
+    let back = Dimacs.parse_string (Dimacs.to_string cnf) in
+    Alcotest.(check int) "vars preserved" nv back.Dimacs.num_vars;
+    Alcotest.(check bool) "clauses preserved exactly" true (back.Dimacs.clauses = clauses)
+  done
+
+let test_dimacs_malformed_rejected () =
+  let rejected_with fragment text =
+    match Dimacs.parse_string text with
+    | exception Failure msg ->
+      if
+        not
+          (String.length msg >= String.length fragment
+          && String.sub msg 0 (String.length fragment) = fragment)
+      then Alcotest.failf "error %S does not start with %S" msg fragment
+    | _ -> Alcotest.failf "parser accepted malformed input %S" text
+  in
+  let prefix = "Dimacs.parse_string:" in
+  rejected_with prefix "p cnf x 2\n1 0\n";
+  rejected_with prefix "p cnf 3\n1 0\n";
+  rejected_with prefix "p cnf 3 two\n1 0\n";
+  rejected_with prefix "p cnf -3 2\n1 0\n";
+  rejected_with prefix "p dnf 3 2\n1 0\n";
+  rejected_with prefix "p cnf 3 1\n1 y 0\n";
+  rejected_with prefix "pcnf 3 1\n1 0\n"
+
 let suite =
   [
     ( "sat",
@@ -262,5 +296,7 @@ let suite =
         Alcotest.test_case "dimacs roundtrip" `Quick test_dimacs_roundtrip;
         Alcotest.test_case "dimacs parse" `Quick test_dimacs_parse;
         Alcotest.test_case "dimacs multiline clause" `Quick test_dimacs_multiline_clause;
+        Alcotest.test_case "dimacs print/parse identity" `Quick test_dimacs_print_parse_identity;
+        Alcotest.test_case "dimacs malformed rejected" `Quick test_dimacs_malformed_rejected;
       ] );
   ]
