@@ -23,6 +23,7 @@ module Sabre = Olsq2_heuristic.Sabre
 module Obs = Olsq2_obs.Obs
 module Drat = Olsq2_proof.Drat
 module Checker = Olsq2_proof.Checker
+module Simplify = Olsq2_simplify.Simplify
 
 let fixed_cnf =
   let rng = Rng.create 7 in
@@ -78,12 +79,28 @@ let checker_kernel mode () =
   | Checker.Valid -> ()
   | Checker.Invalid _ -> failwith "php proof must check"
 
+(* Occurrence-list preprocessing (subsumption + BVE) over the same fixed
+   3-CNF: the per-call price of one Simplify.preprocess round trip
+   (detach, simplify, re-attach). *)
+let simplify_kernel () =
+  let s = S.create () in
+  for _ = 1 to 40 do
+    ignore (S.new_var s)
+  done;
+  List.iter (S.add_clause s) fixed_cnf;
+  ignore (Simplify.preprocess s)
+
 let tiny_instance = lazy (Bench_common.qaoa_grid ~qubits:4 ~grid_side:2 ~seed:104)
 
-let encode_solve_kernel () =
+let encode_solve_with config () =
   let inst = Lazy.force tiny_instance in
-  let enc = Core.Encoder.build ~config:Core.Config.olsq2_bv inst ~t_max:5 in
+  let enc = Core.Encoder.build ~config inst ~t_max:5 in
   ignore (Core.Encoder.solve enc)
+
+let encode_solve_kernel = encode_solve_with Core.Config.olsq2_bv
+
+let encode_solve_simplified_kernel =
+  encode_solve_with { Core.Config.olsq2_bv with Core.Config.simplify = true }
 
 let counter_kernel () =
   let ctx = Ctx.create () in
@@ -126,7 +143,9 @@ let tests =
       Test.make ~name:"sat/cdcl-3cnf + drat emission" (Staged.stage solver_proof_kernel);
       Test.make ~name:"proof/check php5 forward" (Staged.stage (checker_kernel Checker.Forward));
       Test.make ~name:"proof/check php5 backward" (Staged.stage (checker_kernel Checker.Backward));
+      Test.make ~name:"simplify/preprocess 3cnf" (Staged.stage simplify_kernel);
       Test.make ~name:"encode+solve tiny (table1 kernel)" (Staged.stage encode_solve_kernel);
+      Test.make ~name:"encode+solve tiny + simplify" (Staged.stage encode_solve_simplified_kernel);
       Test.make ~name:"seq-counter 128 (table2 kernel)" (Staged.stage counter_kernel);
       Test.make ~name:"sabre route (table3 kernel)" (Staged.stage sabre_kernel);
       Test.make ~name:"tb block solve (table4 kernel)" (Staged.stage tb_kernel);
@@ -212,4 +231,34 @@ let run () =
     "cdcl x%d  no logger %.3fs  drat sink %.3fs  (%+.1f%% emission overhead; hooks without a \
      logger are a single branch, bounded by the tracer figure above)\n"
     iters plain logged
-    (100.0 *. (logged -. plain) /. plain)
+    (100.0 *. (logged -. plain) /. plain);
+  (* End-to-end price/payoff of CNF preprocessing on the table1 kernel:
+     same encode+solve with simplify off vs on, plus the aggregate
+     reduction the on-runs achieved.  On an instance this small the
+     preprocessing cost usually dominates its payoff — the table1/table2
+     harnesses show where it flips. *)
+  let iters = 20 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  ignore (time encode_solve_kernel);
+  let off = time encode_solve_kernel in
+  Simplify.reset_totals ();
+  let on = time encode_solve_simplified_kernel in
+  let t = Simplify.totals () in
+  let reduction =
+    100.0
+    *. float_of_int (t.Simplify.total_clauses_before - t.Simplify.total_clauses_after)
+    /. float_of_int (max 1 t.Simplify.total_clauses_before)
+  in
+  Printf.printf
+    "encode+solve x%d  simplify off %.3fs  on %.3fs  (%+.1f%% end-to-end; clauses -%.1f%%, %d vars \
+     eliminated per run)\n"
+    iters off on
+    (100.0 *. (on -. off) /. off)
+    reduction
+    (t.Simplify.total_eliminated / max 1 t.Simplify.runs)

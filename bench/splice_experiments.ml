@@ -1,0 +1,101 @@
+(* Splice a bench_output.txt run into EXPERIMENTS.md.
+
+   Replaces each [<!-- BENCH:SECTION -->] marker with the corresponding
+   section of the harness output, fenced as a code block; on a document
+   already spliced once, refreshes the fenced block following the
+   section heading instead.  Usage:
+
+     dune exec bench/splice_experiments.exe [bench_output.txt [EXPERIMENTS.md]] *)
+
+let sections =
+  [
+    ("FIG1", "Figure 1: solving time", "Table I:");
+    ("TABLE1", "Table I: integer", "Table II:");
+    ("TABLE2", "Table II: AtMost", "Table III:");
+    ("TABLE3", "Table III: depth", "Table IV:");
+    ("TABLE4", "Table IV: SWAP", "Ablation A1");
+    ("ABLATION", "Ablation A1", "Bechamel");
+    ("MICRO", "Bechamel micro-benchmarks", "total harness time");
+  ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* index of [needle] in [hay] at or after [from], or -1 *)
+let find ?(from = 0) hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = if i + nn > nh then -1 else if String.sub hay i nn = needle then i else at (i + 1) in
+  if from > nh then -1 else at from
+
+let rstrip s =
+  let n = ref (String.length s) in
+  while !n > 0 && (match s.[!n - 1] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+    decr n
+  done;
+  String.sub s 0 !n
+
+(* the harness-output slice from [start] up to (exclusive) [stop] *)
+let cut text start stop =
+  match find text start with
+  | -1 -> None
+  | i ->
+    let j = find ~from:i text stop in
+    Some (rstrip (String.sub text i ((if j >= 0 then j else String.length text) - i)))
+
+(* replace the first occurrence of [needle]; [None] if absent *)
+let replace_first hay needle replacement =
+  match find hay needle with
+  | -1 -> None
+  | i ->
+    Some
+      (String.sub hay 0 i ^ replacement
+      ^ String.sub hay
+          (i + String.length needle)
+          (String.length hay - i - String.length needle))
+
+(* refresh a previous splice: the ```-fenced block whose first line starts
+   with [heading] (the section title up to the first ':') *)
+let replace_previous_block md heading replacement =
+  let opening = "```\n" ^ heading in
+  match find md opening with
+  | -1 -> None
+  | i -> (
+    match find ~from:(i + 4) md "```" with
+    | -1 -> None
+    | j ->
+      Some (String.sub md 0 i ^ replacement ^ String.sub md (j + 3) (String.length md - j - 3)))
+
+let () =
+  let arg i default = if Array.length Sys.argv > i then Sys.argv.(i) else default in
+  let bench_path = arg 1 "bench_output.txt" in
+  let md_path = arg 2 "EXPERIMENTS.md" in
+  let bench = read_file bench_path in
+  let md = ref (read_file md_path) in
+  List.iter
+    (fun (key, start, stop) ->
+      let marker = Printf.sprintf "<!-- BENCH:%s -->" key in
+      match cut bench start stop with
+      | None -> Printf.printf "warning: section %s not found in %s\n" key bench_path
+      | Some body -> (
+        let replacement = "```\n" ^ body ^ "\n```" in
+        match replace_first !md marker replacement with
+        | Some updated -> md := updated
+        | None -> (
+          let heading = match String.index_opt start ':' with
+            | Some c -> String.sub start 0 c
+            | None -> start
+          in
+          match replace_previous_block !md heading replacement with
+          | Some updated -> md := updated
+          | None -> Printf.printf "warning: no marker or previous block for %s\n" key)))
+    sections;
+  write_file md_path !md;
+  Printf.printf "updated %s\n" md_path

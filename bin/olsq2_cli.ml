@@ -105,10 +105,25 @@ let proof_arg =
   let doc = "With $(b,--certify), also write the emitted DRAT proof (text format) to $(docv)." in
   Arg.(value & opt (some string) None & info [ "proof" ] ~docv:"FILE" ~doc)
 
+let simplify_arg =
+  let on =
+    let doc =
+      "Preprocess every built CNF (SatELite-style subsumption + bounded variable elimination) and \
+       inprocess during long solves; proof logging stays checkable.  Exact methods only (olsq2, \
+       portfolio); with $(b,--metrics) the aggregate reduction is reported."
+    in
+    (Some true, Arg.info [ "simplify" ] ~doc)
+  in
+  let off =
+    let doc = "Disable CNF simplification everywhere, including the portfolio's preprocessed arm." in
+    (Some false, Arg.info [ "no-simplify" ] ~doc)
+  in
+  Arg.(value & vflag None [ on; off ])
+
 (* ---- synth ---- *)
 
 let run_synth circuit_spec device_name budget swap_duration objective method_ config warm output
-    trace metrics certify proof_file =
+    trace metrics certify proof_file simplify =
   let obs =
     if trace <> None || metrics then (
       let t = Obs.create () in
@@ -181,8 +196,8 @@ let run_synth circuit_spec device_name budget swap_duration objective method_ co
         | _, `Swap -> Core.Synthesis.Tb_swaps
       in
       let r =
-        Core.Synthesis.run ~config ?budget ~certify ?proof_file ~objective:synth_objective
-          instance
+        Core.Synthesis.run ~config ?simplify ?budget ~certify ?proof_file
+          ~objective:synth_objective instance
       in
       (match (method_, r.Core.Synthesis.pareto) with
       | `Tb, (blocks, _) :: _ -> Printf.printf "blocks used: %d\n" blocks
@@ -197,7 +212,25 @@ let run_synth circuit_spec device_name budget swap_duration objective method_ co
       let objective =
         match objective with `Depth -> Core.Portfolio.Depth | `Swap -> Core.Portfolio.Swaps
       in
-      let report = Core.Portfolio.run ?budget_seconds:budget ~certify ?proof_file objective instance in
+      (* an explicit --simplify/--no-simplify overrides every arm,
+         including the default preprocessed one *)
+      let arms =
+        match simplify with
+        | None -> None
+        | Some b ->
+          Some
+            (List.map
+               (fun (arm : Core.Portfolio.arm) ->
+                 {
+                   arm with
+                   Core.Portfolio.arm_config =
+                     { arm.Core.Portfolio.arm_config with Core.Config.simplify = b };
+                 })
+               (Core.Portfolio.default_arms objective))
+      in
+      let report =
+        Core.Portfolio.run ?budget_seconds:budget ?arms ~certify ?proof_file objective instance
+      in
       List.iter
         (fun (arm : Core.Portfolio.arm_outcome) ->
           Printf.printf "arm %-18s %6.1fs %s\n" arm.Core.Portfolio.arm.Core.Portfolio.arm_name
@@ -222,7 +255,10 @@ let run_synth circuit_spec device_name budget swap_duration objective method_ co
     else Obs.write_jsonl obs oc;
     close_out oc;
     Printf.printf "trace written to %s\n" path);
-  if metrics then Format.printf "%a@?" Obs.pp_summary (Obs.summary obs);
+  if metrics then begin
+    Format.printf "%a@?" Obs.pp_summary (Obs.summary obs);
+    Printf.printf "simplify: %s\n" (Olsq2_simplify.Simplify.totals_summary ())
+  end;
   code
 
 let synth_cmd =
@@ -232,7 +268,7 @@ let synth_cmd =
     Term.(
       const run_synth $ circuit_arg $ device_arg $ budget_arg $ swap_duration_arg $ objective_arg
       $ method_arg $ config_arg $ warm_start_arg $ output_arg $ trace_arg $ metrics_arg
-      $ certify_arg $ proof_arg)
+      $ certify_arg $ proof_arg $ simplify_arg)
 
 (* ---- generate ---- *)
 

@@ -36,13 +36,22 @@ type t = {
   var_encoding : var_encoding;
   injectivity : injectivity;
   cardinality : cardinality;
+  simplify : bool;
+      (* SatELite-style preprocessing + restart-time inprocessing of the
+         CNF (lib/simplify); ignored by the Lazy_int arm, whose clause set
+         grows through CEGAR refinement *)
 }
 
 let default =
-  { formulation = Olsq2; var_encoding = Binary; injectivity = Pairwise; cardinality = Seq_counter }
+  {
+    formulation = Olsq2;
+    var_encoding = Binary;
+    injectivity = Pairwise;
+    cardinality = Seq_counter;
+    simplify = false;
+  }
 
-let olsq_int =
-  { formulation = Olsq; var_encoding = Lazy_int; injectivity = Pairwise; cardinality = Seq_counter }
+let olsq_int = { default with formulation = Olsq; var_encoding = Lazy_int }
 
 let olsq_bv = { olsq_int with var_encoding = Binary }
 let olsq2_int = { olsq_int with formulation = Olsq2 }

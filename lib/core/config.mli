@@ -29,6 +29,12 @@ type t = {
   var_encoding : var_encoding;
   injectivity : injectivity;
   cardinality : cardinality;
+  simplify : bool;
+      (** run SatELite-style preprocessing (subsumption, strengthening,
+          bounded variable elimination) on the encoded CNF before search,
+          plus restart-time inprocessing — {!Olsq2_simplify.Simplify}.
+          Ignored by the [Lazy_int] arm, whose clause set grows through
+          CEGAR refinement.  Default [false]. *)
 }
 
 (** OLSQ2(bv) with CNF cardinality: the paper's best configuration. *)

@@ -35,6 +35,7 @@ module Gate = Olsq2_circuit.Gate
 module Dag = Olsq2_circuit.Dag
 module Coupling = Olsq2_device.Coupling
 module Obs = Olsq2_obs.Obs
+module Simplify = Olsq2_simplify.Simplify
 
 type counter = Card of Cardinality.outputs | Adder_net of Pb.t
 
@@ -54,6 +55,7 @@ type t = {
      bounds (heuristic warm starts can guess too low) *)
   mutable counters : (int * counter) list; (* (max expressible bound, counter) *)
   mutable counter_kind : counter_kind option;
+  mutable simplify_report : Simplify.report option; (* preprocessing, when on *)
 }
 
 let solver t = Ctx.solver t.ctx
@@ -337,6 +339,7 @@ let build_raw ?(config = Config.default) ?proof instance ~t_max =
       depth_selectors = Hashtbl.create 8;
       counters = [];
       counter_kind = None;
+      simplify_report = None;
     }
   in
   let group label f =
@@ -358,6 +361,27 @@ let build_raw ?(config = Config.default) ?proof instance ~t_max =
        gate's scheduled time. *)
     group "olsq_space" assert_olsq_space);
   Ctx.set_provenance ctx "other";
+  (* Preprocess the finished encoding (paper pipeline: Z3 simplifies every
+     bit-blasted instance before search).  Everything the caller reads
+     back or assumes later is frozen first: the mapping/time variables
+     (model extraction), the sigma variables (SWAP extraction and counter
+     inputs built after this point).  Objective selectors don't exist yet;
+     they are frozen at creation below.  The Lazy_int arm is excluded: its
+     clause set grows through CEGAR refinement over theory atoms. *)
+  (match config.Config.var_encoding with
+  | Config.Lazy_int -> ()
+  | Config.Onehot | Config.Binary ->
+    if config.Config.simplify then begin
+      let s = Ctx.solver ctx in
+      let freeze_ivar iv = List.iter (fun l -> Solver.freeze s (Lit.var l)) (Ivar.literals iv) in
+      Array.iter (fun row -> Array.iter freeze_ivar row) pi;
+      Array.iter freeze_ivar time;
+      Array.iter
+        (Array.iter (function Some l -> Solver.freeze s (Lit.var l) | None -> ()))
+        sigma;
+      enc.simplify_report <- Some (Simplify.preprocess s);
+      Simplify.attach_inprocessing s
+    end);
   enc
 
 (* One span per encoding build, carrying the clause/variable counts the
@@ -389,6 +413,8 @@ let depth_selector enc d =
   | None ->
     Ctx.set_provenance enc.ctx "objective.depth";
     let l = Ctx.fresh enc.ctx in
+    (* the guard is assumed across later solves: never eliminable *)
+    Solver.freeze (solver enc) (Lit.var l);
     Array.iter (fun tv -> Ctx.assert_implied enc.ctx ~guard:l (Ivar.le_const tv (d - 1))) enc.time;
     List.iter
       (fun (_, tm, sl) -> if tm >= d then Ctx.add_clause enc.ctx [ Lit.negate l; Lit.negate sl ])
@@ -419,6 +445,14 @@ let build_counter_over enc lits ~max_bound =
       | Config.Totalizer -> Card (Cardinality.totalizer enc.ctx lits)
       | Config.Adder -> Adder_net (Pb.adder_network enc.ctx lits)
     in
+    (* Counter outputs become bound assumptions in later solves, and the
+       adder's sum register is compared against lazily-created bounds:
+       inprocessing must never eliminate them. *)
+    (match counter with
+    | Card out ->
+      Array.iter (fun l -> Solver.freeze (solver enc) (Lit.var l)) out.Cardinality.count_ge
+    | Adder_net net ->
+      Array.iter (fun l -> Solver.freeze (solver enc) (Lit.var l)) (Pb.sum_bits net));
     enc.counters <- (counter_capacity n counter, counter) :: enc.counters;
     if Obs.enabled obs then
       Obs.instant obs "encode.counter"
@@ -451,7 +485,12 @@ let swap_bound_assumption enc k =
     else
       match counter with
       | Card out -> Cardinality.at_most_assumption out k
-      | Adder_net net -> Some (Pb.at_most_assumption enc.ctx net k)
+      | Adder_net net ->
+        let l = Pb.at_most_assumption enc.ctx net k in
+        (* reified lazily, possibly between solves: freeze before an
+           inprocessing pass can see it *)
+        Solver.freeze (solver enc) (Lit.var l);
+        Some l
   in
   (* prefer the narrowest counter able to express the bound *)
   let ordered = List.sort (fun (a, _) (b, _) -> compare a b) enc.counters in

@@ -25,11 +25,17 @@ type t = private {
   mutable counters : (int * counter) list;
       (** SWAP counters with their expressible-bound capacity *)
   mutable counter_kind : counter_kind option;
+  mutable simplify_report : Olsq2_simplify.Simplify.report option;
+      (** preprocessing reduction report, when [config.simplify] ran *)
 }
 
 (** Build the encoding over [t_max] time steps.  [proof] installs a DRAT
     proof logger on the underlying solver before the first clause is
-    asserted, so the logged premise set covers the whole encoding. *)
+    asserted, so the logged premise set covers the whole encoding.  When
+    [config.simplify] is set (and the encoding is not [Lazy_int]), the
+    finished CNF is preprocessed by {!Olsq2_simplify.Simplify} — with the
+    mapping/time/sigma variables frozen for extraction — and restart-time
+    inprocessing is attached; the reduction lands in [simplify_report]. *)
 val build : ?config:Config.t -> ?proof:Solver.proof_logger -> Instance.t -> t_max:int -> t
 
 val solver : t -> Solver.t

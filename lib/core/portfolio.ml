@@ -18,10 +18,18 @@ type arm = {
   arm_model : [ `Full | `Transition ];
 }
 
+(* A preprocessed olsq2-bv arm races the raw one in both portfolios: on
+   dense instances the clause reduction wins, on tiny ones the
+   preprocessing overhead loses, and the portfolio keeps whichever
+   finishes first (Simplify's totals stay correct across domains). *)
+let olsq2_bv_simp =
+  { arm_name = "olsq2-bv-simp"; arm_config = { Config.olsq2_bv with Config.simplify = true }; arm_model = `Full }
+
 let default_arms = function
   | Depth ->
     [
       { arm_name = "olsq2-bv"; arm_config = Config.olsq2_bv; arm_model = `Full };
+      olsq2_bv_simp;
       { arm_name = "olsq2-euf-bv"; arm_config = Config.olsq2_euf_bv; arm_model = `Full };
       {
         arm_name = "olsq2-direct";
@@ -32,6 +40,7 @@ let default_arms = function
   | Swaps ->
     [
       { arm_name = "olsq2-bv"; arm_config = Config.olsq2_bv; arm_model = `Full };
+      olsq2_bv_simp;
       {
         arm_name = "olsq2-bv-totalizer";
         arm_config = { Config.olsq2_bv with Config.cardinality = Config.Totalizer };

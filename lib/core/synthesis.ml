@@ -80,7 +80,14 @@ let certificate_for ~config ~budget ~objective ~proof_file (report : report) ins
              ~depth:res.Result_.depth ~swaps:res.Result_.swap_count)
       | Weighted_swaps _ | Tb_blocks | Tb_swaps -> None)
 
-let run ?(config = Config.default) ?budget ?(certify = false) ?proof_file ~objective instance =
+let run ?(config = Config.default) ?simplify ?budget ?(certify = false) ?proof_file ~objective
+    instance =
+  (* [simplify] overrides the config's flag, so callers can toggle
+     preprocessing without assembling a Config by hand; the override also
+     reaches the certification re-solve below through [config]. *)
+  let config =
+    match simplify with None -> config | Some b -> { config with Config.simplify = b }
+  in
   let obs = Obs.global () in
   let since = if Obs.enabled obs then Some (Obs.elapsed obs) else None in
   let dispatch () =

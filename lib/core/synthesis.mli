@@ -53,12 +53,18 @@ type report = {
     encoding (default {!Config.default}).  The whole run is wrapped in a
     [synthesis.<objective>] span on the global tracer.
 
+    [simplify] overrides [config]'s [simplify] flag: SatELite-style CNF
+    preprocessing + inprocessing of every encoding built during the run
+    (including the certification re-solve), with its proof events logged
+    so certificates stay checkable — see {!Olsq2_simplify.Simplify}.
+
     [certify] re-solves at the claimed optimum on a fresh proof-logged
     encoder and builds a {!Certificate.t}: a validated model plus a
     DRAT-checked refutation of the bound below (see {!Certificate}).
     [proof_file] writes the emitted DRAT proof (text format) there. *)
 val run :
   ?config:Config.t ->
+  ?simplify:bool ->
   ?budget:float ->
   ?certify:bool ->
   ?proof_file:string ->

@@ -73,4 +73,5 @@ let adder_network ctx (xs : Lit.t array) =
 let at_most_assumption ctx t k = Ctx.reify ctx (Bitvec.le_const t.sum k)
 
 let assert_at_most ctx t k = Ctx.assert_formula ctx (Bitvec.le_const t.sum k)
+let sum_bits t = Bitvec.bits t.sum
 let sum_value solver t = Bitvec.value solver t.sum

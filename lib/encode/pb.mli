@@ -15,5 +15,10 @@ val at_most_assumption : Ctx.t -> t -> int -> Lit.t
 
 val assert_at_most : Ctx.t -> t -> int -> unit
 
+(** The binary sum register's literals (LSB first).  Callers running CNF
+    simplification freeze these: later bounds reify comparisons against
+    the register. *)
+val sum_bits : t -> Lit.t array
+
 (** Decode the popcount from the last model. *)
 val sum_value : Olsq2_sat.Solver.t -> t -> int

@@ -98,6 +98,16 @@ type t = {
   mutable conflict_core : Lit.t list; (* failed assumptions of last Unsat *)
   mutable proof : proof_logger option;
   interrupt_flag : bool Atomic.t; (* cross-domain async stop request *)
+  (* simplification state (lib/simplify drives these through the
+     primitives below): [frozen] variables must never be eliminated --
+     assumption literals, objective selectors and anything the caller
+     reads back from the model; [eliminated] variables are gone from the
+     clause database and re-derived from [extension] after every Sat. *)
+  mutable frozen : bool array;
+  mutable eliminated : bool array;
+  mutable extension : (Lit.t * Lit.t array array) list; (* head = last eliminated *)
+  mutable inprocessor : (t -> unit) option;
+  mutable next_inprocess : int; (* conflict count that triggers the next run *)
   stats : stats;
 }
 
@@ -124,6 +134,11 @@ let create () =
     conflict_core = [];
     proof = None;
     interrupt_flag = Atomic.make false;
+    frozen = [||];
+    eliminated = [||];
+    extension = [];
+    inprocessor = None;
+    next_inprocess = max_int;
     stats =
       {
         conflicts = 0;
@@ -147,6 +162,19 @@ let log_learnt t lits =
 let log_delete t lits =
   match t.proof with None -> () | Some p -> p.on_delete lits
 
+(* Proof hooks for the simplification engine: resolvents and strengthened
+   clauses are RUP additions; eliminated and subsumed clauses are
+   deletions.  Exposed so [lib/simplify] can keep the checker's database
+   in lockstep with the solver's without depending on the sink format. *)
+let log_proof_add = log_learnt
+let log_proof_delete = log_delete
+
+let freeze t v = if v >= 0 && v < t.nvars then t.frozen.(v) <- true
+let is_frozen t v = v >= 0 && v < t.nvars && t.frozen.(v)
+let is_eliminated t v = v >= 0 && v < t.nvars && t.eliminated.(v)
+let n_eliminated t = List.length t.extension
+let force_unsat t = t.ok <- false
+
 (* ---- variable management ---- *)
 
 let grow_array arr n fill =
@@ -167,6 +195,8 @@ let new_var t =
   t.activity <- grow_array t.activity t.nvars 0.0;
   t.polarity <- grow_array t.polarity t.nvars false;
   t.seen <- grow_array t.seen t.nvars false;
+  t.frozen <- grow_array t.frozen t.nvars false;
+  t.eliminated <- grow_array t.eliminated t.nvars false;
   let nlits = 2 * t.nvars in
   if Array.length t.watches < nlits then begin
     let w' = Array.make (max nlits (2 * Array.length t.watches)) (Vec.create dummy_watcher) in
@@ -474,6 +504,16 @@ let attach_clause t c =
   watch_clause t c
 
 let add_clause t lits =
+  (* The simplifier rewrote the database without eliminated variables, so
+     new constraints must mention only live ones (callers freeze whatever
+     they keep building on). *)
+  if t.extension != [] then
+    List.iter
+      (fun l ->
+        let v = Lit.var l in
+        if v < t.nvars && t.eliminated.(v) then
+          invalid_arg "Solver.add_clause: literal over an eliminated variable")
+      lits;
   (* Log the clause as asserted (pre-simplification): the checker replays
      root-level simplification itself via unit propagation, so the proof's
      premise set must match the caller's formula, not our reduced one. *)
@@ -483,30 +523,51 @@ let add_clause t lits =
   if t.ok then begin
     cancel_until t 0;
     match simplify_new_clause t lits with
-    | exception Trivial_clause -> ()
-    | [] ->
-      t.ok <- false;
-      log_learnt t [||]
-    | [ l ] -> begin
-      (* unit clause: assert at level 0 *)
-      match lit_value t l with
-      | 1 -> ()
-      | -1 ->
+    | exception Trivial_clause ->
+      (* Root-satisfied or tautological: the clause never enters the
+         database, so a deletion line keeps the proof deletion-exact. *)
+      log_delete t (Array.of_list lits)
+    | simplified ->
+      (* When root simplification shrank the clause, the database holds
+         [simplified], not [lits]: log the reduced clause as a RUP addition
+         (original plus root units propagate to it) and delete the original
+         so the checker's clause set tracks ours.  The empty case is logged
+         by the branches below. *)
+      (match t.proof with
+      | Some p when simplified <> [] ->
+        let changed =
+          List.compare_lengths simplified lits <> 0
+          || not (List.for_all2 (fun a b -> a = b) simplified lits)
+        in
+        if changed then begin
+          p.on_learnt (Array.of_list simplified);
+          p.on_delete (Array.of_list lits)
+        end
+      | Some _ | None -> ());
+      (match simplified with
+      | [] ->
         t.ok <- false;
         log_learnt t [||]
-      | _ ->
-        enqueue t l dummy_clause;
-        if propagate t != dummy_clause then begin
+      | [ l ] -> begin
+        (* unit clause: assert at level 0 *)
+        match lit_value t l with
+        | 1 -> ()
+        | -1 ->
           t.ok <- false;
           log_learnt t [||]
-        end
-    end
-    | lits ->
-      let c =
-        { lits = Array.of_list lits; activity = 0.0; learnt = false; lbd = 0; deleted = false }
-      in
-      Vec.push t.clauses c;
-      attach_clause t c
+        | _ ->
+          enqueue t l dummy_clause;
+          if propagate t != dummy_clause then begin
+            t.ok <- false;
+            log_learnt t [||]
+          end
+      end
+      | lits ->
+        let c =
+          { lits = Array.of_list lits; activity = 0.0; learnt = false; lbd = 0; deleted = false }
+        in
+        Vec.push t.clauses c;
+        attach_clause t c)
   end
 
 let add_clause_a t lits = add_clause t (Array.to_list lits)
@@ -540,6 +601,182 @@ let reduce_db t =
   Vec.clear t.learnts;
   Vec.iter (fun c -> Vec.push t.learnts c) keep
 
+(* ---- simplification primitives (driven by lib/simplify) ---- *)
+
+(* Value of [l] under root-level (level-0) assignments only: 1 true, -1
+   false, 0 otherwise.  Unlike [lit_value] this is meaningful at any
+   decision level. *)
+let root_value t l =
+  let v = Lit.var l in
+  if t.assigns.(v) <> 0 && t.level.(v) = 0 then
+    if Lit.sign l then t.assigns.(v) else -t.assigns.(v)
+  else 0
+
+(* Detach the problem clauses and hand their literal arrays to the
+   simplifier.  All watch lists are wiped -- including the learnts', which
+   stay parked in [t.learnts] until [end_simplify] re-attaches the
+   survivors -- and root-level reasons are cleared so no trail entry points
+   at a detached clause. *)
+let begin_simplify t =
+  cancel_until t 0;
+  if t.ok && propagate t != dummy_clause then begin
+    t.ok <- false;
+    log_learnt t [||]
+  end;
+  Vec.iter (fun l -> t.reason.(Lit.var l) <- dummy_clause) t.trail;
+  Array.iter Vec.clear t.watches;
+  let live = ref [] in
+  Vec.iter (fun (c : clause) -> if not c.deleted then live := c.lits :: !live) t.clauses;
+  Vec.clear t.clauses;
+  List.rev !live
+
+(* Put a problem clause back after simplification.  No proof events fire
+   here: the engine already logged every transformation it made, so
+   restoring is purely a database operation.  Root-satisfied clauses are
+   dropped, root-false literals skipped, and units enqueued at level 0
+   (propagation is deferred to [end_simplify]). *)
+let restore_clause t lits =
+  if t.ok then begin
+    let sat = ref false in
+    let keep = ref [] in
+    let kcount = ref 0 in
+    Array.iter
+      (fun l ->
+        match root_value t l with
+        | 1 -> sat := true
+        | -1 -> ()
+        | _ ->
+          keep := l :: !keep;
+          incr kcount)
+      lits;
+    if not !sat then begin
+      if !kcount = 0 then t.ok <- false
+      else if !kcount = 1 then begin
+        let l = List.hd !keep in
+        if lit_value t l = 0 then enqueue t l dummy_clause
+      end
+      else begin
+        let c =
+          {
+            lits = Array.of_list (List.rev !keep);
+            activity = 0.0;
+            learnt = false;
+            lbd = 0;
+            deleted = false;
+          }
+        in
+        Vec.push t.clauses c;
+        attach_clause t c
+      end
+    end
+  end
+
+(* Assert a root-level unit discovered by the simplifier.  Propagation is
+   deferred to [end_simplify], when the database is whole again. *)
+let assert_root_unit t l =
+  if t.ok then begin
+    match lit_value t l with
+    | 1 -> ()
+    | -1 -> t.ok <- false
+    | _ -> enqueue t l dummy_clause
+  end
+
+(* Record the elimination of [Lit.var pivot].  [clauses] is the side of
+   the variable's occurrence lists that contains [pivot] (the engine
+   stores the smaller side), kept for model reconstruction -- MiniSat
+   SimpSolver's extension-stack scheme. *)
+let eliminate_var t ~pivot clauses =
+  let v = Lit.var pivot in
+  if t.frozen.(v) then invalid_arg "Solver.eliminate_var: frozen variable";
+  if t.eliminated.(v) then invalid_arg "Solver.eliminate_var: variable already eliminated";
+  t.eliminated.(v) <- true;
+  t.extension <- (pivot, clauses) :: t.extension
+
+(* Re-arm the solver after simplification: purge learnts that mention an
+   eliminated variable (their derivations may rest on removed clauses),
+   drop root-satisfied ones, shrink the rest against the root assignment
+   so the watch invariant holds, re-attach the survivors, and propagate
+   the units the simplifier asserted. *)
+let end_simplify t =
+  if t.ok then begin
+    let keep = Vec.create dummy_clause in
+    Vec.iter
+      (fun (c : clause) ->
+        if c.deleted then ()
+        else if
+          Array.exists (fun l -> t.eliminated.(Lit.var l)) c.lits
+          || Array.exists (fun l -> root_value t l = 1) c.lits
+        then begin
+          log_delete t c.lits;
+          c.deleted <- true;
+          t.stats.removed_clauses <- t.stats.removed_clauses + 1
+        end
+        else begin
+          let live = Array.of_list (List.filter (fun l -> root_value t l <> -1) (Array.to_list c.lits)) in
+          let nl = Array.length live in
+          if nl < Array.length c.lits then begin
+            (* the shortened form is RUP from the original plus root units;
+               never emit a deletion for a clause that became the unit
+               itself, only for the longer original *)
+            if nl > 0 then log_learnt t live;
+            log_delete t c.lits
+          end;
+          if nl = 0 then begin
+            t.ok <- false;
+            log_learnt t [||]
+          end
+          else if nl = 1 then begin
+            c.deleted <- true;
+            t.stats.removed_clauses <- t.stats.removed_clauses + 1;
+            match lit_value t live.(0) with
+            | 0 -> enqueue t live.(0) dummy_clause
+            | -1 ->
+              t.ok <- false;
+              log_learnt t [||]
+            | _ -> ()
+          end
+          else begin
+            c.lits <- live;
+            Vec.push keep c;
+            attach_clause t c
+          end
+        end)
+      t.learnts;
+    Vec.clear t.learnts;
+    Vec.iter (fun c -> Vec.push t.learnts c) keep;
+    if t.ok && propagate t != dummy_clause then begin
+      t.ok <- false;
+      log_learnt t [||]
+    end
+  end
+
+(* Re-derive eliminated variables after a Sat answer (MiniSat SimpSolver's
+   extension stack, walked from the most recently eliminated variable
+   back): default each pivot to its falsifying phase, flip it when one of
+   its stored clauses would otherwise be unsatisfied.  A pivot's stored
+   clauses mention, besides the pivot, only variables live at its
+   elimination time -- all reconstructed by the time we reach it. *)
+let extend_model t =
+  if t.extension != [] then begin
+    let m = t.model in
+    let sat_lit l = if Lit.sign l then m.(Lit.var l) else not m.(Lit.var l) in
+    List.iter
+      (fun (pivot, clauses) ->
+        let v = Lit.var pivot in
+        m.(v) <- not (Lit.sign pivot);
+        if Array.exists (fun c -> not (Array.exists sat_lit c)) clauses then
+          m.(v) <- Lit.sign pivot)
+      t.extension
+  end
+
+(* Install (or clear) the inprocessing callback, run between restart
+   episodes once [interval] further conflicts have accumulated; each run
+   reschedules itself geometrically so simplification stays a bounded
+   fraction of total search effort. *)
+let set_inprocessor ?(interval = 3000) t f =
+  t.inprocessor <- f;
+  t.next_inprocess <- (match f with None -> max_int | Some _ -> t.stats.conflicts + interval)
+
 (* ---- search ---- *)
 
 let luby y x =
@@ -563,7 +800,7 @@ let pick_branch_var t =
     if Var_heap.is_empty t.order then -1
     else begin
       let v = Var_heap.pop t.order in
-      if t.assigns.(v) = 0 then v else loop ()
+      if t.assigns.(v) = 0 && not t.eliminated.(v) then v else loop ()
     end
   in
   loop ()
@@ -670,6 +907,19 @@ let solve_raw ?(assumptions = []) ?max_conflicts ?timeout t =
   else begin
     cancel_until t 0;
     let assumptions = Array.of_list assumptions in
+    (* Assumptions are implicitly frozen: the caller will assume them again
+       or read them back, so the simplifier must never eliminate them.  An
+       already-eliminated assumption variable is a caller bug (it was not
+       frozen before preprocessing ran). *)
+    Array.iter
+      (fun a ->
+        let v = Lit.var a in
+        if v >= 0 && v < t.nvars then begin
+          if t.eliminated.(v) then
+            invalid_arg "Solver.solve: assumption over an eliminated variable";
+          t.frozen.(v) <- true
+        end)
+      assumptions;
     let deadline = Option.map (fun s -> Olsq2_util.Stopwatch.now () +. s) timeout in
     let total_conflicts = ref 0 in
     let rec restart_loop k =
@@ -680,6 +930,7 @@ let solve_raw ?(assumptions = []) ?max_conflicts ?timeout t =
         for v = 0 to t.nvars - 1 do
           t.model.(v) <- t.assigns.(v) = 1
         done;
+        extend_model t;
         cancel_until t 0;
         Sat
       | `Unsat -> Unsat
@@ -690,9 +941,17 @@ let solve_raw ?(assumptions = []) ?max_conflicts ?timeout t =
       | `Interrupted -> Unknown Interrupted
       | `Restart ->
         total_conflicts := !total_conflicts + budget;
-        (match max_conflicts with
-        | Some m when !total_conflicts >= m -> Unknown Conflict_budget
-        | Some _ | None -> restart_loop (k + 1))
+        (match t.inprocessor with
+        | Some f when t.ok && t.stats.conflicts >= t.next_inprocess ->
+          t.next_inprocess <- (2 * t.stats.conflicts) + 1000;
+          f t
+        | Some _ | None -> ());
+        if not t.ok then Unsat
+        else begin
+          match max_conflicts with
+          | Some m when !total_conflicts >= m -> Unknown Conflict_budget
+          | Some _ | None -> restart_loop (k + 1)
+        end
     in
     restart_loop 0
   end

@@ -123,3 +123,82 @@ val n_clauses : t -> int
 val n_learnts : t -> int
 val stats : t -> stats
 val pp_stats : Format.formatter -> t -> unit
+
+(** {1 Simplification interface}
+
+    Primitives driven by {!Olsq2_simplify.Simplify}: the engine detaches
+    the problem clauses with {!begin_simplify}, rewrites them in its own
+    occurrence-list store (logging every resolvent addition and clause
+    deletion through {!log_proof_add} / {!log_proof_delete} so [--certify]
+    proofs stay checkable), records variable eliminations with
+    {!eliminate_var}, puts the surviving clauses back with
+    {!restore_clause} / {!assert_root_unit}, and re-arms the solver with
+    {!end_simplify}.  Models returned after eliminations are completed
+    automatically from the recorded extension stack before [solve]
+    returns, so callers (Validate, Certificate) always see a model of the
+    {e original} formula. *)
+
+(** Mark a variable as never eliminable: assumption literals, optimizer
+    bound selectors, and any variable whose model value the caller reads
+    back must be frozen {e before} preprocessing runs.  Assumptions passed
+    to {!solve} are frozen automatically at each call. *)
+val freeze : t -> Lit.var -> unit
+
+val is_frozen : t -> Lit.var -> bool
+
+(** [true] once the variable was removed by bounded variable elimination.
+    Adding a clause or assuming a literal over an eliminated variable is a
+    caller error ([Invalid_argument]): freeze what you keep using. *)
+val is_eliminated : t -> Lit.var -> bool
+
+(** Number of variables eliminated so far. *)
+val n_eliminated : t -> int
+
+(** Value of a literal under root-level (level-0) assignments only:
+    [1] true, [-1] false, [0] otherwise. *)
+val root_value : t -> Lit.t -> int
+
+(** Log a RUP clause addition / a clause deletion to the installed proof
+    logger (no-ops without one).  For the simplifier's resolvents,
+    strengthened clauses and subsumed/eliminated clauses. *)
+val log_proof_add : t -> Lit.t array -> unit
+
+val log_proof_delete : t -> Lit.t array -> unit
+
+(** Declare the database root-level unsatisfiable (the simplifier derived
+    the empty clause). *)
+val force_unsat : t -> unit
+
+(** Backtrack to the root, detach every problem clause and return their
+    literal arrays.  Learnt clauses stay parked (unwatched) until
+    {!end_simplify}.  The solver must not be used for solving between
+    [begin_simplify] and [end_simplify]. *)
+val begin_simplify : t -> Lit.t array list
+
+(** Put a simplified problem clause back (attaches watches; units are
+    enqueued at the root, propagation deferred to {!end_simplify}).  Emits
+    no proof events — the engine logs its own transformations. *)
+val restore_clause : t -> Lit.t array -> unit
+
+(** Assert a root-level unit derived by the simplifier (propagation
+    deferred to {!end_simplify}). *)
+val assert_root_unit : t -> Lit.t -> unit
+
+(** [eliminate_var t ~pivot clauses] records that [Lit.var pivot] was
+    eliminated by variable elimination; [clauses] are the original clauses
+    containing [pivot] (one side of its occurrence lists), kept for model
+    reconstruction.  Raises [Invalid_argument] on frozen or
+    already-eliminated variables. *)
+val eliminate_var : t -> pivot:Lit.t -> Lit.t array array -> unit
+
+(** Re-arm the solver: purge learnt clauses that mention eliminated
+    variables, shrink the rest against the root assignment, re-attach
+    them, and propagate pending units. *)
+val end_simplify : t -> unit
+
+(** [set_inprocessor ~interval t (Some f)] arranges for [f t] to run
+    between restart episodes once [interval] (default 3000) further
+    conflicts have accumulated; subsequent runs are rescheduled
+    geometrically (at [2 * conflicts + 1000]).  [f] is expected to drive
+    the {!begin_simplify} … {!end_simplify} cycle.  [None] uninstalls. *)
+val set_inprocessor : ?interval:int -> t -> (t -> unit) option -> unit

@@ -85,5 +85,48 @@ let () =
   | Unix.WEXITED 1 -> ()
   | Unix.WEXITED c -> die "--certify with sabre exited with %d, want 1" c
   | Unix.WSIGNALED s | Unix.WSTOPPED s -> die "CLI killed by signal %d" s);
-  Printf.printf "cli smoke ok: %d trace lines, %d spans, certified proof %d bytes\n" !lines !spans
-    proof_len
+  (* simplified run: --metrics must report an actual clause reduction *)
+  let out = Filename.temp_file "olsq2_smoke" ".out" in
+  let cmd =
+    Printf.sprintf "%s synth qaoa:4 -d grid-2x2 --simplify --metrics > %s" (Filename.quote cli)
+      (Filename.quote out)
+  in
+  (match Unix.system cmd with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED c -> die "--simplify run exited with %d" c
+  | Unix.WSIGNALED s | Unix.WSTOPPED s -> die "--simplify run killed by signal %d" s);
+  let simp_text = read_all out in
+  if not (contains simp_text "simplify: 1 run") then
+    die "--simplify --metrics printed no reduction summary";
+  if contains simp_text "no simplification runs" then die "--simplify performed no runs";
+  (* --no-simplify must report zero runs *)
+  let cmd =
+    Printf.sprintf "%s synth qaoa:4 -d grid-2x2 --no-simplify --metrics > %s" (Filename.quote cli)
+      (Filename.quote out)
+  in
+  (match Unix.system cmd with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED c -> die "--no-simplify run exited with %d" c
+  | Unix.WSIGNALED s | Unix.WSTOPPED s -> die "--no-simplify run killed by signal %d" s);
+  if not (contains (read_all out) "no simplification runs") then
+    die "--no-simplify still ran the preprocessor";
+  (* simplified certified run: proof events from the preprocessor must
+     keep the certificate checkable *)
+  let proof = Filename.temp_file "olsq2_smoke" ".drat" in
+  let cmd =
+    Printf.sprintf "%s synth qaoa:4 -d grid-2x2 --simplify --certify --proof %s > %s"
+      (Filename.quote cli) (Filename.quote proof) (Filename.quote out)
+  in
+  (match Unix.system cmd with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED c -> die "--simplify --certify run exited with %d" c
+  | Unix.WSIGNALED s | Unix.WSTOPPED s -> die "--simplify --certify run killed by signal %d" s);
+  if not (contains (read_all out) "VALID") then
+    die "--simplify --certify printed no VALID certificate";
+  let simp_proof_len = String.length (read_all proof) in
+  if simp_proof_len = 0 then die "--simplify --certify wrote an empty proof file";
+  Sys.remove proof;
+  Sys.remove out;
+  Printf.printf
+    "cli smoke ok: %d trace lines, %d spans, certified proof %d bytes, simplified proof %d bytes\n"
+    !lines !spans proof_len simp_proof_len

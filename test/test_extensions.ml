@@ -34,7 +34,9 @@ let test_portfolio_depth () =
     let solo = Optimizer.minimize_depth inst in
     let solo_depth = (Option.get solo.Optimizer.result).Result_.depth in
     Alcotest.(check int) "portfolio = solo optimum" solo_depth r.Result_.depth;
-    Alcotest.(check int) "all arms reported" 3 (List.length report.Portfolio.arms)
+    Alcotest.(check int) "all arms reported"
+      (List.length (Portfolio.default_arms Portfolio.Depth))
+      (List.length report.Portfolio.arms)
   | None -> Alcotest.fail "portfolio found nothing"
 
 let test_portfolio_swaps () =

@@ -259,6 +259,31 @@ let test_certify_depth_end_to_end () =
       Alcotest.(check bool) "core is bound assumptions only" true (lb.Certificate.core_size >= 1));
     Alcotest.(check bool) "provenance recorded" true (cert.Certificate.provenance <> [])
 
+(* Same end-to-end certification, but with CNF preprocessing +
+   inprocessing enabled: the simplifier's resolvent additions and
+   deletions flow through the same DRAT sink, so the checker must still
+   accept the lower-bound refutation. *)
+let test_certify_depth_with_simplification () =
+  let instance = tiny_instance () in
+  let plain = Core.Synthesis.run ~objective:Core.Synthesis.Depth instance in
+  let report =
+    Core.Synthesis.run ~certify:true ~simplify:true ~objective:Core.Synthesis.Depth instance
+  in
+  Alcotest.(check bool) "optimal" true report.Core.Synthesis.optimal;
+  (match (plain.Core.Synthesis.result, report.Core.Synthesis.result) with
+  | Some a, Some b ->
+    Alcotest.(check int) "same optimum as unsimplified run" a.Core.Result_.depth
+      b.Core.Result_.depth
+  | _ -> Alcotest.fail "both runs must produce a schedule");
+  match report.Core.Synthesis.certificate with
+  | None -> Alcotest.fail "no certificate for a proved-optimal simplified run"
+  | Some cert ->
+    Alcotest.(check bool) "certificate valid" true (Certificate.valid cert);
+    Alcotest.(check bool) "model validated" true cert.Certificate.model_valid;
+    (match cert.Certificate.lower_bound with
+    | None -> ()
+    | Some lb -> Alcotest.(check bool) "lower bound accepted" true lb.Certificate.accepted)
+
 let test_certify_swaps_end_to_end () =
   let instance = tiny_instance () in
   let report =
@@ -326,6 +351,8 @@ let suite =
         Alcotest.test_case "core lemma checkable" `Quick test_core_lemma_checkable;
         Alcotest.test_case "certify depth end-to-end" `Quick test_certify_depth_end_to_end;
         Alcotest.test_case "certify swaps end-to-end" `Quick test_certify_swaps_end_to_end;
+        Alcotest.test_case "certify depth with simplification" `Quick
+          test_certify_depth_with_simplification;
         Alcotest.test_case "certificate writes proof file" `Quick test_certify_writes_proof_file;
         Alcotest.test_case "false optimum rejected" `Quick test_certify_rejects_false_optimum;
       ] );

@@ -1,0 +1,315 @@
+(* Tests for the lib/simplify preprocessing subsystem: engine-level unit
+   cases (subsumption, strengthening, variable elimination, pure
+   literals), seeded random-3CNF soundness properties (equisatisfiability
+   against the plain solver, reconstructed models satisfying the
+   *original* formula, frozen variables never eliminated), proof
+   checkability of simplified UNSAT runs, inprocessing, and the
+   encoder-level reduction the acceptance criteria ask for. *)
+
+module S = Olsq2_sat.Solver
+module L = Olsq2_sat.Lit
+module Simplify = Olsq2_simplify.Simplify
+module Drat = Olsq2_proof.Drat
+module Checker = Olsq2_proof.Checker
+module Rng = Olsq2_util.Rng
+module Core = Olsq2_core
+module B = Olsq2_benchgen
+module Devices = Olsq2_device.Devices
+
+let dim = L.of_dimacs
+let clause lits = List.map dim lits
+
+let mk_solver nvars clauses =
+  let s = S.create () in
+  for _ = 1 to nvars do
+    ignore (S.new_var s)
+  done;
+  List.iter (S.add_clause s) clauses;
+  s
+
+(* ---- engine unit cases ---- *)
+
+(* [1 2] subsumes [1 2 3]: one clause must disappear. *)
+let test_subsumption () =
+  let s = mk_solver 3 [ clause [ 1; 2 ]; clause [ 1; 2; 3 ]; clause [ -1; -2; -3 ] ] in
+  (* freeze everything so only subsumption can act *)
+  for v = 0 to 2 do
+    S.freeze s v
+  done;
+  let r = Simplify.preprocess s in
+  Alcotest.(check int) "clauses before" 3 r.Simplify.clauses_before;
+  Alcotest.(check int) "one clause subsumed" 1 r.Simplify.subsumed;
+  Alcotest.(check int) "clauses after" 2 r.Simplify.clauses_after;
+  Alcotest.(check bool) "still sat" true (S.solve s = S.Sat)
+
+(* [1 2] + [-1 2 3]: self-subsuming resolution strengthens the latter to
+   [2 3]. *)
+let test_strengthening () =
+  let s = mk_solver 3 [ clause [ 1; 2 ]; clause [ -1; 2; 3 ]; clause [ -2; 3 ]; clause [ -3; 1 ] ] in
+  for v = 0 to 2 do
+    S.freeze s v
+  done;
+  let r = Simplify.preprocess s in
+  Alcotest.(check bool) "strengthened at least once" true (r.Simplify.strengthened >= 1);
+  Alcotest.(check int) "literal count dropped" (r.Simplify.lits_before - 1) r.Simplify.lits_after;
+  Alcotest.(check bool) "still sat" true (S.solve s = S.Sat)
+
+(* Auxiliary variable defined by two binary clauses resolves away. *)
+let test_variable_elimination () =
+  let s =
+    mk_solver 4
+      [ clause [ -1; 2 ]; clause [ 1; 3 ]; clause [ 2; 3; 4 ]; clause [ -2; -3; -4 ] ]
+  in
+  (* leave var 1 (index 0) free to eliminate; freeze the rest *)
+  List.iter (fun v -> S.freeze s v) [ 1; 2; 3 ];
+  let r = Simplify.preprocess s in
+  Alcotest.(check int) "one variable eliminated" 1 r.Simplify.eliminated;
+  Alcotest.(check bool) "var 0 gone" true (S.is_eliminated s 0);
+  Alcotest.(check bool) "still sat" true (S.solve s = S.Sat);
+  (* the reconstructed value of the eliminated variable must satisfy its
+     original clauses: (-1 2) and (1 3) *)
+  let value l = S.model_value s (dim l) in
+  Alcotest.(check bool) "(-1 2) satisfied" true (value (-1) || value 2);
+  Alcotest.(check bool) "(1 3) satisfied" true (value 1 || value 3)
+
+(* A variable occurring in one polarity only (pure) eliminates with zero
+   resolvents. *)
+let test_pure_literal () =
+  let s = mk_solver 3 [ clause [ 1; 2 ]; clause [ 1; 3 ]; clause [ 2; 3 ] ] in
+  List.iter (fun v -> S.freeze s v) [ 1; 2 ];
+  let r = Simplify.preprocess s in
+  Alcotest.(check int) "pure var eliminated" 1 r.Simplify.eliminated;
+  Alcotest.(check int) "no resolvents" 0 r.Simplify.resolvents;
+  Alcotest.(check bool) "still sat" true (S.solve s = S.Sat);
+  Alcotest.(check bool) "pure literal reconstructed true" true (S.model_value s (dim 1))
+
+let test_unsat_detected () =
+  (* contradictory units through a chain: preprocessing alone refutes it *)
+  let s = mk_solver 2 [ clause [ 1 ]; clause [ -1; 2 ]; clause [ -2 ] ] in
+  ignore (Simplify.preprocess s);
+  Alcotest.(check bool) "root conflict found" true ((not (S.is_ok s)) || S.solve s = S.Unsat)
+
+(* ---- seeded random-3CNF soundness properties ---- *)
+
+let random_cnf rng ~nvars ~nclauses =
+  List.init nclauses (fun _ ->
+      let rec distinct k acc =
+        if k = 0 then acc
+        else begin
+          let v = Rng.int rng nvars in
+          if List.exists (fun l -> L.var l = v) acc then distinct k acc
+          else distinct (k - 1) (L.of_var ~sign:(Rng.bool rng) v :: acc)
+        end
+      in
+      distinct 3 [])
+
+let mk_raw nvars clauses =
+  let s = S.create () in
+  for _ = 1 to nvars do
+    ignore (S.new_var s)
+  done;
+  List.iter (S.add_clause s) clauses;
+  s
+
+(* Equisatisfiability against the plain solver, and model soundness on
+   the *original* clause list, across many seeds.  12 vars x 50 clauses
+   (ratio > 4) mixes SAT and UNSAT instances. *)
+let test_random_equisat () =
+  for seed = 1 to 60 do
+    let rng = Rng.create seed in
+    let nvars = 12 in
+    let cnf = random_cnf rng ~nvars ~nclauses:(40 + Rng.int rng 20) in
+    let plain = mk_raw nvars cnf in
+    let simp = mk_raw nvars cnf in
+    ignore (Simplify.preprocess simp);
+    let expected = S.solve plain in
+    let got = S.solve simp in
+    if expected <> got then
+      Alcotest.failf "seed %d: plain=%s simplified=%s" seed (S.result_to_string expected)
+        (S.result_to_string got);
+    if got = S.Sat then
+      List.iteri
+        (fun i c ->
+          if not (List.exists (fun l -> S.model_value simp l) c) then
+            Alcotest.failf "seed %d: reconstructed model falsifies original clause %d" seed i)
+        cnf
+  done
+
+(* Frozen variables survive every elimination pass, and assuming them
+   after preprocessing matches the plain solver's answers. *)
+let test_frozen_respected () =
+  for seed = 61 to 90 do
+    let rng = Rng.create seed in
+    let nvars = 12 in
+    let cnf = random_cnf rng ~nvars ~nclauses:30 in
+    let frozen = [ 0; 3; 7 ] in
+    let plain = mk_raw nvars cnf in
+    let simp = mk_raw nvars cnf in
+    List.iter (fun v -> S.freeze simp v) frozen;
+    ignore (Simplify.preprocess simp);
+    List.iter
+      (fun v ->
+        Alcotest.(check bool) "frozen never eliminated" false (S.is_eliminated simp v))
+      frozen;
+    (* both polarities of a frozen variable as an assumption *)
+    List.iter
+      (fun v ->
+        List.iter
+          (fun sign ->
+            let a = [ L.of_var ~sign v ] in
+            let expected = S.solve ~assumptions:a plain in
+            let got = S.solve ~assumptions:a simp in
+            if expected <> got then
+              Alcotest.failf "seed %d: assumption %d/%b plain=%s simplified=%s" seed v sign
+                (S.result_to_string expected) (S.result_to_string got))
+          [ true; false ])
+      frozen
+  done
+
+(* ---- proofs through simplification ---- *)
+
+(* Every simplified UNSAT run must still carry a checker-accepted DRAT
+   proof: resolvent additions, strengthened clauses and deletions are all
+   part of the logged stream. *)
+let test_unsat_proofs_checkable () =
+  let checked = ref 0 in
+  let seed = ref 100 in
+  while !checked < 8 && !seed < 200 do
+    incr seed;
+    let rng = Rng.create !seed in
+    let nvars = 10 in
+    let cnf = random_cnf rng ~nvars ~nclauses:55 in
+    let plain = mk_raw nvars cnf in
+    if S.solve plain = S.Unsat then begin
+      incr checked;
+      let sink = Drat.create () in
+      let s = S.create () in
+      Drat.attach sink s;
+      for _ = 1 to nvars do
+        ignore (S.new_var s)
+      done;
+      List.iter (S.add_clause s) cnf;
+      ignore (Simplify.preprocess s);
+      Alcotest.(check bool) "simplified run unsat" true (S.solve s = S.Unsat);
+      let formula = Drat.formula sink and proof = Drat.steps sink in
+      List.iter
+        (fun (name, mode) ->
+          match (Checker.check_unsat ~mode ~formula ~proof ()).Checker.verdict with
+          | Checker.Valid -> ()
+          | Checker.Invalid { step; reason } ->
+            Alcotest.failf "seed %d (%s): proof rejected at step %d: %s" !seed name step reason)
+        [ ("forward", Checker.Forward); ("backward", Checker.Backward) ]
+    end
+  done;
+  Alcotest.(check bool) "found UNSAT instances to check" true (!checked >= 5)
+
+(* Pigeonhole with preprocessing: deterministic, deletion-heavy. *)
+let test_php_proof_checkable () =
+  let sink = Drat.create () in
+  let s = S.create () in
+  Drat.attach sink s;
+  let holes = 4 in
+  let pigeons = holes + 1 in
+  let v = Array.init pigeons (fun _ -> Array.init holes (fun _ -> S.new_lit s)) in
+  for p = 0 to pigeons - 1 do
+    S.add_clause s (Array.to_list v.(p))
+  done;
+  for h = 0 to holes - 1 do
+    for p = 0 to pigeons - 1 do
+      for q = p + 1 to pigeons - 1 do
+        S.add_clause s [ L.negate v.(p).(h); L.negate v.(q).(h) ]
+      done
+    done
+  done;
+  ignore (Simplify.preprocess s);
+  Alcotest.(check bool) "php unsat after preprocessing" true (S.solve s = S.Unsat);
+  let formula = Drat.formula sink and proof = Drat.steps sink in
+  List.iter
+    (fun (name, mode) ->
+      match (Checker.check_unsat ~mode ~formula ~proof ()).Checker.verdict with
+      | Checker.Valid -> ()
+      | Checker.Invalid { step; reason } ->
+        Alcotest.failf "php (%s): proof rejected at step %d: %s" name step reason)
+    [ ("forward", Checker.Forward); ("backward", Checker.Backward) ]
+
+(* ---- inprocessing ---- *)
+
+let test_inprocessing_sound () =
+  for seed = 200 to 215 do
+    let rng = Rng.create seed in
+    let nvars = 14 in
+    let cnf = random_cnf rng ~nvars ~nclauses:60 in
+    let plain = mk_raw nvars cnf in
+    let simp = mk_raw nvars cnf in
+    (* tiny interval so the hook actually fires on these small searches *)
+    Simplify.attach_inprocessing ~interval:1 simp;
+    let expected = S.solve plain in
+    let got = S.solve simp in
+    if expected <> got then
+      Alcotest.failf "seed %d: plain=%s inprocessed=%s" seed (S.result_to_string expected)
+        (S.result_to_string got);
+    if got = S.Sat then
+      List.iteri
+        (fun i c ->
+          if not (List.exists (fun l -> S.model_value simp l) c) then
+            Alcotest.failf "seed %d: inprocessed model falsifies original clause %d" seed i)
+        cnf
+  done
+
+(* ---- encoder-level reduction and end-to-end synthesis ---- *)
+
+let qaoa_instance () =
+  Core.Instance.make ~swap_duration:1 (B.Qaoa.random ~seed:11 4) (Devices.grid 2 2)
+
+(* Acceptance criterion: >= 20% clause reduction on a table1-style
+   instance for at least one encoding configuration. *)
+let test_encoder_reduction () =
+  let config = { Core.Config.olsq2_bv with Core.Config.simplify = true } in
+  let enc = Core.Encoder.build ~config (qaoa_instance ()) ~t_max:5 in
+  match enc.Core.Encoder.simplify_report with
+  | None -> Alcotest.fail "simplify=true produced no report"
+  | Some r ->
+    let reduction =
+      100.0
+      *. float_of_int (r.Simplify.clauses_before - r.Simplify.clauses_after)
+      /. float_of_int (max 1 r.Simplify.clauses_before)
+    in
+    if reduction < 20.0 then
+      Alcotest.failf "clause reduction %.1f%% < 20%% (%d -> %d)" reduction
+        r.Simplify.clauses_before r.Simplify.clauses_after;
+    Alcotest.(check bool) "eliminated some variables" true (r.Simplify.eliminated > 0)
+
+(* Simplification must not change the optimum the facade reports. *)
+let test_synthesis_same_optimum () =
+  let instance = qaoa_instance () in
+  let base = Core.Synthesis.run ~objective:Core.Synthesis.Depth instance in
+  let simp = Core.Synthesis.run ~simplify:true ~objective:Core.Synthesis.Depth instance in
+  Alcotest.(check bool) "baseline optimal" true base.Core.Synthesis.optimal;
+  Alcotest.(check bool) "simplified optimal" true simp.Core.Synthesis.optimal;
+  match (base.Core.Synthesis.result, simp.Core.Synthesis.result) with
+  | Some a, Some b -> Alcotest.(check int) "same optimal depth" a.Core.Result_.depth b.Core.Result_.depth
+  | _ -> Alcotest.fail "both runs must produce a result"
+
+let suite =
+  [
+    ( "simplify",
+      [
+        Alcotest.test_case "subsumption removes the superset clause" `Quick test_subsumption;
+        Alcotest.test_case "self-subsuming resolution strengthens" `Quick test_strengthening;
+        Alcotest.test_case "bounded variable elimination + reconstruction" `Quick
+          test_variable_elimination;
+        Alcotest.test_case "pure literal elimination" `Quick test_pure_literal;
+        Alcotest.test_case "preprocessing detects root unsat" `Quick test_unsat_detected;
+        Alcotest.test_case "random 3CNF equisatisfiable, models reconstruct" `Quick
+          test_random_equisat;
+        Alcotest.test_case "frozen vars survive; assumptions agree" `Quick test_frozen_respected;
+        Alcotest.test_case "simplified UNSAT proofs check (random)" `Quick
+          test_unsat_proofs_checkable;
+        Alcotest.test_case "simplified UNSAT proof checks (php)" `Quick test_php_proof_checkable;
+        Alcotest.test_case "inprocessing preserves results" `Quick test_inprocessing_sound;
+        Alcotest.test_case "encoder preprocessing cuts >= 20% of clauses" `Quick
+          test_encoder_reduction;
+        Alcotest.test_case "synthesis optimum unchanged by simplification" `Quick
+          test_synthesis_same_optimum;
+      ] );
+  ]
