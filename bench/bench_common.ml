@@ -95,3 +95,27 @@ let hr title =
 
 let mean xs =
   match xs with [] -> nan | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+(* ---- JSON output ----
+
+   Benchmark reports (bench/regress.exe's BENCH_<n>.json) ride on
+   Obs.Json: the repo's single JSON writer, so string escaping (control
+   characters, quotes, backslashes in instance labels) is implemented
+   exactly once. *)
+
+module Json = Olsq2_obs.Obs.Json
+
+let json_int i = Json.Num (float_of_int i)
+
+let write_json_file path json =
+  let oc = open_out path in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc
+
+let read_json_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  Json.parse s

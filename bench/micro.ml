@@ -120,11 +120,13 @@ let tb_kernel () =
   ignore (Core.Tb_encoder.solve enc)
 
 (* Per-event cost of the tracer itself: disabled must be one predictable
-   branch, enabled one bounds-checked array store. *)
+   branch, enabled one bounds-checked array store.  Half the events are
+   histogram observations so the guard contract covers [Obs.hist] too. *)
 let obs_disabled_kernel () =
   let obs = Obs.disabled in
-  for _ = 1 to 1000 do
-    Obs.count obs "noop" 1
+  for i = 1 to 500 do
+    Obs.count obs "noop" 1;
+    Obs.hist obs "noop.hist" (float_of_int i)
   done
 
 let obs_live_tracer = lazy (Obs.create ())
@@ -132,9 +134,19 @@ let obs_live_tracer = lazy (Obs.create ())
 let obs_enabled_kernel () =
   let obs = Lazy.force obs_live_tracer in
   Obs.reset obs;
-  for _ = 1 to 1000 do
-    Obs.count obs "noop" 1
+  for i = 1 to 500 do
+    Obs.count obs "noop" 1;
+    Obs.hist obs "noop.hist" (float_of_int i)
   done
+
+(* The in-stats histograms the solver feeds per conflict (no tracer
+   involved): one [observe] is a log2 + array increment. *)
+let hist_kernel () =
+  let h = Obs.Histogram.create () in
+  for i = 1 to 1000 do
+    Obs.Histogram.observe_int h (i land 63)
+  done;
+  ignore (Obs.Histogram.percentile h 90.0)
 
 let tests =
   Test.make_grouped ~name:"olsq2" ~fmt:"%s %s"
@@ -151,6 +163,7 @@ let tests =
       Test.make ~name:"tb block solve (table4 kernel)" (Staged.stage tb_kernel);
       Test.make ~name:"obs off x1000 events (guard branch)" (Staged.stage obs_disabled_kernel);
       Test.make ~name:"obs on x1000 events (record cost)" (Staged.stage obs_enabled_kernel);
+      Test.make ~name:"obs histogram x1000 observe" (Staged.stage hist_kernel);
     ]
 
 let run () =

@@ -85,13 +85,36 @@ let output_arg =
 let trace_arg =
   let doc =
     "Record a trace of the run and write it to $(docv): JSON lines by default, or a Chrome \
-     trace_event file (Perfetto / chrome://tracing loadable) when $(docv) ends in .json."
+     trace_event file (Perfetto / chrome://tracing loadable) when $(docv) ends in .json.  \
+     $(b,--trace-out) is an alias."
   in
-  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  Arg.(value & opt (some string) None & info [ "trace"; "trace-out" ] ~docv:"FILE" ~doc)
 
 let metrics_arg =
-  let doc = "Print a per-span timing and counter summary after the run." in
+  let doc =
+    "Print a per-span timing and counter summary after the run on stderr (results stay on \
+     stdout); use $(b,--metrics-out) to write it to a file instead."
+  in
   Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let metrics_out_arg =
+  let doc = "Write the per-span timing and counter summary to $(docv) instead of stderr." in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let stats_arg =
+  let doc =
+    "Solver introspection: print live $(i,bound=... conflicts=... learnt=...) heartbeat lines on \
+     stderr during long solves, and after the run an aggregate solver-statistics block (conflicts, \
+     propagations/sec, LBD and trail-depth percentiles) plus a per-bound-iteration table."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let prom_arg =
+  let doc =
+    "Write the run's metric summary (counters, span totals, histograms) to $(docv) in Prometheus \
+     text exposition format, e.g. for a node_exporter textfile collector."
+  in
+  Arg.(value & opt (some string) None & info [ "prom" ] ~docv:"FILE" ~doc)
 
 let certify_arg =
   let doc =
@@ -122,15 +145,42 @@ let simplify_arg =
 
 (* ---- synth ---- *)
 
+module Solver = Olsq2_sat.Solver
+
+(* Aggregate + per-iteration solver statistics on stderr (results stay on
+   stdout, so pipelines keep working under --stats). *)
+let print_stats_block ~label agg (iters : Core.Optimizer.iter_stat list) =
+  Format.eprintf "@[<v>%s solver stats:@,%a@]@." label Solver.pp_stats_record agg;
+  if iters <> [] then begin
+    Printf.eprintf "%s iterations:\n  %-16s %6s %-16s %9s %10s %13s\n" label "phase" "bound"
+      "verdict" "seconds" "conflicts" "propagations";
+    List.iter
+      (fun (it : Core.Optimizer.iter_stat) ->
+        let s = it.Core.Optimizer.iter_stats in
+        Printf.eprintf "  %-16s %6d %-16s %9.3f %10d %13d\n" it.Core.Optimizer.iter_phase
+          it.Core.Optimizer.iter_bound it.Core.Optimizer.iter_verdict
+          it.Core.Optimizer.iter_seconds s.Solver.conflicts s.Solver.propagations)
+      iters;
+    flush stderr
+  end
+
 let run_synth circuit_spec device_name budget swap_duration objective method_ config warm output
-    trace metrics certify proof_file simplify =
+    trace metrics metrics_out stats prom certify proof_file simplify =
   let obs =
-    if trace <> None || metrics then (
+    if trace <> None || metrics || metrics_out <> None || prom <> None then (
       let t = Obs.create () in
       Obs.set_global t;
       t)
     else Obs.disabled
   in
+  if stats then
+    Core.Optimizer.set_progress_sink
+      (Some
+         (fun (p : Core.Optimizer.progress) ->
+           Printf.eprintf "[%s] bound=%d conflicts=%d learnt=%d props=%d\n%!"
+             p.Core.Optimizer.prog_phase p.Core.Optimizer.prog_bound
+             p.Core.Optimizer.prog_conflicts p.Core.Optimizer.prog_learnts
+             p.Core.Optimizer.prog_propagations));
   let device = Devices.by_name device_name in
   let circuit = Suite.parse_spec ~device circuit_spec in
   let swap_duration =
@@ -202,6 +252,8 @@ let run_synth circuit_spec device_name budget swap_duration objective method_ co
       (match (method_, r.Core.Synthesis.pareto) with
       | `Tb, (blocks, _) :: _ -> Printf.printf "blocks used: %d\n" blocks
       | _ -> ());
+      if stats then
+        print_stats_block ~label:"run" r.Core.Synthesis.solver_stats r.Core.Synthesis.iter_stats;
       finish ?certificate:r.Core.Synthesis.certificate r.Core.Synthesis.result
     | `Sabre -> finish (Some (Sabre.synthesize instance))
     | `Astar -> finish (Astar.synthesize instance)
@@ -241,12 +293,20 @@ let run_synth circuit_spec device_name budget swap_duration objective method_ co
                 (if arm.Core.Portfolio.optimal then " (optimal)" else "")
             | None -> "no result"))
         report.Core.Portfolio.arms;
+      if stats then
+        List.iter
+          (fun (a : Core.Portfolio.arm_outcome) ->
+            print_stats_block
+              ~label:(Printf.sprintf "arm %s" a.Core.Portfolio.arm.Core.Portfolio.arm_name)
+              a.Core.Portfolio.arm_stats [])
+          report.Core.Portfolio.arms;
       (match report.Core.Portfolio.winner with
       | Some w ->
         Printf.printf "winner: %s\n" w.Core.Portfolio.arm.Core.Portfolio.arm_name;
         finish ?certificate:report.Core.Portfolio.certificate w.Core.Portfolio.result
       | None -> finish None)
   in
+  if stats then Core.Optimizer.set_progress_sink None;
   (match trace with
   | None -> ()
   | Some path ->
@@ -255,10 +315,27 @@ let run_synth circuit_spec device_name budget swap_duration objective method_ co
     else Obs.write_jsonl obs oc;
     close_out oc;
     Printf.printf "trace written to %s\n" path);
-  if metrics then begin
-    Format.printf "%a@?" Obs.pp_summary (Obs.summary obs);
-    Printf.printf "simplify: %s\n" (Olsq2_simplify.Simplify.totals_summary ())
+  if metrics || metrics_out <> None then begin
+    let render fmt =
+      Format.fprintf fmt "%a@?" Obs.pp_summary (Obs.summary obs);
+      Format.fprintf fmt "simplify: %s@." (Olsq2_simplify.Simplify.totals_summary ())
+    in
+    if metrics then render Format.err_formatter;
+    match metrics_out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      render (Format.formatter_of_out_channel oc);
+      close_out oc;
+      Printf.printf "metrics written to %s\n" path
   end;
+  (match prom with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Obs.write_prometheus obs oc;
+    close_out oc;
+    Printf.printf "prometheus metrics written to %s\n" path);
   code
 
 let synth_cmd =
@@ -268,7 +345,7 @@ let synth_cmd =
     Term.(
       const run_synth $ circuit_arg $ device_arg $ budget_arg $ swap_duration_arg $ objective_arg
       $ method_arg $ config_arg $ warm_start_arg $ output_arg $ trace_arg $ metrics_arg
-      $ certify_arg $ proof_arg $ simplify_arg)
+      $ metrics_out_arg $ stats_arg $ prom_arg $ certify_arg $ proof_arg $ simplify_arg)
 
 (* ---- generate ---- *)
 

@@ -77,5 +77,20 @@ let cardinality_name = function
   | Totalizer -> "totalizer"
   | Adder -> "AtMost"
 
+let to_assoc c =
+  [
+    ("formulation", (match c.formulation with Olsq -> "olsq" | Olsq2 -> "olsq2"));
+    ( "var_encoding",
+      match c.var_encoding with Lazy_int -> "lazy_int" | Onehot -> "onehot" | Binary -> "binary"
+    );
+    ("injectivity", (match c.injectivity with Pairwise -> "pairwise" | Inverse -> "inverse"));
+    ( "cardinality",
+      match c.cardinality with
+      | Seq_counter -> "seq_counter"
+      | Totalizer -> "totalizer"
+      | Adder -> "adder" );
+    ("simplify", string_of_bool c.simplify);
+  ]
+
 let table1_configs =
   [ olsq_int; olsq_bv; olsq2_int; olsq2_euf_int; olsq2_euf_bv; olsq2_bv ]

@@ -52,5 +52,9 @@ val name : t -> string
 
 val cardinality_name : cardinality -> string
 
+(** Stable key/value rendering of every field (for benchmark-report and
+    metrics serialization). *)
+val to_assoc : t -> (string * string) list
+
 (** The six Table I configurations, in the paper's column order. *)
 val table1_configs : t list

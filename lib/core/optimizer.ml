@@ -21,15 +21,136 @@ module Solver = Olsq2_sat.Solver
 module Stopwatch = Olsq2_util.Stopwatch
 module Obs = Olsq2_obs.Obs
 
+(* ---- per-iteration statistics collection ---- *)
+
+type iter_stat = {
+  iter_phase : string;
+  iter_bound : int;
+  iter_verdict : string;
+  iter_seconds : float;
+  iter_stats : Solver.stats;
+}
+
+(* Each domain collects its own iteration records (portfolio arms run
+   concurrently), so collection needs no locks: a per-domain collector is
+   armed by the entry point running in that domain.  Entry points nest
+   (minimize_swaps starts with the depth loop), hence the
+   physical-equality prefix walk in [collecting] instead of a flat
+   reset. *)
+type collector = {
+  mutable active : bool;
+  mutable iters : iter_stat list; (* newest first *)
+  mutable agg : Solver.stats;
+}
+
+let collector_key =
+  Domain.DLS.new_key (fun () -> { active = false; iters = []; agg = Solver.stats_zero () })
+
+let collector () = Domain.DLS.get collector_key
+
+(* Run an optimization entry point with iteration collection armed;
+   returns [f]'s result plus the iterations recorded during [f] (oldest
+   first) and their aggregate solver stats.  A nested entry point keeps
+   the outer collection running and still carves out its own slice. *)
+let collecting f =
+  let col = collector () in
+  let was_active = col.active in
+  if not was_active then begin
+    col.iters <- [];
+    col.agg <- Solver.stats_zero ()
+  end;
+  col.active <- true;
+  let iters0 = col.iters in
+  let agg0 = Solver.stats_copy col.agg in
+  Fun.protect
+    ~finally:(fun () -> col.active <- was_active)
+    (fun () ->
+      let r = f () in
+      let rec fresh acc = function
+        | l when l == iters0 -> acc
+        | [] -> acc
+        | x :: tl -> fresh (x :: acc) tl
+      in
+      (r, fresh [] col.iters, Solver.stats_diff ~after:col.agg ~before:agg0))
+
+(* ---- live progress ---- *)
+
+type progress = {
+  prog_phase : string;
+  prog_bound : int;
+  prog_conflicts : int;
+  prog_learnts : int;
+  prog_propagations : int;
+}
+
+(* Process-wide progress sink (mirrors the ambient tracer): the CLI
+   installs one callback; every bound iteration forwards the solver's
+   rate-limited progress events to it, labelled with the phase and bound
+   being attempted.  Atomic because portfolio arms race in separate
+   domains; the callback must be domain-safe. *)
+let progress_sink : ((progress -> unit) option * int) Atomic.t = Atomic.make (None, 2000)
+
+let set_progress_sink ?(interval = 2000) cb = Atomic.set progress_sink (cb, interval)
+
 (* One span per bound iteration: the per-iteration telemetry the paper's
    optimization-loop story (§III-B) needs.  [solve] nests a "sat.solve"
    span (with conflict/propagation deltas) inside each of these.  [core]
-   names the solver whose final conflict explains an UNSAT verdict; the
-   failed bound assumptions are recorded on the span so a trace shows
-   *which* bounds blocked each refinement step, not just that one did. *)
+   names the solver doing the work: its stats delta becomes the
+   iteration's [iter_stat], its final conflict explains an UNSAT verdict
+   (the failed bound assumptions are recorded on the span so a trace
+   shows *which* bounds blocked each refinement step), and its progress
+   callback feeds the ambient sink while this iteration runs. *)
 let iter_span name ~bound ?core solve =
+  let col = collector () in
+  let stats_before =
+    if col.active then Option.map (fun s -> Solver.stats_copy (Solver.stats s)) core else None
+  in
+  let t0 = Stopwatch.now () in
+  let solve =
+    match (core, Atomic.get progress_sink) with
+    | Some solver, (Some sink, interval) ->
+      fun () ->
+        Solver.set_progress ~interval solver
+          (Some
+             (fun s ->
+               let st = Solver.stats s in
+               sink
+                 {
+                   prog_phase = name;
+                   prog_bound = bound;
+                   prog_conflicts = st.Solver.conflicts;
+                   prog_learnts = Solver.n_learnts s;
+                   prog_propagations = st.Solver.propagations;
+                 }));
+        Fun.protect ~finally:(fun () -> Solver.set_progress solver None) solve
+    | _ -> solve
+  in
+  let record r =
+    match stats_before with
+    | None -> ()
+    | Some before ->
+      let delta =
+        match core with
+        | Some s -> Solver.stats_diff ~after:(Solver.stats s) ~before
+        | None -> Solver.stats_zero ()
+      in
+      Solver.stats_add ~into:col.agg delta;
+      col.iters <-
+        {
+          iter_phase = name;
+          iter_bound = bound;
+          iter_verdict = Solver.result_to_string r;
+          iter_seconds = Stopwatch.now () -. t0;
+          iter_stats = delta;
+        }
+        :: col.iters
+  in
   let obs = Obs.global () in
-  if not (Obs.enabled obs) then solve ()
+  if not (Obs.enabled obs) then begin
+    let r = solve () in
+    record r;
+    r
+  end
   else begin
     let sp = Obs.begin_span obs name ~attrs:[ ("bound", Obs.Int bound) ] in
     let r = solve () in
@@ -46,6 +167,7 @@ let iter_span name ~bound ?core solve =
       | _ -> attrs
     in
     Obs.end_span obs sp ~attrs;
+    record r;
     r
   end
 
@@ -60,10 +182,20 @@ type outcome = {
   iterations : int;
   total_seconds : float;
   pareto : (int * int) list; (* (depth bound, best swaps proven at it) *)
+  stats : Solver.stats; (* aggregate over all bound iterations *)
+  iter_stats : iter_stat list; (* per bound iteration, oldest first *)
 }
 
 let empty_outcome ~iterations ~seconds =
-  { result = None; optimal = false; iterations; total_seconds = seconds; pareto = [] }
+  {
+    result = None;
+    optimal = false;
+    iterations;
+    total_seconds = seconds;
+    pareto = [];
+    stats = Solver.stats_zero ();
+    iter_stats = [];
+  }
 
 (* Next depth bound after UNSAT (paper §III-B-1). *)
 let grow_bound t_b =
@@ -79,7 +211,7 @@ let remaining_or_none budget =
 (* Returns the outcome and, on success, the encoder together with the
    achieved depth bound, so SWAP optimization can continue on the same
    incremental solver state. *)
-let minimize_depth_with_encoder ?(config = Config.default) ?budget_seconds instance =
+let minimize_depth_with_encoder_body ~config ?budget_seconds instance =
   let budget = Stopwatch.budget budget_seconds in
   let clock = Stopwatch.start () in
   let iterations = ref 0 in
@@ -132,6 +264,8 @@ let minimize_depth_with_encoder ?(config = Config.default) ?budget_seconds insta
             iterations = !iterations;
             total_seconds = Stopwatch.elapsed clock;
             pareto = [ (d, result.Result_.swap_count) ];
+            stats = Solver.stats_zero ();
+            iter_stats = [];
           },
           Some (enc, d) )
       | Solver.Unsat | Solver.Unknown _ ->
@@ -139,6 +273,12 @@ let minimize_depth_with_encoder ?(config = Config.default) ?budget_seconds insta
         fail ())
   in
   with_horizon (Instance.depth_upper_bound instance)
+
+let minimize_depth_with_encoder ?(config = Config.default) ?budget_seconds instance =
+  let (o, enc), iters, agg =
+    collecting (fun () -> minimize_depth_with_encoder_body ~config ?budget_seconds instance)
+  in
+  ({ o with stats = agg; iter_stats = iters }, enc)
 
 let minimize_depth ?config ?budget_seconds instance =
   fst (minimize_depth_with_encoder ?config ?budget_seconds instance)
@@ -182,8 +322,7 @@ let descend_swaps enc ~depth ~start ~budget iterations =
                  (paper termination condition 2). *)
 type seed = Fresh | Warm of int | Tightened of int
 
-let minimize_swaps ?(config = Config.default) ?budget_seconds ?(max_depth_relax = 4) ?warm_start
-    instance =
+let minimize_swaps_body ~config ?budget_seconds ~max_depth_relax ?warm_start instance =
   let clock = Stopwatch.start () in
   let depth_outcome, enc_opt = minimize_depth_with_encoder ~config ?budget_seconds instance in
   match (depth_outcome.result, enc_opt) with
@@ -258,7 +397,17 @@ let minimize_swaps ?(config = Config.default) ?budget_seconds ?(max_depth_relax 
       iterations = !iterations;
       total_seconds = Stopwatch.elapsed clock;
       pareto = List.rev !pareto;
+      stats = Solver.stats_zero ();
+      iter_stats = [];
     }
+
+let minimize_swaps ?(config = Config.default) ?budget_seconds ?(max_depth_relax = 4) ?warm_start
+    instance =
+  let o, iters, agg =
+    collecting (fun () ->
+        minimize_swaps_body ~config ?budget_seconds ~max_depth_relax ?warm_start instance)
+  in
+  { o with stats = agg; iter_stats = iters }
 
 (* ---- fidelity-aware SWAP optimization ---- *)
 
@@ -266,7 +415,7 @@ let minimize_swaps ?(config = Config.default) ?budget_seconds ?(max_depth_relax 
    the integer cost of a SWAP on edge [e] (e.g. scaled -log fidelity), so
    the synthesizer prefers routing through high-fidelity couplers.  Same
    iterative descent as [minimize_swaps], over the weighted counter. *)
-let minimize_weighted_swaps ?(config = Config.default) ?budget_seconds ~weights instance =
+let minimize_weighted_swaps_body ~config ?budget_seconds ~weights instance =
   let clock = Stopwatch.start () in
   let depth_outcome, enc_opt = minimize_depth_with_encoder ~config ?budget_seconds instance in
   match (depth_outcome.result, enc_opt) with
@@ -311,7 +460,15 @@ let minimize_weighted_swaps ?(config = Config.default) ?budget_seconds ~weights 
       iterations = !iterations;
       total_seconds = Stopwatch.elapsed clock;
       pareto = [ (d, cost) ];
+      stats = Solver.stats_zero ();
+      iter_stats = [];
     }
+
+let minimize_weighted_swaps ?(config = Config.default) ?budget_seconds ~weights instance =
+  let o, iters, agg =
+    collecting (fun () -> minimize_weighted_swaps_body ~config ?budget_seconds ~weights instance)
+  in
+  { o with stats = agg; iter_stats = iters }
 
 (* ---- transition-based optimization (TB-OLSQ2, §III-D) ---- *)
 
@@ -320,16 +477,25 @@ type tb_outcome = {
   tb_optimal : bool;
   tb_iterations : int;
   tb_seconds : float;
+  tb_stats : Solver.stats; (* aggregate over all block/SWAP iterations *)
+  tb_iter_stats : iter_stat list; (* per bound iteration, oldest first *)
 }
 
 (* Block-count minimization: the bound starts at 1 and increases by 1 on
    UNSAT (paper §III-D). *)
-let tb_minimize_blocks ?(config = Config.default) ?budget_seconds ?(max_blocks = 16) instance =
+let tb_minimize_blocks_body ~config ?budget_seconds ~max_blocks instance =
   let budget = Stopwatch.budget budget_seconds in
   let clock = Stopwatch.start () in
   let iterations = ref 0 in
   let done_ result optimal =
-    { tb_result = result; tb_optimal = optimal; tb_iterations = !iterations; tb_seconds = Stopwatch.elapsed clock }
+    {
+      tb_result = result;
+      tb_optimal = optimal;
+      tb_iterations = !iterations;
+      tb_seconds = Stopwatch.elapsed clock;
+      tb_stats = Solver.stats_zero ();
+      tb_iter_stats = [];
+    }
   in
   let rec try_blocks b =
     if b > max_blocks || Stopwatch.exhausted budget then done_ None false
@@ -337,7 +503,7 @@ let tb_minimize_blocks ?(config = Config.default) ?budget_seconds ?(max_blocks =
       let enc = Tb_encoder.build ~config instance ~num_blocks:b in
       incr iterations;
       match
-        iter_span "opt.tb_iter" ~bound:b (fun () ->
+        iter_span "opt.tb_iter" ~bound:b ~core:(Tb_encoder.solver enc) (fun () ->
             Tb_encoder.solve ?timeout:(remaining_or_none budget) enc)
       with
       | Solver.Sat ->
@@ -352,6 +518,12 @@ let tb_minimize_blocks ?(config = Config.default) ?budget_seconds ?(max_blocks =
     end
   in
   try_blocks 1
+
+let tb_minimize_blocks ?(config = Config.default) ?budget_seconds ?(max_blocks = 16) instance =
+  let o, iters, agg =
+    collecting (fun () -> tb_minimize_blocks_body ~config ?budget_seconds ~max_blocks instance)
+  in
+  { o with tb_stats = agg; tb_iter_stats = iters }
 
 (* Descend the SWAP bound on a TB encoder holding a model. *)
 let tb_descend enc ~budget iterations =
@@ -379,8 +551,7 @@ let tb_descend enc ~budget iterations =
 (* SWAP minimization on the transition-based model: minimal block count
    first, then SWAP descent; relax the block count while it reduces the
    SWAP count further. *)
-let tb_minimize_swaps ?(config = Config.default) ?budget_seconds ?(max_blocks = 16)
-    ?(max_block_relax = 2) instance =
+let tb_minimize_swaps_body ~config ?budget_seconds ~max_blocks ~max_block_relax instance =
   let budget = Stopwatch.budget budget_seconds in
   let clock = Stopwatch.start () in
   let iterations = ref 0 in
@@ -411,7 +582,7 @@ let tb_minimize_swaps ?(config = Config.default) ?budget_seconds ?(max_blocks = 
       let enc = Tb_encoder.build ~config instance ~num_blocks:b in
       incr iterations;
       match
-        iter_span "opt.tb_iter" ~bound:b (fun () ->
+        iter_span "opt.tb_iter" ~bound:b ~core:(Tb_encoder.solver enc) (fun () ->
             Tb_encoder.solve ?timeout:(remaining_or_none budget) enc)
       with
       | Solver.Sat -> Some (enc, b)
@@ -451,4 +622,14 @@ let tb_minimize_swaps ?(config = Config.default) ?budget_seconds ?(max_blocks = 
     tb_optimal = !best_optimal;
     tb_iterations = !iterations;
     tb_seconds = Stopwatch.elapsed clock;
+    tb_stats = Solver.stats_zero ();
+    tb_iter_stats = [];
   }
+
+let tb_minimize_swaps ?(config = Config.default) ?budget_seconds ?(max_blocks = 16)
+    ?(max_block_relax = 2) instance =
+  let o, iters, agg =
+    collecting (fun () ->
+        tb_minimize_swaps_body ~config ?budget_seconds ~max_blocks ~max_block_relax instance)
+  in
+  { o with tb_stats = agg; tb_iter_stats = iters }

@@ -15,12 +15,45 @@
     with its bound and verdict, and every Pareto point an [opt.pareto]
     instant. *)
 
+(** Search-effort record of one bound iteration: which refinement phase
+    ([opt.depth_iter], [opt.swap_iter], ...) attempted which bound, what
+    the verdict was, and the solver-stats delta it cost (conflicts,
+    propagations, LBD/trail histograms — see {!Olsq2_sat.Solver.stats}).
+    Collected whether or not the tracer is enabled. *)
+type iter_stat = {
+  iter_phase : string;
+  iter_bound : int;
+  iter_verdict : string;  (** ["sat"], ["unsat"] or ["unknown:<reason>"] *)
+  iter_seconds : float;
+  iter_stats : Olsq2_sat.Solver.stats;
+}
+
+(** Live-progress event forwarded from the solver's rate-limited
+    {!Olsq2_sat.Solver.set_progress} callback, labelled with the
+    optimization phase and bound being attempted. *)
+type progress = {
+  prog_phase : string;
+  prog_bound : int;
+  prog_conflicts : int;
+  prog_learnts : int;
+  prog_propagations : int;
+}
+
+(** Install (or with [None], remove) the process-wide progress sink: while
+    a bound iteration solves, the solver fires the sink every [interval]
+    (default 2000) conflicts.  Like the ambient tracer, the sink is global
+    so heartbeats need no API threading; portfolio arms forward from their
+    own domains concurrently, so the callback must be domain-safe. *)
+val set_progress_sink : ?interval:int -> (progress -> unit) option -> unit
+
 type outcome = {
   result : Result_.t option;
   optimal : bool;
   iterations : int;  (** total solver calls *)
   total_seconds : float;
   pareto : (int * int) list;  (** (depth bound, best SWAPs proven at it) *)
+  stats : Olsq2_sat.Solver.stats;  (** aggregate search effort of this run *)
+  iter_stats : iter_stat list;  (** per bound iteration, oldest first *)
 }
 
 (** Depth minimization: geometric ascent from T_LB, then unit descent
@@ -60,6 +93,8 @@ type tb_outcome = {
   tb_optimal : bool;
   tb_iterations : int;
   tb_seconds : float;
+  tb_stats : Olsq2_sat.Solver.stats;  (** aggregate search effort of this run *)
+  tb_iter_stats : iter_stat list;  (** per bound iteration, oldest first *)
 }
 
 (** TB-OLSQ2 block-count minimization: bound starts at 1, +1 on UNSAT

@@ -55,6 +55,7 @@ type arm_outcome = {
   result : Result_.t option;
   blocks : int option; (* transition arms only *)
   optimal : bool;
+  arm_stats : Olsq2_sat.Solver.stats; (* aggregate effort, collected in the arm's domain *)
 }
 
 type report = {
@@ -76,24 +77,26 @@ let run_arm objective budget_seconds instance arm =
         ]
   in
   let clock = Olsq2_util.Stopwatch.start () in
-  let result, blocks, optimal =
+  let result, blocks, optimal, arm_stats =
     match (arm.arm_model, objective) with
     | `Full, Depth ->
       let o = Optimizer.minimize_depth ~config:arm.arm_config ?budget_seconds instance in
-      (o.Optimizer.result, None, o.Optimizer.optimal)
+      (o.Optimizer.result, None, o.Optimizer.optimal, o.Optimizer.stats)
     | `Full, Swaps ->
       let o = Optimizer.minimize_swaps ~config:arm.arm_config ?budget_seconds instance in
-      (o.Optimizer.result, None, o.Optimizer.optimal)
+      (o.Optimizer.result, None, o.Optimizer.optimal, o.Optimizer.stats)
     | `Transition, Depth ->
       let o = Optimizer.tb_minimize_blocks ~config:arm.arm_config ?budget_seconds instance in
       (match o.Optimizer.tb_result with
-      | Some r -> (Some r.Tb_encoder.expanded, Some r.Tb_encoder.blocks, o.Optimizer.tb_optimal)
-      | None -> (None, None, false))
+      | Some r ->
+        (Some r.Tb_encoder.expanded, Some r.Tb_encoder.blocks, o.Optimizer.tb_optimal, o.Optimizer.tb_stats)
+      | None -> (None, None, false, o.Optimizer.tb_stats))
     | `Transition, Swaps ->
       let o = Optimizer.tb_minimize_swaps ~config:arm.arm_config ?budget_seconds instance in
       (match o.Optimizer.tb_result with
-      | Some r -> (Some r.Tb_encoder.expanded, Some r.Tb_encoder.blocks, o.Optimizer.tb_optimal)
-      | None -> (None, None, false))
+      | Some r ->
+        (Some r.Tb_encoder.expanded, Some r.Tb_encoder.blocks, o.Optimizer.tb_optimal, o.Optimizer.tb_stats)
+      | None -> (None, None, false, o.Optimizer.tb_stats))
   in
   (* never hand back an invalid model from a racing arm *)
   let result =
@@ -106,6 +109,7 @@ let run_arm objective budget_seconds instance arm =
       [
         ("solved", Obs.Bool (result <> None));
         ("optimal", Obs.Bool optimal);
+        ("conflicts", Obs.Int arm_stats.Olsq2_sat.Solver.conflicts);
         ( "objective_value",
           Obs.Int
             (match result with
@@ -113,7 +117,7 @@ let run_arm objective budget_seconds instance arm =
             | Some r -> (
               match objective with Depth -> r.Result_.depth | Swaps -> r.Result_.swap_count)) );
       ];
-  { arm; seconds = Olsq2_util.Stopwatch.elapsed clock; result; blocks; optimal }
+  { arm; seconds = Olsq2_util.Stopwatch.elapsed clock; result; blocks; optimal; arm_stats }
 
 (* Smaller objective value wins; ties break on proven optimality, then
    wall-clock. *)

@@ -21,6 +21,9 @@ type arm_outcome = {
   result : Result_.t option;  (** validated before being reported *)
   blocks : int option;
   optimal : bool;
+  arm_stats : Olsq2_sat.Solver.stats;
+      (** aggregate search effort of this arm's optimization run (each arm
+          collects in its own domain; see {!Olsq2_sat.Solver.stats}) *)
 }
 
 type report = {

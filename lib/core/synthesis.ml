@@ -19,6 +19,8 @@ type report = {
   seconds : float;
   pareto : (int * int) list;
   trace : Obs.summary;
+  solver_stats : Olsq2_sat.Solver.stats;
+  iter_stats : Optimizer.iter_stat list;
   certificate : Certificate.t option;
 }
 
@@ -37,6 +39,8 @@ let of_outcome (o : Optimizer.outcome) ~trace =
     seconds = o.Optimizer.total_seconds;
     pareto = o.Optimizer.pareto;
     trace;
+    solver_stats = o.Optimizer.stats;
+    iter_stats = o.Optimizer.iter_stats;
     certificate = None;
   }
 
@@ -56,6 +60,8 @@ let of_tb_outcome (o : Optimizer.tb_outcome) ~trace =
     seconds = o.Optimizer.tb_seconds;
     pareto;
     trace;
+    solver_stats = o.Optimizer.tb_stats;
+    iter_stats = o.Optimizer.tb_iter_stats;
     certificate = None;
   }
 

@@ -40,6 +40,13 @@ type report = {
   trace : Olsq2_obs.Obs.summary;
       (** summary of trace events recorded during this run; empty when the
           global tracer is disabled *)
+  solver_stats : Olsq2_sat.Solver.stats;
+      (** aggregate search effort across every bound iteration of the run
+          (conflicts, propagations, LBD / trail-depth histograms,
+          propagations/sec); collected whether or not the tracer is
+          enabled *)
+  iter_stats : Optimizer.iter_stat list;
+      (** per-bound-iteration effort records, oldest first *)
   certificate : Certificate.t option;
       (** optimality certificate, present only when [certify] was requested,
           the run proved optimality, and the objective supports

@@ -14,7 +14,125 @@ module Stopwatch = Olsq2_util.Stopwatch
 
 type value = Int of int | Float of float | Str of string | Bool of bool
 
-type kind = Span | Instant | Count | Gauge
+type kind = Span | Instant | Count | Gauge | Hist
+
+(* Log-bucketed histograms: bucket [i] counts samples in
+   (2^((i-1-zero)/4), 2^((i-zero)/4)], quarter-powers of two over
+   2^-20 .. 2^20, so observation is O(1), the footprint is one fixed int
+   array, and quantiles carry <= ~19% relative error.  Two histograms
+   add bucket-wise, which is what makes per-domain (portfolio-arm)
+   distributions aggregate into process totals. *)
+module Histogram = struct
+  let quarter_octaves = 4
+  let min_exp = -20 (* 2^-20 ~ 1e-6: timer resolution *)
+  let max_exp = 20 (* 2^20 ~ 1e6: trail depths, counts *)
+
+  let zero_index = -min_exp * quarter_octaves
+  let n_buckets = ((max_exp - min_exp) * quarter_octaves) + 1
+
+  type t = {
+    mutable n : int;
+    mutable total : float;
+    mutable vmin : float;
+    mutable vmax : float;
+    counts : int array;
+  }
+
+  let create () =
+    { n = 0; total = 0.0; vmin = infinity; vmax = neg_infinity; counts = Array.make n_buckets 0 }
+
+  let bucket_of v =
+    if v <= 0.0 then 0
+    else begin
+      let i =
+        zero_index
+        + int_of_float (Float.ceil (float_of_int quarter_octaves *. Float.log2 v -. 1e-9))
+      in
+      if i < 0 then 0 else if i >= n_buckets then n_buckets - 1 else i
+    end
+
+  let bound_of i = Float.pow 2.0 (float_of_int (i - zero_index) /. float_of_int quarter_octaves)
+
+  let observe h v =
+    h.n <- h.n + 1;
+    h.total <- h.total +. v;
+    if v < h.vmin then h.vmin <- v;
+    if v > h.vmax then h.vmax <- v;
+    let i = bucket_of v in
+    h.counts.(i) <- h.counts.(i) + 1
+
+  let observe_int h v = observe h (float_of_int v)
+
+  let count h = h.n
+  let sum h = h.total
+  let is_empty h = h.n = 0
+  let min_value h = if h.n = 0 then nan else h.vmin
+  let max_value h = if h.n = 0 then nan else h.vmax
+  let mean h = if h.n = 0 then nan else h.total /. float_of_int h.n
+
+  let percentile h p =
+    if h.n = 0 then nan
+    else begin
+      let rank =
+        let r = int_of_float (Float.ceil (p /. 100.0 *. float_of_int h.n)) in
+        if r < 1 then 1 else if r > h.n then h.n else r
+      in
+      let rec walk i seen =
+        if i >= n_buckets then h.vmax
+        else begin
+          let seen = seen + h.counts.(i) in
+          if seen >= rank then bound_of i else walk (i + 1) seen
+        end
+      in
+      let v = walk 0 0 in
+      Float.min h.vmax (Float.max h.vmin v)
+    end
+
+  let copy h =
+    { n = h.n; total = h.total; vmin = h.vmin; vmax = h.vmax; counts = Array.copy h.counts }
+
+  let merge_into ~into h =
+    into.n <- into.n + h.n;
+    into.total <- into.total +. h.total;
+    if h.vmin < into.vmin then into.vmin <- h.vmin;
+    if h.vmax > into.vmax then into.vmax <- h.vmax;
+    for i = 0 to n_buckets - 1 do
+      into.counts.(i) <- into.counts.(i) + h.counts.(i)
+    done
+
+  let merge a b =
+    let m = copy a in
+    merge_into ~into:m b;
+    m
+
+  (* [before] is an earlier snapshot of [after]'s series: bucket counts
+     subtract exactly; the min/max of the delta window are unknowable from
+     snapshots alone, so the (conservative) observed range of [after] is
+     kept. *)
+  let diff ~after ~before =
+    let d = copy after in
+    d.n <- after.n - before.n;
+    d.total <- after.total -. before.total;
+    for i = 0 to n_buckets - 1 do
+      d.counts.(i) <- after.counts.(i) - before.counts.(i)
+    done;
+    d
+
+  let buckets h =
+    let acc = ref [] in
+    for i = n_buckets - 1 downto 0 do
+      if h.counts.(i) > 0 then acc := (bound_of i, h.counts.(i)) :: !acc
+    done;
+    !acc
+
+  let pp fmt h =
+    if h.n = 0 then Format.fprintf fmt "count=0"
+    else
+      Format.fprintf fmt "count=%d p50=%.4g p90=%.4g p99=%.4g max=%.4g" h.n (percentile h 50.0)
+        (percentile h 90.0) (percentile h 99.0) h.vmax
+
+  let to_string h = Format.asprintf "%a" pp h
+end
 
 type event = {
   kind : kind;
@@ -182,6 +300,21 @@ let gauge t name v =
       }
   end
 
+let hist t name v =
+  if t.on then begin
+    let b = buffer_of t in
+    record t b
+      {
+        kind = Hist;
+        name;
+        ts = elapsed t;
+        dur = 0.0;
+        tid = b.btid;
+        depth = List.length b.stack;
+        attrs = [ ("value", Float v) ];
+      }
+  end
+
 (* ---- reading back ---- *)
 
 let events t =
@@ -209,12 +342,20 @@ type summary = {
   span_stats : (string * span_stat) list;
   counters : (string * int) list;
   gauges : (string * float) list;
+  hists : (string * Histogram.t) list;
   events_recorded : int;
   events_dropped : int;
 }
 
 let empty_summary =
-  { span_stats = []; counters = []; gauges = []; events_recorded = 0; events_dropped = 0 }
+  {
+    span_stats = [];
+    counters = [];
+    gauges = [];
+    hists = [];
+    events_recorded = 0;
+    events_dropped = 0;
+  }
 
 let summary ?(since = 0.0) t =
   if not t.on then empty_summary
@@ -223,6 +364,7 @@ let summary ?(since = 0.0) t =
     let spans : (string, span_stat) Hashtbl.t = Hashtbl.create 16 in
     let counters : (string, int) Hashtbl.t = Hashtbl.create 16 in
     let gauges : (string, float) Hashtbl.t = Hashtbl.create 16 in
+    let hists : (string, Histogram.t) Hashtbl.t = Hashtbl.create 16 in
     List.iter
       (fun ev ->
         match ev.kind with
@@ -245,6 +387,17 @@ let summary ?(since = 0.0) t =
         | Gauge ->
           let v = match ev.attrs with ("value", Float v) :: _ -> v | _ -> 0.0 in
           Hashtbl.replace gauges ev.name v (* events are ts-ordered: last wins *)
+        | Hist ->
+          let v = match ev.attrs with ("value", Float v) :: _ -> v | _ -> 0.0 in
+          let h =
+            match Hashtbl.find_opt hists ev.name with
+            | Some h -> h
+            | None ->
+              let h = Histogram.create () in
+              Hashtbl.add hists ev.name h;
+              h
+          in
+          Histogram.observe h v
         | Instant -> ())
       evs;
     let dropped =
@@ -260,6 +413,7 @@ let summary ?(since = 0.0) t =
         |> List.sort (fun (_, a) (_, b) -> compare b.total_seconds a.total_seconds);
       counters = sorted_assoc counters;
       gauges = sorted_assoc gauges;
+      hists = sorted_assoc hists;
       events_recorded = List.length evs;
       events_dropped = dropped;
     }
@@ -283,6 +437,12 @@ let pp_summary fmt s =
   if s.gauges <> [] then begin
     Format.fprintf fmt "gauges:@,";
     List.iter (fun (name, v) -> Format.fprintf fmt "  %-26s %12.4f@," name v) s.gauges
+  end;
+  if s.hists <> [] then begin
+    Format.fprintf fmt "histograms:@,";
+    List.iter
+      (fun (name, h) -> Format.fprintf fmt "  %-26s %a@," name Histogram.pp h)
+      s.hists
   end;
   Format.fprintf fmt "@]"
 
@@ -518,6 +678,7 @@ let kind_to_string = function
   | Instant -> "instant"
   | Count -> "counter"
   | Gauge -> "gauge"
+  | Hist -> "hist"
 
 let event_to_json ev =
   let attrs = List.map (fun (k, v) -> (k, value_to_json v)) ev.attrs in
@@ -558,9 +719,85 @@ let event_to_chrome ev =
   match ev.kind with
   | Span -> Json.Obj (common @ [ ("ph", Json.Str "X"); ("dur", us ev.dur) ] @ args_field)
   | Instant -> Json.Obj (common @ [ ("ph", Json.Str "i"); ("s", Json.Str "t") ] @ args_field)
-  | Count | Gauge -> Json.Obj (common @ [ ("ph", Json.Str "C") ] @ args_field)
+  | Count | Gauge | Hist -> Json.Obj (common @ [ ("ph", Json.Str "C") ] @ args_field)
 
 let to_chrome_string t =
   Json.to_string (Json.Obj [ ("traceEvents", Json.Arr (List.map event_to_chrome (events t))) ])
 
 let write_chrome t oc = output_string oc (to_chrome_string t)
+
+(* Prometheus text exposition (version 0.0.4). *)
+
+let prom_name s =
+  String.map
+    (fun c -> match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_')
+    s
+
+(* Label-value escaping per the exposition format: backslash, quote, newline. *)
+let prom_label s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let prom_float v =
+  if Float.is_nan v then "NaN"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let prometheus_of_summary ?(namespace = "olsq2") s =
+  let buf = Buffer.create 4096 in
+  let metric name = prom_name (namespace ^ "_" ^ name) in
+  let typ name t = Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name t) in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string buf l; Buffer.add_char buf '\n') fmt in
+  List.iter
+    (fun (name, v) ->
+      let m = metric name ^ "_total" in
+      typ m "counter";
+      line "%s %d" m v)
+    s.counters;
+  List.iter
+    (fun (name, v) ->
+      let m = metric name in
+      typ m "gauge";
+      line "%s %s" m (prom_float v))
+    s.gauges;
+  if s.span_stats <> [] then begin
+    let calls = metric "span_calls_total" in
+    let seconds = metric "span_seconds_total" in
+    typ calls "counter";
+    List.iter (fun (name, st) -> line "%s{span=\"%s\"} %d" calls (prom_label name) st.calls) s.span_stats;
+    typ seconds "counter";
+    List.iter
+      (fun (name, st) -> line "%s{span=\"%s\"} %s" seconds (prom_label name) (prom_float st.total_seconds))
+      s.span_stats
+  end;
+  List.iter
+    (fun (name, h) ->
+      let m = metric name in
+      typ m "histogram";
+      let cum = ref 0 in
+      List.iter
+        (fun (le, c) ->
+          cum := !cum + c;
+          line "%s_bucket{le=\"%s\"} %d" m (prom_float le) !cum)
+        (Histogram.buckets h);
+      line "%s_bucket{le=\"+Inf\"} %d" m (Histogram.count h);
+      line "%s_sum %s" m (prom_float (Histogram.sum h));
+      line "%s_count %d" m (Histogram.count h))
+    s.hists;
+  let recorded = metric "events_recorded_total" and dropped = metric "events_dropped_total" in
+  typ recorded "counter";
+  line "%s %d" recorded s.events_recorded;
+  typ dropped "counter";
+  line "%s %d" dropped s.events_dropped;
+  Buffer.contents buf
+
+let to_prometheus_string ?namespace t = prometheus_of_summary ?namespace (summary t)
+let write_prometheus ?namespace t oc = output_string oc (to_prometheus_string ?namespace t)

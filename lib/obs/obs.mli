@@ -19,6 +19,66 @@ type kind =
   | Instant  (** a point event *)
   | Count  (** a counter increment; the delta is attribute ["value"] *)
   | Gauge  (** a gauge sample; the value is attribute ["value"] *)
+  | Hist  (** a histogram observation; the sample is attribute ["value"] *)
+
+(** Log-bucketed value distributions: constant-size (fixed bucket array),
+    O(1) observation, and mergeable — two histograms recorded in different
+    domains (or solver instances) add bucket-wise, which is what lets
+    per-arm solver statistics aggregate into portfolio totals.
+
+    Buckets are quarter-powers of two ([2^(k/4)]), covering [2^-20 ..
+    2^20] (about 1e-6 to 1e6), so quantile estimates carry at most ~19%
+    relative error — plenty for LBD, trail-depth and latency
+    distributions.  Non-positive samples land in the lowest bucket. *)
+module Histogram : sig
+  type t
+
+  val create : unit -> t
+
+  val observe : t -> float -> unit
+  val observe_int : t -> int -> unit
+
+  val count : t -> int
+
+  val sum : t -> float
+
+  (** Smallest / largest sample observed; [nan] while empty. *)
+  val min_value : t -> float
+
+  val max_value : t -> float
+
+  val mean : t -> float
+
+  val is_empty : t -> bool
+
+  (** [percentile h p] for [p] in [0..100]: upper bound of the bucket
+      holding the rank-[p] sample, clamped into the observed [min..max]
+      range.  [nan] while empty. *)
+  val percentile : t -> float -> float
+
+  val copy : t -> t
+
+  (** [merge_into ~into h] adds [h]'s buckets into [into]. *)
+  val merge_into : into:t -> t -> unit
+
+  (** Fresh histogram holding the sum of both. *)
+  val merge : t -> t -> t
+
+  (** [diff ~after ~before] is the distribution of samples recorded after
+      the [before] snapshot was taken ([before] must be an earlier
+      snapshot of [after]'s series; bucket counts subtract).  The observed
+      min/max are conservatively taken from [after]. *)
+  val diff : after:t -> before:t -> t
+
+  (** Non-empty buckets, as [(inclusive upper bound, count)] pairs in
+      increasing bound order (for sinks). *)
+  val buckets : t -> (float * int) list
+
+  (** One-line rendering: [count=… p50=… p90=… p99=… max=…]. *)
+  val pp : Format.formatter -> t -> unit
+
+  val to_string : t -> string
+end
 
 type event = {
   kind : kind;
@@ -80,6 +140,11 @@ val count : t -> string -> int -> unit
 (** [gauge t name v] records the current value of gauge [name]. *)
 val gauge : t -> string -> float -> unit
 
+(** [hist t name v] records one observation of distribution [name].
+    Observations recorded by different domains merge in {!summary}.  Like
+    every recording entry point, a disabled tracer costs one branch. *)
+val hist : t -> string -> float -> unit
+
 (** {2 Reading back} *)
 
 (** All recorded events, merged across domains, ordered by timestamp. *)
@@ -94,6 +159,8 @@ type summary = {
   span_stats : (string * span_stat) list;  (** sorted by total time, desc *)
   counters : (string * int) list;  (** summed deltas, sorted by name *)
   gauges : (string * float) list;  (** last sampled value, sorted by name *)
+  hists : (string * Histogram.t) list;
+      (** per-name distributions, merged across domains, sorted by name *)
   events_recorded : int;
   events_dropped : int;
 }
@@ -121,6 +188,21 @@ val write_jsonl : t -> out_channel -> unit
 val to_chrome_string : t -> string
 
 val write_chrome : t -> out_channel -> unit
+
+(** Prometheus text exposition (version 0.0.4) of a summary: counters
+    become [counter] metrics (suffix [_total]), gauges [gauge] metrics,
+    span stats [<ns>_span_calls_total] / [<ns>_span_seconds_total]
+    counters labelled by span name, and histograms full [histogram]
+    families with cumulative [_bucket{le="…"}] series plus [_sum] /
+    [_count].  Metric names are sanitized to the Prometheus charset
+    (dots become underscores) and prefixed with [namespace]
+    (default ["olsq2"]). *)
+val prometheus_of_summary : ?namespace:string -> summary -> string
+
+(** [prometheus_of_summary] of the tracer's current {!summary}. *)
+val to_prometheus_string : ?namespace:string -> t -> string
+
+val write_prometheus : ?namespace:string -> t -> out_channel -> unit
 
 (** Minimal JSON representation used by the sinks, with a parser so tests
     and smoke checks can validate emitted traces without external

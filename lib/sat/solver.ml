@@ -59,6 +59,8 @@ type proof_logger = {
   on_delete : Lit.t array -> unit;
 }
 
+module Hist = Olsq2_obs.Obs.Histogram
+
 type stats = {
   mutable conflicts : int;
   mutable decisions : int;
@@ -67,7 +69,68 @@ type stats = {
   mutable learnt_clauses : int;
   mutable removed_clauses : int;
   mutable solves : int;
+  mutable solve_seconds : float;
+  lbd_hist : Hist.t;
+  trail_hist : Hist.t;
 }
+
+let stats_zero () =
+  {
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    restarts = 0;
+    learnt_clauses = 0;
+    removed_clauses = 0;
+    solves = 0;
+    solve_seconds = 0.0;
+    lbd_hist = Hist.create ();
+    trail_hist = Hist.create ();
+  }
+
+let stats_copy s =
+  {
+    s with
+    lbd_hist = Hist.copy s.lbd_hist;
+    trail_hist = Hist.copy s.trail_hist;
+  }
+
+let stats_diff ~after ~before =
+  {
+    conflicts = after.conflicts - before.conflicts;
+    decisions = after.decisions - before.decisions;
+    propagations = after.propagations - before.propagations;
+    restarts = after.restarts - before.restarts;
+    learnt_clauses = after.learnt_clauses - before.learnt_clauses;
+    removed_clauses = after.removed_clauses - before.removed_clauses;
+    solves = after.solves - before.solves;
+    solve_seconds = after.solve_seconds -. before.solve_seconds;
+    lbd_hist = Hist.diff ~after:after.lbd_hist ~before:before.lbd_hist;
+    trail_hist = Hist.diff ~after:after.trail_hist ~before:before.trail_hist;
+  }
+
+let stats_add ~into s =
+  into.conflicts <- into.conflicts + s.conflicts;
+  into.decisions <- into.decisions + s.decisions;
+  into.propagations <- into.propagations + s.propagations;
+  into.restarts <- into.restarts + s.restarts;
+  into.learnt_clauses <- into.learnt_clauses + s.learnt_clauses;
+  into.removed_clauses <- into.removed_clauses + s.removed_clauses;
+  into.solves <- into.solves + s.solves;
+  into.solve_seconds <- into.solve_seconds +. s.solve_seconds;
+  Hist.merge_into ~into:into.lbd_hist s.lbd_hist;
+  Hist.merge_into ~into:into.trail_hist s.trail_hist
+
+let propagations_per_second s =
+  if s.solve_seconds > 0.0 then float_of_int s.propagations /. s.solve_seconds else 0.0
+
+let pp_stats_record fmt s =
+  Format.fprintf fmt
+    "conflicts=%d decisions=%d propagations=%d (%.0f/s) restarts=%d learnt=%d removed=%d solves=%d"
+    s.conflicts s.decisions s.propagations (propagations_per_second s) s.restarts s.learnt_clauses
+    s.removed_clauses s.solves;
+  if not (Hist.is_empty s.lbd_hist) then Format.fprintf fmt "@\nlbd:   %a" Hist.pp s.lbd_hist;
+  if not (Hist.is_empty s.trail_hist) then Format.fprintf fmt "@\ntrail: %a" Hist.pp s.trail_hist
 
 type t = {
   (* clause database *)
@@ -108,6 +171,11 @@ type t = {
   mutable extension : (Lit.t * Lit.t array array) list; (* head = last eliminated *)
   mutable inprocessor : (t -> unit) option;
   mutable next_inprocess : int; (* conflict count that triggers the next run *)
+  (* live-progress callback: fired from the search loop every
+     [progress_interval] conflicts; one [match None] branch when off *)
+  mutable progress : (t -> unit) option;
+  mutable progress_interval : int;
+  mutable next_progress : int;
   stats : stats;
 }
 
@@ -139,20 +207,20 @@ let create () =
     extension = [];
     inprocessor = None;
     next_inprocess = max_int;
-    stats =
-      {
-        conflicts = 0;
-        decisions = 0;
-        propagations = 0;
-        restarts = 0;
-        learnt_clauses = 0;
-        removed_clauses = 0;
-        solves = 0;
-      };
+    progress = None;
+    progress_interval = 2000;
+    next_progress = max_int;
+    stats = stats_zero ();
   }
 
 let nvars t = t.nvars
 let stats t = t.stats
+
+let set_progress ?(interval = 2000) t cb =
+  t.progress <- cb;
+  t.progress_interval <- (if interval < 1 then 1 else interval);
+  t.next_progress <-
+    (match cb with None -> max_int | Some _ -> t.stats.conflicts + t.progress_interval)
 let set_proof_logger t p = t.proof <- p
 let proof_logging t = match t.proof with Some _ -> true | None -> false
 
@@ -829,6 +897,12 @@ let search t assumptions conflict_budget deadline =
       (* conflict *)
       t.stats.conflicts <- t.stats.conflicts + 1;
       incr conflicts_here;
+      Hist.observe_int t.stats.trail_hist (Vec.length t.trail);
+      (match t.progress with
+      | Some f when t.stats.conflicts >= t.next_progress ->
+        t.next_progress <- t.stats.conflicts + t.progress_interval;
+        f t
+      | Some _ | None -> ());
       if decision_level t = 0 then begin
         t.ok <- false;
         log_learnt t [||];
@@ -836,6 +910,7 @@ let search t assumptions conflict_budget deadline =
       end
       else begin
         let learnt, btlevel, lbd = analyze t confl in
+        Hist.observe_int t.stats.lbd_hist lbd;
         cancel_until t btlevel;
         record_learnt t learnt lbd;
         var_decay_activity t;
@@ -953,7 +1028,11 @@ let solve_raw ?(assumptions = []) ?max_conflicts ?timeout t =
           | Some _ | None -> restart_loop (k + 1)
         end
     in
-    restart_loop 0
+    let t0 = Olsq2_util.Stopwatch.now () in
+    Fun.protect
+      ~finally:(fun () ->
+        t.stats.solve_seconds <- t.stats.solve_seconds +. (Olsq2_util.Stopwatch.now () -. t0))
+      (fun () -> restart_loop 0)
   end
 
 module Obs = Olsq2_obs.Obs
@@ -967,6 +1046,7 @@ let solve ?assumptions ?max_conflicts ?timeout t =
   else begin
     let s = t.stats in
     let c0 = s.conflicts and p0 = s.propagations and d0 = s.decisions and r0 = s.restarts in
+    let sec0 = s.solve_seconds in
     let sp =
       Obs.begin_span obs "sat.solve"
         ~attrs:
@@ -992,6 +1072,10 @@ let solve ?assumptions ?max_conflicts ?timeout t =
     Obs.count obs "sat.conflicts" conflicts;
     Obs.count obs "sat.propagations" propagations;
     Obs.count obs "sat.solves" 1;
+    (* solve-granularity distributions only: per-conflict samples live in
+       [stats] histograms, so the tracer's event buffer is never flooded *)
+    Obs.hist obs "sat.solve.seconds" (s.solve_seconds -. sec0);
+    Obs.hist obs "sat.solve.conflicts" (float_of_int conflicts);
     result
   end
 
@@ -1022,7 +1106,4 @@ let is_ok t = t.ok
 let n_clauses t = Vec.length t.clauses
 let n_learnts t = Vec.length t.learnts
 
-let pp_stats fmt t =
-  let s = t.stats in
-  Format.fprintf fmt "conflicts=%d decisions=%d propagations=%d restarts=%d learnt=%d removed=%d"
-    s.conflicts s.decisions s.propagations s.restarts s.learnt_clauses s.removed_clauses
+let pp_stats fmt t = pp_stats_record fmt t.stats

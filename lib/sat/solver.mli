@@ -38,6 +38,12 @@ type proof_logger = {
   on_delete : Lit.t array -> unit;
 }
 
+(** Per-solver search-effort statistics (MiniSat-style stats block).
+    Counters accumulate across [solve] calls; the histograms record one
+    sample per conflict (learnt-clause LBD, trail depth at conflict), so
+    quantiles describe the search's whole lifetime.  Use {!stats_copy} /
+    {!stats_diff} to carve out per-call or per-bound-iteration deltas, and
+    {!stats_add} to aggregate across solvers (e.g. portfolio arms). *)
 type stats = {
   mutable conflicts : int;
   mutable decisions : int;
@@ -46,7 +52,32 @@ type stats = {
   mutable learnt_clauses : int;
   mutable removed_clauses : int;
   mutable solves : int;
+  mutable solve_seconds : float;  (** wall time spent inside [solve] *)
+  lbd_hist : Olsq2_obs.Obs.Histogram.t;  (** LBD of each learnt clause *)
+  trail_hist : Olsq2_obs.Obs.Histogram.t;  (** trail depth at each conflict *)
 }
+
+(** A fresh all-zero stats record (with empty histograms). *)
+val stats_zero : unit -> stats
+
+(** Deep copy (snapshots the histograms). *)
+val stats_copy : stats -> stats
+
+(** [stats_diff ~after ~before] subtracts field-wise; [before] must be an
+    earlier {!stats_copy} snapshot of the same solver's stats. *)
+val stats_diff : after:stats -> before:stats -> stats
+
+(** [stats_add ~into s] accumulates [s] into [into] (histograms merge
+    bucket-wise). *)
+val stats_add : into:stats -> stats -> unit
+
+(** Propagations per second of [solve] wall time ([0.] before any solve). *)
+val propagations_per_second : stats -> float
+
+(** Render a stats record: the counter line (with propagations/sec), then
+    one [lbd:] / [trail:] line each when non-empty (count, p50/p90/p99,
+    max). *)
+val pp_stats_record : Format.formatter -> stats -> unit
 
 val create : unit -> t
 
@@ -80,6 +111,15 @@ val solve : ?assumptions:Lit.t list -> ?max_conflicts:int -> ?timeout:float -> t
 val interrupt : t -> unit
 
 val clear_interrupt : t -> unit
+
+(** [set_progress ?interval t (Some cb)] arranges for [cb t] to fire from
+    inside the search loop every [interval] (default 2000) conflicts — the
+    rate limit keeps the callback off the hot path, and with [None]
+    installed the check is a single branch per conflict.  The callback
+    runs with the solver mid-search: it may read {!stats}, {!n_learnts},
+    {!n_clauses} (e.g. to print a heartbeat line) but must not add clauses
+    or call [solve].  [None] uninstalls. *)
+val set_progress : ?interval:int -> t -> (t -> unit) option -> unit
 
 (** Value of a literal in the model of the last [Sat] answer. *)
 val model_value : t -> Lit.t -> bool

@@ -13,7 +13,7 @@ let () =
   let cli = if Array.length Sys.argv > 1 then Sys.argv.(1) else die "missing CLI path" in
   let trace = Filename.temp_file "olsq2_smoke" ".jsonl" in
   let cmd =
-    Printf.sprintf "%s synth qaoa:4 -d grid-2x2 -m tb --trace %s --metrics > /dev/null"
+    Printf.sprintf "%s synth qaoa:4 -d grid-2x2 -m tb --trace %s --metrics > /dev/null 2> /dev/null"
       (Filename.quote cli) (Filename.quote trace)
   in
   (match Unix.system cmd with
@@ -85,11 +85,12 @@ let () =
   | Unix.WEXITED 1 -> ()
   | Unix.WEXITED c -> die "--certify with sabre exited with %d, want 1" c
   | Unix.WSIGNALED s | Unix.WSTOPPED s -> die "CLI killed by signal %d" s);
-  (* simplified run: --metrics must report an actual clause reduction *)
+  (* simplified run: --metrics must report an actual clause reduction on
+     stderr (stdout stays reserved for the synthesized layout) *)
   let out = Filename.temp_file "olsq2_smoke" ".out" in
   let cmd =
-    Printf.sprintf "%s synth qaoa:4 -d grid-2x2 --simplify --metrics > %s" (Filename.quote cli)
-      (Filename.quote out)
+    Printf.sprintf "%s synth qaoa:4 -d grid-2x2 --simplify --metrics > /dev/null 2> %s"
+      (Filename.quote cli) (Filename.quote out)
   in
   (match Unix.system cmd with
   | Unix.WEXITED 0 -> ()
@@ -101,8 +102,8 @@ let () =
   if contains simp_text "no simplification runs" then die "--simplify performed no runs";
   (* --no-simplify must report zero runs *)
   let cmd =
-    Printf.sprintf "%s synth qaoa:4 -d grid-2x2 --no-simplify --metrics > %s" (Filename.quote cli)
-      (Filename.quote out)
+    Printf.sprintf "%s synth qaoa:4 -d grid-2x2 --no-simplify --metrics > /dev/null 2> %s"
+      (Filename.quote cli) (Filename.quote out)
   in
   (match Unix.system cmd with
   | Unix.WEXITED 0 -> ()
@@ -126,6 +127,47 @@ let () =
   let simp_proof_len = String.length (read_all proof) in
   if simp_proof_len = 0 then die "--simplify --certify wrote an empty proof file";
   Sys.remove proof;
+  (* --stats: per-solve solver statistics on stderr, including histogram
+     quantiles and a propagation rate *)
+  let cmd =
+    Printf.sprintf "%s synth qaoa:4 -d grid-2x2 -o swap --stats > /dev/null 2> %s"
+      (Filename.quote cli) (Filename.quote out)
+  in
+  (match Unix.system cmd with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED c -> die "--stats run exited with %d" c
+  | Unix.WSIGNALED s | Unix.WSTOPPED s -> die "--stats run killed by signal %d" s);
+  let stats_text = read_all out in
+  if not (contains stats_text "solver stats") then die "--stats printed no solver stats block";
+  if not (contains stats_text "p50=") then die "--stats printed no histogram quantiles";
+  if not (contains stats_text "/s)") then die "--stats printed no propagation rate";
+  if not (contains stats_text "iterations:") then die "--stats printed no per-iteration table";
+  (* --prom: Prometheus text exposition written to a file *)
+  let prom = Filename.temp_file "olsq2_smoke" ".prom" in
+  let cmd =
+    Printf.sprintf "%s synth qaoa:4 -d grid-2x2 --simplify --prom %s > /dev/null 2> /dev/null"
+      (Filename.quote cli) (Filename.quote prom)
+  in
+  (match Unix.system cmd with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED c -> die "--prom run exited with %d" c
+  | Unix.WSIGNALED s | Unix.WSTOPPED s -> die "--prom run killed by signal %d" s);
+  let prom_text = read_all prom in
+  if not (contains prom_text "# TYPE") then die "--prom output has no TYPE comments";
+  if not (contains prom_text "olsq2_") then die "--prom output has no olsq2-namespaced series";
+  if not (contains prom_text "le=\"+Inf\"") then die "--prom output has no histogram buckets";
+  Sys.remove prom;
+  (* --metrics-out: same summary as --metrics, persisted to a file *)
+  let cmd =
+    Printf.sprintf "%s synth qaoa:4 -d grid-2x2 --simplify --metrics-out %s > /dev/null 2> /dev/null"
+      (Filename.quote cli) (Filename.quote out)
+  in
+  (match Unix.system cmd with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED c -> die "--metrics-out run exited with %d" c
+  | Unix.WSIGNALED s | Unix.WSTOPPED s -> die "--metrics-out run killed by signal %d" s);
+  if not (contains (read_all out) "simplify: 1 run") then
+    die "--metrics-out wrote no simplify summary";
   Sys.remove out;
   Printf.printf
     "cli smoke ok: %d trace lines, %d spans, certified proof %d bytes, simplified proof %d bytes\n"

@@ -91,6 +91,162 @@ let test_capacity_drops () =
   Alcotest.(check int) "kept at capacity" 4 s.Obs.events_recorded;
   Alcotest.(check int) "rest counted as dropped" 6 s.Obs.events_dropped
 
+(* Capacity is a per-domain bound: each domain fills (and overflows) its
+   own buffer, the drop counts are exact per domain, and events admitted
+   before the overflow keep full fidelity in the summary. *)
+let test_capacity_drops_per_domain () =
+  let t = Obs.create ~capacity:4 () in
+  let work tag () =
+    Obs.with_span t ("keep." ^ tag) (fun () -> ());
+    for _ = 1 to 9 do
+      Obs.count t ("tick." ^ tag) 1
+    done
+  in
+  let d = Domain.spawn (work "b") in
+  work "a" ();
+  Domain.join d;
+  let s = Obs.summary t in
+  Alcotest.(check int) "each domain keeps its own 4" 8 s.Obs.events_recorded;
+  Alcotest.(check int) "6 dropped in each domain" 12 s.Obs.events_dropped;
+  List.iter
+    (fun tag ->
+      match List.assoc_opt ("keep." ^ tag) s.Obs.span_stats with
+      | Some st -> Alcotest.(check int) ("span keep." ^ tag ^ " retained") 1 st.Obs.calls
+      | None -> Alcotest.failf "span keep.%s lost to overflow" tag)
+    [ "a"; "b" ];
+  let by_tid = Hashtbl.create 4 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace by_tid e.Obs.tid
+        (1 + Option.value ~default:0 (Hashtbl.find_opt by_tid e.Obs.tid)))
+    (Obs.events t);
+  Alcotest.(check int) "two recording domains" 2 (Hashtbl.length by_tid);
+  Hashtbl.iter (fun _ n -> Alcotest.(check int) "domain buffer at capacity" 4 n) by_tid
+
+(* ---- histograms ---- *)
+
+module Hist = Obs.Histogram
+
+let test_histogram_basics () =
+  let h = Hist.create () in
+  Alcotest.(check bool) "fresh is empty" true (Hist.is_empty h);
+  Alcotest.(check bool) "empty percentile is nan" true (Float.is_nan (Hist.percentile h 50.0));
+  for i = 1 to 100 do
+    Hist.observe_int h i
+  done;
+  Alcotest.(check int) "count" 100 (Hist.count h);
+  Alcotest.(check (float 1e-9)) "sum is exact" 5050.0 (Hist.sum h);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Hist.min_value h);
+  Alcotest.(check (float 1e-9)) "max" 100.0 (Hist.max_value h);
+  Alcotest.(check (float 1e-9)) "mean" 50.5 (Hist.mean h);
+  (* quarter-octave buckets: quantiles within ~19% relative error *)
+  let p50 = Hist.percentile h 50.0 in
+  Alcotest.(check bool) "p50 near the median" true (p50 >= 40.0 && p50 <= 60.0);
+  let p90 = Hist.percentile h 90.0 in
+  Alcotest.(check bool) "p90 near rank 90" true (p90 >= 72.0 && p90 <= 108.0);
+  Alcotest.(check (float 1e-9)) "p100 clamps to max" 100.0 (Hist.percentile h 100.0);
+  let p0 = Hist.percentile h 0.0 in
+  Alcotest.(check bool) "p0 clamps near min" true (p0 >= 1.0 && p0 <= 1.2);
+  Alcotest.(check bool) "quantiles are monotone" true (p0 <= p50 && p50 <= p90);
+  let bucket_total = List.fold_left (fun acc (_, c) -> acc + c) 0 (Hist.buckets h) in
+  Alcotest.(check int) "bucket counts cover every sample" 100 bucket_total;
+  let bounds = List.map fst (Hist.buckets h) in
+  Alcotest.(check bool) "bucket bounds increase" true (List.sort compare bounds = bounds)
+
+let test_histogram_merge_diff () =
+  let a = Hist.create () and b = Hist.create () in
+  for i = 1 to 10 do
+    Hist.observe_int a i
+  done;
+  for i = 101 to 110 do
+    Hist.observe_int b i
+  done;
+  let m = Hist.merge a b in
+  Alcotest.(check int) "merged count" 20 (Hist.count m);
+  Alcotest.(check (float 1e-9)) "merged min" 1.0 (Hist.min_value m);
+  Alcotest.(check (float 1e-9)) "merged max" 110.0 (Hist.max_value m);
+  Alcotest.(check (float 1e-9)) "merged sum" 1110.0 (Hist.sum m);
+  Alcotest.(check int) "merge leaves inputs alone" 10 (Hist.count a);
+  let before = Hist.copy a in
+  for i = 1 to 5 do
+    Hist.observe_int a (1000 * i)
+  done;
+  let d = Hist.diff ~after:a ~before in
+  Alcotest.(check int) "diff keeps only the new samples" 5 (Hist.count d);
+  Alcotest.(check (float 1e-9)) "diff sum" 15000.0 (Hist.sum d);
+  Alcotest.(check bool) "diff p50 in the new range" true (Hist.percentile d 50.0 >= 1000.0)
+
+(* [Obs.hist] events recorded in different domains merge per name in the
+   summary, and export as their own JSON-lines event type. *)
+let test_hist_events_merge () =
+  let t = Obs.create () in
+  let work lo () =
+    for i = lo to lo + 9 do
+      Obs.hist t "lbd" (float_of_int i)
+    done
+  in
+  let d = Domain.spawn (work 100) in
+  work 1 ();
+  Domain.join d;
+  let s = Obs.summary t in
+  (match List.assoc_opt "lbd" s.Obs.hists with
+  | None -> Alcotest.fail "summary has no merged histogram"
+  | Some h ->
+    Alcotest.(check int) "samples from both domains" 20 (Hist.count h);
+    Alcotest.(check (float 1e-9)) "min from this domain" 1.0 (Hist.min_value h);
+    Alcotest.(check (float 1e-9)) "max from the spawned domain" 109.0 (Hist.max_value h));
+  let hist_lines =
+    String.split_on_char '\n' (Obs.to_jsonl_string t)
+    |> List.filter (fun line ->
+           match Json.parse line with
+           | Ok j -> Json.member "type" j = Some (Json.Str "hist")
+           | Error _ -> false)
+  in
+  Alcotest.(check int) "one jsonl line per observation" 20 (List.length hist_lines)
+
+let test_prometheus_export () =
+  let t = Obs.create () in
+  Obs.count t "sat.conflicts" 5;
+  Obs.count t "sat.conflicts" 7;
+  Obs.gauge t "clauses" 42.0;
+  Obs.with_span t "solve" (fun () -> ());
+  Obs.hist t "lbd" 3.0;
+  Obs.hist t "lbd" 5.0;
+  Obs.hist t "lbd" 70.0;
+  let lines = String.split_on_char '\n' (Obs.to_prometheus_string t) in
+  let has l = List.mem l lines in
+  Alcotest.(check bool) "counter sanitized, namespaced, totalled" true
+    (has "olsq2_sat_conflicts_total 12");
+  Alcotest.(check bool) "counter TYPE comment" true
+    (has "# TYPE olsq2_sat_conflicts_total counter");
+  Alcotest.(check bool) "gauge" true (has "olsq2_clauses 42");
+  Alcotest.(check bool) "span calls series" true (has {|olsq2_span_calls_total{span="solve"} 1|});
+  Alcotest.(check bool) "histogram TYPE comment" true (has "# TYPE olsq2_lbd histogram");
+  Alcotest.(check bool) "+Inf bucket counts everything" true
+    (has {|olsq2_lbd_bucket{le="+Inf"} 3|});
+  Alcotest.(check bool) "histogram _count" true (has "olsq2_lbd_count 3");
+  Alcotest.(check bool) "histogram _sum" true (has "olsq2_lbd_sum 78");
+  (* bucket series must be cumulative (non-decreasing) *)
+  let bucket_counts =
+    List.filter_map
+      (fun l ->
+        let prefix = "olsq2_lbd_bucket{" in
+        if String.length l > String.length prefix && String.sub l 0 (String.length prefix) = prefix
+        then
+          match String.rindex_opt l ' ' with
+          | Some i -> int_of_string_opt (String.sub l (i + 1) (String.length l - i - 1))
+          | None -> None
+        else None)
+      lines
+  in
+  Alcotest.(check bool) "several bucket series" true (List.length bucket_counts >= 3);
+  let rec monotone = function a :: (b :: _ as rest) -> a <= b && monotone rest | _ -> true in
+  Alcotest.(check bool) "buckets cumulative" true (monotone bucket_counts);
+  (* namespace override flows through *)
+  Alcotest.(check bool) "namespace override" true
+    (List.mem "acme_sat_conflicts_total 12"
+       (String.split_on_char '\n' (Obs.to_prometheus_string ~namespace:"acme" t)))
+
 (* ---- disabled tracer ---- *)
 
 let test_disabled_noop () =
@@ -101,6 +257,7 @@ let test_disabled_noop () =
   Obs.instant t "y";
   Obs.count t "c" 3;
   Obs.gauge t "g" 1.0;
+  Obs.hist t "h" 1.0;
   Alcotest.(check int) "no events" 0 (List.length (Obs.events t));
   let s = Obs.summary t in
   Alcotest.(check int) "empty summary" 0 s.Obs.events_recorded;
@@ -212,6 +369,52 @@ let test_solver_records_spans () =
       Alcotest.(check bool) "opt.depth_iter spans" true (has "opt.depth_iter");
       Alcotest.(check bool) "conflict counter" true (List.mem_assoc "sat.conflicts" s.Obs.counters))
 
+module Solver = Olsq2_sat.Solver
+module Lit = Olsq2_sat.Lit
+
+(* Per-solve statistics and the rate-limited progress callback, on a
+   conflict-rich UNSAT instance (pigeonhole PHP(4,3)). *)
+let test_solver_stats_and_progress () =
+  let s = Solver.create () in
+  let holes = 3 in
+  let pigeons = holes + 1 in
+  let v = Array.init pigeons (fun _ -> Array.init holes (fun _ -> Solver.new_lit s)) in
+  for p = 0 to pigeons - 1 do
+    Solver.add_clause s (Array.to_list v.(p))
+  done;
+  for h = 0 to holes - 1 do
+    for p = 0 to pigeons - 1 do
+      for q = p + 1 to pigeons - 1 do
+        Solver.add_clause s [ Lit.negate v.(p).(h); Lit.negate v.(q).(h) ]
+      done
+    done
+  done;
+  let fired = ref 0 in
+  Solver.set_progress ~interval:1 s (Some (fun _ -> incr fired));
+  Alcotest.(check bool) "php(4,3) is unsat" true (Solver.solve s = Solver.Unsat);
+  let st = Solver.stats s in
+  Alcotest.(check bool) "conflicts counted" true (st.Solver.conflicts > 0);
+  Alcotest.(check bool) "propagations counted" true (st.Solver.propagations > 0);
+  Alcotest.(check bool) "callback fired" true (!fired > 0);
+  Alcotest.(check bool) "at most one callback per conflict" true (!fired <= st.Solver.conflicts);
+  Alcotest.(check bool) "lbd samples recorded" true (Hist.count st.Solver.lbd_hist > 0);
+  Alcotest.(check bool) "trail sampled at conflicts" true
+    (Hist.count st.Solver.trail_hist > 0
+    && Hist.count st.Solver.trail_hist <= st.Solver.conflicts);
+  Alcotest.(check bool) "solve wall time recorded" true (st.Solver.solve_seconds > 0.0);
+  Alcotest.(check bool) "propagation rate derived" true (Solver.propagations_per_second st > 0.0);
+  (* stats snapshots: copy freezes, diff isolates the delta *)
+  let snap = Solver.stats_copy st in
+  Alcotest.(check int) "copy sees the same conflicts" st.Solver.conflicts snap.Solver.conflicts;
+  let d = Solver.stats_diff ~after:st ~before:snap in
+  Alcotest.(check int) "self-diff is empty" 0 d.Solver.conflicts;
+  Alcotest.(check int) "self-diff histograms empty" 0 (Hist.count d.Solver.lbd_hist);
+  (* uninstalling the callback silences it *)
+  let fired_before = !fired in
+  Solver.set_progress s None;
+  ignore (Solver.solve s);
+  Alcotest.(check int) "uninstalled callback stays quiet" fired_before !fired
+
 (* ---- Synthesis facade ---- *)
 
 let facade_instances () =
@@ -266,6 +469,53 @@ let test_facade_trace_summary () =
       in
       Alcotest.(check int) "summary scoped to the run" 1 calls)
 
+(* Solver statistics thread through Optimizer into the report (no tracer
+   needed), and the ambient progress sink sees the optimizer's heartbeat
+   forwarding with phase/bound context attached. *)
+let test_facade_stats_threading () =
+  let _, inst = List.hd (facade_instances ()) in
+  let beats = ref [] in
+  Optimizer.set_progress_sink ~interval:1 (Some (fun p -> beats := p :: !beats));
+  Fun.protect
+    ~finally:(fun () -> Optimizer.set_progress_sink None)
+    (fun () ->
+      let r = Synthesis.run ~objective:Synthesis.Depth inst in
+      Alcotest.(check bool) "solved" true (r.Synthesis.result <> None);
+      let st = r.Synthesis.solver_stats in
+      Alcotest.(check bool) "propagations aggregated" true (st.Solver.propagations > 0);
+      Alcotest.(check bool) "per-iteration stats present" true (r.Synthesis.iter_stats <> []);
+      let sum_conflicts =
+        List.fold_left
+          (fun acc (it : Optimizer.iter_stat) -> acc + it.Optimizer.iter_stats.Solver.conflicts)
+          0 r.Synthesis.iter_stats
+      in
+      Alcotest.(check int) "iteration deltas sum to the aggregate" st.Solver.conflicts
+        sum_conflicts;
+      List.iter
+        (fun it ->
+          Alcotest.(check bool) "iteration names its phase" true
+            (String.length it.Optimizer.iter_phase > 0);
+          Alcotest.(check bool) "iteration records a verdict" true
+            (it.Optimizer.iter_verdict <> "");
+          Alcotest.(check bool) "iteration time non-negative" true
+            (it.Optimizer.iter_seconds >= 0.0))
+        r.Synthesis.iter_stats;
+      if st.Solver.conflicts > 0 then begin
+        Alcotest.(check bool) "heartbeats fired" true (!beats <> []);
+        List.iter
+          (fun p ->
+            Alcotest.(check bool) "heartbeat carries an opt phase" true
+              (String.length p.Optimizer.prog_phase >= 3
+              && String.sub p.Optimizer.prog_phase 0 3 = "opt");
+            Alcotest.(check bool) "heartbeat counters sane" true
+              (p.Optimizer.prog_conflicts > 0 && p.Optimizer.prog_propagations > 0))
+          !beats
+      end);
+  (* with the sink uninstalled, a fresh run fires no heartbeats *)
+  let before = List.length !beats in
+  ignore (Synthesis.run ~objective:Synthesis.Depth inst);
+  Alcotest.(check int) "uninstalled sink stays quiet" before (List.length !beats)
+
 let suite =
   [
     ( "obs",
@@ -275,17 +525,24 @@ let suite =
         Alcotest.test_case "counter deltas" `Quick test_counter_deltas;
         Alcotest.test_case "summary since" `Quick test_summary_since;
         Alcotest.test_case "capacity drops" `Quick test_capacity_drops;
+        Alcotest.test_case "capacity drops per domain" `Quick test_capacity_drops_per_domain;
+        Alcotest.test_case "histogram basics" `Quick test_histogram_basics;
+        Alcotest.test_case "histogram merge/diff" `Quick test_histogram_merge_diff;
+        Alcotest.test_case "hist events merge" `Quick test_hist_events_merge;
+        Alcotest.test_case "prometheus export" `Quick test_prometheus_export;
         Alcotest.test_case "disabled no-op" `Quick test_disabled_noop;
         Alcotest.test_case "domain-safe recording" `Quick test_domains_record_independently;
         Alcotest.test_case "jsonl golden" `Quick test_jsonl_golden;
         Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
         Alcotest.test_case "chrome export" `Quick test_chrome_export;
         Alcotest.test_case "solver records spans" `Quick test_solver_records_spans;
+        Alcotest.test_case "solver stats + progress" `Quick test_solver_stats_and_progress;
       ] );
     ( "synthesis",
       [
         Alcotest.test_case "facade = engine (depth)" `Quick test_facade_depth_equivalence;
         Alcotest.test_case "facade = engine (tb swaps)" `Quick test_facade_tb_equivalence;
         Alcotest.test_case "report trace summary" `Quick test_facade_trace_summary;
+        Alcotest.test_case "report solver stats" `Quick test_facade_stats_threading;
       ] );
   ]
