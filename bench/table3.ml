@@ -89,7 +89,12 @@ let run () =
       let outcome =
         (* our substrate's fastest OLSQ2 configuration (see Table I):
            bit-vectors with the inverse-function channel *)
-        Core.Synthesis.run ~config:Core.Config.olsq2_euf_bv ~budget:(opt_budget ())
+        Core.Synthesis.run
+          ~options:
+            Core.Synthesis.Options.(
+              default
+              |> with_config Core.Config.olsq2_euf_bv
+              |> with_budget (Core.Budget.of_seconds (opt_budget ())))
           ~objective:Core.Synthesis.Depth inst
       in
       let olsq2_s, note =

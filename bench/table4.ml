@@ -78,7 +78,7 @@ let run () =
       let sabre = Sabre.synthesize ~seed:7 inst in
       assert (Core.Validate.is_valid inst sabre);
       let satmap = Satmap.synthesize ~budget_seconds:(opt_budget ()) inst in
-      let tb = Core.Synthesis.run ~budget:(opt_budget ()) ~objective:Core.Synthesis.Tb_swaps inst in
+      let tb = Core.Synthesis.run ~options:Core.Synthesis.Options.(with_budget (Core.Budget.of_seconds (opt_budget ())) default) ~objective:Core.Synthesis.Tb_swaps inst in
       let satmap_str =
         match satmap.Satmap.result with
         | Some r ->

@@ -36,6 +36,39 @@ let budget_arg =
   let doc = "Time budget in seconds for the optimization loop." in
   Arg.(value & opt (some float) None & info [ "b"; "budget" ] ~docv:"SECONDS" ~doc)
 
+let conflict_budget_arg =
+  let doc = "Conflict budget for the optimization loop: total solver conflicts across all bound queries." in
+  Arg.(value & opt (some int) None & info [ "conflict-budget" ] ~docv:"N" ~doc)
+
+let workers_arg =
+  let doc =
+    "Parallelize single bound queries over $(docv) cube-and-conquer worker domains (exact \
+     methods).  1 solves sequentially.  Defaults to $(b,OLSQ2_WORKERS) or 1."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "workers" ] ~docv:"N" ~doc)
+
+let share_arg =
+  let on =
+    let doc =
+      "Share short learnt clauses between parallel solvers: cube-and-conquer workers (default \
+       when $(b,--workers) > 1) and portfolio arms with matching base CNF (off by default).  \
+       Never applied to proof-logging solvers, so $(b,--certify) stays sound."
+    in
+    (Some true, Arg.info [ "share" ] ~doc)
+  in
+  let off =
+    let doc = "Disable learnt-clause sharing everywhere." in
+    (Some false, Arg.info [ "no-share" ] ~doc)
+  in
+  Arg.(value & vflag None [ on; off ])
+
+let cube_depth_arg =
+  let doc =
+    "Split each parallel query on $(docv) variables (2^$(docv) cubes).  Default: smallest depth \
+     giving at least 4 cubes per worker."
+  in
+  Arg.(value & opt (some int) None & info [ "cube-depth" ] ~docv:"K" ~doc)
+
 let swap_duration_arg =
   let doc = "SWAP gate duration in time steps (default: 1 for QAOA, 3 otherwise)." in
   Arg.(value & opt (some int) None & info [ "swap-duration" ] ~docv:"STEPS" ~doc)
@@ -164,8 +197,9 @@ let print_stats_block ~label agg (iters : Core.Optimizer.iter_stat list) =
     flush stderr
   end
 
-let run_synth circuit_spec device_name budget swap_duration objective method_ config warm output
-    trace metrics metrics_out stats prom certify proof_file simplify =
+let run_synth circuit_spec device_name budget conflict_budget workers share cube_depth
+    swap_duration objective method_ config warm output trace metrics metrics_out stats prom certify
+    proof_file simplify =
   let obs =
     if trace <> None || metrics || metrics_out <> None || prom <> None then (
       let t = Obs.create () in
@@ -190,6 +224,10 @@ let run_synth circuit_spec device_name budget swap_duration objective method_ co
   Printf.printf "circuit: %s   device: %s   swap duration: %d\n" (Circuit.label circuit)
     device.Coupling.name swap_duration;
   Printf.printf "T_LB (longest dependency chain) = %d\n%!" (Core.Instance.depth_lower_bound instance);
+  let budget_t =
+    let b = Core.Budget.of_seconds_opt budget in
+    match conflict_budget with Some n -> Core.Budget.with_conflicts n b | None -> b
+  in
   let finish ?certificate result =
     match result with
     | None ->
@@ -245,10 +283,19 @@ let run_synth circuit_spec device_name budget swap_duration objective method_ co
         | _, `Depth -> Core.Synthesis.Tb_blocks
         | _, `Swap -> Core.Synthesis.Tb_swaps
       in
-      let r =
-        Core.Synthesis.run ~config ?simplify ?budget ~certify ?proof_file
-          ~objective:synth_objective instance
+      let options =
+        let open Core.Synthesis.Options in
+        let o =
+          default |> with_config config
+          |> with_budget budget_t
+          |> with_certify ?proof_file certify
+        in
+        let o = match simplify with Some b -> with_simplify b o | None -> o in
+        with_workers ?share ?cube_depth
+          (match workers with Some n -> n | None -> o.parallel.workers)
+          o
       in
+      let r = Core.Synthesis.run ~options ~objective:synth_objective instance in
       (match (method_, r.Core.Synthesis.pareto) with
       | `Tb, (blocks, _) :: _ -> Printf.printf "blocks used: %d\n" blocks
       | _ -> ());
@@ -281,7 +328,8 @@ let run_synth circuit_spec device_name budget swap_duration objective method_ co
                (Core.Portfolio.default_arms objective))
       in
       let report =
-        Core.Portfolio.run ?budget_seconds:budget ?arms ~certify ?proof_file objective instance
+        Core.Portfolio.run ~budget:budget_t ?arms ~certify ?proof_file
+          ~share:(Option.value share ~default:false) objective instance
       in
       List.iter
         (fun (arm : Core.Portfolio.arm_outcome) ->
@@ -343,9 +391,10 @@ let synth_cmd =
   Cmd.v
     (Cmd.info "synth" ~doc)
     Term.(
-      const run_synth $ circuit_arg $ device_arg $ budget_arg $ swap_duration_arg $ objective_arg
-      $ method_arg $ config_arg $ warm_start_arg $ output_arg $ trace_arg $ metrics_arg
-      $ metrics_out_arg $ stats_arg $ prom_arg $ certify_arg $ proof_arg $ simplify_arg)
+      const run_synth $ circuit_arg $ device_arg $ budget_arg $ conflict_budget_arg $ workers_arg
+      $ share_arg $ cube_depth_arg $ swap_duration_arg $ objective_arg $ method_arg $ config_arg
+      $ warm_start_arg $ output_arg $ trace_arg $ metrics_arg $ metrics_out_arg $ stats_arg
+      $ prom_arg $ certify_arg $ proof_arg $ simplify_arg)
 
 (* ---- generate ---- *)
 

@@ -26,7 +26,7 @@ let () =
         let t_max = Core.Instance.depth_upper_bound instance in
         let enc = Core.Encoder.build ~config instance ~t_max in
         let vars, clauses = Core.Encoder.size_report enc in
-        let outcome = Core.Synthesis.run ~config ~objective:Core.Synthesis.Depth instance in
+        let outcome = Core.Synthesis.run ~options:Core.Synthesis.Options.(with_config config default) ~objective:Core.Synthesis.Depth instance in
         let depth =
           match outcome.Core.Synthesis.result with
           | Some r ->

@@ -16,7 +16,7 @@ let () =
   let device = Devices.grid 3 3 in
   let instance = Core.Instance.make ~swap_duration:1 circuit device in
   Format.printf "Instance: %s@.@." (Core.Instance.label instance);
-  let report = Core.Portfolio.run ~budget_seconds:120.0 Core.Portfolio.Swaps instance in
+  let report = Core.Portfolio.run ~budget:(Core.Budget.of_seconds 120.0) Core.Portfolio.Swaps instance in
   Format.printf "%-22s %8s %8s %8s %9s@." "arm" "time(s)" "depth" "swaps" "optimal";
   List.iter
     (fun (arm : Core.Portfolio.arm_outcome) ->

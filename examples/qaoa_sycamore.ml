@@ -22,7 +22,7 @@ let () =
       let instance = Core.Instance.make ~swap_duration:1 circuit device in
       let sabre = Sabre.synthesize ~seed:7 instance in
       Core.Validate.check_exn instance sabre;
-      let tb = Core.Synthesis.run ~budget:120.0 ~objective:Core.Synthesis.Tb_swaps instance in
+      let tb = Core.Synthesis.run ~options:Core.Synthesis.Options.(with_budget (Core.Budget.of_seconds 120.0) default) ~objective:Core.Synthesis.Tb_swaps instance in
       match tb.Core.Synthesis.result with
       | Some r ->
         Core.Validate.check_exn instance r;

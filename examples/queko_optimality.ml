@@ -22,7 +22,7 @@ let () =
       let circuit = Queko.generate_counts ~seed device ~depth ~total_gates:gates () in
       let instance = Core.Instance.make ~swap_duration:3 circuit device in
       assert (Core.Instance.depth_lower_bound instance = depth);
-      let olsq2 = Core.Synthesis.run ~budget:300.0 ~objective:Core.Synthesis.Depth instance in
+      let olsq2 = Core.Synthesis.run ~options:Core.Synthesis.Options.(with_budget (Core.Budget.of_seconds 300.0) default) ~objective:Core.Synthesis.Depth instance in
       let sabre = Sabre.synthesize ~seed:5 instance in
       Core.Validate.check_exn instance sabre;
       match olsq2.Core.Synthesis.result with

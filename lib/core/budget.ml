@@ -1,0 +1,64 @@
+module Stopwatch = Olsq2_util.Stopwatch
+
+type t = {
+  wall_seconds : float option;
+  max_conflicts : int option;
+  per_bound_seconds : float option;
+}
+
+let unlimited = { wall_seconds = None; max_conflicts = None; per_bound_seconds = None }
+let of_seconds s = { unlimited with wall_seconds = Some s }
+let of_seconds_opt = function None -> unlimited | Some s -> of_seconds s
+let with_conflicts c b = { b with max_conflicts = Some c }
+let with_per_bound_seconds s b = { b with per_bound_seconds = Some s }
+
+let is_unlimited b =
+  b.wall_seconds = None && b.max_conflicts = None && b.per_bound_seconds = None
+
+let to_assoc b =
+  List.concat
+    [
+      (match b.wall_seconds with Some s -> [ ("wall_seconds", string_of_float s) ] | None -> []);
+      (match b.max_conflicts with Some c -> [ ("max_conflicts", string_of_int c) ] | None -> []);
+      (match b.per_bound_seconds with
+      | Some s -> [ ("per_bound_seconds", string_of_float s) ]
+      | None -> []);
+    ]
+
+type state = {
+  limits : t;
+  deadline : float option; (* absolute, fixed at [start] *)
+  mutable conflicts_spent : int;
+}
+
+let start b =
+  {
+    limits = b;
+    deadline = Option.map (fun s -> Stopwatch.now () +. s) b.wall_seconds;
+    conflicts_spent = 0;
+  }
+
+let remaining_seconds st =
+  match st.deadline with None -> infinity | Some d -> d -. Stopwatch.now ()
+
+let conflicts_left st =
+  match st.limits.max_conflicts with None -> None | Some m -> Some (m - st.conflicts_spent)
+
+let exhausted st =
+  (match st.deadline with Some d -> Stopwatch.now () >= d | None -> false)
+  || match conflicts_left st with Some c -> c <= 0 | None -> false
+
+let solve_timeout st =
+  let wall = match st.deadline with None -> None | Some d -> Some (d -. Stopwatch.now ()) in
+  match (wall, st.limits.per_bound_seconds) with
+  | None, None -> None
+  | Some w, None -> Some w
+  | None, Some p -> Some p
+  | Some w, Some p -> Some (Float.min w p)
+
+let solve_max_conflicts st =
+  (* a solve call must get at least 1 so an exhausted budget is decided
+     by [exhausted], not by a zero-conflict Unknown *)
+  Option.map (fun c -> max 1 c) (conflicts_left st)
+
+let charge st ~conflicts = st.conflicts_spent <- st.conflicts_spent + max 0 conflicts

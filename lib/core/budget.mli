@@ -1,0 +1,64 @@
+(** Unified resource budgets for optimization runs.
+
+    Replaces the [?budget_seconds : float] label that used to be
+    duplicated (with subtly different plumbing) across [Optimizer],
+    [Portfolio] and [Synthesis]: one value describes the wall-clock
+    allowance, an optional global conflict cap, and an optional per-bound
+    cap, and the same {!state} drives cancellation identically on the
+    sequential, portfolio and cube-and-conquer paths.
+
+    A {!t} is a declarative limit; {!start} turns it into a running
+    {!state} with a fixed deadline and a cumulative conflict account.
+    Optimization bodies derive each SAT call's [?timeout] /
+    [?max_conflicts] from the state ({!solve_timeout},
+    {!solve_max_conflicts}) and report what the call actually cost with
+    {!charge}; nested entry points share one state, so the deadline never
+    slides and conflicts accumulate across phases. *)
+
+type t = {
+  wall_seconds : float option;  (** total wall-clock allowance *)
+  max_conflicts : int option;  (** total conflicts across all solves *)
+  per_bound_seconds : float option;  (** wall cap for any single bound query *)
+}
+
+(** No limits. *)
+val unlimited : t
+
+(** Wall-clock-only budget, the old [?budget_seconds] semantics. *)
+val of_seconds : float -> t
+
+(** [of_seconds_opt None] is {!unlimited} (migration helper for the old
+    optional label). *)
+val of_seconds_opt : float option -> t
+
+val with_conflicts : int -> t -> t
+val with_per_bound_seconds : float -> t -> t
+
+(** [true] when every field is [None]. *)
+val is_unlimited : t -> bool
+
+(** Stable key/value rendering of the non-default fields. *)
+val to_assoc : t -> (string * string) list
+
+(** A running account: fixed wall deadline plus spent conflicts. *)
+type state
+
+val start : t -> state
+
+(** Wall seconds left ([infinity] when unlimited). *)
+val remaining_seconds : state -> float
+
+(** [true] once the deadline passed or the conflict cap is spent. *)
+val exhausted : state -> bool
+
+(** The [?timeout] to pass to the next solve call: the remaining wall
+    allowance, further clamped by [per_bound_seconds]; [None] when
+    unlimited. *)
+val solve_timeout : state -> float option
+
+(** The [?max_conflicts] to pass to the next solve call: what is left of
+    the global conflict cap; [None] when unlimited. *)
+val solve_max_conflicts : state -> int option
+
+(** Record conflicts actually spent by a finished solve call. *)
+val charge : state -> conflicts:int -> unit

@@ -36,6 +36,7 @@ module Dag = Olsq2_circuit.Dag
 module Coupling = Olsq2_device.Coupling
 module Obs = Olsq2_obs.Obs
 module Simplify = Olsq2_simplify.Simplify
+module Share = Olsq2_parallel.Share
 
 type counter = Card of Cardinality.outputs | Adder_net of Pb.t
 
@@ -382,6 +383,11 @@ let build_raw ?(config = Config.default) ?proof instance ~t_max =
       enc.simplify_report <- Some (Simplify.preprocess s);
       Simplify.attach_inprocessing s
     end);
+  (* Portfolio-arm clause sharing: when the share hub is live, register
+     this encoding's solver under a fingerprint of its database; arms
+     that built the identical CNF join one channel.  Proof-logged
+     encoders stay out entirely, so certified runs share nothing. *)
+  if proof = None && Share.hub_active () then Share.hub_attach (Ctx.solver ctx);
   enc
 
 (* One span per encoding build, carrying the clause/variable counts the
@@ -528,10 +534,20 @@ let model_weighted_cost enc ~weights =
 
 (* Lazy-integer configurations route through the theory CEGAR loop; all
    others hit the SAT core directly. *)
-let solve ?(assumptions = []) ?timeout enc =
+(* The [Lazy_int] arm must run its CEGAR loop around every solve, so a
+   raw [Solver.solve] substitute (the cube-and-conquer pool) is only
+   valid for the plain CNF encodings. *)
+let pool_capable enc =
   match enc.config.Config.var_encoding with
-  | Config.Lazy_int -> Theory_int.solve ~assumptions ?timeout (Theory_int.of_ctx enc.ctx)
-  | Config.Onehot | Config.Binary -> Solver.solve ~assumptions ?timeout (solver enc)
+  | Config.Lazy_int -> false
+  | Config.Onehot | Config.Binary -> true
+
+let solve ?(assumptions = []) ?max_conflicts ?timeout enc =
+  match enc.config.Config.var_encoding with
+  | Config.Lazy_int ->
+    Theory_int.solve ~assumptions ?max_conflicts ?timeout (Theory_int.of_ctx enc.ctx)
+  | Config.Onehot | Config.Binary ->
+    Solver.solve ~assumptions ?max_conflicts ?timeout (solver enc)
 
 let model_swaps enc =
   List.filter_map

@@ -61,7 +61,13 @@ val build_weighted_counter : t -> weights:(int -> int) -> max_bound:int -> unit
 (** Weighted cost of the current model under the same [weights]. *)
 val model_weighted_cost : t -> weights:(int -> int) -> int
 
-val solve : ?assumptions:Lit.t list -> ?timeout:float -> t -> Solver.result
+val solve : ?assumptions:Lit.t list -> ?max_conflicts:int -> ?timeout:float -> t -> Solver.result
+
+(** [true] when a raw {!Olsq2_sat.Solver.solve} on {!solver} is
+    equivalent to {!solve} — i.e. the encoding is plain CNF, with no
+    CEGAR theory loop — so a cube-and-conquer pool may stand in for the
+    sequential call. *)
+val pool_capable : t -> bool
 
 (** SWAPs of the current model. *)
 val model_swaps : t -> Result_.swap list

@@ -20,6 +20,7 @@ module Lit = Olsq2_sat.Lit
 module Solver = Olsq2_sat.Solver
 module Stopwatch = Olsq2_util.Stopwatch
 module Obs = Olsq2_obs.Obs
+module Pool = Olsq2_parallel.Pool
 
 (* ---- per-iteration statistics collection ---- *)
 
@@ -100,7 +101,7 @@ let set_progress_sink ?(interval = 2000) cb = Atomic.set progress_sink (cb, inte
    (the failed bound assumptions are recorded on the span so a trace
    shows *which* bounds blocked each refinement step), and its progress
    callback feeds the ambient sink while this iteration runs. *)
-let iter_span name ~bound ?core solve =
+let iter_span name ~bound ?core ?pool solve =
   let col = collector () in
   let stats_before =
     if col.active then Option.map (fun s -> Solver.stats_copy (Solver.stats s)) core else None
@@ -122,7 +123,29 @@ let iter_span name ~bound ?core solve =
                    prog_learnts = Solver.n_learnts s;
                    prog_propagations = st.Solver.propagations;
                  }));
-        Fun.protect ~finally:(fun () -> Solver.set_progress solver None) solve
+        (* cube workers heartbeat through the pool with aggregated
+           counters on top of the master's; the sink must be domain-safe
+           (it already is: portfolio arms call it concurrently) *)
+        (match pool with
+        | Some p ->
+          Pool.set_progress ~interval p
+            (Some
+               (fun (pg : Pool.progress) ->
+                 let st = Solver.stats solver in
+                 sink
+                   {
+                     prog_phase = name;
+                     prog_bound = bound;
+                     prog_conflicts = st.Solver.conflicts + pg.Pool.pg_conflicts;
+                     prog_learnts = pg.Pool.pg_learnts;
+                     prog_propagations = st.Solver.propagations + pg.Pool.pg_propagations;
+                   }))
+        | None -> ());
+        Fun.protect
+          ~finally:(fun () ->
+            Solver.set_progress solver None;
+            match pool with Some p -> Pool.set_progress p None | None -> ())
+          solve
     | _ -> solve
   in
   let record r =
@@ -202,17 +225,46 @@ let grow_bound t_b =
   let r = if t_b < 100 then 1.3 else 1.1 in
   max (t_b + 1) (int_of_float (ceil (r *. float_of_int t_b)))
 
-let remaining_or_none budget =
-  let r = Stopwatch.remaining budget in
-  if r = infinity then None else Some r
+(* Budget-accounted solve calls: derive each call's [?timeout] /
+   [?max_conflicts] from the shared {!Budget.state} and charge back what
+   the call actually cost (read off the master's stats, which the pool
+   merges replica effort into), so wall and conflict caps behave
+   identically on the sequential, portfolio and cube paths.  A pool, when
+   given and the encoding is pool-capable (plain CNF, no CEGAR loop),
+   stands in for the sequential solver call. *)
+let esolve ?pool ~st ~assumptions enc =
+  let solver = Encoder.solver enc in
+  let before = (Solver.stats solver).Solver.conflicts in
+  let timeout = Budget.solve_timeout st in
+  let max_conflicts = Budget.solve_max_conflicts st in
+  let r =
+    match pool with
+    | Some p when Encoder.pool_capable enc -> Pool.solve p ~assumptions ?max_conflicts ?timeout solver
+    | Some _ | None -> Encoder.solve ~assumptions ?max_conflicts ?timeout enc
+  in
+  Budget.charge st ~conflicts:((Solver.stats solver).Solver.conflicts - before);
+  r
+
+let tbsolve ?pool ~st ~assumptions enc =
+  let solver = Tb_encoder.solver enc in
+  let before = (Solver.stats solver).Solver.conflicts in
+  let timeout = Budget.solve_timeout st in
+  let max_conflicts = Budget.solve_max_conflicts st in
+  let r =
+    match pool with
+    | Some p when Tb_encoder.pool_capable enc ->
+      Pool.solve p ~assumptions ?max_conflicts ?timeout solver
+    | Some _ | None -> Tb_encoder.solve ~assumptions ?max_conflicts ?timeout enc
+  in
+  Budget.charge st ~conflicts:((Solver.stats solver).Solver.conflicts - before);
+  r
 
 (* ---- depth optimization ---- *)
 
 (* Returns the outcome and, on success, the encoder together with the
    achieved depth bound, so SWAP optimization can continue on the same
    incremental solver state. *)
-let minimize_depth_with_encoder_body ~config ?budget_seconds instance =
-  let budget = Stopwatch.budget budget_seconds in
+let minimize_depth_with_encoder_body ~config ?pool ~st instance =
   let clock = Stopwatch.start () in
   let iterations = ref 0 in
   let t_lb = Instance.depth_lower_bound instance in
@@ -222,12 +274,12 @@ let minimize_depth_with_encoder_body ~config ?budget_seconds instance =
     let check d =
       incr iterations;
       let sel = Encoder.depth_selector enc d in
-      iter_span "opt.depth_iter" ~bound:d ~core:(Encoder.solver enc) (fun () ->
-          Encoder.solve ~assumptions:[ sel ] ?timeout:(remaining_or_none budget) enc)
+      iter_span "opt.depth_iter" ~bound:d ~core:(Encoder.solver enc) ?pool (fun () ->
+          esolve ?pool ~st ~assumptions:[ sel ] enc)
     in
     (* ascent: grow the bound until SAT *)
     let rec ascend d =
-      if Stopwatch.exhausted budget then `Budget
+      if Budget.exhausted st then `Budget
       else
         match check d with
         | Solver.Sat -> `Sat d
@@ -237,7 +289,7 @@ let minimize_depth_with_encoder_body ~config ?budget_seconds instance =
     (* descent: tighten by 1 until UNSAT; [d] is known SAT *)
     let rec descend d =
       if d - 1 < t_lb then (d, true)
-      else if Stopwatch.exhausted budget then (d, false)
+      else if Budget.exhausted st then (d, false)
       else
         match check (d - 1) with
         | Solver.Sat -> descend (d - 1)
@@ -274,14 +326,18 @@ let minimize_depth_with_encoder_body ~config ?budget_seconds instance =
   in
   with_horizon (Instance.depth_upper_bound instance)
 
-let minimize_depth_with_encoder ?(config = Config.default) ?budget_seconds instance =
+let minimize_depth_with_encoder_st ~config ?pool ~st instance =
   let (o, enc), iters, agg =
-    collecting (fun () -> minimize_depth_with_encoder_body ~config ?budget_seconds instance)
+    collecting (fun () -> minimize_depth_with_encoder_body ~config ?pool ~st instance)
   in
   ({ o with stats = agg; iter_stats = iters }, enc)
 
-let minimize_depth ?config ?budget_seconds instance =
-  fst (minimize_depth_with_encoder ?config ?budget_seconds instance)
+let minimize_depth_with_encoder ?(config = Config.default) ?(budget = Budget.unlimited) ?pool
+    instance =
+  minimize_depth_with_encoder_st ~config ?pool ~st:(Budget.start budget) instance
+
+let minimize_depth ?config ?budget ?pool instance =
+  fst (minimize_depth_with_encoder ?config ?budget ?pool instance)
 
 (* ---- SWAP optimization (iterative refinement, §III-B-2) ---- *)
 
@@ -289,11 +345,11 @@ let minimize_depth ?config ?budget_seconds instance =
    is the count of the model currently in the solver.  On return the
    solver's model is the best one found.  Returns (best count, proven
    optimal at this depth). *)
-let descend_swaps enc ~depth ~start ~budget iterations =
+let descend_swaps enc ~depth ~start ?pool ~st iterations =
   Encoder.build_counter enc ~max_bound:(max start 1);
   let rec go best =
     if best = 0 then (best, true)
-    else if Stopwatch.exhausted budget then (best, false)
+    else if Budget.exhausted st then (best, false)
     else begin
       incr iterations;
       let sel = Encoder.depth_selector enc depth in
@@ -303,8 +359,8 @@ let descend_swaps enc ~depth ~start ~budget iterations =
         | None -> [ sel ]
       in
       match
-        iter_span "opt.swap_iter" ~bound:(best - 1) ~core:(Encoder.solver enc) (fun () ->
-            Encoder.solve ~assumptions ?timeout:(remaining_or_none budget) enc)
+        iter_span "opt.swap_iter" ~bound:(best - 1) ~core:(Encoder.solver enc) ?pool (fun () ->
+            esolve ?pool ~st ~assumptions enc)
       with
       | Solver.Sat -> go (Encoder.model_swap_count enc)
       | Solver.Unsat -> (best, true)
@@ -322,13 +378,12 @@ let descend_swaps enc ~depth ~start ~budget iterations =
                  (paper termination condition 2). *)
 type seed = Fresh | Warm of int | Tightened of int
 
-let minimize_swaps_body ~config ?budget_seconds ~max_depth_relax ?warm_start instance =
+let minimize_swaps_body ~config ?pool ~st ~max_depth_relax ?warm_start instance =
   let clock = Stopwatch.start () in
-  let depth_outcome, enc_opt = minimize_depth_with_encoder ~config ?budget_seconds instance in
+  let depth_outcome, enc_opt = minimize_depth_with_encoder_st ~config ?pool ~st instance in
   match (depth_outcome.result, enc_opt) with
   | None, _ | _, None -> depth_outcome
   | Some _, Some (enc0, d0) ->
-    let budget = Stopwatch.budget (Option.map (fun b -> b -. Stopwatch.elapsed clock) budget_seconds) in
     let iterations = ref depth_outcome.iterations in
     let pareto = ref [] in
     let best = ref None in
@@ -354,8 +409,8 @@ let minimize_swaps_body ~config ?budget_seconds ~max_depth_relax ?warm_start ins
       in
       let prev = match seed with Fresh | Warm _ -> None | Tightened b -> Some b in
       match
-        iter_span "opt.sweep_level" ~bound:d ~core:(Encoder.solver enc) (fun () ->
-            Encoder.solve ~assumptions ?timeout:(remaining_or_none budget) enc)
+        iter_span "opt.sweep_level" ~bound:d ~core:(Encoder.solver enc) ?pool (fun () ->
+            esolve ?pool ~st ~assumptions enc)
       with
       | Solver.Unsat when (match seed with Warm _ -> true | Fresh | Tightened _ -> false) ->
         (* heuristic bound too tight for the optimal depth: restart the
@@ -367,7 +422,7 @@ let minimize_swaps_body ~config ?budget_seconds ~max_depth_relax ?warm_start ins
         ()
       | Solver.Sat ->
         let start = Encoder.model_swap_count enc in
-        let count, optimal = descend_swaps enc ~depth:d ~start ~budget iterations in
+        let count, optimal = descend_swaps enc ~depth:d ~start ?pool ~st iterations in
         pareto_point ~depth:d ~swaps:count;
         pareto := (d, count) :: !pareto;
         let improves = match prev with None -> true | Some b -> count < b in
@@ -375,7 +430,7 @@ let minimize_swaps_body ~config ?budget_seconds ~max_depth_relax ?warm_start ins
           best := Some (capture enc optimal);
           best_optimal := optimal
         end;
-        if count > 0 && relax_left > 0 && not (Stopwatch.exhausted budget) then begin
+        if count > 0 && relax_left > 0 && not (Budget.exhausted st) then begin
           let d' = d + 1 in
           let enc' =
             if d' + 1 <= enc.Encoder.t_max then enc
@@ -401,11 +456,11 @@ let minimize_swaps_body ~config ?budget_seconds ~max_depth_relax ?warm_start ins
       iter_stats = [];
     }
 
-let minimize_swaps ?(config = Config.default) ?budget_seconds ?(max_depth_relax = 4) ?warm_start
-    instance =
+let minimize_swaps ?(config = Config.default) ?(budget = Budget.unlimited) ?pool
+    ?(max_depth_relax = 4) ?warm_start instance =
+  let st = Budget.start budget in
   let o, iters, agg =
-    collecting (fun () ->
-        minimize_swaps_body ~config ?budget_seconds ~max_depth_relax ?warm_start instance)
+    collecting (fun () -> minimize_swaps_body ~config ?pool ~st ~max_depth_relax ?warm_start instance)
   in
   { o with stats = agg; iter_stats = iters }
 
@@ -415,22 +470,19 @@ let minimize_swaps ?(config = Config.default) ?budget_seconds ?(max_depth_relax 
    the integer cost of a SWAP on edge [e] (e.g. scaled -log fidelity), so
    the synthesizer prefers routing through high-fidelity couplers.  Same
    iterative descent as [minimize_swaps], over the weighted counter. *)
-let minimize_weighted_swaps_body ~config ?budget_seconds ~weights instance =
+let minimize_weighted_swaps_body ~config ?pool ~st ~weights instance =
   let clock = Stopwatch.start () in
-  let depth_outcome, enc_opt = minimize_depth_with_encoder ~config ?budget_seconds instance in
+  let depth_outcome, enc_opt = minimize_depth_with_encoder_st ~config ?pool ~st instance in
   match (depth_outcome.result, enc_opt) with
   | None, _ | _, None -> depth_outcome
   | Some _, Some (enc, d) ->
-    let budget =
-      Stopwatch.budget (Option.map (fun b -> b -. Stopwatch.elapsed clock) budget_seconds)
-    in
     let iterations = ref depth_outcome.iterations in
     let sel = Encoder.depth_selector enc d in
     let start = Encoder.model_weighted_cost enc ~weights in
     Encoder.build_weighted_counter enc ~weights ~max_bound:(max start 1);
     let rec descend best =
       if best = 0 then (best, true)
-      else if Stopwatch.exhausted budget then (best, false)
+      else if Budget.exhausted st then (best, false)
       else begin
         incr iterations;
         let assumptions =
@@ -439,8 +491,8 @@ let minimize_weighted_swaps_body ~config ?budget_seconds ~weights instance =
           | None -> [ sel ]
         in
         match
-          iter_span "opt.weighted_iter" ~bound:(best - 1) ~core:(Encoder.solver enc) (fun () ->
-              Encoder.solve ~assumptions ?timeout:(remaining_or_none budget) enc)
+          iter_span "opt.weighted_iter" ~bound:(best - 1) ~core:(Encoder.solver enc) ?pool
+            (fun () -> esolve ?pool ~st ~assumptions enc)
         with
         | Solver.Sat -> descend (Encoder.model_weighted_cost enc ~weights)
         | Solver.Unsat -> (best, true)
@@ -464,9 +516,11 @@ let minimize_weighted_swaps_body ~config ?budget_seconds ~weights instance =
       iter_stats = [];
     }
 
-let minimize_weighted_swaps ?(config = Config.default) ?budget_seconds ~weights instance =
+let minimize_weighted_swaps ?(config = Config.default) ?(budget = Budget.unlimited) ?pool ~weights
+    instance =
+  let st = Budget.start budget in
   let o, iters, agg =
-    collecting (fun () -> minimize_weighted_swaps_body ~config ?budget_seconds ~weights instance)
+    collecting (fun () -> minimize_weighted_swaps_body ~config ?pool ~st ~weights instance)
   in
   { o with stats = agg; iter_stats = iters }
 
@@ -483,8 +537,7 @@ type tb_outcome = {
 
 (* Block-count minimization: the bound starts at 1 and increases by 1 on
    UNSAT (paper §III-D). *)
-let tb_minimize_blocks_body ~config ?budget_seconds ~max_blocks instance =
-  let budget = Stopwatch.budget budget_seconds in
+let tb_minimize_blocks_body ~config ?pool ~st ~max_blocks instance =
   let clock = Stopwatch.start () in
   let iterations = ref 0 in
   let done_ result optimal =
@@ -498,13 +551,13 @@ let tb_minimize_blocks_body ~config ?budget_seconds ~max_blocks instance =
     }
   in
   let rec try_blocks b =
-    if b > max_blocks || Stopwatch.exhausted budget then done_ None false
+    if b > max_blocks || Budget.exhausted st then done_ None false
     else begin
       let enc = Tb_encoder.build ~config instance ~num_blocks:b in
       incr iterations;
       match
-        iter_span "opt.tb_iter" ~bound:b ~core:(Tb_encoder.solver enc) (fun () ->
-            Tb_encoder.solve ?timeout:(remaining_or_none budget) enc)
+        iter_span "opt.tb_iter" ~bound:b ~core:(Tb_encoder.solver enc) ?pool (fun () ->
+            tbsolve ?pool ~st ~assumptions:[] enc)
       with
       | Solver.Sat ->
         let r =
@@ -519,27 +572,29 @@ let tb_minimize_blocks_body ~config ?budget_seconds ~max_blocks instance =
   in
   try_blocks 1
 
-let tb_minimize_blocks ?(config = Config.default) ?budget_seconds ?(max_blocks = 16) instance =
+let tb_minimize_blocks ?(config = Config.default) ?(budget = Budget.unlimited) ?pool
+    ?(max_blocks = 16) instance =
+  let st = Budget.start budget in
   let o, iters, agg =
-    collecting (fun () -> tb_minimize_blocks_body ~config ?budget_seconds ~max_blocks instance)
+    collecting (fun () -> tb_minimize_blocks_body ~config ?pool ~st ~max_blocks instance)
   in
   { o with tb_stats = agg; tb_iter_stats = iters }
 
 (* Descend the SWAP bound on a TB encoder holding a model. *)
-let tb_descend enc ~budget iterations =
+let tb_descend enc ?pool ~st iterations =
   let start = Tb_encoder.model_swap_count enc in
   Tb_encoder.build_counter enc ~max_bound:(max start 1);
   let rec go best =
     if best = 0 then (best, true)
-    else if Stopwatch.exhausted budget then (best, false)
+    else if Budget.exhausted st then (best, false)
     else begin
       incr iterations;
       match Tb_encoder.swap_bound_assumption enc (best - 1) with
       | None -> (best, true)
       | Some a -> (
         match
-          iter_span "opt.swap_iter" ~bound:(best - 1) ~core:(Tb_encoder.solver enc) (fun () ->
-              Tb_encoder.solve ~assumptions:[ a ] ?timeout:(remaining_or_none budget) enc)
+          iter_span "opt.swap_iter" ~bound:(best - 1) ~core:(Tb_encoder.solver enc) ?pool
+            (fun () -> tbsolve ?pool ~st ~assumptions:[ a ] enc)
         with
         | Solver.Sat -> go (Tb_encoder.model_swap_count enc)
         | Solver.Unsat -> (best, true)
@@ -551,8 +606,7 @@ let tb_descend enc ~budget iterations =
 (* SWAP minimization on the transition-based model: minimal block count
    first, then SWAP descent; relax the block count while it reduces the
    SWAP count further. *)
-let tb_minimize_swaps_body ~config ?budget_seconds ~max_blocks ~max_block_relax instance =
-  let budget = Stopwatch.budget budget_seconds in
+let tb_minimize_swaps_body ~config ?pool ~st ~max_blocks ~max_block_relax instance =
   let clock = Stopwatch.start () in
   let iterations = ref 0 in
   let best = ref None in
@@ -577,13 +631,13 @@ let tb_minimize_swaps_body ~config ?budget_seconds ~max_blocks ~max_block_relax 
   in
   (* find the minimal SAT block count *)
   let rec first_sat b =
-    if b > max_blocks || Stopwatch.exhausted budget then None
+    if b > max_blocks || Budget.exhausted st then None
     else begin
       let enc = Tb_encoder.build ~config instance ~num_blocks:b in
       incr iterations;
       match
-        iter_span "opt.tb_iter" ~bound:b ~core:(Tb_encoder.solver enc) (fun () ->
-            Tb_encoder.solve ?timeout:(remaining_or_none budget) enc)
+        iter_span "opt.tb_iter" ~bound:b ~core:(Tb_encoder.solver enc) ?pool (fun () ->
+            tbsolve ?pool ~st ~assumptions:[] enc)
       with
       | Solver.Sat -> Some (enc, b)
       | Solver.Unsat -> first_sat (b + 1)
@@ -593,11 +647,11 @@ let tb_minimize_swaps_body ~config ?budget_seconds ~max_blocks ~max_block_relax 
   (match first_sat 1 with
   | None -> ()
   | Some (enc, b0) ->
-    let count, optimal = tb_descend enc ~budget iterations in
+    let count, optimal = tb_descend enc ?pool ~st iterations in
     let count = record enc optimal |> min count in
     (* relax the block count while it still reduces SWAPs *)
     let rec relax b prev relax_left =
-      if prev = 0 || relax_left = 0 || b + 1 > max_blocks || Stopwatch.exhausted budget then ()
+      if prev = 0 || relax_left = 0 || b + 1 > max_blocks || Budget.exhausted st then ()
       else begin
         let enc' = Tb_encoder.build ~config instance ~num_blocks:(b + 1) in
         Tb_encoder.build_counter enc' ~max_bound:(max prev 1);
@@ -606,12 +660,12 @@ let tb_minimize_swaps_body ~config ?budget_seconds ~max_blocks ~max_block_relax 
         | None -> ()
         | Some a -> (
           match
-            iter_span "opt.tb_relax" ~bound:(b + 1) ~core:(Tb_encoder.solver enc') (fun () ->
-                Tb_encoder.solve ~assumptions:[ a ] ?timeout:(remaining_or_none budget) enc')
+            iter_span "opt.tb_relax" ~bound:(b + 1) ~core:(Tb_encoder.solver enc') ?pool
+              (fun () -> tbsolve ?pool ~st ~assumptions:[ a ] enc')
           with
           | Solver.Unsat | Solver.Unknown _ -> () (* no improvement: stop *)
           | Solver.Sat ->
-            let c, opt = tb_descend enc' ~budget iterations in
+            let c, opt = tb_descend enc' ?pool ~st iterations in
             let c = record enc' opt |> min c in
             relax (b + 1) c (relax_left - 1))
       end
@@ -626,10 +680,11 @@ let tb_minimize_swaps_body ~config ?budget_seconds ~max_blocks ~max_block_relax 
     tb_iter_stats = [];
   }
 
-let tb_minimize_swaps ?(config = Config.default) ?budget_seconds ?(max_blocks = 16)
-    ?(max_block_relax = 2) instance =
+let tb_minimize_swaps ?(config = Config.default) ?(budget = Budget.unlimited) ?pool
+    ?(max_blocks = 16) ?(max_block_relax = 2) instance =
+  let st = Budget.start budget in
   let o, iters, agg =
     collecting (fun () ->
-        tb_minimize_swaps_body ~config ?budget_seconds ~max_blocks ~max_block_relax instance)
+        tb_minimize_swaps_body ~config ?pool ~st ~max_blocks ~max_block_relax instance)
   in
   { o with tb_stats = agg; tb_iter_stats = iters }

@@ -13,7 +13,18 @@
     iteration records a span ([opt.depth_iter], [opt.swap_iter],
     [opt.sweep_level], [opt.weighted_iter], [opt.tb_iter], [opt.tb_relax])
     with its bound and verdict, and every Pareto point an [opt.pareto]
-    instant. *)
+    instant.
+
+    Every entry point takes a declarative {!Budget.t} (wall seconds,
+    conflict cap, per-bound-call seconds) started once at entry, so the
+    deadline is fixed across the whole refinement — including the nested
+    depth loop inside [minimize_swaps] — and an optional
+    {!Olsq2_parallel.Pool.t}: when given and the encoding is pool-capable
+    (plain CNF, no CEGAR loop), hard bound queries are solved
+    cube-and-conquer style across the pool's worker domains instead of on
+    the single master solver.  Replica search effort is merged back into
+    the master's stats at each query, so [iter_stats] deltas and the
+    conflict budget account for parallel work too. *)
 
 (** Search-effort record of one bound iteration: which refinement phase
     ([opt.depth_iter], [opt.swap_iter], ...) attempted which bound, what
@@ -57,14 +68,19 @@ type outcome = {
 }
 
 (** Depth minimization: geometric ascent from T_LB, then unit descent
-    (paper §III-B-1).  [budget_seconds] bounds wall-clock time.
+    (paper §III-B-1).  [budget] bounds wall-clock time and conflicts.
     Deprecated entry point: prefer [Synthesis.run ~objective:Depth]. *)
-val minimize_depth : ?config:Config.t -> ?budget_seconds:float -> Instance.t -> outcome
+val minimize_depth :
+  ?config:Config.t -> ?budget:Budget.t -> ?pool:Olsq2_parallel.Pool.t -> Instance.t -> outcome
 
 (** As {!minimize_depth}, additionally returning the encoder positioned at
     the found depth for follow-up optimization. *)
 val minimize_depth_with_encoder :
-  ?config:Config.t -> ?budget_seconds:float -> Instance.t -> outcome * (Encoder.t * int) option
+  ?config:Config.t ->
+  ?budget:Budget.t ->
+  ?pool:Olsq2_parallel.Pool.t ->
+  Instance.t ->
+  outcome * (Encoder.t * int) option
 
 (** SWAP minimization with 2-D (depth, SWAP) refinement (paper §III-B-2):
     depth-optimal start, iterative SWAP descent, then depth relaxation
@@ -74,7 +90,8 @@ val minimize_depth_with_encoder :
     Deprecated entry point: prefer [Synthesis.run ~objective:(Swaps _)]. *)
 val minimize_swaps :
   ?config:Config.t ->
-  ?budget_seconds:float ->
+  ?budget:Budget.t ->
+  ?pool:Olsq2_parallel.Pool.t ->
   ?max_depth_relax:int ->
   ?warm_start:int ->
   Instance.t ->
@@ -86,7 +103,12 @@ val minimize_swaps :
     Deprecated entry point: prefer
     [Synthesis.run ~objective:(Weighted_swaps _)]. *)
 val minimize_weighted_swaps :
-  ?config:Config.t -> ?budget_seconds:float -> weights:(int -> int) -> Instance.t -> outcome
+  ?config:Config.t ->
+  ?budget:Budget.t ->
+  ?pool:Olsq2_parallel.Pool.t ->
+  weights:(int -> int) ->
+  Instance.t ->
+  outcome
 
 type tb_outcome = {
   tb_result : Tb_encoder.result option;
@@ -101,14 +123,20 @@ type tb_outcome = {
     (paper §III-D).
     Deprecated entry point: prefer [Synthesis.run ~objective:Tb_blocks]. *)
 val tb_minimize_blocks :
-  ?config:Config.t -> ?budget_seconds:float -> ?max_blocks:int -> Instance.t -> tb_outcome
+  ?config:Config.t ->
+  ?budget:Budget.t ->
+  ?pool:Olsq2_parallel.Pool.t ->
+  ?max_blocks:int ->
+  Instance.t ->
+  tb_outcome
 
 (** TB-OLSQ2 SWAP minimization: minimal block count, SWAP descent, then
     block-count relaxation while it reduces SWAPs.
     Deprecated entry point: prefer [Synthesis.run ~objective:Tb_swaps]. *)
 val tb_minimize_swaps :
   ?config:Config.t ->
-  ?budget_seconds:float ->
+  ?budget:Budget.t ->
+  ?pool:Olsq2_parallel.Pool.t ->
   ?max_blocks:int ->
   ?max_block_relax:int ->
   Instance.t ->

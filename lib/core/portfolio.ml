@@ -65,8 +65,9 @@ type report = {
 }
 
 module Obs = Olsq2_obs.Obs
+module Share = Olsq2_parallel.Share
 
-let run_arm objective budget_seconds instance arm =
+let run_arm objective budget instance arm =
   let obs = Obs.global () in
   let sp =
     Obs.begin_span obs "portfolio.arm"
@@ -80,19 +81,19 @@ let run_arm objective budget_seconds instance arm =
   let result, blocks, optimal, arm_stats =
     match (arm.arm_model, objective) with
     | `Full, Depth ->
-      let o = Optimizer.minimize_depth ~config:arm.arm_config ?budget_seconds instance in
+      let o = Optimizer.minimize_depth ~config:arm.arm_config ~budget instance in
       (o.Optimizer.result, None, o.Optimizer.optimal, o.Optimizer.stats)
     | `Full, Swaps ->
-      let o = Optimizer.minimize_swaps ~config:arm.arm_config ?budget_seconds instance in
+      let o = Optimizer.minimize_swaps ~config:arm.arm_config ~budget instance in
       (o.Optimizer.result, None, o.Optimizer.optimal, o.Optimizer.stats)
     | `Transition, Depth ->
-      let o = Optimizer.tb_minimize_blocks ~config:arm.arm_config ?budget_seconds instance in
+      let o = Optimizer.tb_minimize_blocks ~config:arm.arm_config ~budget instance in
       (match o.Optimizer.tb_result with
       | Some r ->
         (Some r.Tb_encoder.expanded, Some r.Tb_encoder.blocks, o.Optimizer.tb_optimal, o.Optimizer.tb_stats)
       | None -> (None, None, false, o.Optimizer.tb_stats))
     | `Transition, Swaps ->
-      let o = Optimizer.tb_minimize_swaps ~config:arm.arm_config ?budget_seconds instance in
+      let o = Optimizer.tb_minimize_swaps ~config:arm.arm_config ~budget instance in
       (match o.Optimizer.tb_result with
       | Some r ->
         (Some r.Tb_encoder.expanded, Some r.Tb_encoder.blocks, o.Optimizer.tb_optimal, o.Optimizer.tb_stats)
@@ -142,7 +143,8 @@ let better objective a b =
    (time-resolved) winners that proved optimality are certifiable; a
    transition-based winner's expanded schedule carries no exact-optimality
    claim. *)
-let certify_winner ~budget_seconds ~proof_file objective (w : arm_outcome) instance =
+let certify_winner ~budget ~proof_file objective (w : arm_outcome) instance =
+  let budget_seconds = budget.Budget.wall_seconds in
   match w.result with
   | None -> None
   | Some r ->
@@ -158,14 +160,29 @@ let certify_winner ~budget_seconds ~proof_file objective (w : arm_outcome) insta
           (Certificate.certify_swaps ~config:w.arm.arm_config ?budget:budget_seconds ?proof_file
              instance ~depth:r.Result_.depth ~swaps:r.Result_.swap_count))
 
-let run ?budget_seconds ?arms ?(certify = false) ?proof_file objective instance =
+let run ?(budget = Budget.unlimited) ?arms ?(certify = false) ?proof_file ?(share = false)
+    objective instance =
   let arms = match arms with Some a -> a | None -> default_arms objective in
   (* transition arms make no sense for exact depth; caller-supplied arms
      are trusted *)
-  let domains =
-    List.map (fun arm -> Domain.spawn (fun () -> run_arm objective budget_seconds instance arm)) arms
+  (* learnt-clause sharing between arms: while the hub is active, every
+     non-proof-logged encoder built (in any arm's domain) attaches to the
+     channel matching its CNF fingerprint, so arms that share a base
+     encoding (e.g. olsq2-bv vs olsq2-bv-totalizer: counters are built
+     lazily, after attach) exchange short learnts.  Deactivated before
+     certification so the fresh proof-logged re-solve never imports. *)
+  if share then Share.hub_activate ();
+  let outcomes =
+    Fun.protect
+      ~finally:(fun () -> if share then Share.hub_deactivate ())
+      (fun () ->
+        let domains =
+          List.map
+            (fun arm -> Domain.spawn (fun () -> run_arm objective budget instance arm))
+            arms
+        in
+        List.map Domain.join domains)
   in
-  let outcomes = List.map Domain.join domains in
   let winner =
     match outcomes with
     | [] -> None
@@ -181,7 +198,7 @@ let run ?budget_seconds ?arms ?(certify = false) ?proof_file objective instance 
   | None -> ());
   let certificate =
     match winner with
-    | Some w when certify -> certify_winner ~budget_seconds ~proof_file objective w instance
+    | Some w when certify -> certify_winner ~budget ~proof_file objective w instance
     | Some _ | None -> None
   in
   { winner; arms = outcomes; certificate }

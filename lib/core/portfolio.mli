@@ -37,15 +37,26 @@ type report = {
 (** Run every arm in its own domain and pick the best outcome (smaller
     objective; ties break on proven optimality, then wall-clock).
 
+    [budget] applies per arm (each arm starts its own {!Budget.state}, so
+    the wall deadline and conflict cap bound every arm identically).
+
     [certify] rebuilds the winner's optimality claim on a fresh
     proof-logged solve (see {!Certificate}); arms race with arbitrary
     encodings, so no arm's own solver state is trusted for the proof.
-    [proof_file] writes the emitted DRAT proof there. *)
+    [proof_file] writes the emitted DRAT proof there.
+
+    [share] activates the {!Olsq2_parallel.Share} hub for the duration of
+    the race: arms whose base CNF matches by fingerprint exchange short
+    learnt clauses (imports restricted to the variables present at attach
+    time, so lazily-built counter variables never cross arms).  The hub is
+    deactivated before certification, so proof-logged solvers never
+    import. *)
 val run :
-  ?budget_seconds:float ->
+  ?budget:Budget.t ->
   ?arms:arm list ->
   ?certify:bool ->
   ?proof_file:string ->
+  ?share:bool ->
   objective ->
   Instance.t ->
   report

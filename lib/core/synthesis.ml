@@ -4,6 +4,56 @@
    carries the trace summary of exactly this run. *)
 
 module Obs = Olsq2_obs.Obs
+module Pool = Olsq2_parallel.Pool
+
+module Options = struct
+  type parallel = { workers : int; share : bool; cube_depth : int option }
+
+  type t = {
+    config : Config.t;
+    simplify : bool option;
+    budget : Budget.t;
+    certify : bool;
+    proof_file : string option;
+    parallel : parallel;
+  }
+
+  let sequential = { workers = 1; share = true; cube_depth = None }
+
+  (* OLSQ2_WORKERS picks the default worker count so tests and CI can run
+     the whole suite parallel without threading a flag through every
+     harness. *)
+  let default_workers =
+    match Sys.getenv_opt "OLSQ2_WORKERS" with
+    | Some s -> ( match int_of_string_opt (String.trim s) with Some n when n >= 1 -> n | _ -> 1)
+    | None -> 1
+
+  let default =
+    {
+      config = Config.default;
+      simplify = None;
+      budget = Budget.unlimited;
+      certify = false;
+      proof_file = None;
+      parallel = { sequential with workers = default_workers };
+    }
+
+  let with_config config t = { t with config }
+  let with_simplify simplify t = { t with simplify = Some simplify }
+  let with_budget budget t = { t with budget }
+  let with_certify ?(proof_file : string option) certify t = { t with certify; proof_file }
+
+  let with_workers ?share ?cube_depth workers t =
+    {
+      t with
+      parallel =
+        {
+          workers = max 1 workers;
+          share = (match share with Some s -> s | None -> t.parallel.share);
+          cube_depth = (match cube_depth with Some _ -> cube_depth | None -> t.parallel.cube_depth);
+        };
+    }
+end
 
 type objective =
   | Depth
@@ -86,38 +136,68 @@ let certificate_for ~config ~budget ~objective ~proof_file (report : report) ins
              ~depth:res.Result_.depth ~swaps:res.Result_.swap_count)
       | Weighted_swaps _ | Tb_blocks | Tb_swaps -> None)
 
-let run ?(config = Config.default) ?simplify ?budget ?(certify = false) ?proof_file ~objective
-    instance =
+let run ?(options = Options.default) ~objective instance =
   (* [simplify] overrides the config's flag, so callers can toggle
      preprocessing without assembling a Config by hand; the override also
      reaches the certification re-solve below through [config]. *)
   let config =
-    match simplify with None -> config | Some b -> { config with Config.simplify = b }
+    match options.Options.simplify with
+    | None -> options.Options.config
+    | Some b -> { options.Options.config with Config.simplify = b }
+  in
+  let budget = options.Options.budget in
+  let par = options.Options.parallel in
+  (* The pool parallelizes single bound queries (cube-and-conquer over
+     worker domains); it is created per run and passed down so every
+     refinement loop can route its hard queries through it.  Certification
+     is untouched: it re-solves on fresh sequential proof-logged encoders,
+     and Pool.solve refuses proof-logging masters anyway. *)
+  let pool =
+    if par.Options.workers > 1 then
+      Some
+        (Pool.create ~workers:par.Options.workers ~share:par.Options.share
+           ?cube_depth:par.Options.cube_depth ())
+    else None
   in
   let obs = Obs.global () in
   let since = if Obs.enabled obs then Some (Obs.elapsed obs) else None in
   let dispatch () =
     match objective with
-    | Depth ->
-      `Full (Optimizer.minimize_depth ~config ?budget_seconds:budget instance)
+    | Depth -> `Full (Optimizer.minimize_depth ~config ~budget ?pool instance)
     | Swaps { warm_start } ->
-      `Full (Optimizer.minimize_swaps ~config ?budget_seconds:budget ?warm_start instance)
+      `Full (Optimizer.minimize_swaps ~config ~budget ?pool ?warm_start instance)
     | Weighted_swaps weights ->
-      `Full (Optimizer.minimize_weighted_swaps ~config ?budget_seconds:budget ~weights instance)
-    | Tb_blocks -> `Tb (Optimizer.tb_minimize_blocks ~config ?budget_seconds:budget instance)
-    | Tb_swaps -> `Tb (Optimizer.tb_minimize_swaps ~config ?budget_seconds:budget instance)
+      `Full (Optimizer.minimize_weighted_swaps ~config ~budget ?pool ~weights instance)
+    | Tb_blocks -> `Tb (Optimizer.tb_minimize_blocks ~config ~budget ?pool instance)
+    | Tb_swaps -> `Tb (Optimizer.tb_minimize_swaps ~config ~budget ?pool instance)
   in
-  let engine_outcome =
-    Obs.with_span obs ("synthesis." ^ objective_name objective) dispatch
-  in
+  let engine_outcome = Obs.with_span obs ("synthesis." ^ objective_name objective) dispatch in
   let report =
     match engine_outcome with
     | `Full o -> of_outcome o ~trace:Obs.empty_summary
     | `Tb o -> of_tb_outcome o ~trace:Obs.empty_summary
   in
   let certificate =
-    if certify then certificate_for ~config ~budget ~objective ~proof_file report instance
+    if options.Options.certify then
+      certificate_for ~config ~budget:budget.Budget.wall_seconds ~objective
+        ~proof_file:options.Options.proof_file report instance
     else None
   in
   let trace = if Obs.enabled obs then Obs.summary ?since obs else Obs.empty_summary in
   { report with trace; certificate }
+
+(* Deprecated labelled-argument shim (one release): the former [run]
+   signature, delegating to the [Options]-based entry point. *)
+let run_labelled ?(config = Config.default) ?simplify ?budget ?(certify = false) ?proof_file
+    ~objective instance =
+  let options =
+    {
+      Options.config;
+      simplify;
+      budget = Budget.of_seconds_opt budget;
+      certify;
+      proof_file;
+      parallel = Options.sequential;
+    }
+  in
+  run ~options ~objective instance

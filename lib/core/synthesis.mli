@@ -54,22 +54,77 @@ type report = {
           have no direct CNF bound to refute) *)
 }
 
-(** [run ?config ?budget ~objective instance] synthesizes a layout for
-    [instance] minimizing [objective].  [budget] bounds wall-clock seconds
-    (engine returns its best-so-far on exhaustion); [config] selects the
-    encoding (default {!Config.default}).  The whole run is wrapped in a
-    [synthesis.<objective>] span on the global tracer.
+(** How a synthesis run is configured.  An [Options.t] collects what used
+    to be five independent optional labels (plus the new parallel knobs)
+    into one value that can be built once and reused across runs:
 
-    [simplify] overrides [config]'s [simplify] flag: SatELite-style CNF
-    preprocessing + inprocessing of every encoding built during the run
-    (including the certification re-solve), with its proof events logged
-    so certificates stay checkable — see {!Olsq2_simplify.Simplify}.
+    {[
+      let opts =
+        Synthesis.Options.(
+          default
+          |> with_budget (Budget.of_seconds 60.)
+          |> with_workers 4
+          |> with_certify ~proof_file:"proof.drat" true)
+      in
+      Synthesis.run ~options:opts ~objective:Depth instance
+    ]} *)
+module Options : sig
+  (** Single-solve parallelism: [workers > 1] creates a cube-and-conquer
+      {!Olsq2_parallel.Pool} of that many worker domains and routes hard
+      bound queries through it (easy queries — those solved within the
+      pool's probe threshold — keep the exact sequential behavior).
+      [share] exchanges short learnt clauses between the pool's workers
+      (on by default; automatically disabled on proof-logging solvers, so
+      certification is always sound).  [cube_depth] fixes the number of
+      split variables [k] (2^k cubes); defaults to the smallest [k] with
+      at least [4 * workers] cubes. *)
+  type parallel = { workers : int; share : bool; cube_depth : int option }
 
-    [certify] re-solves at the claimed optimum on a fresh proof-logged
-    encoder and builds a {!Certificate.t}: a validated model plus a
-    DRAT-checked refutation of the bound below (see {!Certificate}).
-    [proof_file] writes the emitted DRAT proof (text format) there. *)
-val run :
+  type t = {
+    config : Config.t;  (** encoding selection (default {!Config.default}) *)
+    simplify : bool option;
+        (** when [Some b], overrides [config]'s [simplify] flag:
+            SatELite-style CNF preprocessing + inprocessing of every
+            encoding built during the run (including the certification
+            re-solve) — see {!Olsq2_simplify.Simplify} *)
+    budget : Budget.t;
+        (** resource allowance (wall seconds / conflicts / per-bound cap);
+            the engine returns its best-so-far on exhaustion *)
+    certify : bool;
+        (** re-solve at the claimed optimum on a fresh proof-logged
+            encoder and build a {!Certificate.t} (see {!Certificate}) *)
+    proof_file : string option;
+        (** write the emitted DRAT proof (text format) there *)
+    parallel : parallel;
+  }
+
+  (** [workers = 1]: no pool. *)
+  val sequential : parallel
+
+  (** Everything off / unlimited; [parallel.workers] honors the
+      [OLSQ2_WORKERS] environment variable (so test suites and CI can run
+      parallel without threading a flag), defaulting to 1. *)
+  val default : t
+
+  val with_config : Config.t -> t -> t
+  val with_simplify : bool -> t -> t
+  val with_budget : Budget.t -> t -> t
+  val with_certify : ?proof_file:string -> bool -> t -> t
+
+  (** [with_workers n t] sets [parallel.workers] (clamped to >= 1),
+      optionally overriding [share] / [cube_depth]. *)
+  val with_workers : ?share:bool -> ?cube_depth:int -> int -> t -> t
+end
+
+(** [run ?options ~objective instance] synthesizes a layout for
+    [instance] minimizing [objective] under [options] (default
+    {!Options.default}).  The whole run is wrapped in a
+    [synthesis.<objective>] span on the global tracer. *)
+val run : ?options:Options.t -> objective:objective -> Instance.t -> report
+
+(** The pre-[Options] signature, delegating to {!run} (sequential, wall
+    budget only).  Deprecated: migrate to [run ~options]. *)
+val run_labelled :
   ?config:Config.t ->
   ?simplify:bool ->
   ?budget:float ->
@@ -78,3 +133,4 @@ val run :
   objective:objective ->
   Instance.t ->
   report
+[@@deprecated "use run ~options (Synthesis.Options) instead"]

@@ -248,10 +248,17 @@ let swap_bound_assumption enc k =
   List.find_map try_counter ordered
 
 (* Lazy-integer configurations route through the theory CEGAR loop. *)
-let solve ?(assumptions = []) ?timeout enc =
+let pool_capable enc =
   match enc.config.Config.var_encoding with
-  | Config.Lazy_int -> Theory_int.solve ~assumptions ?timeout (Theory_int.of_ctx enc.ctx)
-  | Config.Onehot | Config.Binary -> Solver.solve ~assumptions ?timeout (solver enc)
+  | Config.Lazy_int -> false
+  | Config.Onehot | Config.Binary -> true
+
+let solve ?(assumptions = []) ?max_conflicts ?timeout enc =
+  match enc.config.Config.var_encoding with
+  | Config.Lazy_int ->
+    Theory_int.solve ~assumptions ?max_conflicts ?timeout (Theory_int.of_ctx enc.ctx)
+  | Config.Onehot | Config.Binary ->
+    Solver.solve ~assumptions ?max_conflicts ?timeout (solver enc)
 
 let model_swap_count enc =
   List.length (List.filter (fun (_, _, l) -> Solver.model_value (solver enc) l) (sigma_lits enc))

@@ -33,7 +33,12 @@ val block_selector : t -> int -> Lit.t
 
 val build_counter : t -> max_bound:int -> unit
 val swap_bound_assumption : t -> int -> Lit.t option
-val solve : ?assumptions:Lit.t list -> ?timeout:float -> t -> Solver.result
+val solve : ?assumptions:Lit.t list -> ?max_conflicts:int -> ?timeout:float -> t -> Solver.result
+
+(** [true] when a raw {!Olsq2_sat.Solver.solve} on {!solver} is
+    equivalent to {!solve} (plain CNF, no CEGAR loop). *)
+val pool_capable : t -> bool
+
 val model_swap_count : t -> int
 
 type result = {

@@ -187,7 +187,7 @@ let check t solver =
 
 (* ---- solving ---- *)
 
-let solve ?(assumptions = []) ?timeout t =
+let solve ?(assumptions = []) ?max_conflicts ?timeout t =
   let deadline = Option.map (fun s -> Stopwatch.now () +. s) timeout in
   let solver = Ctx.solver t.ctx in
   let remaining () =
@@ -199,7 +199,7 @@ let solve ?(assumptions = []) ?timeout t =
   let rec loop () =
     if expired () then Solver.Unknown Solver.Timeout
     else
-      match Solver.solve ~assumptions ?timeout:(remaining ()) solver with
+      match Solver.solve ~assumptions ?max_conflicts ?timeout:(remaining ()) solver with
       | (Solver.Unsat | Solver.Unknown _) as r -> r
       | Solver.Sat -> (
         t.theory_rounds <- t.theory_rounds + 1;

@@ -29,7 +29,7 @@ val lt_var : ivar -> ivar -> Formula.t
 (** CEGAR loop: SAT-solve, theory-check every variable, add lemmas for
     inconsistencies, repeat.  Returns [Sat] only for theory-consistent
     models. *)
-val solve : ?assumptions:Lit.t list -> ?timeout:float -> t -> Solver.result
+val solve : ?assumptions:Lit.t list -> ?max_conflicts:int -> ?timeout:float -> t -> Solver.result
 
 (** Value of a variable in the (theory-consistent) model. *)
 val value : Solver.t -> ivar -> int

@@ -1,0 +1,52 @@
+module Solver = Olsq2_sat.Solver
+module Lit = Olsq2_sat.Lit
+
+(* Score candidates by VSIDS activity; on a solver that has not searched
+   yet every activity is zero, so fall back to occurrence counts (a
+   variable in many clauses constrains the formula most). *)
+let scores solver =
+  let n = Solver.nvars solver in
+  let sc = Array.init n (fun v -> Solver.var_activity solver v) in
+  if Array.for_all (fun a -> a = 0.0) sc then
+    Solver.fold_problem_clauses solver
+      (fun () lits -> Array.iter (fun l -> sc.(Lit.var l) <- sc.(Lit.var l) +. 1.0) lits)
+      ();
+  sc
+
+let split ?(exclude = []) ~k solver =
+  if k <= 0 then []
+  else begin
+    let n = Solver.nvars solver in
+    let sc = scores solver in
+    let excluded = Array.make n false in
+    List.iter (fun v -> if v >= 0 && v < n then excluded.(v) <- true) exclude;
+    let candidates = ref [] in
+    for v = n - 1 downto 0 do
+      if
+        (not excluded.(v))
+        && (not (Solver.is_eliminated solver v))
+        && Solver.root_value solver (Lit.of_var v) = 0
+        && sc.(v) > 0.0
+      then candidates := v :: !candidates
+    done;
+    let cands =
+      List.sort (fun a b -> compare (sc.(b), a) (sc.(a), b)) !candidates
+    in
+    let rec take j = function
+      | v :: rest when j > 0 -> v :: take (j - 1) rest
+      | _ -> []
+    in
+    let vars = Array.of_list (take k cands) in
+    let j = Array.length vars in
+    if j = 0 then []
+    else begin
+      let cubes = ref [] in
+      for mask = (1 lsl j) - 1 downto 0 do
+        let cube =
+          Array.init j (fun i -> Lit.of_var ~sign:((mask lsr i) land 1 = 1) vars.(i))
+        in
+        cubes := cube :: !cubes
+      done;
+      !cubes
+    end
+  end

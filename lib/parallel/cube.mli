@@ -1,0 +1,22 @@
+(** Cube generation for cube-and-conquer splitting.
+
+    A {e cube} is a conjunction of decision literals; solving the input
+    under every cube in a set that covers all assignments of the chosen
+    variables decides the input: any cube Sat means Sat, all cubes Unsat
+    means Unsat.  We take the [2^k] sign combinations over the [k] most
+    active variables — the split is exhaustive and pairwise disjoint by
+    construction, which the partition tests check, and splitting on
+    variables the search already fights over (VSIDS activity, with an
+    occurrence-count fallback on a fresh solver) is the classic
+    lookahead-lite heuristic. *)
+
+module Solver = Olsq2_sat.Solver
+module Lit = Olsq2_sat.Lit
+
+(** [split ?exclude ~k solver] returns all [2^j] cubes over the [j] best
+    split variables ([j <= k]; fewer when not enough candidates exist).
+    Candidate variables are live in [solver]: not eliminated, unassigned
+    at the root, and not in [exclude] (pass the assumption variables of
+    the query being split).  Returns [[]] when no candidate exists —
+    callers fall back to a sequential solve. *)
+val split : ?exclude:Lit.var list -> k:int -> Solver.t -> Lit.t array list

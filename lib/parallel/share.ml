@@ -1,0 +1,151 @@
+(* Bounded lossy clause ring + fingerprint-keyed hub.
+
+   The ring is the standard lock-free "latest wins" broadcast: a writer
+   claims a monotonically increasing sequence number with fetch_and_add
+   and overwrites slot (seq mod capacity); a reader remembers the last
+   sequence it saw and reads forward, clamping to the window that is
+   still in the ring.  No blocking on either side, at the price of
+   losing clauses under pressure — acceptable because shared clauses are
+   redundant by construction. *)
+
+module Solver = Olsq2_sat.Solver
+module Lit = Olsq2_sat.Lit
+module Obs = Olsq2_obs.Obs
+
+type entry = { src : int; lits : Lit.t array }
+
+type channel = {
+  slots : entry option Atomic.t array;
+  widx : int Atomic.t; (* next sequence number = total publishes *)
+  capacity : int;
+}
+
+type cursor = { chan : channel; csrc : int; mutable ridx : int; mutable ndropped : int }
+
+let create ?(capacity = 1024) () =
+  let capacity = max 16 capacity in
+  {
+    slots = Array.init capacity (fun _ -> Atomic.make None);
+    widx = Atomic.make 0;
+    capacity;
+  }
+
+let publish chan ~src lits =
+  let i = Atomic.fetch_and_add chan.widx 1 in
+  Atomic.set chan.slots.(i mod chan.capacity) (Some { src; lits = Array.copy lits })
+
+let reader chan ~src = { chan; csrc = src; ridx = Atomic.get chan.widx; ndropped = 0 }
+
+let drain cur =
+  let chan = cur.chan in
+  let w = Atomic.get chan.widx in
+  if w = cur.ridx then []
+  else begin
+    (* entries older than one full lap are gone *)
+    let lo = max cur.ridx (w - chan.capacity) in
+    cur.ndropped <- cur.ndropped + (lo - cur.ridx);
+    let out = ref [] in
+    for i = w - 1 downto lo do
+      match Atomic.get chan.slots.(i mod chan.capacity) with
+      | Some e when e.src <> cur.csrc -> out := e.lits :: !out
+      | Some _ | None -> ()
+    done;
+    cur.ridx <- w;
+    !out
+  end
+
+let published chan = Atomic.get chan.widx
+let dropped cur = cur.ndropped
+
+let endpoints chan ~src ?(var_limit = max_int) ?(max_len = 8) ?(max_lbd = 4) () =
+  let cur = reader chan ~src in
+  let sh_export lits ~lbd =
+    let len = Array.length lits in
+    if
+      len >= 1 && len <= max_len
+      && (lbd <= max_lbd || len <= 2)
+      && Array.for_all (fun l -> Lit.var l < var_limit) lits
+    then begin
+      publish chan ~src lits;
+      let obs = Obs.global () in
+      if Obs.enabled obs then Obs.count obs "parallel.share.exported" 1;
+      true
+    end
+    else false
+  in
+  let sh_import () =
+    let cs = drain cur in
+    (match cs with
+    | [] -> ()
+    | _ ->
+      let obs = Obs.global () in
+      if Obs.enabled obs then Obs.count obs "parallel.share.drained" (List.length cs));
+    cs
+  in
+  { Solver.sh_export; sh_import }
+
+(* Order-sensitive FNV-1a over the database shape: two solvers agree iff
+   they executed the same variable/clause/unit sequence, which is exactly
+   the condition under which their variable numberings line up. *)
+let fingerprint solver =
+  let h = ref 0x3bf29ce484222325 (* FNV offset basis, truncated to 63-bit *) in
+  let mix v = h := (!h lxor v) * 0x100000001b3 in
+  mix (Solver.nvars solver);
+  List.iter (fun l -> mix (1 + Lit.to_int l)) (Solver.root_units solver);
+  Solver.fold_problem_clauses solver
+    (fun () lits ->
+      mix (-2);
+      Array.iter (fun l -> mix (1 + Lit.to_int l)) lits)
+    ();
+  !h
+
+(* ---- hub ---- *)
+
+type hub_state = {
+  mutable active : bool;
+  table : (int, channel) Hashtbl.t;
+  mutable next_src : int;
+}
+
+let hub = { active = false; table = Hashtbl.create 7; next_src = 0 }
+let hub_mutex = Mutex.create ()
+
+let with_hub f =
+  Mutex.lock hub_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock hub_mutex) f
+
+let hub_activate () = with_hub (fun () -> hub.active <- true)
+
+let hub_deactivate () =
+  with_hub (fun () ->
+      hub.active <- false;
+      Hashtbl.reset hub.table)
+
+let hub_active () = with_hub (fun () -> hub.active)
+
+let hub_attach solver =
+  if not (hub_active ()) then ()
+  else begin
+  let fp = fingerprint solver in
+  let attach =
+    with_hub (fun () ->
+        if not hub.active then None
+        else begin
+          let chan =
+            match Hashtbl.find_opt hub.table fp with
+            | Some c -> c
+            | None ->
+              let c = create () in
+              Hashtbl.add hub.table fp c;
+              c
+          in
+          let src = hub.next_src in
+          hub.next_src <- src + 1;
+          Some (chan, src)
+        end)
+  in
+  match attach with
+  | None -> ()
+  | Some (chan, src) ->
+    Solver.set_share solver (Some (endpoints chan ~src ~var_limit:(Solver.nvars solver) ()))
+  end

@@ -1,0 +1,97 @@
+(** Lock-light learnt-clause sharing between solvers.
+
+    {1 Channel}
+
+    A {!channel} is a bounded, lossy, multi-producer multi-consumer ring
+    of clauses.  Writers claim a slot with one [Atomic.fetch_and_add] and
+    store unconditionally — under contention or a slow reader, old
+    entries are overwritten rather than anyone blocking.  Each reader
+    owns a {!cursor} and drains at its own pace; a lapped reader skips
+    the overwritten span (counted as drops).  A reader can observe a
+    slot mid-overwrite, in which case it sees the {e newer} clause —
+    possibly twice across drains.  Duplicated or dropped clauses are both
+    harmless: every published clause is implied by the shared formula, so
+    the channel needs no delivery guarantee, only cheap non-blocking
+    transfer.
+
+    {1 Hub}
+
+    The hub wires sharing between {e independently built} solvers that
+    happen to hold the same formula — portfolio arms running the same
+    encoding.  Arms register with a {!fingerprint} of their clause
+    database; matching fingerprints join the same channel.  Exports are
+    restricted to variables below the registration-time [var_limit] (the
+    variable count of the just-built base encoding), because only the
+    base segment of the variable space is guaranteed to mean the same
+    thing in every arm — selectors and cardinality internals allocated
+    later may diverge if arms are cancelled at different points.
+
+    Clauses are never imported into a proof-logging solver (the solver
+    itself enforces this; see {!Olsq2_sat.Solver.set_share}), so
+    [--certify] runs keep their DRAT streams sound: certifying arms still
+    {e export} — their learnts are logged locally first — but search is
+    uninfluenced by foreign clauses. *)
+
+module Solver = Olsq2_sat.Solver
+module Lit = Olsq2_sat.Lit
+
+type channel
+
+type cursor
+
+(** [create ?capacity ()] makes a channel holding up to [capacity]
+    (default [1024]) clauses. *)
+val create : ?capacity:int -> unit -> channel
+
+(** [publish chan ~src lits] copies [lits] into the ring, tagged with the
+    publisher's [src] id so its own drains skip it.  Never blocks. *)
+val publish : channel -> src:int -> Lit.t array -> unit
+
+(** [reader chan ~src] makes a cursor for one consumer.  A cursor must
+    only ever be used from one domain at a time. *)
+val reader : channel -> src:int -> cursor
+
+(** Clauses published since the last drain by sources other than the
+    cursor's own, oldest first.  Lossy: entries overwritten before being
+    read are skipped. *)
+val drain : cursor -> Lit.t array list
+
+(** Total clauses ever published to the channel. *)
+val published : channel -> int
+
+(** Clauses a lapped cursor had to skip, cumulative. *)
+val dropped : cursor -> int
+
+(** [endpoints chan ~src ?var_limit ?max_len ?max_lbd ()] builds solver
+    share hooks over [chan]: export copies learnt clauses of at most
+    [max_len] (default [8]) literals, LBD at most [max_lbd] (default
+    [4]), and every variable below [var_limit] (default unrestricted);
+    import drains the channel.  Install with
+    {!Olsq2_sat.Solver.set_share}. *)
+val endpoints :
+  channel -> src:int -> ?var_limit:int -> ?max_len:int -> ?max_lbd:int -> unit -> Solver.share
+
+(** Deterministic fingerprint of a solver's clause database (variable
+    count, root units and live problem clauses, in order).  Two solvers
+    that executed the same [new_var] / [add_clause] sequence agree. *)
+val fingerprint : Solver.t -> int
+
+(** {2 Hub} — process-wide registry used by {!Olsq2_core.Portfolio}. *)
+
+(** Turn the hub on.  Subsequent {!hub_attach} calls take effect; meant
+    to be called before spawning portfolio arms. *)
+val hub_activate : unit -> unit
+
+(** Turn the hub off and forget all channels.  Solvers keep their
+    endpoints (drains of a forgotten channel still work), but new
+    attaches become no-ops. *)
+val hub_deactivate : unit -> unit
+
+val hub_active : unit -> bool
+
+(** [hub_attach solver] registers [solver] under the fingerprint of its
+    current database and installs share endpoints joining it with every
+    other solver attached under the same fingerprint, with exports
+    limited to the variables existing now.  No-op while the hub is
+    inactive.  Thread-safe. *)
+val hub_attach : Solver.t -> unit

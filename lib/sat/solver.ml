@@ -59,6 +59,19 @@ type proof_logger = {
   on_delete : Lit.t array -> unit;
 }
 
+(* Learnt-clause sharing hooks (lib/parallel supplies the channel).
+   [sh_export] is offered every learnt clause as it is recorded and
+   returns whether it took a copy (the closure owns length/LBD/variable
+   filtering, so the hot path stays a single branch when unset);
+   [sh_import] drains clauses other solvers exported since the last
+   call.  A learnt clause never depends on the assumptions of the solve
+   that produced it — it is implied by the clause database alone — so
+   importing is sound between solvers whose problem clauses match. *)
+type share = {
+  sh_export : Lit.t array -> lbd:int -> bool;
+  sh_import : unit -> Lit.t array list;
+}
+
 module Hist = Olsq2_obs.Obs.Histogram
 
 type stats = {
@@ -70,6 +83,8 @@ type stats = {
   mutable removed_clauses : int;
   mutable solves : int;
   mutable solve_seconds : float;
+  mutable shared_exported : int;
+  mutable shared_imported : int;
   lbd_hist : Hist.t;
   trail_hist : Hist.t;
 }
@@ -84,6 +99,8 @@ let stats_zero () =
     removed_clauses = 0;
     solves = 0;
     solve_seconds = 0.0;
+    shared_exported = 0;
+    shared_imported = 0;
     lbd_hist = Hist.create ();
     trail_hist = Hist.create ();
   }
@@ -105,6 +122,8 @@ let stats_diff ~after ~before =
     removed_clauses = after.removed_clauses - before.removed_clauses;
     solves = after.solves - before.solves;
     solve_seconds = after.solve_seconds -. before.solve_seconds;
+    shared_exported = after.shared_exported - before.shared_exported;
+    shared_imported = after.shared_imported - before.shared_imported;
     lbd_hist = Hist.diff ~after:after.lbd_hist ~before:before.lbd_hist;
     trail_hist = Hist.diff ~after:after.trail_hist ~before:before.trail_hist;
   }
@@ -118,6 +137,8 @@ let stats_add ~into s =
   into.removed_clauses <- into.removed_clauses + s.removed_clauses;
   into.solves <- into.solves + s.solves;
   into.solve_seconds <- into.solve_seconds +. s.solve_seconds;
+  into.shared_exported <- into.shared_exported + s.shared_exported;
+  into.shared_imported <- into.shared_imported + s.shared_imported;
   Hist.merge_into ~into:into.lbd_hist s.lbd_hist;
   Hist.merge_into ~into:into.trail_hist s.trail_hist
 
@@ -129,6 +150,8 @@ let pp_stats_record fmt s =
     "conflicts=%d decisions=%d propagations=%d (%.0f/s) restarts=%d learnt=%d removed=%d solves=%d"
     s.conflicts s.decisions s.propagations (propagations_per_second s) s.restarts s.learnt_clauses
     s.removed_clauses s.solves;
+  if s.shared_exported > 0 || s.shared_imported > 0 then
+    Format.fprintf fmt "@\nshared: exported=%d imported=%d" s.shared_exported s.shared_imported;
   if not (Hist.is_empty s.lbd_hist) then Format.fprintf fmt "@\nlbd:   %a" Hist.pp s.lbd_hist;
   if not (Hist.is_empty s.trail_hist) then Format.fprintf fmt "@\ntrail: %a" Hist.pp s.trail_hist
 
@@ -176,6 +199,12 @@ type t = {
   mutable progress : (t -> unit) option;
   mutable progress_interval : int;
   mutable next_progress : int;
+  (* learnt-clause sharing channel endpoints (lib/parallel) *)
+  mutable share : share option;
+  (* bumped whenever the problem-clause database is rewritten wholesale
+     ([begin_simplify]); replicas keyed on (identity, generation,
+     Vec index) know to resync from scratch instead of by delta *)
+  mutable db_generation : int;
   stats : stats;
 }
 
@@ -210,6 +239,8 @@ let create () =
     progress = None;
     progress_interval = 2000;
     next_progress = max_int;
+    share = None;
+    db_generation = 0;
     stats = stats_zero ();
   }
 
@@ -223,6 +254,9 @@ let set_progress ?(interval = 2000) t cb =
     (match cb with None -> max_int | Some _ -> t.stats.conflicts + t.progress_interval)
 let set_proof_logger t p = t.proof <- p
 let proof_logging t = match t.proof with Some _ -> true | None -> false
+let set_share t sh = t.share <- sh
+let sharing t = match t.share with Some _ -> true | None -> false
+let db_generation t = t.db_generation
 
 let log_learnt t lits =
   match t.proof with None -> () | Some p -> p.on_learnt lits
@@ -686,6 +720,7 @@ let root_value t l =
    survivors -- and root-level reasons are cleared so no trail entry points
    at a detached clause. *)
 let begin_simplify t =
+  t.db_generation <- t.db_generation + 1;
   cancel_until t 0;
   if t.ok && propagate t != dummy_clause then begin
     t.ok <- false;
@@ -875,6 +910,9 @@ let pick_branch_var t =
 
 let record_learnt t learnt lbd =
   log_learnt t learnt;
+  (match t.share with
+  | Some sh -> if sh.sh_export learnt ~lbd then t.stats.shared_exported <- t.stats.shared_exported + 1
+  | None -> ());
   if Array.length learnt = 1 then begin
     enqueue t learnt.(0) dummy_clause
   end
@@ -886,6 +924,67 @@ let record_learnt t learnt lbd =
     t.stats.learnt_clauses <- t.stats.learnt_clauses + 1;
     enqueue t learnt.(0) c
   end
+
+(* Integrate one clause exported by another solver over the same problem
+   clauses.  Runs at level 0.  The clause is implied by the exporter's
+   database, hence by ours, but our local state may differ: variables the
+   exporter had not eliminated may be gone here, and root units may
+   already satisfy or shorten it.  Anything suspicious is dropped —
+   imports are an optimization, never a requirement. *)
+let import_shared_clause t lits =
+  if
+    Array.exists (fun l ->
+        let v = Lit.var l in
+        v < 0 || v >= t.nvars || t.eliminated.(v))
+      lits
+  then ()
+  else begin
+    let sat = ref false in
+    let keep = ref [] in
+    let kcount = ref 0 in
+    Array.iter
+      (fun l ->
+        match root_value t l with
+        | 1 -> sat := true
+        | -1 -> ()
+        | _ ->
+          keep := l :: !keep;
+          incr kcount)
+      lits;
+    if not !sat then begin
+      if !kcount = 0 then t.ok <- false
+      else if !kcount = 1 then begin
+        let l = List.hd !keep in
+        if lit_value t l = 0 then enqueue t l dummy_clause
+        else if lit_value t l = -1 then t.ok <- false
+      end
+      else begin
+        let live = Array.of_list (List.rev !keep) in
+        let c =
+          { lits = live; activity = 0.0; learnt = true; lbd = Array.length live; deleted = false }
+        in
+        Vec.push t.learnts c;
+        attach_clause t c
+      end;
+      t.stats.shared_imported <- t.stats.shared_imported + 1
+    end
+  end
+
+(* Drain the share channel at a restart boundary (level 0).  Never under
+   proof logging: an imported clause is not derivable by RUP from this
+   solver's logged premises alone, so it would poison the DRAT stream —
+   callers keep proof-logging solvers out of sharing pools, and this
+   guard makes the invariant local. *)
+let integrate_shared t =
+  match t.share with
+  | None -> ()
+  | Some _ when t.proof <> None -> ()
+  | Some sh ->
+    List.iter (fun lits -> if t.ok then import_shared_clause t lits) (sh.sh_import ());
+    if t.ok && propagate t != dummy_clause then begin
+      t.ok <- false;
+      log_learnt t [||]
+    end
 
 (* One restart-bounded search episode.  [assumptions] is an array; decision
    levels 1..k correspond to assumption literals. *)
@@ -996,6 +1095,7 @@ let solve_raw ?(assumptions = []) ?max_conflicts ?timeout t =
         end)
       assumptions;
     let deadline = Option.map (fun s -> Olsq2_util.Stopwatch.now () +. s) timeout in
+    integrate_shared t;
     let total_conflicts = ref 0 in
     let rec restart_loop k =
       let budget = int_of_float (luby 2.0 k *. 100.0) in
@@ -1021,6 +1121,7 @@ let solve_raw ?(assumptions = []) ?max_conflicts ?timeout t =
           t.next_inprocess <- (2 * t.stats.conflicts) + 1000;
           f t
         | Some _ | None -> ());
+        if t.ok then integrate_shared t;
         if not t.ok then Unsat
         else begin
           match max_conflicts with
@@ -1032,7 +1133,7 @@ let solve_raw ?(assumptions = []) ?max_conflicts ?timeout t =
     Fun.protect
       ~finally:(fun () ->
         t.stats.solve_seconds <- t.stats.solve_seconds +. (Olsq2_util.Stopwatch.now () -. t0))
-      (fun () -> restart_loop 0)
+      (fun () -> if not t.ok then Unsat else restart_loop 0)
   end
 
 module Obs = Olsq2_obs.Obs
@@ -1081,6 +1182,7 @@ let solve ?assumptions ?max_conflicts ?timeout t =
 
 let interrupt t = Atomic.set t.interrupt_flag true
 let clear_interrupt t = Atomic.set t.interrupt_flag false
+let interrupted t = Atomic.get t.interrupt_flag
 
 (* Model access: only meaningful after [solve] returned [Sat]. *)
 let model_value t l =
@@ -1105,5 +1207,43 @@ let unsat_core t = t.conflict_core
 let is_ok t = t.ok
 let n_clauses t = Vec.length t.clauses
 let n_learnts t = Vec.length t.learnts
+
+(* ---- replication interface (lib/parallel) ----
+
+   A pool keeps per-worker replica solvers in sync with a master by
+   replaying the master's problem-clause vector and root-level trail
+   through the ordinary [add_clause] interface.  The accessors below
+   expose just enough read-only state to do that incrementally: the
+   problem vector is append-only within a database generation (entries
+   are only ever flagged [deleted], never compacted), so (generation,
+   entry index, root-trail index, nvars) is a complete sync cursor. *)
+
+let var_activity t v = if v >= 0 && v < t.nvars then t.activity.(v) else 0.0
+let saved_phase t v = v >= 0 && v < t.nvars && t.polarity.(v)
+
+(* Number of entries ever pushed to the problem vector this generation,
+   including ones since flagged deleted — the replica sync cursor. *)
+let n_problem_entries t = Vec.length t.clauses
+
+(* Root-level (level-0) trail segment, from entry [from] on. *)
+let root_units ?(from = 0) t =
+  let stop = if Vec.length t.trail_lim = 0 then Vec.length t.trail else Vec.get t.trail_lim 0 in
+  let out = ref [] in
+  for i = stop - 1 downto from do
+    out := Vec.get t.trail i :: !out
+  done;
+  !out
+
+let n_root_units t =
+  if Vec.length t.trail_lim = 0 then Vec.length t.trail else Vec.get t.trail_lim 0
+
+(* Fold over live problem clauses whose entry index is >= [from]. *)
+let fold_problem_clauses ?(from = 0) t f acc =
+  let acc = ref acc in
+  for i = from to Vec.length t.clauses - 1 do
+    let c = Vec.get t.clauses i in
+    if not c.deleted then acc := f !acc c.lits
+  done;
+  !acc
 
 let pp_stats fmt t = pp_stats_record fmt t.stats

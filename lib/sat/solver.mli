@@ -53,6 +53,8 @@ type stats = {
   mutable removed_clauses : int;
   mutable solves : int;
   mutable solve_seconds : float;  (** wall time spent inside [solve] *)
+  mutable shared_exported : int;  (** learnts a share channel took a copy of *)
+  mutable shared_imported : int;  (** clauses integrated from a share channel *)
   lbd_hist : Olsq2_obs.Obs.Histogram.t;  (** LBD of each learnt clause *)
   trail_hist : Olsq2_obs.Obs.Histogram.t;  (** trail depth at each conflict *)
 }
@@ -112,6 +114,9 @@ val interrupt : t -> unit
 
 val clear_interrupt : t -> unit
 
+(** [true] while the interrupt flag is raised.  Safe from any domain. *)
+val interrupted : t -> bool
+
 (** [set_progress ?interval t (Some cb)] arranges for [cb t] to fire from
     inside the search loop every [interval] (default 2000) conflicts — the
     rate limit keeps the callback off the hot path, and with [None]
@@ -155,6 +160,30 @@ val set_proof_logger : t -> proof_logger option -> unit
 
 (** [true] while a proof logger is installed. *)
 val proof_logging : t -> bool
+
+(** {1 Learnt-clause sharing} (see {!Olsq2_parallel.Share} for the channel)
+
+    A learnt clause is implied by the clause database alone — never by the
+    assumptions of the solve that produced it — so solvers whose problem
+    clauses agree may exchange learnts soundly.  [sh_export] is offered
+    every learnt clause as it is recorded (the closure owns length / LBD /
+    variable-range filtering and must copy what it keeps; return [true] if
+    it did); [sh_import] is drained at solve start and at every restart
+    boundary, at decision level 0.  Imports are {e never} integrated while
+    a proof logger is installed: an imported clause is not RUP-derivable
+    from this solver's own logged premises, so it would poison the DRAT
+    stream.  Export remains sound under proof logging (the clause was
+    logged as learnt here first). *)
+type share = {
+  sh_export : Lit.t array -> lbd:int -> bool;
+  sh_import : unit -> Lit.t array list;
+}
+
+(** Install (or with [None], remove) the share-channel endpoints. *)
+val set_share : t -> share option -> unit
+
+(** [true] while share endpoints are installed. *)
+val sharing : t -> bool
 
 (** [false] once the clause set is unsatisfiable at the root level. *)
 val is_ok : t -> bool
@@ -242,3 +271,38 @@ val end_simplify : t -> unit
     geometrically (at [2 * conflicts + 1000]).  [f] is expected to drive
     the {!begin_simplify} … {!end_simplify} cycle.  [None] uninstalls. *)
 val set_inprocessor : ?interval:int -> t -> (t -> unit) option -> unit
+
+(** {1 Replication interface}
+
+    Read-only cursors with which {!Olsq2_parallel.Pool} keeps per-worker
+    replica solvers in sync with a master by replaying its problem
+    clauses and root units through {!add_clause}.  The problem-clause
+    vector is append-only within a database generation (entries are only
+    flagged deleted, never compacted), so (generation, {!n_problem_entries},
+    {!n_root_units}, {!nvars}) is a complete incremental sync cursor. *)
+
+(** Bumped every {!begin_simplify} — the database was rewritten wholesale
+    and per-index delta sync is no longer meaningful. *)
+val db_generation : t -> int
+
+(** Entries ever pushed to the problem-clause vector this generation,
+    including ones since flagged deleted. *)
+val n_problem_entries : t -> int
+
+(** Fold over live (non-deleted) problem clauses with entry index
+    [>= from] (default [0]).  The literal arrays are the solver's own —
+    callers must copy, not mutate or retain. *)
+val fold_problem_clauses : ?from:int -> t -> ('a -> Lit.t array -> 'a) -> 'a -> 'a
+
+(** Literals assigned at decision level 0, from trail position [from]
+    (default [0]) on, in trail order. *)
+val root_units : ?from:int -> t -> Lit.t list
+
+(** Length of the level-0 trail segment. *)
+val n_root_units : t -> int
+
+(** Current VSIDS activity of a variable ([0.] out of range). *)
+val var_activity : t -> Lit.var -> float
+
+(** Saved phase of a variable ([false] out of range). *)
+val saved_phase : t -> Lit.var -> bool

@@ -157,6 +157,31 @@ let () =
   if not (contains prom_text "olsq2_") then die "--prom output has no olsq2-namespaced series";
   if not (contains prom_text "le=\"+Inf\"") then die "--prom output has no histogram buckets";
   Sys.remove prom;
+  (* parallel run: -j 2 (with the new conflict budget flag along for the
+     ride) must still print a layout on stdout *)
+  let cmd =
+    Printf.sprintf "%s synth qaoa:4 -d grid-2x2 -j 2 --conflict-budget 500000 > %s 2> /dev/null"
+      (Filename.quote cli) (Filename.quote out)
+  in
+  (match Unix.system cmd with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED c -> die "-j 2 run exited with %d" c
+  | Unix.WSIGNALED s | Unix.WSTOPPED s -> die "-j 2 run killed by signal %d" s);
+  if String.trim (read_all out) = "" then die "-j 2 run printed no layout";
+  (* parallel certified run: proof logging must stay sound (the pool falls
+     back to the sequential path on proof-logging solvers) *)
+  let proof = Filename.temp_file "olsq2_smoke" ".drat" in
+  let cmd =
+    Printf.sprintf "%s synth qaoa:4 -d grid-2x2 -j 2 --certify --proof %s > %s"
+      (Filename.quote cli) (Filename.quote proof) (Filename.quote out)
+  in
+  (match Unix.system cmd with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED c -> die "-j 2 --certify run exited with %d" c
+  | Unix.WSIGNALED s | Unix.WSTOPPED s -> die "-j 2 --certify run killed by signal %d" s);
+  if not (contains (read_all out) "VALID") then die "-j 2 --certify printed no VALID certificate";
+  if String.length (read_all proof) = 0 then die "-j 2 --certify wrote an empty proof file";
+  Sys.remove proof;
   (* --metrics-out: same summary as --metrics, persisted to a file *)
   let cmd =
     Printf.sprintf "%s synth qaoa:4 -d grid-2x2 --simplify --metrics-out %s > /dev/null 2> /dev/null"

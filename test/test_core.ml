@@ -255,7 +255,7 @@ let test_budget_timeout_returns_quickly () =
   let qaoa = B.Qaoa.random ~seed:8 12 in
   let inst = Instance.make ~swap_duration:1 qaoa Devices.sycamore54 in
   let clock = Olsq2_util.Stopwatch.start () in
-  let o = Optimizer.minimize_depth ~budget_seconds:0.2 inst in
+  let o = Optimizer.minimize_depth ~budget:(Core.Budget.of_seconds 0.2) inst in
   ignore o;
   Alcotest.(check bool) "respects budget" true (Olsq2_util.Stopwatch.elapsed clock < 30.0)
 

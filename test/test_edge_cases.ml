@@ -143,7 +143,7 @@ let test_olsq_and_olsq2_same_swap_optimum () =
     Instance.make ~swap_duration:1 (B.Qaoa.random ~seed:6 6) (Devices.grid 2 3)
   in
   let swaps config =
-    match (Optimizer.minimize_swaps ~config ~budget_seconds:120.0 inst).Optimizer.result with
+    match (Optimizer.minimize_swaps ~config ~budget:(Core.Budget.of_seconds 120.0) inst).Optimizer.result with
     | Some r -> r.Result_.swap_count
     | None -> -1
   in
@@ -266,7 +266,7 @@ let test_export_respects_dependencies () =
   let inst =
     Instance.make ~swap_duration:1 (B.Qaoa.random ~seed:9 6) (Devices.line 6)
   in
-  match (Optimizer.minimize_swaps ~budget_seconds:120.0 inst).Optimizer.result with
+  match (Optimizer.minimize_swaps ~budget:(Core.Budget.of_seconds 120.0) inst).Optimizer.result with
   | Some r ->
     let phys = Core.Export.physical_circuit inst r in
     Alcotest.(check int) "ops = gates + swaps"

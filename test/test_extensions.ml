@@ -25,7 +25,7 @@ let qaoa_grid () =
 
 let test_portfolio_depth () =
   let inst = toffoli_qx2 () in
-  let report = Portfolio.run ~budget_seconds:120.0 Portfolio.Depth inst in
+  let report = Portfolio.run ~budget:(Core.Budget.of_seconds 120.0) Portfolio.Depth inst in
   match report.Portfolio.winner with
   | Some w ->
     let r = Option.get w.Portfolio.result in
@@ -41,7 +41,7 @@ let test_portfolio_depth () =
 
 let test_portfolio_swaps () =
   let inst = qaoa_grid () in
-  let report = Portfolio.run ~budget_seconds:180.0 Portfolio.Swaps inst in
+  let report = Portfolio.run ~budget:(Core.Budget.of_seconds 180.0) Portfolio.Swaps inst in
   match report.Portfolio.winner with
   | Some w ->
     let r = Option.get w.Portfolio.result in
@@ -70,7 +70,7 @@ let test_portfolio_custom_arms () =
       };
     ]
   in
-  let report = Portfolio.run ~budget_seconds:60.0 ~arms Portfolio.Swaps inst in
+  let report = Portfolio.run ~budget:(Core.Budget.of_seconds 60.0) ~arms Portfolio.Swaps inst in
   Alcotest.(check int) "one arm" 1 (List.length report.Portfolio.arms);
   match report.Portfolio.winner with
   | Some w ->
@@ -82,9 +82,9 @@ let test_portfolio_custom_arms () =
 let test_warm_start_same_optimum () =
   let inst = qaoa_grid () in
   let sabre = Sabre.synthesize ~seed:5 inst in
-  let plain = Optimizer.minimize_swaps ~budget_seconds:120.0 inst in
+  let plain = Optimizer.minimize_swaps ~budget:(Core.Budget.of_seconds 120.0) inst in
   let warm =
-    Optimizer.minimize_swaps ~budget_seconds:120.0 ~warm_start:sabre.Result_.swap_count inst
+    Optimizer.minimize_swaps ~budget:(Core.Budget.of_seconds 120.0) ~warm_start:sabre.Result_.swap_count inst
   in
   match (plain.Optimizer.result, warm.Optimizer.result) with
   | Some a, Some b ->

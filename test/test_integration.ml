@@ -22,7 +22,7 @@ let test_full_pipeline_roundtrip () =
   let circuit = Qasm.parse ~name:"QAOA" text in
   let device = Devices.grid 3 3 in
   let inst = Instance.make ~swap_duration:1 circuit device in
-  match (Optimizer.minimize_swaps ~budget_seconds:120.0 inst).Optimizer.result with
+  match (Optimizer.minimize_swaps ~budget:(Core.Budget.of_seconds 120.0) inst).Optimizer.result with
   | None -> Alcotest.fail "synthesis failed"
   | Some r ->
     Validate.check_exn inst r;
@@ -43,12 +43,12 @@ let test_quality_ordering () =
   let circuit = B.Qaoa.random ~seed:17 8 in
   let inst = Instance.make ~swap_duration:1 circuit (Devices.grid 3 3) in
   let exact =
-    match (Optimizer.minimize_swaps ~budget_seconds:180.0 inst).Optimizer.result with
+    match (Optimizer.minimize_swaps ~budget:(Core.Budget.of_seconds 180.0) inst).Optimizer.result with
     | Some r -> r
     | None -> Alcotest.fail "exact failed"
   in
   let tb =
-    match (Optimizer.tb_minimize_swaps ~budget_seconds:180.0 inst).Optimizer.tb_result with
+    match (Optimizer.tb_minimize_swaps ~budget:(Core.Budget.of_seconds 180.0) inst).Optimizer.tb_result with
     | Some r -> r
     | None -> Alcotest.fail "tb failed"
   in
@@ -69,7 +69,7 @@ let test_queko_protocol () =
       let inst = Instance.make ~swap_duration:3 circuit device in
       Alcotest.(check int) "T_LB equals construction depth" depth
         (Instance.depth_lower_bound inst);
-      match (Optimizer.minimize_depth ~budget_seconds:300.0 inst).Optimizer.result with
+      match (Optimizer.minimize_depth ~budget:(Core.Budget.of_seconds 300.0) inst).Optimizer.result with
       | Some r ->
         Validate.check_exn inst r;
         Alcotest.(check int)
@@ -86,7 +86,7 @@ let test_queko_protocol () =
 let test_eagle_tb_smoke () =
   let circuit = B.Standard.ising ~qubits:8 ~steps:1 in
   let inst = Instance.make ~swap_duration:3 circuit Devices.eagle127 in
-  match (Optimizer.tb_minimize_swaps ~budget_seconds:300.0 inst).Optimizer.tb_result with
+  match (Optimizer.tb_minimize_swaps ~budget:(Core.Budget.of_seconds 300.0) inst).Optimizer.tb_result with
   | Some r ->
     Alcotest.(check int) "chain embeds with no swaps" 0 r.Core.Tb_encoder.swap_count;
     Validate.check_exn inst r.Core.Tb_encoder.expanded
@@ -102,7 +102,7 @@ let test_depth_swap_tradeoff () =
     | Some r -> r
     | None -> Alcotest.fail "depth failed"
   in
-  match (Optimizer.minimize_swaps ~budget_seconds:180.0 inst).Optimizer.result with
+  match (Optimizer.minimize_swaps ~budget:(Core.Budget.of_seconds 180.0) inst).Optimizer.result with
   | Some swap_first ->
     Alcotest.(check bool) "swap-opt <= depth-opt swaps" true
       (swap_first.Result_.swap_count <= depth_first.Result_.swap_count)
@@ -124,7 +124,7 @@ let test_exact_determinism () =
 let test_ising_zero_swaps () =
   let circuit = B.Standard.ising ~qubits:5 ~steps:2 in
   let inst = Instance.make ~swap_duration:3 circuit (Devices.grid 2 3) in
-  match (Optimizer.tb_minimize_swaps ~budget_seconds:120.0 inst).Optimizer.tb_result with
+  match (Optimizer.tb_minimize_swaps ~budget:(Core.Budget.of_seconds 120.0) inst).Optimizer.tb_result with
   | Some r ->
     Alcotest.(check int) "ising chain needs no swaps" 0 r.Core.Tb_encoder.swap_count;
     Validate.check_exn inst r.Core.Tb_encoder.expanded

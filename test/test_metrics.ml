@@ -60,7 +60,7 @@ let test_exact_beats_heuristic_on_metric () =
      estimated success *)
   let inst = Instance.make ~swap_duration:1 (B.Qaoa.random ~seed:3 8) (Devices.grid 3 3) in
   let sabre = Sabre.synthesize ~seed:5 inst in
-  match (Optimizer.minimize_swaps ~budget_seconds:120.0 inst).Optimizer.result with
+  match (Optimizer.minimize_swaps ~budget:(Core.Budget.of_seconds 120.0) inst).Optimizer.result with
   | Some exact ->
     let m_exact = Metrics.of_result inst exact in
     let m_sabre = Metrics.of_result inst sabre in

@@ -423,11 +423,18 @@ let facade_instances () =
     ("qaoa4-qx2", Instance.make ~swap_duration:3 (B.Qaoa.random ~seed:3 4) Devices.qx2);
   ]
 
+(* These equivalence checks compare the facade's plumbing against a raw
+   sequential engine call, down to incidental fields like the swap count
+   of the depth-optimal model — so force the facade sequential even when
+   OLSQ2_WORKERS asks the suite to default parallel (a pool can return a
+   different, equally optimal model). *)
+let sequential = Synthesis.Options.(default |> with_workers 1)
+
 let test_facade_depth_equivalence () =
   List.iter
     (fun (name, inst) ->
       let engine = Optimizer.minimize_depth inst in
-      let facade = Synthesis.run ~objective:Synthesis.Depth inst in
+      let facade = Synthesis.run ~options:sequential ~objective:Synthesis.Depth inst in
       let depth o = match o with Some r -> r.Result_.depth | None -> -1 in
       Alcotest.(check int)
         (name ^ ": same depth")
@@ -442,7 +449,7 @@ let test_facade_depth_equivalence () =
 let test_facade_tb_equivalence () =
   let _, inst = List.hd (facade_instances ()) in
   let engine = Optimizer.tb_minimize_swaps inst in
-  let facade = Synthesis.run ~objective:Synthesis.Tb_swaps inst in
+  let facade = Synthesis.run ~options:sequential ~objective:Synthesis.Tb_swaps inst in
   match (engine.Optimizer.tb_result, facade.Synthesis.result, facade.Synthesis.pareto) with
   | Some er, Some fr, [ (blocks, swaps) ] ->
     Alcotest.(check int) "same swap count" er.Core.Tb_encoder.swap_count fr.Result_.swap_count;

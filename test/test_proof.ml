@@ -245,7 +245,7 @@ let tiny_instance () =
 
 let test_certify_depth_end_to_end () =
   let instance = tiny_instance () in
-  let report = Core.Synthesis.run ~certify:true ~objective:Core.Synthesis.Depth instance in
+  let report = Core.Synthesis.run ~options:Core.Synthesis.Options.(with_certify true default) ~objective:Core.Synthesis.Depth instance in
   Alcotest.(check bool) "optimal" true report.Core.Synthesis.optimal;
   match report.Core.Synthesis.certificate with
   | None -> Alcotest.fail "no certificate for a proved-optimal depth run"
@@ -267,7 +267,7 @@ let test_certify_depth_with_simplification () =
   let instance = tiny_instance () in
   let plain = Core.Synthesis.run ~objective:Core.Synthesis.Depth instance in
   let report =
-    Core.Synthesis.run ~certify:true ~simplify:true ~objective:Core.Synthesis.Depth instance
+    Core.Synthesis.run ~options:Core.Synthesis.Options.(default |> with_certify true |> with_simplify true) ~objective:Core.Synthesis.Depth instance
   in
   Alcotest.(check bool) "optimal" true report.Core.Synthesis.optimal;
   (match (plain.Core.Synthesis.result, report.Core.Synthesis.result) with
@@ -287,7 +287,7 @@ let test_certify_depth_with_simplification () =
 let test_certify_swaps_end_to_end () =
   let instance = tiny_instance () in
   let report =
-    Core.Synthesis.run ~certify:true
+    Core.Synthesis.run ~options:Core.Synthesis.Options.(with_certify true default)
       ~objective:(Core.Synthesis.Swaps { warm_start = None })
       instance
   in

@@ -283,7 +283,7 @@ let test_encoder_reduction () =
 let test_synthesis_same_optimum () =
   let instance = qaoa_instance () in
   let base = Core.Synthesis.run ~objective:Core.Synthesis.Depth instance in
-  let simp = Core.Synthesis.run ~simplify:true ~objective:Core.Synthesis.Depth instance in
+  let simp = Core.Synthesis.run ~options:Core.Synthesis.Options.(with_simplify true default) ~objective:Core.Synthesis.Depth instance in
   Alcotest.(check bool) "baseline optimal" true base.Core.Synthesis.optimal;
   Alcotest.(check bool) "simplified optimal" true simp.Core.Synthesis.optimal;
   match (base.Core.Synthesis.result, simp.Core.Synthesis.result) with
