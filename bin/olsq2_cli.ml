@@ -17,9 +17,14 @@ module Sabre = Olsq2_heuristic.Sabre
 module Astar = Olsq2_heuristic.Astar_router
 module Satmap = Olsq2_satmap.Satmap
 module Obs = Olsq2_obs.Obs
+module Cli_options = Olsq2_serve.Cli_options
 open Cmdliner
 
-(* ---- shared arguments ---- *)
+(* ---- shared arguments ----
+
+   The synthesis knobs (-j/--share/--simplify/--budget/--conflict-budget/
+   --cube-depth/-c/--certify/--proof) come from Serve.Cli_options, the
+   single definition olsq2-serve parses too. *)
 
 let circuit_arg =
   let doc =
@@ -31,43 +36,6 @@ let circuit_arg =
 let device_arg =
   let doc = "Target device: qx2, aspen-4, sycamore, eagle, or grid-RxC." in
   Arg.(value & opt string "qx2" & info [ "d"; "device" ] ~docv:"DEVICE" ~doc)
-
-let budget_arg =
-  let doc = "Time budget in seconds for the optimization loop." in
-  Arg.(value & opt (some float) None & info [ "b"; "budget" ] ~docv:"SECONDS" ~doc)
-
-let conflict_budget_arg =
-  let doc = "Conflict budget for the optimization loop: total solver conflicts across all bound queries." in
-  Arg.(value & opt (some int) None & info [ "conflict-budget" ] ~docv:"N" ~doc)
-
-let workers_arg =
-  let doc =
-    "Parallelize single bound queries over $(docv) cube-and-conquer worker domains (exact \
-     methods).  1 solves sequentially.  Defaults to $(b,OLSQ2_WORKERS) or 1."
-  in
-  Arg.(value & opt (some int) None & info [ "j"; "workers" ] ~docv:"N" ~doc)
-
-let share_arg =
-  let on =
-    let doc =
-      "Share short learnt clauses between parallel solvers: cube-and-conquer workers (default \
-       when $(b,--workers) > 1) and portfolio arms with matching base CNF (off by default).  \
-       Never applied to proof-logging solvers, so $(b,--certify) stays sound."
-    in
-    (Some true, Arg.info [ "share" ] ~doc)
-  in
-  let off =
-    let doc = "Disable learnt-clause sharing everywhere." in
-    (Some false, Arg.info [ "no-share" ] ~doc)
-  in
-  Arg.(value & vflag None [ on; off ])
-
-let cube_depth_arg =
-  let doc =
-    "Split each parallel query on $(docv) variables (2^$(docv) cubes).  Default: smallest depth \
-     giving at least 4 cubes per worker."
-  in
-  Arg.(value & opt (some int) None & info [ "cube-depth" ] ~docv:"K" ~doc)
 
 let swap_duration_arg =
   let doc = "SWAP gate duration in time steps (default: 1 for QAOA, 3 otherwise)." in
@@ -96,20 +64,6 @@ let method_arg =
 let warm_start_arg =
   let doc = "Seed the SWAP descent with SABRE's count first (exact swap objective only)." in
   Arg.(value & flag & info [ "warm-start" ] ~doc)
-
-let config_arg =
-  let configs =
-    [
-      ("olsq-int", Core.Config.olsq_int);
-      ("olsq-bv", Core.Config.olsq_bv);
-      ("olsq2-int", Core.Config.olsq2_int);
-      ("olsq2-euf-int", Core.Config.olsq2_euf_int);
-      ("olsq2-euf-bv", Core.Config.olsq2_euf_bv);
-      ("olsq2-bv", Core.Config.olsq2_bv);
-    ]
-  in
-  let doc = "Encoding configuration (Table I naming)." in
-  Arg.(value & opt (enum configs) Core.Config.default & info [ "c"; "config" ] ~doc)
 
 let output_arg =
   let doc = "Write the mapped physical circuit as OpenQASM to this file." in
@@ -149,33 +103,6 @@ let prom_arg =
   in
   Arg.(value & opt (some string) None & info [ "prom" ] ~docv:"FILE" ~doc)
 
-let certify_arg =
-  let doc =
-    "Certify the optimality claim: re-solve at the optimum with DRAT proof logging, check the \
-     proof with the built-in trusted checker, and validate the model.  Exits nonzero if the \
-     certificate cannot be produced or fails.  Supported for the olsq2 and portfolio methods."
-  in
-  Arg.(value & flag & info [ "certify" ] ~doc)
-
-let proof_arg =
-  let doc = "With $(b,--certify), also write the emitted DRAT proof (text format) to $(docv)." in
-  Arg.(value & opt (some string) None & info [ "proof" ] ~docv:"FILE" ~doc)
-
-let simplify_arg =
-  let on =
-    let doc =
-      "Preprocess every built CNF (SatELite-style subsumption + bounded variable elimination) and \
-       inprocess during long solves; proof logging stays checkable.  Exact methods only (olsq2, \
-       portfolio); with $(b,--metrics) the aggregate reduction is reported."
-    in
-    (Some true, Arg.info [ "simplify" ] ~doc)
-  in
-  let off =
-    let doc = "Disable CNF simplification everywhere, including the portfolio's preprocessed arm." in
-    (Some false, Arg.info [ "no-simplify" ] ~doc)
-  in
-  Arg.(value & vflag None [ on; off ])
-
 (* ---- synth ---- *)
 
 module Solver = Olsq2_sat.Solver
@@ -197,9 +124,10 @@ let print_stats_block ~label agg (iters : Core.Optimizer.iter_stat list) =
     flush stderr
   end
 
-let run_synth circuit_spec device_name budget conflict_budget workers share cube_depth
-    swap_duration objective method_ config warm output trace metrics metrics_out stats prom certify
-    proof_file simplify =
+let run_synth circuit_spec device_name (common : Cli_options.common) swap_duration objective
+    method_ warm output trace metrics metrics_out stats prom =
+  let certify = common.Cli_options.certify in
+  let simplify = common.Cli_options.simplify in
   let obs =
     if trace <> None || metrics || metrics_out <> None || prom <> None then (
       let t = Obs.create () in
@@ -224,10 +152,7 @@ let run_synth circuit_spec device_name budget conflict_budget workers share cube
   Printf.printf "circuit: %s   device: %s   swap duration: %d\n" (Circuit.label circuit)
     device.Coupling.name swap_duration;
   Printf.printf "T_LB (longest dependency chain) = %d\n%!" (Core.Instance.depth_lower_bound instance);
-  let budget_t =
-    let b = Core.Budget.of_seconds_opt budget in
-    match conflict_budget with Some n -> Core.Budget.with_conflicts n b | None -> b
-  in
+  let budget_t = Cli_options.budget common in
   let finish ?certificate result =
     match result with
     | None ->
@@ -283,18 +208,7 @@ let run_synth circuit_spec device_name budget conflict_budget workers share cube
         | _, `Depth -> Core.Synthesis.Tb_blocks
         | _, `Swap -> Core.Synthesis.Tb_swaps
       in
-      let options =
-        let open Core.Synthesis.Options in
-        let o =
-          default |> with_config config
-          |> with_budget budget_t
-          |> with_certify ?proof_file certify
-        in
-        let o = match simplify with Some b -> with_simplify b o | None -> o in
-        with_workers ?share ?cube_depth
-          (match workers with Some n -> n | None -> o.parallel.workers)
-          o
-      in
+      let options = Cli_options.options common in
       let r = Core.Synthesis.run ~options ~objective:synth_objective instance in
       (match (method_, r.Core.Synthesis.pareto) with
       | `Tb, (blocks, _) :: _ -> Printf.printf "blocks used: %d\n" blocks
@@ -305,7 +219,7 @@ let run_synth circuit_spec device_name budget conflict_budget workers share cube
     | `Sabre -> finish (Some (Sabre.synthesize instance))
     | `Astar -> finish (Astar.synthesize instance)
     | `Satmap ->
-      let o = Satmap.synthesize ?budget_seconds:budget instance in
+      let o = Satmap.synthesize ?budget_seconds:common.Cli_options.budget_seconds instance in
       finish o.Satmap.result
     | `Portfolio ->
       let objective =
@@ -328,8 +242,10 @@ let run_synth circuit_spec device_name budget conflict_budget workers share cube
                (Core.Portfolio.default_arms objective))
       in
       let report =
-        Core.Portfolio.run ~budget:budget_t ?arms ~certify ?proof_file
-          ~share:(Option.value share ~default:false) objective instance
+        Core.Portfolio.run ~budget:budget_t ?arms ~certify
+          ?proof_file:common.Cli_options.proof_file
+          ~share:(Option.value common.Cli_options.share ~default:false)
+          objective instance
       in
       List.iter
         (fun (arm : Core.Portfolio.arm_outcome) ->
@@ -391,10 +307,9 @@ let synth_cmd =
   Cmd.v
     (Cmd.info "synth" ~doc)
     Term.(
-      const run_synth $ circuit_arg $ device_arg $ budget_arg $ conflict_budget_arg $ workers_arg
-      $ share_arg $ cube_depth_arg $ swap_duration_arg $ objective_arg $ method_arg $ config_arg
-      $ warm_start_arg $ output_arg $ trace_arg $ metrics_arg $ metrics_out_arg $ stats_arg
-      $ prom_arg $ certify_arg $ proof_arg $ simplify_arg)
+      const run_synth $ circuit_arg $ device_arg $ Cli_options.term $ swap_duration_arg
+      $ objective_arg $ method_arg $ warm_start_arg $ output_arg $ trace_arg $ metrics_arg
+      $ metrics_out_arg $ stats_arg $ prom_arg)
 
 (* ---- generate ---- *)
 

@@ -1,19 +1,53 @@
 module Stopwatch = Olsq2_util.Stopwatch
+module Solver = Olsq2_sat.Solver
+
+(* External preemption handle: a cross-domain flag plus the solvers
+   currently serving the budgeted run.  [preempt] raises the flag and
+   interrupts every attached solver, so a watchdog in another domain can
+   stop a run mid-search (the serve daemon's wall-deadline enforcement);
+   a solver attached after the fact is interrupted immediately. *)
+type control = {
+  preempted : bool Atomic.t;
+  mutable attached : Solver.t list;
+  cm : Mutex.t;
+}
+
+let control () = { preempted = Atomic.make false; attached = []; cm = Mutex.create () }
+
+let preempt ctl =
+  Atomic.set ctl.preempted true;
+  Mutex.lock ctl.cm;
+  let solvers = ctl.attached in
+  Mutex.unlock ctl.cm;
+  List.iter Solver.interrupt solvers
+
+let preempted ctl = Atomic.get ctl.preempted
 
 type t = {
   wall_seconds : float option;
   max_conflicts : int option;
   per_bound_seconds : float option;
+  control : control option;
 }
 
-let unlimited = { wall_seconds = None; max_conflicts = None; per_bound_seconds = None }
+let unlimited =
+  { wall_seconds = None; max_conflicts = None; per_bound_seconds = None; control = None }
+
 let of_seconds s = { unlimited with wall_seconds = Some s }
 let of_seconds_opt = function None -> unlimited | Some s -> of_seconds s
 let with_conflicts c b = { b with max_conflicts = Some c }
 let with_per_bound_seconds s b = { b with per_bound_seconds = Some s }
+let with_control ctl b = { b with control = Some ctl }
 
 let is_unlimited b =
   b.wall_seconds = None && b.max_conflicts = None && b.per_bound_seconds = None
+
+(* [control] is a runtime handle, not a declarative limit: it is skipped
+   by serialization and ignored by [equal]. *)
+let equal a b =
+  a.wall_seconds = b.wall_seconds
+  && a.max_conflicts = b.max_conflicts
+  && a.per_bound_seconds = b.per_bound_seconds
 
 let to_assoc b =
   List.concat
@@ -24,6 +58,32 @@ let to_assoc b =
       | Some s -> [ ("per_bound_seconds", string_of_float s) ]
       | None -> []);
     ]
+
+let of_assoc assoc =
+  let float_field name k =
+    match List.assoc_opt name assoc with
+    | None -> Ok None
+    | Some s -> (
+      match float_of_string_opt s with
+      | Some f when f >= 0. -> Ok (Some f)
+      | Some _ | None -> Error (Printf.sprintf "%s: expected a non-negative number, got %S" k s))
+  in
+  let int_field name =
+    match List.assoc_opt name assoc with
+    | None -> Ok None
+    | Some s -> (
+      match int_of_string_opt s with
+      | Some i when i >= 0 -> Ok (Some i)
+      | Some _ | None ->
+        Error (Printf.sprintf "%s: expected a non-negative integer, got %S" name s))
+  in
+  match
+    (float_field "wall_seconds" "wall_seconds", int_field "max_conflicts",
+     float_field "per_bound_seconds" "per_bound_seconds")
+  with
+  | Ok wall_seconds, Ok max_conflicts, Ok per_bound_seconds ->
+    Ok { wall_seconds; max_conflicts; per_bound_seconds; control = None }
+  | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e
 
 type state = {
   limits : t;
@@ -45,8 +105,21 @@ let conflicts_left st =
   match st.limits.max_conflicts with None -> None | Some m -> Some (m - st.conflicts_spent)
 
 let exhausted st =
-  (match st.deadline with Some d -> Stopwatch.now () >= d | None -> false)
+  (match st.limits.control with Some ctl -> preempted ctl | None -> false)
+  || (match st.deadline with Some d -> Stopwatch.now () >= d | None -> false)
   || match conflicts_left st with Some c -> c <= 0 | None -> false
+
+let attach st solver =
+  match st.limits.control with
+  | None -> ()
+  | Some ctl ->
+    Mutex.lock ctl.cm;
+    let known = List.memq solver ctl.attached in
+    if not known then ctl.attached <- solver :: ctl.attached;
+    Mutex.unlock ctl.cm;
+    (* a run already past its deadline must not start fresh search on a
+       newly built solver *)
+    if Atomic.get ctl.preempted then Solver.interrupt solver
 
 let solve_timeout st =
   let wall = match st.deadline with None -> None | Some d -> Some (d -. Stopwatch.now ()) in

@@ -13,12 +13,36 @@
     [?max_conflicts] from the state ({!solve_timeout},
     {!solve_max_conflicts}) and report what the call actually cost with
     {!charge}; nested entry points share one state, so the deadline never
-    slides and conflicts accumulate across phases. *)
+    slides and conflicts accumulate across phases.
+
+    A budget may additionally carry a {!control}: an external preemption
+    handle with which another domain (e.g. the serve daemon's
+    wall-deadline watchdog) stops the run {e mid-search} — the engine
+    attaches every master solver it drives to the control
+    ({!attach}), and {!preempt} both flips {!exhausted} and calls
+    {!Olsq2_sat.Solver.interrupt} on each of them, so the current solve
+    call returns [Unknown Interrupted] promptly instead of running to its
+    own timeout. *)
+
+(** External preemption handle shared between the run and a watchdog. *)
+type control
+
+(** A fresh, un-preempted control. *)
+val control : unit -> control
+
+(** Raise the preemption flag and interrupt every attached solver.
+    Safe to call from any domain, any number of times. *)
+val preempt : control -> unit
+
+val preempted : control -> bool
 
 type t = {
   wall_seconds : float option;  (** total wall-clock allowance *)
   max_conflicts : int option;  (** total conflicts across all solves *)
   per_bound_seconds : float option;  (** wall cap for any single bound query *)
+  control : control option;
+      (** external preemption handle; not a declarative limit — skipped by
+          {!to_assoc} / {!equal} *)
 }
 
 (** No limits. *)
@@ -34,11 +58,22 @@ val of_seconds_opt : float option -> t
 val with_conflicts : int -> t -> t
 val with_per_bound_seconds : float -> t -> t
 
-(** [true] when every field is [None]. *)
+(** Attach a preemption control (see {!control}). *)
+val with_control : control -> t -> t
+
+(** [true] when every limit field is [None] (an attached control does not
+    make a budget limited). *)
 val is_unlimited : t -> bool
 
-(** Stable key/value rendering of the non-default fields. *)
+(** Limit-field equality; the runtime [control] handle is ignored. *)
+val equal : t -> t -> bool
+
+(** Stable key/value rendering of the non-default limit fields. *)
 val to_assoc : t -> (string * string) list
+
+(** Inverse of {!to_assoc}: missing keys mean unlimited; malformed or
+    negative values are an [Error].  The result never carries a control. *)
+val of_assoc : (string * string) list -> (t, string) result
 
 (** A running account: fixed wall deadline plus spent conflicts. *)
 type state
@@ -48,8 +83,15 @@ val start : t -> state
 (** Wall seconds left ([infinity] when unlimited). *)
 val remaining_seconds : state -> float
 
-(** [true] once the deadline passed or the conflict cap is spent. *)
+(** [true] once the deadline passed, the conflict cap is spent, or the
+    budget's control was preempted. *)
 val exhausted : state -> bool
+
+(** Register a solver as actively serving this budgeted run, so a later
+    {!preempt} interrupts it.  No-op without a control; a solver attached
+    after preemption is interrupted immediately.  Safe to call repeatedly
+    with the same solver. *)
+val attach : state -> Olsq2_sat.Solver.t -> unit
 
 (** The [?timeout] to pass to the next solve call: the remaining wall
     allowance, further clamped by [per_bound_seconds]; [None] when

@@ -92,5 +92,49 @@ let to_assoc c =
     ("simplify", string_of_bool c.simplify);
   ]
 
+(* Inverse of [to_assoc].  Missing keys take [default]'s value, so a wire
+   request can override just the fields it cares about; unknown keys are
+   ignored (forward compatibility), unknown values are an error. *)
+let of_assoc assoc =
+  let field name ~of_string ~default =
+    match List.assoc_opt name assoc with
+    | None -> Ok default
+    | Some s -> (
+      match of_string s with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "%s: unknown value %S" name s))
+  in
+  let ( let* ) r f = Result.bind r f in
+  let* formulation =
+    field "formulation" ~default:default.formulation ~of_string:(function
+      | "olsq" -> Some Olsq
+      | "olsq2" -> Some Olsq2
+      | _ -> None)
+  in
+  let* var_encoding =
+    field "var_encoding" ~default:default.var_encoding ~of_string:(function
+      | "lazy_int" -> Some Lazy_int
+      | "onehot" -> Some Onehot
+      | "binary" -> Some Binary
+      | _ -> None)
+  in
+  let* injectivity =
+    field "injectivity" ~default:default.injectivity ~of_string:(function
+      | "pairwise" -> Some Pairwise
+      | "inverse" -> Some Inverse
+      | _ -> None)
+  in
+  let* cardinality =
+    field "cardinality" ~default:default.cardinality ~of_string:(function
+      | "seq_counter" -> Some Seq_counter
+      | "totalizer" -> Some Totalizer
+      | "adder" -> Some Adder
+      | _ -> None)
+  in
+  let* simplify =
+    field "simplify" ~default:default.simplify ~of_string:bool_of_string_opt
+  in
+  Ok { formulation; var_encoding; injectivity; cardinality; simplify }
+
 let table1_configs =
   [ olsq_int; olsq_bv; olsq2_int; olsq2_euf_int; olsq2_euf_bv; olsq2_bv ]

@@ -56,5 +56,10 @@ val cardinality_name : cardinality -> string
     metrics serialization). *)
 val to_assoc : t -> (string * string) list
 
+(** Inverse of {!to_assoc}: missing keys take {!default}'s value, unknown
+    keys are ignored, unknown values are an [Error].  Round trip:
+    [of_assoc (to_assoc c) = Ok c]. *)
+val of_assoc : (string * string) list -> (t, string) result
+
 (** The six Table I configurations, in the paper's column order. *)
 val table1_configs : t list

@@ -234,6 +234,7 @@ let grow_bound t_b =
    stands in for the sequential solver call. *)
 let esolve ?pool ~st ~assumptions enc =
   let solver = Encoder.solver enc in
+  Budget.attach st solver;
   let before = (Solver.stats solver).Solver.conflicts in
   let timeout = Budget.solve_timeout st in
   let max_conflicts = Budget.solve_max_conflicts st in
@@ -247,6 +248,7 @@ let esolve ?pool ~st ~assumptions enc =
 
 let tbsolve ?pool ~st ~assumptions enc =
   let solver = Tb_encoder.solver enc in
+  Budget.attach st solver;
   let before = (Solver.stats solver).Solver.conflicts in
   let timeout = Budget.solve_timeout st in
   let max_conflicts = Budget.solve_max_conflicts st in

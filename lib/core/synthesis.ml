@@ -53,6 +53,149 @@ module Options = struct
           cube_depth = (match cube_depth with Some _ -> cube_depth | None -> t.parallel.cube_depth);
         };
     }
+
+  (* [Budget.control] is a runtime handle: ignored here, and skipped by
+     the codec below. *)
+  let equal a b =
+    a.config = b.config && a.simplify = b.simplify
+    && Budget.equal a.budget b.budget
+    && a.certify = b.certify && a.proof_file = b.proof_file && a.parallel = b.parallel
+
+  (* ---- JSON codec (the serve daemon's wire format) ----
+
+     One canonical options representation shared by the server, the CLI
+     and the tests.  Nested string assocs ([Config.to_assoc],
+     [Budget.to_assoc]) become JSON objects with typed values where the
+     type is unambiguous (bools, numbers), so the wire format reads
+     naturally; [of_assoc] accepts both typed and stringly values. *)
+
+  module Json = Olsq2_obs.Obs.Json
+
+  let string_assoc_to_json kvs =
+    Json.Obj
+      (List.map
+         (fun (k, v) ->
+           match (bool_of_string_opt v, float_of_string_opt v) with
+           | Some b, _ -> (k, Json.Bool b)
+           | None, Some f -> (k, Json.Num f)
+           | None, None -> (k, Json.Str v))
+         kvs)
+
+  (* Render a float the way [Budget.to_assoc] / [Config.to_assoc] parse
+     it back; integers print without the trailing dot JSON dislikes. *)
+  let json_value_to_string = function
+    | Json.Bool b -> Some (string_of_bool b)
+    | Json.Num f ->
+      Some
+        (if Float.is_integer f && Float.abs f < 1e15 then
+           string_of_int (int_of_float f)
+         else string_of_float f)
+    | Json.Str s -> Some s
+    | Json.Null | Json.Arr _ | Json.Obj _ -> None
+
+  let json_to_string_assoc name j =
+    match j with
+    | Json.Obj kvs ->
+      List.fold_left
+        (fun acc (k, v) ->
+          Result.bind acc (fun acc ->
+              match json_value_to_string v with
+              | Some s -> Ok ((k, s) :: acc)
+              | None -> Error (Printf.sprintf "%s.%s: expected a scalar value" name k)))
+        (Ok []) kvs
+      |> Result.map List.rev
+    | _ -> Error (Printf.sprintf "%s: expected an object" name)
+
+  let to_assoc t =
+    [
+      ("config", string_assoc_to_json (Config.to_assoc t.config));
+      ("simplify", match t.simplify with None -> Json.Null | Some b -> Json.Bool b);
+      ("budget", string_assoc_to_json (Budget.to_assoc t.budget));
+      ("certify", Json.Bool t.certify);
+      ("proof_file", match t.proof_file with None -> Json.Null | Some f -> Json.Str f);
+      ( "parallel",
+        Json.Obj
+          [
+            ("workers", Json.Num (float_of_int t.parallel.workers));
+            ("share", Json.Bool t.parallel.share);
+            ( "cube_depth",
+              match t.parallel.cube_depth with
+              | None -> Json.Null
+              | Some k -> Json.Num (float_of_int k) );
+          ] );
+    ]
+
+  let to_json t = Json.Obj (to_assoc t)
+
+  (* Missing keys keep [default]'s value, so partial wire requests stay
+     valid; [Null] means an explicit "unset". *)
+  let of_assoc assoc =
+    let ( let* ) r f = Result.bind r f in
+    let find k = List.assoc_opt k assoc in
+    let bool_field name default =
+      match find name with
+      | None | Some Json.Null -> Ok default
+      | Some (Json.Bool b) -> Ok b
+      | Some _ -> Error (Printf.sprintf "%s: expected a bool" name)
+    in
+    let* config =
+      match find "config" with
+      | None | Some Json.Null -> Ok default.config
+      | Some j ->
+        let* kvs = json_to_string_assoc "config" j in
+        Config.of_assoc kvs
+    in
+    let* simplify =
+      match find "simplify" with
+      | None | Some Json.Null -> Ok None
+      | Some (Json.Bool b) -> Ok (Some b)
+      | Some _ -> Error "simplify: expected a bool or null"
+    in
+    let* budget =
+      match find "budget" with
+      | None | Some Json.Null -> Ok Budget.unlimited
+      | Some j ->
+        let* kvs = json_to_string_assoc "budget" j in
+        Budget.of_assoc kvs
+    in
+    let* certify = bool_field "certify" default.certify in
+    let* proof_file =
+      match find "proof_file" with
+      | None | Some Json.Null -> Ok None
+      | Some (Json.Str f) -> Ok (Some f)
+      | Some _ -> Error "proof_file: expected a string or null"
+    in
+    let* parallel =
+      match find "parallel" with
+      | None | Some Json.Null -> Ok default.parallel
+      | Some (Json.Obj kvs) ->
+        let pfind k = List.assoc_opt k kvs in
+        let* workers =
+          match pfind "workers" with
+          | None | Some Json.Null -> Ok default.parallel.workers
+          | Some (Json.Num f) when Float.is_integer f && f >= 1. -> Ok (int_of_float f)
+          | Some _ -> Error "parallel.workers: expected a positive integer"
+        in
+        let* share =
+          match pfind "share" with
+          | None | Some Json.Null -> Ok default.parallel.share
+          | Some (Json.Bool b) -> Ok b
+          | Some _ -> Error "parallel.share: expected a bool"
+        in
+        let* cube_depth =
+          match pfind "cube_depth" with
+          | None | Some Json.Null -> Ok None
+          | Some (Json.Num f) when Float.is_integer f && f >= 0. -> Ok (Some (int_of_float f))
+          | Some _ -> Error "parallel.cube_depth: expected a non-negative integer"
+        in
+        Ok { workers; share; cube_depth }
+      | Some _ -> Error "parallel: expected an object"
+    in
+    Ok { config; simplify; budget; certify; proof_file; parallel }
+
+  let of_json = function
+    | Json.Obj assoc -> of_assoc assoc
+    | _ -> Error "options: expected an object"
 end
 
 type objective =
@@ -185,19 +328,3 @@ let run ?(options = Options.default) ~objective instance =
   in
   let trace = if Obs.enabled obs then Obs.summary ?since obs else Obs.empty_summary in
   { report with trace; certificate }
-
-(* Deprecated labelled-argument shim (one release): the former [run]
-   signature, delegating to the [Options]-based entry point. *)
-let run_labelled ?(config = Config.default) ?simplify ?budget ?(certify = false) ?proof_file
-    ~objective instance =
-  let options =
-    {
-      Options.config;
-      simplify;
-      budget = Budget.of_seconds_opt budget;
-      certify;
-      proof_file;
-      parallel = Options.sequential;
-    }
-  in
-  run ~options ~objective instance

@@ -114,6 +114,33 @@ module Options : sig
   (** [with_workers n t] sets [parallel.workers] (clamped to >= 1),
       optionally overriding [share] / [cube_depth]. *)
   val with_workers : ?share:bool -> ?cube_depth:int -> int -> t -> t
+
+  (** Field-wise equality over the serializable fields; the runtime
+      [Budget.control] handle is ignored. *)
+  val equal : t -> t -> bool
+
+  (** {2 JSON codec}
+
+      The canonical wire format shared by the serve daemon, the CLI and
+      the tests (see README "Serving" for the request schema).  Round
+      trip: [of_assoc (to_assoc o)] is [Ok o'] with [equal o o'];
+      {!Budget.control} does not survive serialization by design. *)
+
+  (** Stable field rendering, mirroring {!Config.to_assoc} one level up:
+      [config] / [budget] are nested objects, option fields serialize as
+      [Null]. *)
+  val to_assoc : t -> (string * Olsq2_obs.Obs.Json.json) list
+
+  (** {!to_assoc} wrapped in a JSON object. *)
+  val to_json : t -> Olsq2_obs.Obs.Json.json
+
+  (** Inverse of {!to_assoc}: missing or [Null] keys take {!default}'s
+      value (so partial wire requests stay valid); type mismatches and
+      unknown enum values are an [Error]. *)
+  val of_assoc : (string * Olsq2_obs.Obs.Json.json) list -> (t, string) result
+
+  (** {!of_assoc} on a JSON object ([Error] on any other JSON). *)
+  val of_json : Olsq2_obs.Obs.Json.json -> (t, string) result
 end
 
 (** [run ?options ~objective instance] synthesizes a layout for
@@ -121,16 +148,3 @@ end
     {!Options.default}).  The whole run is wrapped in a
     [synthesis.<objective>] span on the global tracer. *)
 val run : ?options:Options.t -> objective:objective -> Instance.t -> report
-
-(** The pre-[Options] signature, delegating to {!run} (sequential, wall
-    budget only).  Deprecated: migrate to [run ~options]. *)
-val run_labelled :
-  ?config:Config.t ->
-  ?simplify:bool ->
-  ?budget:float ->
-  ?certify:bool ->
-  ?proof_file:string ->
-  objective:objective ->
-  Instance.t ->
-  report
-[@@deprecated "use run ~options (Synthesis.Options) instead"]

@@ -801,3 +801,21 @@ let prometheus_of_summary ?(namespace = "olsq2") s =
 
 let to_prometheus_string ?namespace t = prometheus_of_summary ?namespace (summary t)
 let write_prometheus ?namespace t oc = output_string oc (to_prometheus_string ?namespace t)
+
+(* Single-series exposition lines for metrics kept outside a tracer
+   (e.g. the serve daemon's atomic request counters), in the exact shape
+   [prometheus_of_summary] emits. *)
+let prometheus_series ?(namespace = "olsq2") ~kind ?(labels = []) name v =
+  let m = prom_name (namespace ^ "_" ^ name) in
+  let m = match kind with `Counter -> m ^ "_total" | `Gauge -> m in
+  let labels =
+    match labels with
+    | [] -> ""
+    | kvs ->
+      "{"
+      ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" (prom_name k) (prom_label v)) kvs)
+      ^ "}"
+  in
+  Printf.sprintf "# TYPE %s %s\n%s%s %s\n" m
+    (match kind with `Counter -> "counter" | `Gauge -> "gauge")
+    m labels (prom_float v)

@@ -204,6 +204,20 @@ val to_prometheus_string : ?namespace:string -> t -> string
 
 val write_prometheus : ?namespace:string -> t -> out_channel -> unit
 
+(** [prometheus_series ~kind name v] is one complete exposition series
+    ([# TYPE] comment plus sample line) for a metric kept outside any
+    tracer — e.g. a server's atomic request counters — in the exact
+    shape {!prometheus_of_summary} emits: counters get the [_total]
+    suffix, names are sanitized and [namespace]-prefixed (default
+    ["olsq2"]), label values escaped. *)
+val prometheus_series :
+  ?namespace:string ->
+  kind:[ `Counter | `Gauge ] ->
+  ?labels:(string * string) list ->
+  string ->
+  float ->
+  string
+
 (** Minimal JSON representation used by the sinks, with a parser so tests
     and smoke checks can validate emitted traces without external
     dependencies. *)

@@ -1,0 +1,91 @@
+(* Persistent domain pool for independent tasks.
+
+   Where {!Pool} parallelizes the inside of a single SAT query
+   (cube-and-conquer with replica solvers), this pool parallelizes
+   *across* independent jobs: the serve daemon schedules whole synthesis
+   requests onto it.  Plain FIFO queue + mutex + condition; workers are
+   OCaml 5 domains that live for the pool's lifetime, so per-request cost
+   is one lock round trip, not a domain spawn. *)
+
+type t = {
+  queue : (unit -> unit) Queue.t;
+  m : Mutex.t;
+  nonempty : Condition.t;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+  workers : int;
+  running : int Atomic.t; (* tasks currently executing *)
+  completed : int Atomic.t;
+}
+
+let worker_loop t () =
+  let rec next () =
+    Mutex.lock t.m;
+    let rec await () =
+      if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+      else if t.stopping then None
+      else begin
+        Condition.wait t.nonempty t.m;
+        await ()
+      end
+    in
+    let job = await () in
+    Mutex.unlock t.m;
+    match job with
+    | None -> ()
+    | Some job ->
+      Atomic.incr t.running;
+      (* a raising job must not take its worker domain down with it;
+         tasks own their error reporting *)
+      (try job () with _ -> ());
+      Atomic.decr t.running;
+      Atomic.incr t.completed;
+      next ()
+  in
+  next ()
+
+let create ~workers =
+  let workers = max 1 workers in
+  let t =
+    {
+      queue = Queue.create ();
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      stopping = false;
+      domains = [];
+      workers;
+      running = Atomic.make 0;
+      completed = Atomic.make 0;
+    }
+  in
+  t.domains <- List.init workers (fun _ -> Domain.spawn (worker_loop t));
+  t
+
+let workers t = t.workers
+
+let submit t job =
+  Mutex.lock t.m;
+  let accepted = not t.stopping in
+  if accepted then begin
+    Queue.push job t.queue;
+    Condition.signal t.nonempty
+  end;
+  Mutex.unlock t.m;
+  accepted
+
+let pending t =
+  Mutex.lock t.m;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.m;
+  n
+
+let running t = Atomic.get t.running
+let completed t = Atomic.get t.completed
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.stopping <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.m;
+  List.iter Domain.join t.domains;
+  t.domains <- []

@@ -1,0 +1,32 @@
+(** Persistent domain pool for independent tasks.
+
+    Where {!Pool} parallelizes the {e inside} of a single SAT query
+    (cube-and-conquer with replica solvers), this pool runs independent
+    jobs concurrently: the serve daemon schedules whole synthesis
+    requests onto it.  Workers are OCaml 5 domains that live for the
+    pool's lifetime; jobs are drained FIFO. *)
+
+type t
+
+(** [create ~workers] spawns [max 1 workers] worker domains. *)
+val create : workers:int -> t
+
+val workers : t -> int
+
+(** Enqueue a job.  Returns [false] (job dropped) once {!shutdown} has
+    begun.  Jobs must contain their own error handling: an exception
+    escaping a job is swallowed, not propagated. *)
+val submit : t -> (unit -> unit) -> bool
+
+(** Jobs queued but not yet started. *)
+val pending : t -> int
+
+(** Jobs currently executing. *)
+val running : t -> int
+
+(** Jobs finished (successfully or not) since creation. *)
+val completed : t -> int
+
+(** Stop accepting jobs, drain the queue, and join every worker domain.
+    Queued jobs still run to completion before this returns. *)
+val shutdown : t -> unit

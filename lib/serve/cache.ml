@@ -1,0 +1,71 @@
+(* Keyed result cache: mutex-protected hash table plus FIFO insertion
+   queue for eviction.  Keys are full canonical strings (see Canonical) —
+   equality is string equality, so hash collisions cannot surface a wrong
+   entry.  FIFO (not LRU) keeps eviction O(1) without a doubly linked
+   list; at serve workloads the capacity is the interesting knob, not the
+   eviction order. *)
+
+type 'a t = {
+  table : (string, 'a) Hashtbl.t;
+  order : string Queue.t;  (* insertion order, oldest first *)
+  capacity : int;
+  m : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = {
+  size : int;
+  capacity : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+let create ~capacity =
+  {
+    table = Hashtbl.create 64;
+    order = Queue.create ();
+    capacity = max 1 capacity;
+    m = Mutex.create ();
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some v ->
+        t.hits <- t.hits + 1;
+        Some v
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+let add t key v =
+  locked t (fun () ->
+      if not (Hashtbl.mem t.table key) then begin
+        Hashtbl.replace t.table key v;
+        Queue.push key t.order;
+        while Hashtbl.length t.table > t.capacity do
+          let victim = Queue.pop t.order in
+          Hashtbl.remove t.table victim;
+          t.evictions <- t.evictions + 1
+        done
+      end)
+
+let stats t =
+  locked t (fun () ->
+      {
+        size = Hashtbl.length t.table;
+        capacity = t.capacity;
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+      })

@@ -1,0 +1,26 @@
+(** Thread-safe keyed store for canonical synthesis results: bounded
+    capacity, FIFO eviction, hit/miss/eviction accounting.  Lookup is
+    string-equality on full canonical keys, so a hash collision can never
+    return a wrong entry. *)
+
+type 'a t
+
+type stats = {
+  size : int;
+  capacity : int;
+  hits : int;  (** successful {!find}s *)
+  misses : int;  (** unsuccessful {!find}s *)
+  evictions : int;  (** entries dropped to stay within capacity *)
+}
+
+(** [create ~capacity] holds at most [max 1 capacity] entries. *)
+val create : capacity:int -> 'a t
+
+(** Counted lookup. *)
+val find : 'a t -> string -> 'a option
+
+(** Insert; a key already present keeps its existing value (first write
+    wins — concurrent duplicate submissions race benignly). *)
+val add : 'a t -> string -> 'a -> unit
+
+val stats : 'a t -> stats

@@ -1,0 +1,256 @@
+(* Canonical forms for cache keys.
+
+   The serve daemon's result cache must recognize resubmissions that are
+   the same synthesis problem under a different labelling: the same QAOA
+   circuit with program qubits permuted, the same coupling graph with
+   physical qubits permuted.  We canonicalize both sides:
+
+   - devices by individualization-refinement canonization:
+     Weisfeiler-Leman color refinement, then branching over the members
+     of the smallest non-singleton color class (individualize, refine,
+     recurse) and keeping the lexicographically least discrete-coloring
+     edge encoding — the textbook nauty-style scheme, bounded by a work
+     cap;
+   - circuits by first-appearance relabelling over the gate sequence
+     (invariant under any qubit permutation, because the gate order and
+     per-gate operand order are what define first appearance).
+
+   Within the work cap the device form is exactly canonical (the serve
+   tests assert permutation-invariance by property); if a pathological
+   graph exhausts the cap, the best encoding found so far is used, which
+   only costs cache HITS, never correctness: the cache compares full
+   canonical key strings for equality, so an imperfect canonical form
+   (or an FNV collision) can make two equivalent submissions miss each
+   other, and nothing else. *)
+
+module Circuit = Olsq2_circuit.Circuit
+module Gate = Olsq2_circuit.Gate
+module Coupling = Olsq2_device.Coupling
+module Result_ = Olsq2_core.Result_
+
+type relabeling = { fwd : int array; inv : int array }
+
+let inverse fwd =
+  let inv = Array.make (Array.length fwd) (-1) in
+  Array.iteri (fun old nw -> inv.(nw) <- old) fwd;
+  inv
+
+let identity n = { fwd = Array.init n Fun.id; inv = Array.init n Fun.id }
+
+(* ---- device canonicalization ---- *)
+
+(* One round of color refinement: a vertex's next color is (its color,
+   the sorted multiset of its neighbors' colors), densified by sorting
+   the distinct signatures — so color ids depend only on graph
+   structure, never on vertex labels.  Iterated to the fixpoint (class
+   count stops growing), which takes at most n rounds. *)
+let refine (g : Coupling.t) color =
+  let n = g.Coupling.num_qubits in
+  let classes = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let signature v =
+      (color.(v), List.sort compare (List.map (fun u -> color.(u)) (Coupling.neighbors g v)))
+    in
+    let sigs = Array.init n signature in
+    let distinct = List.sort_uniq compare (Array.to_list sigs) in
+    let index = Hashtbl.create 16 in
+    List.iteri (fun i s -> Hashtbl.replace index s i) distinct;
+    Array.iteri (fun v s -> color.(v) <- Hashtbl.find index s) sigs;
+    let classes' = List.length distinct in
+    continue_ := classes' > !classes;
+    classes := classes'
+  done;
+  !classes
+
+(* Smallest non-singleton color class (smallest color id on ties), or
+   [None] when the coloring is discrete. *)
+let target_class color =
+  let sizes = Hashtbl.create 16 in
+  Array.iter
+    (fun c -> Hashtbl.replace sizes c (1 + Option.value ~default:0 (Hashtbl.find_opt sizes c)))
+    color;
+  Hashtbl.fold
+    (fun c size acc ->
+      if size < 2 then acc
+      else
+        match acc with
+        | Some (bc, bs) when (bs, bc) <= (size, c) -> acc
+        | _ -> Some (c, size))
+    sizes None
+
+let encode_edges (g : Coupling.t) pos =
+  Array.to_list g.Coupling.edges
+  |> List.map (fun (a, b) ->
+       let a = pos.(a) and b = pos.(b) in
+       if a < b then (a, b) else (b, a))
+  |> List.sort compare
+
+type device_canon = { dkey : string; drel : relabeling }
+
+(* Individualization-refinement budget: each unit is one WL refinement
+   to fixpoint.  Device graphs in scope (<= a few hundred vertices, high
+   symmetry but no strongly-regular pathology) finish well under it; a
+   graph that exhausts it keeps the best encoding found so far, trading
+   possible cache misses for bounded work. *)
+let max_refinements = 20_000
+
+let canonize (g : Coupling.t) =
+  let n = g.Coupling.num_qubits in
+  let budget = ref max_refinements in
+  let best = ref None in
+  let rec explore color =
+    match target_class color with
+    | None ->
+      (* discrete coloring: colors 0..n-1 are exactly the positions *)
+      let enc = encode_edges g color in
+      (match !best with
+      | Some (be, _) when compare be enc <= 0 -> ()
+      | _ -> best := Some (enc, Array.copy color))
+    | Some (c, _) ->
+      let members = List.filter (fun v -> color.(v) = c) (List.init n Fun.id) in
+      List.iter
+        (fun v ->
+          if !budget > 0 then begin
+            decr budget;
+            let color' = Array.copy color in
+            (* individualize v: a fresh color below every existing one
+               keeps it in its class's order slot deterministically *)
+            color'.(v) <- -1;
+            let _ = refine g color' in
+            explore color'
+          end)
+        members
+  in
+  let color = Array.make n 0 in
+  let _ = refine g color in
+  explore color;
+  match !best with
+  | Some (enc, pos) -> (enc, pos)
+  | None -> (encode_edges g (Array.init n Fun.id), Array.init n Fun.id)
+
+(* Canonizing a 100+ qubit device costs real work, and serve workloads
+   resubmit the same few devices constantly — memoize on the raw
+   (pre-canonical) encoding, which distinguishes labelings but keeps the
+   common named-device case O(1) after the first request. *)
+let device_memo : (string, device_canon) Hashtbl.t = Hashtbl.create 16
+let device_memo_m = Mutex.create ()
+
+let device_uncached (g : Coupling.t) =
+  let n = g.Coupling.num_qubits in
+  let enc, pos = canonize g in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "d%d:" n);
+  List.iter (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "%d-%d;" a b)) enc;
+  { dkey = Buffer.contents buf; drel = { fwd = pos; inv = inverse pos } }
+
+let device (g : Coupling.t) =
+  let raw =
+    Printf.sprintf "%d:%s" g.Coupling.num_qubits
+      (String.concat ";"
+         (Array.to_list g.Coupling.edges
+         |> List.sort compare
+         |> List.map (fun (a, b) -> Printf.sprintf "%d-%d" a b)))
+  in
+  Mutex.lock device_memo_m;
+  let hit = Hashtbl.find_opt device_memo raw in
+  Mutex.unlock device_memo_m;
+  match hit with
+  | Some d -> d
+  | None ->
+    let d = device_uncached g in
+    Mutex.lock device_memo_m;
+    if Hashtbl.length device_memo > 256 then Hashtbl.reset device_memo;
+    Hashtbl.replace device_memo raw d;
+    Mutex.unlock device_memo_m;
+    d
+
+(* ---- circuit canonicalization ---- *)
+
+type circuit_canon = { ckey : string; crel : relabeling }
+
+let circuit (c : Circuit.t) =
+  let n = c.Circuit.num_qubits in
+  let fwd = Array.make n (-1) in
+  let next = ref 0 in
+  let visit q =
+    if fwd.(q) < 0 then begin
+      fwd.(q) <- !next;
+      incr next
+    end
+  in
+  Array.iter
+    (fun (g : Gate.t) ->
+      match g.Gate.operands with
+      | Gate.One q -> visit q
+      | Gate.Two (a, b) ->
+        visit a;
+        visit b)
+    c.Circuit.gates;
+  (* qubits no gate touches: appended in submitted order, so the key is
+     still a pure function of the structure the solver sees *)
+  for q = 0 to n - 1 do
+    visit q
+  done;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "c%d:" n);
+  Array.iter
+    (fun (g : Gate.t) ->
+      match g.Gate.operands with
+      | Gate.One q -> Buffer.add_string buf (Printf.sprintf "s%d;" fwd.(q))
+      | Gate.Two (a, b) ->
+        (* layout synthesis treats two-qubit gates symmetrically (the
+           gate runs on an edge, direction-free), so the key may too *)
+        let a = fwd.(a) and b = fwd.(b) in
+        let a, b = if a < b then (a, b) else (b, a) in
+        Buffer.add_string buf (Printf.sprintf "t%d-%d;" a b))
+    c.Circuit.gates;
+  { ckey = Buffer.contents buf; crel = { fwd; inv = inverse fwd } }
+
+(* ---- fingerprint ---- *)
+
+(* FNV-1a, the same construction lib/parallel's Share uses for CNF
+   fingerprints; used for request ids and metric labels, never for cache
+   equality (full keys are compared). *)
+let fingerprint s =
+  let open Int64 in
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter (fun ch -> h := mul (logxor !h (of_int (Char.code ch))) prime) s;
+  Printf.sprintf "%016Lx" !h
+
+(* ---- result translation ---- *)
+
+(* Results are stored in canonical space and translated per request.
+   With [cfwd] mapping submitted program qubits to canonical ones and
+   [dfwd] submitted physical qubits to canonical ones:
+     mapping_canon.(t).(cfwd q) = dfwd.(mapping_sub.(t).(q))
+   The schedule is indexed by gate id, which relabelling preserves, so it
+   transfers unchanged; swap edges map endpoint-wise and re-normalize. *)
+
+let map_result ~(device : int array) ~(circuit_map : int array) (r : Result_.t) =
+  let mapping =
+    Array.map
+      (fun row ->
+        let row' = Array.make (Array.length row) (-1) in
+        Array.iteri (fun q p -> row'.(circuit_map.(q)) <- device.(p)) row;
+        row')
+      r.Result_.mapping
+  in
+  let swaps =
+    List.map
+      (fun (s : Result_.swap) ->
+        let a, b = s.Result_.sw_edge in
+        let a = device.(a) and b = device.(b) in
+        { s with Result_.sw_edge = (if a < b then (a, b) else (b, a)) })
+      r.Result_.swaps
+  in
+  { r with Result_.mapping; swaps }
+
+let to_canonical ~device:(d : relabeling) ~circuit:(c : relabeling) r =
+  map_result ~device:d.fwd ~circuit_map:c.fwd r
+
+let of_canonical ~device:(d : relabeling) ~circuit:(c : relabeling) r =
+  (* inverse direction: canonical row index cq corresponds to submitted
+     qubit c.inv.(cq); express it as a forward map from canonical space *)
+  map_result ~device:d.inv ~circuit_map:c.inv r

@@ -1,0 +1,50 @@
+(** Canonical forms of circuits and devices for the serve daemon's result
+    cache, so relabelled-but-isomorphic submissions share one cache key.
+
+    Devices canonicalize by Weisfeiler-Leman color refinement plus a
+    greedy BFS ordering minimized over root candidates; circuits by
+    first-appearance qubit relabelling over the gate sequence.  Both are
+    heuristics: on the regular NISQ topologies the repo models they are
+    exact (permuted submissions produce byte-identical keys — asserted by
+    property tests), and where they are not, the only cost is a missed
+    cache hit, because the cache compares full key strings, never just
+    hashes. *)
+
+type relabeling = {
+  fwd : int array;  (** submitted label -> canonical label *)
+  inv : int array;  (** canonical label -> submitted label *)
+}
+
+val identity : int -> relabeling
+
+type device_canon = {
+  dkey : string;  (** canonical encoding of the coupling graph *)
+  drel : relabeling;  (** physical-qubit relabelling *)
+}
+
+val device : Olsq2_device.Coupling.t -> device_canon
+
+type circuit_canon = {
+  ckey : string;
+      (** canonical encoding of the gate sequence (arity and operands
+          only: gate names and parameters do not affect layout
+          synthesis, so they do not affect the key) *)
+  crel : relabeling;  (** program-qubit relabelling *)
+}
+
+val circuit : Olsq2_circuit.Circuit.t -> circuit_canon
+
+(** 64-bit FNV-1a of a string, as 16 hex digits.  Used for request ids
+    and metric labels only — cache equality always compares full keys. *)
+val fingerprint : string -> string
+
+(** Rewrite a result solved on the submitted labelling into canonical
+    space: mappings through both relabelings, swap edges endpoint-wise
+    (re-normalized), schedule untouched (gate ids survive relabelling). *)
+val to_canonical :
+  device:relabeling -> circuit:relabeling -> Olsq2_core.Result_.t -> Olsq2_core.Result_.t
+
+(** Inverse of {!to_canonical} for this request's relabelings: rewrite a
+    cached canonical-space result into the submitted labelling. *)
+val of_canonical :
+  device:relabeling -> circuit:relabeling -> Olsq2_core.Result_.t -> Olsq2_core.Result_.t

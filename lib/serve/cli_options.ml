@@ -1,0 +1,133 @@
+(* Shared Cmdliner vocabulary for the synthesis knobs, so `olsq2 synth`
+   and `olsq2-serve` parse -j/--share/--simplify/--budget/... with one
+   definition — same flag names, same docs, same defaulting — and both
+   lower to the same [Synthesis.Options] value. *)
+
+module Core = Olsq2_core
+open Cmdliner
+
+type common = {
+  budget_seconds : float option;
+  conflict_budget : int option;
+  workers : int option;  (* None: Options.default (OLSQ2_WORKERS or 1) *)
+  share : bool option;
+  cube_depth : int option;
+  config : Core.Config.t;
+  simplify : bool option;
+  certify : bool;
+  proof_file : string option;
+}
+
+let budget_arg =
+  let doc = "Time budget in seconds for the optimization loop." in
+  Arg.(value & opt (some float) None & info [ "b"; "budget" ] ~docv:"SECONDS" ~doc)
+
+let conflict_budget_arg =
+  let doc =
+    "Conflict budget for the optimization loop: total solver conflicts across all bound queries."
+  in
+  Arg.(value & opt (some int) None & info [ "conflict-budget" ] ~docv:"N" ~doc)
+
+let workers_arg =
+  let doc =
+    "Parallelize single bound queries over $(docv) cube-and-conquer worker domains (exact \
+     methods).  1 solves sequentially.  Defaults to $(b,OLSQ2_WORKERS) or 1."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "workers" ] ~docv:"N" ~doc)
+
+let share_arg =
+  let on =
+    let doc =
+      "Share short learnt clauses between parallel solvers: cube-and-conquer workers (default \
+       when $(b,--workers) > 1) and portfolio arms with matching base CNF (off by default).  \
+       Never applied to proof-logging solvers, so $(b,--certify) stays sound."
+    in
+    (Some true, Arg.info [ "share" ] ~doc)
+  in
+  let off =
+    let doc = "Disable learnt-clause sharing everywhere." in
+    (Some false, Arg.info [ "no-share" ] ~doc)
+  in
+  Arg.(value & vflag None [ on; off ])
+
+let cube_depth_arg =
+  let doc =
+    "Split each parallel query on $(docv) variables (2^$(docv) cubes).  Default: smallest depth \
+     giving at least 4 cubes per worker."
+  in
+  Arg.(value & opt (some int) None & info [ "cube-depth" ] ~docv:"K" ~doc)
+
+let config_arg =
+  let configs =
+    [
+      ("olsq-int", Core.Config.olsq_int);
+      ("olsq-bv", Core.Config.olsq_bv);
+      ("olsq2-int", Core.Config.olsq2_int);
+      ("olsq2-euf-int", Core.Config.olsq2_euf_int);
+      ("olsq2-euf-bv", Core.Config.olsq2_euf_bv);
+      ("olsq2-bv", Core.Config.olsq2_bv);
+    ]
+  in
+  let doc = "Encoding configuration (Table I naming)." in
+  Arg.(value & opt (enum configs) Core.Config.default & info [ "c"; "config" ] ~doc)
+
+let simplify_arg =
+  let on =
+    let doc =
+      "Preprocess every built CNF (SatELite-style subsumption + bounded variable elimination) and \
+       inprocess during long solves; proof logging stays checkable.  Exact methods only (olsq2, \
+       portfolio); with $(b,--metrics) the aggregate reduction is reported."
+    in
+    (Some true, Arg.info [ "simplify" ] ~doc)
+  in
+  let off =
+    let doc = "Disable CNF simplification everywhere, including the portfolio's preprocessed arm." in
+    (Some false, Arg.info [ "no-simplify" ] ~doc)
+  in
+  Arg.(value & vflag None [ on; off ])
+
+let certify_arg =
+  let doc =
+    "Certify the optimality claim: re-solve at the optimum with DRAT proof logging, check the \
+     proof with the built-in trusted checker, and validate the model.  Exits nonzero if the \
+     certificate cannot be produced or fails.  Supported for the olsq2 and portfolio methods."
+  in
+  Arg.(value & flag & info [ "certify" ] ~doc)
+
+let proof_arg =
+  let doc = "With $(b,--certify), also write the emitted DRAT proof (text format) to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "proof" ] ~docv:"FILE" ~doc)
+
+let term =
+  let make budget_seconds conflict_budget workers share cube_depth config simplify certify
+      proof_file =
+    {
+      budget_seconds;
+      conflict_budget;
+      workers;
+      share;
+      cube_depth;
+      config;
+      simplify;
+      certify;
+      proof_file;
+    }
+  in
+  Term.(
+    const make $ budget_arg $ conflict_budget_arg $ workers_arg $ share_arg $ cube_depth_arg
+    $ config_arg $ simplify_arg $ certify_arg $ proof_arg)
+
+let budget c =
+  let b = Core.Budget.of_seconds_opt c.budget_seconds in
+  match c.conflict_budget with Some n -> Core.Budget.with_conflicts n b | None -> b
+
+let options c =
+  let cfg = c.config and b = budget c and simplify = c.simplify in
+  let certify = c.certify and proof_file = c.proof_file in
+  let workers = c.workers and share = c.share and cube_depth = c.cube_depth in
+  let open Core.Synthesis.Options in
+  let o = default |> with_config cfg |> with_budget b |> with_certify ?proof_file certify in
+  let o = match simplify with Some b -> with_simplify b o | None -> o in
+  with_workers ?share ?cube_depth
+    (match workers with Some n -> n | None -> o.parallel.workers)
+    o

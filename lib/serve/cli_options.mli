@@ -1,0 +1,27 @@
+(** Shared Cmdliner terms for the synthesis knobs, so [olsq2 synth] and
+    [olsq2-serve] accept identical [-j] / [--share] / [--simplify] /
+    [--budget] / [--conflict-budget] / [--cube-depth] / [-c] /
+    [--certify] / [--proof] flags from one definition. *)
+
+type common = {
+  budget_seconds : float option;
+  conflict_budget : int option;
+  workers : int option;
+      (** [None] defers to {!Olsq2_core.Synthesis.Options.default}
+          (the [OLSQ2_WORKERS] environment variable, or 1) *)
+  share : bool option;
+  cube_depth : int option;
+  config : Olsq2_core.Config.t;
+  simplify : bool option;
+  certify : bool;
+  proof_file : string option;
+}
+
+(** All nine flags as one Cmdliner term. *)
+val term : common Cmdliner.Term.t
+
+(** The wall/conflict budget the flags describe. *)
+val budget : common -> Olsq2_core.Budget.t
+
+(** Lower the parsed flags onto {!Olsq2_core.Synthesis.Options.default}. *)
+val options : common -> Olsq2_core.Synthesis.Options.t

@@ -1,0 +1,181 @@
+(* Minimal HTTP/1.1 over plain [Unix] file descriptors: exactly what the
+   serve daemon needs (request line + headers + Content-Length body, one
+   request per connection, [Connection: close]), and nothing else — no
+   chunked transfer, no keep-alive, no TLS.  The client half exists for
+   the test suite and smoke checks, so in-process load tests need no
+   external HTTP library either. *)
+
+type request = {
+  meth : string;  (* uppercased *)
+  target : string;  (* path, query string included *)
+  headers : (string * string) list;  (* keys lowercased *)
+  body : string;
+}
+
+let max_head_bytes = 64 * 1024
+let max_body_bytes = 8 * 1024 * 1024
+
+(* ---- fd helpers ---- *)
+
+let rec write_all fd s pos len =
+  if len > 0 then begin
+    let n = try Unix.write_substring fd s pos len with Unix.Unix_error (Unix.EINTR, _, _) -> 0 in
+    write_all fd s (pos + n) (len - n)
+  end
+
+let read_some fd buf =
+  let chunk = Bytes.create 8192 in
+  match Unix.read fd chunk 0 (Bytes.length chunk) with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Again
+  | 0 -> `Eof
+  | n ->
+    Buffer.add_subbytes buf chunk 0 n;
+    `Read
+
+(* ---- request parsing ---- *)
+
+let find_head_end s =
+  (* position just past the first CRLFCRLF (or LFLF) *)
+  let n = String.length s in
+  let rec go i =
+    if i + 3 < n && s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n' then
+      Some (i + 4)
+    else if i + 1 < n && s.[i] = '\n' && s.[i + 1] = '\n' then Some (i + 2)
+    else if i + 3 < n then go (i + 1)
+    else None
+  in
+  go 0
+
+let split_lines s =
+  String.split_on_char '\n' s |> List.map (fun l -> String.trim l) |> List.filter (fun l -> l <> "")
+
+let parse_head head =
+  match split_lines head with
+  | [] -> Error "empty request head"
+  | reqline :: header_lines -> (
+    match String.split_on_char ' ' reqline |> List.filter (fun s -> s <> "") with
+    | meth :: target :: _ ->
+      let headers =
+        List.filter_map
+          (fun line ->
+            match String.index_opt line ':' with
+            | None -> None
+            | Some i ->
+              let k = String.lowercase_ascii (String.trim (String.sub line 0 i)) in
+              let v = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+              Some (k, v))
+          header_lines
+      in
+      Ok (String.uppercase_ascii meth, target, headers)
+    | _ -> Error ("malformed request line: " ^ reqline))
+
+let read_request fd =
+  let buf = Buffer.create 1024 in
+  let rec head_loop () =
+    match find_head_end (Buffer.contents buf) with
+    | Some head_end -> Ok head_end
+    | None ->
+      if Buffer.length buf > max_head_bytes then Error "request head too large"
+      else (
+        match read_some fd buf with
+        | `Eof ->
+          if Buffer.length buf = 0 then Error "connection closed before request"
+          else Error "connection closed mid-head"
+        | `Again | `Read -> head_loop ())
+  in
+  match head_loop () with
+  | Error e -> Error e
+  | Ok head_end -> (
+    let all = Buffer.contents buf in
+    match parse_head (String.sub all 0 head_end) with
+    | Error e -> Error e
+    | Ok (meth, target, headers) -> (
+      let content_length =
+        match List.assoc_opt "content-length" headers with
+        | None -> Ok 0
+        | Some v -> (
+          match int_of_string_opt (String.trim v) with
+          | Some n when n >= 0 && n <= max_body_bytes -> Ok n
+          | Some _ -> Error "content-length out of range"
+          | None -> Error "malformed content-length")
+      in
+      match content_length with
+      | Error e -> Error e
+      | Ok want ->
+        let rec body_loop () =
+          if Buffer.length buf - head_end >= want then
+            Ok (String.sub (Buffer.contents buf) head_end want)
+          else (
+            match read_some fd buf with
+            | `Eof -> Error "connection closed mid-body"
+            | `Again | `Read -> body_loop ())
+        in
+        Result.map (fun body -> { meth; target; headers; body }) (body_loop ())))
+
+(* ---- responses ---- *)
+
+let status_text = function
+  | 200 -> "OK"
+  | 202 -> "Accepted"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | c -> if c < 400 then "OK" else "Error"
+
+let write_response fd ~status ?(content_type = "application/json") body =
+  let head =
+    Printf.sprintf
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
+      status (status_text status) content_type (String.length body)
+  in
+  (* a client that hung up mid-response is its problem, not the server's *)
+  try
+    write_all fd head 0 (String.length head);
+    write_all fd body 0 (String.length body)
+  with Unix.Unix_error _ -> ()
+
+(* ---- client (tests and smoke checks) ---- *)
+
+let request ?(host = "127.0.0.1") ~port ~meth ?(body = "") target =
+  match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | fd -> (
+    let finally () = try Unix.close fd with Unix.Unix_error _ -> () in
+    try
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+      let req =
+        Printf.sprintf "%s %s HTTP/1.1\r\nHost: %s:%d\r\nContent-Length: %d\r\n\r\n%s"
+          (String.uppercase_ascii meth) target host port (String.length body) body
+      in
+      write_all fd req 0 (String.length req);
+      (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+      let buf = Buffer.create 1024 in
+      let rec drain () =
+        match read_some fd buf with `Eof -> () | `Again | `Read -> drain ()
+      in
+      drain ();
+      finally ();
+      let raw = Buffer.contents buf in
+      match find_head_end raw with
+      | None -> Error "malformed response (no header terminator)"
+      | Some head_end -> (
+        let body = String.sub raw head_end (String.length raw - head_end) in
+        match split_lines (String.sub raw 0 head_end) with
+        | status_line :: _ -> (
+          match String.split_on_char ' ' status_line with
+          | _ :: code :: _ -> (
+            match int_of_string_opt code with
+            | Some c -> Ok (c, body)
+            | None -> Error ("malformed status line: " ^ status_line))
+          | _ -> Error ("malformed status line: " ^ status_line))
+        | [] -> Error "empty response head")
+    with
+    | Unix.Unix_error (e, fn, _) ->
+      finally ();
+      Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+    | exn ->
+      finally ();
+      Error (Printexc.to_string exn))

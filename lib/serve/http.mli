@@ -1,0 +1,32 @@
+(** Minimal HTTP/1.1 over plain [Unix] file descriptors — just enough for
+    the serve daemon and its tests: request line + headers +
+    [Content-Length] body, one request per connection, [Connection:
+    close].  No chunked transfer, no keep-alive, no TLS, no external
+    dependencies. *)
+
+type request = {
+  meth : string;  (** uppercased, e.g. ["GET"] *)
+  target : string;  (** request path, query string included *)
+  headers : (string * string) list;  (** keys lowercased *)
+  body : string;
+}
+
+(** Read one request from a connected socket.  Enforces a 64 KiB head cap
+    and an 8 MiB body cap; [Error] describes the protocol violation. *)
+val read_request : Unix.file_descr -> (request, string) result
+
+(** Write a complete response (status line, [Content-Type],
+    [Content-Length], [Connection: close], body).  Write errors from a
+    client that already hung up are swallowed. *)
+val write_response :
+  Unix.file_descr -> status:int -> ?content_type:string -> string -> unit
+
+(** Blocking one-shot client for tests and smoke checks: connect, send
+    [meth target] with [body], read to EOF, return [(status, body)]. *)
+val request :
+  ?host:string ->
+  port:int ->
+  meth:string ->
+  ?body:string ->
+  string ->
+  (int * string, string) result

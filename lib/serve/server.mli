@@ -1,0 +1,51 @@
+(** The olsq2-serve daemon: layout synthesis as a service.
+
+    HTTP/1.1 + JSON over plain [Unix] sockets.  Endpoints:
+
+    - [POST /synthesize] — synchronous: body per README "Serving"
+      (circuit, device, objective, serialized {!Olsq2_core.Synthesis.Options});
+      responds when the run finishes (or is answered from cache).
+    - [POST /jobs] — asynchronous: [202] with a job id immediately.
+    - [GET /jobs/ID] — job state, or the finished response verbatim.
+    - [GET /healthz], [GET /metrics] (Prometheus text),
+      [GET /stats] (JSON).
+
+    Requests run on a persistent worker-domain pool; each run's budget
+    carries a preemption control that a watchdog domain fires (via
+    {!Olsq2_core.Budget.preempt}, which interrupts the SAT solver
+    mid-search) when the wall budget is overrun.  Proven-optimal results
+    are cached under {!Canonical} keys, so isomorphic resubmissions —
+    including relabelled ones — are answered without solving. *)
+
+type config = {
+  host : string;
+  port : int;  (** [0] binds an ephemeral port (tests); see {!port} *)
+  pool_workers : int;  (** synthesis worker domains *)
+  handlers : int;  (** connection handler domains *)
+  cache_capacity : int;
+  default_options : Olsq2_core.Synthesis.Options.t;
+      (** applied to requests that carry no ["options"] object; its wall
+          budget additionally backstops requests whose own options have
+          none *)
+  verbose : bool;  (** log request lifecycle on stderr *)
+}
+
+(** 127.0.0.1:8265, 1 worker, 2 handlers, cache 256, library default
+    options. *)
+val default_config : config
+
+type t
+
+(** Bind, listen, spawn handler/worker/watchdog domains, and return
+    immediately.  Also ignores [SIGPIPE] process-wide (a client hangup
+    must not kill the daemon). *)
+val start : config -> t
+
+(** The actually bound port (== [config.port] unless it was [0]). *)
+val port : t -> int
+
+(** Graceful shutdown: preempt running jobs, drain the queue, join every
+    domain.  Idempotent. *)
+val stop : t -> unit
+
+val cache_stats : t -> Cache.stats

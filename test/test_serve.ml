@@ -1,0 +1,575 @@
+(* lib/serve tests: canonicalization invariance properties, the result
+   cache, HTTP framing, the Options JSON codec, preemption, and an
+   in-process end-to-end concurrent load test against a live server. *)
+
+module Q = QCheck
+module Serve = Olsq2_serve
+module Http = Serve.Http
+module Canonical = Serve.Canonical
+module Cache = Serve.Cache
+module Server = Serve.Server
+module Core = Olsq2_core
+module Budget = Core.Budget
+module Synthesis = Core.Synthesis
+module Options = Core.Synthesis.Options
+module Result_ = Core.Result_
+module Circuit = Olsq2_circuit.Circuit
+module Gate = Olsq2_circuit.Gate
+module Coupling = Olsq2_device.Coupling
+module Devices = Olsq2_device.Devices
+module Suite = Olsq2_benchgen.Suite
+module Json = Olsq2_obs.Obs.Json
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+
+(* ---- generators ---- *)
+
+let permutation st n =
+  let a = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a
+
+let configs =
+  [
+    Core.Config.olsq_int; Core.Config.olsq_bv; Core.Config.olsq2_int; Core.Config.olsq2_euf_int;
+    Core.Config.olsq2_euf_bv; Core.Config.olsq2_bv;
+  ]
+
+let options_gen =
+  Q.Gen.(
+    let* config = oneofl configs in
+    let* simplify = oneofl [ None; Some true; Some false ] in
+    let* wall = oneofl [ None; Some 1.5; Some 60. ] in
+    let* conflicts = oneofl [ None; Some 1000 ] in
+    let* per_bound = oneofl [ None; Some 0.25 ] in
+    let* certify = bool in
+    let* proof_file = oneofl [ None; Some "out.drat" ] in
+    let* workers = 1 -- 4 in
+    let* share = bool in
+    let* cube_depth = oneofl [ None; Some 2 ] in
+    return
+      {
+        Options.config;
+        simplify;
+        budget =
+          {
+            Budget.wall_seconds = wall;
+            max_conflicts = conflicts;
+            per_bound_seconds = per_bound;
+            control = None;
+          };
+        certify;
+        proof_file;
+        parallel = { Options.workers; share; cube_depth };
+      })
+
+let options_arbitrary =
+  Q.make ~print:(fun o -> Json.to_string (Options.to_json o)) options_gen
+
+(* ---- Options JSON codec ---- *)
+
+let options_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (Q.Test.make ~name:"Options.of_json inverts to_json (through text)" ~count:200
+       options_arbitrary (fun o ->
+         let text = Json.to_string (Options.to_json o) in
+         match Result.bind (Json.parse text) Options.of_json with
+         | Ok o' -> Options.equal o o'
+         | Error m -> Q.Test.fail_reportf "decode failed: %s on %s" m text))
+
+let test_options_partial () =
+  (* missing keys take the default's values *)
+  match Options.of_assoc [ ("certify", Json.Bool true) ] with
+  | Error m -> Alcotest.failf "partial decode failed: %s" m
+  | Ok o ->
+    checkb "certify" true o.Options.certify;
+    checkb "rest defaults" true (Options.equal { Options.default with certify = true } o)
+
+let test_options_bad () =
+  let bad body =
+    match Result.bind (Json.parse body) Options.of_json with
+    | Ok _ -> Alcotest.failf "accepted %s" body
+    | Error _ -> ()
+  in
+  bad "[1,2]";
+  bad {|{"parallel":{"workers":0}}|};
+  bad {|{"budget":{"wall_seconds":-2}}|};
+  bad {|{"config":{"cardinality":"maybe"}}|}
+
+(* ---- canonicalization ---- *)
+
+let small_devices () =
+  [ Devices.line 5; Devices.ring 6; Devices.grid 2 3; Devices.qx2; Devices.grid 3 3 ]
+
+let permute_device st (d : Coupling.t) =
+  let p = permutation st d.Coupling.num_qubits in
+  Coupling.make ~name:"perm" ~num_qubits:d.Coupling.num_qubits
+    (Array.to_list d.Coupling.edges |> List.map (fun (a, b) -> (p.(a), p.(b))))
+
+let canonical_device_invariant =
+  QCheck_alcotest.to_alcotest
+    (Q.Test.make ~name:"Canonical.device is permutation-invariant" ~count:60 Q.small_int
+       (fun seed ->
+         let st = Random.State.make [| seed |] in
+         List.for_all
+           (fun d ->
+             let k = (Canonical.device d).Canonical.dkey in
+             let k' = (Canonical.device (permute_device st d)).Canonical.dkey in
+             if k <> k' then
+               Q.Test.fail_reportf "device %s: %s <> %s" d.Coupling.name k k'
+             else true)
+           (small_devices ())))
+
+let canonical_circuit_invariant =
+  QCheck_alcotest.to_alcotest
+    (Q.Test.make ~name:"Canonical.circuit is relabelling-invariant" ~count:60 Q.small_int
+       (fun seed ->
+         let st = Random.State.make [| seed + 1 |] in
+         List.for_all
+           (fun spec ->
+             let c = Suite.parse_spec spec in
+             let p = permutation st c.Circuit.num_qubits in
+             let c' = Circuit.rename_qubits c ~num_qubits:c.Circuit.num_qubits (fun q -> p.(q)) in
+             let k = (Canonical.circuit c).Canonical.ckey in
+             let k' = (Canonical.circuit c').Canonical.ckey in
+             if k <> k' then Q.Test.fail_reportf "%s: %s <> %s" spec k k' else true)
+           [ "qaoa:6:1"; "qaoa:6:2"; "qft:4"; "ising:5"; "tof:3" ]))
+
+let test_canonical_distinguishes () =
+  (* different structures must produce different keys *)
+  let k spec = (Canonical.circuit (Suite.parse_spec spec)).Canonical.ckey in
+  checkb "qft4 <> qaoa4" true (k "qft:4" <> k "qaoa:4:1");
+  let dk d = (Canonical.device d).Canonical.dkey in
+  checkb "line <> ring" true (dk (Devices.line 6) <> dk (Devices.ring 6));
+  checkb "grid <> ring" true (dk (Devices.grid 2 3) <> dk (Devices.ring 6))
+
+let test_translate_roundtrip () =
+  let device = Devices.qx2 in
+  let circuit = Suite.parse_spec "qaoa:4:1" in
+  let instance = Core.Instance.make ~swap_duration:1 circuit device in
+  let report = Synthesis.run ~objective:(Synthesis.Swaps { warm_start = None }) instance in
+  let r = Option.get report.Synthesis.result in
+  let { Canonical.drel; _ } = Canonical.device device in
+  let { Canonical.crel; _ } = Canonical.circuit circuit in
+  let r' =
+    Canonical.of_canonical ~device:drel ~circuit:crel
+      (Canonical.to_canonical ~device:drel ~circuit:crel r)
+  in
+  checkb "mapping survives round trip" true (r.Result_.mapping = r'.Result_.mapping);
+  checkb "swaps survive round trip" true (r.Result_.swaps = r'.Result_.swaps);
+  checkb "schedule untouched" true (r.Result_.schedule = r'.Result_.schedule)
+
+(* ---- cache ---- *)
+
+let test_cache () =
+  let c = Cache.create ~capacity:2 in
+  checkb "miss on empty" true (Cache.find c "a" = None);
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  checkb "hit a" true (Cache.find c "a" = Some 1);
+  Cache.add c "a" 99;
+  checkb "first write wins" true (Cache.find c "a" = Some 1);
+  Cache.add c "c" 3;
+  (* capacity 2: oldest key (a) evicted *)
+  checkb "a evicted" true (Cache.find c "a" = None);
+  checkb "b kept" true (Cache.find c "b" = Some 2);
+  checkb "c kept" true (Cache.find c "c" = Some 3);
+  let s = Cache.stats c in
+  check Alcotest.int "size" 2 s.Cache.size;
+  check Alcotest.int "evictions" 1 s.Cache.evictions;
+  check Alcotest.int "hits" 4 s.Cache.hits;
+  check Alcotest.int "misses" 2 s.Cache.misses
+
+(* ---- HTTP framing ---- *)
+
+let test_http_parse () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with _ -> ());
+      try Unix.close b with _ -> ())
+    (fun () ->
+      let body = {|{"x":1}|} in
+      let raw =
+        Printf.sprintf
+          "POST /synthesize?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: %d\r\nX-Extra: v\r\n\r\n%s"
+          (String.length body) body
+      in
+      let _ = Unix.write_substring a raw 0 (String.length raw) in
+      match Http.read_request b with
+      | Error m -> Alcotest.failf "parse failed: %s" m
+      | Ok req ->
+        check Alcotest.string "method" "POST" req.Http.meth;
+        check Alcotest.string "target" "/synthesize?x=1" req.Http.target;
+        check Alcotest.string "body" body req.Http.body;
+        checkb "header" true (List.assoc_opt "x-extra" req.Http.headers = Some "v"))
+
+let test_http_bad_length () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with _ -> ());
+      try Unix.close b with _ -> ())
+    (fun () ->
+      let raw = "POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n" in
+      let _ = Unix.write_substring a raw 0 (String.length raw) in
+      match Http.read_request b with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "accepted malformed content-length")
+
+(* ---- preemption ---- *)
+
+let test_preempt_before_start () =
+  let ctl = Budget.control () in
+  Budget.preempt ctl;
+  let options =
+    Options.default
+    |> Options.with_budget (Budget.with_control ctl (Budget.of_seconds 60.))
+  in
+  let instance = Core.Instance.make (Suite.parse_spec "qft:4") (Devices.qx2) in
+  let t0 = Unix.gettimeofday () in
+  let report = Synthesis.run ~options ~objective:Synthesis.Depth instance in
+  checkb "not optimal when preempted up front" false report.Synthesis.optimal;
+  checkb "returns promptly" true (Unix.gettimeofday () -. t0 < 30.)
+
+let test_preempt_mid_run () =
+  let ctl = Budget.control () in
+  let options =
+    Options.default
+    |> Options.with_budget (Budget.with_control ctl (Budget.of_seconds 60.))
+  in
+  let instance = Core.Instance.make (Suite.parse_spec "qft:5") (Devices.qx2) in
+  let worker =
+    Domain.spawn (fun () -> Synthesis.run ~options ~objective:Synthesis.Depth instance)
+  in
+  Unix.sleepf 0.3;
+  Budget.preempt ctl;
+  let t0 = Unix.gettimeofday () in
+  let _report = Domain.join worker in
+  (* the interrupt must cut the solve short; allow slack for this box *)
+  checkb "join after preempt is prompt" true (Unix.gettimeofday () -. t0 < 30.)
+
+(* ---- end-to-end against a live in-process server ---- *)
+
+let with_server ?(pool = 2) ?(handlers = 3) f =
+  let cfg =
+    { Server.default_config with Server.port = 0; pool_workers = pool; handlers }
+  in
+  let s = Server.start cfg in
+  Fun.protect ~finally:(fun () -> Server.stop s) (fun () -> f s (Server.port s))
+
+let post port path body =
+  match Http.request ~port ~meth:"POST" ~body path with
+  | Ok r -> r
+  | Error m -> Alcotest.failf "POST %s failed: %s" path m
+
+let get port path =
+  match Http.request ~port ~meth:"GET" path with
+  | Ok r -> r
+  | Error m -> Alcotest.failf "GET %s failed: %s" path m
+
+let member name j =
+  match Json.member name j with Some v -> v | None -> Alcotest.failf "missing field %s" name
+
+let as_num = function Json.Num f -> f | _ -> Alcotest.fail "expected number"
+let as_int j = int_of_float (as_num j)
+
+let parse_json body =
+  match Json.parse body with Ok j -> j | Error m -> Alcotest.failf "bad JSON: %s (%s)" m body
+
+(* rebuild a Result_.t from a response so Validate can check it against
+   the submitted instance *)
+let result_of_json j =
+  let status =
+    match member "status" j with
+    | Json.Str "optimal" -> Result_.Optimal
+    | Json.Str "feasible" -> Result_.Feasible
+    | _ -> Result_.Timeout
+  in
+  let int_array j =
+    match j with
+    | Json.Arr l -> Array.of_list (List.map as_int l)
+    | _ -> Alcotest.fail "expected array"
+  in
+  let mapping =
+    match member "mapping" j with
+    | Json.Arr rows -> Array.of_list (List.map int_array rows)
+    | _ -> Alcotest.fail "expected mapping rows"
+  in
+  let swaps =
+    match member "swaps" j with
+    | Json.Arr l ->
+      List.map
+        (fun s ->
+          match member "edge" s with
+          | Json.Arr [ a; b ] ->
+            { Result_.sw_edge = (as_int a, as_int b); sw_finish = as_int (member "finish" s) }
+          | _ -> Alcotest.fail "expected edge pair")
+        l
+    | _ -> Alcotest.fail "expected swaps"
+  in
+  {
+    Result_.status;
+    depth = as_int (member "depth" j);
+    swap_count = as_int (member "swap_count" j);
+    mapping;
+    schedule = int_array (member "schedule" j);
+    swaps;
+    solve_seconds = 0.;
+    iterations = 0;
+  }
+
+(* a workload item: request body, the instance it describes (for
+   validation), the objective tag, and the expected optimum *)
+type load_case = {
+  lc_name : string;
+  lc_body : string;
+  lc_instance : Core.Instance.t;
+  lc_value : [ `Depth | `Swaps ];
+  lc_expected : int;
+}
+
+let spec_case ~name ~spec ~device_name ~objective ~value =
+  let device = Devices.by_name device_name in
+  let circuit = Suite.parse_spec ~device spec in
+  let instance =
+    Core.Instance.make ~swap_duration:(Suite.swap_duration_for circuit) circuit device
+  in
+  let report = Synthesis.run ~objective instance in
+  let r = Option.get report.Synthesis.result in
+  let expected = match value with `Depth -> r.Result_.depth | `Swaps -> r.Result_.swap_count in
+  assert report.Synthesis.optimal;
+  let tag =
+    match objective with
+    | Synthesis.Depth -> "depth"
+    | Synthesis.Swaps _ -> "swaps"
+    | Synthesis.Tb_blocks -> "tb_blocks"
+    | Synthesis.Tb_swaps -> "tb_swaps"
+    | Synthesis.Weighted_swaps _ -> "weighted_swaps"
+  in
+  {
+    lc_name = name;
+    lc_body =
+      Json.to_string
+        (Json.Obj
+           [
+             ("circuit", Json.Str spec);
+             ("device", Json.Str device_name);
+             ("objective", Json.Str tag);
+           ]);
+    lc_instance = instance;
+    lc_value = value;
+    lc_expected = expected;
+  }
+
+(* the same problem as [base], resubmitted with permuted program qubits
+   and permuted device labels, as explicit gate/edge lists *)
+let relabeled_case st ~name ~spec ~device_name ~objective_tag ~value base =
+  let device = Devices.by_name device_name in
+  let circuit = Suite.parse_spec ~device spec in
+  let sd = Suite.swap_duration_for circuit in
+  let pc = permutation st circuit.Circuit.num_qubits in
+  let pd = permutation st device.Coupling.num_qubits in
+  let circuit' =
+    Circuit.rename_qubits circuit ~num_qubits:circuit.Circuit.num_qubits (fun q -> pc.(q))
+  in
+  let device' =
+    Coupling.make ~name:"relabel" ~num_qubits:device.Coupling.num_qubits
+      (Array.to_list device.Coupling.edges |> List.map (fun (a, b) -> (pd.(a), pd.(b))))
+  in
+  let gates =
+    Array.to_list circuit'.Circuit.gates
+    |> List.map (fun (g : Gate.t) ->
+         let ops =
+           match g.Gate.operands with
+           | Gate.One q -> [ Json.Num (float_of_int q) ]
+           | Gate.Two (a, b) -> [ Json.Num (float_of_int a); Json.Num (float_of_int b) ]
+         in
+         Json.Arr (Json.Str g.Gate.name :: ops))
+  in
+  let edges =
+    Array.to_list device'.Coupling.edges
+    |> List.map (fun (a, b) ->
+         Json.Arr [ Json.Num (float_of_int a); Json.Num (float_of_int b) ])
+  in
+  {
+    lc_name = name;
+    lc_body =
+      Json.to_string
+        (Json.Obj
+           [
+             ( "circuit",
+               Json.Obj
+                 [
+                   ("num_qubits", Json.Num (float_of_int circuit'.Circuit.num_qubits));
+                   ("gates", Json.Arr gates);
+                 ] );
+             ( "device",
+               Json.Obj
+                 [
+                   ("num_qubits", Json.Num (float_of_int device'.Coupling.num_qubits));
+                   ("edges", Json.Arr edges);
+                 ] );
+             ("objective", Json.Str objective_tag);
+             ("swap_duration", Json.Num (float_of_int sd));
+           ]);
+    lc_instance = Core.Instance.make ~swap_duration:sd circuit' device';
+    lc_value = value;
+    lc_expected = base.lc_expected;
+  }
+
+let check_load_response case (status, body) =
+  check Alcotest.int (case.lc_name ^ " status") 200 status;
+  let j = parse_json body in
+  checkb (case.lc_name ^ " optimal") true (member "optimal" j = Json.Bool true);
+  let r = result_of_json (member "result" j) in
+  let got = match case.lc_value with `Depth -> r.Result_.depth | `Swaps -> r.Result_.swap_count in
+  check Alcotest.int (case.lc_name ^ " optimum") case.lc_expected got;
+  match Core.Validate.check case.lc_instance r with
+  | [] -> ()
+  | vs ->
+    Alcotest.failf "%s: %d validation violations, first: %s" case.lc_name (List.length vs)
+      (Core.Validate.violation_to_string (List.hd vs))
+
+let test_end_to_end () =
+  let st = Random.State.make [| 0x5e21e |] in
+  (* sequential ground truth first: every unique problem solved in-process *)
+  let swaps = Synthesis.Swaps { warm_start = None } in
+  let u1 = spec_case ~name:"qaoa4s1" ~spec:"qaoa:4:1" ~device_name:"qx2" ~objective:swaps ~value:`Swaps in
+  let u2 = spec_case ~name:"qaoa4s2" ~spec:"qaoa:4:2" ~device_name:"qx2" ~objective:swaps ~value:`Swaps in
+  let u3 = spec_case ~name:"qft3" ~spec:"qft:3" ~device_name:"qx2" ~objective:Synthesis.Depth ~value:`Depth in
+  let u4 = spec_case ~name:"ising4" ~spec:"ising:4" ~device_name:"grid-2x3" ~objective:Synthesis.Depth ~value:`Depth in
+  let u5 = spec_case ~name:"qft4" ~spec:"qft:4" ~device_name:"qx2" ~objective:swaps ~value:`Swaps in
+  let uniques = [ u1; u2; u3; u4; u5 ] in
+  let relabeled =
+    List.init 3 (fun i ->
+        relabeled_case st
+          ~name:(Printf.sprintf "qaoa4s1-relabel%d" i)
+          ~spec:"qaoa:4:1" ~device_name:"qx2" ~objective_tag:"swaps" ~value:`Swaps u1)
+  in
+  (* 5 uniques x 20 copies + 3 relabelings x 2 copies = 106 requests *)
+  let workload =
+    List.concat_map (fun c -> List.init 20 (fun _ -> c)) uniques
+    @ List.concat_map (fun c -> [ c; c ]) relabeled
+  in
+  (* deterministic shuffle so duplicates interleave across clients *)
+  let workload =
+    List.map (fun c -> (Random.State.bits st, c)) workload
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map snd
+  in
+  let n_clients = 4 in
+  with_server ~pool:2 ~handlers:3 (fun server port ->
+      let slices = Array.make n_clients [] in
+      List.iteri (fun i c -> slices.(i mod n_clients) <- c :: slices.(i mod n_clients)) workload;
+      let clients =
+        Array.to_list slices
+        |> List.map (fun slice ->
+             Domain.spawn (fun () ->
+                 List.map (fun c -> (c, Http.request ~port ~meth:"POST" ~body:c.lc_body "/synthesize")) slice))
+      in
+      let responses = List.concat_map Domain.join clients in
+      check Alcotest.int "all requests answered" (List.length workload) (List.length responses);
+      List.iter
+        (fun (c, resp) ->
+          match resp with
+          | Error m -> Alcotest.failf "%s: transport error %s" c.lc_name m
+          | Ok r -> check_load_response c r)
+        responses;
+      let s = Server.cache_stats server in
+      checkb "cache was hit" true (s.Cache.hits > 0);
+      (* with 2 workers at most a handful of duplicates can race the
+         first solve of their key; everything else must hit *)
+      checkb
+        (Printf.sprintf "cache hit rate (hits=%d misses=%d)" s.Cache.hits s.Cache.misses)
+        true
+        (s.Cache.hits >= 60);
+      (* relabeled resubmissions landed on the canonical entry: strictly
+         fewer misses than distinct submitted bodies *)
+      checkb "relabeled submissions shared keys" true (s.Cache.misses <= 5 + 3 + 10);
+      (* metrics endpoint exposes the same counters *)
+      let status, metrics = get port "/metrics" in
+      check Alcotest.int "/metrics status" 200 status;
+      checkb "metrics mention cache hits" true
+        (let needle = "olsq2_serve_cache_hits_total" in
+         let rec find i =
+           i + String.length needle <= String.length metrics
+           && (String.sub metrics i (String.length needle) = needle || find (i + 1))
+         in
+         find 0))
+
+let test_async_jobs () =
+  with_server ~pool:1 ~handlers:2 (fun _server port ->
+      let status, body =
+        post port "/jobs"
+          {|{"circuit":"qaoa:4:1","device":"qx2","objective":"swaps"}|}
+      in
+      check Alcotest.int "202 accepted" 202 status;
+      let id = match member "request_id" (parse_json body) with
+        | Json.Str s -> s
+        | _ -> Alcotest.fail "job id missing"
+      in
+      let rec poll tries =
+        if tries = 0 then Alcotest.fail "job never finished"
+        else begin
+          let status, body = get port ("/jobs/" ^ id) in
+          check Alcotest.int "poll status" 200 status;
+          let j = parse_json body in
+          match Json.member "state" j with
+          | Some (Json.Str ("queued" | "running")) ->
+            Unix.sleepf 0.2;
+            poll (tries - 1)
+          | _ -> checkb "finished optimal" true (member "optimal" j = Json.Bool true)
+        end
+      in
+      poll 300;
+      let status, _ = get port "/jobs/nosuch" in
+      check Alcotest.int "unknown job is 404" 404 status;
+      let status, _ = get port "/nosuch" in
+      check Alcotest.int "unknown endpoint is 404" 404 status;
+      let status, _ = post port "/synthesize" "{not json" in
+      check Alcotest.int "bad body is 400" 400 status)
+
+let test_server_budget () =
+  with_server ~pool:1 ~handlers:2 (fun _server port ->
+      (* a tiny wall budget on a nontrivial instance: the run must come
+         back promptly and unproven rather than hang *)
+      let t0 = Unix.gettimeofday () in
+      let status, body =
+        post port "/synthesize"
+          {|{"circuit":"qft:6","device":"grid-2x3","objective":"depth",
+             "options":{"budget":{"wall_seconds":0.2}}}|}
+      in
+      check Alcotest.int "budgeted status" 200 status;
+      checkb "budgeted run returns promptly" true (Unix.gettimeofday () -. t0 < 60.);
+      let j = parse_json body in
+      checkb "not proven optimal under 0.2s budget" true
+        (member "optimal" j = Json.Bool false))
+
+let suite =
+  [
+    ( "serve",
+      [
+        options_roundtrip;
+        Alcotest.test_case "Options partial decode" `Quick test_options_partial;
+        Alcotest.test_case "Options rejects malformed" `Quick test_options_bad;
+        canonical_device_invariant;
+        canonical_circuit_invariant;
+        Alcotest.test_case "canonical keys distinguish structures" `Quick test_canonical_distinguishes;
+        Alcotest.test_case "result translation round trip" `Quick test_translate_roundtrip;
+        Alcotest.test_case "cache eviction and stats" `Quick test_cache;
+        Alcotest.test_case "http request parsing" `Quick test_http_parse;
+        Alcotest.test_case "http rejects bad content-length" `Quick test_http_bad_length;
+        Alcotest.test_case "preempt before start" `Quick test_preempt_before_start;
+        Alcotest.test_case "preempt mid-run" `Slow test_preempt_mid_run;
+        Alcotest.test_case "end-to-end concurrent load" `Slow test_end_to_end;
+        Alcotest.test_case "async jobs" `Slow test_async_jobs;
+        Alcotest.test_case "server honors wall budget" `Slow test_server_budget;
+      ] );
+  ]
