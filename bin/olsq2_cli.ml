@@ -34,7 +34,11 @@ let circuit_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
 
 let device_arg =
-  let doc = "Target device: qx2, aspen-4, sycamore, eagle, or grid-RxC." in
+  let doc =
+    "Target device: a built-in name (qx2, aspen-4, sycamore, eagle, osprey) or a generator \
+     pattern (heavy-hex-127, heavy-hex-RxC, grid-RxC, torus-RxC, sycamore-RxC, line-N, ring-N); \
+     `olsq2 devices` lists all of them."
+  in
   Arg.(value & opt string "qx2" & info [ "d"; "device" ] ~docv:"DEVICE" ~doc)
 
 let swap_duration_arg =
@@ -208,7 +212,9 @@ let run_synth circuit_spec device_name (common : Cli_options.common) swap_durati
         | _, `Depth -> Core.Synthesis.Tb_blocks
         | _, `Swap -> Core.Synthesis.Tb_swaps
       in
-      let options = Cli_options.options common in
+      let options =
+        Cli_options.options common |> Core.Synthesis.Options.with_device device_name
+      in
       let r = Core.Synthesis.run ~options ~objective:synth_objective instance in
       (match (method_, r.Core.Synthesis.pareto) with
       | `Tb, (blocks, _) :: _ -> Printf.printf "blocks used: %d\n" blocks
@@ -339,6 +345,11 @@ let run_devices () =
       Printf.printf "%-10s %3d qubits  %3d edges  diameter %d\n" name d.Coupling.num_qubits
         (Coupling.num_edges d) (Coupling.diameter d))
     Devices.all_names;
+  print_newline ();
+  Printf.printf "generator patterns:\n";
+  List.iter
+    (fun (pattern, descr) -> Printf.printf "  %-14s %s\n" pattern descr)
+    Devices.name_patterns;
   0
 
 let devices_cmd =

@@ -122,6 +122,29 @@ let ising ~qubits ~steps =
   done;
   Circuit.build b ~name:(Printf.sprintf "ising_%d" qubits)
 
+(* ---- brickwork ---- *)
+
+(* Two-layer brickwork of CX gates: CX(0,1) CX(2,3) ... then CX(1,2)
+   CX(3,4) ...  Nearest-neighbor by construction, so any device with a
+   long enough induced path executes it at depth 2 with 0 SWAPs — a
+   wide-but-shallow routing benchmark whose optimum is known, used as
+   the 100+ qubit scaling showcase (heavy-hex devices have Hamiltonian
+   paths through every row). *)
+let brickwork n =
+  if n < 2 then invalid_arg "Standard.brickwork: need at least 2 qubits";
+  let b = Circuit.builder n in
+  let q = ref 0 in
+  while !q + 1 < n do
+    Circuit.add2 b "cx" !q (!q + 1);
+    q := !q + 2
+  done;
+  q := 1;
+  while !q + 1 < n do
+    Circuit.add2 b "cx" !q (!q + 1);
+    q := !q + 2
+  done;
+  Circuit.build b ~name:(Printf.sprintf "brick_%d" n)
+
 (* Toffoli with one ancilla (paper Fig. 2): the running example. *)
 let toffoli_example () =
   let b = Circuit.builder 4 in

@@ -17,5 +17,11 @@ val barenco_tof : int -> Circuit.t
 (** Trotterized 1D transverse-field Ising evolution. *)
 val ising : qubits:int -> steps:int -> Circuit.t
 
+(** [brickwork n]: two staggered layers of nearest-neighbor CX gates over
+    [n] qubits (CX(0,1) CX(2,3)... then CX(1,2) CX(3,4)...).  Optimal
+    depth 2 with 0 SWAPs on any device containing an [n]-qubit induced
+    path — the wide-but-shallow 100+ qubit scaling benchmark. *)
+val brickwork : int -> Circuit.t
+
 (** The 15-gate Toffoli-with-ancilla running example (paper Fig. 2). *)
 val toffoli_example : unit -> Circuit.t

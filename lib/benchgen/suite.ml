@@ -7,6 +7,7 @@
      tof:<k>                    k-controlled Toffoli ladder (2k-1 qubits)
      barenco_tof:<k>            Barenco-style ladder
      ising:<n>[:<steps>]        trotterized Ising chain
+     brick:<n>                  2-layer CX brickwork, n qubits
      toffoli                    the 15-gate running example
      queko:<depth>:<gates>[:<seed>]   QUEKO on the target device
      file:<path>                OpenQASM 2 file
@@ -32,6 +33,7 @@ let parse_spec ?device spec =
   | "tof" :: _ -> Standard.tof (int_at 1 3)
   | "barenco_tof" :: _ -> Standard.barenco_tof (int_at 1 3)
   | "ising" :: _ -> Standard.ising ~qubits:(int_at 1 10) ~steps:(int_at 2 25)
+  | "brick" :: _ -> Standard.brickwork (int_at 1 8)
   | [ "toffoli" ] -> Standard.toffoli_example ()
   | "queko" :: _ -> (
     match device with

@@ -49,8 +49,12 @@ let objective_to_string = function
   | Swaps_at_depth d -> Printf.sprintf "swaps@depth<=%d" d
 
 (* The checker cannot replay theory lemmas, so certification always runs a
-   pure-CNF encoding; the certified claim is about the instance. *)
+   pure-CNF encoding; the certified claim is about the instance.  Symmetry
+   breaking is stripped too: a DRAT refutation of the orbit-restricted CNF
+   certifies only the restricted problem, and the checker has no way to
+   replay the automorphism argument that lifts it to the full one. *)
 let pure_sat_config (config : Config.t) =
+  let config = { config with Config.symmetry = false } in
   match config.Config.var_encoding with
   | Config.Lazy_int -> { config with Config.var_encoding = Config.Binary }
   | Config.Onehot | Config.Binary -> config

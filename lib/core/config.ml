@@ -40,6 +40,12 @@ type t = {
       (* SatELite-style preprocessing + restart-time inprocessing of the
          CNF (lib/simplify); ignored by the Lazy_int arm, whose clause set
          grows through CEGAR refinement *)
+  symmetry : bool;
+      (* coupling-graph symmetry breaking: restrict the first two-qubit
+         gate to automorphism-orbit representative edges (lib/device
+         Symmetry).  Optimality-preserving for depth and SWAP count,
+         unsound for weighted-SWAP objectives -- those callers must
+         disable it. *)
 }
 
 let default =
@@ -49,6 +55,7 @@ let default =
     injectivity = Pairwise;
     cardinality = Seq_counter;
     simplify = false;
+    symmetry = false;
   }
 
 let olsq_int = { default with formulation = Olsq; var_encoding = Lazy_int }
@@ -90,6 +97,7 @@ let to_assoc c =
       | Totalizer -> "totalizer"
       | Adder -> "adder" );
     ("simplify", string_of_bool c.simplify);
+    ("symmetry", string_of_bool c.symmetry);
   ]
 
 (* Inverse of [to_assoc].  Missing keys take [default]'s value, so a wire
@@ -134,7 +142,10 @@ let of_assoc assoc =
   let* simplify =
     field "simplify" ~default:default.simplify ~of_string:bool_of_string_opt
   in
-  Ok { formulation; var_encoding; injectivity; cardinality; simplify }
+  let* symmetry =
+    field "symmetry" ~default:default.symmetry ~of_string:bool_of_string_opt
+  in
+  Ok { formulation; var_encoding; injectivity; cardinality; simplify; symmetry }
 
 let table1_configs =
   [ olsq_int; olsq_bv; olsq2_int; olsq2_euf_int; olsq2_euf_bv; olsq2_bv ]

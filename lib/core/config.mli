@@ -35,6 +35,14 @@ type t = {
           plus restart-time inprocessing — {!Olsq2_simplify.Simplify}.
           Ignored by the [Lazy_int] arm, whose clause set grows through
           CEGAR refinement.  Default [false]. *)
+  symmetry : bool;
+      (** break coupling-graph symmetry by restricting the first
+          two-qubit gate to automorphism-orbit representative edges
+          ({!Olsq2_device.Symmetry.edge_orbits}).  Optimality-preserving
+          for depth and SWAP-count objectives; NOT sound for
+          weighted-SWAP objectives (distinct orbit members can carry
+          different weights), so weighted callers must disable it.
+          Default [false]. *)
 }
 
 (** OLSQ2(bv) with CNF cardinality: the paper's best configuration. *)

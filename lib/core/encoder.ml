@@ -34,6 +34,7 @@ module Circuit = Olsq2_circuit.Circuit
 module Gate = Olsq2_circuit.Gate
 module Dag = Olsq2_circuit.Dag
 module Coupling = Olsq2_device.Coupling
+module Symmetry = Olsq2_device.Symmetry
 module Obs = Olsq2_obs.Obs
 module Simplify = Olsq2_simplify.Simplify
 module Share = Olsq2_parallel.Share
@@ -107,28 +108,56 @@ let assert_dependencies enc =
     (fun (g, g') -> Ctx.assert_formula enc.ctx (Ivar.lt enc.time.(g) enc.time.(g')))
     (Dag.dependencies dag)
 
-(* Eq. 1: a two-qubit gate executes on some coupling edge. *)
-let adjacency_formula enc q q' tm =
+(* Eq. 1: a two-qubit gate executes on some coupling edge ([allowed]
+   filters by edge id when symmetry breaking restricts the choice). *)
+let adjacency_formula ?allowed enc q q' tm =
   let device = enc.instance.Instance.device in
+  let keep = match allowed with None -> fun _ -> true | Some f -> f in
   let disjuncts = ref [] in
-  Array.iter
-    (fun (p, p') ->
-      disjuncts :=
-        F.and_ [ Ivar.eq_const enc.pi.(q).(tm) p; Ivar.eq_const enc.pi.(q').(tm) p' ]
-        :: F.and_ [ Ivar.eq_const enc.pi.(q).(tm) p'; Ivar.eq_const enc.pi.(q').(tm) p ]
-        :: !disjuncts)
+  Array.iteri
+    (fun e (p, p') ->
+      if keep e then
+        disjuncts :=
+          F.and_ [ Ivar.eq_const enc.pi.(q).(tm) p; Ivar.eq_const enc.pi.(q').(tm) p' ]
+          :: F.and_ [ Ivar.eq_const enc.pi.(q).(tm) p'; Ivar.eq_const enc.pi.(q').(tm) p ]
+          :: !disjuncts)
     device.Coupling.edges;
   F.or_ !disjuncts
 
 let assert_adjacency_olsq2 enc =
   let circuit = enc.instance.Instance.circuit in
+  (* Symmetry breaking (config.symmetry): any device automorphism maps
+     solutions to solutions with the same depth and SWAP count, so the
+     first two-qubit gate may be pinned to one representative edge per
+     automorphism orbit.  Unsound for weighted-SWAP objectives — those
+     callers must pass symmetry = false. *)
+  let pivot =
+    if not enc.config.Config.symmetry then None
+    else
+      Array.fold_left
+        (fun acc (g : Gate.t) ->
+          match acc with
+          | Some _ -> acc
+          | None -> if Gate.is_two_qubit g then Some g.Gate.id else None)
+        None circuit.Circuit.gates
+  in
+  let pivot_allowed =
+    match pivot with
+    | None -> None
+    | Some _ ->
+      let orbits = Symmetry.edge_orbits enc.instance.Instance.device in
+      Some (fun e -> orbits.(e) = e)
+  in
   Array.iter
     (fun (g : Gate.t) ->
       if Gate.is_two_qubit g then begin
         let q, q' = Gate.pair g in
+        let allowed = if pivot = Some g.Gate.id then pivot_allowed else None in
         for tm = 0 to enc.t_max - 1 do
           Ctx.assert_formula enc.ctx
-            (F.imply (Ivar.eq_const enc.time.(g.Gate.id) tm) (adjacency_formula enc q q' tm))
+            (F.imply
+               (Ivar.eq_const enc.time.(g.Gate.id) tm)
+               (adjacency_formula ?allowed enc q q' tm))
         done
       end)
     circuit.Circuit.gates

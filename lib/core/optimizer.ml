@@ -690,3 +690,301 @@ let tb_minimize_swaps ?(config = Config.default) ?(budget = Budget.unlimited) ?p
         tb_minimize_swaps_body ~config ?pool ~st ~max_blocks ~max_block_relax instance)
   in
   { o with tb_stats = agg; tb_iter_stats = iters }
+
+(* ---- incremental horizon-extension optimization (lib/incremental) ---- *)
+
+(* Same refinement loops as above, but over one persistent
+   [Session.t]: when a depth bound outgrows the horizon, the session
+   emits only the delta CNF for the new time steps instead of
+   re-encoding from scratch, so learnt clauses survive every horizon
+   growth, not just bound changes within one horizon.  The session's
+   encoding is plain CNF, hence always pool-capable.
+
+   The session encoding ignores [config]'s formulation/encoding arms
+   (it is a fixed one-hot ladder encoding); [config.symmetry] and the
+   budget/pool knobs apply as usual. *)
+
+module Session = Olsq2_incremental.Session
+
+let isolve ?pool ~st ~assumptions sess =
+  let solver = Session.solver sess in
+  Budget.attach st solver;
+  let before = (Solver.stats solver).Solver.conflicts in
+  let timeout = Budget.solve_timeout st in
+  let max_conflicts = Budget.solve_max_conflicts st in
+  let r =
+    match pool with
+    | Some p ->
+      Pool.solve p
+        ~assumptions:(Session.horizon_assumption sess :: assumptions)
+        ?max_conflicts ?timeout solver
+    | None -> Session.solve ~assumptions ?max_conflicts ?timeout sess
+  in
+  Budget.charge st ~conflicts:((Solver.stats solver).Solver.conflicts - before);
+  r
+
+let session_result ~status ~solve_seconds ~iterations sess =
+  let m = Session.model sess in
+  {
+    Result_.status;
+    depth = m.Session.m_depth;
+    swap_count = List.length m.Session.m_swaps;
+    mapping = m.Session.m_mapping;
+    schedule = m.Session.m_schedule;
+    swaps =
+      List.map
+        (fun (e, tf) -> { Result_.sw_edge = e; sw_finish = tf })
+        m.Session.m_swaps;
+    solve_seconds;
+    iterations;
+  }
+
+(* A depth bound [d] is fully expressive only when SWAPs may finish at
+   every step below it; the last representable finish step is
+   [t_max - 2], so proving UNSAT at [d] needs [t_max >= d + 1].  The
+   classic path gets this by rebuilding with a larger horizon and
+   restarting the ascent; here the horizon grows in place and the
+   ascent just continues — every UNSAT already proven (at bounds below
+   the old horizon) stays valid in the extended encoding. *)
+let session_ensure_horizon sess d =
+  if d + 1 > Session.t_max sess then
+    Session.extend_horizon sess ~t_max:(max (d + 1) (grow_bound (Session.t_max sess)))
+
+let minimize_depth_session_body ~config ?pool ~st instance =
+  let clock = Stopwatch.start () in
+  let iterations = ref 0 in
+  let t_lb = max 1 (Instance.depth_lower_bound instance) in
+  let sess =
+    Session.create
+      ~symmetry:config.Config.symmetry
+      ~t_max:(max (t_lb + 1) (Instance.depth_upper_bound instance))
+      ~swap_duration:instance.Instance.swap_duration instance.Instance.circuit
+      instance.Instance.device
+  in
+  let fail () =
+    (empty_outcome ~iterations:!iterations ~seconds:(Stopwatch.elapsed clock), None)
+  in
+  let check d =
+    incr iterations;
+    session_ensure_horizon sess d;
+    let sel = Session.depth_selector sess d in
+    iter_span "opt.depth_iter" ~bound:d ~core:(Session.solver sess) ?pool (fun () ->
+        isolve ?pool ~st ~assumptions:[ sel ] sess)
+  in
+  let rec ascend d =
+    if Budget.exhausted st then `Budget
+    else
+      match check d with
+      | Solver.Sat -> `Sat d
+      | Solver.Unknown _ -> `Budget
+      | Solver.Unsat -> ascend (grow_bound d)
+  in
+  let rec descend d =
+    if d - 1 < t_lb then (d, true)
+    else if Budget.exhausted st then (d, false)
+    else
+      match check (d - 1) with
+      | Solver.Sat -> descend (d - 1)
+      | Solver.Unsat -> (d, true)
+      | Solver.Unknown _ -> (d, false)
+  in
+  match ascend t_lb with
+  | `Budget -> fail ()
+  | `Sat d_first -> (
+    let d, optimal = descend d_first in
+    (* re-solve at the chosen bound so the solver holds its model *)
+    match check d with
+    | Solver.Sat ->
+      let status = if optimal then Result_.Optimal else Result_.Feasible in
+      let result =
+        session_result ~status ~solve_seconds:(Stopwatch.elapsed clock)
+          ~iterations:!iterations sess
+      in
+      pareto_point ~depth:d ~swaps:result.Result_.swap_count;
+      ( {
+          result = Some result;
+          optimal;
+          iterations = !iterations;
+          total_seconds = Stopwatch.elapsed clock;
+          pareto = [ (d, result.Result_.swap_count) ];
+          stats = Solver.stats_zero ();
+          iter_stats = [];
+        },
+        Some (sess, d) )
+    | Solver.Unsat | Solver.Unknown _ ->
+      (* unreachable in practice: the same bound was SAT moments ago *)
+      fail ())
+
+let minimize_depth_incremental_st ~config ?pool ~st instance =
+  let (o, sess), iters, agg =
+    collecting (fun () -> minimize_depth_session_body ~config ?pool ~st instance)
+  in
+  ({ o with stats = agg; iter_stats = iters }, sess)
+
+let minimize_depth_incremental ?(config = Config.default) ?(budget = Budget.unlimited) ?pool
+    instance =
+  fst (minimize_depth_incremental_st ~config ?pool ~st:(Budget.start budget) instance)
+
+(* SWAP descent on a session holding a model (mirror of [descend_swaps]). *)
+let descend_swaps_session sess ~depth ~start ?pool ~st iterations =
+  Session.build_counter sess ~max_bound:(max start 1);
+  let rec go best =
+    if best = 0 then (best, true)
+    else if Budget.exhausted st then (best, false)
+    else begin
+      incr iterations;
+      let sel = Session.depth_selector sess depth in
+      let assumptions =
+        match Session.swap_bound_assumption sess (best - 1) with
+        | Some a -> [ sel; a ]
+        | None -> [ sel ]
+      in
+      match
+        iter_span "opt.swap_iter" ~bound:(best - 1) ~core:(Session.solver sess) ?pool
+          (fun () -> isolve ?pool ~st ~assumptions sess)
+      with
+      | Solver.Sat -> go (Session.model_swap_count sess)
+      | Solver.Unsat -> (best, true)
+      | Solver.Unknown _ -> (best, false)
+    end
+  in
+  go start
+
+let minimize_swaps_incremental_body ~config ?pool ~st ~max_depth_relax ?warm_start instance =
+  let clock = Stopwatch.start () in
+  let depth_outcome, sess_opt = minimize_depth_incremental_st ~config ?pool ~st instance in
+  match (depth_outcome.result, sess_opt) with
+  | None, _ | _, None -> depth_outcome
+  | Some _, Some (sess, d0) ->
+    let iterations = ref depth_outcome.iterations in
+    let pareto = ref [] in
+    let best = ref None in
+    let best_optimal = ref false in
+    let capture optimal =
+      let status = if optimal then Result_.Optimal else Result_.Feasible in
+      session_result ~status ~solve_seconds:(Stopwatch.elapsed clock)
+        ~iterations:!iterations sess
+    in
+    (* Sweep depth bounds d0, d0+1, ...; at each, descend the SWAP
+       count (same frontier walk as [minimize_swaps_body], on one
+       persistent solver — depth relaxation extends the horizon in
+       place instead of re-encoding). *)
+    let rec sweep d seed relax_left =
+      incr iterations;
+      session_ensure_horizon sess (d + 1);
+      let sel = Session.depth_selector sess d in
+      let bound_assumption b =
+        Session.build_counter sess ~max_bound:(max b 1);
+        match Session.swap_bound_assumption sess (max 0 (b - 1)) with
+        | Some a -> [ sel; a ]
+        | None -> [ sel ]
+      in
+      let assumptions =
+        match seed with
+        | Fresh -> [ sel ]
+        | Warm w | Tightened w -> bound_assumption w
+      in
+      let prev = match seed with Fresh | Warm _ -> None | Tightened b -> Some b in
+      match
+        iter_span "opt.sweep_level" ~bound:d ~core:(Session.solver sess) ?pool (fun () ->
+            isolve ?pool ~st ~assumptions sess)
+      with
+      | Solver.Unsat when (match seed with Warm _ -> true | Fresh | Tightened _ -> false) ->
+        sweep d Fresh relax_left
+      | Solver.Unsat | Solver.Unknown _ -> ()
+      | Solver.Sat ->
+        let start = Session.model_swap_count sess in
+        let count, optimal = descend_swaps_session sess ~depth:d ~start ?pool ~st iterations in
+        pareto_point ~depth:d ~swaps:count;
+        pareto := (d, count) :: !pareto;
+        let improves = match prev with None -> true | Some b -> count < b in
+        if improves then begin
+          best := Some (capture optimal);
+          best_optimal := optimal
+        end;
+        if count > 0 && relax_left > 0 && not (Budget.exhausted st) then
+          sweep (d + 1) (Tightened count) (relax_left - 1)
+    in
+    let initial_seed =
+      match warm_start with Some w when w >= 0 -> Warm w | Some _ | None -> Fresh
+    in
+    sweep d0 initial_seed max_depth_relax;
+    let result =
+      match !best with Some r -> Some r | None -> depth_outcome.result
+    in
+    {
+      result;
+      optimal = !best_optimal;
+      iterations = !iterations;
+      total_seconds = Stopwatch.elapsed clock;
+      pareto = List.rev !pareto;
+      stats = Solver.stats_zero ();
+      iter_stats = [];
+    }
+
+let minimize_swaps_incremental ?(config = Config.default) ?(budget = Budget.unlimited) ?pool
+    ?(max_depth_relax = 4) ?warm_start instance =
+  let st = Budget.start budget in
+  let o, iters, agg =
+    collecting (fun () ->
+        minimize_swaps_incremental_body ~config ?pool ~st ~max_depth_relax ?warm_start instance)
+  in
+  { o with stats = agg; iter_stats = iters }
+
+let minimize_weighted_swaps_incremental_body ~config ?pool ~st ~weights instance =
+  let clock = Stopwatch.start () in
+  (* orbit symmetry breaking is unsound under per-edge weights: distinct
+     members of an edge orbit can carry different costs *)
+  let config = { config with Config.symmetry = false } in
+  let depth_outcome, sess_opt = minimize_depth_incremental_st ~config ?pool ~st instance in
+  match (depth_outcome.result, sess_opt) with
+  | None, _ | _, None -> depth_outcome
+  | Some _, Some (sess, d) ->
+    let iterations = ref depth_outcome.iterations in
+    let sel = Session.depth_selector sess d in
+    let start = Session.model_weighted_cost sess ~weights in
+    Session.build_weighted_counter sess ~weights ~max_bound:(max start 1);
+    let rec descend best =
+      if best = 0 then (best, true)
+      else if Budget.exhausted st then (best, false)
+      else begin
+        incr iterations;
+        let assumptions =
+          match Session.swap_bound_assumption sess (best - 1) with
+          | Some a -> [ sel; a ]
+          | None -> [ sel ]
+        in
+        match
+          iter_span "opt.weighted_iter" ~bound:(best - 1) ~core:(Session.solver sess) ?pool
+            (fun () -> isolve ?pool ~st ~assumptions sess)
+        with
+        | Solver.Sat -> descend (Session.model_weighted_cost sess ~weights)
+        | Solver.Unsat -> (best, true)
+        | Solver.Unknown _ -> (best, false)
+      end
+    in
+    let cost, optimal = descend start in
+    pareto_point ~depth:d ~swaps:cost;
+    let status = if optimal then Result_.Optimal else Result_.Feasible in
+    let result =
+      session_result ~status ~solve_seconds:(Stopwatch.elapsed clock)
+        ~iterations:!iterations sess
+    in
+    {
+      result = Some result;
+      optimal;
+      iterations = !iterations;
+      total_seconds = Stopwatch.elapsed clock;
+      pareto = [ (d, cost) ];
+      stats = Solver.stats_zero ();
+      iter_stats = [];
+    }
+
+let minimize_weighted_swaps_incremental ?(config = Config.default) ?(budget = Budget.unlimited)
+    ?pool ~weights instance =
+  let st = Budget.start budget in
+  let o, iters, agg =
+    collecting (fun () ->
+        minimize_weighted_swaps_incremental_body ~config ?pool ~st ~weights instance)
+  in
+  { o with stats = agg; iter_stats = iters }

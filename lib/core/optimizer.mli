@@ -110,6 +110,39 @@ val minimize_weighted_swaps :
   Instance.t ->
   outcome
 
+(** {2 Incremental horizon-extension entry points}
+
+    Same refinement loops over one persistent
+    {!Olsq2_incremental.Session}: when a depth bound outgrows the
+    horizon, the session emits only the delta CNF for the new time
+    steps instead of re-encoding, so learnt clauses survive horizon
+    growth too.  The session encoding is a fixed plain-CNF one-hot
+    ladder — [config]'s formulation/encoding arms are ignored;
+    [config.symmetry] and budget/pool apply.  Selected by
+    [Synthesis.Options.incremental]. *)
+
+val minimize_depth_incremental :
+  ?config:Config.t -> ?budget:Budget.t -> ?pool:Olsq2_parallel.Pool.t -> Instance.t -> outcome
+
+val minimize_swaps_incremental :
+  ?config:Config.t ->
+  ?budget:Budget.t ->
+  ?pool:Olsq2_parallel.Pool.t ->
+  ?max_depth_relax:int ->
+  ?warm_start:int ->
+  Instance.t ->
+  outcome
+
+(** Weighted descent forces [config.symmetry] off (orbit members can
+    carry different weights, so orbit restriction is unsound here). *)
+val minimize_weighted_swaps_incremental :
+  ?config:Config.t ->
+  ?budget:Budget.t ->
+  ?pool:Olsq2_parallel.Pool.t ->
+  weights:(int -> int) ->
+  Instance.t ->
+  outcome
+
 type tb_outcome = {
   tb_result : Tb_encoder.result option;
   tb_optimal : bool;

@@ -16,6 +16,14 @@ module Options = struct
     certify : bool;
     proof_file : string option;
     parallel : parallel;
+    incremental : bool;
+        (* solve depth/SWAP objectives on one persistent
+           horizon-extension session (lib/incremental) instead of
+           re-encoding per horizon; TB objectives ignore it *)
+    device : string option;
+        (* named device (Devices.by_name) this request targets; carried
+           here so wire requests and the CLI can select topology and
+           strategy through one options record *)
   }
 
   let sequential = { workers = 1; share = true; cube_depth = None }
@@ -28,6 +36,14 @@ module Options = struct
     | Some s -> ( match int_of_string_opt (String.trim s) with Some n when n >= 1 -> n | _ -> 1)
     | None -> 1
 
+  (* OLSQ2_INCREMENTAL flips the default strategy the same way, so CI
+     can cross-check incremental vs rebuild over the whole suite
+     without per-harness flags. *)
+  let default_incremental =
+    match Sys.getenv_opt "OLSQ2_INCREMENTAL" with
+    | Some s -> ( match bool_of_string_opt (String.trim s) with Some b -> b | None -> false)
+    | None -> false
+
   let default =
     {
       config = Config.default;
@@ -36,12 +52,16 @@ module Options = struct
       certify = false;
       proof_file = None;
       parallel = { sequential with workers = default_workers };
+      incremental = default_incremental;
+      device = None;
     }
 
   let with_config config t = { t with config }
   let with_simplify simplify t = { t with simplify = Some simplify }
   let with_budget budget t = { t with budget }
   let with_certify ?(proof_file : string option) certify t = { t with certify; proof_file }
+  let with_incremental incremental t = { t with incremental }
+  let with_device device t = { t with device = Some device }
 
   let with_workers ?share ?cube_depth workers t =
     {
@@ -60,6 +80,7 @@ module Options = struct
     a.config = b.config && a.simplify = b.simplify
     && Budget.equal a.budget b.budget
     && a.certify = b.certify && a.proof_file = b.proof_file && a.parallel = b.parallel
+    && a.incremental = b.incremental && a.device = b.device
 
   (* ---- JSON codec (the serve daemon's wire format) ----
 
@@ -123,6 +144,8 @@ module Options = struct
               | None -> Json.Null
               | Some k -> Json.Num (float_of_int k) );
           ] );
+      ("incremental", Json.Bool t.incremental);
+      ("device", match t.device with None -> Json.Null | Some d -> Json.Str d);
     ]
 
   let to_json t = Json.Obj (to_assoc t)
@@ -191,7 +214,14 @@ module Options = struct
         Ok { workers; share; cube_depth }
       | Some _ -> Error "parallel: expected an object"
     in
-    Ok { config; simplify; budget; certify; proof_file; parallel }
+    let* incremental = bool_field "incremental" default.incremental in
+    let* device =
+      match find "device" with
+      | None | Some Json.Null -> Ok None
+      | Some (Json.Str d) -> Ok (Some d)
+      | Some _ -> Error "device: expected a string or null"
+    in
+    Ok { config; simplify; budget; certify; proof_file; parallel; incremental; device }
 
   let of_json = function
     | Json.Obj assoc -> of_assoc assoc
@@ -304,13 +334,22 @@ let run ?(options = Options.default) ~objective instance =
   in
   let obs = Obs.global () in
   let since = if Obs.enabled obs then Some (Obs.elapsed obs) else None in
+  let incremental = options.Options.incremental in
   let dispatch () =
     match objective with
+    | Depth when incremental ->
+      `Full (Optimizer.minimize_depth_incremental ~config ~budget ?pool instance)
+    | Swaps { warm_start } when incremental ->
+      `Full (Optimizer.minimize_swaps_incremental ~config ~budget ?pool ?warm_start instance)
+    | Weighted_swaps weights when incremental ->
+      `Full (Optimizer.minimize_weighted_swaps_incremental ~config ~budget ?pool ~weights instance)
     | Depth -> `Full (Optimizer.minimize_depth ~config ~budget ?pool instance)
     | Swaps { warm_start } ->
       `Full (Optimizer.minimize_swaps ~config ~budget ?pool ?warm_start instance)
     | Weighted_swaps weights ->
       `Full (Optimizer.minimize_weighted_swaps ~config ~budget ?pool ~weights instance)
+    (* TB objectives keep the classic per-block-count encoders: their
+       encoding is rebuilt per block bound by construction. *)
     | Tb_blocks -> `Tb (Optimizer.tb_minimize_blocks ~config ~budget ?pool instance)
     | Tb_swaps -> `Tb (Optimizer.tb_minimize_swaps ~config ~budget ?pool instance)
   in

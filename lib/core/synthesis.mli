@@ -96,6 +96,22 @@ module Options : sig
     proof_file : string option;
         (** write the emitted DRAT proof (text format) there *)
     parallel : parallel;
+    incremental : bool;
+        (** solve [Depth] / [Swaps] / [Weighted_swaps] on one persistent
+            horizon-extension session ({!Olsq2_incremental.Session}):
+            horizon growth emits delta CNF instead of re-encoding, so
+            learnt clauses survive it.  The session encoding ignores
+            [config]'s formulation/encoding arms; [config.symmetry],
+            budget and pool apply.  TB objectives ignore this flag.
+            Certification is unaffected (it re-solves the claimed bound
+            on a fresh classic encoder either way).  Default honors the
+            [OLSQ2_INCREMENTAL] environment variable, else [false]. *)
+    device : string option;
+        (** named target device, resolved with
+            {!Olsq2_device.Devices.by_name} (e.g. ["heavy-hex-127"]); the
+            serve daemon accepts it in place of an explicit coupling
+            list, and the CLI sets it from [--device].  [None] means the
+            caller provides the device some other way. *)
   }
 
   (** [workers = 1]: no pool. *)
@@ -114,6 +130,9 @@ module Options : sig
   (** [with_workers n t] sets [parallel.workers] (clamped to >= 1),
       optionally overriding [share] / [cube_depth]. *)
   val with_workers : ?share:bool -> ?cube_depth:int -> int -> t -> t
+
+  val with_incremental : bool -> t -> t
+  val with_device : string -> t -> t
 
   (** Field-wise equality over the serializable fields; the runtime
       [Budget.control] handle is ignored. *)

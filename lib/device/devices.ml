@@ -1,7 +1,10 @@
-(* Builders for the coupling graphs used in the paper's evaluation:
-   grids (encoding experiments), IBM QX2 (the running example of Fig. 3),
-   Rigetti Aspen-4 (16 qubits), Google Sycamore (54 qubits) and IBM Eagle
-   (127 qubits, heavy-hex).
+(* Builders for the coupling graphs used in the paper's evaluation and
+   for the 100+ qubit scaling targets: grids (encoding experiments), IBM
+   QX2 (the running example of Fig. 3), Rigetti Aspen-4 (16 qubits),
+   Google Sycamore (54 qubits), and a general IBM heavy-hex generator
+   whose (rows=7, row_len=15) instance reproduces the published
+   ibm_washington / Eagle 127-qubit layout qubit for qubit and whose
+   (13, 27) instance is the Osprey 433-qubit pattern.
 
    Aspen-4 and Sycamore are structural models (octagon pair / diagonal
    lattice) with the right qubit counts and degree profile; Eagle follows
@@ -29,6 +32,19 @@ let grid rows cols =
   done;
   Coupling.make ~name:(Printf.sprintf "grid-%dx%d" rows cols) ~num_qubits:(rows * cols) !edges
 
+(* rows x cols grid with wrap-around edges in both directions.  rows and
+   cols must be >= 3 so the wrap edge never duplicates a grid edge. *)
+let torus rows cols =
+  if rows < 3 || cols < 3 then invalid_arg "Devices.torus: need rows and cols >= 3";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      edges := (id r c, id r ((c + 1) mod cols)) :: (id r c, id ((r + 1) mod rows) c) :: !edges
+    done
+  done;
+  Coupling.make ~name:(Printf.sprintf "torus-%dx%d" rows cols) ~num_qubits:(rows * cols) !edges
+
 (* IBM QX2 (paper Fig. 3): 5 qubits, 6 edges. *)
 let qx2 =
   Coupling.make ~name:"qx2" ~num_qubits:5 [ (0, 1); (0, 2); (1, 2); (2, 3); (2, 4); (3, 4) ]
@@ -40,11 +56,12 @@ let aspen4 =
   Coupling.make ~name:"aspen-4" ~num_qubits:16
     (octagon 0 @ octagon 8 @ [ (1, 14); (2, 13) ])
 
-(* Google Sycamore, 54 qubits: diagonal square lattice, 6 rows x 9 cols.
-   Each qubit couples to the two qubits diagonally below it, giving the
-   degree-<=4 brick pattern of the production chip. *)
-let sycamore54 =
-  let rows = 6 and cols = 9 in
+(* Sycamore-style diagonal square lattice: each qubit couples to the
+   qubit directly below and to one diagonal neighbor, the direction
+   alternating with row parity, giving the degree-<=4 brick pattern of
+   the production chip. *)
+let sycamore ?name rows cols =
+  if rows < 1 || cols < 1 then invalid_arg "Devices.sycamore: need rows and cols >= 1";
   let id r c = (r * cols) + c in
   let edges = ref [] in
   for r = 0 to rows - 2 do
@@ -56,58 +73,122 @@ let sycamore54 =
       if c' >= 0 && c' < cols then edges := (id r c, id (r + 1) c') :: !edges
     done
   done;
-  Coupling.make ~name:"sycamore" ~num_qubits:(rows * cols) !edges
+  let name =
+    match name with Some n -> n | None -> Printf.sprintf "sycamore-%dx%d" rows cols
+  in
+  Coupling.make ~name ~num_qubits:(rows * cols) !edges
 
-(* IBM Eagle (ibm_washington), 127 qubits: heavy-hex lattice made of seven
-   horizontal rows joined by four vertical spacer qubits per gap.  Row
-   lengths and spacer columns follow the published device. *)
-let eagle127 =
+(* Google Sycamore, 54 qubits: 6 rows x 9 cols. *)
+let sycamore54 = sycamore ~name:"sycamore" 6 9
+
+(* General IBM heavy-hex lattice.  [rows] horizontal chains of [row_len]
+   grid columns (row_len must be 3 mod 4, rows odd), joined by spacer
+   qubits every fourth column, the column offset alternating 0 / 2 per
+   gap; the first row drops its last grid column and the last row its
+   first, exactly as on the published devices.  Numbering is sequential:
+   each row left to right, then the spacers of the gap below it —
+   [heavy_hex ~rows:7 ~row_len:15 ()] reproduces ibm_washington (Eagle)
+   qubit for qubit, [~rows:13 ~row_len:27] is the 433-qubit Osprey
+   pattern, [~rows:3 ~row_len:7] a 23-qubit mini heavy-hex. *)
+let heavy_hex ?name ~rows ~row_len () =
+  if rows < 3 || rows mod 2 = 0 then
+    invalid_arg "Devices.heavy_hex: rows must be odd and >= 3";
+  if row_len < 3 || row_len mod 4 <> 3 then
+    invalid_arg "Devices.heavy_hex: row_len must be >= 3 and congruent to 3 mod 4";
+  let col_lo r = if r = rows - 1 then 1 else 0 in
+  let col_hi r = if r = 0 then row_len - 2 else row_len - 1 in
+  let spacer_cols gap =
+    let offset = if gap mod 2 = 0 then 0 else 2 in
+    let rec cols c = if c > row_len - 1 then [] else c :: cols (c + 4) in
+    cols offset
+  in
+  let gap_cols = Array.init (rows - 1) spacer_cols in
+  let next = ref 0 in
+  let row_base = Array.make rows 0 in
+  let spacer_base = Array.make (rows - 1) 0 in
+  for r = 0 to rows - 1 do
+    row_base.(r) <- !next;
+    next := !next + (col_hi r - col_lo r + 1);
+    if r < rows - 1 then begin
+      spacer_base.(r) <- !next;
+      next := !next + List.length gap_cols.(r)
+    end
+  done;
+  let row_id r c = row_base.(r) + (c - col_lo r) in
   let edges = ref [] in
-  let chain lo hi =
-    for p = lo to hi - 1 do
-      edges := (p, p + 1) :: !edges
+  for r = 0 to rows - 1 do
+    for c = col_lo r to col_hi r - 1 do
+      edges := (row_id r c, row_id r (c + 1)) :: !edges
     done
+  done;
+  for gap = 0 to rows - 2 do
+    List.iteri
+      (fun i c ->
+        let s = spacer_base.(gap) + i in
+        edges := (row_id gap c, s) :: (s, row_id (gap + 1) c) :: !edges)
+      gap_cols.(gap)
+  done;
+  let name =
+    match name with Some n -> n | None -> Printf.sprintf "heavy-hex-%d" !next
   in
-  (* horizontal rows *)
-  chain 0 13;
-  (* row 0: qubits 0-13 *)
-  chain 18 32;
-  chain 37 51;
-  chain 56 70;
-  chain 75 89;
-  chain 94 108;
-  chain 113 126;
-  (* row 6: qubits 113-126 *)
-  (* vertical spacers: (top qubit, spacer, bottom qubit) *)
-  let spacers =
-    [
-      (0, 14, 18); (4, 15, 22); (8, 16, 26); (12, 17, 30);
-      (20, 33, 39); (24, 34, 43); (28, 35, 47); (32, 36, 51);
-      (37, 52, 56); (41, 53, 60); (45, 54, 64); (49, 55, 68);
-      (58, 71, 77); (62, 72, 81); (66, 73, 85); (70, 74, 89);
-      (75, 90, 94); (79, 91, 98); (83, 92, 102); (87, 93, 106);
-      (96, 109, 114); (100, 110, 118); (104, 111, 122); (108, 112, 126);
-    ]
-  in
-  List.iter
-    (fun (top, mid, bottom) ->
-      edges := (top, mid) :: (mid, bottom) :: !edges)
-    spacers;
-  Coupling.make ~name:"eagle" ~num_qubits:127 !edges
+  Coupling.make ~name ~num_qubits:!next !edges
 
-(* Look up a device by its evaluation-section name. *)
-let by_name = function
+(* IBM Osprey pattern: 13 heavy-hex rows of 27 columns, 433 qubits. *)
+let osprey433 = heavy_hex ~name:"osprey" ~rows:13 ~row_len:27 ()
+
+(* IBM Eagle (ibm_washington), 127 qubits: seven heavy-hex rows of 15
+   columns.  The generator reproduces the published row/spacer numbering
+   exactly (test_device pins known edges like (0,14)-(14,18) and
+   (108,112)-(112,126) against the device documentation). *)
+let eagle127 = heavy_hex ~name:"eagle" ~rows:7 ~row_len:15 ()
+
+(* Look up a device by its evaluation-section name, a published-device
+   alias, or a generator pattern. *)
+let by_name s =
+  let fail () = invalid_arg ("Devices.by_name: unknown device " ^ s) in
+  let int v = match int_of_string_opt v with Some n -> n | None -> fail () in
+  let dims d =
+    match String.split_on_char 'x' d with
+    | [ r; c ] -> (int r, int c)
+    | _ -> fail ()
+  in
+  match s with
   | "qx2" -> qx2
   | "aspen-4" | "aspen4" -> aspen4
   | "sycamore" -> sycamore54
-  | "eagle" -> eagle127
-  | s ->
-    (* "grid-RxC" *)
-    (match String.split_on_char '-' s with
-    | [ "grid"; dims ] -> (
-      match String.split_on_char 'x' dims with
-      | [ r; c ] -> grid (int_of_string r) (int_of_string c)
-      | _ -> invalid_arg ("Devices.by_name: unknown device " ^ s))
-    | _ -> invalid_arg ("Devices.by_name: unknown device " ^ s))
+  | "eagle" | "heavy-hex-127" -> eagle127
+  | "osprey" | "heavy-hex-433" -> osprey433
+  | _ -> (
+    match String.split_on_char '-' s with
+    | [ "grid"; d ] ->
+      let r, c = dims d in
+      grid r c
+    | [ "torus"; d ] ->
+      let r, c = dims d in
+      torus r c
+    | [ "sycamore"; d ] ->
+      let r, c = dims d in
+      sycamore r c
+    | [ "heavy"; "hex"; d ] ->
+      (* "heavy-hex-RxC": R heavy-hex rows of C columns *)
+      let r, c = dims d in
+      heavy_hex ~rows:r ~row_len:c ()
+    | [ "line"; n ] -> line (int n)
+    | [ "ring"; n ] -> ring (int n)
+    | _ -> fail ())
 
-let all_names = [ "qx2"; "aspen-4"; "sycamore"; "eagle" ]
+let all_names = [ "qx2"; "aspen-4"; "sycamore"; "eagle"; "osprey" ]
+
+(* Generator patterns [by_name] understands beyond [all_names], for CLI
+   help and the devices listing. *)
+let name_patterns =
+  [
+    ("grid-RxC", "R x C square lattice");
+    ("torus-RxC", "R x C lattice with wraparound (degree 4 everywhere)");
+    ("sycamore-RxC", "R x C Sycamore-style diagonal lattice");
+    ("heavy-hex-RxC", "IBM heavy-hex lattice, R qubit rows of C (R odd >= 3, C = 4k+3)");
+    ("heavy-hex-127", "IBM Eagle r3 heavy-hex (alias: eagle)");
+    ("heavy-hex-433", "IBM Osprey heavy-hex (alias: osprey)");
+    ("line-N", "N qubits in a line");
+    ("ring-N", "N qubits in a cycle");
+  ]

@@ -1,8 +1,13 @@
-(** Coupling-graph builders for the devices in the paper's evaluation. *)
+(** Coupling-graph builders: the paper's evaluation devices plus the
+    100+ qubit scaling targets (IBM heavy-hex Eagle/Osprey patterns,
+    Sycamore-style lattices, ring/line/grid/torus generators). *)
 
 val line : int -> Coupling.t
 val ring : int -> Coupling.t
 val grid : int -> int -> Coupling.t
+
+(** Grid with wrap-around edges in both directions; rows, cols >= 3. *)
+val torus : int -> int -> Coupling.t
 
 (** IBM QX2 (paper Fig. 3): 5 qubits, 6 edges. *)
 val qx2 : Coupling.t
@@ -10,14 +15,34 @@ val qx2 : Coupling.t
 (** Rigetti Aspen-4 structural model: two bridged octagons, 16 qubits. *)
 val aspen4 : Coupling.t
 
+(** Sycamore-style diagonal square lattice, rows x cols. *)
+val sycamore : ?name:string -> int -> int -> Coupling.t
+
 (** Google Sycamore structural model: 6x9 diagonal lattice, 54 qubits. *)
 val sycamore54 : Coupling.t
+
+(** General IBM heavy-hex lattice: [rows] (odd, >= 3) horizontal chains
+    of [row_len] (3 mod 4) columns joined by spacer qubits every fourth
+    column with alternating offset; first row drops its last column, the
+    last row its first.  [heavy_hex ~rows:7 ~row_len:15 ()] reproduces
+    ibm_washington (Eagle) qubit for qubit. *)
+val heavy_hex : ?name:string -> rows:int -> row_len:int -> unit -> Coupling.t
 
 (** IBM Eagle / ibm_washington heavy-hex lattice, 127 qubits. *)
 val eagle127 : Coupling.t
 
-(** Lookup by name: ["qx2"], ["aspen-4"], ["sycamore"], ["eagle"], or
-    ["grid-RxC"].  Raises [Invalid_argument] otherwise. *)
+(** IBM Osprey heavy-hex pattern, 433 qubits. *)
+val osprey433 : Coupling.t
+
+(** Lookup by name: the entries of [all_names], aliases
+    ["heavy-hex-127"]/["heavy-hex-433"]/["aspen4"], or the generator
+    patterns of [name_patterns] (["grid-3x4"], ["torus-4x4"],
+    ["sycamore-6x9"], ["heavy-hex-3x7"], ["line-5"], ["ring-8"]).
+    Raises [Invalid_argument] otherwise. *)
 val by_name : string -> Coupling.t
 
 val all_names : string list
+
+(** Generator patterns understood by [by_name] beyond [all_names], as
+    [(pattern, description)] pairs for CLI help and listings. *)
+val name_patterns : (string * string) list

@@ -1,0 +1,177 @@
+(* Coupling-graph automorphism machinery, shared by the serve cache
+   (canonical device forms) and the encoder (symmetry breaking).
+
+   The core is textbook individualization-refinement canonization:
+   Weisfeiler-Leman color refinement to a fixpoint, then branching over
+   the members of the smallest non-singleton color class (individualize,
+   refine, recurse), keeping the lexicographically least
+   discrete-coloring edge encoding.  [canonize] optionally takes an
+   initial coloring, which is what [edge_orbits] uses: canonizing the
+   graph with one edge's endpoints marked yields a key that two edges
+   share exactly when some device automorphism maps one edge to the
+   other (equal canonical forms of the two marked graphs compose into an
+   explicit automorphism).  The work cap makes the orbit partition
+   possibly *finer* than the true automorphism orbits — two equivalent
+   edges whose explorations are cut short may get distinct keys — which
+   only loses pruning power, never soundness, so symmetry breaking built
+   on these orbits stays optimality-preserving. *)
+
+(* One round of color refinement: a vertex's next color is (its color,
+   the sorted multiset of its neighbors' colors), densified by sorting
+   the distinct signatures — so color ids depend only on graph structure
+   (and the initial coloring), never on vertex labels.  Iterated to the
+   fixpoint (class count stops growing). *)
+let refine (g : Coupling.t) color =
+  let n = g.Coupling.num_qubits in
+  let classes = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let signature v =
+      (color.(v), List.sort compare (List.map (fun u -> color.(u)) (Coupling.neighbors g v)))
+    in
+    let sigs = Array.init n signature in
+    let distinct = List.sort_uniq compare (Array.to_list sigs) in
+    let index = Hashtbl.create 16 in
+    List.iteri (fun i s -> Hashtbl.replace index s i) distinct;
+    Array.iteri (fun v s -> color.(v) <- Hashtbl.find index s) sigs;
+    let classes' = List.length distinct in
+    continue_ := classes' > !classes;
+    classes := classes'
+  done;
+  !classes
+
+(* Smallest non-singleton color class (smallest color id on ties), or
+   [None] when the coloring is discrete. *)
+let target_class color =
+  let sizes = Hashtbl.create 16 in
+  Array.iter
+    (fun c -> Hashtbl.replace sizes c (1 + Option.value ~default:0 (Hashtbl.find_opt sizes c)))
+    color;
+  Hashtbl.fold
+    (fun c size acc ->
+      if size < 2 then acc
+      else
+        match acc with
+        | Some (bc, bs) when (bs, bc) <= (size, c) -> acc
+        | _ -> Some (c, size))
+    sizes None
+
+let encode_edges (g : Coupling.t) pos =
+  Array.to_list g.Coupling.edges
+  |> List.map (fun (a, b) ->
+       let a = pos.(a) and b = pos.(b) in
+       if a < b then (a, b) else (b, a))
+  |> List.sort compare
+
+(* Individualization-refinement budget: each unit is one WL refinement
+   to fixpoint.  Device graphs in scope (<= a few hundred vertices, high
+   symmetry but no strongly-regular pathology) finish well under it; a
+   graph that exhausts it keeps the best encoding found so far, trading
+   canonical-form quality for bounded work. *)
+let default_max_refinements = 20_000
+
+let canonize ?colors ?(max_refinements = default_max_refinements) (g : Coupling.t) =
+  let n = g.Coupling.num_qubits in
+  let budget = ref max_refinements in
+  let best = ref None in
+  let rec explore color =
+    match target_class color with
+    | None ->
+      (* discrete coloring: colors 0..n-1 are exactly the positions *)
+      let enc = encode_edges g color in
+      (match !best with
+      | Some (be, _) when compare be enc <= 0 -> ()
+      | _ -> best := Some (enc, Array.copy color))
+    | Some (c, _) ->
+      let members = List.filter (fun v -> color.(v) = c) (List.init n Fun.id) in
+      List.iter
+        (fun v ->
+          if !budget > 0 then begin
+            decr budget;
+            let color' = Array.copy color in
+            (* individualize v: a fresh color below every existing one
+               keeps it in its class's order slot deterministically *)
+            color'.(v) <- -1;
+            let _ = refine g color' in
+            explore color'
+          end)
+        members
+  in
+  let color =
+    match colors with
+    | Some c ->
+      if Array.length c <> n then invalid_arg "Symmetry.canonize: bad colors length";
+      Array.copy c
+    | None -> Array.make n 0
+  in
+  let _ = refine g color in
+  explore color;
+  match !best with
+  | Some (enc, pos) -> (enc, pos)
+  | None -> (encode_edges g (Array.init n Fun.id), Array.init n Fun.id)
+
+(* ---- edge orbits ---- *)
+
+(* Canonize the graph with edge e's endpoints marked (initial color 1 on
+   a 0 background).  The key pairs the canonical edge list with the
+   marked endpoints' canonical positions: keys are equal exactly when
+   the two marked graphs are isomorphic, i.e. when an automorphism of g
+   maps one edge to the other.  A cheaper per-edge cap than the serve
+   default keeps the full orbit computation bounded on 400+ qubit
+   devices. *)
+let per_edge_max_refinements = 4_000
+
+let edge_orbits_uncached ?(max_refinements = per_edge_max_refinements) (g : Coupling.t) =
+  let n = g.Coupling.num_qubits in
+  let ne = Coupling.num_edges g in
+  let rep = Array.make ne 0 in
+  let seen = Hashtbl.create 64 in
+  for e = 0 to ne - 1 do
+    let u, v = Coupling.edge g e in
+    let colors = Array.make n 0 in
+    colors.(u) <- 1;
+    colors.(v) <- 1;
+    let enc, pos = canonize ~colors ~max_refinements g in
+    let mu = pos.(u) and mv = pos.(v) in
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf (Printf.sprintf "%d,%d|" (min mu mv) (max mu mv));
+    List.iter (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "%d-%d;" a b)) enc;
+    let key = Buffer.contents buf in
+    match Hashtbl.find_opt seen key with
+    | Some r -> rep.(e) <- r
+    | None ->
+      Hashtbl.add seen key e;
+      rep.(e) <- e
+  done;
+  rep
+
+(* Orbits of a 100+ qubit device cost real work and the encoder asks for
+   the same few devices constantly — memoize on the raw edge encoding
+   (the same keying scheme as the serve canonical cache). *)
+let orbit_memo : (string, int array) Hashtbl.t = Hashtbl.create 8
+let orbit_memo_m = Mutex.create ()
+
+let raw_key (g : Coupling.t) =
+  Printf.sprintf "%d:%s" g.Coupling.num_qubits
+    (String.concat ";"
+       (Array.to_list g.Coupling.edges
+       |> List.sort compare
+       |> List.map (fun (a, b) -> Printf.sprintf "%d-%d" a b)))
+
+let edge_orbits ?max_refinements (g : Coupling.t) =
+  let key = raw_key g in
+  Mutex.lock orbit_memo_m;
+  let hit = Hashtbl.find_opt orbit_memo key in
+  Mutex.unlock orbit_memo_m;
+  match hit with
+  | Some o -> o
+  | None ->
+    let o = edge_orbits_uncached ?max_refinements g in
+    Mutex.lock orbit_memo_m;
+    if Hashtbl.length orbit_memo > 64 then Hashtbl.reset orbit_memo;
+    Hashtbl.replace orbit_memo key o;
+    Mutex.unlock orbit_memo_m;
+    o
+
+let edge_orbit_representatives g =
+  edge_orbits g |> Array.to_list |> List.sort_uniq compare

@@ -1,0 +1,38 @@
+(** Coupling-graph automorphism machinery: Weisfeiler-Leman refinement
+    and individualization-refinement canonization (shared with the serve
+    cache's canonical forms) plus automorphism edge orbits for encoder
+    symmetry breaking. *)
+
+(** One WL refinement pass iterated to fixpoint, updating the coloring
+    in place; returns the number of color classes. *)
+val refine : Coupling.t -> int array -> int
+
+(** Smallest non-singleton color class (smallest id on ties), or [None]
+    when the coloring is discrete. *)
+val target_class : int array -> (int * int) option
+
+(** Edge list relabelled through a position array, normalized + sorted. *)
+val encode_edges : Coupling.t -> int array -> (int * int) list
+
+val default_max_refinements : int
+
+(** Individualization-refinement canonization.  Returns the
+    lexicographically least discrete-coloring edge encoding found within
+    the work budget and the vertex->position array producing it.
+    [colors] seeds the refinement: vertices with distinct initial colors
+    are never identified, so marked-graph canonization falls out.  If
+    the budget is exhausted the best encoding found so far is returned
+    (still a valid relabelling, possibly not the global minimum). *)
+val canonize :
+  ?colors:int array -> ?max_refinements:int -> Coupling.t -> (int * int) list * int array
+
+(** [orbits.(e)] is the representative (smallest) edge id of [e]'s orbit
+    under the device automorphism group, as discovered within the work
+    budget.  Budget exhaustion can only split true orbits, never merge
+    distinct ones, so symmetry breaking restricted to these
+    representatives is always optimality-preserving.  Memoized per
+    device. *)
+val edge_orbits : ?max_refinements:int -> Coupling.t -> int array
+
+(** Sorted deduplicated orbit-representative edge ids. *)
+val edge_orbit_representatives : Coupling.t -> int list

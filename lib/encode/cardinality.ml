@@ -115,3 +115,91 @@ let assert_at_least ctx xs k =
   let n = Array.length xs in
   if k > n then Ctx.add_clause ctx []
   else if k > 0 then assert_at_most ctx (Array.map Lit.negate xs) (n - k)
+
+(* ---- incremental sequential counter ---- *)
+
+module Inc = struct
+  (* A Sinz chain that can grow in BOTH directions after its clauses are
+     already in the solver: [add_inputs] appends new chain rows for
+     literals that did not exist when the counter was first built (the
+     horizon-extension case -- every new time step contributes fresh
+     sigma literals), and [widen] deepens all existing rows with new
+     register levels when the optimizer must express a larger bound.
+     Both emit only the delta clauses; everything previously emitted
+     stays valid, which is what lets one persistent solver carry the
+     SWAP objective across every bound iteration instead of re-encoding
+     the counter from scratch.
+
+     Register semantics match [sequential_counter]: rows.(i).(j) is
+     implied whenever at least j+1 of inputs 0..i are true, and only the
+     inputs-force-counters direction is emitted (sound and complete for
+     at-most bounds). *)
+
+  type t = {
+    ctx : Ctx.t;
+    mutable inputs : Lit.t array;
+    mutable rows : Lit.t array array;
+    mutable width : int;
+  }
+
+  let create ?(width = 1) ctx =
+    if width < 1 then invalid_arg "Cardinality.Inc.create: width must be >= 1";
+    { ctx; inputs = [||]; rows = [||]; width }
+
+  let size t = Array.length t.inputs
+  let width t = t.width
+
+  (* Largest at-most bound expressible without widening. *)
+  let capacity t = t.width - 1
+
+  let add_input t x =
+    let i = Array.length t.inputs in
+    let row = Array.init t.width (fun _ -> Ctx.fresh t.ctx) in
+    Ctx.add_clause t.ctx [ Lit.negate x; row.(0) ];
+    if i > 0 then begin
+      let prev = t.rows.(i - 1) in
+      for j = 0 to t.width - 1 do
+        Ctx.add_clause t.ctx [ Lit.negate prev.(j); row.(j) ];
+        if j + 1 < t.width then
+          Ctx.add_clause t.ctx [ Lit.negate prev.(j); Lit.negate x; row.(j + 1) ]
+      done
+    end;
+    t.inputs <- Array.append t.inputs [| x |];
+    t.rows <- Array.append t.rows [| row |]
+
+  let add_inputs t xs = Array.iter (add_input t) xs
+
+  let widen t ~width =
+    if width > t.width then begin
+      let old = t.width in
+      (* allocate every row's new registers first: the widening clauses
+         of row i reference row i-1's new registers *)
+      Array.iteri
+        (fun i row ->
+          t.rows.(i) <- Array.append row (Array.init (width - old) (fun _ -> Ctx.fresh t.ctx)))
+        t.rows;
+      for i = 1 to Array.length t.rows - 1 do
+        let prev = t.rows.(i - 1) and row = t.rows.(i) and x = t.inputs.(i) in
+        for j = old to width - 1 do
+          (* propagation in the new levels *)
+          Ctx.add_clause t.ctx [ Lit.negate prev.(j); row.(j) ]
+        done;
+        for j = old - 1 to width - 2 do
+          (* increments into the new levels (the old top register was
+             truncated and could not increment; now it can) *)
+          Ctx.add_clause t.ctx [ Lit.negate prev.(j); Lit.negate x; row.(j + 1) ]
+        done
+      done;
+      t.width <- width
+    end
+
+  let count_ge t =
+    if Array.length t.rows = 0 then [||] else t.rows.(Array.length t.rows - 1)
+
+  let at_most_assumption t k =
+    if k < 0 then invalid_arg "Cardinality.Inc.at_most_assumption: negative bound"
+    else if k >= size t then None
+    else if k > capacity t then
+      invalid_arg "Cardinality.Inc.at_most_assumption: bound exceeds width (widen first)"
+    else Some (Lit.negate (count_ge t).(k))
+end

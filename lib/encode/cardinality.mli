@@ -30,3 +30,37 @@ val binomial_at_most : Ctx.t -> Lit.t array -> int -> unit
 val assert_at_most : Ctx.t -> Lit.t array -> int -> unit
 
 val assert_at_least : Ctx.t -> Lit.t array -> int -> unit
+
+(** Incremental sequential counter: a Sinz chain that can both gain new
+    input literals ([add_inputs] — the horizon-extension case) and new
+    register levels ([widen]) after its clauses are already in the
+    solver, emitting only delta CNF.  One persistent chain carries the
+    SWAP bound across every horizon and bound iteration of the
+    incremental optimizer, the cardinality-sub-network reuse the
+    full-re-encode path cannot do. *)
+module Inc : sig
+  type t
+
+  (** [create ?width ctx]: empty chain able to express bounds up to
+      [width - 1] (default width 1, i.e. the at-most-0 bound). *)
+  val create : ?width:int -> Ctx.t -> t
+
+  (** Number of input literals added so far. *)
+  val size : t -> int
+
+  val width : t -> int
+
+  (** Largest at-most bound expressible without widening. *)
+  val capacity : t -> int
+
+  (** Append inputs, emitting only the new rows' clauses. *)
+  val add_inputs : t -> Lit.t array -> unit
+
+  (** Grow every row to [width] registers (no-op when not larger). *)
+  val widen : t -> width:int -> unit
+
+  (** Assumption literal enforcing "at most k inputs true"; [None] when
+      vacuous (k >= size).  Raises [Invalid_argument] when the bound
+      needs more registers than the current width — [widen] first. *)
+  val at_most_assumption : t -> int -> Lit.t option
+end

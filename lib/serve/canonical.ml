@@ -39,95 +39,14 @@ let identity n = { fwd = Array.init n Fun.id; inv = Array.init n Fun.id }
 
 (* ---- device canonicalization ---- *)
 
-(* One round of color refinement: a vertex's next color is (its color,
-   the sorted multiset of its neighbors' colors), densified by sorting
-   the distinct signatures — so color ids depend only on graph
-   structure, never on vertex labels.  Iterated to the fixpoint (class
-   count stops growing), which takes at most n rounds. *)
-let refine (g : Coupling.t) color =
-  let n = g.Coupling.num_qubits in
-  let classes = ref 0 in
-  let continue_ = ref true in
-  while !continue_ do
-    let signature v =
-      (color.(v), List.sort compare (List.map (fun u -> color.(u)) (Coupling.neighbors g v)))
-    in
-    let sigs = Array.init n signature in
-    let distinct = List.sort_uniq compare (Array.to_list sigs) in
-    let index = Hashtbl.create 16 in
-    List.iteri (fun i s -> Hashtbl.replace index s i) distinct;
-    Array.iteri (fun v s -> color.(v) <- Hashtbl.find index s) sigs;
-    let classes' = List.length distinct in
-    continue_ := classes' > !classes;
-    classes := classes'
-  done;
-  !classes
-
-(* Smallest non-singleton color class (smallest color id on ties), or
-   [None] when the coloring is discrete. *)
-let target_class color =
-  let sizes = Hashtbl.create 16 in
-  Array.iter
-    (fun c -> Hashtbl.replace sizes c (1 + Option.value ~default:0 (Hashtbl.find_opt sizes c)))
-    color;
-  Hashtbl.fold
-    (fun c size acc ->
-      if size < 2 then acc
-      else
-        match acc with
-        | Some (bc, bs) when (bs, bc) <= (size, c) -> acc
-        | _ -> Some (c, size))
-    sizes None
-
-let encode_edges (g : Coupling.t) pos =
-  Array.to_list g.Coupling.edges
-  |> List.map (fun (a, b) ->
-       let a = pos.(a) and b = pos.(b) in
-       if a < b then (a, b) else (b, a))
-  |> List.sort compare
+(* The WL-refinement / individualization-refinement core lives in
+   [Olsq2_device.Symmetry] (the encoder's symmetry breaking shares it);
+   this module keeps the cache-key assembly and memoization. *)
+module Symmetry = Olsq2_device.Symmetry
 
 type device_canon = { dkey : string; drel : relabeling }
 
-(* Individualization-refinement budget: each unit is one WL refinement
-   to fixpoint.  Device graphs in scope (<= a few hundred vertices, high
-   symmetry but no strongly-regular pathology) finish well under it; a
-   graph that exhausts it keeps the best encoding found so far, trading
-   possible cache misses for bounded work. *)
-let max_refinements = 20_000
-
-let canonize (g : Coupling.t) =
-  let n = g.Coupling.num_qubits in
-  let budget = ref max_refinements in
-  let best = ref None in
-  let rec explore color =
-    match target_class color with
-    | None ->
-      (* discrete coloring: colors 0..n-1 are exactly the positions *)
-      let enc = encode_edges g color in
-      (match !best with
-      | Some (be, _) when compare be enc <= 0 -> ()
-      | _ -> best := Some (enc, Array.copy color))
-    | Some (c, _) ->
-      let members = List.filter (fun v -> color.(v) = c) (List.init n Fun.id) in
-      List.iter
-        (fun v ->
-          if !budget > 0 then begin
-            decr budget;
-            let color' = Array.copy color in
-            (* individualize v: a fresh color below every existing one
-               keeps it in its class's order slot deterministically *)
-            color'.(v) <- -1;
-            let _ = refine g color' in
-            explore color'
-          end)
-        members
-  in
-  let color = Array.make n 0 in
-  let _ = refine g color in
-  explore color;
-  match !best with
-  | Some (enc, pos) -> (enc, pos)
-  | None -> (encode_edges g (Array.init n Fun.id), Array.init n Fun.id)
+let canonize (g : Coupling.t) = Symmetry.canonize g
 
 (* Canonizing a 100+ qubit device costs real work, and serve workloads
    resubmit the same few devices constantly — memoize on the raw

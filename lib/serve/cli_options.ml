@@ -16,6 +16,9 @@ type common = {
   simplify : bool option;
   certify : bool;
   proof_file : string option;
+  incremental : bool option;  (* None: Options.default (OLSQ2_INCREMENTAL or false) *)
+  symmetry : bool option;
+  default_device : string option;
 }
 
 let budget_arg =
@@ -86,6 +89,45 @@ let simplify_arg =
   in
   Arg.(value & vflag None [ on; off ])
 
+let incremental_arg =
+  let on =
+    let doc =
+      "Solve depth/swap objectives on one persistent horizon-extension solver session: growing \
+       the time horizon emits only the delta CNF, so learnt clauses survive horizon growth \
+       instead of being discarded by a re-encode.  Exact full-model objectives only (TB methods \
+       ignore it).  Defaults to $(b,OLSQ2_INCREMENTAL) or off."
+    in
+    (Some true, Arg.info [ "incremental" ] ~doc)
+  in
+  let off =
+    let doc = "Rebuild the encoding per horizon (the classic per-horizon encoder)." in
+    (Some false, Arg.info [ "no-incremental" ] ~doc)
+  in
+  Arg.(value & vflag None [ on; off ])
+
+let symmetry_arg =
+  let on =
+    let doc =
+      "Break coupling-graph symmetry: restrict the first two-qubit gate to one representative \
+       edge per device-automorphism orbit.  Optimality-preserving for depth and swap count; \
+       automatically disabled for weighted-swap objectives."
+    in
+    (Some true, Arg.info [ "symmetry" ] ~doc)
+  in
+  let off =
+    let doc = "Disable coupling-graph symmetry breaking (the default)." in
+    (Some false, Arg.info [ "no-symmetry" ] ~doc)
+  in
+  Arg.(value & vflag None [ on; off ])
+
+let default_device_arg =
+  let doc =
+    "Default target device by name (e.g. $(b,heavy-hex-127)); carried in the options record so \
+     serve requests without an explicit device resolve against it.  `olsq2 devices` lists names \
+     and accepted patterns."
+  in
+  Arg.(value & opt (some string) None & info [ "default-device" ] ~docv:"NAME" ~doc)
+
 let certify_arg =
   let doc =
     "Certify the optimality claim: re-solve at the optimum with DRAT proof logging, check the \
@@ -100,7 +142,7 @@ let proof_arg =
 
 let term =
   let make budget_seconds conflict_budget workers share cube_depth config simplify certify
-      proof_file =
+      proof_file incremental symmetry default_device =
     {
       budget_seconds;
       conflict_budget;
@@ -111,23 +153,34 @@ let term =
       simplify;
       certify;
       proof_file;
+      incremental;
+      symmetry;
+      default_device;
     }
   in
   Term.(
     const make $ budget_arg $ conflict_budget_arg $ workers_arg $ share_arg $ cube_depth_arg
-    $ config_arg $ simplify_arg $ certify_arg $ proof_arg)
+    $ config_arg $ simplify_arg $ certify_arg $ proof_arg $ incremental_arg $ symmetry_arg
+    $ default_device_arg)
 
 let budget c =
   let b = Core.Budget.of_seconds_opt c.budget_seconds in
   match c.conflict_budget with Some n -> Core.Budget.with_conflicts n b | None -> b
 
 let options c =
-  let cfg = c.config and b = budget c and simplify = c.simplify in
+  let cfg =
+    match c.symmetry with
+    | Some s -> { c.config with Core.Config.symmetry = s }
+    | None -> c.config
+  in
+  let b = budget c and simplify = c.simplify in
   let certify = c.certify and proof_file = c.proof_file in
   let workers = c.workers and share = c.share and cube_depth = c.cube_depth in
   let open Core.Synthesis.Options in
   let o = default |> with_config cfg |> with_budget b |> with_certify ?proof_file certify in
   let o = match simplify with Some b -> with_simplify b o | None -> o in
+  let o = match c.incremental with Some b -> with_incremental b o | None -> o in
+  let o = match c.default_device with Some d -> with_device d o | None -> o in
   with_workers ?share ?cube_depth
     (match workers with Some n -> n | None -> o.parallel.workers)
     o

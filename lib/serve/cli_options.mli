@@ -1,7 +1,8 @@
 (** Shared Cmdliner terms for the synthesis knobs, so [olsq2 synth] and
     [olsq2-serve] accept identical [-j] / [--share] / [--simplify] /
     [--budget] / [--conflict-budget] / [--cube-depth] / [-c] /
-    [--certify] / [--proof] flags from one definition. *)
+    [--certify] / [--proof] / [--incremental] / [--symmetry] /
+    [--default-device] flags from one definition. *)
 
 type common = {
   budget_seconds : float option;
@@ -15,9 +16,16 @@ type common = {
   simplify : bool option;
   certify : bool;
   proof_file : string option;
+  incremental : bool option;
+      (** [None] defers to {!Olsq2_core.Synthesis.Options.default}
+          (the [OLSQ2_INCREMENTAL] environment variable, or off) *)
+  symmetry : bool option;
+      (** overrides [config.symmetry] when set *)
+  default_device : string option;
+      (** named device carried into [Options.device] *)
 }
 
-(** All nine flags as one Cmdliner term. *)
+(** All the flags as one Cmdliner term. *)
 val term : common Cmdliner.Term.t
 
 (** The wall/conflict budget the flags describe. *)

@@ -205,14 +205,22 @@ let cache_key ~dkey ~ckey ~swap_duration ~objective_tag (options : Synthesis.Opt
 let parse ?(defaults = Synthesis.Options.default) body =
   let* j = Json.parse body in
   let* j = match j with Json.Obj _ -> Ok j | _ -> Error "request: expected a JSON object" in
-  let* device = parse_device j in
-  let* circuit = parse_circuit ~device j in
-  let* objective, objective_tag, obj_cacheable = parse_objective ~device j in
+  (* options first: a request may name its device only through
+     [options.device] (the same record the CLI fills from [--device]) *)
   let* options =
     match field "options" j with
     | None | Some Json.Null -> Ok defaults
     | Some o -> Synthesis.Options.of_json o
   in
+  let* device =
+    match (field "device" j, options.Synthesis.Options.device) with
+    | None, Some name -> (
+      try Ok (Devices.by_name name)
+      with Invalid_argument m -> Error ("options.device: " ^ m))
+    | _ -> parse_device j
+  in
+  let* circuit = parse_circuit ~device j in
+  let* objective, objective_tag, obj_cacheable = parse_objective ~device j in
   let* swap_duration =
     let* sd = opt_int "swap_duration" j in
     Ok (match sd with Some sd -> sd | None -> Suite.swap_duration_for circuit)

@@ -19,8 +19,10 @@ type parsed = {
 (** Parse a request body.  [defaults] (default
     {!Olsq2_core.Synthesis.Options.default}) is used when the request
     carries no ["options"] object — the daemon passes its command-line
-    configuration here.  [Error] messages name the offending field and
-    are safe to echo back to the client. *)
+    configuration here.  A request without a top-level ["device"] field
+    falls back to the parsed options' [device] name
+    ({!Olsq2_device.Devices.by_name}).  [Error] messages name the
+    offending field and are safe to echo back to the client. *)
 val parse :
   ?defaults:Olsq2_core.Synthesis.Options.t -> string -> (parsed, string) result
 

@@ -1,7 +1,9 @@
-(* Tests for coupling graphs and device builders. *)
+(* Tests for coupling graphs, device builders and automorphism orbits. *)
 
+module Q = QCheck
 module Coupling = Olsq2_device.Coupling
 module Devices = Olsq2_device.Devices
+module Symmetry = Olsq2_device.Symmetry
 
 let test_make_normalization () =
   let c = Coupling.make ~name:"t" ~num_qubits:3 [ (1, 0); (0, 1); (2, 1) ] in
@@ -89,6 +91,88 @@ let test_eagle_heavy_hex_structure () =
     (fun p -> Alcotest.(check int) "spacer degree" 2 (List.length (Coupling.neighbors c p)))
     spacers
 
+let test_eagle_pinned_edges () =
+  (* the generator reproduces ibm_washington's published numbering: row 0
+     hangs off spacer 14 at column 0, and the last row ends at qubit 126 *)
+  let c = Devices.eagle127 in
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check bool) (Printf.sprintf "edge %d-%d" a b) true (Coupling.are_adjacent c a b))
+    [ (0, 14); (14, 18); (108, 112); (112, 126) ];
+  (* eagle127 is exactly heavy_hex ~rows:7 ~row_len:15 *)
+  let g = Devices.heavy_hex ~rows:7 ~row_len:15 () in
+  Alcotest.(check int) "same qubits" c.Coupling.num_qubits g.Coupling.num_qubits;
+  Alcotest.(check int) "same edges" (Coupling.num_edges c) (Coupling.num_edges g);
+  for e = 0 to Coupling.num_edges c - 1 do
+    let a, b = Coupling.edge c e in
+    Alcotest.(check bool) "edge present in generator" true (Coupling.are_adjacent g a b)
+  done
+
+let test_osprey () = check_device "osprey" 433 504 3
+
+let test_heavy_hex_small () = check_device "heavy-hex-3x7" 23 24 3
+
+(* ---- generator properties ---- *)
+
+let degrees c = List.init c.Coupling.num_qubits (fun p -> List.length (Coupling.neighbors c p))
+
+(* [Coupling.make] collapses duplicates, so an exact edge-count pin
+   doubles as a no-duplicate-edges check on the generator's raw list. *)
+let qcheck_generators =
+  QCheck_alcotest.to_alcotest
+    (Q.Test.make ~name:"generator graphs: size, degree, connectivity" ~count:60
+       Q.(pair (2 -- 6) (3 -- 7))
+       (fun (r, c) ->
+         let grid = Devices.grid r c in
+         let torus = Devices.torus (max r 3) c in
+         let tr, tc = (max r 3, c) in
+         let ring = Devices.ring (r + c) in
+         let line = Devices.line (r + c) in
+         List.for_all Coupling.is_connected [ grid; torus; ring; line ]
+         && grid.Coupling.num_qubits = r * c
+         && Coupling.num_edges grid = (r * (c - 1)) + (c * (r - 1))
+         && List.for_all (fun d -> d <= 4) (degrees grid)
+         && torus.Coupling.num_qubits = tr * tc
+         && Coupling.num_edges torus = 2 * tr * tc
+         && List.for_all (fun d -> d = 4) (degrees torus)
+         && Coupling.num_edges ring = r + c
+         && List.for_all (fun d -> d = 2) (degrees ring)
+         && Coupling.num_edges line = r + c - 1))
+
+let qcheck_heavy_hex =
+  QCheck_alcotest.to_alcotest
+    (Q.Test.make ~name:"heavy-hex generator: size formula, degree <= 3, connected" ~count:20
+       (* rows odd >= 3, row_len = 4k+3 *)
+       Q.(pair (1 -- 3) (1 -- 6))
+       (fun (i, k) ->
+         let rows = (2 * i) + 1 and row_len = (4 * k) + 3 in
+         let c = Devices.heavy_hex ~rows ~row_len () in
+         let spacers_per_gap = (row_len + 1) / 4 in
+         c.Coupling.num_qubits = (rows * row_len) - 2 + ((rows - 1) * spacers_per_gap)
+         && Coupling.is_connected c
+         && List.for_all (fun d -> d <= 3) (degrees c)))
+
+(* ---- automorphism edge orbits ---- *)
+
+let test_edge_orbits () =
+  let reps d = List.length (Symmetry.edge_orbit_representatives d) in
+  (* vertex-transitive cycles/tori: a single edge orbit *)
+  Alcotest.(check int) "ring-5 one orbit" 1 (reps (Devices.ring 5));
+  Alcotest.(check int) "torus-3x3 one orbit" 1 (reps (Devices.torus 3 3));
+  (* grid-3x3 under the dihedral group: border edges vs center-incident *)
+  Alcotest.(check int) "grid-3x3 two orbits" 2 (reps (Devices.grid 3 3));
+  (* line-4: end edges vs the middle edge *)
+  Alcotest.(check int) "line-4 two orbits" 2 (reps (Devices.line 4));
+  (* eagle's lateral reflection halves the edge count *)
+  Alcotest.(check int) "eagle-127 orbit reps" 72 (reps Devices.eagle127);
+  (* representative array invariants: idempotent, rep is orbit minimum *)
+  let orbits = Symmetry.edge_orbits (Devices.grid 3 4) in
+  Array.iteri
+    (fun e r ->
+      Alcotest.(check bool) "rep <= member" true (r <= e);
+      Alcotest.(check int) "rep is a fixpoint" r orbits.(r))
+    orbits
+
 let test_by_name_grid () =
   let c = Devices.by_name "grid-4x5" in
   Alcotest.(check int) "grid qubits" 20 c.Coupling.num_qubits;
@@ -114,6 +198,12 @@ let suite =
         Alcotest.test_case "sycamore" `Quick test_sycamore;
         Alcotest.test_case "eagle 127" `Quick test_eagle;
         Alcotest.test_case "eagle heavy-hex spacers" `Quick test_eagle_heavy_hex_structure;
+        Alcotest.test_case "eagle pinned edges" `Quick test_eagle_pinned_edges;
+        Alcotest.test_case "osprey 433" `Quick test_osprey;
+        Alcotest.test_case "heavy-hex 3x7" `Quick test_heavy_hex_small;
+        qcheck_generators;
+        qcheck_heavy_hex;
+        Alcotest.test_case "edge orbits" `Quick test_edge_orbits;
         Alcotest.test_case "by_name grid" `Quick test_by_name_grid;
         Alcotest.test_case "all names resolve" `Quick test_all_names_resolve;
       ] );

@@ -53,6 +53,8 @@ let options_gen =
     let* workers = 1 -- 4 in
     let* share = bool in
     let* cube_depth = oneofl [ None; Some 2 ] in
+    let* incremental = bool in
+    let* device = oneofl [ None; Some "qx2"; Some "heavy-hex-127" ] in
     return
       {
         Options.config;
@@ -67,6 +69,8 @@ let options_gen =
         certify;
         proof_file;
         parallel = { Options.workers; share; cube_depth };
+        incremental;
+        device;
       })
 
 let options_arbitrary =
@@ -101,6 +105,27 @@ let test_options_bad () =
   bad {|{"parallel":{"workers":0}}|};
   bad {|{"budget":{"wall_seconds":-2}}|};
   bad {|{"config":{"cardinality":"maybe"}}|}
+
+(* A request with no top-level "device" falls back to options.device, the
+   same field the daemon's --default-device flag fills. *)
+let test_protocol_device_fallback () =
+  let parse body = Serve.Protocol.parse body in
+  let qubits (p : Serve.Protocol.parsed) =
+    p.Serve.Protocol.instance.Core.Instance.device.Coupling.num_qubits
+  in
+  (match parse {|{"circuit":"qft:3","device":"qx2"}|} with
+  | Error m -> Alcotest.failf "explicit device: %s" m
+  | Ok p -> check Alcotest.int "explicit device qubits" 5 (qubits p));
+  (match parse {|{"circuit":"qft:3","options":{"device":"heavy-hex-127"}}|} with
+  | Error m -> Alcotest.failf "options.device fallback: %s" m
+  | Ok p -> check Alcotest.int "options.device qubits" 127 (qubits p));
+  (* top-level device wins over options.device *)
+  (match parse {|{"circuit":"qft:3","device":"qx2","options":{"device":"heavy-hex-127"}}|} with
+  | Error m -> Alcotest.failf "both devices: %s" m
+  | Ok p -> check Alcotest.int "top-level device wins" 5 (qubits p));
+  match parse {|{"circuit":"qft:3","options":{"device":"no-such-chip"}}|} with
+  | Ok _ -> Alcotest.fail "accepted an unknown options.device"
+  | Error m -> checkb "error names the field" true (String.length m > 0)
 
 (* ---- canonicalization ---- *)
 
@@ -559,6 +584,7 @@ let suite =
         options_roundtrip;
         Alcotest.test_case "Options partial decode" `Quick test_options_partial;
         Alcotest.test_case "Options rejects malformed" `Quick test_options_bad;
+        Alcotest.test_case "Protocol device fallback" `Quick test_protocol_device_fallback;
         canonical_device_invariant;
         canonical_circuit_invariant;
         Alcotest.test_case "canonical keys distinguish structures" `Quick test_canonical_distinguishes;
