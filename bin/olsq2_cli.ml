@@ -29,7 +29,7 @@ open Cmdliner
 let circuit_arg =
   let doc =
     "Circuit spec: qaoa:N[:SEED], qft:N, tof:K, barenco_tof:K, ising:N[:STEPS], toffoli, \
-     queko:DEPTH:GATES[:SEED], or file:PATH (OpenQASM 2)."
+     queko:DEPTH:GATES[:SEED], quekno:DEPTH:GATES:SWAPS[:SEED], or file:PATH (OpenQASM 2)."
   in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
 

@@ -11,7 +11,16 @@
    - the inverse permutation is an initial mapping that executes the
      circuit with zero SWAPs in exactly [depth] cycles;
    - no schedule can beat [depth] (the dependency chain), so the optimal
-     depth is *known* and a depth-optimal synthesizer must hit it. *)
+     depth is *known* and a depth-optimal synthesizer must hit it.
+
+   [generate_with_witness] additionally returns the construction's ground
+   truth (initial placement, per-gate cycle, injected-SWAP plan) so the
+   evaluation harness can certify the constructed optimum without solving,
+   and supports a QUEKNO-style dial ([~swaps:k], Ping, Lin, Tan & Cong):
+   the placement is permuted by [k] planned SWAPs on device edges between
+   cycles, giving instances whose constructed cost ([k] SWAPs, [depth]
+   cycles plus the SWAP windows) is an upper bound on the optimum -- the
+   "near-optimal" benchmark family. *)
 
 module Circuit = Olsq2_circuit.Circuit
 module Coupling = Olsq2_device.Coupling
@@ -32,34 +41,64 @@ let of_counts ~depth ~total_gates ?(two_qubit_fraction = 0.5) () =
     two_qubit_fraction;
   }
 
-let generate ~seed (device : Coupling.t) spec =
+(* Ground truth of one construction, in *scrambled* (program) names for
+   [initial] and physical names for the SWAP plan: replaying [swap_plan]
+   over [initial] executes every cycle's gates on adjacent qubits. *)
+type witness = {
+  initial : int array;  (* program qubit -> starting physical qubit *)
+  gate_cycle : int array;  (* gate id -> construction cycle *)
+  swap_plan : ((int * int) * int) list;  (* physical edge, after this cycle *)
+  cycles : int;  (* = spec.depth *)
+}
+
+let generate_with_witness ~seed ?(swaps = 0) (device : Coupling.t) spec =
   let rng = Rng.create seed in
   let np = device.Coupling.num_qubits in
   let b = Circuit.builder np in
-  (* backbone qubit threading the dependency chain *)
+  (* placement state: identity at first, permuted by injected SWAPs.  The
+     circuit is built in placement space (gates name the program qubit
+     currently sitting on each physical qubit), so with [swaps = 0] the
+     construction and its RNG stream are exactly the classic QUEKO one. *)
+  let prog_at = Array.init np (fun p -> p) in (* physical -> program *)
+  let pos = Array.init np (fun q -> q) in (* program -> physical *)
+  let gate_cycles = ref [] in (* per-gate cycle, reversed *)
+  let swap_plan = ref [] in
+  (* backbone *program* qubit threading the dependency chain: consecutive
+     cycles share it even when injected SWAPs move it across the device *)
   let backbone = ref (Rng.int rng np) in
-  for _cycle = 0 to spec.depth - 1 do
+  (* plan the injected SWAPs: spaced evenly, never after the last cycle
+     (a SWAP no gate observes would not be part of the routed cost) *)
+  let swap_after =
+    if swaps <= 0 || spec.depth < 2 then [||]
+    else
+      Array.init swaps (fun i ->
+          min (spec.depth - 2) ((i + 1) * spec.depth / (swaps + 1)))
+  in
+  for cycle = 0 to spec.depth - 1 do
     let busy = Array.make np false in
     let cycle_gates = ref 0 in
     let add_two p p' =
       busy.(p) <- true;
       busy.(p') <- true;
       incr cycle_gates;
-      Circuit.add2 b "cx" p p'
+      gate_cycles := cycle :: !gate_cycles;
+      Circuit.add2 b "cx" prog_at.(p) prog_at.(p')
     in
     let add_one p =
       busy.(p) <- true;
       incr cycle_gates;
-      Circuit.add1 b "u3" p
+      gate_cycles := cycle :: !gate_cycles;
+      Circuit.add1 b "u3" prog_at.(p)
     in
     (* 1. backbone gate: prefer a two-qubit gate so the chain can move *)
-    let neighbors = Array.of_list (Coupling.neighbors device !backbone) in
+    let bp = pos.(!backbone) in
+    let neighbors = Array.of_list (Coupling.neighbors device bp) in
     if Array.length neighbors > 0 then begin
       let n = Rng.pick rng neighbors in
-      add_two !backbone n;
-      backbone := if Rng.bool rng then n else !backbone
+      add_two bp n;
+      backbone := if Rng.bool rng then prog_at.(n) else !backbone
     end
-    else add_one !backbone;
+    else add_one bp;
     (* 2. fill the cycle up to the density targets *)
     let want_two =
       int_of_float (Float.round (spec.two_qubit_fraction *. float_of_int spec.gates_per_cycle))
@@ -74,12 +113,38 @@ let generate ~seed (device : Coupling.t) spec =
     Rng.shuffle rng qubits;
     Array.iter
       (fun p -> if !cycle_gates < spec.gates_per_cycle && not busy.(p) then add_one p)
-      qubits
+      qubits;
+    (* 3. injected SWAPs planned after this cycle: permute the placement on
+       an edge at the backbone's position, so the SWAP is load-bearing for
+       the dependency chain's next gate *)
+    Array.iter
+      (fun c ->
+        if c = cycle then begin
+          let p = pos.(!backbone) in
+          let ns = Array.of_list (Coupling.neighbors device p) in
+          if Array.length ns > 0 then begin
+            let p' = Rng.pick rng ns in
+            let q = prog_at.(p) and q' = prog_at.(p') in
+            prog_at.(p) <- q';
+            prog_at.(p') <- q;
+            pos.(q) <- p';
+            pos.(q') <- p;
+            swap_plan := ((min p p', max p p'), cycle) :: !swap_plan
+          end
+        end)
+      swap_after
   done;
   let scrambled = Array.init np (fun i -> i) in
   Rng.shuffle rng scrambled;
-  let circuit = Circuit.build b ~name:"QUEKO" in
-  Circuit.rename_qubits circuit ~num_qubits:np (fun q -> scrambled.(q))
+  let circuit = Circuit.build b ~name:(if swaps > 0 then "QUEKNO" else "QUEKO") in
+  let circuit = Circuit.rename_qubits circuit ~num_qubits:np (fun q -> scrambled.(q)) in
+  (* program qubit [scrambled.(q)] started on physical qubit [q] *)
+  let initial = Array.make np 0 in
+  Array.iteri (fun q s -> initial.(s) <- q) scrambled;
+  let gate_cycle = Array.of_list (List.rev !gate_cycles) in
+  (circuit, { initial; gate_cycle; swap_plan = List.rev !swap_plan; cycles = spec.depth })
+
+let generate ~seed device spec = fst (generate_with_witness ~seed ~swaps:0 device spec)
 
 (* Generate by paper-style label parameters: target total gates at a known
    optimal depth. *)

@@ -1,6 +1,9 @@
 (** QUEKO-style benchmarks with known-optimal depth (Tan & Cong):
     circuits constructed directly on a device so that a zero-SWAP,
-    depth-[depth] schedule exists, and no schedule can do better. *)
+    depth-[depth] schedule exists, and no schedule can do better.
+    [generate_with_witness] also supports the QUEKNO-style near-optimal
+    dial (planned SWAPs woven into the construction) and returns the
+    construction's ground truth for certificate-carrying benchmarks. *)
 
 module Circuit = Olsq2_circuit.Circuit
 module Coupling = Olsq2_device.Coupling
@@ -8,6 +11,30 @@ module Coupling = Olsq2_device.Coupling
 type spec = { depth : int; gates_per_cycle : int; two_qubit_fraction : float }
 
 val of_counts : depth:int -> total_gates:int -> ?two_qubit_fraction:float -> unit -> spec
+
+(** Ground truth of one construction. Replaying [swap_plan] (physical
+    edge, applied after the given cycle) over [initial] executes every
+    gate of cycle [c] ([gate_cycle]) on adjacent physical qubits, so the
+    instance is solvable in exactly [cycles] gate cycles with
+    [List.length swap_plan] SWAPs. *)
+type witness = {
+  initial : int array;  (** program qubit -> starting physical qubit *)
+  gate_cycle : int array;  (** gate id -> construction cycle *)
+  swap_plan : ((int * int) * int) list;
+  cycles : int;
+}
+
+(** [generate_with_witness ~seed ?swaps device spec] builds the circuit
+    and its witness.  [swaps = 0] (default) is the classic zero-SWAP
+    QUEKO family: the witness certifies the exact optimal depth
+    ([cycles], the dependency chain) and exact optimal SWAP count (0).
+    [swaps = k > 0] weaves [k] placement SWAPs into the construction
+    (QUEKNO near-optimal family): the witness cost is an upper bound on
+    the optimum.  Deterministic in [seed]; for [swaps = 0] the circuit
+    equals [generate]'s. *)
+val generate_with_witness :
+  seed:int -> ?swaps:int -> Coupling.t -> spec -> Circuit.t * witness
+
 val generate : seed:int -> Coupling.t -> spec -> Circuit.t
 
 val generate_counts :

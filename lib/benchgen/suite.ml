@@ -10,8 +10,9 @@
      brick:<n>                  2-layer CX brickwork, n qubits
      toffoli                    the 15-gate running example
      queko:<depth>:<gates>[:<seed>]   QUEKO on the target device
+     quekno:<depth>:<gates>:<swaps>[:<seed>]   near-optimal QUEKNO dial
      file:<path>                OpenQASM 2 file
-   QUEKO needs the device, hence the [device] argument. *)
+   QUEKO/QUEKNO need the device, hence the [device] argument. *)
 
 module Circuit = Olsq2_circuit.Circuit
 module Coupling = Olsq2_device.Coupling
@@ -40,6 +41,12 @@ let parse_spec ?device spec =
     | None -> invalid_arg "Suite.parse_spec: queko specs need a device"
     | Some d ->
       Queko.generate_counts ~seed:(int_at 3 1) d ~depth:(int_at 1 5) ~total_gates:(int_at 2 15) ())
+  | "quekno" :: _ -> (
+    match device with
+    | None -> invalid_arg "Suite.parse_spec: quekno specs need a device"
+    | Some d ->
+      let spec = Queko.of_counts ~depth:(int_at 1 5) ~total_gates:(int_at 2 15) () in
+      fst (Queko.generate_with_witness ~seed:(int_at 4 1) ~swaps:(int_at 3 1) d spec))
   | [ "file"; path ] -> Qasm.parse_file path
   | _ -> invalid_arg (Printf.sprintf "Suite.parse_spec: cannot parse %S" spec)
 

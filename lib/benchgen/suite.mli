@@ -5,9 +5,10 @@ module Circuit = Olsq2_circuit.Circuit
 module Coupling = Olsq2_device.Coupling
 
 (** Parse a circuit spec such as ["qaoa:16:3"], ["qft:8"], ["tof:4"],
-    ["ising:10:25"], ["brick:50"], ["toffoli"], ["queko:5:100:1"]
-    (device required) or ["file:foo.qasm"].  Raises [Invalid_argument]
-    on malformed specs. *)
+    ["ising:10:25"], ["brick:50"], ["toffoli"], ["queko:5:100:1"] or
+    ["quekno:5:100:2:1"] (depth:gates:swaps[:seed], both need a device)
+    or ["file:foo.qasm"].  Raises [Invalid_argument] on malformed
+    specs. *)
 val parse_spec : ?device:Coupling.t -> string -> Circuit.t
 
 (** The paper's SWAP-duration convention: 1 for QAOA, 3 otherwise. *)

@@ -21,6 +21,32 @@ type t = {
 
 let initial_mapping t = if Array.length t.mapping = 0 then [||] else t.mapping.(0)
 
+(* Uniform cost summary shared by every synthesis arm (exact, heuristic,
+   SATMap-style): the evaluation harness reads costs from here instead of
+   re-deriving them from routed circuits, and arms that can fail
+   ([Astar_router], [Satmap]) report the same shape as arms that cannot. *)
+type summary = {
+  sm_source : string; (* engine that produced the result, e.g. "sabre" *)
+  sm_result : t option;
+  sm_depth : int; (* -1 when no result *)
+  sm_swaps : int; (* -1 when no result *)
+  sm_seconds : float;
+}
+
+let summarize ~source ?seconds result =
+  let depth, swaps, solve_seconds =
+    match result with
+    | Some r -> (r.depth, r.swap_count, r.solve_seconds)
+    | None -> (-1, -1, 0.0)
+  in
+  {
+    sm_source = source;
+    sm_result = result;
+    sm_depth = depth;
+    sm_swaps = swaps;
+    sm_seconds = (match seconds with Some s -> s | None -> solve_seconds);
+  }
+
 let status_string = function
   | Optimal -> "optimal"
   | Feasible -> "feasible"

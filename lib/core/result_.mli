@@ -22,6 +22,26 @@ type t = {
 }
 
 val initial_mapping : t -> int array
+
+(** Uniform cost summary shared by every synthesis arm.  Heuristic
+    routers ({!Olsq2_heuristic}) and the SATMap-style baseline expose
+    one of these next to their native return types, so the optimality-gap
+    harness reads [sm_depth] / [sm_swaps] without re-parsing routed
+    circuits, and arms that can fail report the same shape as arms that
+    cannot ([sm_depth] / [sm_swaps] are [-1] when [sm_result] is
+    [None]). *)
+type summary = {
+  sm_source : string;  (** engine that produced the result, e.g. ["sabre"] *)
+  sm_result : t option;
+  sm_depth : int;
+  sm_swaps : int;
+  sm_seconds : float;
+}
+
+(** [summarize ~source ?seconds result] builds a {!summary};
+    [sm_seconds] defaults to the result's [solve_seconds] (0 when
+    absent). *)
+val summarize : source:string -> ?seconds:float -> t option -> summary
 val status_string : status -> string
 val pp : Format.formatter -> t -> unit
 val pp_detailed : Format.formatter -> t -> unit

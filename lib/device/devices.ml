@@ -142,10 +142,32 @@ let osprey433 = heavy_hex ~name:"osprey" ~rows:13 ~row_len:27 ()
    (108,112)-(112,126) against the device documentation). *)
 let eagle127 = heavy_hex ~name:"eagle" ~rows:7 ~row_len:15 ()
 
+let all_names = [ "qx2"; "aspen-4"; "sycamore"; "eagle"; "osprey" ]
+
+(* Generator patterns [by_name] understands beyond [all_names], for CLI
+   help and the devices listing. *)
+let name_patterns =
+  [
+    ("grid-RxC", "R x C square lattice");
+    ("torus-RxC", "R x C lattice with wraparound (degree 4 everywhere)");
+    ("sycamore-RxC", "R x C Sycamore-style diagonal lattice");
+    ("heavy-hex-RxC", "IBM heavy-hex lattice, R qubit rows of C (R odd >= 3, C = 4k+3)");
+    ("heavy-hex-127", "IBM Eagle r3 heavy-hex (alias: eagle)");
+    ("heavy-hex-433", "IBM Osprey heavy-hex (alias: osprey)");
+    ("line-N", "N qubits in a line");
+    ("ring-N", "N qubits in a cycle");
+  ]
+
 (* Look up a device by its evaluation-section name, a published-device
    alias, or a generator pattern. *)
 let by_name s =
-  let fail () = invalid_arg ("Devices.by_name: unknown device " ^ s) in
+  let fail () =
+    invalid_arg
+      (Printf.sprintf
+         "Devices.by_name: unknown device %S; known devices: %s; generator patterns: %s" s
+         (String.concat ", " all_names)
+         (String.concat ", " (List.map fst name_patterns)))
+  in
   let int v = match int_of_string_opt v with Some n -> n | None -> fail () in
   let dims d =
     match String.split_on_char 'x' d with
@@ -176,19 +198,3 @@ let by_name s =
     | [ "line"; n ] -> line (int n)
     | [ "ring"; n ] -> ring (int n)
     | _ -> fail ())
-
-let all_names = [ "qx2"; "aspen-4"; "sycamore"; "eagle"; "osprey" ]
-
-(* Generator patterns [by_name] understands beyond [all_names], for CLI
-   help and the devices listing. *)
-let name_patterns =
-  [
-    ("grid-RxC", "R x C square lattice");
-    ("torus-RxC", "R x C lattice with wraparound (degree 4 everywhere)");
-    ("sycamore-RxC", "R x C Sycamore-style diagonal lattice");
-    ("heavy-hex-RxC", "IBM heavy-hex lattice, R qubit rows of C (R odd >= 3, C = 4k+3)");
-    ("heavy-hex-127", "IBM Eagle r3 heavy-hex (alias: eagle)");
-    ("heavy-hex-433", "IBM Osprey heavy-hex (alias: osprey)");
-    ("line-N", "N qubits in a line");
-    ("ring-N", "N qubits in a cycle");
-  ]

@@ -38,7 +38,9 @@ val osprey433 : Coupling.t
     ["heavy-hex-127"]/["heavy-hex-433"]/["aspen4"], or the generator
     patterns of [name_patterns] (["grid-3x4"], ["torus-4x4"],
     ["sycamore-6x9"], ["heavy-hex-3x7"], ["line-5"], ["ring-8"]).
-    Raises [Invalid_argument] otherwise. *)
+    Raises [Invalid_argument] otherwise; the message lists every known
+    device name and generator pattern, so a typo (["heavyhex-127"])
+    shows what would have matched. *)
 val by_name : string -> Coupling.t
 
 val all_names : string list

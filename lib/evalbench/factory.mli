@@ -1,0 +1,46 @@
+(** Known-optimal benchmark factory: QUEKO/QUEKNO constructions lowered
+    to certificate-carrying {!Known.t} instances, validated at generation
+    time by the independent checker. *)
+
+module Queko = Olsq2_benchgen.Queko
+module Result_ = Olsq2_core.Result_
+
+(** [Zero_swap]: classic QUEKO — exact optimal depth (the dependency
+    chain) and exact optimal SWAP count (0).  [Near_optimal k]: QUEKNO
+    dial — [k] SWAPs woven into the construction; certified bounds are
+    upper bounds on the optimum. *)
+type dial = Zero_swap | Near_optimal of int
+
+val dial_name : dial -> string
+
+(** Lower a construction witness to a concrete schedule: one time step
+    per cycle, a dedicated [swap_duration] window per injected SWAP. *)
+val witness_result : swap_duration:int -> Queko.witness -> Result_.t
+
+(** [make ~device ~depth ~total_gates ~dial ~seed ()] generates one
+    certificate-carrying instance on {!Olsq2_device.Devices.by_name}
+    [device].  Raises [Failure] if the constructed witness fails the
+    independent validator (a factory bug, never a solver issue), and
+    [Invalid_argument] on unknown device names. *)
+val make :
+  device:string ->
+  depth:int ->
+  total_gates:int ->
+  ?two_qubit_fraction:float ->
+  ?swap_duration:int ->
+  dial:dial ->
+  seed:int ->
+  unit ->
+  Known.t
+
+(** CI smoke family: three instances on <= 5 physical qubits, both
+    dials; the bed for exact-solver cross-checks. *)
+val smoke : unit -> Known.t list
+
+(** Scaling family: 36..127 physical qubits (torus, Sycamore, IBM Eagle
+    heavy-hex), both dials. *)
+val scaling : unit -> Known.t list
+
+(** Family lookup by name: ["smoke"], ["scaling"] or ["all"].  Raises
+    [Invalid_argument] otherwise. *)
+val family : string -> Known.t list

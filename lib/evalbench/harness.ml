@@ -1,0 +1,179 @@
+(* Optimality-gap evaluation harness.
+
+   Two sweeps over a [Known.t] instance:
+
+   - [heuristic_gaps]: every heuristic arm (SABRE, A* router, the
+     SATMap-style slicer) routes the instance once; its depth and SWAP
+     count are scored against the construction certificate as
+     *optimality-gap ratios* (found / known).  Heuristics are allowed to
+     be sub-optimal — gaps are data, not failures — but a result *below*
+     an exact certified optimum ([sound = false]) means the certificate
+     or the router is broken, and CI treats it as such.
+
+   - [solver_sweep]: every solver configuration (classic re-encode,
+     incremental session, cube-and-conquer pool, simplification,
+     symmetry breaking) optimizes the instance for depth and SWAPs,
+     reporting *time-to-optimal* and whether the claimed optimum matches
+     the certificate ([matches] — the CI hard gate: an optimal-mode
+     configuration disagreeing with a construction ground truth is a
+     correctness bug, never noise). *)
+
+module Config = Olsq2_core.Config
+module Budget = Olsq2_core.Budget
+module Synthesis = Olsq2_core.Synthesis
+module Instance = Olsq2_core.Instance
+module Result_ = Olsq2_core.Result_
+module Sabre = Olsq2_heuristic.Sabre
+module Astar_router = Olsq2_heuristic.Astar_router
+module Satmap = Olsq2_satmap.Satmap
+
+type objective = Depth_objective | Swap_objective
+
+let objective_name = function Depth_objective -> "depth" | Swap_objective -> "swaps"
+let all_objectives = [ Depth_objective; Swap_objective ]
+
+let known_bound (k : Known.t) = function
+  | Depth_objective -> k.Known.opt_depth
+  | Swap_objective -> k.Known.opt_swaps
+
+let summary_value (s : Result_.summary) = function
+  | Depth_objective -> s.Result_.sm_depth
+  | Swap_objective -> s.Result_.sm_swaps
+
+(* ---- heuristic arms ---- *)
+
+type arm = {
+  arm_name : string;
+  arm_run : seed:int -> budget:float -> Instance.t -> Result_.summary;
+}
+
+(* The A* router has no wall-clock budget, only a node budget, and its
+   per-node cost grows with device size (successor generation per edge,
+   O(qubits) state copies) — at the default 20k expansions x 3 restarts
+   a 100+ qubit scaling instance takes minutes per layer.  Shrink the
+   search on large devices so the arm stays a seconds-scale baseline;
+   the extra sub-optimality is exactly what the gap ratio measures. *)
+let astar_params instance =
+  let n = Instance.num_physical instance in
+  if n <= 20 then Astar_router.default_params
+  else { Astar_router.max_expansions = 2_000; restarts = 1 }
+
+let default_arms =
+  [
+    { arm_name = "sabre"; arm_run = (fun ~seed ~budget:_ i -> Sabre.synthesize_summary ~seed i) };
+    {
+      arm_name = "astar";
+      arm_run =
+        (fun ~seed ~budget:_ i ->
+          Astar_router.synthesize_summary ~params:(astar_params i) ~seed i);
+    };
+    {
+      arm_name = "satmap";
+      arm_run = (fun ~seed:_ ~budget i -> Satmap.synthesize_summary ~budget_seconds:budget i);
+    };
+  ]
+
+type gap_entry = {
+  g_instance : string;
+  g_arm : string;
+  g_objective : string;
+  g_found : int;  (* -1 when the arm produced no result *)
+  g_known : Known.bound;
+  g_ratio : float;  (* Known.gap_ratio; NaN when the arm failed *)
+  g_sound : bool;  (* found does not beat an exact certified optimum *)
+  g_seconds : float;
+}
+
+let heuristic_gaps ?(arms = default_arms) ?(seed = 1) ?(budget = 60.0) (k : Known.t) =
+  List.concat_map
+    (fun arm ->
+      let s = arm.arm_run ~seed ~budget k.Known.instance in
+      (* one routed result scores both objectives *)
+      List.map
+        (fun obj ->
+          let bound = known_bound k obj in
+          let found = summary_value s obj in
+          {
+            g_instance = k.Known.name;
+            g_arm = arm.arm_name;
+            g_objective = objective_name obj;
+            g_found = found;
+            g_known = bound;
+            g_ratio = Known.gap_ratio bound found;
+            g_sound = found < 0 || Known.feasible_consistent bound found;
+            g_seconds = s.Result_.sm_seconds;
+          })
+        all_objectives)
+    arms
+
+(* ---- solver configurations ---- *)
+
+type config_def = { cfg_name : string; cfg_options : Synthesis.Options.t }
+
+let solver_configs ?(budget = 60.0) ?(workers = 2) () =
+  let base =
+    Synthesis.Options.(
+      default |> with_config Config.olsq2_bv |> with_budget (Budget.of_seconds budget))
+  in
+  [
+    { cfg_name = "classic"; cfg_options = base };
+    { cfg_name = "incremental"; cfg_options = Synthesis.Options.with_incremental true base };
+    { cfg_name = Printf.sprintf "j%d" workers; cfg_options = Synthesis.Options.with_workers workers base };
+    { cfg_name = "simplify"; cfg_options = Synthesis.Options.with_simplify true base };
+    {
+      cfg_name = "symmetry";
+      cfg_options =
+        Synthesis.Options.with_config { Config.olsq2_bv with Config.symmetry = true } base;
+    };
+  ]
+
+type opt_entry = {
+  o_instance : string;
+  o_config : string;
+  o_objective : string;
+  o_found : int;  (* -1 when no schedule was found within budget *)
+  o_known : Known.bound;
+  o_claimed_optimal : bool;
+  o_matches : bool;  (* consistency of the claim with the certificate *)
+  o_seconds : float;  (* time-to-optimal (or to budget exhaustion) *)
+  o_iterations : int;
+}
+
+let run_config (k : Known.t) obj (c : config_def) =
+  let objective =
+    match obj with
+    | Depth_objective -> Synthesis.Depth
+    | Swap_objective -> Synthesis.Swaps { warm_start = None }
+  in
+  let report = Synthesis.run ~options:c.cfg_options ~objective k.Known.instance in
+  let bound = known_bound k obj in
+  let found =
+    match report.Synthesis.result with
+    | Some r -> (
+      match obj with
+      | Depth_objective -> r.Result_.depth
+      | Swap_objective -> r.Result_.swap_count)
+    | None -> -1
+  in
+  let matches =
+    if found < 0 then
+      (* finding nothing is budget exhaustion, not a mismatch — unless the
+         engine simultaneously claims optimality, which is a contradiction *)
+      not report.Synthesis.optimal
+    else if report.Synthesis.optimal then Known.optimal_consistent bound found
+    else Known.feasible_consistent bound found
+  in
+  {
+    o_instance = k.Known.name;
+    o_config = c.cfg_name;
+    o_objective = objective_name obj;
+    o_found = found;
+    o_known = bound;
+    o_claimed_optimal = report.Synthesis.optimal;
+    o_matches = matches;
+    o_seconds = report.Synthesis.seconds;
+    o_iterations = report.Synthesis.iterations;
+  }
+
+let solver_sweep ?(configs = solver_configs ()) ?(objectives = all_objectives) (k : Known.t) =
+  List.concat_map (fun obj -> List.map (run_config k obj) configs) objectives

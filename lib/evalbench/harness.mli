@@ -1,0 +1,71 @@
+(** Optimality-gap evaluation harness: heuristic arms scored against
+    construction certificates (optimality gap), solver configurations
+    raced to the certified optimum (time-to-optimal). *)
+
+module Synthesis = Olsq2_core.Synthesis
+module Instance = Olsq2_core.Instance
+module Result_ = Olsq2_core.Result_
+
+type objective = Depth_objective | Swap_objective
+
+val objective_name : objective -> string
+val all_objectives : objective list
+val known_bound : Known.t -> objective -> Known.bound
+
+(** A heuristic arm: routes an instance into a uniform summary.  [seed]
+    feeds randomized arms; [budget] caps the SATMap-style arm's solver
+    time (pure heuristics ignore it). *)
+type arm = {
+  arm_name : string;
+  arm_run : seed:int -> budget:float -> Instance.t -> Result_.summary;
+}
+
+(** SABRE, the A* layer router, and the SATMap-style slicer. *)
+val default_arms : arm list
+
+type gap_entry = {
+  g_instance : string;
+  g_arm : string;
+  g_objective : string;
+  g_found : int;  (** [-1] when the arm produced no result *)
+  g_known : Known.bound;
+  g_ratio : float;  (** {!Known.gap_ratio}; NaN when the arm failed *)
+  g_sound : bool;
+      (** [false] iff the arm beat an exact certified optimum — a
+          certificate or router bug, treated as a hard failure *)
+  g_seconds : float;
+}
+
+(** Route [k] once per arm and score both objectives against the
+    certificate. *)
+val heuristic_gaps :
+  ?arms:arm list -> ?seed:int -> ?budget:float -> Known.t -> gap_entry list
+
+(** A named solver configuration for the time-to-optimal race. *)
+type config_def = { cfg_name : string; cfg_options : Synthesis.Options.t }
+
+(** The standard ladder: classic re-encode, [--incremental],
+    [-j workers], [--simplify], [--symmetry] — each under [budget]
+    seconds. *)
+val solver_configs : ?budget:float -> ?workers:int -> unit -> config_def list
+
+type opt_entry = {
+  o_instance : string;
+  o_config : string;
+  o_objective : string;
+  o_found : int;  (** [-1] when no schedule was found within budget *)
+  o_known : Known.bound;
+  o_claimed_optimal : bool;
+  o_matches : bool;
+      (** claimed-optimal results must match ([Exact]) or not exceed
+          ([At_most]) the certificate; feasible results must not beat an
+          exact optimum.  [false] is the CI hard-gate condition. *)
+  o_seconds : float;
+  o_iterations : int;
+}
+
+val run_config : Known.t -> objective -> config_def -> opt_entry
+
+(** Run every configuration on every objective. *)
+val solver_sweep :
+  ?configs:config_def list -> ?objectives:objective list -> Known.t -> opt_entry list

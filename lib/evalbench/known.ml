@@ -1,0 +1,73 @@
+(* Known-optimal benchmark instances (Ping, Lin, Tan & Cong style): a
+   synthesis instance whose optimal cost is known *by construction*, not
+   by solving.  The certificate is a [bound] per objective plus the
+   constructed witness schedule that achieves it, so every claim here is
+   checkable by [Validate] alone — no solver in the trusted base. *)
+
+module Instance = Olsq2_core.Instance
+module Result_ = Olsq2_core.Result_
+module Json = Olsq2_obs.Obs.Json
+
+(* What the construction certifies about an optimum: the zero-SWAP QUEKO
+   family pins it exactly; the QUEKNO near-optimal dial only bounds it
+   from above (the witness cost is achievable, but a cleverer initial
+   mapping may beat the plan). *)
+type bound = Exact of int | At_most of int
+
+let bound_value = function Exact v | At_most v -> v
+let bound_is_exact = function Exact _ -> true | At_most _ -> false
+
+let bound_to_string = function
+  | Exact v -> string_of_int v
+  | At_most v -> Printf.sprintf "<=%d" v
+
+let bound_to_json = function
+  | Exact v -> Json.Obj [ ("kind", Json.Str "exact"); ("value", Json.Num (float_of_int v)) ]
+  | At_most v -> Json.Obj [ ("kind", Json.Str "at-most"); ("value", Json.Num (float_of_int v)) ]
+
+(* A run that *claims optimality* must hit an exact optimum on the nose
+   and can only improve on an upper bound. *)
+let optimal_consistent bound found =
+  match bound with Exact v -> found = v | At_most v -> found <= v
+
+(* Any valid schedule is at least the exact optimum; an upper bound says
+   nothing about feasible results. *)
+let feasible_consistent bound found =
+  match bound with Exact v -> found >= v | At_most _ -> true
+
+(* Optimality-gap ratio found/known, +1-smoothed when the known optimum
+   is 0 (the zero-SWAP families) so the ratio stays finite: 1.0 always
+   means "matched the optimum".  NaN when the arm produced nothing. *)
+let gap_ratio bound found =
+  if found < 0 then Float.nan
+  else
+    let known = bound_value bound in
+    if known = 0 then float_of_int (found + 1)
+    else float_of_int found /. float_of_int known
+
+type t = {
+  name : string;
+  family : string;  (* "zero-swap" or "near-optimal" *)
+  device_name : string;
+  seed : int;
+  instance : Instance.t;
+  opt_depth : bound;
+  opt_swaps : bound;
+  witness : Result_.t;  (* Validate-accepted schedule achieving the bounds *)
+}
+
+let to_json k =
+  let c = k.instance.Instance.circuit in
+  Json.Obj
+    [
+      ("name", Json.Str k.name);
+      ("family", Json.Str k.family);
+      ("device", Json.Str k.device_name);
+      ("seed", Json.Num (float_of_int k.seed));
+      ("qubits", Json.Num (float_of_int (Instance.num_physical k.instance)));
+      ("gates", Json.Num (float_of_int (Olsq2_circuit.Circuit.num_gates c)));
+      ("opt_depth", bound_to_json k.opt_depth);
+      ("opt_swaps", bound_to_json k.opt_swaps);
+      ("witness_depth", Json.Num (float_of_int k.witness.Result_.depth));
+      ("witness_swaps", Json.Num (float_of_int k.witness.Result_.swap_count));
+    ]

@@ -1,0 +1,46 @@
+(** Known-optimal benchmark instances: a synthesis instance bundled with
+    a construction-time certificate of its optimal depth and SWAP count,
+    plus the witness schedule achieving them.  Certificates are checkable
+    by {!Olsq2_core.Validate} alone — no solver in the trusted base. *)
+
+module Instance = Olsq2_core.Instance
+module Result_ = Olsq2_core.Result_
+
+(** [Exact v]: the optimum is [v] (zero-SWAP QUEKO families).
+    [At_most v]: the optimum is at most [v] (QUEKNO near-optimal dial:
+    the witness cost is achievable but possibly beatable). *)
+type bound = Exact of int | At_most of int
+
+val bound_value : bound -> int
+val bound_is_exact : bound -> bool
+val bound_to_string : bound -> string
+val bound_to_json : bound -> Olsq2_obs.Obs.Json.json
+
+(** Is [found] consistent with the certificate for a run that claims
+    optimality?  [Exact v] demands [found = v]; [At_most v] demands
+    [found <= v]. *)
+val optimal_consistent : bound -> int -> bool
+
+(** Is [found] consistent for a merely-feasible (budget-exhausted) run?
+    [Exact v] demands [found >= v]; upper bounds say nothing. *)
+val feasible_consistent : bound -> int -> bool
+
+(** Optimality-gap ratio [found / known], +1-smoothed when the known
+    optimum is 0 so zero-SWAP families stay finite (1.0 always means
+    "matched the optimum"); NaN when [found < 0] (arm failed). *)
+val gap_ratio : bound -> int -> float
+
+type t = {
+  name : string;
+  family : string;  (** ["zero-swap"] or ["near-optimal"] *)
+  device_name : string;
+  seed : int;
+  instance : Instance.t;
+  opt_depth : bound;
+  opt_swaps : bound;
+  witness : Result_.t;
+      (** constructed schedule achieving the certified bounds;
+          [Validate]-accepted at generation time *)
+}
+
+val to_json : t -> Olsq2_obs.Obs.Json.json

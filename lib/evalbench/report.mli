@@ -1,0 +1,27 @@
+(** JSON rendering of gap-harness results (schema ["olsq2.gap/1"]).
+    The ["optima_match"] key is shared with the parallel/incremental
+    sections of BENCH_<n>.json so one CI grep guards every optimal-mode
+    consistency claim. *)
+
+module Json = Olsq2_obs.Obs.Json
+
+val schema : string
+val gap_to_json : Harness.gap_entry -> Json.json
+val opt_to_json : Harness.opt_entry -> Json.json
+
+(** One instance with its heuristic gaps and solver race results. *)
+val instance_to_json :
+  Known.t -> gaps:Harness.gap_entry list -> opts:Harness.opt_entry list -> Json.json
+
+(** Full report for one family run. *)
+val family_report :
+  family:string ->
+  budget:float ->
+  (Known.t * Harness.gap_entry list * Harness.opt_entry list) list ->
+  Json.json
+
+(** Solver entries whose claimed result contradicts the certificate. *)
+val violations : Harness.opt_entry list -> Harness.opt_entry list
+
+(** Heuristic entries that beat an exact certified optimum. *)
+val unsound_gaps : Harness.gap_entry list -> Harness.gap_entry list

@@ -190,3 +190,8 @@ let synthesize ?(params = default_params) ?(seed = 1) (instance : Instance.t) =
       if better then best := Some r
   done;
   !best
+
+let synthesize_summary ?params ?seed instance =
+  let clock = Olsq2_util.Stopwatch.start () in
+  let result = synthesize ?params ?seed instance in
+  Result_.summarize ~source:"astar" ~seconds:(Olsq2_util.Stopwatch.elapsed clock) result

@@ -14,3 +14,8 @@ val default_params : params
 
 (** [None] when the node budget is exhausted on some layer. *)
 val synthesize : ?params:params -> ?seed:int -> Instance.t -> Result_.t option
+
+(** {!synthesize} as a uniform {!Result_.summary} (source ["astar"];
+    [sm_depth] / [sm_swaps] are [-1] when the node budget is exhausted),
+    the shape the optimality-gap harness consumes. *)
+val synthesize_summary : ?params:params -> ?seed:int -> Instance.t -> Result_.summary

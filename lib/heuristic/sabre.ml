@@ -305,3 +305,6 @@ let synthesize ?(params = default_params) ?(seed = 1) (instance : Instance.t) =
   match !best with
   | Some r -> { r with Result_.solve_seconds = Olsq2_util.Stopwatch.elapsed clock }
   | None -> assert false
+
+let synthesize_summary ?params ?seed instance =
+  Result_.summarize ~source:"sabre" (Some (synthesize ?params ?seed instance))

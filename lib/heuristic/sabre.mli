@@ -28,3 +28,7 @@ val schedule_ops : Instance.t -> mapping -> routed_op list -> Result_.t
 (** Route the instance and lower the result to a concrete, validator-
     accepted schedule.  Deterministic for a given [seed]. *)
 val synthesize : ?params:params -> ?seed:int -> Instance.t -> Result_.t
+
+(** {!synthesize} as a uniform {!Result_.summary} (source ["sabre"]), the
+    shape the optimality-gap harness consumes. *)
+val synthesize_summary : ?params:params -> ?seed:int -> Instance.t -> Result_.summary

@@ -169,3 +169,7 @@ let synthesize ?(params = default_params) ?(config = Config.default) ?budget_sec
       seconds = Stopwatch.elapsed clock;
     }
   end
+
+let synthesize_summary ?params ?config ?budget_seconds instance =
+  let o = synthesize ?params ?config ?budget_seconds instance in
+  Result_.summarize ~source:"satmap" ~seconds:o.seconds o.result

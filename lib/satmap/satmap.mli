@@ -23,3 +23,9 @@ type outcome = {
 
 val synthesize :
   ?params:params -> ?config:Config.t -> ?budget_seconds:float -> Instance.t -> outcome
+
+(** {!synthesize} as a uniform {!Result_.summary} (source ["satmap"];
+    [sm_depth] / [sm_swaps] are [-1] when synthesis failed), the shape
+    the optimality-gap harness consumes. *)
+val synthesize_summary :
+  ?params:params -> ?config:Config.t -> ?budget_seconds:float -> Instance.t -> Result_.summary

@@ -150,6 +150,66 @@ let test_suite_specs () =
     Alcotest.fail "bogus spec should fail"
   with Invalid_argument _ -> ()
 
+(* qcheck property: every generated instance (zero-SWAP QUEKO and
+   swap-injected QUEKNO alike) is solvable at its constructed depth on
+   the target device -- replaying the witness's swap plan over its
+   initial mapping runs each cycle's gates on adjacent, pairwise-disjoint
+   physical qubits, and the dependency chain pins the depth. *)
+let witness_case_gen =
+  QCheck.Gen.(
+    let* dev_i = 0 -- 2 in
+    let* depth = 2 -- 6 in
+    let* gates_per_cycle = 1 -- 3 in
+    let* swaps = 0 -- 2 in
+    let* seed = 0 -- 1000 in
+    return (dev_i, depth, gates_per_cycle, swaps, seed))
+
+let witness_case_arbitrary =
+  QCheck.make
+    ~print:(fun (d, depth, g, s, seed) ->
+      Printf.sprintf "dev=%d depth=%d gpc=%d swaps=%d seed=%d" d depth g s seed)
+    witness_case_gen
+
+let prop_witness_replay =
+  QCheck.Test.make ~count:150 ~name:"queko witness solvable at constructed depth"
+    witness_case_arbitrary
+    (fun (dev_i, depth, gates_per_cycle, swaps, seed) ->
+      let device =
+        List.nth [ Devices.qx2; Devices.grid 2 3; Devices.by_name "heavy-hex-3x7" ] dev_i
+      in
+      let spec = { Queko.depth; gates_per_cycle; two_qubit_fraction = 0.5 } in
+      let c, w = Queko.generate_with_witness ~seed ~swaps device spec in
+      let chain_ok = Dag.longest_chain (Dag.build c) = depth in
+      let shape_ok = w.Queko.cycles = depth && List.length w.Queko.swap_plan = swaps in
+      let pos = Array.copy w.Queko.initial in
+      let replay_ok = ref true in
+      for cyc = 0 to depth - 1 do
+        let used = Hashtbl.create 8 in
+        Array.iteri
+          (fun gid (g : Gate.t) ->
+            if w.Queko.gate_cycle.(gid) = cyc then begin
+              let phys = List.map (fun q -> pos.(q)) (Gate.qubits g) in
+              List.iter
+                (fun p ->
+                  if Hashtbl.mem used p then replay_ok := false;
+                  Hashtbl.replace used p ())
+                phys;
+              match phys with
+              | [ p; p' ] ->
+                if not (Olsq2_device.Coupling.are_adjacent device p p') then replay_ok := false
+              | _ -> ()
+            end)
+          c.Circuit.gates;
+        List.iter
+          (fun ((a, b), after) ->
+            if after = cyc then
+              Array.iteri
+                (fun q p -> if p = a then pos.(q) <- b else if p = b then pos.(q) <- a)
+                (Array.copy pos))
+          w.Queko.swap_plan
+      done;
+      chain_ok && shape_ok && !replay_ok)
+
 let test_qasm_of_generated () =
   (* every generator's output survives a QASM round trip *)
   let circuits =
@@ -176,5 +236,6 @@ let suite =
         Alcotest.test_case "standard families" `Quick test_standard_families;
         Alcotest.test_case "suite specs" `Quick test_suite_specs;
         Alcotest.test_case "generators qasm roundtrip" `Quick test_qasm_of_generated;
+        QCheck_alcotest.to_alcotest prop_witness_replay;
       ] );
   ]

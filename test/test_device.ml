@@ -176,8 +176,20 @@ let test_edge_orbits () =
 let test_by_name_grid () =
   let c = Devices.by_name "grid-4x5" in
   Alcotest.(check int) "grid qubits" 20 c.Coupling.num_qubits;
-  Alcotest.check_raises "unknown device" (Invalid_argument "Devices.by_name: unknown device nope")
-    (fun () -> ignore (Devices.by_name "nope"))
+  (* the unknown-name error must name what IS available: every fixed
+     device and every generator pattern *)
+  match Devices.by_name "nope" with
+  | _ -> Alcotest.fail "unknown device should raise"
+  | exception Invalid_argument msg ->
+    let contains sub =
+      let n = String.length sub and m = String.length msg in
+      let rec go i = i + n <= m && (String.sub msg i n = sub || go (i + 1)) in
+      Alcotest.(check bool) (Printf.sprintf "error mentions %S" sub) true (go 0)
+    in
+    contains "unknown device \"nope\"";
+    List.iter contains Devices.all_names;
+    contains "grid-RxC";
+    contains "heavy-hex-RxC"
 
 let test_all_names_resolve () =
   List.iter (fun n -> ignore (Devices.by_name n)) Devices.all_names

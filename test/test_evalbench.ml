@@ -1,0 +1,177 @@
+(* Tests for the known-optimal benchmark factory and the optimality-gap
+   harness (lib/evalbench): certificate arithmetic, factory families
+   (including the 127-qubit scaling entries), the certified-solver
+   cross-check on small instances, and the heuristic/solver sweeps. *)
+
+module E = Olsq2_evalbench
+module Known = E.Known
+module Factory = E.Factory
+module Harness = E.Harness
+module Report = E.Report
+module Core = Olsq2_core
+module Instance = Olsq2_core.Instance
+module Result_ = Olsq2_core.Result_
+module Sabre = Olsq2_heuristic.Sabre
+module Astar = Olsq2_heuristic.Astar_router
+module Satmap = Olsq2_satmap.Satmap
+module Devices = Olsq2_device.Devices
+
+let test_bound_arithmetic () =
+  Alcotest.(check int) "exact value" 4 (Known.bound_value (Known.Exact 4));
+  Alcotest.(check int) "at-most value" 7 (Known.bound_value (Known.At_most 7));
+  Alcotest.(check bool) "exact is exact" true (Known.bound_is_exact (Known.Exact 4));
+  Alcotest.(check bool) "at-most is not" false (Known.bound_is_exact (Known.At_most 7));
+  Alcotest.(check string) "at-most renders <=" "<=7" (Known.bound_to_string (Known.At_most 7));
+  (* optimal-claiming results: Exact must be met, At_most must not be
+     exceeded *)
+  Alcotest.(check bool) "optimal = exact" true (Known.optimal_consistent (Known.Exact 4) 4);
+  Alcotest.(check bool) "optimal above exact" false (Known.optimal_consistent (Known.Exact 4) 5);
+  Alcotest.(check bool) "optimal below exact" false (Known.optimal_consistent (Known.Exact 4) 3);
+  Alcotest.(check bool) "optimal under bound" true (Known.optimal_consistent (Known.At_most 7) 5);
+  Alcotest.(check bool) "optimal over bound" false (Known.optimal_consistent (Known.At_most 7) 8);
+  (* feasible results may never beat an exact optimum *)
+  Alcotest.(check bool) "feasible at exact" true (Known.feasible_consistent (Known.Exact 4) 4);
+  Alcotest.(check bool) "feasible beats exact" false (Known.feasible_consistent (Known.Exact 4) 3);
+  Alcotest.(check bool) "feasible vs at-most" true (Known.feasible_consistent (Known.At_most 7) 3)
+
+let test_gap_ratio () =
+  Alcotest.(check (float 1e-9)) "plain ratio" 1.5 (Known.gap_ratio (Known.Exact 4) 6);
+  (* +1-smoothing when the optimum is 0 (zero-SWAP families) *)
+  Alcotest.(check (float 1e-9)) "zero optimum, match" 1.0 (Known.gap_ratio (Known.Exact 0) 0);
+  Alcotest.(check (float 1e-9)) "zero optimum, one over" 2.0 (Known.gap_ratio (Known.Exact 0) 1);
+  Alcotest.(check bool) "failed arm is NaN" true (Float.is_nan (Known.gap_ratio (Known.Exact 4) (-1)))
+
+let test_factory_smoke_family () =
+  let ks = Factory.smoke () in
+  Alcotest.(check bool) "non-empty" true (ks <> []);
+  List.iter
+    (fun (k : Known.t) ->
+      (* the factory validates every witness; re-check the lowered result
+         against the certificate values here *)
+      Alcotest.(check int) "witness depth = certificate" (Known.bound_value k.Known.opt_depth)
+        k.Known.witness.Result_.depth;
+      Alcotest.(check int) "witness swaps = certificate" (Known.bound_value k.Known.opt_swaps)
+        k.Known.witness.Result_.swap_count)
+    ks;
+  let exact = List.filter (fun k -> Known.bound_is_exact k.Known.opt_depth) ks in
+  Alcotest.(check bool) "smoke has exact-certificate entries" true (exact <> [])
+
+let test_factory_scaling_family () =
+  (* the scaling family must reach the 127-qubit Eagle with certificates
+     intact (construction self-validates via Validate.check) *)
+  let ks = Factory.scaling () in
+  let max_qubits =
+    List.fold_left (fun acc k -> max acc (Instance.num_physical k.Known.instance)) 0 ks
+  in
+  Alcotest.(check bool) "reaches 127 qubits" true (max_qubits >= 127);
+  let eagle = List.filter (fun k -> k.Known.device_name = "heavy-hex-127") ks in
+  Alcotest.(check bool) "both dials on heavy-hex-127" true (List.length eagle >= 2);
+  List.iter
+    (fun (k : Known.t) ->
+      match (k.Known.opt_depth, k.Known.opt_swaps) with
+      | Known.Exact _, Known.Exact 0 -> () (* zero-swap dial *)
+      | Known.At_most _, Known.At_most s -> Alcotest.(check bool) "injected swaps" true (s > 0)
+      | _ -> Alcotest.fail "mixed certificate kinds on one instance")
+    ks
+
+let test_factory_dial_names () =
+  Alcotest.(check string) "zero-swap" "zero-swap" (Factory.dial_name Factory.Zero_swap);
+  Alcotest.(check string) "near-optimal" "near-optimal"
+    (Factory.dial_name (Factory.Near_optimal 3));
+  match Factory.family "nope" with
+  | _ -> Alcotest.fail "unknown family should raise"
+  | exception Invalid_argument _ -> ()
+
+(* ground-truth cross-check: on small (<= 8 qubit) instances the
+   certified optimal solver must land exactly on every Exact certificate
+   and within every At_most bound, for both objectives and every
+   configuration in the ladder. *)
+let test_certified_solver_cross_check () =
+  let small =
+    List.filter (fun k -> Instance.num_physical k.Known.instance <= 8) (Factory.smoke ())
+  in
+  Alcotest.(check bool) "have small instances" true (small <> []);
+  let configs = Harness.solver_configs ~budget:30.0 ~workers:2 () in
+  Alcotest.(check int) "five configurations" 5 (List.length configs);
+  List.iter
+    (fun k ->
+      List.iter
+        (fun (o : Harness.opt_entry) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %s %s claims optimal" o.Harness.o_instance o.Harness.o_config
+               o.Harness.o_objective)
+            true o.Harness.o_claimed_optimal;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %s %s matches certificate" o.Harness.o_instance
+               o.Harness.o_config o.Harness.o_objective)
+            true o.Harness.o_matches)
+        (Harness.solver_sweep ~configs k))
+    small
+
+let test_heuristic_gaps_sound () =
+  List.iter
+    (fun k ->
+      let gaps = Harness.heuristic_gaps ~seed:3 ~budget:10.0 k in
+      (* 3 arms x 2 objectives *)
+      Alcotest.(check int) "six entries" 6 (List.length gaps);
+      List.iter
+        (fun (g : Harness.gap_entry) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %s %s sound" g.Harness.g_instance g.Harness.g_arm
+               g.Harness.g_objective)
+            true g.Harness.g_sound;
+          if g.Harness.g_found >= 0 && Known.bound_is_exact g.Harness.g_known then
+            Alcotest.(check bool) "gap >= 1 on exact certificates" true (g.Harness.g_ratio >= 1.0))
+        gaps)
+    (Factory.smoke ())
+
+let test_summary_wrappers () =
+  let k = List.hd (Factory.smoke ()) in
+  let inst = k.Known.instance in
+  let check_summary source (s : Result_.summary) =
+    Alcotest.(check string) "source label" source s.Result_.sm_source;
+    Alcotest.(check bool) "routed" true (s.Result_.sm_result <> None);
+    Alcotest.(check bool) "depth populated" true (s.Result_.sm_depth >= 0);
+    Alcotest.(check bool) "swaps populated" true (s.Result_.sm_swaps >= 0);
+    Alcotest.(check bool) "timed" true (s.Result_.sm_seconds >= 0.0)
+  in
+  check_summary "sabre" (Sabre.synthesize_summary ~seed:1 inst);
+  check_summary "astar" (Astar.synthesize_summary inst);
+  check_summary "satmap" (Satmap.synthesize_summary ~budget_seconds:10.0 inst);
+  (* the no-result path keeps the -1 sentinel *)
+  let empty = Result_.summarize ~source:"none" None in
+  Alcotest.(check int) "no result depth" (-1) empty.Result_.sm_depth;
+  Alcotest.(check int) "no result swaps" (-1) empty.Result_.sm_swaps
+
+let test_report_json () =
+  let k = List.hd (Factory.smoke ()) in
+  let gaps = Harness.heuristic_gaps ~budget:10.0 k in
+  let configs =
+    List.filter
+      (fun c -> c.Harness.cfg_name = "classic")
+      (Harness.solver_configs ~budget:10.0 ())
+  in
+  let opts = Harness.solver_sweep ~configs k in
+  Alcotest.(check (list Alcotest.reject)) "no certificate violations" []
+    (Report.violations opts);
+  Alcotest.(check (list Alcotest.reject)) "no unsound gaps" [] (Report.unsound_gaps gaps);
+  let j = Report.family_report ~family:"smoke" ~budget:10.0 [ (k, gaps, opts) ] in
+  match Olsq2_obs.Obs.Json.member "schema" j with
+  | Some (Olsq2_obs.Obs.Json.Str s) -> Alcotest.(check string) "schema" Report.schema s
+  | _ -> Alcotest.fail "missing schema field"
+
+let suite =
+  [
+    ( "evalbench",
+      [
+        Alcotest.test_case "bound arithmetic" `Quick test_bound_arithmetic;
+        Alcotest.test_case "gap ratio" `Quick test_gap_ratio;
+        Alcotest.test_case "factory smoke family" `Quick test_factory_smoke_family;
+        Alcotest.test_case "factory scaling family" `Quick test_factory_scaling_family;
+        Alcotest.test_case "factory dials" `Quick test_factory_dial_names;
+        Alcotest.test_case "certified solver cross-check" `Quick test_certified_solver_cross_check;
+        Alcotest.test_case "heuristic gaps sound" `Quick test_heuristic_gaps_sound;
+        Alcotest.test_case "summary wrappers" `Quick test_summary_wrappers;
+        Alcotest.test_case "report json" `Quick test_report_json;
+      ] );
+  ]
