@@ -119,3 +119,20 @@ let read_json_file path =
   let s = really_input_string ic len in
   close_in ic;
   Json.parse s
+
+(* The commit hash benchmark reports are keyed by (bench/trend joins
+   BENCH_<n>.json history on it).  OLSQ2_BUILD_COMMIT (CI stamps the
+   workflow SHA) wins over asking git, so reports stay keyed even from
+   an exported tarball; "unknown" when neither source is available. *)
+let git_commit () =
+  match Sys.getenv_opt "OLSQ2_BUILD_COMMIT" with
+  | Some c when c <> "" -> c
+  | _ -> (
+    match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+    | ic -> (
+      let line = try input_line ic with End_of_file -> "" in
+      match (Unix.close_process_in ic, line) with
+      | Unix.WEXITED 0, c when c <> "" -> c
+      | _ -> "unknown"
+      | exception Unix.Unix_error _ -> "unknown")
+    | exception _ -> "unknown")

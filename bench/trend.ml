@@ -1,0 +1,109 @@
+(* bench/trend.exe: the performance-trajectory reader.
+
+     dune exec bench/trend.exe -- BENCH_0.json BENCH_1.json ...
+     dune exec bench/trend.exe -- --dir .           # every BENCH_<n>.json
+     dune exec bench/trend.exe -- --dir . bench_current.json
+                                                    # history + the run CI
+                                                    # just produced
+     dune exec bench/trend.exe -- --out trend.json --md trend.md --dir .
+
+   Joins committed bench/regress reports into per-instance trend lines
+   (wall, conflicts, encode clauses, heuristic gap ratios) keyed by
+   commit, prints a table, and exits 1 when the newest run's wall time
+   regressed beyond --tolerance x the median of the earlier runs (the
+   same 1.5x / 1 ms discipline as bench/regress's pairwise gate).  All
+   analysis lives in Trend_core; this file only does I/O. *)
+
+let bench_re_matches name =
+  (* BENCH_<digits>.json, no regex dependency *)
+  let pre = "BENCH_" and suf = ".json" in
+  let lp = String.length pre and ls = String.length suf in
+  String.length name > lp + ls
+  && String.sub name 0 lp = pre
+  && String.sub name (String.length name - ls) ls = suf
+  && String.for_all
+       (fun c -> c >= '0' && c <= '9')
+       (String.sub name lp (String.length name - lp - ls))
+
+let bench_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter bench_re_matches
+  |> List.sort (fun a b ->
+       (* numeric order: BENCH_2 before BENCH_10 *)
+       compare (String.length a, a) (String.length b, b))
+  |> List.map (Filename.concat dir)
+
+let load path =
+  match Bench_common.read_json_file path with
+  | Error e ->
+    Printf.eprintf "warning: %s: JSON parse error: %s (skipped)\n" path e;
+    None
+  | Ok j -> (
+    match Trend_core.run_of_json ~fallback_label:(Filename.basename path) j with
+    | Ok r -> Some r
+    | Error e ->
+      Printf.eprintf "warning: %s: %s (skipped)\n" path e;
+      None)
+
+let () =
+  let files = ref [] in
+  let dir = ref None in
+  let out = ref None in
+  let md = ref None in
+  let tolerance = ref Trend_core.default_tolerance in
+  let args =
+    [
+      ("--dir", Arg.String (fun s -> dir := Some s), "DIR load every BENCH_<n>.json under DIR (numeric order), before any FILE arguments");
+      ("--out", Arg.String (fun s -> out := Some s), "FILE write the trend report as JSON (schema olsq2.trend/1)");
+      ("--md", Arg.String (fun s -> md := Some s), "FILE write the trend report as a markdown table");
+      ("--tolerance", Arg.Set_float tolerance, "X regression threshold on latest-vs-median wall ratio (default 1.5)");
+    ]
+  in
+  Arg.parse args
+    (fun f -> files := f :: !files)
+    "trend [--dir DIR] [--out FILE] [--md FILE] [--tolerance X] [FILE ...]";
+  let paths = (match !dir with Some d -> bench_files d | None -> []) @ List.rev !files in
+  if paths = [] then begin
+    Printf.eprintf "error: no input reports (pass BENCH_<n>.json files or --dir)\n";
+    exit 2
+  end;
+  let runs = List.filter_map load paths in
+  if runs = [] then begin
+    Printf.eprintf "error: none of the %d input(s) parsed as benchmark reports\n"
+      (List.length paths);
+    exit 2
+  end;
+  let a = Trend_core.analyze ~tolerance:!tolerance runs in
+  Printf.printf "%d run(s): %s\n\n" (List.length a.Trend_core.a_runs)
+    (String.concat " -> " a.Trend_core.a_runs);
+  Printf.printf "%-26s %10s %10s %7s  %s\n" "instance" "median" "latest" "ratio" "status";
+  List.iter
+    (fun (t : Trend_core.trend) ->
+      Printf.printf "%-26s %10.3f %10.3f %6.2fx  %s\n" t.Trend_core.t_instance
+        t.Trend_core.t_median_wall t.Trend_core.t_latest_wall t.Trend_core.t_ratio
+        (if t.Trend_core.t_regressed then "REGRESSED" else "ok"))
+    a.Trend_core.a_trends;
+  Printf.printf "\ngeomean wall ratio: %.3fx\n" a.Trend_core.a_geomean_ratio;
+  (match !out with
+  | None -> ()
+  | Some p ->
+    Bench_common.write_json_file p (Trend_core.analysis_to_json a);
+    Printf.printf "JSON report written to %s\n" p);
+  (match !md with
+  | None -> ()
+  | Some p ->
+    let oc = open_out p in
+    output_string oc (Trend_core.to_markdown a);
+    close_out oc;
+    Printf.printf "markdown report written to %s\n" p);
+  if Trend_core.has_regression a then begin
+    Printf.printf "%d instance(s) regressed beyond %.2fx: %s\n"
+      (List.length a.Trend_core.a_regressed)
+      !tolerance
+      (String.concat ", " a.Trend_core.a_regressed);
+    exit 1
+  end
+  else begin
+    Printf.printf "no regressions beyond %.2fx\n" !tolerance;
+    exit 0
+  end

@@ -1,0 +1,342 @@
+(* Cross-run benchmark trend analysis (pure core).
+
+   bench/regress.exe emits one schema-versioned BENCH_<n>.json per run;
+   the committed files are the repo's performance trajectory.  This
+   module joins that history into per-instance trend lines — wall time,
+   solver conflicts, encoding size, heuristic gap ratios — keyed by the
+   report's "commit" field, and flags regressions: the latest run's wall
+   time beyond [tolerance] x the median of all earlier runs.
+
+   The median (not the previous run) is the reference so one historic
+   outlier cannot mask — or fake — a regression; sub-millisecond values
+   are floored to 1 ms before any ratio, mirroring bench/regress's own
+   gate, so timer noise on trivial instances never trips it.
+
+   Everything here is pure (no clock, no filesystem, no process): the
+   CLI in trend.ml does the I/O, the tests feed synthetic histories. *)
+
+module Json = Olsq2_obs.Obs.Json
+
+let wall_floor = 0.001
+let default_tolerance = 1.5
+
+(* ---- input: one parsed benchmark report ---- *)
+
+type metrics = {
+  wall : float;
+  conflicts : int;
+  encode_clauses : int;
+  optimal : bool;
+}
+
+type run = {
+  r_label : string; (* display key: the report's commit, or the filename *)
+  r_created : float; (* created_unix; orders the history *)
+  r_instances : (string * metrics) list;
+  r_gaps : (string * (string * float) list) list;
+      (* instance -> (heuristic arm -> gap ratio), from the "gap" section *)
+}
+
+let num_field j key =
+  match Json.member key j with Some (Json.Num f) -> Some f | _ -> None
+
+let str_field j key =
+  match Json.member key j with Some (Json.Str s) -> Some s | _ -> None
+
+(* Reports are read leniently (fields beyond schema "olsq2.bench/1"'s
+   core are optional): BENCH_0.json predates conflicts'/gap's existence
+   and must still contribute its wall times to the trend. *)
+let run_of_json ~fallback_label j =
+  match Json.member "instances" j with
+  | Some (Json.Arr xs) ->
+    let instances =
+      List.filter_map
+        (fun x ->
+          match (str_field x "name", num_field x "wall_seconds") with
+          | Some name, Some wall ->
+            Some
+              ( name,
+                {
+                  wall;
+                  conflicts =
+                    (match num_field x "conflicts" with Some f -> int_of_float f | None -> -1);
+                  encode_clauses =
+                    (match num_field x "encode_clauses" with Some f -> int_of_float f | None -> -1);
+                  optimal =
+                    (match Json.member "optimal" x with Some (Json.Bool b) -> b | _ -> false);
+                } )
+          | _ -> None)
+        xs
+    in
+    let gaps =
+      match Json.member "gap" j with
+      | Some g -> (
+        match Json.member "instances" g with
+        | Some (Json.Arr gs) ->
+          List.filter_map
+            (fun gi ->
+              match str_field gi "name" with
+              | None -> None
+              | Some name -> (
+                match Json.member "heuristic" gi with
+                | Some (Json.Arr hs) ->
+                  Some
+                    ( name,
+                      List.filter_map
+                        (fun h ->
+                          (* arms appear once per objective; key on both *)
+                          match (str_field h "arm", num_field h "gap_ratio") with
+                          | Some arm, Some r ->
+                            let key =
+                              match str_field h "objective" with
+                              | Some o -> arm ^ ":" ^ o
+                              | None -> arm
+                            in
+                            Some (key, r)
+                          | _ -> None)
+                        hs )
+                | _ -> None))
+            gs
+        | _ -> [])
+      | None -> []
+    in
+    Ok
+      {
+        r_label =
+          (match str_field j "commit" with
+          | Some c when c <> "" && c <> "unknown" -> c
+          | _ -> fallback_label);
+        r_created = (match num_field j "created_unix" with Some f -> f | None -> 0.0);
+        r_instances = instances;
+        r_gaps = gaps;
+      }
+  | _ -> Error "missing \"instances\" array"
+
+(* ---- analysis ---- *)
+
+type series = { labels : string list; values : float list }
+
+type trend = {
+  t_instance : string;
+  t_wall : series;
+  t_conflicts : series; (* -1 entries (field absent in old reports) are dropped *)
+  t_encode_clauses : series;
+  t_latest_wall : float;
+  t_median_wall : float; (* median of the runs before the latest; latest when alone *)
+  t_ratio : float; (* latest / median, both floored to 1 ms *)
+  t_regressed : bool;
+}
+
+type gap_trend = {
+  g_instance : string;
+  g_arm : string;
+  g_ratios : series;
+  g_latest : float;
+  g_median : float;
+}
+
+type analysis = {
+  a_tolerance : float;
+  a_runs : string list; (* labels, oldest first *)
+  a_trends : trend list;
+  a_gap_trends : gap_trend list;
+  a_geomean_ratio : float; (* geometric mean of per-instance ratios *)
+  a_regressed : string list; (* instances past tolerance *)
+}
+
+let median xs =
+  match List.sort compare xs with
+  | [] -> nan
+  | sorted ->
+    let n = List.length sorted in
+    let nth i = List.nth sorted i in
+    if n mod 2 = 1 then nth (n / 2) else (nth ((n / 2) - 1) +. nth (n / 2)) /. 2.0
+
+let geomean = function
+  | [] -> 1.0
+  | xs ->
+    exp (List.fold_left (fun acc x -> acc +. log (max x 1e-9)) 0.0 xs /. float_of_int (List.length xs))
+
+(* [series_of sel runs name] walks the (already ordered) runs and keeps
+   the (label, value) pairs where [name] was measured. *)
+let series_of sel runs name =
+  let pairs =
+    List.filter_map
+      (fun r ->
+        match List.assoc_opt name r.r_instances with
+        | Some m -> ( match sel m with Some v -> Some (r.r_label, v) | None -> None)
+        | None -> None)
+      runs
+  in
+  { labels = List.map fst pairs; values = List.map snd pairs }
+
+let analyze ?(tolerance = default_tolerance) runs =
+  let runs = List.stable_sort (fun a b -> compare a.r_created b.r_created) runs in
+  let names =
+    List.fold_left
+      (fun acc r ->
+        List.fold_left
+          (fun acc (n, _) -> if List.mem n acc then acc else acc @ [ n ])
+          acc r.r_instances)
+      [] runs
+  in
+  let trends =
+    List.map
+      (fun name ->
+        let wall = series_of (fun m -> Some m.wall) runs name in
+        let latest, history =
+          match List.rev wall.values with
+          | [] -> (nan, [])
+          | last :: earlier -> (last, List.rev earlier)
+        in
+        let med = match history with [] -> latest | _ -> median history in
+        let ratio =
+          if Float.is_nan latest then 1.0 else max latest wall_floor /. max med wall_floor
+        in
+        {
+          t_instance = name;
+          t_wall = wall;
+          t_conflicts =
+            series_of (fun m -> if m.conflicts < 0 then None else Some (float_of_int m.conflicts)) runs name;
+          t_encode_clauses =
+            series_of
+              (fun m -> if m.encode_clauses < 0 then None else Some (float_of_int m.encode_clauses))
+              runs name;
+          t_latest_wall = latest;
+          t_median_wall = med;
+          t_ratio = ratio;
+          t_regressed = ratio > tolerance;
+        })
+      names
+  in
+  let gap_trends =
+    let keys =
+      List.fold_left
+        (fun acc r ->
+          List.fold_left
+            (fun acc (inst, arms) ->
+              List.fold_left
+                (fun acc (arm, _) ->
+                  if List.mem (inst, arm) acc then acc else acc @ [ (inst, arm) ])
+                acc arms)
+            acc r.r_gaps)
+        [] runs
+    in
+    List.map
+      (fun (inst, arm) ->
+        let pairs =
+          List.filter_map
+            (fun r ->
+              match List.assoc_opt inst r.r_gaps with
+              | Some arms -> (
+                match List.assoc_opt arm arms with
+                | Some g -> Some (r.r_label, g)
+                | None -> None)
+              | None -> None)
+            runs
+        in
+        let values = List.map snd pairs in
+        let latest, history =
+          match List.rev values with [] -> (nan, []) | l :: e -> (l, List.rev e)
+        in
+        {
+          g_instance = inst;
+          g_arm = arm;
+          g_ratios = { labels = List.map fst pairs; values };
+          g_latest = latest;
+          g_median = (match history with [] -> latest | _ -> median history);
+        })
+      keys
+  in
+  let measured = List.filter (fun t -> not (Float.is_nan t.t_latest_wall)) trends in
+  {
+    a_tolerance = tolerance;
+    a_runs = List.map (fun r -> r.r_label) runs;
+    a_trends = trends;
+    a_gap_trends = gap_trends;
+    a_geomean_ratio = geomean (List.map (fun t -> t.t_ratio) measured);
+    a_regressed =
+      List.filter_map (fun t -> if t.t_regressed then Some t.t_instance else None) measured;
+  }
+
+let has_regression a = a.a_regressed <> []
+
+(* ---- output ---- *)
+
+let series_to_json s =
+  Json.Arr
+    (List.map2
+       (fun label v -> Json.Obj [ ("commit", Json.Str label); ("value", Json.Num v) ])
+       s.labels s.values)
+
+let trend_to_json t =
+  Json.Obj
+    [
+      ("name", Json.Str t.t_instance);
+      ("wall_seconds", series_to_json t.t_wall);
+      ("conflicts", series_to_json t.t_conflicts);
+      ("encode_clauses", series_to_json t.t_encode_clauses);
+      ("latest_wall_seconds", Json.Num t.t_latest_wall);
+      ("median_wall_seconds", Json.Num t.t_median_wall);
+      ("ratio", Json.Num t.t_ratio);
+      ("regressed", Json.Bool t.t_regressed);
+    ]
+
+let gap_trend_to_json g =
+  Json.Obj
+    [
+      ("name", Json.Str g.g_instance);
+      ("arm", Json.Str g.g_arm);
+      ("gap_ratio", series_to_json g.g_ratios);
+      ("latest", Json.Num g.g_latest);
+      ("median", Json.Num g.g_median);
+    ]
+
+let analysis_to_json a =
+  Json.Obj
+    [
+      ("schema", Json.Str "olsq2.trend/1");
+      ("tolerance", Json.Num a.a_tolerance);
+      ("runs", Json.Arr (List.map (fun l -> Json.Str l) a.a_runs));
+      ("instances", Json.Arr (List.map trend_to_json a.a_trends));
+      ("gap", Json.Arr (List.map gap_trend_to_json a.a_gap_trends));
+      ("geomean_ratio", Json.Num a.a_geomean_ratio);
+      ("regressed", Json.Arr (List.map (fun n -> Json.Str n) a.a_regressed));
+    ]
+
+let pp_values fmt s =
+  let n = List.length s.values in
+  List.iteri
+    (fun i v -> Format.fprintf fmt "%.3f%s" v (if i < n - 1 then " → " else ""))
+    s.values
+
+let to_markdown a =
+  let buf = Buffer.create 1024 in
+  let fmt = Format.formatter_of_buffer buf in
+  Format.fprintf fmt "# Benchmark trend@\n@\n";
+  Format.fprintf fmt "%d runs: %s@\n@\n" (List.length a.a_runs) (String.concat ", " a.a_runs);
+  Format.fprintf fmt "| instance | wall trend (s) | latest | median | ratio | status |@\n";
+  Format.fprintf fmt "|---|---|---|---|---|---|@\n";
+  List.iter
+    (fun t ->
+      Format.fprintf fmt "| %s | %a | %.3f | %.3f | %.2fx | %s |@\n" t.t_instance pp_values
+        t.t_wall t.t_latest_wall t.t_median_wall t.t_ratio
+        (if t.t_regressed then "**REGRESSED**" else "ok"))
+    a.a_trends;
+  if a.a_gap_trends <> [] then begin
+    Format.fprintf fmt "@\n| gap instance | arm | ratio trend | latest | median |@\n";
+    Format.fprintf fmt "|---|---|---|---|---|@\n";
+    List.iter
+      (fun g ->
+        Format.fprintf fmt "| %s | %s | %a | %.3f | %.3f |@\n" g.g_instance g.g_arm pp_values
+          g.g_ratios g.g_latest g.g_median)
+      a.a_gap_trends
+  end;
+  Format.fprintf fmt "@\ngeomean wall ratio (latest vs median-of-history): %.3fx@\n"
+    a.a_geomean_ratio;
+  (if has_regression a then
+     Format.fprintf fmt "@\n**%d instance(s) regressed beyond %.2fx.**@\n"
+       (List.length a.a_regressed) a.a_tolerance
+   else Format.fprintf fmt "@\nNo regressions beyond %.2fx.@\n" a.a_tolerance);
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf

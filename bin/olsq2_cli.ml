@@ -107,6 +107,13 @@ let prom_arg =
   in
   Arg.(value & opt (some string) None & info [ "prom" ] ~docv:"FILE" ~doc)
 
+let flamegraph_arg =
+  let doc =
+    "Write a collapsed-stack span profile (self time per span stack, in microseconds) to \
+     $(docv); render it with flamegraph.pl or inferno-flamegraph."
+  in
+  Arg.(value & opt (some string) None & info [ "flamegraph" ] ~docv:"FILE" ~doc)
+
 (* ---- synth ---- *)
 
 module Solver = Olsq2_sat.Solver
@@ -129,11 +136,12 @@ let print_stats_block ~label agg (iters : Core.Optimizer.iter_stat list) =
   end
 
 let run_synth circuit_spec device_name (common : Cli_options.common) swap_duration objective
-    method_ warm output trace metrics metrics_out stats prom =
+    method_ warm output trace metrics metrics_out stats prom flamegraph =
   let certify = common.Cli_options.certify in
   let simplify = common.Cli_options.simplify in
   let obs =
-    if trace <> None || metrics || metrics_out <> None || prom <> None then (
+    if trace <> None || metrics || metrics_out <> None || prom <> None || flamegraph <> None
+    then (
       let t = Obs.create () in
       Obs.set_global t;
       t)
@@ -306,6 +314,13 @@ let run_synth circuit_spec device_name (common : Cli_options.common) swap_durati
     Obs.write_prometheus obs oc;
     close_out oc;
     Printf.printf "prometheus metrics written to %s\n" path);
+  (match flamegraph with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Obs.Profile.write_flamegraph obs oc;
+    close_out oc;
+    Printf.printf "flamegraph written to %s\n" path);
   code
 
 let synth_cmd =
@@ -315,7 +330,7 @@ let synth_cmd =
     Term.(
       const run_synth $ circuit_arg $ device_arg $ Cli_options.term $ swap_duration_arg
       $ objective_arg $ method_arg $ warm_start_arg $ output_arg $ trace_arg $ metrics_arg
-      $ metrics_out_arg $ stats_arg $ prom_arg)
+      $ metrics_out_arg $ stats_arg $ prom_arg $ flamegraph_arg)
 
 (* ---- generate ---- *)
 

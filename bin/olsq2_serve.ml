@@ -29,7 +29,15 @@ let verbose_arg =
   let doc = "Log request lifecycle on stderr." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
-let run (common : Serve.Cli_options.common) port host pool handlers cache_capacity verbose =
+let access_log_arg =
+  let doc =
+    "Append one JSON line per request (ts, request id, method, path, status, seconds) to \
+     $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "access-log" ] ~docv:"FILE" ~doc)
+
+let run (common : Serve.Cli_options.common) port host pool handlers cache_capacity verbose
+    access_log =
   (* the shared synthesis flags become the per-request defaults: a
      request without an "options" object runs under them, and the
      daemon's --budget backstops requests that bring none of their own *)
@@ -42,6 +50,7 @@ let run (common : Serve.Cli_options.common) port host pool handlers cache_capaci
       cache_capacity;
       default_options = Serve.Cli_options.options common;
       verbose;
+      access_log;
     }
   in
   let server = Serve.Server.start cfg in
@@ -63,6 +72,6 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ Serve.Cli_options.term $ port_arg $ host_arg $ pool_arg $ handlers_arg
-      $ cache_capacity_arg $ verbose_arg)
+      $ cache_capacity_arg $ verbose_arg $ access_log_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -53,7 +53,7 @@ let family_report ~family ~budget instances =
   Json.Obj
     [
       ("schema", Json.Str schema);
-      ("created_unix", Json.Num (Unix.gettimeofday ()));
+      ("created_unix", json_int (int_of_float (Unix.gettimeofday ())));
       ("family", Json.Str family);
       ("budget_seconds", Json.Num budget);
       ( "instances",

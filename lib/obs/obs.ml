@@ -218,9 +218,30 @@ let record t b ev =
     b.len <- b.len + 1
   end
 
-type span = { sp_name : string; sp_start : float; sp_depth : int; sp_attrs : (string * value) list; sp_live : bool }
+type span = {
+  sp_name : string;
+  sp_start : float;
+  sp_depth : int;
+  sp_attrs : (string * value) list;
+  sp_live : bool;
+  sp_minor : float; (* Gc.quick_stat words/collections at begin_span *)
+  sp_major : float;
+  sp_minor_col : int;
+  sp_major_col : int;
+}
 
-let null_span = { sp_name = ""; sp_start = 0.0; sp_depth = 0; sp_attrs = []; sp_live = false }
+let null_span =
+  {
+    sp_name = "";
+    sp_start = 0.0;
+    sp_depth = 0;
+    sp_attrs = [];
+    sp_live = false;
+    sp_minor = 0.0;
+    sp_major = 0.0;
+    sp_minor_col = 0;
+    sp_major_col = 0;
+  }
 
 let begin_span t ?(attrs = []) name =
   if not t.on then null_span
@@ -228,7 +249,21 @@ let begin_span t ?(attrs = []) name =
     let b = buffer_of t in
     let depth = List.length b.stack in
     b.stack <- name :: b.stack;
-    { sp_name = name; sp_start = elapsed t; sp_depth = depth; sp_attrs = attrs; sp_live = true }
+    let g = Gc.quick_stat () in
+    {
+      sp_name = name;
+      sp_start = elapsed t;
+      sp_depth = depth;
+      sp_attrs = attrs;
+      sp_live = true;
+      (* quick_stat's minor_words lags until the next minor collection
+         (it is sampled at collection time); Gc.minor_words reads the
+         live allocation pointer *)
+      sp_minor = Gc.minor_words ();
+      sp_major = g.Gc.major_words;
+      sp_minor_col = g.Gc.minor_collections;
+      sp_major_col = g.Gc.major_collections;
+    }
   end
 
 let end_span t ?(attrs = []) sp =
@@ -236,6 +271,15 @@ let end_span t ?(attrs = []) sp =
     let b = buffer_of t in
     (match b.stack with hd :: tl when String.equal hd sp.sp_name -> b.stack <- tl | _ -> ());
     let now = elapsed t in
+    let g = Gc.quick_stat () in
+    let gc_attrs =
+      [
+        ("gc_minor_words", Float (Float.max 0.0 (Gc.minor_words () -. sp.sp_minor)));
+        ("gc_major_words", Float (Float.max 0.0 (g.Gc.major_words -. sp.sp_major)));
+        ("gc_minor_collections", Int (max 0 (g.Gc.minor_collections - sp.sp_minor_col)));
+        ("gc_major_collections", Int (max 0 (g.Gc.major_collections - sp.sp_major_col)));
+      ]
+    in
     record t b
       {
         kind = Span;
@@ -244,7 +288,7 @@ let end_span t ?(attrs = []) sp =
         dur = Float.max 0.0 (now -. sp.sp_start);
         tid = b.btid;
         depth = sp.sp_depth;
-        attrs = sp.sp_attrs @ attrs;
+        attrs = sp.sp_attrs @ attrs @ gc_attrs;
       }
   end
 
@@ -445,6 +489,199 @@ let pp_summary fmt s =
       s.hists
   end;
   Format.fprintf fmt "@]"
+
+(* ---- Profile: span-tree self-time and allocation attribution ---- *)
+
+module Profile = struct
+  type node = {
+    path : string list;
+    calls : int;
+    total_seconds : float;
+    self_seconds : float;
+    minor_words : float;
+    major_words : float;
+    minor_collections : int;
+    major_collections : int;
+  }
+
+  let attr_float attrs k =
+    match List.assoc_opt k attrs with
+    | Some (Float f) -> f
+    | Some (Int i) -> float_of_int i
+    | _ -> 0.0
+
+  let attr_int attrs k =
+    match List.assoc_opt k attrs with
+    | Some (Int i) -> i
+    | Some (Float f) -> int_of_float f
+    | _ -> 0
+
+  (* An open frame while rebuilding one domain's span stack.  Span events
+     are complete (recorded at end_span with their duration), so a frame's
+     own extent is known at push time; the mutable fields accumulate what
+     its direct children consumed, which is what turns inclusive span
+     durations into exclusive (self) time and allocations. *)
+  type frame = {
+    f_path : string list; (* innermost first *)
+    f_end : float;
+    f_depth : int;
+    f_dur : float;
+    f_minor : float;
+    f_major : float;
+    f_mincol : int;
+    f_majcol : int;
+    mutable f_cdur : float;
+    mutable f_cminor : float;
+    mutable f_cmajor : float;
+    mutable f_cmincol : int;
+    mutable f_cmajcol : int;
+  }
+
+  let of_events evs =
+    let tbl : (string list, node) Hashtbl.t = Hashtbl.create 64 in
+    let flush fr =
+      let path = List.rev fr.f_path in
+      let prev =
+        match Hashtbl.find_opt tbl path with
+        | Some n -> n
+        | None ->
+          {
+            path;
+            calls = 0;
+            total_seconds = 0.0;
+            self_seconds = 0.0;
+            minor_words = 0.0;
+            major_words = 0.0;
+            minor_collections = 0;
+            major_collections = 0;
+          }
+      in
+      Hashtbl.replace tbl path
+        {
+          prev with
+          calls = prev.calls + 1;
+          total_seconds = prev.total_seconds +. fr.f_dur;
+          self_seconds = prev.self_seconds +. Float.max 0.0 (fr.f_dur -. fr.f_cdur);
+          minor_words = prev.minor_words +. Float.max 0.0 (fr.f_minor -. fr.f_cminor);
+          major_words = prev.major_words +. Float.max 0.0 (fr.f_major -. fr.f_cmajor);
+          minor_collections = prev.minor_collections + max 0 (fr.f_mincol - fr.f_cmincol);
+          major_collections = prev.major_collections + max 0 (fr.f_majcol - fr.f_cmajcol);
+        }
+    in
+    let tids = Hashtbl.create 8 in
+    List.iter
+      (fun ev -> if ev.kind = Span && not (Hashtbl.mem tids ev.tid) then Hashtbl.add tids ev.tid ())
+      evs;
+    Hashtbl.iter
+      (fun tid () ->
+        let spans =
+          List.filter (fun ev -> ev.kind = Span && ev.tid = tid) evs
+          |> List.stable_sort (fun a b -> compare (a.ts, a.depth) (b.ts, b.depth))
+        in
+        let stack = ref [] in
+        let rec unwind ev =
+          match !stack with
+          | fr :: rest when fr.f_depth >= ev.depth || fr.f_end <= ev.ts +. 1e-12 ->
+            flush fr;
+            stack := rest;
+            unwind ev
+          | _ -> ()
+        in
+        List.iter
+          (fun ev ->
+            unwind ev;
+            let parent_path =
+              match !stack with
+              | fr :: _ ->
+                fr.f_cdur <- fr.f_cdur +. ev.dur;
+                fr.f_cminor <- fr.f_cminor +. attr_float ev.attrs "gc_minor_words";
+                fr.f_cmajor <- fr.f_cmajor +. attr_float ev.attrs "gc_major_words";
+                fr.f_cmincol <- fr.f_cmincol + attr_int ev.attrs "gc_minor_collections";
+                fr.f_cmajcol <- fr.f_cmajcol + attr_int ev.attrs "gc_major_collections";
+                fr.f_path
+              | [] -> []
+            in
+            stack :=
+              {
+                f_path = ev.name :: parent_path;
+                f_end = ev.ts +. ev.dur;
+                f_depth = ev.depth;
+                f_dur = ev.dur;
+                f_minor = attr_float ev.attrs "gc_minor_words";
+                f_major = attr_float ev.attrs "gc_major_words";
+                f_mincol = attr_int ev.attrs "gc_minor_collections";
+                f_majcol = attr_int ev.attrs "gc_major_collections";
+                f_cdur = 0.0;
+                f_cminor = 0.0;
+                f_cmajor = 0.0;
+                f_cmincol = 0;
+                f_cmajcol = 0;
+              }
+              :: !stack)
+          spans;
+        List.iter flush !stack)
+      tids;
+    Hashtbl.fold (fun _ n acc -> n :: acc) tbl []
+    |> List.sort (fun a b -> compare a.path b.path)
+
+  let of_tracer t = of_events (events t)
+
+  let merge a b =
+    let tbl : (string list, node) Hashtbl.t = Hashtbl.create 64 in
+    let absorb n =
+      match Hashtbl.find_opt tbl n.path with
+      | None -> Hashtbl.replace tbl n.path n
+      | Some p ->
+        Hashtbl.replace tbl n.path
+          {
+            p with
+            calls = p.calls + n.calls;
+            total_seconds = p.total_seconds +. n.total_seconds;
+            self_seconds = p.self_seconds +. n.self_seconds;
+            minor_words = p.minor_words +. n.minor_words;
+            major_words = p.major_words +. n.major_words;
+            minor_collections = p.minor_collections + n.minor_collections;
+            major_collections = p.major_collections + n.major_collections;
+          }
+    in
+    List.iter absorb a;
+    List.iter absorb b;
+    Hashtbl.fold (fun _ n acc -> n :: acc) tbl []
+    |> List.sort (fun a b -> compare a.path b.path)
+
+  let total_self nodes = List.fold_left (fun acc n -> acc +. n.self_seconds) 0.0 nodes
+
+  (* Collapsed-stack format (Brendan Gregg's flamegraph.pl /
+     inferno-flamegraph input): one line per distinct stack,
+     [outer;inner <self-microseconds>]. *)
+  let flamegraph_of_nodes nodes =
+    let buf = Buffer.create 1024 in
+    List.iter
+      (fun n ->
+        let us = int_of_float ((n.self_seconds *. 1e6) +. 0.5) in
+        Buffer.add_string buf (String.concat ";" n.path);
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (string_of_int us);
+        Buffer.add_char buf '\n')
+      nodes;
+    Buffer.contents buf
+
+  let to_flamegraph_string t = flamegraph_of_nodes (of_tracer t)
+
+  let write_flamegraph t oc = output_string oc (to_flamegraph_string t)
+
+  let pp_node_table fmt nodes =
+    let by_self = List.sort (fun a b -> compare b.self_seconds a.self_seconds) nodes in
+    Format.fprintf fmt "@[<v>%-44s %8s %10s %10s %12s %10s@," "stack" "calls" "self(s)"
+      "total(s)" "minor(Mw)" "major(Mw)";
+    List.iter
+      (fun n ->
+        Format.fprintf fmt "%-44s %8d %10.4f %10.4f %12.3f %10.3f@,"
+          (String.concat ";" n.path) n.calls n.self_seconds n.total_seconds
+          (n.minor_words /. 1e6) (n.major_words /. 1e6))
+      by_self;
+    Format.fprintf fmt "@]"
+end
 
 (* ---- JSON ---- *)
 

@@ -173,6 +173,57 @@ val summary : ?since:float -> t -> summary
 
 val pp_summary : Format.formatter -> summary -> unit
 
+(** {2 Profile: span-tree self-time and allocation attribution}
+
+    Rebuilds the call tree from recorded span events (per recording
+    domain, using start time, duration and nesting depth) and aggregates
+    one {!Profile.node} per distinct stack of span names.  A node's
+    [self_seconds] is its spans' duration minus the duration of their
+    direct child spans — the quantity a flamegraph plots — and the GC
+    fields are the same exclusive accounting applied to the per-span
+    allocation deltas that {!end_span} records (attributes
+    [gc_minor_words], [gc_major_words], [gc_minor_collections],
+    [gc_major_collections]). *)
+module Profile : sig
+  type node = {
+    path : string list;  (** stack of span names, outermost first *)
+    calls : int;
+    total_seconds : float;  (** inclusive: sum of span durations *)
+    self_seconds : float;  (** exclusive: total minus direct children *)
+    minor_words : float;  (** exclusive minor-heap allocation *)
+    major_words : float;  (** exclusive major-heap allocation *)
+    minor_collections : int;
+    major_collections : int;
+  }
+
+  (** Aggregate span events (other kinds are ignored) into per-stack
+      nodes, sorted by path.  Events may come from several domains; each
+      domain's stack is rebuilt independently. *)
+  val of_events : event list -> node list
+
+  val of_tracer : t -> node list
+
+  (** Combine two node lists path-wise (e.g. profiles of separate
+      tracers, one per benchmark instance). *)
+  val merge : node list -> node list -> node list
+
+  (** Sum of [self_seconds] — equals total traced wall time per domain
+      (the acceptance check against measured wall). *)
+  val total_self : node list -> float
+
+  (** Collapsed-stack flamegraph format ([outer;inner <self-µs>], one
+      line per stack) — feed to flamegraph.pl or inferno. *)
+  val flamegraph_of_nodes : node list -> string
+
+  val to_flamegraph_string : t -> string
+
+  val write_flamegraph : t -> out_channel -> unit
+
+  (** Table of nodes sorted by self time: stack, calls, self/total
+      seconds, minor/major megawords. *)
+  val pp_node_table : Format.formatter -> node list -> unit
+end
+
 (** {2 Sinks} *)
 
 (** One JSON object per line, e.g.
@@ -237,3 +288,7 @@ module Json : sig
 
   val to_string : json -> string
 end
+
+(** One event in the JSON-lines schema (the shape {!to_jsonl_string}
+    emits per line; used by the serve daemon's per-job trace endpoint). *)
+val event_to_json : event -> Json.json

@@ -83,6 +83,10 @@ type stats = {
   mutable removed_clauses : int;
   mutable solves : int;
   mutable solve_seconds : float;
+  mutable propagate_seconds : float;
+  mutable analyze_seconds : float;
+  mutable reduce_seconds : float;
+  mutable restart_seconds : float;
   mutable shared_exported : int;
   mutable shared_imported : int;
   lbd_hist : Hist.t;
@@ -99,6 +103,10 @@ let stats_zero () =
     removed_clauses = 0;
     solves = 0;
     solve_seconds = 0.0;
+    propagate_seconds = 0.0;
+    analyze_seconds = 0.0;
+    reduce_seconds = 0.0;
+    restart_seconds = 0.0;
     shared_exported = 0;
     shared_imported = 0;
     lbd_hist = Hist.create ();
@@ -122,6 +130,10 @@ let stats_diff ~after ~before =
     removed_clauses = after.removed_clauses - before.removed_clauses;
     solves = after.solves - before.solves;
     solve_seconds = after.solve_seconds -. before.solve_seconds;
+    propagate_seconds = after.propagate_seconds -. before.propagate_seconds;
+    analyze_seconds = after.analyze_seconds -. before.analyze_seconds;
+    reduce_seconds = after.reduce_seconds -. before.reduce_seconds;
+    restart_seconds = after.restart_seconds -. before.restart_seconds;
     shared_exported = after.shared_exported - before.shared_exported;
     shared_imported = after.shared_imported - before.shared_imported;
     lbd_hist = Hist.diff ~after:after.lbd_hist ~before:before.lbd_hist;
@@ -137,6 +149,10 @@ let stats_add ~into s =
   into.removed_clauses <- into.removed_clauses + s.removed_clauses;
   into.solves <- into.solves + s.solves;
   into.solve_seconds <- into.solve_seconds +. s.solve_seconds;
+  into.propagate_seconds <- into.propagate_seconds +. s.propagate_seconds;
+  into.analyze_seconds <- into.analyze_seconds +. s.analyze_seconds;
+  into.reduce_seconds <- into.reduce_seconds +. s.reduce_seconds;
+  into.restart_seconds <- into.restart_seconds +. s.restart_seconds;
   into.shared_exported <- into.shared_exported + s.shared_exported;
   into.shared_imported <- into.shared_imported + s.shared_imported;
   Hist.merge_into ~into:into.lbd_hist s.lbd_hist;
@@ -150,6 +166,15 @@ let pp_stats_record fmt s =
     "conflicts=%d decisions=%d propagations=%d (%.0f/s) restarts=%d learnt=%d removed=%d solves=%d"
     s.conflicts s.decisions s.propagations (propagations_per_second s) s.restarts s.learnt_clauses
     s.removed_clauses s.solves;
+  let phase_total =
+    s.propagate_seconds +. s.analyze_seconds +. s.reduce_seconds +. s.restart_seconds
+  in
+  if phase_total > 0.0 then begin
+    Format.fprintf fmt "@\nphase: propagate=%.3fs analyze=%.3fs reduce=%.3fs restart=%.3fs"
+      s.propagate_seconds s.analyze_seconds s.reduce_seconds s.restart_seconds;
+    if s.solve_seconds > 0.0 then
+      Format.fprintf fmt " (%.0f%% of solve)" (100.0 *. phase_total /. s.solve_seconds)
+  end;
   if s.shared_exported > 0 || s.shared_imported > 0 then
     Format.fprintf fmt "@\nshared: exported=%d imported=%d" s.shared_exported s.shared_imported;
   if not (Hist.is_empty s.lbd_hist) then Format.fprintf fmt "@\nlbd:   %a" Hist.pp s.lbd_hist;
@@ -987,11 +1012,32 @@ let integrate_shared t =
     end
 
 (* One restart-bounded search episode.  [assumptions] is an array; decision
-   levels 1..k correspond to assumption literals. *)
+   levels 1..k correspond to assumption literals.
+
+   Phase attribution: [mark] is the time of the last phase boundary; each
+   [tick_*] charges the interval since then to one phase and advances the
+   mark.  The propagate tick fires once per loop iteration (right after
+   unit propagation), so decision/assumption overhead between ticks is
+   charged to propagation — the cheap-counter approximation keeps it at
+   one clock read per decision or conflict while still attributing well
+   over 90% of solve time (the acceptance gate bench/regress checks). *)
 let search t assumptions conflict_budget deadline =
   let conflicts_here = ref 0 in
+  let mark = ref (Olsq2_util.Stopwatch.now ()) in
+  let tick cell =
+    let n = Olsq2_util.Stopwatch.now () in
+    cell := !cell +. (n -. !mark);
+    mark := n
+  in
+  let prop_acc = ref 0.0 and ana_acc = ref 0.0 and red_acc = ref 0.0 in
+  let flush_phases () =
+    t.stats.propagate_seconds <- t.stats.propagate_seconds +. !prop_acc;
+    t.stats.analyze_seconds <- t.stats.analyze_seconds +. !ana_acc;
+    t.stats.reduce_seconds <- t.stats.reduce_seconds +. !red_acc
+  in
   let rec loop () =
     let confl = propagate t in
+    tick prop_acc;
     if confl != dummy_clause then begin
       (* conflict *)
       t.stats.conflicts <- t.stats.conflicts + 1;
@@ -1014,6 +1060,7 @@ let search t assumptions conflict_budget deadline =
         record_learnt t learnt lbd;
         var_decay_activity t;
         clause_decay_activity t;
+        tick ana_acc;
         loop ()
       end
     end
@@ -1036,8 +1083,10 @@ let search t assumptions conflict_budget deadline =
     end
     else begin
       (* learnt DB housekeeping *)
-      if Vec.length t.learnts > 4000 + (Vec.length t.clauses / 2) + (t.stats.conflicts / 3) then
+      if Vec.length t.learnts > 4000 + (Vec.length t.clauses / 2) + (t.stats.conflicts / 3) then begin
         reduce_db t;
+        tick red_acc
+      end;
       (* extend with assumptions first *)
       let dl = decision_level t in
       if dl < Array.length assumptions then begin
@@ -1072,7 +1121,9 @@ let search t assumptions conflict_budget deadline =
       end
     end
   in
-  loop ()
+  let r = loop () in
+  flush_phases ();
+  r
 
 let solve_raw ?(assumptions = []) ?max_conflicts ?timeout t =
   t.stats.solves <- t.stats.solves + 1;
@@ -1116,12 +1167,17 @@ let solve_raw ?(assumptions = []) ?max_conflicts ?timeout t =
       | `Interrupted -> Unknown Interrupted
       | `Restart ->
         total_conflicts := !total_conflicts + budget;
+        (* Restart housekeeping (inprocessing, share-channel integration)
+           is the fourth attribution phase. *)
+        let r0 = Olsq2_util.Stopwatch.now () in
         (match t.inprocessor with
         | Some f when t.ok && t.stats.conflicts >= t.next_inprocess ->
           t.next_inprocess <- (2 * t.stats.conflicts) + 1000;
           f t
         | Some _ | None -> ());
         if t.ok then integrate_shared t;
+        t.stats.restart_seconds <-
+          t.stats.restart_seconds +. (Olsq2_util.Stopwatch.now () -. r0);
         if not t.ok then Unsat
         else begin
           match max_conflicts with
@@ -1136,6 +1192,30 @@ let solve_raw ?(assumptions = []) ?max_conflicts ?timeout t =
       (fun () -> if not t.ok then Unsat else restart_loop 0)
   end
 
+(* ---- clause-arena memory gauges ----
+
+   Approximate live byte counts for the learnt database and the watch
+   lists, from the boxed representation: a clause record is 6 words
+   (header + 5 fields) plus its literal array (header + 1 word per
+   literal); a watcher is a 3-word boxed pair plus its slot in the watch
+   vector.  Vec growth slack is not visible through the Vec API, so
+   these are lower bounds — stable ones, which is what trend lines
+   need. *)
+
+let word_bytes = 8
+
+let learnt_bytes t =
+  let words = ref 0 in
+  Vec.iter
+    (fun (c : clause) -> if not c.deleted then words := !words + 6 + 1 + Array.length c.lits)
+    t.learnts;
+  word_bytes * !words
+
+let watcher_bytes t =
+  let words = ref 0 in
+  Array.iter (fun ws -> words := !words + 1 + (4 * Vec.length ws)) t.watches;
+  word_bytes * !words
+
 module Obs = Olsq2_obs.Obs
 
 (* Every solve call is one span carrying the search-effort deltas, so a
@@ -1148,6 +1228,10 @@ let solve ?assumptions ?max_conflicts ?timeout t =
     let s = t.stats in
     let c0 = s.conflicts and p0 = s.propagations and d0 = s.decisions and r0 = s.restarts in
     let sec0 = s.solve_seconds in
+    let ph_prop0 = s.propagate_seconds
+    and ph_ana0 = s.analyze_seconds
+    and ph_red0 = s.reduce_seconds
+    and ph_rst0 = s.restart_seconds in
     let sp =
       Obs.begin_span obs "sat.solve"
         ~attrs:
@@ -1177,6 +1261,14 @@ let solve ?assumptions ?max_conflicts ?timeout t =
        [stats] histograms, so the tracer's event buffer is never flooded *)
     Obs.hist obs "sat.solve.seconds" (s.solve_seconds -. sec0);
     Obs.hist obs "sat.solve.conflicts" (float_of_int conflicts);
+    (* Phase attribution per solve call: the histogram _sum series is the
+       cumulative seconds per phase in the Prometheus exposition. *)
+    Obs.hist obs "sat.phase.propagate_seconds" (s.propagate_seconds -. ph_prop0);
+    Obs.hist obs "sat.phase.analyze_seconds" (s.analyze_seconds -. ph_ana0);
+    Obs.hist obs "sat.phase.reduce_seconds" (s.reduce_seconds -. ph_red0);
+    Obs.hist obs "sat.phase.restart_seconds" (s.restart_seconds -. ph_rst0);
+    Obs.gauge obs "sat.mem.learnt_bytes" (float_of_int (learnt_bytes t));
+    Obs.gauge obs "sat.mem.watcher_bytes" (float_of_int (watcher_bytes t));
     result
   end
 

@@ -53,6 +53,13 @@ type stats = {
   mutable removed_clauses : int;
   mutable solves : int;
   mutable solve_seconds : float;  (** wall time spent inside [solve] *)
+  mutable propagate_seconds : float;
+      (** phase attribution: unit propagation (plus decision overhead,
+          which is charged to the adjacent propagation tick) *)
+  mutable analyze_seconds : float;  (** conflict analysis + learning *)
+  mutable reduce_seconds : float;  (** learnt-DB reduction *)
+  mutable restart_seconds : float;
+      (** restart housekeeping: inprocessing + share integration *)
   mutable shared_exported : int;  (** learnts a share channel took a copy of *)
   mutable shared_imported : int;  (** clauses integrated from a share channel *)
   lbd_hist : Olsq2_obs.Obs.Histogram.t;  (** LBD of each learnt clause *)
@@ -76,10 +83,26 @@ val stats_add : into:stats -> stats -> unit
 (** Propagations per second of [solve] wall time ([0.] before any solve). *)
 val propagations_per_second : stats -> float
 
-(** Render a stats record: the counter line (with propagations/sec), then
-    one [lbd:] / [trail:] line each when non-empty (count, p50/p90/p99,
+(** Render a stats record: the counter line (with propagations/sec), a
+    [phase:] line splitting solve time across propagate / analyze /
+    reduce-DB / restart (with the fraction of [solve_seconds] the four
+    phases account for) when any phase time was recorded, then one
+    [lbd:] / [trail:] line each when non-empty (count, p50/p90/p99,
     max). *)
 val pp_stats_record : Format.formatter -> stats -> unit
+
+(** {2 Clause-arena memory gauges}
+
+    Approximate live byte counts (stable lower bounds from the boxed
+    representation), cheap enough to sample after every solve; exposed
+    as the [sat.mem.learnt_bytes] / [sat.mem.watcher_bytes] gauges when
+    tracing is on. *)
+
+(** Bytes held by live (non-deleted) learnt clauses. *)
+val learnt_bytes : t -> int
+
+(** Bytes held by the two-watched-literal scheme's watch lists. *)
+val watcher_bytes : t -> int
 
 val create : unit -> t
 

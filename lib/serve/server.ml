@@ -33,6 +33,7 @@ type config = {
   cache_capacity : int;
   default_options : Synthesis.Options.t;
   verbose : bool;
+  access_log : string option;  (* JSON-lines access log path *)
 }
 
 let default_config =
@@ -44,7 +45,17 @@ let default_config =
     cache_capacity = 256;
     default_options = Synthesis.Options.default;
     verbose = false;
+    access_log = None;
   }
+
+let version = "1.0.0"
+
+(* Build commit for fleet observability: stamped into the environment at
+   build/deploy time (CI exports the workflow SHA); "unknown" otherwise. *)
+let build_commit () =
+  match Sys.getenv_opt "OLSQ2_BUILD_COMMIT" with
+  | Some c when c <> "" -> c
+  | _ -> "unknown"
 
 (* seconds past its own wall budget a run gets before the watchdog
    preempts it: the engine normally stops itself at the deadline via
@@ -59,12 +70,14 @@ type job_state = Queued | Running | Finished of int * string
 
 type job = {
   id : string;
+  rid : string;  (* request id of the connection that submitted the job *)
   mutable state : job_state;
   control : Budget.control;
   mutable deadline : float;  (* absolute; infinity until the run starts *)
   jm : Mutex.t;
   done_cv : Condition.t;
   submitted_at : float;
+  mutable trace : Json.json option;  (* per-job span trace, set at finish *)
 }
 
 type t = {
@@ -83,10 +96,14 @@ type t = {
   failures : int Atomic.t;  (* unexpected exceptions during jobs *)
   preemptions : int Atomic.t;
   next_id : int Atomic.t;
+  next_rid : int Atomic.t;  (* request ids, minted per connection *)
   mutable handler_domains : unit Domain.t list;
   mutable watchdog_domain : unit Domain.t option;
   obs : Obs.t;
+  owns_obs : bool;  (* the server installed the global tracer; stop resets it *)
   started_at : float;
+  access_oc : out_channel option;  (* JSON-lines access log sink *)
+  access_m : Mutex.t;
 }
 
 let port t = t.actual_port
@@ -97,17 +114,19 @@ let log t fmt =
 
 (* ---- job registry ---- *)
 
-let new_job t =
+let new_job t ~rid =
   let id = Printf.sprintf "j%d" (Atomic.fetch_and_add t.next_id 1) in
   let job =
     {
       id;
+      rid;
       state = Queued;
       control = Budget.control ();
       deadline = infinity;
       jm = Mutex.create ();
       done_cv = Condition.create ();
       submitted_at = Unix.gettimeofday ();
+      trace = None;
     }
   in
   Mutex.lock t.registry_m;
@@ -172,10 +191,39 @@ let response_body ~job ~(p : Protocol.parsed) ~hit ~optimal ~iterations ~seconds
          ("result", match result with Some r -> Protocol.result_to_json r | None -> Json.Null);
        ])
 
+(* How many events a stored per-job trace keeps (the SAT solver records
+   one span per solve, so even deep bound refinements stay well under
+   this; the cap bounds memory held by the done-job registry). *)
+let max_trace_events = 2000
+
+(* Snapshot the span/instant events this worker domain recorded during
+   the job's window — the global tracer is shared, so the (tid, time
+   window) pair is what scopes a job's trace.  The request id rides in
+   the surrounding [serve.job] span's attributes, which is how a trace
+   retrieved via [GET /jobs/:id/trace] proves cross-domain propagation. *)
+let capture_trace t ~tid ~t0 ~t1 =
+  let evs =
+    List.filter
+      (fun ev ->
+        ev.Obs.tid = tid
+        && (ev.Obs.kind = Obs.Span || ev.Obs.kind = Obs.Instant)
+        && ev.Obs.ts >= t0 -. 1e-9
+        && ev.Obs.ts <= t1 +. 1e-9)
+      (Obs.events t.obs)
+  in
+  let rec take n = function [] -> [] | x :: tl -> if n = 0 then [] else x :: take (n - 1) tl in
+  Json.Arr (List.map Obs.event_to_json (take max_trace_events evs))
+
 let run_job t job (p : Protocol.parsed) =
   Mutex.lock job.jm;
   job.state <- Running;
   Mutex.unlock job.jm;
+  let trace_tid = (Domain.self () :> int) in
+  let trace_t0 = Obs.elapsed t.obs in
+  let sp =
+    Obs.begin_span t.obs "serve.job"
+      ~attrs:[ ("request_id", Obs.Str job.rid); ("job", Obs.Str job.id) ]
+  in
   let started = Unix.gettimeofday () in
   let queue_seconds = started -. job.submitted_at in
   let options =
@@ -237,16 +285,23 @@ let run_job t job (p : Protocol.parsed) =
         log t "job %s: failed: %s" job.id (Printexc.to_string exn);
         (500, Protocol.error_body (Printexc.to_string exn)))
   in
+  Obs.end_span t.obs sp ~attrs:[ ("status", Obs.Int status) ];
+  if Obs.enabled t.obs then begin
+    let trace = capture_trace t ~tid:trace_tid ~t0:trace_t0 ~t1:(Obs.elapsed t.obs) in
+    Mutex.lock job.jm;
+    job.trace <- Some trace;
+    Mutex.unlock job.jm
+  end;
   finish_job t job status body
 
-let submit t body =
+let submit t ~rid body =
   Atomic.incr t.synth_requests;
   match Protocol.parse ~defaults:t.cfg.default_options body with
   | Error m ->
     Atomic.incr t.bad_requests;
     Error (400, Protocol.error_body m)
   | Ok p ->
-    let job = new_job t in
+    let job = new_job t ~rid in
     if Taskpool.submit t.pool (fun () -> run_job t job p) then Ok job
     else begin
       finish_job t job 503 (Protocol.error_body "server is shutting down");
@@ -270,6 +325,9 @@ let metrics_body t =
       series `Counter "serve_cache_misses" (float_of_int s.Cache.misses);
       series `Counter "serve_cache_evictions" (float_of_int s.Cache.evictions);
       series `Gauge "serve_cache_size" (float_of_int s.Cache.size);
+      series `Gauge "serve_cache_hit_ratio"
+        (let lookups = s.Cache.hits + s.Cache.misses in
+         if lookups = 0 then 0.0 else float_of_int s.Cache.hits /. float_of_int lookups);
       series `Gauge "serve_jobs_pending" (float_of_int (Taskpool.pending t.pool));
       series `Gauge "serve_jobs_running" (float_of_int (Taskpool.running t.pool));
       series `Counter "serve_jobs_completed" (float_of_int (Taskpool.completed t.pool));
@@ -316,24 +374,81 @@ let job_status_body job =
          );
        ])
 
-let route t (req : Http.request) =
+let healthz_body t =
+  Json.to_string
+    (Json.Obj
+       [
+         ("status", Json.Str "ok");
+         ("uptime_seconds", Json.Num (Unix.gettimeofday () -. t.started_at));
+         ("version", Json.Str version);
+       ])
+
+let buildinfo_body t =
+  Json.to_string
+    (Json.Obj
+       [
+         ("version", Json.Str version);
+         ("commit", Json.Str (build_commit ()));
+         ("uptime_seconds", Json.Num (Unix.gettimeofday () -. t.started_at));
+         ("started_unix", Json.Num (Float.round t.started_at));
+         ("handlers", Json.Num (float_of_int (max 1 t.cfg.handlers)));
+         ("pool_workers", Json.Num (float_of_int (Taskpool.workers t.pool)));
+       ])
+
+let job_trace_body job =
+  Mutex.lock job.jm;
+  let state = job.state and trace = job.trace in
+  Mutex.unlock job.jm;
+  match state with
+  | Queued | Running -> Error (409, Protocol.error_body ("job " ^ job.id ^ " is not finished"))
+  | Finished _ ->
+    let events = match trace with Some tr -> tr | None -> Json.Arr [] in
+    Ok
+      (Json.to_string
+         (Json.Obj
+            [
+              ("request_id", Json.Str job.id);
+              ("rid", Json.Str job.rid);
+              ("events", events);
+            ]))
+
+(* Endpoint label for per-endpoint latency histograms: a closed
+   vocabulary (job ids collapse into jobs_poll/jobs_trace), so the
+   metric family's cardinality stays fixed. *)
+let endpoint_label meth path =
+  let is_jobs = String.length path > 6 && String.sub path 0 6 = "/jobs/" in
+  match (meth, path) with
+  | "GET", "/healthz" -> "healthz"
+  | "GET", "/metrics" -> "metrics"
+  | "GET", "/stats" -> "stats"
+  | "GET", "/buildinfo" -> "buildinfo"
+  | "POST", "/synthesize" -> "synthesize"
+  | "POST", "/jobs" -> "jobs_submit"
+  | "GET", _ when is_jobs ->
+    let suffix = "/trace" in
+    let ls = String.length suffix and lp = String.length path in
+    if lp > ls && String.sub path (lp - ls) ls = suffix then "jobs_trace" else "jobs_poll"
+  | _ -> "other"
+
+let route t ~rid (req : Http.request) =
   let path =
     match String.index_opt req.Http.target '?' with
     | Some i -> String.sub req.Http.target 0 i
     | None -> req.Http.target
   in
   match (req.Http.meth, path) with
-  | "GET", "/healthz" -> (200, `Json (Json.to_string (Json.Obj [ ("status", Json.Str "ok") ])))
+  | "GET", "/healthz" -> (200, `Json (healthz_body t))
+  | "GET", "/buildinfo" -> (200, `Json (buildinfo_body t))
   | "GET", "/metrics" -> (200, `Text (metrics_body t))
   | "GET", "/stats" -> (200, `Json (stats_body t))
   | "POST", "/synthesize" -> (
-    match submit t req.Http.body with
+    match submit t ~rid req.Http.body with
     | Error (status, body) -> (status, `Json body)
     | Ok job ->
       let status, body = wait_job job in
       (status, `Json body))
   | "POST", "/jobs" -> (
-    match submit t req.Http.body with
+    match submit t ~rid req.Http.body with
     | Error (status, body) -> (status, `Json body)
     | Ok job ->
       ( 202,
@@ -342,6 +457,17 @@ let route t (req : Http.request) =
              (Json.Obj
                 [ ("request_id", Json.Str job.id); ("status_url", Json.Str ("/jobs/" ^ job.id)) ]))
       ))
+  | "GET", path
+    when String.length path > 12
+         && String.sub path 0 6 = "/jobs/"
+         && String.sub path (String.length path - 6) 6 = "/trace" -> (
+    let id = String.sub path 6 (String.length path - 12) in
+    match find_job t id with
+    | None -> (404, `Json (Protocol.error_body ("unknown job " ^ id)))
+    | Some job -> (
+      match job_trace_body job with
+      | Ok body -> (200, `Json body)
+      | Error (status, body) -> (status, `Json body)))
   | "GET", path when String.length path > 6 && String.sub path 0 6 = "/jobs/" -> (
     let id = String.sub path 6 (String.length path - 6) in
     match find_job t id with
@@ -355,6 +481,31 @@ let route t (req : Http.request) =
 
 (* ---- connection handling ---- *)
 
+(* One JSON object per request on the access log: timestamp, request id,
+   method, path, status, wall seconds.  The channel is shared by all
+   handler domains, so line writes serialize on [access_m]. *)
+let access_log_line t ~rid ~meth ~path ~status ~seconds =
+  match t.access_oc with
+  | None -> ()
+  | Some oc ->
+    let line =
+      Json.to_string
+        (Json.Obj
+           [
+             ("ts", Json.Num (Unix.gettimeofday ()));
+             ("request_id", Json.Str rid);
+             ("method", Json.Str meth);
+             ("path", Json.Str path);
+             ("status", Json.Num (float_of_int status));
+             ("seconds", Json.Num seconds);
+           ])
+    in
+    Mutex.lock t.access_m;
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    Mutex.unlock t.access_m
+
 let handle_connection t fd =
   (* a silent client must not wedge a handler domain forever *)
   (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.0 with Unix.Unix_error _ -> ());
@@ -362,12 +513,28 @@ let handle_connection t fd =
   | Error m -> Http.write_response fd ~status:400 (Protocol.error_body m)
   | Ok req ->
     Atomic.incr t.requests;
+    let rid = Printf.sprintf "r%d" (Atomic.fetch_and_add t.next_rid 1) in
+    let label = endpoint_label req.Http.meth req.Http.target in
+    let t0 = Unix.gettimeofday () in
+    let sp =
+      Obs.begin_span t.obs "serve.request"
+        ~attrs:
+          [
+            ("request_id", Obs.Str rid);
+            ("method", Obs.Str req.Http.meth);
+            ("path", Obs.Str req.Http.target);
+          ]
+    in
     let status, body =
-      try route t req
+      try route t ~rid req
       with exn ->
         Atomic.incr t.failures;
         (500, `Json (Protocol.error_body (Printexc.to_string exn)))
     in
+    Obs.end_span t.obs sp ~attrs:[ ("status", Obs.Int status) ];
+    let seconds = Unix.gettimeofday () -. t0 in
+    Obs.hist t.obs ("serve.latency." ^ label) seconds;
+    access_log_line t ~rid ~meth:req.Http.meth ~path:req.Http.target ~status ~seconds;
     (match body with
     | `Json b -> Http.write_response fd ~status b
     | `Text b -> Http.write_response fd ~status ~content_type:"text/plain; version=0.0.4" b));
@@ -410,6 +577,10 @@ let watchdog_loop t () =
         (fun job ->
           Atomic.incr t.preemptions;
           log t "job %s: wall deadline exceeded, preempting" job.id;
+          (* the watchdog domain stamps the same request id the handler
+             minted, so a preemption shows up in the request's trace *)
+          Obs.instant t.obs "serve.preempt"
+            ~attrs:[ ("request_id", Obs.Str job.rid); ("job", Obs.Str job.id) ];
           Budget.preempt job.control)
         overdue;
       Unix.sleepf watchdog_interval;
@@ -431,12 +602,12 @@ let start cfg =
   let actual_port =
     match Unix.getsockname listen_fd with Unix.ADDR_INET (_, p) -> p | _ -> cfg.port
   in
-  let obs =
-    if Obs.enabled (Obs.global ()) then Obs.global ()
+  let obs, owns_obs =
+    if Obs.enabled (Obs.global ()) then (Obs.global (), false)
     else begin
       let o = Obs.create () in
       Obs.set_global o;
-      o
+      (o, true)
     end
   in
   let t =
@@ -456,10 +627,18 @@ let start cfg =
       failures = Atomic.make 0;
       preemptions = Atomic.make 0;
       next_id = Atomic.make 0;
+      next_rid = Atomic.make 0;
       handler_domains = [];
       watchdog_domain = None;
       obs;
+      owns_obs;
       started_at = Unix.gettimeofday ();
+      access_oc =
+        (match cfg.access_log with
+        | None -> None
+        | Some path ->
+          Some (open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path));
+      access_m = Mutex.create ();
     }
   in
   t.handler_domains <-
@@ -484,6 +663,8 @@ let stop t =
     t.watchdog_domain <- None;
     Taskpool.shutdown t.pool;
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (match t.access_oc with Some oc -> ( try close_out oc with Sys_error _ -> ()) | None -> ());
+    if t.owns_obs then Obs.set_global Obs.disabled;
     log t "stopped"
   end
 

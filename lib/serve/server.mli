@@ -7,8 +7,24 @@
       responds when the run finishes (or is answered from cache).
     - [POST /jobs] — asynchronous: [202] with a job id immediately.
     - [GET /jobs/ID] — job state, or the finished response verbatim.
-    - [GET /healthz], [GET /metrics] (Prometheus text),
+    - [GET /jobs/ID/trace] — the finished job's span trace (JSON-lines
+      event objects in an ["events"] array, including the worker-domain
+      [serve.job] span stamped with the submitting connection's request
+      id); [409] while the job is queued or running.
+    - [GET /healthz] (status, uptime, version),
+      [GET /buildinfo] (version, build commit from [OLSQ2_BUILD_COMMIT],
+      uptime, domain counts), [GET /metrics] (Prometheus text),
       [GET /stats] (JSON).
+
+    Request-scoped tracing: every connection is minted a request id
+    ([r<n>]) that rides through the handler's [serve.request] span, the
+    worker's [serve.job] span, and any watchdog [serve.preempt] instant,
+    so one id links all three domains' events.  Per-endpoint request
+    latencies land in [serve.latency.<endpoint>] histograms (a closed
+    label vocabulary) and the cache hit ratio in the
+    [olsq2_serve_cache_hit_ratio] gauge, both on [/metrics].  With
+    [access_log] set, each request appends one JSON line (ts, request
+    id, method, path, status, seconds).
 
     Requests run on a persistent worker-domain pool; each run's budget
     carries a preemption control that a watchdog domain fires (via
@@ -28,10 +44,12 @@ type config = {
           budget additionally backstops requests whose own options have
           none *)
   verbose : bool;  (** log request lifecycle on stderr *)
+  access_log : string option;
+      (** append a JSON line per request to this path ([None]: no log) *)
 }
 
 (** 127.0.0.1:8265, 1 worker, 2 handlers, cache 256, library default
-    options. *)
+    options, no access log. *)
 val default_config : config
 
 type t

@@ -6,4 +6,5 @@ let () =
    @ Test_device.suite @ Test_benchgen.suite @ Test_core.suite @ Test_baselines.suite
    @ Test_properties.suite @ Test_extensions.suite @ Test_edge_cases.suite
    @ Test_metrics.suite @ Test_obs.suite @ Test_simplify.suite @ Test_parallel.suite
-   @ Test_incremental.suite @ Test_serve.suite @ Test_evalbench.suite @ Test_integration.suite)
+   @ Test_incremental.suite @ Test_serve.suite @ Test_evalbench.suite @ Test_trend.suite
+   @ Test_integration.suite)

@@ -353,6 +353,119 @@ let test_chrome_export () =
       Alcotest.(check (list string)) "complete + counter phases" [ "C"; "X" ] phases
     | _ -> Alcotest.fail "no traceEvents array")
 
+(* ---- profile / flamegraph ---- *)
+
+(* Synthetic span events with exact timestamps, so self-time arithmetic
+   and the collapsed-stack rendering can be checked against goldens. *)
+let mk_span ?(tid = 0) ?(attrs = []) name ~ts ~dur ~depth =
+  { Obs.kind = Obs.Span; name; ts; dur; tid; depth; attrs }
+
+let profile_find nodes path =
+  match List.find_opt (fun n -> n.Obs.Profile.path = path) nodes with
+  | Some n -> n
+  | None -> Alcotest.failf "no profile node for stack %s" (String.concat ";" path)
+
+let test_profile_flamegraph_golden () =
+  (* root [0,10] with children a [1,4] and b [5,9]; a has leaf [2,3].
+     Self times: root 10-(3+4)=3, a 3-1=2, leaf 1, b 4. *)
+  let evs =
+    [
+      mk_span "root" ~ts:0.0 ~dur:10.0 ~depth:0;
+      mk_span "a" ~ts:1.0 ~dur:3.0 ~depth:1;
+      mk_span "leaf" ~ts:2.0 ~dur:1.0 ~depth:2;
+      mk_span "b" ~ts:5.0 ~dur:4.0 ~depth:1;
+      (* non-span events must be ignored by the profiler *)
+      { Obs.kind = Obs.Count; name = "noise"; ts = 0.5; dur = 0.0; tid = 0; depth = 1;
+        attrs = [ ("value", Obs.Int 1) ] };
+    ]
+  in
+  let nodes = Obs.Profile.of_events evs in
+  Alcotest.(check int) "four stacks" 4 (List.length nodes);
+  let self path = (profile_find nodes path).Obs.Profile.self_seconds in
+  Alcotest.(check (float 1e-9)) "root self excludes children" 3.0 (self [ "root" ]);
+  Alcotest.(check (float 1e-9)) "a self excludes leaf" 2.0 (self [ "root"; "a" ]);
+  Alcotest.(check (float 1e-9)) "leaf keeps its full time" 1.0 (self [ "root"; "a"; "leaf" ]);
+  Alcotest.(check (float 1e-9)) "b keeps its full time" 4.0 (self [ "root"; "b" ]);
+  Alcotest.(check (float 1e-9)) "root total is inclusive" 10.0
+    (profile_find nodes [ "root" ]).Obs.Profile.total_seconds;
+  Alcotest.(check (float 1e-9)) "self times sum to the wall" 10.0 (Obs.Profile.total_self nodes);
+  Alcotest.(check string) "collapsed-stack golden"
+    "root 3000000\nroot;a 2000000\nroot;a;leaf 1000000\nroot;b 4000000\n"
+    (Obs.Profile.flamegraph_of_nodes nodes)
+
+let test_profile_gc_accounting () =
+  let gc minor majcol =
+    [
+      ("gc_minor_words", Obs.Float minor);
+      ("gc_major_words", Obs.Float 0.0);
+      ("gc_minor_collections", Obs.Int 0);
+      ("gc_major_collections", Obs.Int majcol);
+    ]
+  in
+  let evs =
+    [
+      mk_span "outer" ~ts:0.0 ~dur:2.0 ~depth:0 ~attrs:(gc 100.0 3);
+      mk_span "inner" ~ts:0.5 ~dur:1.0 ~depth:1 ~attrs:(gc 60.0 1);
+    ]
+  in
+  let nodes = Obs.Profile.of_events evs in
+  let outer = profile_find nodes [ "outer" ] and inner = profile_find nodes [ "outer"; "inner" ] in
+  Alcotest.(check (float 1e-9)) "outer allocation is exclusive" 40.0 outer.Obs.Profile.minor_words;
+  Alcotest.(check (float 1e-9)) "inner keeps its allocation" 60.0 inner.Obs.Profile.minor_words;
+  Alcotest.(check int) "outer collections exclusive" 2 outer.Obs.Profile.major_collections;
+  Alcotest.(check int) "inner collections kept" 1 inner.Obs.Profile.major_collections
+
+let test_profile_merge_and_domains () =
+  (* per-domain stack reconstruction: overlapping timestamps in different
+     tids must not interleave *)
+  let evs =
+    [
+      mk_span "r" ~tid:0 ~ts:0.0 ~dur:1.0 ~depth:0;
+      mk_span "r" ~tid:1 ~ts:0.2 ~dur:1.0 ~depth:0;
+    ]
+  in
+  let nodes = Obs.Profile.of_events evs in
+  Alcotest.(check int) "one stack across domains" 1 (List.length nodes);
+  Alcotest.(check int) "both calls counted" 2 (profile_find nodes [ "r" ]).Obs.Profile.calls;
+  Alcotest.(check (float 1e-9)) "durations summed" 2.0
+    (profile_find nodes [ "r" ]).Obs.Profile.total_seconds;
+  (* merge combines node lists path-wise (bench/regress: one tracer per
+     instance folded into one flamegraph) *)
+  let other =
+    Obs.Profile.of_events
+      [ mk_span "r" ~ts:0.0 ~dur:3.0 ~depth:0; mk_span "s" ~ts:0.5 ~dur:1.0 ~depth:1 ]
+  in
+  let m = Obs.Profile.merge nodes other in
+  Alcotest.(check int) "merged stacks" 2 (List.length m);
+  Alcotest.(check int) "merged calls" 3 (profile_find m [ "r" ]).Obs.Profile.calls;
+  Alcotest.(check (float 1e-9)) "merged self" 4.0 (profile_find m [ "r" ]).Obs.Profile.self_seconds;
+  Alcotest.(check (float 1e-9)) "merged child self" 1.0
+    (profile_find m [ "r"; "s" ]).Obs.Profile.self_seconds
+
+(* Live-tracer end-to-end: spans carry GC deltas, and the profile's
+   self-times sum exactly to the root span's inclusive duration (the
+   flamegraph-vs-wall acceptance invariant). *)
+let test_profile_of_tracer () =
+  let t = Obs.create () in
+  Obs.with_span t "root" (fun () ->
+      Obs.with_span t "child" (fun () ->
+          ignore (Sys.opaque_identity (List.init 10_000 (fun i -> i)))));
+  (match List.find_opt (fun e -> e.Obs.name = "child") (Obs.events t) with
+  | None -> Alcotest.fail "no child span"
+  | Some e -> (
+    match List.assoc_opt "gc_minor_words" e.Obs.attrs with
+    | Some (Obs.Float w) -> Alcotest.(check bool) "allocation counted" true (w > 0.0)
+    | _ -> Alcotest.fail "span has no gc_minor_words attr"));
+  let nodes = Obs.Profile.of_tracer t in
+  let root = profile_find nodes [ "root" ] in
+  Alcotest.(check (float 1e-9)) "self times sum to the root wall"
+    root.Obs.Profile.total_seconds (Obs.Profile.total_self nodes);
+  let child = profile_find nodes [ "root"; "child" ] in
+  Alcotest.(check bool) "child allocation attributed" true (child.Obs.Profile.minor_words > 0.0);
+  Alcotest.(check bool) "allocations are exclusive" true
+    (root.Obs.Profile.minor_words +. child.Obs.Profile.minor_words > 0.0
+    && root.Obs.Profile.minor_words >= 0.0)
+
 (* ---- solver integration ---- *)
 
 let test_solver_records_spans () =
@@ -403,6 +516,23 @@ let test_solver_stats_and_progress () =
     && Hist.count st.Solver.trail_hist <= st.Solver.conflicts);
   Alcotest.(check bool) "solve wall time recorded" true (st.Solver.solve_seconds > 0.0);
   Alcotest.(check bool) "propagation rate derived" true (Solver.propagations_per_second st > 0.0);
+  (* phase attribution: the per-phase split is populated and stays inside
+     the measured solve wall (the conflict-rich instance spends real time
+     in both propagation and analysis) *)
+  let phase_total =
+    st.Solver.propagate_seconds +. st.Solver.analyze_seconds +. st.Solver.reduce_seconds
+    +. st.Solver.restart_seconds
+  in
+  Alcotest.(check bool) "propagate phase timed" true (st.Solver.propagate_seconds > 0.0);
+  Alcotest.(check bool) "analyze phase timed" true (st.Solver.analyze_seconds > 0.0);
+  Alcotest.(check bool) "phases within the solve wall" true
+    (phase_total <= st.Solver.solve_seconds +. 0.005);
+  Alcotest.(check bool) "no negative phase" true
+    (st.Solver.reduce_seconds >= 0.0 && st.Solver.restart_seconds >= 0.0);
+  (* clause-arena gauges: a conflict-rich solve holds learnt clauses and
+     non-trivial watcher lists *)
+  Alcotest.(check bool) "learnt arena measured" true (Solver.learnt_bytes s > 0);
+  Alcotest.(check bool) "watcher arena measured" true (Solver.watcher_bytes s > 0);
   (* stats snapshots: copy freezes, diff isolates the delta *)
   let snap = Solver.stats_copy st in
   Alcotest.(check int) "copy sees the same conflicts" st.Solver.conflicts snap.Solver.conflicts;
@@ -542,6 +672,10 @@ let suite =
         Alcotest.test_case "jsonl golden" `Quick test_jsonl_golden;
         Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
         Alcotest.test_case "chrome export" `Quick test_chrome_export;
+        Alcotest.test_case "profile flamegraph golden" `Quick test_profile_flamegraph_golden;
+        Alcotest.test_case "profile gc accounting" `Quick test_profile_gc_accounting;
+        Alcotest.test_case "profile merge + domains" `Quick test_profile_merge_and_domains;
+        Alcotest.test_case "profile of live tracer" `Quick test_profile_of_tracer;
         Alcotest.test_case "solver records spans" `Quick test_solver_records_spans;
         Alcotest.test_case "solver stats + progress" `Quick test_solver_stats_and_progress;
       ] );

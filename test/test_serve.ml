@@ -561,6 +561,123 @@ let test_async_jobs () =
       let status, _ = post port "/synthesize" "{not json" in
       check Alcotest.int "bad body is 400" 400 status)
 
+(* ---- request-scoped tracing and observability endpoints ---- *)
+
+let contains haystack needle =
+  let ln = String.length needle and lh = String.length haystack in
+  let rec go i = i + ln <= lh && (String.sub haystack i ln = needle || go (i + 1)) in
+  go 0
+
+let test_request_tracing () =
+  let log_path = Filename.temp_file "olsq2_access" ".jsonl" in
+  let cfg =
+    {
+      Server.default_config with
+      Server.port = 0;
+      pool_workers = 1;
+      handlers = 2;
+      access_log = Some log_path;
+    }
+  in
+  let s = Server.start cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop s;
+      try Sys.remove log_path with Sys_error _ -> ())
+    (fun () ->
+      let port = Server.port s in
+      (* health + build info *)
+      let status, body = get port "/healthz" in
+      check Alcotest.int "healthz status" 200 status;
+      let j = parse_json body in
+      checkb "healthz ok" true (member "status" j = Json.Str "ok");
+      checkb "healthz uptime" true (as_num (member "uptime_seconds" j) >= 0.0);
+      checkb "healthz version" true
+        (match member "version" j with Json.Str v -> String.length v > 0 | _ -> false);
+      let status, body = get port "/buildinfo" in
+      check Alcotest.int "buildinfo status" 200 status;
+      let j = parse_json body in
+      checkb "buildinfo commit" true
+        (match member "commit" j with Json.Str c -> String.length c > 0 | _ -> false);
+      check Alcotest.int "buildinfo workers" 1 (as_int (member "pool_workers" j));
+      (* an async job: the finished trace must show the worker-domain
+         serve.job span stamped with the submitting connection's rid *)
+      let status, body =
+        post port "/jobs" {|{"circuit":"qaoa:4:1","device":"qx2","objective":"swaps"}|}
+      in
+      check Alcotest.int "job accepted" 202 status;
+      let id =
+        match member "request_id" (parse_json body) with
+        | Json.Str s -> s
+        | _ -> Alcotest.fail "no job id"
+      in
+      let rec poll tries =
+        if tries = 0 then Alcotest.fail "job never finished";
+        let _, body = get port ("/jobs/" ^ id) in
+        match Json.member "state" (parse_json body) with
+        | Some (Json.Str ("queued" | "running")) ->
+          Unix.sleepf 0.1;
+          poll (tries - 1)
+        | _ -> ()
+      in
+      poll 300;
+      let status, body = get port ("/jobs/" ^ id ^ "/trace") in
+      check Alcotest.int "trace status" 200 status;
+      let j = parse_json body in
+      let rid =
+        match member "rid" j with Json.Str r -> r | _ -> Alcotest.fail "trace has no rid"
+      in
+      checkb "rid shape" true (String.length rid >= 2 && rid.[0] = 'r');
+      let evs =
+        match member "events" j with Json.Arr evs -> evs | _ -> Alcotest.fail "no events array"
+      in
+      checkb "trace nonempty" true (evs <> []);
+      (match
+         List.find_opt (fun e -> Json.member "name" e = Some (Json.Str "serve.job")) evs
+       with
+      | None -> Alcotest.fail "no serve.job span in trace"
+      | Some e -> (
+        match Json.member "attrs" e with
+        | Some attrs ->
+          checkb "worker span carries the connection rid" true
+            (Json.member "request_id" attrs = Some (Json.Str rid))
+        | None -> Alcotest.fail "serve.job span has no attrs"));
+      (* /metrics: per-endpoint latency histograms + cache hit ratio *)
+      let _, metrics = get port "/metrics" in
+      checkb "per-endpoint latency family" true
+        (contains metrics "olsq2_serve_latency_jobs_submit");
+      checkb "latency histogram type line" true
+        (contains metrics "# TYPE olsq2_serve_latency_healthz histogram");
+      checkb "cache hit ratio gauge" true (contains metrics "olsq2_serve_cache_hit_ratio");
+      (* access log: one JSON line per connection, unique request ids *)
+      let ic = open_in log_path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      let parsed = List.rev_map parse_json !lines in
+      checkb "access log populated" true (List.length parsed >= 3);
+      List.iter
+        (fun j ->
+          checkb "line has a request id" true
+            (match member "request_id" j with Json.Str r -> String.length r >= 2 | _ -> false);
+          checkb "line has a path" true
+            (match member "path" j with Json.Str _ -> true | _ -> false);
+          checkb "line has a latency" true (as_num (member "seconds" j) >= 0.0))
+        parsed;
+      checkb "healthz request logged" true
+        (List.exists
+           (fun j -> member "path" j = Json.Str "/healthz" && as_int (member "status" j) = 200)
+           parsed);
+      let rids =
+        List.map (fun j -> match member "request_id" j with Json.Str r -> r | _ -> "") parsed
+      in
+      check Alcotest.int "request ids unique per connection" (List.length rids)
+        (List.length (List.sort_uniq compare rids)))
+
 let test_server_budget () =
   with_server ~pool:1 ~handlers:2 (fun _server port ->
       (* a tiny wall budget on a nontrivial instance: the run must come
@@ -596,6 +713,7 @@ let suite =
         Alcotest.test_case "preempt mid-run" `Slow test_preempt_mid_run;
         Alcotest.test_case "end-to-end concurrent load" `Slow test_end_to_end;
         Alcotest.test_case "async jobs" `Slow test_async_jobs;
+        Alcotest.test_case "request tracing + obs endpoints" `Slow test_request_tracing;
         Alcotest.test_case "server honors wall budget" `Slow test_server_budget;
       ] );
   ]

@@ -1,0 +1,191 @@
+(* bench/trend_core tests: per-instance trend assembly and regression
+   detection over synthetic benchmark histories (pure — no filesystem,
+   no clock, no solver). *)
+
+module T = Trend_core
+module Json = Olsq2_obs.Obs.Json
+
+let checkb = Alcotest.(check bool)
+
+let metrics w = { T.wall = w; conflicts = 100; encode_clauses = 1000; optimal = true }
+
+let run ~label ~created instances =
+  {
+    T.r_label = label;
+    r_created = created;
+    r_instances = List.map (fun (n, w) -> (n, metrics w)) instances;
+    r_gaps = [];
+  }
+
+let find_trend a name =
+  match List.find_opt (fun t -> t.T.t_instance = name) a.T.a_trends with
+  | Some t -> t
+  | None -> Alcotest.failf "no trend for %s" name
+
+let stable_runs () =
+  [
+    run ~label:"c0" ~created:1.0 [ ("a", 0.50); ("b", 1.00) ];
+    run ~label:"c1" ~created:2.0 [ ("a", 0.52); ("b", 0.95) ];
+    run ~label:"c2" ~created:3.0 [ ("a", 0.48); ("b", 1.05) ];
+  ]
+
+let test_stable_history () =
+  let a = T.analyze (stable_runs ()) in
+  checkb "no regression in a flat history" false (T.has_regression a);
+  Alcotest.(check (list string)) "runs oldest first" [ "c0"; "c1"; "c2" ] a.T.a_runs;
+  let t = find_trend a "a" in
+  Alcotest.(check int) "full wall series" 3 (List.length t.T.t_wall.T.values);
+  Alcotest.(check (float 1e-9)) "latest is the newest run" 0.48 t.T.t_latest_wall;
+  Alcotest.(check (float 1e-9)) "median of the history" 0.51 t.T.t_median_wall;
+  checkb "geomean near 1" true (a.T.a_geomean_ratio > 0.8 && a.T.a_geomean_ratio < 1.2)
+
+(* the acceptance-criteria scenario: an injected slowdown on the newest
+   run must be flagged, exactly like regress --slowdown self-tests its
+   own gate *)
+let test_slowdown_flagged () =
+  let a = T.analyze (stable_runs () @ [ run ~label:"c3" ~created:4.0 [ ("a", 1.2); ("b", 1.0) ] ]) in
+  checkb "slowdown detected" true (T.has_regression a);
+  Alcotest.(check (list string)) "only the slowed instance" [ "a" ] a.T.a_regressed;
+  let t = find_trend a "a" in
+  checkb "ratio past tolerance" true (t.T.t_ratio > 1.5);
+  checkb "healthy instance untouched" false (find_trend a "b").T.t_regressed
+
+let test_median_resists_outliers () =
+  let runs =
+    [
+      run ~label:"c0" ~created:1.0 [ ("a", 0.5) ];
+      run ~label:"c1" ~created:2.0 [ ("a", 5.0) ]; (* historic outlier *)
+      run ~label:"c2" ~created:3.0 [ ("a", 0.5) ];
+      run ~label:"c3" ~created:4.0 [ ("a", 0.6) ];
+    ]
+  in
+  let a = T.analyze runs in
+  (* reference is median(0.5, 5.0, 0.5) = 0.5, not the outlier *)
+  Alcotest.(check (float 1e-9)) "median ignores the spike" 0.5 (find_trend a "a").T.t_median_wall;
+  checkb "no false regression" false (T.has_regression a);
+  let slowed = T.analyze (runs @ [ run ~label:"c4" ~created:5.0 [ ("a", 0.9) ] ]) in
+  (* median(0.5, 5.0, 0.5, 0.6) = 0.55; 0.9/0.55 ~ 1.64 > 1.5 *)
+  checkb "real slip still caught" true (T.has_regression slowed)
+
+let test_millisecond_floor () =
+  let runs =
+    [
+      run ~label:"c0" ~created:1.0 [ ("tiny", 0.0001) ];
+      run ~label:"c1" ~created:2.0 [ ("tiny", 0.0009) ]; (* 9x, but sub-ms *)
+    ]
+  in
+  let a = T.analyze runs in
+  checkb "sub-millisecond noise never trips the gate" false (T.has_regression a);
+  Alcotest.(check (float 1e-9)) "ratio floored to 1" 1.0 (find_trend a "tiny").T.t_ratio
+
+let test_unsorted_and_new_instances () =
+  (* input order must not matter: created_unix orders the history *)
+  let runs =
+    [
+      run ~label:"new" ~created:3.0 [ ("a", 2.0); ("fresh", 0.2) ];
+      run ~label:"old" ~created:1.0 [ ("a", 1.0) ];
+      run ~label:"mid" ~created:2.0 [ ("a", 1.0) ];
+    ]
+  in
+  let a = T.analyze runs in
+  Alcotest.(check (list string)) "sorted by created_unix" [ "old"; "mid"; "new" ] a.T.a_runs;
+  checkb "2x on a 1.0s median is past tolerance" true (List.mem "a" a.T.a_regressed);
+  (* an instance seen only in the latest run has no history: never flagged *)
+  let fresh = find_trend a "fresh" in
+  Alcotest.(check (float 1e-9)) "fresh ratio is 1" 1.0 fresh.T.t_ratio;
+  checkb "fresh not regressed" false fresh.T.t_regressed
+
+let test_custom_tolerance () =
+  let runs =
+    [ run ~label:"c0" ~created:1.0 [ ("a", 1.0) ]; run ~label:"c1" ~created:2.0 [ ("a", 1.3) ] ]
+  in
+  checkb "1.3x passes at 1.5" false (T.has_regression (T.analyze runs));
+  checkb "1.3x fails at 1.2" true (T.has_regression (T.analyze ~tolerance:1.2 runs))
+
+(* parse a BENCH_<n>.json-shaped report, including the gap section and
+   the commit key the trend lines are labelled by *)
+let test_run_of_json () =
+  let text =
+    {|{"schema":"olsq2.bench/1","created_unix":1754000000,"commit":"abc1234",
+       "budget_seconds":120,
+       "instances":[{"name":"a","wall_seconds":0.5,"conflicts":42,
+                     "encode_clauses":900,"optimal":true},
+                    {"name":"b","wall_seconds":1.5}],
+       "gap":{"schema":"olsq2.gap/1",
+              "instances":[{"name":"line8",
+                            "heuristic":[{"arm":"sabre","objective":"depth","gap_ratio":1.25},
+                                         {"arm":"sabre","objective":"swaps","gap_ratio":null}]}]}}|}
+  in
+  let j = match Json.parse text with Ok j -> j | Error e -> Alcotest.failf "parse: %s" e in
+  match T.run_of_json ~fallback_label:"file.json" j with
+  | Error e -> Alcotest.failf "run_of_json: %s" e
+  | Ok r ->
+    Alcotest.(check string) "commit wins over the filename" "abc1234" r.T.r_label;
+    Alcotest.(check (float 1e-9)) "created_unix" 1754000000.0 r.T.r_created;
+    Alcotest.(check int) "both instances read" 2 (List.length r.T.r_instances);
+    (match List.assoc_opt "a" r.T.r_instances with
+    | Some m ->
+      Alcotest.(check (float 1e-9)) "wall" 0.5 m.T.wall;
+      Alcotest.(check int) "conflicts" 42 m.T.conflicts;
+      checkb "optimal" true m.T.optimal
+    | None -> Alcotest.fail "instance a missing");
+    (match List.assoc_opt "b" r.T.r_instances with
+    | Some m -> Alcotest.(check int) "absent conflicts read as -1" (-1) m.T.conflicts
+    | None -> Alcotest.fail "instance b missing");
+    (match r.T.r_gaps with
+    | [ (inst, arms) ] ->
+      Alcotest.(check string) "gap instance" "line8" inst;
+      (* null gap_ratio (failed arm) is dropped; the keyed one remains *)
+      Alcotest.(check (list (pair string (float 1e-9))))
+        "arm keyed by objective" [ ("sabre:depth", 1.25) ] arms
+    | gs -> Alcotest.failf "expected one gap instance, got %d" (List.length gs))
+
+let test_gap_trend_lines () =
+  let with_gap label created ratio =
+    { (run ~label ~created [ ("a", 1.0) ]) with T.r_gaps = [ ("line8", [ ("sabre:depth", ratio) ]) ] }
+  in
+  let a = T.analyze [ with_gap "c0" 1.0 1.4; with_gap "c1" 2.0 1.2; with_gap "c2" 3.0 1.1 ] in
+  match a.T.a_gap_trends with
+  | [ g ] ->
+    Alcotest.(check string) "instance" "line8" g.T.g_instance;
+    Alcotest.(check string) "arm" "sabre:depth" g.T.g_arm;
+    Alcotest.(check (float 1e-9)) "latest ratio" 1.1 g.T.g_latest;
+    Alcotest.(check (float 1e-9)) "median of earlier runs" 1.3 g.T.g_median;
+    Alcotest.(check int) "full series" 3 (List.length g.T.g_ratios.T.values)
+  | gs -> Alcotest.failf "expected one gap trend, got %d" (List.length gs)
+
+let test_rendering () =
+  let a = T.analyze (stable_runs () @ [ run ~label:"c3" ~created:4.0 [ ("a", 1.2); ("b", 1.0) ] ]) in
+  let md = T.to_markdown a in
+  let contains s needle =
+    let ln = String.length needle and ls = String.length s in
+    let rec go i = i + ln <= ls && (String.sub s i ln = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "markdown names the regression" true (contains md "**REGRESSED**");
+  checkb "markdown has the geomean" true (contains md "geomean");
+  let j = T.analysis_to_json a in
+  (match Json.parse (Json.to_string j) with
+  | Error e -> Alcotest.failf "JSON report unparsable: %s" e
+  | Ok j' ->
+    (* floats reprint identically, so textual stability is the roundtrip *)
+    Alcotest.(check string) "JSON report round-trips" (Json.to_string j) (Json.to_string j'));
+  match Json.member "regressed" j with
+  | Some (Json.Arr [ Json.Str "a" ]) -> ()
+  | _ -> Alcotest.fail "JSON report lists the regressed instance"
+
+let suite =
+  [
+    ( "trend",
+      [
+        Alcotest.test_case "stable history" `Quick test_stable_history;
+        Alcotest.test_case "injected slowdown flagged" `Quick test_slowdown_flagged;
+        Alcotest.test_case "median resists outliers" `Quick test_median_resists_outliers;
+        Alcotest.test_case "millisecond floor" `Quick test_millisecond_floor;
+        Alcotest.test_case "unsorted input + new instances" `Quick test_unsorted_and_new_instances;
+        Alcotest.test_case "custom tolerance" `Quick test_custom_tolerance;
+        Alcotest.test_case "report parsing" `Quick test_run_of_json;
+        Alcotest.test_case "gap trend lines" `Quick test_gap_trend_lines;
+        Alcotest.test_case "markdown + json rendering" `Quick test_rendering;
+      ] );
+  ]
