@@ -27,6 +27,8 @@ type metrics = {
   conflicts : int;
   encode_clauses : int;
   optimal : bool;
+  propagations : int; (* -1 when the report predates the field *)
+  learnt_bytes : float; (* arena learnt-region gauge; -1 when absent *)
 }
 
 type run = {
@@ -64,6 +66,12 @@ let run_of_json ~fallback_label j =
                     (match num_field x "encode_clauses" with Some f -> int_of_float f | None -> -1);
                   optimal =
                     (match Json.member "optimal" x with Some (Json.Bool b) -> b | _ -> false);
+                  propagations =
+                    (match num_field x "propagations" with Some f -> int_of_float f | None -> -1);
+                  learnt_bytes =
+                    (match Json.member "mem_bytes" x with
+                    | Some mem -> ( match num_field mem "learnt" with Some f -> f | None -> -1.0)
+                    | None -> -1.0);
                 } )
           | _ -> None)
         xs
@@ -121,6 +129,8 @@ type trend = {
   t_wall : series;
   t_conflicts : series; (* -1 entries (field absent in old reports) are dropped *)
   t_encode_clauses : series;
+  t_propagations : series; (* propagation throughput input; same dropping rule *)
+  t_learnt_bytes : series; (* arena learnt-region footprint over the history *)
   t_latest_wall : float;
   t_median_wall : float; (* median of the runs before the latest; latest when alone *)
   t_ratio : float; (* latest / median, both floored to 1 ms *)
@@ -202,6 +212,12 @@ let analyze ?(tolerance = default_tolerance) runs =
             series_of
               (fun m -> if m.encode_clauses < 0 then None else Some (float_of_int m.encode_clauses))
               runs name;
+          t_propagations =
+            series_of
+              (fun m -> if m.propagations < 0 then None else Some (float_of_int m.propagations))
+              runs name;
+          t_learnt_bytes =
+            series_of (fun m -> if m.learnt_bytes < 0.0 then None else Some m.learnt_bytes) runs name;
           t_latest_wall = latest;
           t_median_wall = med;
           t_ratio = ratio;
@@ -276,6 +292,8 @@ let trend_to_json t =
       ("wall_seconds", series_to_json t.t_wall);
       ("conflicts", series_to_json t.t_conflicts);
       ("encode_clauses", series_to_json t.t_encode_clauses);
+      ("propagations", series_to_json t.t_propagations);
+      ("learnt_bytes", series_to_json t.t_learnt_bytes);
       ("latest_wall_seconds", Json.Num t.t_latest_wall);
       ("median_wall_seconds", Json.Num t.t_median_wall);
       ("ratio", Json.Num t.t_ratio);

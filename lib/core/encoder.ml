@@ -39,7 +39,10 @@ module Obs = Olsq2_obs.Obs
 module Simplify = Olsq2_simplify.Simplify
 module Share = Olsq2_parallel.Share
 
-type counter = Card of Cardinality.outputs | Adder_net of Pb.t
+type counter =
+  | Card of Cardinality.outputs
+  | Inc_card of Cardinality.Inc.t (* Seq_counter: one widenable chain *)
+  | Adder_net of Pb.t
 
 type counter_kind = Plain | Weighted
 
@@ -460,7 +463,21 @@ let depth_selector enc d =
 (* Expressible-bound capacity of a counter. *)
 let counter_capacity inputs = function
   | Card out -> Array.length out.Cardinality.count_ge - 1
+  | Inc_card c -> Cardinality.Inc.capacity c
   | Adder_net _ -> inputs (* binary register covers the full range *)
+
+(* Counter outputs become bound assumptions in later solves, and the
+   adder's sum register is compared against lazily-created bounds:
+   inprocessing must never eliminate them.  The incremental chain
+   additionally freezes its interior registers — future [widen] calls
+   emit clauses referencing every row. *)
+let freeze_counter enc = function
+  | Card out ->
+    Array.iter (fun l -> Solver.freeze (solver enc) (Lit.var l)) out.Cardinality.count_ge
+  | Inc_card c ->
+    Cardinality.Inc.iter_registers c ~f:(fun l -> Solver.freeze (solver enc) (Lit.var l))
+  | Adder_net net ->
+    Array.iter (fun l -> Solver.freeze (solver enc) (Lit.var l)) (Pb.sum_bits net)
 
 let build_counter_over enc lits ~max_bound =
   let n = Array.length lits in
@@ -473,28 +490,44 @@ let build_counter_over enc lits ~max_bound =
       if Obs.enabled obs then (Solver.nvars (solver enc), Solver.n_clauses (solver enc))
       else (0, 0)
     in
-    let counter =
-      match enc.config.Config.cardinality with
-      | Config.Seq_counter ->
-        Card (Cardinality.sequential_counter ~width:(min n (wanted + 1)) enc.ctx lits)
-      | Config.Totalizer -> Card (Cardinality.totalizer enc.ctx lits)
-      | Config.Adder -> Adder_net (Pb.adder_network enc.ctx lits)
+    (* The sequential counter is a widenable Sinz chain: when a bound
+       outgrows the chain built for an earlier iteration, [widen] emits
+       only the new register levels instead of re-encoding a fresh
+       full-width counter over the same inputs — the memoized
+       sub-network is everything already in the solver. *)
+    let inc_existing =
+      List.find_map
+        (function _, Inc_card c when Cardinality.Inc.size c = n -> Some c | _ -> None)
+        enc.counters
     in
-    (* Counter outputs become bound assumptions in later solves, and the
-       adder's sum register is compared against lazily-created bounds:
-       inprocessing must never eliminate them. *)
-    (match counter with
-    | Card out ->
-      Array.iter (fun l -> Solver.freeze (solver enc) (Lit.var l)) out.Cardinality.count_ge
-    | Adder_net net ->
-      Array.iter (fun l -> Solver.freeze (solver enc) (Lit.var l)) (Pb.sum_bits net));
-    enc.counters <- (counter_capacity n counter, counter) :: enc.counters;
+    let counter =
+      match (enc.config.Config.cardinality, inc_existing) with
+      | Config.Seq_counter, Some c ->
+        Cardinality.Inc.widen c ~width:(max 1 (min n (wanted + 1)));
+        Inc_card c
+      | Config.Seq_counter, None ->
+        let c = Cardinality.Inc.create ~width:(max 1 (min n (wanted + 1))) enc.ctx in
+        Cardinality.Inc.add_inputs c lits;
+        Inc_card c
+      | Config.Totalizer, _ -> Card (Cardinality.totalizer enc.ctx lits)
+      | Config.Adder, _ -> Adder_net (Pb.adder_network enc.ctx lits)
+    in
+    freeze_counter enc counter;
+    let entry = (counter_capacity n counter, counter) in
+    enc.counters <-
+      (match counter with
+      | Inc_card _ ->
+        (* the widened chain replaces its stale-capacity entry *)
+        entry
+        :: List.filter (function _, Inc_card _ -> false | _ -> true) enc.counters
+      | Card _ | Adder_net _ -> entry :: enc.counters);
     if Obs.enabled obs then
       Obs.instant obs "encode.counter"
         ~attrs:
           [
             ("max_bound", Obs.Int wanted);
             ("inputs", Obs.Int n);
+            ("widened", Obs.Bool (inc_existing <> None));
             ("vars_added", Obs.Int (Solver.nvars (solver enc) - v0));
             ("clauses_added", Obs.Int (Solver.n_clauses (solver enc) - c0));
           ]
@@ -520,6 +553,7 @@ let swap_bound_assumption enc k =
     else
       match counter with
       | Card out -> Cardinality.at_most_assumption out k
+      | Inc_card c -> Cardinality.Inc.at_most_assumption c k
       | Adder_net net ->
         let l = Pb.at_most_assumption enc.ctx net k in
         (* reified lazily, possibly between solves: freeze before an

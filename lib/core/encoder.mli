@@ -8,7 +8,13 @@ module Solver = Olsq2_sat.Solver
 module Cardinality = Olsq2_encode.Cardinality
 module Pb = Olsq2_encode.Pb
 
-type counter = Card of Cardinality.outputs | Adder_net of Pb.t
+type counter =
+  | Card of Cardinality.outputs  (** one-shot totalizer outputs *)
+  | Inc_card of Cardinality.Inc.t
+      (** [Seq_counter]: one widenable Sinz chain, reused (via
+          {!Cardinality.Inc.widen}) when later bound iterations outgrow
+          the width built so far *)
+  | Adder_net of Pb.t
 type counter_kind = Plain | Weighted
 
 type t = private {

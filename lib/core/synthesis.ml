@@ -24,6 +24,12 @@ module Options = struct
         (* named device (Devices.by_name) this request targets; carried
            here so wire requests and the CLI can select topology and
            strategy through one options record *)
+    sat : Olsq2_sat.Tuning.t;
+        (* SAT-core search strategy (restart schedule, phase policy,
+           reduce-DB, vivification, arena sizing, share filters); installed
+           as the ambient tuning around the whole run, so every solver the
+           engines create — encoder contexts, incremental sessions, pool
+           replicas — inherits it *)
   }
 
   let sequential = { workers = 1; share = true; cube_depth = None }
@@ -36,13 +42,17 @@ module Options = struct
     | Some s -> ( match int_of_string_opt (String.trim s) with Some n when n >= 1 -> n | _ -> 1)
     | None -> 1
 
-  (* OLSQ2_INCREMENTAL flips the default strategy the same way, so CI
-     can cross-check incremental vs rebuild over the whole suite
-     without per-harness flags. *)
+  (* The horizon-extension session is the default solve strategy: it
+     reaches the same optima as the classic re-encode loop (bench/regress
+     cross-checks every instance and test/test_properties.ml asserts the
+     identity property) at a fraction of the wall time, because horizon
+     growth emits delta CNF and learnt clauses survive it.
+     OLSQ2_INCREMENTAL=false restores the re-encode loop suite-wide, so
+     CI can cross-check the two strategies without per-harness flags. *)
   let default_incremental =
     match Sys.getenv_opt "OLSQ2_INCREMENTAL" with
-    | Some s -> ( match bool_of_string_opt (String.trim s) with Some b -> b | None -> false)
-    | None -> false
+    | Some s -> ( match bool_of_string_opt (String.trim s) with Some b -> b | None -> true)
+    | None -> true
 
   let default =
     {
@@ -54,6 +64,7 @@ module Options = struct
       parallel = { sequential with workers = default_workers };
       incremental = default_incremental;
       device = None;
+      sat = Olsq2_sat.Tuning.default;
     }
 
   let with_config config t = { t with config }
@@ -62,6 +73,7 @@ module Options = struct
   let with_certify ?(proof_file : string option) certify t = { t with certify; proof_file }
   let with_incremental incremental t = { t with incremental }
   let with_device device t = { t with device = Some device }
+  let with_tuning sat t = { t with sat }
 
   let with_workers ?share ?cube_depth workers t =
     {
@@ -81,6 +93,7 @@ module Options = struct
     && Budget.equal a.budget b.budget
     && a.certify = b.certify && a.proof_file = b.proof_file && a.parallel = b.parallel
     && a.incremental = b.incremental && a.device = b.device
+    && Olsq2_sat.Tuning.equal a.sat b.sat
 
   (* ---- JSON codec (the serve daemon's wire format) ----
 
@@ -146,6 +159,7 @@ module Options = struct
           ] );
       ("incremental", Json.Bool t.incremental);
       ("device", match t.device with None -> Json.Null | Some d -> Json.Str d);
+      ("sat", string_assoc_to_json (Olsq2_sat.Tuning.to_assoc t.sat));
     ]
 
   let to_json t = Json.Obj (to_assoc t)
@@ -221,7 +235,14 @@ module Options = struct
       | Some (Json.Str d) -> Ok (Some d)
       | Some _ -> Error "device: expected a string or null"
     in
-    Ok { config; simplify; budget; certify; proof_file; parallel; incremental; device }
+    let* sat =
+      match find "sat" with
+      | None | Some Json.Null -> Ok default.sat
+      | Some j ->
+        let* kvs = json_to_string_assoc "sat" j in
+        Olsq2_sat.Tuning.of_assoc kvs
+    in
+    Ok { config; simplify; budget; certify; proof_file; parallel; incremental; device; sat }
 
   let of_json = function
     | Json.Obj assoc -> of_assoc assoc
@@ -320,6 +341,7 @@ let run ?(options = Options.default) ~objective instance =
   in
   let budget = options.Options.budget in
   let par = options.Options.parallel in
+  Olsq2_sat.Tuning.with_ambient options.Options.sat @@ fun () ->
   (* The pool parallelizes single bound queries (cube-and-conquer over
      worker domains); it is created per run and passed down so every
      refinement loop can route its hard queries through it.  Certification
@@ -329,7 +351,7 @@ let run ?(options = Options.default) ~objective instance =
     if par.Options.workers > 1 then
       Some
         (Pool.create ~workers:par.Options.workers ~share:par.Options.share
-           ?cube_depth:par.Options.cube_depth ())
+           ?cube_depth:par.Options.cube_depth ~tuning:options.Options.sat ())
     else None
   in
   let obs = Obs.global () in

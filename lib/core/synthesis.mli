@@ -104,14 +104,28 @@ module Options : sig
             [config]'s formulation/encoding arms; [config.symmetry],
             budget and pool apply.  TB objectives ignore this flag.
             Certification is unaffected (it re-solves the claimed bound
-            on a fresh classic encoder either way).  Default honors the
-            [OLSQ2_INCREMENTAL] environment variable, else [false]. *)
+            on a fresh classic encoder either way).  This is the
+            default: the session reaches the same optima as the
+            re-encode loop at a fraction of the wall time.  The default
+            honors the [OLSQ2_INCREMENTAL] environment variable
+            (set it to [false] to restore the classic loop suite-wide),
+            else [true]. *)
     device : string option;
         (** named target device, resolved with
             {!Olsq2_device.Devices.by_name} (e.g. ["heavy-hex-127"]); the
             serve daemon accepts it in place of an explicit coupling
             list, and the CLI sets it from [--device].  [None] means the
             caller provides the device some other way. *)
+    sat : Olsq2_sat.Tuning.t;
+        (** SAT-core search strategy (restart schedule, phase policy,
+            reduce-DB keep fraction, vivification budget, clause arena
+            sizing, share filters, pool probe threshold).  Installed as
+            the ambient {!Olsq2_sat.Tuning} around the whole run, so
+            every solver created on its behalf — encoder contexts,
+            incremental sessions, pool replicas, the certification
+            re-solve — inherits it.  The CLI sets it from repeated
+            [--sat KEY=VAL] flags; the serve daemon accepts it as a
+            nested ["sat"] object. *)
   }
 
   (** [workers = 1]: no pool. *)
@@ -133,6 +147,11 @@ module Options : sig
 
   val with_incremental : bool -> t -> t
   val with_device : string -> t -> t
+
+  (** [with_tuning tu t] sets the SAT-core strategy record (see
+      {!Olsq2_sat.Tuning}); build [tu] from
+      [Olsq2_sat.Tuning.(default |> with_restart ... |> with_vivify ...)]. *)
+  val with_tuning : Olsq2_sat.Tuning.t -> t -> t
 
   (** Field-wise equality over the serializable fields; the runtime
       [Budget.control] handle is ignored. *)

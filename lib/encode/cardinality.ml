@@ -196,6 +196,12 @@ module Inc = struct
   let count_ge t =
     if Array.length t.rows = 0 then [||] else t.rows.(Array.length t.rows - 1)
 
+  (* Every register of every row.  Callers that run CNF simplification
+     must freeze them all: [widen] and [add_inputs] emit clauses that
+     reference interior rows, so no register is ever safely eliminable
+     while the chain may still grow. *)
+  let iter_registers t ~f = Array.iter (fun row -> Array.iter f row) t.rows
+
   let at_most_assumption t k =
     if k < 0 then invalid_arg "Cardinality.Inc.at_most_assumption: negative bound"
     else if k >= size t then None

@@ -63,4 +63,10 @@ module Inc : sig
       vacuous (k >= size).  Raises [Invalid_argument] when the bound
       needs more registers than the current width — [widen] first. *)
   val at_most_assumption : t -> int -> Lit.t option
+
+  (** Apply [f] to every register literal of every row.  Callers running
+      CNF simplification must freeze them all: [widen] / [add_inputs]
+      emit clauses referencing interior rows, so no register is safely
+      eliminable while the chain may still grow. *)
+  val iter_registers : t -> f:(Lit.t -> unit) -> unit
 end

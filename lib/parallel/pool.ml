@@ -5,6 +5,7 @@
 
 module Solver = Olsq2_sat.Solver
 module Lit = Olsq2_sat.Lit
+module Tuning = Olsq2_sat.Tuning
 module Obs = Olsq2_obs.Obs
 module Stopwatch = Olsq2_util.Stopwatch
 
@@ -32,6 +33,7 @@ type t = {
   share : bool;
   cube_depth : int;
   threshold : int;
+  tuning : Tuning.t; (* strategy for replica solvers *)
   replicas : replica array;
   mutable progress_cb : (progress -> unit) option;
   mutable progress_interval : int;
@@ -42,9 +44,9 @@ type t = {
   c_unsat : int Atomic.t;
 }
 
-let fresh_replica () =
+let fresh_replica tuning =
   {
-    solver = Solver.create ();
+    solver = Solver.create ~tuning ();
     rep_master = None;
     rep_gen = 0;
     rep_entries = 0;
@@ -58,14 +60,21 @@ let default_depth workers =
   let rec go k = if 1 lsl k >= 4 * workers || k >= 10 then k else go (k + 1) in
   go 1
 
-let create ?(share = true) ?cube_depth ?(threshold = 128) ~workers () =
+let create ?(share = true) ?cube_depth ?threshold ?tuning ~workers () =
   let workers = max 1 workers in
+  let tuning = match tuning with Some t -> t | None -> Tuning.ambient () in
+  (* the sequential probe cap defaults from the tuning record, so the
+     adaptive gate travels with the rest of the search strategy *)
+  let threshold =
+    match threshold with Some n -> n | None -> tuning.Tuning.probe_conflicts
+  in
   {
     n_workers = workers;
     share;
     cube_depth = (match cube_depth with Some k -> max 1 (min 14 k) | None -> default_depth workers);
     threshold = max 1 threshold;
-    replicas = Array.init workers (fun _ -> fresh_replica ());
+    tuning;
+    replicas = Array.init workers (fun _ -> fresh_replica tuning);
     progress_cb = None;
     progress_interval = 2000;
     q_total = Atomic.make 0;
@@ -96,12 +105,12 @@ let stats t =
    was rewritten (or is someone else's): start over — which also drops
    the replica's learnts, as their derivations may rest on rewritten
    clauses. *)
-let sync_replica r master =
+let sync_replica t r master =
   let gen = Solver.db_generation master in
   (match r.rep_master with
   | Some m when m == master && r.rep_gen = gen -> ()
   | _ ->
-    r.solver <- Solver.create ();
+    r.solver <- Solver.create ~tuning:t.tuning ();
     r.rep_master <- Some master;
     r.rep_gen <- gen;
     r.rep_entries <- 0;
@@ -148,7 +157,11 @@ let conquer t master ~assumptions ~cubes ~max_conflicts ~deadline =
     (fun w r ->
       if w < nw then begin
         (match chan with
-        | Some c -> Solver.set_share r.solver (Some (Share.endpoints c ~src:w ()))
+        | Some c ->
+          Solver.set_share r.solver
+            (Some
+               (Share.endpoints c ~src:w ~max_len:t.tuning.Tuning.share_max_len
+                  ~max_lbd:t.tuning.Tuning.share_max_lbd ()))
         | None -> ());
         (* per-replica heartbeat: merge deltas into the pool counters,
            forward to the user sink, and honour cancellation mid-cube *)
@@ -287,7 +300,7 @@ let solve ?(assumptions = []) ?max_conflicts ?timeout t master =
       let spent = (Solver.stats master).Solver.conflicts - before in
       let max_conflicts = Option.map (fun m -> max 1 (m - spent)) max_conflicts in
       let run () =
-        Array.iter (fun r -> sync_replica r master) t.replicas;
+        Array.iter (fun r -> sync_replica t r master) t.replicas;
         let exclude = List.map Lit.var assumptions in
         let cubes = Array.of_list (Cube.split ~exclude ~k:t.cube_depth master) in
         if Obs.enabled obs then Obs.count obs "parallel.cubes" (Array.length cubes);

@@ -41,18 +41,28 @@ type t
     workers on top of the master's own counters. *)
 type progress = { pg_conflicts : int; pg_propagations : int; pg_learnts : int }
 
-(** [create ?share ?cube_depth ?threshold ~workers ()]:
+(** [create ?share ?cube_depth ?threshold ?tuning ~workers ()]:
     [workers] is the number of domains used per query (a pool with
     [workers <= 1] makes every {!solve} sequential); [share] (default
     [true]) exchanges learnt clauses between replicas; [cube_depth]
     fixes the split depth [k] (default: smallest [k] with
-    [2^k >= 4 * workers], capped at [10]); [threshold] (default [128])
-    is the adaptive gate — every query first runs a sequential probe on
-    the warm master capped at this many conflicts, and only queries that
-    exhaust the probe escalate to cube-and-conquer, so easy queries keep
-    their exact deterministic sequential behaviour and the cube overhead
-    is only paid where there is search to parallelize. *)
-val create : ?share:bool -> ?cube_depth:int -> ?threshold:int -> workers:int -> unit -> t
+    [2^k >= 4 * workers], capped at [10]); [threshold] is the adaptive
+    gate — every query first runs a sequential probe on the warm master
+    capped at this many conflicts, and only queries that exhaust the
+    probe escalate to cube-and-conquer, so easy queries keep their exact
+    deterministic sequential behaviour and the cube overhead is only
+    paid where there is search to parallelize.  [tuning] (default: the
+    ambient {!Olsq2_sat.Tuning}) configures the replica solvers, the
+    share filters, and — unless [threshold] overrides it — the probe cap
+    ([Tuning.probe_conflicts]). *)
+val create :
+  ?share:bool ->
+  ?cube_depth:int ->
+  ?threshold:int ->
+  ?tuning:Olsq2_sat.Tuning.t ->
+  workers:int ->
+  unit ->
+  t
 
 val workers : t -> int
 

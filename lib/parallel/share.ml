@@ -57,7 +57,17 @@ let drain cur =
 let published chan = Atomic.get chan.widx
 let dropped cur = cur.ndropped
 
-let endpoints chan ~src ?(var_limit = max_int) ?(max_len = 8) ?(max_lbd = 4) () =
+(* Filter defaults come from the ambient [Tuning] record, so a run's
+   share policy travels with the rest of its search strategy; the pool
+   passes its own tuning's values explicitly. *)
+let endpoints chan ~src ?(var_limit = max_int) ?max_len ?max_lbd () =
+  let tuning = Olsq2_sat.Tuning.ambient () in
+  let max_len =
+    match max_len with Some n -> n | None -> tuning.Olsq2_sat.Tuning.share_max_len
+  in
+  let max_lbd =
+    match max_lbd with Some n -> n | None -> tuning.Olsq2_sat.Tuning.share_max_lbd
+  in
   let cur = reader chan ~src in
   let sh_export lits ~lbd =
     let len = Array.length lits in

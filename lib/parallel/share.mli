@@ -64,9 +64,10 @@ val dropped : cursor -> int
 
 (** [endpoints chan ~src ?var_limit ?max_len ?max_lbd ()] builds solver
     share hooks over [chan]: export copies learnt clauses of at most
-    [max_len] (default [8]) literals, LBD at most [max_lbd] (default
-    [4]), and every variable below [var_limit] (default unrestricted);
-    import drains the channel.  Install with
+    [max_len] literals, LBD at most [max_lbd], and every variable below
+    [var_limit] (default unrestricted); import drains the channel.
+    [max_len] / [max_lbd] default to the ambient
+    {!Olsq2_sat.Tuning.share_max_len} / [share_max_lbd].  Install with
     {!Olsq2_sat.Solver.set_share}. *)
 val endpoints :
   channel -> src:int -> ?var_limit:int -> ?max_len:int -> ?max_lbd:int -> unit -> Solver.share

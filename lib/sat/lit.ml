@@ -18,6 +18,10 @@ let sign (l : t) = l land 1 = 0
 let negate (l : t) = l lxor 1
 let to_int (l : t) : int = l
 
+(* Inverse of [to_int]; the caller guarantees [i] came from [to_int]
+   (the clause arena stores literals as raw ints). *)
+let of_int (i : int) : t = i
+
 (* DIMACS convention: positive literal of var v prints as v+1, negative as
    -(v+1). *)
 let to_dimacs l =

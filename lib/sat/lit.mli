@@ -16,6 +16,11 @@ val sign : t -> bool
 val negate : t -> t
 val to_int : t -> int
 
+(** Inverse of {!to_int}.  The argument must be a value produced by
+    [to_int] — used by the clause arena, which stores literals as raw
+    ints. *)
+val of_int : int -> t
+
 (** DIMACS integer form: 1-based, negative for negated literals. *)
 val to_dimacs : t -> int
 

@@ -1,34 +1,31 @@
-(* CDCL SAT solver (MiniSat/Glucose lineage).
+(* CDCL SAT solver (MiniSat/Glucose lineage) on a flat clause arena.
 
    This is the solving substrate that stands in for Z3's SAT core in the
    OLSQ2 reproduction: the paper's best configuration bit-blasts the whole
    layout-synthesis formulation into CNF precisely so that only the SAT
    engine runs.  Features:
+   - clause arena: every clause lives in one growable flat [int array]
+     (header + literals), referenced by index, so propagation walks
+     contiguous memory instead of chasing boxed records;
+   - cache-local watcher arrays: per-literal flat (blocker, cref) int
+     pairs with in-place compaction, no boxed watcher records;
    - two-watched-literal unit propagation with blocker literals,
    - first-UIP conflict analysis with basic clause minimization,
-   - VSIDS decision heuristic (exponential bumping) with phase saving,
-   - Luby restarts,
-   - LBD-aware learnt-clause database reduction,
+   - chronological backtracking for long backjumps ([Tuning.chrono]),
+   - VSIDS decision heuristic with phase saving, target phases and
+     periodic rephasing ([Tuning.phase_mode]),
+   - Luby or geometric restarts,
+   - LBD-aware learnt-clause database reduction with arena compaction,
+   - clause vivification (distillation) between restarts, DRAT-logged,
    - incremental interface: clauses may be added between [solve] calls and
      each call may carry assumptions, so the optimizer's iterative bound
      refinement reuses learnt clauses exactly as the paper's incremental
-     Z3 usage does. *)
+     Z3 usage does.
+
+   All strategy constants live in {!Tuning}; the solver reads the ambient
+   tuning at creation and never hard-codes a schedule. *)
 
 module Vec = Olsq2_util.Vec
-
-type clause = {
-  mutable lits : Lit.t array;
-  mutable activity : float;
-  learnt : bool;
-  mutable lbd : int;
-  mutable deleted : bool;
-}
-
-let dummy_clause = { lits = [||]; activity = 0.0; learnt = false; lbd = 0; deleted = true }
-
-type watcher = { blocker : Lit.t; wclause : clause }
-
-let dummy_watcher = { blocker = Lit.undef; wclause = dummy_clause }
 
 type reason = Conflict_budget | Timeout | Interrupted
 
@@ -82,11 +79,15 @@ type stats = {
   mutable learnt_clauses : int;
   mutable removed_clauses : int;
   mutable solves : int;
+  mutable chrono_backtracks : int;
+  mutable vivified_clauses : int;
+  mutable compactions : int;
   mutable solve_seconds : float;
   mutable propagate_seconds : float;
   mutable analyze_seconds : float;
   mutable reduce_seconds : float;
   mutable restart_seconds : float;
+  mutable vivify_seconds : float;
   mutable shared_exported : int;
   mutable shared_imported : int;
   lbd_hist : Hist.t;
@@ -102,11 +103,15 @@ let stats_zero () =
     learnt_clauses = 0;
     removed_clauses = 0;
     solves = 0;
+    chrono_backtracks = 0;
+    vivified_clauses = 0;
+    compactions = 0;
     solve_seconds = 0.0;
     propagate_seconds = 0.0;
     analyze_seconds = 0.0;
     reduce_seconds = 0.0;
     restart_seconds = 0.0;
+    vivify_seconds = 0.0;
     shared_exported = 0;
     shared_imported = 0;
     lbd_hist = Hist.create ();
@@ -129,11 +134,15 @@ let stats_diff ~after ~before =
     learnt_clauses = after.learnt_clauses - before.learnt_clauses;
     removed_clauses = after.removed_clauses - before.removed_clauses;
     solves = after.solves - before.solves;
+    chrono_backtracks = after.chrono_backtracks - before.chrono_backtracks;
+    vivified_clauses = after.vivified_clauses - before.vivified_clauses;
+    compactions = after.compactions - before.compactions;
     solve_seconds = after.solve_seconds -. before.solve_seconds;
     propagate_seconds = after.propagate_seconds -. before.propagate_seconds;
     analyze_seconds = after.analyze_seconds -. before.analyze_seconds;
     reduce_seconds = after.reduce_seconds -. before.reduce_seconds;
     restart_seconds = after.restart_seconds -. before.restart_seconds;
+    vivify_seconds = after.vivify_seconds -. before.vivify_seconds;
     shared_exported = after.shared_exported - before.shared_exported;
     shared_imported = after.shared_imported - before.shared_imported;
     lbd_hist = Hist.diff ~after:after.lbd_hist ~before:before.lbd_hist;
@@ -148,11 +157,15 @@ let stats_add ~into s =
   into.learnt_clauses <- into.learnt_clauses + s.learnt_clauses;
   into.removed_clauses <- into.removed_clauses + s.removed_clauses;
   into.solves <- into.solves + s.solves;
+  into.chrono_backtracks <- into.chrono_backtracks + s.chrono_backtracks;
+  into.vivified_clauses <- into.vivified_clauses + s.vivified_clauses;
+  into.compactions <- into.compactions + s.compactions;
   into.solve_seconds <- into.solve_seconds +. s.solve_seconds;
   into.propagate_seconds <- into.propagate_seconds +. s.propagate_seconds;
   into.analyze_seconds <- into.analyze_seconds +. s.analyze_seconds;
   into.reduce_seconds <- into.reduce_seconds +. s.reduce_seconds;
   into.restart_seconds <- into.restart_seconds +. s.restart_seconds;
+  into.vivify_seconds <- into.vivify_seconds +. s.vivify_seconds;
   into.shared_exported <- into.shared_exported + s.shared_exported;
   into.shared_imported <- into.shared_imported + s.shared_imported;
   Hist.merge_into ~into:into.lbd_hist s.lbd_hist;
@@ -166,12 +179,17 @@ let pp_stats_record fmt s =
     "conflicts=%d decisions=%d propagations=%d (%.0f/s) restarts=%d learnt=%d removed=%d solves=%d"
     s.conflicts s.decisions s.propagations (propagations_per_second s) s.restarts s.learnt_clauses
     s.removed_clauses s.solves;
+  if s.chrono_backtracks > 0 || s.vivified_clauses > 0 || s.compactions > 0 then
+    Format.fprintf fmt "@\nhotpath: chrono=%d vivified=%d compactions=%d" s.chrono_backtracks
+      s.vivified_clauses s.compactions;
   let phase_total =
     s.propagate_seconds +. s.analyze_seconds +. s.reduce_seconds +. s.restart_seconds
+    +. s.vivify_seconds
   in
   if phase_total > 0.0 then begin
-    Format.fprintf fmt "@\nphase: propagate=%.3fs analyze=%.3fs reduce=%.3fs restart=%.3fs"
-      s.propagate_seconds s.analyze_seconds s.reduce_seconds s.restart_seconds;
+    Format.fprintf fmt
+      "@\nphase: propagate=%.3fs analyze=%.3fs reduce=%.3fs restart=%.3fs vivify=%.3fs"
+      s.propagate_seconds s.analyze_seconds s.reduce_seconds s.restart_seconds s.vivify_seconds;
     if s.solve_seconds > 0.0 then
       Format.fprintf fmt " (%.0f%% of solve)" (100.0 *. phase_total /. s.solve_seconds)
   end;
@@ -180,20 +198,54 @@ let pp_stats_record fmt s =
   if not (Hist.is_empty s.lbd_hist) then Format.fprintf fmt "@\nlbd:   %a" Hist.pp s.lbd_hist;
   if not (Hist.is_empty s.trail_hist) then Format.fprintf fmt "@\ntrail: %a" Hist.pp s.trail_hist
 
+(* ---- clause arena ----
+
+   Clauses live back-to-back in one flat [int array]; a clause reference
+   ([cref]) is the index of its header.  Layout, per clause:
+
+     [c]     size (number of literals)
+     [c+1]   flags: bit 0 learnt, bit 1 deleted, bit 2 forwarded (GC only);
+             LBD in bits 3+
+     [c+2]   activity, as IEEE float bits shifted right by one (activities
+             are non-negative so the sign bit is spare; dropping the low
+             mantissa bit is harmless for a bump counter) — during
+             compaction this word holds the forwarding cref instead
+     [c+3..] literals, as [Lit.to_int]
+
+   [-1] is the null cref (no clause / no reason).  Deleted clauses stay in
+   place, counted in [arena_wasted], until compaction copies the live
+   clauses into a fresh arena and rebuilds the watch lists. *)
+
+let null_cref = -1
+
+let bits_of_act f = Int64.to_int (Int64.shift_right_logical (Int64.bits_of_float f) 1)
+let act_of_bits i = Int64.float_of_bits (Int64.shift_left (Int64.of_int i) 1)
+
 type t = {
-  (* clause database *)
-  clauses : clause Vec.t;
-  learnts : clause Vec.t;
-  (* per-literal watch lists: watches.(Lit.to_int l) holds clauses that must
-     be inspected when [l] becomes true (i.e. clauses watching [negate l]) *)
-  mutable watches : watcher Vec.t array;
+  mutable arena : int array;
+  mutable arena_top : int; (* words used *)
+  mutable arena_wasted : int; (* words held by deleted/shrunk clauses *)
+  mutable arena_hw : int; (* high-water mark of [arena_top] *)
+  (* clause database: crefs.  Problem-clause entries are never compacted
+     away within a database generation — a clause deleted before a GC
+     leaves a [null_cref] sentinel so replica sync cursors stay valid. *)
+  clauses : int Vec.t;
+  learnts : int Vec.t;
+  (* per-literal watcher arrays: watch_data.(Lit.to_int l) holds
+     (blocker, cref) int pairs for clauses that must be inspected when
+     [l] becomes true (i.e. clauses watching [negate l]) *)
+  mutable watch_data : int array array;
+  mutable watch_len : int array;
   (* per-variable state *)
   mutable assigns : int array; (* 0 = undef, 1 = true, -1 = false *)
   mutable level : int array;
-  mutable reason : clause array; (* dummy_clause = no reason *)
+  mutable reason : int array; (* cref; null_cref = no reason *)
   mutable activity : float array;
   mutable polarity : bool array; (* saved phase *)
+  mutable target : bool array; (* target phase (deepest trail so far) *)
   mutable seen : bool array;
+  mutable level_mark : int array; (* LBD scratch, stamped by [mark_gen] *)
+  mutable mark_gen : int;
   (* trail *)
   trail : Lit.t Vec.t;
   trail_lim : int Vec.t;
@@ -202,6 +254,13 @@ type t = {
   order : Var_heap.t;
   mutable var_inc : float;
   mutable cla_inc : float;
+  mutable tuning : Tuning.t;
+  mutable best_trail : int; (* deepest trail seen since the last rephase *)
+  mutable next_rephase : int; (* conflict count triggering the next rephase *)
+  mutable rephase_state : int;
+  mutable chrono_streak : int; (* consecutive chronological backtracks *)
+  mutable lit_marks : int array; (* per-literal timestamps for clause dedup *)
+  mutable mark_stamp : int;
   (* status *)
   mutable nvars : int;
   mutable ok : bool; (* false once UNSAT at level 0 *)
@@ -219,6 +278,7 @@ type t = {
   mutable extension : (Lit.t * Lit.t array array) list; (* head = last eliminated *)
   mutable inprocessor : (t -> unit) option;
   mutable next_inprocess : int; (* conflict count that triggers the next run *)
+  mutable in_simplify : bool; (* between begin_simplify and end_simplify *)
   (* live-progress callback: fired from the search loop every
      [progress_interval] conflicts; one [match None] branch when off *)
   mutable progress : (t -> unit) option;
@@ -233,23 +293,39 @@ type t = {
   stats : stats;
 }
 
-let create () =
+let create ?tuning () =
+  let tuning = match tuning with Some t -> t | None -> Tuning.ambient () in
   {
-    clauses = Vec.create dummy_clause;
-    learnts = Vec.create dummy_clause;
-    watches = [||];
+    arena = Array.make (max 64 tuning.Tuning.arena_capacity) 0;
+    arena_top = 0;
+    arena_wasted = 0;
+    arena_hw = 0;
+    clauses = Vec.create null_cref;
+    learnts = Vec.create null_cref;
+    watch_data = [||];
+    watch_len = [||];
     assigns = [||];
     level = [||];
     reason = [||];
     activity = [||];
     polarity = [||];
+    target = [||];
     seen = [||];
+    level_mark = [||];
+    mark_gen = 0;
     trail = Vec.create Lit.undef;
     trail_lim = Vec.create 0;
     qhead = 0;
     order = Var_heap.create ();
     var_inc = 1.0;
     cla_inc = 1.0;
+    tuning;
+    best_trail = 0;
+    next_rephase = (if tuning.Tuning.rephase_interval > 0 then tuning.Tuning.rephase_interval else max_int);
+    rephase_state = 0;
+    chrono_streak = 0;
+    lit_marks = [||];
+    mark_stamp = 0;
     nvars = 0;
     ok = true;
     model = [||];
@@ -261,6 +337,7 @@ let create () =
     extension = [];
     inprocessor = None;
     next_inprocess = max_int;
+    in_simplify = false;
     progress = None;
     progress_interval = 2000;
     next_progress = max_int;
@@ -271,6 +348,13 @@ let create () =
 
 let nvars t = t.nvars
 let stats t = t.stats
+let tuning t = t.tuning
+
+let set_tuning t tu =
+  t.tuning <- tu;
+  t.next_rephase <-
+    (if tu.Tuning.rephase_interval > 0 then t.stats.conflicts + tu.Tuning.rephase_interval
+     else max_int)
 
 let set_progress ?(interval = 2000) t cb =
   t.progress <- cb;
@@ -302,6 +386,47 @@ let is_eliminated t v = v >= 0 && v < t.nvars && t.eliminated.(v)
 let n_eliminated t = List.length t.extension
 let force_unsat t = t.ok <- false
 
+(* ---- clause accessors ---- *)
+
+let c_size t c = Array.unsafe_get t.arena c
+let c_learnt t c = Array.unsafe_get t.arena (c + 1) land 1 <> 0
+let c_deleted t c = Array.unsafe_get t.arena (c + 1) land 2 <> 0
+let c_lbd t c = Array.unsafe_get t.arena (c + 1) lsr 3
+
+let c_activity t c = act_of_bits t.arena.(c + 2)
+let c_set_activity t c f = t.arena.(c + 2) <- bits_of_act f
+let c_lit t c i : Lit.t = Lit.of_int (Array.unsafe_get t.arena (c + 3 + i))
+let c_set_lit t c i l = Array.unsafe_set t.arena (c + 3 + i) (Lit.to_int l)
+
+(* Copy a clause's literals out (proof logging, sharing, diagnostics). *)
+let c_lits t c = Array.init (c_size t c) (fun i -> c_lit t c i)
+
+let c_mark_deleted t c =
+  if not (c_deleted t c) then begin
+    t.arena.(c + 1) <- t.arena.(c + 1) lor 2;
+    t.arena_wasted <- t.arena_wasted + 3 + c_size t c
+  end
+
+let alloc t ~learnt ~lbd lits =
+  let size = Array.length lits in
+  let need = t.arena_top + 3 + size in
+  if need > Array.length t.arena then begin
+    let cap = max need (2 * Array.length t.arena) in
+    let a = Array.make cap 0 in
+    Array.blit t.arena 0 a 0 t.arena_top;
+    t.arena <- a
+  end;
+  let c = t.arena_top in
+  t.arena_top <- need;
+  if need > t.arena_hw then t.arena_hw <- need;
+  t.arena.(c) <- size;
+  t.arena.(c + 1) <- (if learnt then 1 else 0) lor (lbd lsl 3);
+  t.arena.(c + 2) <- 0;
+  for i = 0 to size - 1 do
+    t.arena.(c + 3 + i) <- Lit.to_int lits.(i)
+  done;
+  c
+
 (* ---- variable management ---- *)
 
 let grow_array arr n fill =
@@ -313,25 +438,30 @@ let grow_array arr n fill =
     arr'
   end
 
+let empty_watch = [||]
+
 let new_var t =
   let v = t.nvars in
   t.nvars <- v + 1;
   t.assigns <- grow_array t.assigns t.nvars 0;
   t.level <- grow_array t.level t.nvars (-1);
-  t.reason <- grow_array t.reason t.nvars dummy_clause;
+  t.reason <- grow_array t.reason t.nvars null_cref;
   t.activity <- grow_array t.activity t.nvars 0.0;
   t.polarity <- grow_array t.polarity t.nvars false;
+  t.target <- grow_array t.target t.nvars false;
   t.seen <- grow_array t.seen t.nvars false;
+  t.level_mark <- grow_array t.level_mark (t.nvars + 1) 0;
   t.frozen <- grow_array t.frozen t.nvars false;
   t.eliminated <- grow_array t.eliminated t.nvars false;
   let nlits = 2 * t.nvars in
-  if Array.length t.watches < nlits then begin
-    let w' = Array.make (max nlits (2 * Array.length t.watches)) (Vec.create dummy_watcher) in
-    Array.blit t.watches 0 w' 0 (Array.length t.watches);
-    for i = Array.length t.watches to Array.length w' - 1 do
-      w'.(i) <- Vec.create ~capacity:4 dummy_watcher
-    done;
-    t.watches <- w'
+  if Array.length t.watch_data < nlits then begin
+    let cap = max nlits (2 * Array.length t.watch_data) in
+    let wd = Array.make cap empty_watch in
+    Array.blit t.watch_data 0 wd 0 (Array.length t.watch_data);
+    let wl = Array.make cap 0 in
+    Array.blit t.watch_len 0 wl 0 (Array.length t.watch_len);
+    t.watch_data <- wd;
+    t.watch_len <- wl
   end;
   Var_heap.set_activity_array t.order t.activity;
   Var_heap.insert t.order v;
@@ -344,6 +474,11 @@ let new_lit t = Lit.of_var (new_var t)
 let lit_value t l =
   let a = t.assigns.(Lit.var l) in
   if Lit.sign l then a else -a
+
+(* Value of a literal given as its raw int (propagation hot path). *)
+let litv t li =
+  let a = Array.unsafe_get t.assigns (li lsr 1) in
+  if li land 1 = 0 then a else -a
 
 let decision_level t = Vec.length t.trail_lim
 
@@ -358,18 +493,18 @@ let var_bump t v =
   end;
   Var_heap.decrease t.order v
 
-let var_decay_activity t = t.var_inc <- t.var_inc /. 0.95
+let var_decay_activity t = t.var_inc <- t.var_inc /. t.tuning.Tuning.var_decay
 
-let clause_bump t (c : clause) =
-  c.activity <- c.activity +. t.cla_inc;
-  if c.activity > 1e20 then begin
-    Vec.iter (fun (c : clause) -> c.activity <- c.activity *. 1e-20) t.learnts;
+let clause_bump t c =
+  c_set_activity t c (c_activity t c +. t.cla_inc);
+  if c_activity t c > 1e20 then begin
+    Vec.iter (fun cc -> c_set_activity t cc (c_activity t cc *. 1e-20)) t.learnts;
     t.cla_inc <- t.cla_inc *. 1e-20
   end
 
-let clause_decay_activity t = t.cla_inc <- t.cla_inc /. 0.999
+let clause_decay_activity t = t.cla_inc <- t.cla_inc /. t.tuning.Tuning.clause_decay
 
-(* Assign literal [l] true, with [reason] clause (dummy = decision). *)
+(* Assign literal [l] true, with [reason] cref ([null_cref] = decision). *)
 let enqueue t l reason =
   let v = Lit.var l in
   t.assigns.(v) <- (if Lit.sign l then 1 else -1);
@@ -377,23 +512,48 @@ let enqueue t l reason =
   t.reason.(v) <- reason;
   Vec.push t.trail l
 
+(* ---- watcher arrays ---- *)
+
+let wpush t li blocker cref =
+  let len = t.watch_len.(li) in
+  let data = t.watch_data.(li) in
+  let data =
+    if len + 2 > Array.length data then begin
+      let d = Array.make (max 8 (2 * Array.length data)) 0 in
+      Array.blit data 0 d 0 len;
+      t.watch_data.(li) <- d;
+      d
+    end
+    else data
+  in
+  data.(len) <- blocker;
+  data.(len + 1) <- cref;
+  t.watch_len.(li) <- len + 2
+
 let watch_clause t c =
-  (* clause watching lits.(0) and lits.(1): register under their negations *)
-  Vec.push t.watches.(Lit.to_int (Lit.negate c.lits.(0))) { blocker = c.lits.(1); wclause = c };
-  Vec.push t.watches.(Lit.to_int (Lit.negate c.lits.(1))) { blocker = c.lits.(0); wclause = c }
+  (* clause watching lits 0 and 1: register under their negations *)
+  let l0 = Lit.to_int (c_lit t c 0) and l1 = Lit.to_int (c_lit t c 1) in
+  wpush t (l0 lxor 1) l1 c;
+  wpush t (l1 lxor 1) l0 c
 
 let unwatch_lit t c l =
-  let ws = t.watches.(Lit.to_int (Lit.negate l)) in
+  let li = Lit.to_int (Lit.negate l) in
+  let data = t.watch_data.(li) in
+  let n = t.watch_len.(li) in
   let rec find i =
-    if i >= Vec.length ws then ()
-    else if (Vec.get ws i).wclause == c then Vec.remove_swap ws i
-    else find (i + 1)
+    if i >= n then ()
+    else if data.(i + 1) = c then begin
+      data.(i) <- data.(n - 2);
+      data.(i + 1) <- data.(n - 1);
+      t.watch_len.(li) <- n - 2
+    end
+    else find (i + 2)
   in
   find 0
 
 let unwatch_clause t c =
-  unwatch_lit t c c.lits.(0);
-  unwatch_lit t c c.lits.(1)
+  unwatch_lit t c (c_lit t c 0);
+  unwatch_lit t c (c_lit t c 1)
 
 (* ---- backtracking ---- *)
 
@@ -405,7 +565,7 @@ let cancel_until t lvl =
       let v = Lit.var l in
       t.assigns.(v) <- 0;
       t.polarity.(v) <- Lit.sign l;
-      t.reason.(v) <- dummy_clause;
+      t.reason.(v) <- null_cref;
       Var_heap.insert t.order v
     done;
     Vec.shrink t.trail bound;
@@ -415,73 +575,92 @@ let cancel_until t lvl =
 
 (* ---- propagation ---- *)
 
-exception Conflict of clause
+exception Conflict_at of int
 
-(* Propagate all enqueued facts.  Returns the conflicting clause, or
-   [dummy_clause] if no conflict. *)
+(* Propagate all enqueued facts.  Returns the conflicting cref, or
+   [null_cref] if no conflict.  The watcher list of the literal being
+   processed is compacted in place (surviving pairs copied down); a watch
+   moved to another literal can never land back on the list under
+   inspection, because the new watch has a non-false value while the
+   inspected literal's negation is false. *)
 let propagate t =
-  let confl = ref dummy_clause in
+  let confl = ref null_cref in
   (try
      while t.qhead < Vec.length t.trail do
        let p = Vec.get t.trail t.qhead in
        t.qhead <- t.qhead + 1;
        t.stats.propagations <- t.stats.propagations + 1;
-       let ws = t.watches.(Lit.to_int p) in
-       let i = ref 0 in
-       while !i < Vec.length ws do
-         let w = Vec.unsafe_get ws !i in
-         (* fast path: blocker already true *)
-         if lit_value t w.blocker = 1 then incr i
-         else begin
-           let c = w.wclause in
-           if c.deleted then Vec.remove_swap ws !i
-           else begin
-             let false_lit = Lit.negate p in
-             (* normalize: put the false watch in slot 1 *)
-             if c.lits.(0) = false_lit then begin
-               c.lits.(0) <- c.lits.(1);
-               c.lits.(1) <- false_lit
-             end;
-             let first = c.lits.(0) in
-             if lit_value t first = 1 then begin
-               (* clause satisfied; refresh blocker *)
-               Vec.unsafe_set ws !i { blocker = first; wclause = c };
-               incr i
-             end
-             else begin
-               (* look for a new literal to watch *)
-               let n = Array.length c.lits in
-               let rec find k =
-                 if k >= n then -1
-                 else if lit_value t c.lits.(k) <> -1 then k
-                 else find (k + 1)
-               in
-               let k = find 2 in
-               if k >= 0 then begin
-                 (* move watch to c.lits.(k) *)
-                 c.lits.(1) <- c.lits.(k);
-                 c.lits.(k) <- false_lit;
-                 Vec.push
-                   t.watches.(Lit.to_int (Lit.negate c.lits.(1)))
-                   { blocker = first; wclause = c };
-                 Vec.remove_swap ws !i
-               end
-               else if lit_value t first = -1 then begin
-                 (* conflict *)
-                 t.qhead <- Vec.length t.trail;
-                 raise (Conflict c)
-               end
-               else begin
-                 (* unit: propagate first *)
-                 enqueue t first c;
-                 incr i
-               end
-             end
-           end
-         end
-       done
+       let pi = Lit.to_int p in
+       let data = t.watch_data.(pi) in
+       let n = t.watch_len.(pi) in
+       let false_lit = pi lxor 1 in
+       let i = ref 0 and j = ref 0 in
+       begin
+         while !i < n do
+            let blocker = Array.unsafe_get data !i in
+            let c = Array.unsafe_get data (!i + 1) in
+            (* fast path: blocker already true *)
+            if litv t blocker = 1 then begin
+              Array.unsafe_set data !j blocker;
+              Array.unsafe_set data (!j + 1) c;
+              j := !j + 2;
+              i := !i + 2
+            end
+            else if c_deleted t c then i := !i + 2 (* drop lazily *)
+            else begin
+              (* normalize: put the false watch in slot 1 *)
+              if Array.unsafe_get t.arena (c + 3) = false_lit then begin
+                Array.unsafe_set t.arena (c + 3) (Array.unsafe_get t.arena (c + 4));
+                Array.unsafe_set t.arena (c + 4) false_lit
+              end;
+              let first = Array.unsafe_get t.arena (c + 3) in
+              if litv t first = 1 then begin
+                (* clause satisfied; refresh blocker *)
+                Array.unsafe_set data !j first;
+                Array.unsafe_set data (!j + 1) c;
+                j := !j + 2;
+                i := !i + 2
+              end
+              else begin
+                (* look for a new literal to watch *)
+                let size = Array.unsafe_get t.arena c in
+                let base = c + 3 in
+                let rec find k =
+                  if k >= size then -1
+                  else if litv t (Array.unsafe_get t.arena (base + k)) <> -1 then k
+                  else find (k + 1)
+                in
+                let k = find 2 in
+                if k >= 0 then begin
+                  (* move watch to lit k *)
+                  let lnew = Array.unsafe_get t.arena (base + k) in
+                  Array.unsafe_set t.arena (base + 1) lnew;
+                  Array.unsafe_set t.arena (base + k) false_lit;
+                  wpush t (lnew lxor 1) first c;
+                  i := !i + 2
+                end
+                else if litv t first = -1 then begin
+                  (* conflict: keep the rest of the list, stop *)
+                  Array.blit data !i data !j (n - !i);
+                  t.watch_len.(pi) <- !j + (n - !i);
+                  t.qhead <- Vec.length t.trail;
+                  raise (Conflict_at c)
+                end
+                else begin
+                  (* unit: propagate first *)
+                  enqueue t (Lit.of_int first) c;
+                  Array.unsafe_set data !j first;
+                  Array.unsafe_set data (!j + 1) c;
+                  j := !j + 2;
+                  i := !i + 2
+                end
+              end
+            end
+         done;
+         t.watch_len.(pi) <- !j
+       end
      done
-   with Conflict c -> confl := c);
+   with Conflict_at c -> confl := c);
   !confl
 
 (* ---- conflict analysis ---- *)
@@ -492,11 +671,12 @@ let propagate t =
 let lit_redundant t l =
   let v = Lit.var l in
   let r = t.reason.(v) in
-  if r == dummy_clause then false
+  if r = null_cref then false
   else begin
     let ok = ref true in
-    for k = 0 to Array.length r.lits - 1 do
-      let q = r.lits.(k) in
+    let size = c_size t r in
+    for k = 0 to size - 1 do
+      let q = c_lit t r k in
       let w = Lit.var q in
       if w <> v && not t.seen.(w) && t.level.(w) > 0 then ok := false
     done;
@@ -517,10 +697,11 @@ let analyze t confl =
   let continue_loop = ref true in
   while !continue_loop do
     let c = !confl in
-    if c.learnt then clause_bump t c;
+    if c_learnt t c then clause_bump t c;
     let start = if !p = Lit.undef then 0 else 1 in
-    for k = start to Array.length c.lits - 1 do
-      let q = c.lits.(k) in
+    let size = c_size t c in
+    for k = start to size - 1 do
+      let q = c_lit t c k in
       let v = Lit.var q in
       if (not t.seen.(v)) && t.level.(v) > 0 then begin
         t.seen.(v) <- true;
@@ -565,15 +746,21 @@ let analyze t confl =
       t.level.(Lit.var (Vec.get learnt 1))
     end
   in
-  (* literal-block distance *)
-  let lbd =
-    let levels = Hashtbl.create 16 in
-    Vec.iter (fun l -> Hashtbl.replace levels t.level.(Lit.var l) ()) learnt;
-    Hashtbl.length levels
-  in
+  (* literal-block distance, via a stamped level-mark scratch array *)
+  t.mark_gen <- t.mark_gen + 1;
+  let gen = t.mark_gen in
+  let lbd = ref 0 in
+  Vec.iter
+    (fun l ->
+      let lv = t.level.(Lit.var l) in
+      if lv >= 0 && lv < Array.length t.level_mark && t.level_mark.(lv) <> gen then begin
+        t.level_mark.(lv) <- gen;
+        incr lbd
+      end)
+    learnt;
   (* clear seen *)
   Vec.iter (fun v -> t.seen.(v) <- false) to_clear;
-  (Vec.to_array learnt, btlevel, lbd)
+  (Vec.to_array learnt, btlevel, !lbd)
 
 (* Compute the subset of assumptions responsible for a conflict (final
    conflict analysis, MiniSat's analyzeFinal).  [a] is the assumption
@@ -590,13 +777,15 @@ let analyze_final t a =
       let v = Lit.var l in
       if t.seen.(v) then begin
         let r = t.reason.(v) in
-        if r == dummy_clause then core := l :: !core
-        else
-          Array.iter
-            (fun q ->
-              let w = Lit.var q in
-              if w <> v && t.level.(w) > 0 then t.seen.(w) <- true)
-            r.lits;
+        if r = null_cref then core := l :: !core
+        else begin
+          let size = c_size t r in
+          for k = 0 to size - 1 do
+            let q = c_lit t r k in
+            let w = Lit.var q in
+            if w <> v && t.level.(w) > 0 then t.seen.(w) <- true
+          done
+        end;
         t.seen.(v) <- false
       end
     done;
@@ -604,31 +793,95 @@ let analyze_final t a =
   end;
   !core
 
+(* ---- arena compaction ----
+
+   Copy the live clauses into a fresh arena and rebuild every watch list.
+   Preconditions: not inside a [begin_simplify] window (learnts are
+   parked there and must not be re-watched).  Problem-clause vector
+   entries keep their index — a deleted entry becomes a [null_cref]
+   sentinel — so replica sync cursors survive compaction; the learnt
+   vector drops deleted entries outright. *)
+let garbage_collect t =
+  let live = t.arena_top - t.arena_wasted in
+  let cap = max (max 64 t.tuning.Tuning.arena_capacity) (2 * live) in
+  let na = Array.make cap 0 in
+  let top = ref 0 in
+  let reloc c =
+    if t.arena.(c + 1) land 4 <> 0 then t.arena.(c + 2) (* forwarded *)
+    else begin
+      let words = 3 + t.arena.(c) in
+      let nc = !top in
+      Array.blit t.arena c na nc words;
+      top := nc + words;
+      t.arena.(c + 1) <- t.arena.(c + 1) lor 4;
+      t.arena.(c + 2) <- nc;
+      nc
+    end
+  in
+  for i = 0 to Vec.length t.clauses - 1 do
+    let c = Vec.get t.clauses i in
+    if c <> null_cref then
+      if c_deleted t c then Vec.set t.clauses i null_cref else Vec.set t.clauses i (reloc c)
+  done;
+  let keep = Vec.create null_cref in
+  Vec.iter (fun c -> if not (c_deleted t c) then Vec.push keep (reloc c)) t.learnts;
+  Vec.clear t.learnts;
+  Vec.iter (fun c -> Vec.push t.learnts c) keep;
+  Vec.iter
+    (fun l ->
+      let v = Lit.var l in
+      let r = t.reason.(v) in
+      if r <> null_cref then t.reason.(v) <- reloc r)
+    t.trail;
+  t.arena <- na;
+  t.arena_top <- !top;
+  t.arena_wasted <- 0;
+  Array.fill t.watch_len 0 (Array.length t.watch_len) 0;
+  Vec.iter (fun c -> if c <> null_cref then watch_clause t c) t.clauses;
+  Vec.iter (fun c -> watch_clause t c) t.learnts;
+  t.stats.compactions <- t.stats.compactions + 1
+
+let maybe_gc t =
+  if
+    (not t.in_simplify)
+    && t.arena_wasted > 1024
+    && float_of_int t.arena_wasted
+       > t.tuning.Tuning.gc_fraction *. float_of_int (max 1 t.arena_top)
+  then garbage_collect t
+
+let compact t = if not t.in_simplify then garbage_collect t
+
 (* ---- clause addition ---- *)
 
 exception Trivial_clause
 
 (* Simplify at level 0: drop false literals, dedupe, detect tautologies. *)
 let simplify_new_clause t lits =
-  let tbl = Hashtbl.create (2 * List.length lits) in
+  (* Duplicate/tautology detection via per-literal timestamps, not a
+     per-call hashtable: this runs once per clause of every encoding
+     build, so it is the encoder's hot path into the solver. *)
+  if Array.length t.lit_marks < 2 * t.nvars then begin
+    let m = Array.make (max 64 (4 * t.nvars)) 0 in
+    Array.blit t.lit_marks 0 m 0 (Array.length t.lit_marks);
+    t.lit_marks <- m
+  end;
+  t.mark_stamp <- t.mark_stamp + 1;
+  let stamp = t.mark_stamp in
+  let marks = t.lit_marks in
   let out = ref [] in
   let examine l =
     match lit_value t l with
     | 1 when t.level.(Lit.var l) = 0 -> raise Trivial_clause (* satisfied at root *)
     | -1 when t.level.(Lit.var l) = 0 -> () (* false at root: drop *)
     | _ ->
-      if Hashtbl.mem tbl (Lit.to_int (Lit.negate l)) then raise Trivial_clause (* tautology *)
-      else if not (Hashtbl.mem tbl (Lit.to_int l)) then begin
-        Hashtbl.add tbl (Lit.to_int l) ();
+      if marks.(Lit.to_int (Lit.negate l)) = stamp then raise Trivial_clause (* tautology *)
+      else if marks.(Lit.to_int l) <> stamp then begin
+        marks.(Lit.to_int l) <- stamp;
         out := l :: !out
       end
   in
   List.iter examine lits;
   List.rev !out
-
-let attach_clause t c =
-  assert (Array.length c.lits >= 2);
-  watch_clause t c
 
 let add_clause t lits =
   (* The simplifier rewrote the database without eliminated variables, so
@@ -683,18 +936,16 @@ let add_clause t lits =
           t.ok <- false;
           log_learnt t [||]
         | _ ->
-          enqueue t l dummy_clause;
-          if propagate t != dummy_clause then begin
+          enqueue t l null_cref;
+          if propagate t <> null_cref then begin
             t.ok <- false;
             log_learnt t [||]
           end
       end
       | lits ->
-        let c =
-          { lits = Array.of_list lits; activity = 0.0; learnt = false; lbd = 0; deleted = false }
-        in
+        let c = alloc t ~learnt:false ~lbd:0 (Array.of_list lits) in
         Vec.push t.clauses c;
-        attach_clause t c)
+        watch_clause t c)
   end
 
 let add_clause_a t lits = add_clause t (Array.to_list lits)
@@ -702,31 +953,37 @@ let add_clause_a t lits = add_clause t (Array.to_list lits)
 (* ---- learnt clause database reduction ---- *)
 
 let clause_locked t c =
-  Array.length c.lits > 0
+  c_size t c > 0
   &&
-  let v = Lit.var c.lits.(0) in
-  t.reason.(v) == c && lit_value t c.lits.(0) = 1
+  let l0 = c_lit t c 0 in
+  t.reason.(Lit.var l0) = c && lit_value t l0 = 1
 
 let remove_clause t c =
-  log_delete t c.lits;
+  log_delete t (c_lits t c);
   unwatch_clause t c;
-  c.deleted <- true;
+  c_mark_deleted t c;
   t.stats.removed_clauses <- t.stats.removed_clauses + 1
 
 let reduce_db t =
-  (* Sort learnts: keep low-LBD / high-activity clauses; drop half. *)
+  (* Sort learnts: keep low-LBD / high-activity clauses; drop the tail
+     fraction (1 - reduce_keep). *)
   Vec.sort
-    (fun a b -> if a.lbd <> b.lbd then compare a.lbd b.lbd else compare b.activity a.activity)
+    (fun a b ->
+      let la = c_lbd t a and lb = c_lbd t b in
+      if la <> lb then compare la lb else compare (c_activity t b) (c_activity t a))
     t.learnts;
   let n = Vec.length t.learnts in
-  let keep = Vec.create dummy_clause in
+  let keep_n = int_of_float (t.tuning.Tuning.reduce_keep *. float_of_int n) in
+  let lbd_protect = t.tuning.Tuning.reduce_lbd_protect in
+  let keep = Vec.create null_cref in
   Vec.iteri
     (fun i c ->
-      let protect = c.lbd <= 3 || Array.length c.lits = 2 || clause_locked t c in
-      if i < n / 2 || protect then Vec.push keep c else remove_clause t c)
+      let protect = c_lbd t c <= lbd_protect || c_size t c = 2 || clause_locked t c in
+      if i < keep_n || protect then Vec.push keep c else remove_clause t c)
     t.learnts;
   Vec.clear t.learnts;
-  Vec.iter (fun c -> Vec.push t.learnts c) keep
+  Vec.iter (fun c -> Vec.push t.learnts c) keep;
+  maybe_gc t
 
 (* ---- simplification primitives (driven by lib/simplify) ---- *)
 
@@ -746,15 +1003,22 @@ let root_value t l =
    at a detached clause. *)
 let begin_simplify t =
   t.db_generation <- t.db_generation + 1;
+  t.in_simplify <- true;
   cancel_until t 0;
-  if t.ok && propagate t != dummy_clause then begin
+  if t.ok && propagate t <> null_cref then begin
     t.ok <- false;
     log_learnt t [||]
   end;
-  Vec.iter (fun l -> t.reason.(Lit.var l) <- dummy_clause) t.trail;
-  Array.iter Vec.clear t.watches;
+  Vec.iter (fun l -> t.reason.(Lit.var l) <- null_cref) t.trail;
+  Array.fill t.watch_len 0 (Array.length t.watch_len) 0;
   let live = ref [] in
-  Vec.iter (fun (c : clause) -> if not c.deleted then live := c.lits :: !live) t.clauses;
+  Vec.iter
+    (fun c ->
+      if c <> null_cref && not (c_deleted t c) then begin
+        live := c_lits t c :: !live;
+        c_mark_deleted t c
+      end)
+    t.clauses;
   Vec.clear t.clauses;
   List.rev !live
 
@@ -781,20 +1045,12 @@ let restore_clause t lits =
       if !kcount = 0 then t.ok <- false
       else if !kcount = 1 then begin
         let l = List.hd !keep in
-        if lit_value t l = 0 then enqueue t l dummy_clause
+        if lit_value t l = 0 then enqueue t l null_cref
       end
       else begin
-        let c =
-          {
-            lits = Array.of_list (List.rev !keep);
-            activity = 0.0;
-            learnt = false;
-            lbd = 0;
-            deleted = false;
-          }
-        in
+        let c = alloc t ~learnt:false ~lbd:0 (Array.of_list (List.rev !keep)) in
         Vec.push t.clauses c;
-        attach_clause t c
+        watch_clause t c
       end
     end
   end
@@ -806,7 +1062,7 @@ let assert_root_unit t l =
     match lit_value t l with
     | 1 -> ()
     | -1 -> t.ok <- false
-    | _ -> enqueue t l dummy_clause
+    | _ -> enqueue t l null_cref
   end
 
 (* Record the elimination of [Lit.var pivot].  [clauses] is the side of
@@ -823,60 +1079,81 @@ let eliminate_var t ~pivot clauses =
 (* Re-arm the solver after simplification: purge learnts that mention an
    eliminated variable (their derivations may rest on removed clauses),
    drop root-satisfied ones, shrink the rest against the root assignment
-   so the watch invariant holds, re-attach the survivors, and propagate
-   the units the simplifier asserted. *)
+   so the watch invariant holds (shrinking is done in place — the freed
+   tail words count as arena waste), re-attach the survivors, and
+   propagate the units the simplifier asserted. *)
 let end_simplify t =
   if t.ok then begin
-    let keep = Vec.create dummy_clause in
+    let keep = Vec.create null_cref in
     Vec.iter
-      (fun (c : clause) ->
-        if c.deleted then ()
-        else if
-          Array.exists (fun l -> t.eliminated.(Lit.var l)) c.lits
-          || Array.exists (fun l -> root_value t l = 1) c.lits
-        then begin
-          log_delete t c.lits;
-          c.deleted <- true;
-          t.stats.removed_clauses <- t.stats.removed_clauses + 1
-        end
+      (fun c ->
+        if c_deleted t c then ()
         else begin
-          let live = Array.of_list (List.filter (fun l -> root_value t l <> -1) (Array.to_list c.lits)) in
-          let nl = Array.length live in
-          if nl < Array.length c.lits then begin
-            (* the shortened form is RUP from the original plus root units;
-               never emit a deletion for a clause that became the unit
-               itself, only for the longer original *)
-            if nl > 0 then log_learnt t live;
-            log_delete t c.lits
-          end;
-          if nl = 0 then begin
-            t.ok <- false;
-            log_learnt t [||]
-          end
-          else if nl = 1 then begin
-            c.deleted <- true;
-            t.stats.removed_clauses <- t.stats.removed_clauses + 1;
-            match lit_value t live.(0) with
-            | 0 -> enqueue t live.(0) dummy_clause
-            | -1 ->
-              t.ok <- false;
-              log_learnt t [||]
-            | _ -> ()
+          let size = c_size t c in
+          let any_elim = ref false and any_sat = ref false in
+          for k = 0 to size - 1 do
+            let l = c_lit t c k in
+            if t.eliminated.(Lit.var l) then any_elim := true;
+            if root_value t l = 1 then any_sat := true
+          done;
+          if !any_elim || !any_sat then begin
+            log_delete t (c_lits t c);
+            c_mark_deleted t c;
+            t.stats.removed_clauses <- t.stats.removed_clauses + 1
           end
           else begin
-            c.lits <- live;
-            Vec.push keep c;
-            attach_clause t c
+            let orig = c_lits t c in
+            (* shrink in place against root-false literals; the freed tail
+               words count as arena waste *)
+            let w = ref 0 in
+            Array.iter
+              (fun l ->
+                if root_value t l <> -1 then begin
+                  c_set_lit t c !w l;
+                  incr w
+                end)
+              orig;
+            let nl = !w in
+            if nl < size then begin
+              (* the shortened form is RUP from the original plus root units;
+                 never emit a deletion for a clause that became the unit
+                 itself, only for the longer original *)
+              if nl > 0 then log_learnt t (Array.init nl (fun i -> c_lit t c i));
+              log_delete t orig;
+              t.arena.(c) <- nl;
+              t.arena_wasted <- t.arena_wasted + (size - nl)
+            end;
+            if nl = 0 then begin
+              t.ok <- false;
+              log_learnt t [||]
+            end
+            else if nl = 1 then begin
+              c_mark_deleted t c;
+              t.stats.removed_clauses <- t.stats.removed_clauses + 1;
+              match lit_value t (c_lit t c 0) with
+              | 0 -> enqueue t (c_lit t c 0) null_cref
+              | -1 ->
+                t.ok <- false;
+                log_learnt t [||]
+              | _ -> ()
+            end
+            else begin
+              Vec.push keep c;
+              watch_clause t c
+            end
           end
         end)
       t.learnts;
     Vec.clear t.learnts;
     Vec.iter (fun c -> Vec.push t.learnts c) keep;
-    if t.ok && propagate t != dummy_clause then begin
+    t.in_simplify <- false;
+    if t.ok && propagate t <> null_cref then begin
       t.ok <- false;
       log_learnt t [||]
-    end
+    end;
+    maybe_gc t
   end
+  else t.in_simplify <- false
 
 (* Re-derive eliminated variables after a Sat answer (MiniSat SimpSolver's
    extension stack, walked from the most recently eliminated variable
@@ -900,10 +1177,140 @@ let extend_model t =
 (* Install (or clear) the inprocessing callback, run between restart
    episodes once [interval] further conflicts have accumulated; each run
    reschedules itself geometrically so simplification stays a bounded
-   fraction of total search effort. *)
-let set_inprocessor ?(interval = 3000) t f =
+   fraction of total search effort.  The default interval comes from
+   [Tuning.inprocess_interval]. *)
+let set_inprocessor ?interval t f =
+  let interval =
+    match interval with Some i -> i | None -> t.tuning.Tuning.inprocess_interval
+  in
   t.inprocessor <- f;
   t.next_inprocess <- (match f with None -> max_int | Some _ -> t.stats.conflicts + interval)
+
+(* ---- clause vivification (distillation) ----
+
+   For each candidate clause C = l1 ∨ ... ∨ ln: detach C, then assume
+   ¬l1, ¬l2, ... one at a time with unit propagation (C itself cannot
+   participate, being detached).  Three outcomes shorten C:
+   - propagation hits a conflict after assuming a strict prefix P: the
+     prefix clause (∨ P) is implied — replace C by it;
+   - some li is already true under the assumed prefix: P ∨ li is
+     implied — replace C and drop the tail;
+   - some li is already false: drop li from C.
+   Every replacement is a reverse-unit-propagation consequence of the
+   database (including C), so DRAT logging is add-shortened-then-delete-
+   original and the proof stays checker-valid.  Runs at decision level 0
+   between restarts, bounded by [Tuning.vivify_budget] propagations. *)
+let vivify ?budget t =
+  let budget = match budget with Some b -> b | None -> t.tuning.Tuning.vivify_budget in
+  if budget > 0 && t.ok && decision_level t = 0 && not t.in_simplify then begin
+    let t0 = Olsq2_util.Stopwatch.now () in
+    let props0 = t.stats.propagations in
+    let over_budget () = t.stats.propagations - props0 > budget in
+    (* Vivifying one clause: returns true when the database changed. *)
+    let vivify_clause c =
+      let size = c_size t c in
+      let lits = c_lits t c in
+      let root_sat = Array.exists (fun l -> root_value t l = 1) lits in
+      if root_sat then false
+      else begin
+        unwatch_clause t c;
+        let kept = ref [] in
+        let nkept = ref 0 in
+        let push_kept l =
+          kept := l :: !kept;
+          incr nkept
+        in
+        (try
+           Array.iter
+             (fun l ->
+               match lit_value t l with
+               | 1 ->
+                 (* prefix implies l: keep prefix ∨ l, drop the tail *)
+                 push_kept l;
+                 raise Exit
+               | -1 -> () (* prefix implies ¬l: drop l *)
+               | _ ->
+                 push_kept l;
+                 Vec.push t.trail_lim (Vec.length t.trail);
+                 enqueue t (Lit.negate l) null_cref;
+                 if propagate t <> null_cref then
+                   (* prefix alone is contradictory: keep just the prefix *)
+                   raise Exit)
+             lits
+         with Exit -> ());
+        cancel_until t 0;
+        let nl = !nkept in
+        if nl >= size then begin
+          watch_clause t c;
+          false
+        end
+        else begin
+          let shortened = Array.of_list (List.rev !kept) in
+          let learnt = c_learnt t c in
+          if nl > 0 then log_learnt t shortened;
+          log_delete t lits;
+          c_mark_deleted t c;
+          t.stats.removed_clauses <- t.stats.removed_clauses + 1;
+          t.stats.vivified_clauses <- t.stats.vivified_clauses + 1;
+          (if nl = 0 then begin
+             t.ok <- false;
+             log_learnt t [||]
+           end
+           else if nl = 1 then begin
+             match lit_value t shortened.(0) with
+             | 1 -> ()
+             | -1 ->
+               t.ok <- false;
+               log_learnt t [||]
+             | _ ->
+               enqueue t shortened.(0) null_cref;
+               if propagate t <> null_cref then begin
+                 t.ok <- false;
+                 log_learnt t [||]
+               end
+           end
+           else begin
+             let lbd = if learnt then min (c_lbd t c) nl else 0 in
+             let nc = alloc t ~learnt ~lbd shortened in
+             if learnt then Vec.push t.learnts nc
+             else
+               (* new entry appended: replicas syncing by index pick it up,
+                  and the old entry is flagged deleted, preserving the
+                  append-only cursor invariant *)
+               Vec.push t.clauses nc;
+             watch_clause t nc
+           end);
+          true
+        end
+      end
+    in
+    (* Problem clauses first (their shortenings help every future solve),
+       then low-LBD learnts.  Snapshot the entry counts: clauses appended
+       by vivification itself must not be revisited this pass. *)
+    let n_problem = Vec.length t.clauses in
+    let i = ref 0 in
+    while t.ok && !i < n_problem && not (over_budget ()) do
+      let c = Vec.get t.clauses !i in
+      if c <> null_cref && (not (c_deleted t c)) && c_size t c >= 3 then
+        ignore (vivify_clause c);
+      incr i
+    done;
+    let n_learnt = Vec.length t.learnts in
+    let j = ref 0 in
+    while t.ok && !j < n_learnt && not (over_budget ()) do
+      let c = Vec.get t.learnts !j in
+      if (not (c_deleted t c)) && c_size t c >= 3 && c_lbd t c <= 6 then ignore (vivify_clause c);
+      incr j
+    done;
+    (* drop deleted learnt entries eagerly; problem entries keep their
+       slots (replication invariant) until the next compaction *)
+    let keep = Vec.create null_cref in
+    Vec.iter (fun c -> if not (c_deleted t c) then Vec.push keep c) t.learnts;
+    Vec.clear t.learnts;
+    Vec.iter (fun c -> Vec.push t.learnts c) keep;
+    maybe_gc t;
+    t.stats.vivify_seconds <- t.stats.vivify_seconds +. (Olsq2_util.Stopwatch.now () -. t0)
+  end
 
 (* ---- search ---- *)
 
@@ -923,6 +1330,14 @@ let luby y x =
   let size, seq = find_size 1 0 in
   walk size seq x
 
+let restart_budget t k =
+  let tu = t.tuning in
+  match tu.Tuning.restart_mode with
+  | Tuning.Luby ->
+    int_of_float (luby tu.Tuning.restart_factor k *. float_of_int tu.Tuning.restart_base)
+  | Tuning.Geometric ->
+    int_of_float (float_of_int tu.Tuning.restart_base *. (tu.Tuning.restart_factor ** float_of_int k))
+
 let pick_branch_var t =
   let rec loop () =
     if Var_heap.is_empty t.order then -1
@@ -933,18 +1348,48 @@ let pick_branch_var t =
   in
   loop ()
 
+let decision_sign t v =
+  match t.tuning.Tuning.phase_mode with
+  | Tuning.Phase_saved -> t.polarity.(v)
+  | Tuning.Phase_target -> t.target.(v)
+  | Tuning.Phase_negative -> false
+  | Tuning.Phase_positive -> true
+
+(* Target phases: when a conflict interrupts the deepest trail seen since
+   the last rephase, remember every assigned sign — decisions steer back
+   toward the largest consistent partial assignment found so far. *)
+let update_target t =
+  let len = Vec.length t.trail in
+  if len > t.best_trail then begin
+    t.best_trail <- len;
+    Vec.iter (fun l -> t.target.(Lit.var l) <- Lit.sign l) t.trail
+  end
+
+(* Periodic rephase (restart boundaries): alternate between re-seeding the
+   target phases from the saved phases and resetting them to the default
+   all-false phase, clearing the best-trail mark so the target can be
+   re-conquered.  Diversifies the phase schedule without touching
+   soundness. *)
+let rephase t =
+  let n = t.nvars in
+  (match t.rephase_state land 1 with
+  | 0 -> Array.blit t.polarity 0 t.target 0 n
+  | _ -> Array.fill t.target 0 n false);
+  t.rephase_state <- t.rephase_state + 1;
+  t.best_trail <- 0
+
 let record_learnt t learnt lbd =
   log_learnt t learnt;
   (match t.share with
   | Some sh -> if sh.sh_export learnt ~lbd then t.stats.shared_exported <- t.stats.shared_exported + 1
   | None -> ());
   if Array.length learnt = 1 then begin
-    enqueue t learnt.(0) dummy_clause
+    enqueue t learnt.(0) null_cref
   end
   else begin
-    let c = { lits = learnt; activity = 0.0; learnt = true; lbd; deleted = false } in
+    let c = alloc t ~learnt:true ~lbd learnt in
     Vec.push t.learnts c;
-    attach_clause t c;
+    watch_clause t c;
     clause_bump t c;
     t.stats.learnt_clauses <- t.stats.learnt_clauses + 1;
     enqueue t learnt.(0) c
@@ -980,16 +1425,14 @@ let import_shared_clause t lits =
       if !kcount = 0 then t.ok <- false
       else if !kcount = 1 then begin
         let l = List.hd !keep in
-        if lit_value t l = 0 then enqueue t l dummy_clause
+        if lit_value t l = 0 then enqueue t l null_cref
         else if lit_value t l = -1 then t.ok <- false
       end
       else begin
         let live = Array.of_list (List.rev !keep) in
-        let c =
-          { lits = live; activity = 0.0; learnt = true; lbd = Array.length live; deleted = false }
-        in
+        let c = alloc t ~learnt:true ~lbd:(Array.length live) live in
         Vec.push t.learnts c;
-        attach_clause t c
+        watch_clause t c
       end;
       t.stats.shared_imported <- t.stats.shared_imported + 1
     end
@@ -1006,7 +1449,7 @@ let integrate_shared t =
   | Some _ when t.proof <> None -> ()
   | Some sh ->
     List.iter (fun lits -> if t.ok then import_shared_clause t lits) (sh.sh_import ());
-    if t.ok && propagate t != dummy_clause then begin
+    if t.ok && propagate t <> null_cref then begin
       t.ok <- false;
       log_learnt t [||]
     end
@@ -1020,7 +1463,27 @@ let integrate_shared t =
    unit propagation), so decision/assumption overhead between ticks is
    charged to propagation — the cheap-counter approximation keeps it at
    one clock read per decision or conflict while still attributing well
-   over 90% of solve time (the acceptance gate bench/regress checks). *)
+   over 90% of solve time (the acceptance gate bench/regress checks).
+
+   Chronological backtracking ([Tuning.chrono]): when the non-chronological
+   backjump would skip more than [chrono] levels, backtrack a single level
+   instead.  The learnt clause is still asserting there (every non-UIP
+   literal is assigned strictly below the previous level), so search
+   continues soundly while the skipped levels' still-consistent assignments
+   are kept for reuse — the propagation that rebuilt them is saved.
+
+   Unlike full chronological solvers we record the asserting literal at the
+   level it is enqueued at ([dl - 1]), not at its real implication level, so
+   assignment levels stay trail-consistent and [analyze] needs no
+   out-of-order machinery.  The price is that a *run* of chrono steps
+   inflates levels: on propagation-sparse instances (deep decision stacks,
+   e.g. selector-heavy bound encodings) every conflict in the unwind is
+   another chrono step, each analysis drags in thousands of decision
+   literals, and the solver learns O(dl) huge clauses walking down one
+   level at a time.  [chrono_streak_limit] bounds that failure mode: after
+   a few consecutive chrono steps the next conflict takes the full
+   non-chronological backjump, which collapses the stale stack at once. *)
+let chrono_streak_limit = 4
 let search t assumptions conflict_budget deadline =
   let conflicts_here = ref 0 in
   let mark = ref (Olsq2_util.Stopwatch.now ()) in
@@ -1035,14 +1498,16 @@ let search t assumptions conflict_budget deadline =
     t.stats.analyze_seconds <- t.stats.analyze_seconds +. !ana_acc;
     t.stats.reduce_seconds <- t.stats.reduce_seconds +. !red_acc
   in
+  let chrono = t.tuning.Tuning.chrono in
   let rec loop () =
     let confl = propagate t in
     tick prop_acc;
-    if confl != dummy_clause then begin
+    if confl <> null_cref then begin
       (* conflict *)
       t.stats.conflicts <- t.stats.conflicts + 1;
       incr conflicts_here;
       Hist.observe_int t.stats.trail_hist (Vec.length t.trail);
+      update_target t;
       (match t.progress with
       | Some f when t.stats.conflicts >= t.next_progress ->
         t.next_progress <- t.stats.conflicts + t.progress_interval;
@@ -1056,7 +1521,24 @@ let search t assumptions conflict_budget deadline =
       else begin
         let learnt, btlevel, lbd = analyze t confl in
         Hist.observe_int t.stats.lbd_hist lbd;
-        cancel_until t btlevel;
+        let dl = decision_level t in
+        let bt =
+          if
+            chrono > 0
+            && dl - btlevel > chrono
+            && t.chrono_streak < chrono_streak_limit
+            && Array.length learnt > 1
+          then begin
+            t.stats.chrono_backtracks <- t.stats.chrono_backtracks + 1;
+            t.chrono_streak <- t.chrono_streak + 1;
+            dl - 1
+          end
+          else begin
+            t.chrono_streak <- 0;
+            btlevel
+          end
+        in
+        cancel_until t bt;
         record_learnt t learnt lbd;
         var_decay_activity t;
         clause_decay_activity t;
@@ -1083,7 +1565,10 @@ let search t assumptions conflict_budget deadline =
     end
     else begin
       (* learnt DB housekeeping *)
-      if Vec.length t.learnts > 4000 + (Vec.length t.clauses / 2) + (t.stats.conflicts / 3) then begin
+      if
+        Vec.length t.learnts
+        > t.tuning.Tuning.reduce_base + (Vec.length t.clauses / 2) + (t.stats.conflicts / 3)
+      then begin
         reduce_db t;
         tick red_acc
       end;
@@ -1105,7 +1590,7 @@ let search t assumptions conflict_budget deadline =
           `Unsat_assumptions
         | _ ->
           Vec.push t.trail_lim (Vec.length t.trail);
-          enqueue t a dummy_clause;
+          enqueue t a null_cref;
           loop ()
       end
       else begin
@@ -1113,9 +1598,9 @@ let search t assumptions conflict_budget deadline =
         if v < 0 then `Sat
         else begin
           t.stats.decisions <- t.stats.decisions + 1;
-          let l = Lit.of_var ~sign:t.polarity.(v) v in
+          let l = Lit.of_var ~sign:(decision_sign t v) v in
           Vec.push t.trail_lim (Vec.length t.trail);
-          enqueue t l dummy_clause;
+          enqueue t l null_cref;
           loop ()
         end
       end
@@ -1149,7 +1634,7 @@ let solve_raw ?(assumptions = []) ?max_conflicts ?timeout t =
     integrate_shared t;
     let total_conflicts = ref 0 in
     let rec restart_loop k =
-      let budget = int_of_float (luby 2.0 k *. 100.0) in
+      let budget = restart_budget t k in
       match search t assumptions budget deadline with
       | `Sat ->
         if Array.length t.model < t.nvars then t.model <- Array.make t.nvars false;
@@ -1167,17 +1652,23 @@ let solve_raw ?(assumptions = []) ?max_conflicts ?timeout t =
       | `Interrupted -> Unknown Interrupted
       | `Restart ->
         total_conflicts := !total_conflicts + budget;
-        (* Restart housekeeping (inprocessing, share-channel integration)
-           is the fourth attribution phase. *)
+        (* Restart housekeeping (inprocessing, share-channel integration,
+           rephasing) is its own attribution phase; vivification inside
+           the inprocessor charges [vivify_seconds] separately. *)
         let r0 = Olsq2_util.Stopwatch.now () in
+        if t.tuning.Tuning.rephase_interval > 0 && t.stats.conflicts >= t.next_rephase then begin
+          t.next_rephase <- t.stats.conflicts + t.tuning.Tuning.rephase_interval;
+          rephase t
+        end;
         (match t.inprocessor with
         | Some f when t.ok && t.stats.conflicts >= t.next_inprocess ->
           t.next_inprocess <- (2 * t.stats.conflicts) + 1000;
           f t
         | Some _ | None -> ());
         if t.ok then integrate_shared t;
-        t.stats.restart_seconds <-
-          t.stats.restart_seconds +. (Olsq2_util.Stopwatch.now () -. r0);
+        let dt = Olsq2_util.Stopwatch.now () -. r0 in
+        (* vivification time is charged to its own phase by [vivify] *)
+        t.stats.restart_seconds <- t.stats.restart_seconds +. dt;
         if not t.ok then Unsat
         else begin
           match max_conflicts with
@@ -1194,27 +1685,28 @@ let solve_raw ?(assumptions = []) ?max_conflicts ?timeout t =
 
 (* ---- clause-arena memory gauges ----
 
-   Approximate live byte counts for the learnt database and the watch
-   lists, from the boxed representation: a clause record is 6 words
-   (header + 5 fields) plus its literal array (header + 1 word per
-   literal); a watcher is a 3-word boxed pair plus its slot in the watch
-   vector.  Vec growth slack is not visible through the Vec API, so
-   these are lower bounds — stable ones, which is what trend lines
-   need. *)
+   Exact byte counts from the flat representation: a clause occupies
+   3 + size words in the arena; a watcher is a 2-word (blocker, cref)
+   pair in its literal's flat array. *)
 
 let word_bytes = 8
 
 let learnt_bytes t =
   let words = ref 0 in
-  Vec.iter
-    (fun (c : clause) -> if not c.deleted then words := !words + 6 + 1 + Array.length c.lits)
-    t.learnts;
+  Vec.iter (fun c -> if not (c_deleted t c) then words := !words + 3 + c_size t c) t.learnts;
   word_bytes * !words
 
 let watcher_bytes t =
   let words = ref 0 in
-  Array.iter (fun ws -> words := !words + 1 + (4 * Vec.length ws)) t.watches;
+  let n = Array.length t.watch_len in
+  for i = 0 to n - 1 do
+    words := !words + t.watch_len.(i)
+  done;
   word_bytes * !words
+
+let arena_bytes t = word_bytes * t.arena_top
+let arena_high_water_bytes t = word_bytes * t.arena_hw
+let arena_wasted_bytes t = word_bytes * t.arena_wasted
 
 module Obs = Olsq2_obs.Obs
 
@@ -1231,7 +1723,8 @@ let solve ?assumptions ?max_conflicts ?timeout t =
     let ph_prop0 = s.propagate_seconds
     and ph_ana0 = s.analyze_seconds
     and ph_red0 = s.reduce_seconds
-    and ph_rst0 = s.restart_seconds in
+    and ph_rst0 = s.restart_seconds
+    and ph_viv0 = s.vivify_seconds in
     let sp =
       Obs.begin_span obs "sat.solve"
         ~attrs:
@@ -1267,8 +1760,12 @@ let solve ?assumptions ?max_conflicts ?timeout t =
     Obs.hist obs "sat.phase.analyze_seconds" (s.analyze_seconds -. ph_ana0);
     Obs.hist obs "sat.phase.reduce_seconds" (s.reduce_seconds -. ph_red0);
     Obs.hist obs "sat.phase.restart_seconds" (s.restart_seconds -. ph_rst0);
+    Obs.hist obs "sat.phase.vivify_seconds" (s.vivify_seconds -. ph_viv0);
     Obs.gauge obs "sat.mem.learnt_bytes" (float_of_int (learnt_bytes t));
     Obs.gauge obs "sat.mem.watcher_bytes" (float_of_int (watcher_bytes t));
+    Obs.gauge obs "sat.mem.arena_bytes" (float_of_int (arena_bytes t));
+    Obs.gauge obs "sat.mem.arena_hw_bytes" (float_of_int (arena_high_water_bytes t));
+    Obs.count obs "sat.arena.compactions" s.compactions;
     result
   end
 
@@ -1292,7 +1789,11 @@ let boost_activity t v amount =
     Var_heap.decrease t.order v
   end
 
-let suggest_phase t v phase = if v >= 0 && v < t.nvars then t.polarity.(v) <- phase
+let suggest_phase t v phase =
+  if v >= 0 && v < t.nvars then begin
+    t.polarity.(v) <- phase;
+    t.target.(v) <- phase
+  end
 
 let conflict_core t = t.conflict_core
 let unsat_core t = t.conflict_core
@@ -1307,8 +1808,9 @@ let n_learnts t = Vec.length t.learnts
    through the ordinary [add_clause] interface.  The accessors below
    expose just enough read-only state to do that incrementally: the
    problem vector is append-only within a database generation (entries
-   are only ever flagged [deleted], never compacted), so (generation,
-   entry index, root-trail index, nvars) is a complete sync cursor. *)
+   are only ever flagged deleted or — after compaction — replaced by a
+   null sentinel, never removed), so (generation, entry index,
+   root-trail index, nvars) is a complete sync cursor. *)
 
 let var_activity t v = if v >= 0 && v < t.nvars then t.activity.(v) else 0.0
 let saved_phase t v = v >= 0 && v < t.nvars && t.polarity.(v)
@@ -1329,12 +1831,13 @@ let root_units ?(from = 0) t =
 let n_root_units t =
   if Vec.length t.trail_lim = 0 then Vec.length t.trail else Vec.get t.trail_lim 0
 
-(* Fold over live problem clauses whose entry index is >= [from]. *)
+(* Fold over live problem clauses whose entry index is >= [from].  The
+   literal arrays are fresh copies out of the arena. *)
 let fold_problem_clauses ?(from = 0) t f acc =
   let acc = ref acc in
   for i = from to Vec.length t.clauses - 1 do
     let c = Vec.get t.clauses i in
-    if not c.deleted then acc := f !acc c.lits
+    if c <> null_cref && not (c_deleted t c) then acc := f !acc (c_lits t c)
   done;
   !acc
 

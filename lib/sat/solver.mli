@@ -52,6 +52,10 @@ type stats = {
   mutable learnt_clauses : int;
   mutable removed_clauses : int;
   mutable solves : int;
+  mutable chrono_backtracks : int;
+      (** conflicts resolved by chronological (one-level) backtracking *)
+  mutable vivified_clauses : int;  (** clauses shortened by vivification *)
+  mutable compactions : int;  (** clause-arena garbage collections *)
   mutable solve_seconds : float;  (** wall time spent inside [solve] *)
   mutable propagate_seconds : float;
       (** phase attribution: unit propagation (plus decision overhead,
@@ -60,6 +64,7 @@ type stats = {
   mutable reduce_seconds : float;  (** learnt-DB reduction *)
   mutable restart_seconds : float;
       (** restart housekeeping: inprocessing + share integration *)
+  mutable vivify_seconds : float;  (** clause vivification (inprocessing) *)
   mutable shared_exported : int;  (** learnts a share channel took a copy of *)
   mutable shared_imported : int;  (** clauses integrated from a share channel *)
   lbd_hist : Olsq2_obs.Obs.Histogram.t;  (** LBD of each learnt clause *)
@@ -93,18 +98,47 @@ val pp_stats_record : Format.formatter -> stats -> unit
 
 (** {2 Clause-arena memory gauges}
 
-    Approximate live byte counts (stable lower bounds from the boxed
-    representation), cheap enough to sample after every solve; exposed
-    as the [sat.mem.learnt_bytes] / [sat.mem.watcher_bytes] gauges when
-    tracing is on. *)
+    Exact byte counts from the flat arena representation, cheap enough
+    to sample after every solve; exposed as the [sat.mem.learnt_bytes] /
+    [sat.mem.watcher_bytes] / [sat.mem.arena_bytes] /
+    [sat.mem.arena_hw_bytes] gauges when tracing is on. *)
 
 (** Bytes held by live (non-deleted) learnt clauses. *)
 val learnt_bytes : t -> int
 
-(** Bytes held by the two-watched-literal scheme's watch lists. *)
+(** Bytes held by the two-watched-literal scheme's watcher arrays. *)
 val watcher_bytes : t -> int
 
-val create : unit -> t
+(** Bytes currently used in the clause arena (live + not-yet-compacted
+    garbage). *)
+val arena_bytes : t -> int
+
+(** High-water mark of {!arena_bytes} over the solver's lifetime. *)
+val arena_high_water_bytes : t -> int
+
+(** Bytes held by deleted/shrunk clauses awaiting compaction. *)
+val arena_wasted_bytes : t -> int
+
+(** Force a clause-arena compaction: copy live clauses into a fresh
+    arena, drop deleted ones, rebuild the watch lists.  Problem-clause
+    entry indices are preserved (deleted entries become sentinels), so
+    replica sync cursors stay valid.  Compaction also runs automatically
+    after reduce-DB / vivification when the wasted fraction exceeds
+    [Tuning.gc_fraction].  No-op inside a [begin_simplify] window. *)
+val compact : t -> unit
+
+(** [create ?tuning ()] builds a solver.  Without [tuning] the ambient
+    {!Tuning.ambient} value (installed by [Synthesis.run] around a
+    dispatch) is read — so facades configure every solver they cause to
+    exist without threading an argument through each layer. *)
+val create : ?tuning:Tuning.t -> unit -> t
+
+(** The tuning this solver runs with. *)
+val tuning : t -> Tuning.t
+
+(** Replace the tuning mid-life (reschedules the next rephase).  Arena
+    capacity only applies to future growth. *)
+val set_tuning : t -> Tuning.t -> unit
 
 (** Allocate a fresh variable. *)
 val new_var : t -> Lit.var
@@ -289,11 +323,25 @@ val eliminate_var : t -> pivot:Lit.t -> Lit.t array array -> unit
 val end_simplify : t -> unit
 
 (** [set_inprocessor ~interval t (Some f)] arranges for [f t] to run
-    between restart episodes once [interval] (default 3000) further
-    conflicts have accumulated; subsequent runs are rescheduled
-    geometrically (at [2 * conflicts + 1000]).  [f] is expected to drive
-    the {!begin_simplify} … {!end_simplify} cycle.  [None] uninstalls. *)
+    between restart episodes once [interval] (default
+    [Tuning.inprocess_interval]) further conflicts have accumulated;
+    subsequent runs are rescheduled geometrically (at
+    [2 * conflicts + 1000]).  [f] is expected to drive the
+    {!begin_simplify} … {!end_simplify} cycle and/or call {!vivify}.
+    [None] uninstalls. *)
 val set_inprocessor : ?interval:int -> t -> (t -> unit) option -> unit
+
+(** Clause vivification (distillation): for each candidate clause, assume
+    the negations of its literals one at a time under unit propagation
+    (with the clause detached) and shorten it when a strict prefix
+    already implies the clause or falsifies a literal.  Every shortening
+    is a RUP consequence, logged add-then-delete, so [--certify] proofs
+    stay checker-valid.  Runs at decision level 0 (no-op elsewhere),
+    bounded by [budget] propagations (default [Tuning.vivify_budget];
+    [0] disables).  Shortened problem clauses are appended as fresh
+    entries (the old entry is flagged deleted) so replica sync cursors
+    stay valid. *)
+val vivify : ?budget:int -> t -> unit
 
 (** {1 Replication interface}
 

@@ -19,6 +19,7 @@ type common = {
   incremental : bool option;  (* None: Options.default (OLSQ2_INCREMENTAL or false) *)
   symmetry : bool option;
   default_device : string option;
+  sat : string list;  (* raw --sat KEY=VAL overrides, applied in order *)
 }
 
 let budget_arg =
@@ -128,6 +129,28 @@ let default_device_arg =
   in
   Arg.(value & opt (some string) None & info [ "default-device" ] ~docv:"NAME" ~doc)
 
+(* Each occurrence is validated at parse time (unknown keys and
+   out-of-range values are Cmdliner errors), kept as the raw string, and
+   re-applied in order onto [Tuning.default] by [options]. *)
+let sat_kv_conv =
+  let parse s =
+    match Olsq2_sat.Tuning.of_kv_strings [ s ] with
+    | Ok _ -> Ok s
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let sat_arg =
+  let doc =
+    "Override one SAT-core strategy knob as $(i,KEY=VAL) (repeatable; applied in order).  Keys: \
+     restart (luby|geometric), restart_base, restart_factor, var_decay, clause_decay, phase \
+     (saved|target|negative|positive), rephase_interval, chrono, reduce_base, reduce_keep, \
+     reduce_lbd_protect, vivify_budget, arena_capacity, gc_fraction, inprocess_interval, \
+     share_max_len, share_max_lbd, probe_conflicts.  Example: $(b,--sat restart=geometric --sat \
+     vivify_budget=0)."
+  in
+  Arg.(value & opt_all sat_kv_conv [] & info [ "sat" ] ~docv:"KEY=VAL" ~doc)
+
 let certify_arg =
   let doc =
     "Certify the optimality claim: re-solve at the optimum with DRAT proof logging, check the \
@@ -142,7 +165,7 @@ let proof_arg =
 
 let term =
   let make budget_seconds conflict_budget workers share cube_depth config simplify certify
-      proof_file incremental symmetry default_device =
+      proof_file incremental symmetry default_device sat =
     {
       budget_seconds;
       conflict_budget;
@@ -156,12 +179,13 @@ let term =
       incremental;
       symmetry;
       default_device;
+      sat;
     }
   in
   Term.(
     const make $ budget_arg $ conflict_budget_arg $ workers_arg $ share_arg $ cube_depth_arg
     $ config_arg $ simplify_arg $ certify_arg $ proof_arg $ incremental_arg $ symmetry_arg
-    $ default_device_arg)
+    $ default_device_arg $ sat_arg)
 
 let budget c =
   let b = Core.Budget.of_seconds_opt c.budget_seconds in
@@ -181,6 +205,12 @@ let options c =
   let o = match simplify with Some b -> with_simplify b o | None -> o in
   let o = match c.incremental with Some b -> with_incremental b o | None -> o in
   let o = match c.default_device with Some d -> with_device d o | None -> o in
+  let o =
+    (* every item was validated by [sat_kv_conv], so this cannot fail *)
+    match Olsq2_sat.Tuning.of_kv_strings c.sat with
+    | Ok tu -> with_tuning tu o
+    | Error _ -> o
+  in
   with_workers ?share ?cube_depth
     (match workers with Some n -> n | None -> o.parallel.workers)
     o

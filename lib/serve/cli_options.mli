@@ -2,7 +2,7 @@
     [olsq2-serve] accept identical [-j] / [--share] / [--simplify] /
     [--budget] / [--conflict-budget] / [--cube-depth] / [-c] /
     [--certify] / [--proof] / [--incremental] / [--symmetry] /
-    [--default-device] flags from one definition. *)
+    [--default-device] / [--sat] flags from one definition. *)
 
 type common = {
   budget_seconds : float option;
@@ -23,6 +23,10 @@ type common = {
       (** overrides [config.symmetry] when set *)
   default_device : string option;
       (** named device carried into [Options.device] *)
+  sat : string list;
+      (** raw [--sat KEY=VAL] overrides (each validated at parse time),
+          applied in order onto {!Olsq2_sat.Tuning.default} and carried
+          into [Options.sat] *)
 }
 
 (** All the flags as one Cmdliner term. *)

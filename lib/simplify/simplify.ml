@@ -584,5 +584,13 @@ let preprocess ?(opts = default_options) solver =
    default (one round) since it competes with search for time. *)
 let inprocess_options = { default_options with max_rounds = 1 }
 
+(* Each inprocessing pass runs clause vivification after the BVE engine:
+   preprocess rewrites the clause store wholesale, so vivifying its output
+   works on fresh clauses and the DRAT stream stays well-ordered (every
+   vivified shortening is logged add-before-delete by the solver). *)
 let attach_inprocessing ?(opts = inprocess_options) ?interval solver =
-  Solver.set_inprocessor ?interval solver (Some (fun s -> ignore (preprocess ~opts s)))
+  Solver.set_inprocessor ?interval solver
+    (Some
+       (fun s ->
+         ignore (preprocess ~opts s);
+         Solver.vivify s))

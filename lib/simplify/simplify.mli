@@ -70,7 +70,8 @@ val preprocess : ?opts:options -> Olsq2_sat.Solver.t -> report
 (** Install {!preprocess} as the solver's inprocessor: it reruns between
     restart episodes on the solver's conflict-count schedule (see
     {!Olsq2_sat.Solver.set_inprocessor}), with {!inprocess_options} by
-    default. *)
+    default, followed by a budgeted {!Olsq2_sat.Solver.vivify} pass over
+    the refreshed clause database. *)
 val attach_inprocessing : ?opts:options -> ?interval:int -> Olsq2_sat.Solver.t -> unit
 
 (** Process-wide accumulation across runs (atomic, so portfolio arms in

@@ -556,9 +556,11 @@ let facade_instances () =
 (* These equivalence checks compare the facade's plumbing against a raw
    sequential engine call, down to incidental fields like the swap count
    of the depth-optimal model — so force the facade sequential even when
-   OLSQ2_WORKERS asks the suite to default parallel (a pool can return a
-   different, equally optimal model). *)
-let sequential = Synthesis.Options.(default |> with_workers 1)
+   OLSQ2_WORKERS asks the suite to default parallel, and force the
+   classic re-encode loop now that the horizon-extension session is the
+   library default (a pool or a session can return a different, equally
+   optimal model). *)
+let sequential = Synthesis.Options.(default |> with_workers 1 |> with_incremental false)
 
 let test_facade_depth_equivalence () =
   List.iter

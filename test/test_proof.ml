@@ -148,6 +148,45 @@ let test_solver_proof_checks () =
       Alcotest.(check bool) (name ^ " checked lemmas") true (r.Checker.lemmas_checked > 0))
     modes
 
+(* Vivification rewrites clauses before and during search, logging each
+   shortening add-then-delete; the resulting UNSAT proof must still pass
+   the trusted checker.  The small formula is built so the vivify pass
+   deterministically shortens (a ∨ b ∨ c): assuming ¬a then ¬b unit-
+   propagates ¬c through (¬c ∨ b), so c is dropped. *)
+let test_vivified_unsat_proof () =
+  let sink = Drat.create () in
+  let s = S.create () in
+  Drat.attach sink s;
+  let a = S.new_lit s and b = S.new_lit s and c = S.new_lit s in
+  S.add_clause s [ a; b; c ];
+  S.add_clause s [ L.negate a; b ];
+  S.add_clause s [ L.negate c; b ];
+  S.add_clause s [ L.negate b; a ];
+  S.add_clause s [ L.negate b; L.negate a ];
+  S.vivify s;
+  Alcotest.(check int) "one clause vivified" 1 (S.stats s).S.vivified_clauses;
+  Alcotest.(check bool) "unsat" true (S.solve s = S.Unsat);
+  let formula = Drat.formula sink and proof = Drat.steps sink in
+  List.iter
+    (fun (name, mode) ->
+      check_verdict ("vivified " ^ name) true (Checker.check_unsat ~mode ~formula ~proof ()))
+    modes
+
+(* Same end-to-end guarantee at scale: a conflict-heavy pigeonhole run
+   with an explicit vivification pass in front of the search. *)
+let test_vivified_php_proof_checks () =
+  let sink = Drat.create () in
+  let s = S.create () in
+  Drat.attach sink s;
+  php_into s 5;
+  S.vivify ~budget:100_000 s;
+  Alcotest.(check bool) "php unsat" true (S.solve s = S.Unsat);
+  let formula = Drat.formula sink and proof = Drat.steps sink in
+  List.iter
+    (fun (name, mode) ->
+      check_verdict ("vivified php " ^ name) true (Checker.check_unsat ~mode ~formula ~proof ()))
+    modes
+
 (* Backward checking must skip lemmas the contradiction does not depend
    on; it may never check more than forward does. *)
 let test_backward_checks_no_more_than_forward () =
@@ -343,6 +382,8 @@ let suite =
         Alcotest.test_case "checker rejects missing conclusion" `Quick
           test_checker_rejects_no_conclusion;
         Alcotest.test_case "solver proof checks" `Quick test_solver_proof_checks;
+        Alcotest.test_case "vivified unsat proof checks" `Quick test_vivified_unsat_proof;
+        Alcotest.test_case "vivified php proof checks" `Quick test_vivified_php_proof_checks;
         Alcotest.test_case "backward checks no more than forward" `Quick
           test_backward_checks_no_more_than_forward;
         Alcotest.test_case "truncated proof rejected" `Quick test_truncated_proof_rejected;

@@ -261,6 +261,106 @@ let prop_depth_bounds =
           && r.Core.Result_.depth <= sabre.Core.Result_.depth
         | None -> true))
 
+(* property: every execution mode reports the same optimum.  The five
+   objectives each run through {classic, incremental, -j 2, simplify,
+   symmetry}; only the objective value is compared (witness schedules may
+   legitimately differ), so an arena/tuning change that silently altered
+   any mode's answer fails here even when each mode still claims
+   optimality.  Depth/Swaps certificate anchoring against known-optimal
+   constructions lives in test_evalbench; this property covers the
+   weighted and TB objectives those certificates cannot express. *)
+let prop_optima_identity =
+  let gen =
+    Q.Gen.(
+      let* spec = circuit_gen in
+      let* dev = oneofl [ Devices.qx2; Devices.grid 2 2 ] in
+      let nq, _ = spec in
+      if nq <= dev.Coupling.num_qubits then return (Some (spec, dev)) else return None)
+  in
+  let arb =
+    Q.make
+      ~print:(fun inst ->
+        match inst with
+        | None -> "skip"
+        | Some ((nq, gates), dev) ->
+          Printf.sprintf "nq=%d ng=%d dev=%s" nq (List.length gates) dev.Coupling.name)
+      gen
+  in
+  Q.Test.make ~count:4 ~name:"optima identical across execution modes" arb (fun inst ->
+      match inst with
+      | None -> true
+      | Some (spec, dev) ->
+        let circuit = build_circuit spec in
+        let inst = Core.Instance.make ~swap_duration:3 circuit dev in
+        let weights e = 1 + (e mod 3) in
+        let edge_weight (p, q) =
+          let idx = ref 0 in
+          Array.iteri (fun i e -> if e = (p, q) then idx := i) dev.Coupling.edges;
+          weights !idx
+        in
+        let objectives =
+          [
+            ("depth", Core.Synthesis.Depth);
+            ("swaps", Core.Synthesis.Swaps { warm_start = None });
+            ("weighted_swaps", Core.Synthesis.Weighted_swaps weights);
+            ("tb_blocks", Core.Synthesis.Tb_blocks);
+            ("tb_swaps", Core.Synthesis.Tb_swaps);
+          ]
+        in
+        let base =
+          Core.Synthesis.Options.(default |> with_budget (Core.Budget.of_seconds 60.0))
+        in
+        let modes =
+          (* "classic" pins the re-encode loop: the library default is the
+             horizon-extension session, and this property is exactly the
+             cross-check between the two. *)
+          Core.Synthesis.Options.
+            [
+              ("classic", with_incremental false base);
+              ("incremental", with_incremental true base);
+              ("j2", with_workers 2 base);
+              ("simplify", with_simplify true base);
+              ( "symmetry",
+                with_config { Core.Config.olsq2_bv with Core.Config.symmetry = true } base );
+            ]
+        in
+        let value obj (report : Core.Synthesis.report) =
+          match report.Core.Synthesis.result with
+          | None -> -1
+          | Some r -> (
+            match obj with
+            | Core.Synthesis.Depth -> r.Core.Result_.depth
+            | Core.Synthesis.Swaps _ -> r.Core.Result_.swap_count
+            | Core.Synthesis.Weighted_swaps _ ->
+              List.fold_left
+                (fun acc sw -> acc + edge_weight sw.Core.Result_.sw_edge)
+                0 r.Core.Result_.swaps
+            | Core.Synthesis.Tb_blocks -> (
+              match report.Core.Synthesis.pareto with (b, _) :: _ -> b | [] -> -1)
+            | Core.Synthesis.Tb_swaps -> (
+              match report.Core.Synthesis.pareto with (_, s) :: _ -> s | [] -> -1))
+        in
+        List.for_all
+          (fun (obj_name, obj) ->
+            let runs =
+              List.map
+                (fun (name, options) ->
+                  (name, value obj (Core.Synthesis.run ~options ~objective:obj inst)))
+                modes
+            in
+            match runs with
+            | (_, v0) :: rest ->
+              v0 >= 0
+              && List.for_all
+                   (fun (name, v) ->
+                     if v <> v0 then
+                       Q.Test.fail_reportf "%s: %s found %d, classic found %d" obj_name name v
+                         v0
+                     else true)
+                   rest
+            | [] -> true)
+          objectives)
+
 (* ---- proof fuzzing ----
 
    Random 3-CNFs solved with DRAT logging attached: every SAT answer must
@@ -345,6 +445,7 @@ let suite =
           prop_sabre_valid;
           prop_tb_valid_and_no_worse;
           prop_depth_bounds;
+          prop_optima_identity;
         ]
       @ [ Alcotest.test_case "proof fuzz: random 3-CNF certified" `Quick test_proof_fuzz ] );
   ]

@@ -273,6 +273,77 @@ let test_dimacs_malformed_rejected () =
   rejected_with prefix "p cnf 3 1\n1 y 0\n";
   rejected_with prefix "pcnf 3 1\n1 0\n"
 
+(* ---- clause-arena compaction ---- *)
+
+(* Forced compactions interleaved with solving: answers must keep
+   agreeing with brute force (watch lists were rebuilt over the moved
+   clauses), the wasted-bytes gauge must drop to zero, and the
+   compaction counter must record every forced pass. *)
+let test_compaction_watcher_integrity () =
+  let rng = Rng.create 2024 in
+  for _ = 1 to 25 do
+    let nv = 6 + Rng.int rng 6 in
+    let clauses =
+      List.init
+        (25 + Rng.int rng 30)
+        (fun _ ->
+          List.init (2 + Rng.int rng 3) (fun _ -> L.of_var ~sign:(Rng.bool rng) (Rng.int rng nv)))
+    in
+    let s = S.create () in
+    for _ = 1 to nv do
+      ignore (S.new_var s)
+    done;
+    List.iter (fun c -> S.add_clause s c) clauses;
+    let r1 = S.solve s in
+    let compactions0 = (S.stats s).S.compactions in
+    S.compact s;
+    Alcotest.(check int) "no waste after compaction" 0 (S.arena_wasted_bytes s);
+    Alcotest.(check int) "compaction counted" (compactions0 + 1) (S.stats s).S.compactions;
+    let r2 = S.solve s in
+    let expect = brute_force_sat nv clauses in
+    Alcotest.(check bool) "pre-compaction answer" expect (r1 = S.Sat);
+    Alcotest.(check bool) "post-compaction answer" expect (r2 = S.Sat);
+    if r2 = S.Sat then
+      List.iter
+        (fun c ->
+          Alcotest.(check bool)
+            "model satisfies clause after compaction" true
+            (List.exists (fun l -> S.model_value s l) c))
+        clauses
+  done
+
+(* Compaction after reduce-DB pressure: drive a solver through enough
+   conflicts to accumulate learnt clauses, compact, and re-solve under
+   assumptions — stale watcher entries into the old arena would crash or
+   corrupt propagation here. *)
+let test_compaction_after_learning () =
+  let s = S.create () in
+  let n = 7 in
+  (* pigeonhole PHP(n, n-1): n*(n-1) vars, guaranteed conflict-heavy *)
+  let holes = n - 1 in
+  let v p h = L.of_var ((p * holes) + h) in
+  for _ = 0 to (n * holes) - 1 do
+    ignore (S.new_var s)
+  done;
+  for p = 0 to n - 1 do
+    S.add_clause s (List.init holes (fun h -> v p h))
+  done;
+  for h = 0 to holes - 1 do
+    for p = 0 to n - 1 do
+      for p' = p + 1 to n - 1 do
+        S.add_clause s [ L.negate (v p h); L.negate (v p' h) ]
+      done
+    done
+  done;
+  Alcotest.(check bool) "php unsat" true (S.solve s = S.Unsat);
+  Alcotest.(check bool) "learnt something" true ((S.stats s).S.learnt_clauses > 0);
+  S.compact s;
+  Alcotest.(check int) "no waste" 0 (S.arena_wasted_bytes s);
+  Alcotest.(check bool) "still unsat after compaction" true (S.solve s = S.Unsat);
+  Alcotest.(check bool)
+    "high-water covers current arena" true
+    (S.arena_high_water_bytes s >= S.arena_bytes s)
+
 let suite =
   [
     ( "sat",
@@ -298,5 +369,8 @@ let suite =
         Alcotest.test_case "dimacs multiline clause" `Quick test_dimacs_multiline_clause;
         Alcotest.test_case "dimacs print/parse identity" `Quick test_dimacs_print_parse_identity;
         Alcotest.test_case "dimacs malformed rejected" `Quick test_dimacs_malformed_rejected;
+        Alcotest.test_case "compaction watcher integrity" `Quick
+          test_compaction_watcher_integrity;
+        Alcotest.test_case "compaction after learning" `Quick test_compaction_after_learning;
       ] );
   ]

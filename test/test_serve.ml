@@ -19,6 +19,7 @@ module Coupling = Olsq2_device.Coupling
 module Devices = Olsq2_device.Devices
 module Suite = Olsq2_benchgen.Suite
 module Json = Olsq2_obs.Obs.Json
+module Tuning = Olsq2_sat.Tuning
 
 let check = Alcotest.check
 let checkb = Alcotest.check Alcotest.bool
@@ -55,6 +56,21 @@ let options_gen =
     let* cube_depth = oneofl [ None; Some 2 ] in
     let* incremental = bool in
     let* device = oneofl [ None; Some "qx2"; Some "heavy-hex-127" ] in
+    let* sat =
+      oneofl
+        [
+          Tuning.default;
+          Tuning.(default |> with_restart ~mode:Geometric ~base:50 ~factor:1.5);
+          Tuning.(default |> with_phase ~mode:Phase_saved ~rephase_interval:0 |> with_chrono 0);
+          Tuning.(
+            default |> with_vivify 0
+            |> with_reduce ~keep:0.75 ~lbd_protect:2
+            |> with_share_filters ~max_len:6 ~max_lbd:3
+            |> with_probe_conflicts 64
+            |> with_arena ~capacity:4096 ~gc_fraction:0.125
+            |> with_decay ~var:0.9 ~clause:0.995);
+        ]
+    in
     return
       {
         Options.config;
@@ -71,6 +87,7 @@ let options_gen =
         parallel = { Options.workers; share; cube_depth };
         incremental;
         device;
+        sat;
       })
 
 let options_arbitrary =
@@ -104,7 +121,10 @@ let test_options_bad () =
   bad "[1,2]";
   bad {|{"parallel":{"workers":0}}|};
   bad {|{"budget":{"wall_seconds":-2}}|};
-  bad {|{"config":{"cardinality":"maybe"}}|}
+  bad {|{"config":{"cardinality":"maybe"}}|};
+  bad {|{"sat":{"restart":"fibonacci"}}|};
+  bad {|{"sat":{"no_such_knob":1}}|};
+  bad {|{"sat":{"var_decay":0.1}}|}
 
 (* A request with no top-level "device" falls back to options.device, the
    same field the daemon's --default-device flag fills. *)

@@ -7,7 +7,15 @@ module Json = Olsq2_obs.Obs.Json
 
 let checkb = Alcotest.(check bool)
 
-let metrics w = { T.wall = w; conflicts = 100; encode_clauses = 1000; optimal = true }
+let metrics w =
+  {
+    T.wall = w;
+    conflicts = 100;
+    encode_clauses = 1000;
+    optimal = true;
+    propagations = 5000;
+    learnt_bytes = 65536.0;
+  }
 
 let run ~label ~created instances =
   {
